@@ -1,0 +1,98 @@
+/// Section 5 (Antwerp route): the relational backend vs the native
+/// graph engine — load, pattern compilation, operations.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "ops/operations.h"
+#include "pattern/builder.h"
+#include "pattern/matcher.h"
+#include "relational/backend.h"
+
+namespace good {
+namespace {
+
+using pattern::GraphBuilder;
+using relational::RelationalBackend;
+
+pattern::Pattern OneHop(const schema::Scheme& scheme) {
+  GraphBuilder b(scheme);
+  auto x = b.Object("Info");
+  auto y = b.Object("Info");
+  auto date = b.Printable("Date", Value(Date{1990, 1, 1}));
+  b.Edge(x, "created", date).Edge(x, "links-to", y);
+  return b.BuildOrDie();
+}
+
+void BM_RelationalLoad(benchmark::State& state) {
+  const size_t docs = static_cast<size_t>(state.range(0));
+  const auto& scheme = bench::HyperMediaScheme();
+  const auto& g = bench::ScaledInstance(docs);
+  for (auto _ : state) {
+    auto backend = RelationalBackend::Load(scheme, g).ValueOrDie();
+    benchmark::DoNotOptimize(backend.scheme().num_labels());
+  }
+  state.SetItemsProcessed(state.iterations() * docs);
+}
+BENCHMARK(BM_RelationalLoad)->Range(64, 4096);
+
+void BM_RelationalPatternVsNative(benchmark::State& state) {
+  const size_t docs = static_cast<size_t>(state.range(0));
+  const bool use_relational = state.range(1) == 1;
+  const auto& scheme = bench::HyperMediaScheme();
+  const auto& g = bench::ScaledInstance(docs);
+  auto backend = RelationalBackend::Load(scheme, g).ValueOrDie();
+  auto p = OneHop(scheme);
+  for (auto _ : state) {
+    if (use_relational) {
+      benchmark::DoNotOptimize(backend.FindMatchings(p).ValueOrDie().size());
+    } else {
+      benchmark::DoNotOptimize(pattern::FindMatchings(p, g).size());
+    }
+  }
+}
+BENCHMARK(BM_RelationalPatternVsNative)
+    ->Args({256, 0})
+    ->Args({256, 1})
+    ->Args({1024, 0})
+    ->Args({1024, 1})
+    ->Args({4096, 0})
+    ->Args({4096, 1});
+
+void BM_RelationalNodeAddition(benchmark::State& state) {
+  const size_t docs = static_cast<size_t>(state.range(0));
+  const auto& scheme = bench::HyperMediaScheme();
+  const auto& g = bench::ScaledInstance(docs);
+  GraphBuilder b(scheme);
+  auto x = b.Object("Info");
+  auto y = b.Object("Info");
+  b.Edge(x, "links-to", y);
+  ops::NodeAddition na(b.BuildOrDie(), Sym("Tag"), {{Sym("of"), y}});
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto backend = RelationalBackend::Load(scheme, g).ValueOrDie();
+    state.ResumeTiming();
+    backend.Apply(na).OrDie();
+  }
+  state.SetItemsProcessed(state.iterations() * docs);
+}
+BENCHMARK(BM_RelationalNodeAddition)->Range(64, 1024);
+
+void BM_RelationalExport(benchmark::State& state) {
+  const size_t docs = static_cast<size_t>(state.range(0));
+  const auto& scheme = bench::HyperMediaScheme();
+  auto backend =
+      RelationalBackend::Load(scheme, bench::ScaledInstance(docs))
+          .ValueOrDie();
+  for (auto _ : state) {
+    auto exported = backend.Export().ValueOrDie();
+    benchmark::DoNotOptimize(exported.num_edges());
+  }
+  state.SetItemsProcessed(state.iterations() * docs);
+}
+BENCHMARK(BM_RelationalExport)->Range(64, 2048);
+
+}  // namespace
+}  // namespace good
+
+BENCHMARK_MAIN();

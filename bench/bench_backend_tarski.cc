@@ -1,0 +1,92 @@
+/// Section 5 (Indiana route): the Tarski binary-relation backend vs the
+/// native matcher, plus raw algebra throughput.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "pattern/builder.h"
+#include "pattern/matcher.h"
+#include "tarski/backend.h"
+
+namespace good {
+namespace {
+
+using pattern::GraphBuilder;
+using tarski::TarskiBackend;
+
+void BM_TarskiLoad(benchmark::State& state) {
+  const size_t docs = static_cast<size_t>(state.range(0));
+  const auto& scheme = bench::HyperMediaScheme();
+  const auto& g = bench::ScaledInstance(docs);
+  for (auto _ : state) {
+    auto backend = TarskiBackend::Load(scheme, g).ValueOrDie();
+    benchmark::DoNotOptimize(backend.NodeSet(Sym("Info")).size());
+  }
+  state.SetItemsProcessed(state.iterations() * docs);
+}
+BENCHMARK(BM_TarskiLoad)->Range(64, 4096);
+
+void BM_TarskiPatternVsNative(benchmark::State& state) {
+  const size_t docs = static_cast<size_t>(state.range(0));
+  const bool use_tarski = state.range(1) == 1;
+  const auto& scheme = bench::HyperMediaScheme();
+  const auto& g = bench::ScaledInstance(docs);
+  auto backend = TarskiBackend::Load(scheme, g).ValueOrDie();
+  GraphBuilder b(scheme);
+  auto x = b.Object("Info");
+  auto y = b.Object("Info");
+  auto date = b.Printable("Date", Value(Date{1990, 1, 1}));
+  b.Edge(x, "created", date).Edge(x, "links-to", y);
+  auto p = b.BuildOrDie();
+  for (auto _ : state) {
+    if (use_tarski) {
+      benchmark::DoNotOptimize(backend.FindMatchings(p).ValueOrDie().size());
+    } else {
+      benchmark::DoNotOptimize(pattern::FindMatchings(p, g).size());
+    }
+  }
+}
+BENCHMARK(BM_TarskiPatternVsNative)
+    ->Args({256, 0})
+    ->Args({256, 1})
+    ->Args({1024, 0})
+    ->Args({1024, 1})
+    ->Args({4096, 0})
+    ->Args({4096, 1});
+
+void BM_TarskiSemijoinReduction(benchmark::State& state) {
+  const size_t docs = static_cast<size_t>(state.range(0));
+  const auto& scheme = bench::HyperMediaScheme();
+  auto backend =
+      TarskiBackend::Load(scheme, bench::ScaledInstance(docs)).ValueOrDie();
+  GraphBuilder b(scheme);
+  auto x = b.Object("Info");
+  auto y = b.Object("Info");
+  auto z = b.Object("Info");
+  b.Edge(x, "links-to", y).Edge(y, "links-to", z);
+  auto p = b.BuildOrDie();
+  for (auto _ : state) {
+    auto candidates = backend.ReduceCandidates(p).ValueOrDie();
+    benchmark::DoNotOptimize(candidates.size());
+  }
+}
+BENCHMARK(BM_TarskiSemijoinReduction)->Range(64, 4096);
+
+void BM_TarskiComposition(benchmark::State& state) {
+  const size_t docs = static_cast<size_t>(state.range(0));
+  const auto& scheme = bench::HyperMediaScheme();
+  auto backend =
+      TarskiBackend::Load(scheme, bench::ScaledInstance(docs)).ValueOrDie();
+  const auto& links = backend.Relation(Sym("links-to"));
+  for (auto _ : state) {
+    auto two_hops = links.Compose(links);
+    benchmark::DoNotOptimize(two_hops.size());
+  }
+  state.SetItemsProcessed(state.iterations() * links.size());
+}
+BENCHMARK(BM_TarskiComposition)->Range(64, 4096);
+
+}  // namespace
+}  // namespace good
+
+BENCHMARK_MAIN();

@@ -1,0 +1,72 @@
+/// Figures 6-7: node-addition throughput — tagging matched documents.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "ops/operations.h"
+#include "pattern/builder.h"
+
+namespace good {
+namespace {
+
+using pattern::GraphBuilder;
+
+/// Tag every document linked from a named document: one new node per
+/// distinct bold-edge target.
+void BM_NodeAdditionTagging(benchmark::State& state) {
+  const size_t docs = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto scheme = bench::HyperMediaScheme();
+    graph::Instance g = bench::ScaledInstance(docs);
+    GraphBuilder b(scheme);
+    auto x = b.Object("Info");
+    auto y = b.Object("Info");
+    b.Edge(x, "links-to", y);
+    ops::NodeAddition na(b.BuildOrDie(), Sym("Tag"), {{Sym("of"), y}});
+    state.ResumeTiming();
+    ops::ApplyStats stats;
+    na.Apply(&scheme, &g, &stats).OrDie();
+    benchmark::DoNotOptimize(stats.nodes_added);
+  }
+  state.SetItemsProcessed(state.iterations() * docs);
+}
+BENCHMARK(BM_NodeAdditionTagging)->Range(64, 4096);
+
+/// The idempotent re-run: all matchings already served, so only the
+/// "if not exists" checks remain (Figure 9's dedup cost).
+void BM_NodeAdditionIdempotentRerun(benchmark::State& state) {
+  const size_t docs = static_cast<size_t>(state.range(0));
+  auto scheme = bench::HyperMediaScheme();
+  graph::Instance g = bench::ScaledInstance(docs);
+  GraphBuilder b(scheme);
+  auto x = b.Object("Info");
+  auto y = b.Object("Info");
+  b.Edge(x, "links-to", y);
+  ops::NodeAddition na(b.BuildOrDie(), Sym("Tag"), {{Sym("of"), y}});
+  na.Apply(&scheme, &g).OrDie();
+  for (auto _ : state) {
+    ops::ApplyStats stats;
+    na.Apply(&scheme, &g, &stats).OrDie();
+    benchmark::DoNotOptimize(stats.nodes_added);
+  }
+}
+BENCHMARK(BM_NodeAdditionIdempotentRerun)->Range(64, 4096);
+
+/// The empty pattern (Figure 12 shape) as the baseline NA cost.
+void BM_NodeAdditionEmptyPattern(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto scheme = bench::HyperMediaScheme();
+    graph::Instance g = bench::ScaledInstance(256);
+    ops::NodeAddition na(pattern::Pattern(), Sym("Singleton"), {});
+    state.ResumeTiming();
+    na.Apply(&scheme, &g).OrDie();
+  }
+}
+BENCHMARK(BM_NodeAdditionEmptyPattern);
+
+}  // namespace
+}  // namespace good
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+/// Figure 8: aggregate-deriving node additions — Pair objects over
+/// (parent, child) creation dates. The dedup ("if not exists") makes the
+/// number of created nodes depend on value diversity, not matchings.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "ops/operations.h"
+#include "pattern/builder.h"
+
+namespace good {
+namespace {
+
+using pattern::GraphBuilder;
+
+ops::NodeAddition PairAddition(const schema::Scheme& scheme) {
+  GraphBuilder b(scheme);
+  auto upper = b.Object("Info");
+  auto lower = b.Object("Info");
+  auto d1 = b.Printable("Date");
+  auto d2 = b.Printable("Date");
+  b.Edge(upper, "created", d1)
+      .Edge(upper, "links-to", lower)
+      .Edge(lower, "created", d2);
+  return ops::NodeAddition(b.BuildOrDie(), Sym("Pair"),
+                           {{Sym("parent"), d1}, {Sym("child"), d2}});
+}
+
+/// Sweep the number of distinct dates: matchings stay ~constant, but
+/// the number of distinct (parent, child) pairs — and so of created
+/// nodes — grows with diversity.
+void BM_AggregatePairsByDateDiversity(benchmark::State& state) {
+  const auto& scheme_ref = bench::HyperMediaScheme();
+  gen::HyperMediaOptions options;
+  options.num_docs = 512;
+  options.distinct_dates = static_cast<size_t>(state.range(0));
+  size_t created = 0;
+  size_t matchings = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto scheme = scheme_ref;
+    auto g = gen::ScaledHyperMedia(scheme, options).ValueOrDie();
+    auto na = PairAddition(scheme);
+    state.ResumeTiming();
+    ops::ApplyStats stats;
+    na.Apply(&scheme, &g, &stats).OrDie();
+    created = stats.nodes_added;
+    matchings = stats.matchings;
+  }
+  state.counters["pairs"] = static_cast<double>(created);
+  state.counters["matchings"] = static_cast<double>(matchings);
+}
+BENCHMARK(BM_AggregatePairsByDateDiversity)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64);
+
+void BM_AggregatePairsByInstanceSize(benchmark::State& state) {
+  const size_t docs = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto scheme = bench::HyperMediaScheme();
+    graph::Instance g = bench::ScaledInstance(docs);
+    auto na = PairAddition(scheme);
+    state.ResumeTiming();
+    ops::ApplyStats stats;
+    na.Apply(&scheme, &g, &stats).OrDie();
+    benchmark::DoNotOptimize(stats.nodes_added);
+  }
+  state.SetItemsProcessed(state.iterations() * docs);
+}
+BENCHMARK(BM_AggregatePairsByInstanceSize)->Range(64, 4096);
+
+}  // namespace
+}  // namespace good
+
+BENCHMARK_MAIN();

@@ -1,0 +1,104 @@
+/// Figures 14-16: deletion and update throughput.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "ops/operations.h"
+#include "pattern/builder.h"
+
+namespace good {
+namespace {
+
+using pattern::GraphBuilder;
+
+/// Delete every document created on one specific date (10% of docs with
+/// the default 10 distinct dates).
+void BM_NodeDeletionByDate(benchmark::State& state) {
+  const size_t docs = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto scheme = bench::HyperMediaScheme();
+    graph::Instance g = bench::ScaledInstance(docs);
+    GraphBuilder b(scheme);
+    auto info = b.Object("Info");
+    auto date = b.Printable("Date", Value(Date{1990, 1, 1}));
+    b.Edge(info, "created", date);
+    ops::NodeDeletion nd(b.BuildOrDie(), info);
+    state.ResumeTiming();
+    ops::ApplyStats stats;
+    nd.Apply(&scheme, &g, &stats).OrDie();
+    benchmark::DoNotOptimize(stats.nodes_deleted);
+  }
+  state.SetItemsProcessed(state.iterations() * docs / 10);
+}
+BENCHMARK(BM_NodeDeletionByDate)->Range(64, 4096);
+
+/// The Figure 16 update idiom (ED then EA) applied to one named doc.
+void BM_UpdateModifiedDate(benchmark::State& state) {
+  const size_t docs = static_cast<size_t>(state.range(0));
+  auto scheme = bench::HyperMediaScheme();
+  graph::Instance base = bench::ScaledInstance(docs);
+  // Give doc1 an initial modified date.
+  {
+    GraphBuilder b(scheme);
+    auto info = b.Object("Info");
+    auto nm = b.Printable("String", Value("doc1"));
+    auto date = b.Printable("Date", Value(Date{1990, 6, 1}));
+    b.Edge(info, "name", nm);
+    ops::EdgeAddition ea(
+        b.BuildOrDie(),
+        {ops::EdgeSpec{info, Sym("modified"), date, /*functional=*/true}});
+    ea.Apply(&scheme, &base).OrDie();
+  }
+  GraphBuilder db(scheme);
+  auto info_d = db.Object("Info");
+  auto nm_d = db.Printable("String", Value("doc1"));
+  auto date_d = db.Printable("Date");
+  db.Edge(info_d, "name", nm_d).Edge(info_d, "modified", date_d);
+  ops::EdgeDeletion ed(db.BuildOrDie(),
+                       {ops::EdgeRef{info_d, Sym("modified"), date_d}});
+  GraphBuilder ab(scheme);
+  auto info_a = ab.Object("Info");
+  auto nm_a = ab.Printable("String", Value("doc1"));
+  auto date_a = ab.Printable("Date", Value(Date{1990, 6, 2}));
+  ab.Edge(info_a, "name", nm_a);
+  ops::EdgeAddition ea(
+      ab.BuildOrDie(),
+      {ops::EdgeSpec{info_a, Sym("modified"), date_a, /*functional=*/true}});
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto scratch_scheme = scheme;
+    graph::Instance g = base;
+    state.ResumeTiming();
+    ed.Apply(&scratch_scheme, &g).OrDie();
+    ea.Apply(&scratch_scheme, &g).OrDie();
+  }
+}
+BENCHMARK(BM_UpdateModifiedDate)->Range(64, 4096);
+
+/// Bulk edge deletion: drop every links-to edge.
+void BM_BulkEdgeDeletion(benchmark::State& state) {
+  const size_t docs = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto scheme = bench::HyperMediaScheme();
+    graph::Instance g = bench::ScaledInstance(docs);
+    GraphBuilder b(scheme);
+    auto x = b.Object("Info");
+    auto y = b.Object("Info");
+    b.Edge(x, "links-to", y);
+    ops::EdgeDeletion ed(b.BuildOrDie(),
+                         {ops::EdgeRef{x, Sym("links-to"), y}});
+    state.ResumeTiming();
+    ops::ApplyStats stats;
+    ed.Apply(&scheme, &g, &stats).OrDie();
+    benchmark::DoNotOptimize(stats.edges_deleted);
+  }
+  state.SetItemsProcessed(state.iterations() * docs * 3);
+}
+BENCHMARK(BM_BulkEdgeDeletion)->Range(64, 4096);
+
+}  // namespace
+}  // namespace good
+
+BENCHMARK_MAIN();

@@ -1,0 +1,84 @@
+/// Figures 17-19: abstraction (duplicate elimination) over version
+/// chains — cost as a function of the number of abstracted objects and
+/// of group structure.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "ops/operations.h"
+#include "pattern/builder.h"
+
+namespace good {
+namespace {
+
+using pattern::GraphBuilder;
+
+void BM_AbstractionOverVersionChains(benchmark::State& state) {
+  const size_t chains = static_cast<size_t>(state.range(0));
+  const auto& scheme_ref = bench::HyperMediaScheme();
+  size_t groups = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto scheme = scheme_ref;
+    auto g = gen::VersionChains(scheme, chains, /*length=*/8, /*pool=*/16,
+                                /*seed=*/7)
+                 .ValueOrDie();
+    GraphBuilder b(scheme);
+    auto info = b.Object("Info");
+    ops::Abstraction ab(b.BuildOrDie(), info, Sym("Same-Info"),
+                        Sym("contains"), Sym("links-to"));
+    state.ResumeTiming();
+    ops::ApplyStats stats;
+    ab.Apply(&scheme, &g, &stats).OrDie();
+    groups = stats.nodes_added;
+  }
+  state.counters["groups"] = static_cast<double>(groups);
+  state.SetItemsProcessed(state.iterations() * chains * 8);
+}
+BENCHMARK(BM_AbstractionOverVersionChains)->Range(2, 128);
+
+/// Abstraction re-run (idempotence check cost): every class already has
+/// its set object.
+void BM_AbstractionIdempotentRerun(benchmark::State& state) {
+  auto scheme = bench::HyperMediaScheme();
+  auto g = gen::VersionChains(scheme, 32, 8, 16, 7).ValueOrDie();
+  GraphBuilder b(scheme);
+  auto info = b.Object("Info");
+  ops::Abstraction ab(b.BuildOrDie(), info, Sym("Same-Info"),
+                      Sym("contains"), Sym("links-to"));
+  ab.Apply(&scheme, &g).OrDie();
+  for (auto _ : state) {
+    ops::ApplyStats stats;
+    ab.Apply(&scheme, &g, &stats).OrDie();
+    benchmark::DoNotOptimize(stats.nodes_added);
+  }
+}
+BENCHMARK(BM_AbstractionIdempotentRerun);
+
+/// Group-diversity sweep: same node count, varying number of distinct
+/// links-to sets (pool size controls collisions).
+void BM_AbstractionByGroupDiversity(benchmark::State& state) {
+  const size_t pool = static_cast<size_t>(state.range(0));
+  const auto& scheme_ref = bench::HyperMediaScheme();
+  size_t groups = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto scheme = scheme_ref;
+    auto g = gen::VersionChains(scheme, 32, 8, pool, 7).ValueOrDie();
+    GraphBuilder b(scheme);
+    auto info = b.Object("Info");
+    ops::Abstraction ab(b.BuildOrDie(), info, Sym("Same-Info"),
+                        Sym("contains"), Sym("links-to"));
+    state.ResumeTiming();
+    ops::ApplyStats stats;
+    ab.Apply(&scheme, &g, &stats).OrDie();
+    groups = stats.nodes_added;
+  }
+  state.counters["groups"] = static_cast<double>(groups);
+}
+BENCHMARK(BM_AbstractionByGroupDiversity)->Arg(2)->Arg(8)->Arg(32)->Arg(128);
+
+}  // namespace
+}  // namespace good
+
+BENCHMARK_MAIN();

@@ -1,0 +1,116 @@
+/// Figures 20-21 and 23-25: method-call machinery — the per-call
+/// overhead (binding NA, body, cleanup ND, interface restriction) and
+/// the set-oriented fan-out over many receivers, plus the nested D/E
+/// interface-filtering pipeline.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "hypermedia/methods.h"
+#include "method/method.h"
+#include "pattern/builder.h"
+
+namespace good {
+namespace {
+
+using pattern::GraphBuilder;
+
+/// One Update call with a single receiver at varying instance size —
+/// the fixed per-call overhead.
+void BM_MethodCallSingleReceiver(benchmark::State& state) {
+  const size_t docs = static_cast<size_t>(state.range(0));
+  method::MethodRegistry registry;
+  registry.Register(
+      hypermedia::MakeUpdateMethod(bench::HyperMediaScheme()).ValueOrDie())
+      .OrDie();
+  auto call = hypermedia::MakeUpdateCall(bench::HyperMediaScheme(), "doc1",
+                                         Date{1990, 6, 2})
+                  .ValueOrDie();
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto scheme = bench::HyperMediaScheme();
+    graph::Instance g = bench::ScaledInstance(docs);
+    method::Executor executor(&registry);
+    state.ResumeTiming();
+    executor.Execute(call, &scheme, &g).OrDie();
+  }
+}
+BENCHMARK(BM_MethodCallSingleReceiver)->Range(64, 4096);
+
+/// One Update call fanning out over EVERY document (set-oriented
+/// application).
+void BM_MethodCallAllReceivers(benchmark::State& state) {
+  const size_t docs = static_cast<size_t>(state.range(0));
+  method::MethodRegistry registry;
+  registry.Register(
+      hypermedia::MakeUpdateMethod(bench::HyperMediaScheme()).ValueOrDie())
+      .OrDie();
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto scheme = bench::HyperMediaScheme();
+    graph::Instance g = bench::ScaledInstance(docs);
+    GraphBuilder b(scheme);
+    auto info = b.Object("Info");
+    auto date = b.Printable("Date", Value(Date{1991, 1, 1}));
+    method::MethodCallOp call;
+    call.pattern = b.BuildOrDie();
+    call.method_name = "Update";
+    call.args[Sym("parameter")] = date;
+    call.receiver = info;
+    method::Executor executor(&registry);
+    state.ResumeTiming();
+    executor.Execute(call, &scheme, &g).OrDie();
+  }
+  state.SetItemsProcessed(state.iterations() * docs);
+}
+BENCHMARK(BM_MethodCallAllReceivers)->Range(64, 2048);
+
+/// Figures 23-25: the nested D-inside-E call with interface filtering,
+/// across all documents carrying a modified date.
+void BM_InterfaceFilteredNestedCall(benchmark::State& state) {
+  const size_t docs = static_cast<size_t>(state.range(0));
+  method::MethodRegistry registry;
+  registry.Register(
+      hypermedia::MakeDMethod(bench::HyperMediaScheme()).ValueOrDie())
+      .OrDie();
+  registry.Register(
+      hypermedia::MakeEMethod(bench::HyperMediaScheme()).ValueOrDie())
+      .OrDie();
+  registry.Register(
+      hypermedia::MakeUpdateMethod(bench::HyperMediaScheme()).ValueOrDie())
+      .OrDie();
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto scheme = bench::HyperMediaScheme();
+    graph::Instance g = bench::ScaledInstance(docs);
+    method::Executor executor(&registry);
+    // Give every doc a modified date first (one set-oriented call).
+    {
+      GraphBuilder b(scheme);
+      auto info = b.Object("Info");
+      auto date = b.Printable("Date", Value(Date{1990, 3, 1}));
+      method::MethodCallOp prep;
+      prep.pattern = b.BuildOrDie();
+      prep.method_name = "Update";
+      prep.args[Sym("parameter")] = date;
+      prep.receiver = info;
+      executor.Execute(prep, &scheme, &g).OrDie();
+    }
+    GraphBuilder b(scheme);
+    auto info = b.Object("Info");
+    method::MethodCallOp call;
+    call.pattern = b.BuildOrDie();
+    call.method_name = "E";
+    call.receiver = info;
+    state.ResumeTiming();
+    executor.Execute(call, &scheme, &g).OrDie();
+    benchmark::DoNotOptimize(g.CountNodesWithLabel(Sym("Elapsed")));
+  }
+  state.SetItemsProcessed(state.iterations() * docs);
+}
+BENCHMARK(BM_InterfaceFilteredNestedCall)->Range(64, 1024);
+
+}  // namespace
+}  // namespace good
+
+BENCHMARK_MAIN();

@@ -1,0 +1,101 @@
+/// Figure 22: recursive method cost — Remove-Old-Versions over chains
+/// of increasing length (recursion depth == chain length).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "hypermedia/methods.h"
+#include "method/method.h"
+#include "pattern/builder.h"
+
+namespace good {
+namespace {
+
+using graph::Instance;
+using graph::NodeId;
+using pattern::GraphBuilder;
+
+/// A single version chain v1 (current, named "head") .. v<length>.
+Instance Chain(const schema::Scheme& scheme, size_t length) {
+  const auto& l = hypermedia::Labels::Get();
+  Instance g;
+  NodeId newer{};
+  for (size_t i = 0; i < length; ++i) {
+    NodeId doc = g.AddObjectNode(scheme, l.info).ValueOrDie();
+    if (i == 0) {
+      NodeId nm =
+          g.AddPrintableNode(scheme, l.string, Value("head")).ValueOrDie();
+      g.AddEdge(scheme, doc, l.name, nm).OrDie();
+    }
+    if (newer.valid()) {
+      NodeId version = g.AddObjectNode(scheme, l.version).ValueOrDie();
+      g.AddEdge(scheme, version, l.new_edge, newer).OrDie();
+      g.AddEdge(scheme, version, l.old_edge, doc).OrDie();
+    }
+    newer = doc;
+  }
+  return g;
+}
+
+void BM_RemoveOldVersionsByChainLength(benchmark::State& state) {
+  const size_t length = static_cast<size_t>(state.range(0));
+  method::MethodRegistry registry;
+  registry.Register(hypermedia::MakeRemoveOldVersionsMethod(
+                        bench::HyperMediaScheme())
+                        .ValueOrDie())
+      .OrDie();
+  size_t steps = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto scheme = bench::HyperMediaScheme();
+    Instance g = Chain(scheme, length);
+    GraphBuilder b(scheme);
+    auto info = b.Object("Info");
+    auto nm = b.Printable("String", Value("head"));
+    b.Edge(info, "name", nm);
+    method::MethodCallOp call;
+    call.pattern = b.BuildOrDie();
+    call.method_name = "R-O-V";
+    call.receiver = info;
+    method::Executor executor(&registry);
+    state.ResumeTiming();
+    executor.Execute(call, &scheme, &g).OrDie();
+    steps = executor.steps_used();
+    benchmark::DoNotOptimize(g.num_nodes());
+  }
+  state.counters["executor_ops"] = static_cast<double>(steps);
+  state.SetItemsProcessed(state.iterations() * length);
+}
+BENCHMARK(BM_RemoveOldVersionsByChainLength)->Range(2, 256);
+
+/// The no-op call (receiver with no versions): pure call overhead at
+/// the recursion cutoff.
+void BM_RecursionCutoffCost(benchmark::State& state) {
+  method::MethodRegistry registry;
+  registry.Register(hypermedia::MakeRemoveOldVersionsMethod(
+                        bench::HyperMediaScheme())
+                        .ValueOrDie())
+      .OrDie();
+  auto scheme = bench::HyperMediaScheme();
+  Instance g = Chain(scheme, 1);
+  GraphBuilder b(scheme);
+  auto info = b.Object("Info");
+  auto nm = b.Printable("String", Value("head"));
+  b.Edge(info, "name", nm);
+  method::MethodCallOp call;
+  call.pattern = b.BuildOrDie();
+  call.method_name = "R-O-V";
+  call.receiver = info;
+  for (auto _ : state) {
+    auto scratch_scheme = scheme;
+    Instance scratch = g;
+    method::Executor executor(&registry);
+    executor.Execute(call, &scratch_scheme, &scratch).OrDie();
+  }
+}
+BENCHMARK(BM_RecursionCutoffCost);
+
+}  // namespace
+}  // namespace good
+
+BENCHMARK_MAIN();

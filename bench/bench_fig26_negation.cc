@@ -1,0 +1,85 @@
+/// Figures 26-27: negation — direct evaluation of crossed patterns vs
+/// the tag-then-delete simulation in core GOOD.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "macro/negation.h"
+#include "method/method.h"
+#include "pattern/builder.h"
+
+namespace good {
+namespace {
+
+using pattern::GraphBuilder;
+
+macros::NegatedPattern Fig26Shape(const schema::Scheme& scheme) {
+  GraphBuilder b(scheme);
+  auto info = b.Object("Info");
+  auto str = b.Printable("String");
+  auto date = b.Printable("Date");
+  b.Edge(info, "name", str)
+      .Edge(info, "created", date)
+      .Edge(info, "modified", date);
+  macros::NegatedPattern negated;
+  negated.full = b.BuildOrDie();
+  negated.positive_nodes = {info, str, date};
+  negated.crossed_edges = {
+      graph::Edge{info, Sym("modified"), date}};
+  return negated;
+}
+
+void BM_NegationDirect(benchmark::State& state) {
+  const size_t docs = static_cast<size_t>(state.range(0));
+  const auto& scheme = bench::HyperMediaScheme();
+  const auto& g = bench::ScaledInstance(docs);
+  auto negated = Fig26Shape(scheme);
+  for (auto _ : state) {
+    auto matchings = macros::EvaluateNegated(negated, g).ValueOrDie();
+    benchmark::DoNotOptimize(matchings.size());
+  }
+  state.SetItemsProcessed(state.iterations() * docs);
+}
+BENCHMARK(BM_NegationDirect)->Range(64, 4096);
+
+void BM_NegationFig27Translation(benchmark::State& state) {
+  const size_t docs = static_cast<size_t>(state.range(0));
+  method::MethodRegistry registry;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto scheme = bench::HyperMediaScheme();
+    graph::Instance g = bench::ScaledInstance(docs);
+    auto negated = Fig26Shape(scheme);
+    auto program =
+        macros::NegationToOperations(negated, scheme, Sym("Intermediate"))
+            .ValueOrDie();
+    method::Executor executor(&registry);
+    state.ResumeTiming();
+    executor.ExecuteAll(program, &scheme, &g).OrDie();
+    benchmark::DoNotOptimize(g.CountNodesWithLabel(Sym("Intermediate")));
+  }
+  state.SetItemsProcessed(state.iterations() * docs);
+}
+BENCHMARK(BM_NegationFig27Translation)->Range(64, 4096);
+
+void BM_NegationAsFilter(benchmark::State& state) {
+  const size_t docs = static_cast<size_t>(state.range(0));
+  const auto& scheme = bench::HyperMediaScheme();
+  const auto& g = bench::ScaledInstance(docs);
+  auto negated = Fig26Shape(scheme);
+  auto filter = macros::NegationFilter(negated).ValueOrDie();
+  auto positive = negated.PositivePart().ValueOrDie();
+  for (auto _ : state) {
+    size_t survivors = 0;
+    for (const auto& m : pattern::FindMatchings(positive, g)) {
+      if (filter(m, g)) ++survivors;
+    }
+    benchmark::DoNotOptimize(survivors);
+  }
+}
+BENCHMARK(BM_NegationAsFilter)->Range(64, 4096);
+
+}  // namespace
+}  // namespace good
+
+BENCHMARK_MAIN();

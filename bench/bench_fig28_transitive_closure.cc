@@ -1,0 +1,125 @@
+/// Figures 28-29: transitive closure three ways — the starred-EA
+/// fixpoint, the Figure 29 recursive-method translation, and the Tarski
+/// algebra's composition-to-fixpoint.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "macro/recursive.h"
+#include "method/method.h"
+#include "pattern/builder.h"
+#include "tarski/backend.h"
+
+namespace good {
+namespace {
+
+using pattern::GraphBuilder;
+
+void BM_ClosureFixpointOnChain(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto& scheme_ref = bench::HyperMediaScheme();
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto scheme = scheme_ref;
+    auto g = gen::InfoChain(scheme, n).ValueOrDie();
+    // Seed rec-links-to with the direct links.
+    GraphBuilder b1(scheme);
+    auto x1 = b1.Object("Info");
+    auto y1 = b1.Object("Info");
+    b1.Edge(x1, "links-to", y1);
+    ops::EdgeAddition seed(
+        b1.BuildOrDie(),
+        {ops::EdgeSpec{x1, Sym("rec-links-to"), y1, /*functional=*/false}});
+    seed.Apply(&scheme, &g).OrDie();
+    GraphBuilder b2(scheme);
+    auto x2 = b2.Object("Info");
+    auto y2 = b2.Object("Info");
+    auto z2 = b2.Object("Info");
+    b2.Edge(x2, "rec-links-to", y2).Edge(y2, "links-to", z2);
+    macros::RecursiveEdgeAddition star(
+        b2.BuildOrDie(),
+        {ops::EdgeSpec{x2, Sym("rec-links-to"), z2, /*functional=*/false}});
+    state.ResumeTiming();
+    ops::ApplyStats stats;
+    star.Apply(&scheme, &g, &stats).OrDie();
+    benchmark::DoNotOptimize(stats.edges_added);
+  }
+  // A chain's closure has n(n-1)/2 edges.
+  state.SetItemsProcessed(state.iterations() * n * (n - 1) / 2);
+}
+BENCHMARK(BM_ClosureFixpointOnChain)->Range(8, 128);
+
+void BM_ClosureMethodOnChain(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto& scheme_ref = bench::HyperMediaScheme();
+  const auto& l = hypermedia::Labels::Get();
+  method::MethodRegistry registry;
+  registry.Register(macros::TransitiveClosureMethod(
+                        scheme_ref, l.info, l.links_to, Sym("rec-links-to"),
+                        "RLT")
+                        .ValueOrDie())
+      .OrDie();
+  auto call = macros::TransitiveClosureCall(scheme_ref, l.info, l.links_to,
+                                            "RLT")
+                  .ValueOrDie();
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto scheme = scheme_ref;
+    auto g = gen::InfoChain(scheme, n).ValueOrDie();
+    method::Executor executor(&registry);
+    state.ResumeTiming();
+    executor.Execute(call, &scheme, &g).OrDie();
+    benchmark::DoNotOptimize(g.num_edges());
+  }
+  state.SetItemsProcessed(state.iterations() * n * (n - 1) / 2);
+}
+BENCHMARK(BM_ClosureMethodOnChain)->Range(8, 64);
+
+void BM_ClosureTarskiOnChain(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto& scheme = bench::HyperMediaScheme();
+  auto g = gen::InfoChain(scheme, n).ValueOrDie();
+  auto backend = tarski::TarskiBackend::Load(scheme, g).ValueOrDie();
+  for (auto _ : state) {
+    auto closure = backend.Closure(Sym("links-to"));
+    benchmark::DoNotOptimize(closure.size());
+  }
+  state.SetItemsProcessed(state.iterations() * n * (n - 1) / 2);
+}
+BENCHMARK(BM_ClosureTarskiOnChain)->Range(8, 128);
+
+void BM_ClosureFixpointOnRandomGraph(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto& scheme_ref = bench::HyperMediaScheme();
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto scheme = scheme_ref;
+    auto g = gen::RandomInfoGraph(scheme, n, 2 * n, /*seed=*/5).ValueOrDie();
+    GraphBuilder b1(scheme);
+    auto x1 = b1.Object("Info");
+    auto y1 = b1.Object("Info");
+    b1.Edge(x1, "links-to", y1);
+    ops::EdgeAddition seed(
+        b1.BuildOrDie(),
+        {ops::EdgeSpec{x1, Sym("rec-links-to"), y1, /*functional=*/false}});
+    seed.Apply(&scheme, &g).OrDie();
+    GraphBuilder b2(scheme);
+    auto x2 = b2.Object("Info");
+    auto y2 = b2.Object("Info");
+    auto z2 = b2.Object("Info");
+    b2.Edge(x2, "rec-links-to", y2).Edge(y2, "links-to", z2);
+    macros::RecursiveEdgeAddition star(
+        b2.BuildOrDie(),
+        {ops::EdgeSpec{x2, Sym("rec-links-to"), z2, /*functional=*/false}});
+    state.ResumeTiming();
+    ops::ApplyStats stats;
+    star.Apply(&scheme, &g, &stats).OrDie();
+    benchmark::DoNotOptimize(stats.edges_added);
+  }
+}
+BENCHMARK(BM_ClosureFixpointOnRandomGraph)->Range(8, 64);
+
+}  // namespace
+}  // namespace good
+
+BENCHMARK_MAIN();

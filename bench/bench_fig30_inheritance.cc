@@ -1,0 +1,86 @@
+/// Figures 30-31: inheritance — pattern rewriting vs materializing the
+/// virtual view.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "macro/inheritance.h"
+#include "pattern/builder.h"
+#include "pattern/matcher.h"
+
+namespace good {
+namespace {
+
+using graph::Instance;
+using graph::NodeId;
+
+/// A scaled instance with `n` Reference objects, each isa-linked to a
+/// named document.
+Instance WithReferences(const schema::Scheme& scheme, size_t n) {
+  const auto& l = hypermedia::Labels::Get();
+  Instance g = bench::ScaledInstance(n);
+  auto docs = g.NodesWithLabel(l.info);
+  for (size_t i = 0; i < n && i < docs.size(); ++i) {
+    NodeId ref = g.AddObjectNode(scheme, l.reference).ValueOrDie();
+    g.AddEdge(scheme, ref, l.isa, docs[i]).OrDie();
+  }
+  return g;
+}
+
+pattern::Pattern NaiveQuery(const schema::Scheme& scheme) {
+  // Reference -name-> String: only licensed through inheritance.
+  auto view_scheme =
+      macros::BuildVirtualView(scheme, Instance()).ValueOrDie().scheme;
+  pattern::Pattern p;
+  NodeId ref = p.AddObjectNode(view_scheme, Sym("Reference")).ValueOrDie();
+  NodeId str =
+      p.AddValuelessPrintableNode(view_scheme, Sym("String")).ValueOrDie();
+  p.AddEdge(view_scheme, ref, Sym("name"), str).OrDie();
+  return p;
+}
+
+void BM_InheritanceRewriteQuery(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto& scheme = bench::HyperMediaScheme();
+  Instance g = WithReferences(scheme, n);
+  pattern::Pattern naive = NaiveQuery(scheme);
+  for (auto _ : state) {
+    auto rewritten = macros::RewriteWithInheritance(scheme, naive)
+                         .ValueOrDie();
+    auto matchings = pattern::FindMatchings(rewritten, g);
+    benchmark::DoNotOptimize(matchings.size());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_InheritanceRewriteQuery)->Range(64, 4096);
+
+void BM_InheritanceVirtualViewBuild(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto& scheme = bench::HyperMediaScheme();
+  Instance g = WithReferences(scheme, n);
+  for (auto _ : state) {
+    auto view = macros::BuildVirtualView(scheme, g).ValueOrDie();
+    benchmark::DoNotOptimize(view.instance.num_edges());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_InheritanceVirtualViewBuild)->Range(64, 2048);
+
+void BM_InheritanceVirtualViewQuery(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto& scheme = bench::HyperMediaScheme();
+  Instance g = WithReferences(scheme, n);
+  auto view = macros::BuildVirtualView(scheme, g).ValueOrDie();
+  pattern::Pattern naive = NaiveQuery(scheme);
+  for (auto _ : state) {
+    auto matchings = pattern::FindMatchings(naive, view.instance);
+    benchmark::DoNotOptimize(matchings.size());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_InheritanceVirtualViewQuery)->Range(64, 4096);
+
+}  // namespace
+}  // namespace good
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+/// Figures 2-3: instance construction, validation, and copying at
+/// increasing scale.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace good {
+namespace {
+
+void BM_BuildPaperInstance(benchmark::State& state) {
+  const auto& scheme = bench::HyperMediaScheme();
+  for (auto _ : state) {
+    auto built = hypermedia::BuildInstance(scheme).ValueOrDie();
+    benchmark::DoNotOptimize(built.instance.num_edges());
+  }
+}
+BENCHMARK(BM_BuildPaperInstance);
+
+void BM_BuildScaledInstance(benchmark::State& state) {
+  const auto& scheme = bench::HyperMediaScheme();
+  gen::HyperMediaOptions options;
+  options.num_docs = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    auto g = gen::ScaledHyperMedia(scheme, options).ValueOrDie();
+    benchmark::DoNotOptimize(g.num_edges());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BuildScaledInstance)->Range(64, 8192);
+
+void BM_ValidateInstance(benchmark::State& state) {
+  const auto& scheme = bench::HyperMediaScheme();
+  const auto& g = bench::ScaledInstance(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.Validate(scheme).ok());
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_nodes());
+}
+BENCHMARK(BM_ValidateInstance)->Range(64, 8192);
+
+void BM_CopyInstance(benchmark::State& state) {
+  const auto& g = bench::ScaledInstance(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    graph::Instance copy = g;
+    benchmark::DoNotOptimize(copy.num_nodes());
+  }
+}
+BENCHMARK(BM_CopyInstance)->Range(64, 8192);
+
+void BM_InstanceFingerprint(benchmark::State& state) {
+  const auto& g = bench::ScaledInstance(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.Fingerprint().size());
+  }
+}
+BENCHMARK(BM_InstanceFingerprint)->Range(64, 1024);
+
+}  // namespace
+}  // namespace good
+
+BENCHMARK_MAIN();

@@ -1,0 +1,96 @@
+/// Matcher scaling characterization: instance size, pattern size, and
+/// graph density (the paper's language is pattern matching; this is its
+/// dominant cost).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "pattern/builder.h"
+#include "pattern/matcher.h"
+
+namespace good {
+namespace {
+
+using pattern::GraphBuilder;
+
+/// Path pattern of length `k` on a fixed-size random graph.
+void BM_PatternSizeSweep(benchmark::State& state) {
+  const size_t k = static_cast<size_t>(state.range(0));
+  const auto& scheme = bench::HyperMediaScheme();
+  auto g = gen::RandomInfoGraph(scheme, 512, 1024, /*seed=*/3).ValueOrDie();
+  GraphBuilder b(scheme);
+  std::vector<graph::NodeId> nodes;
+  for (size_t i = 0; i <= k; ++i) nodes.push_back(b.Object("Info"));
+  for (size_t i = 0; i < k; ++i) b.Edge(nodes[i], "links-to", nodes[i + 1]);
+  auto p = b.BuildOrDie();
+  size_t found = 0;
+  for (auto _ : state) {
+    found = pattern::Matcher(p, g).Count();
+    benchmark::DoNotOptimize(found);
+  }
+  state.counters["matchings"] = static_cast<double>(found);
+}
+BENCHMARK(BM_PatternSizeSweep)->DenseRange(1, 5);
+
+/// One-hop pattern on graphs of growing size with fixed density.
+void BM_InstanceSizeSweep(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto& scheme = bench::HyperMediaScheme();
+  auto g = gen::RandomInfoGraph(scheme, n, 2 * n, /*seed=*/3).ValueOrDie();
+  GraphBuilder b(scheme);
+  auto x = b.Object("Info");
+  auto y = b.Object("Info");
+  auto z = b.Object("Info");
+  b.Edge(x, "links-to", y).Edge(y, "links-to", z);
+  auto p = b.BuildOrDie();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pattern::Matcher(p, g).Count());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_InstanceSizeSweep)->Range(128, 16384);
+
+/// Density sweep at fixed node count.
+void BM_DensitySweep(benchmark::State& state) {
+  const size_t edges = static_cast<size_t>(state.range(0));
+  const auto& scheme = bench::HyperMediaScheme();
+  auto g = gen::RandomInfoGraph(scheme, 512, edges, /*seed=*/3).ValueOrDie();
+  GraphBuilder b(scheme);
+  auto x = b.Object("Info");
+  auto y = b.Object("Info");
+  auto z = b.Object("Info");
+  b.Edge(x, "links-to", y).Edge(y, "links-to", z);
+  auto p = b.BuildOrDie();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pattern::Matcher(p, g).Count());
+  }
+}
+BENCHMARK(BM_DensitySweep)->Range(256, 16384);
+
+/// Optimized backtracking vs the brute-force reference (tiny sizes —
+/// brute force is exponential in candidates).
+void BM_OptimizedVsBruteForce(benchmark::State& state) {
+  const bool brute = state.range(0) == 1;
+  const auto& scheme = bench::HyperMediaScheme();
+  auto g = gen::RandomInfoGraph(scheme, 24, 48, /*seed=*/3).ValueOrDie();
+  GraphBuilder b(scheme);
+  auto x = b.Object("Info");
+  auto y = b.Object("Info");
+  auto z = b.Object("Info");
+  b.Edge(x, "links-to", y).Edge(y, "links-to", z);
+  auto p = b.BuildOrDie();
+  for (auto _ : state) {
+    if (brute) {
+      benchmark::DoNotOptimize(
+          pattern::FindMatchingsBruteForce(p, g).size());
+    } else {
+      benchmark::DoNotOptimize(pattern::FindMatchings(p, g).size());
+    }
+  }
+}
+BENCHMARK(BM_OptimizedVsBruteForce)->Arg(0)->Arg(1);
+
+}  // namespace
+}  // namespace good
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+/// Section 4.3: nested relational algebra via abstraction — NEST and
+/// UNNEST cost by row count and group structure.
+
+#include <benchmark/benchmark.h>
+
+#include "nested/nested.h"
+
+namespace good {
+namespace {
+
+using nested::NestedSimulator;
+
+NestedSimulator Loaded(size_t rows, size_t keys, size_t values) {
+  NestedSimulator sim;
+  sim.DeclareFlat(codd::RelSchema{"R",
+                                  {{"k", ValueKind::kInt},
+                                   {"v", ValueKind::kInt}}})
+      .OrDie();
+  for (size_t i = 0; i < rows; ++i) {
+    sim.InsertFlat("R", {Value(int64_t(i % keys)),
+                         Value(int64_t((i * 7) % values))})
+        .OrDie();
+  }
+  return sim;
+}
+
+void BM_NestByRowCount(benchmark::State& state) {
+  const size_t rows = static_cast<size_t>(state.range(0));
+  int round = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    NestedSimulator sim = Loaded(rows, rows / 4 + 1, 8);
+    state.ResumeTiming();
+    sim.Nest("R", "G" + std::to_string(round++)).OrDie();
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_NestByRowCount)->Range(16, 512);
+
+void BM_NestBySharedSets(benchmark::State& state) {
+  // Fewer distinct value sets => more sharing work for abstraction.
+  const size_t values = static_cast<size_t>(state.range(0));
+  size_t set_objects = 0;
+  int round = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    NestedSimulator sim = Loaded(256, 32, values);
+    std::string name = "G" + std::to_string(round++);
+    state.ResumeTiming();
+    sim.Nest("R", name).OrDie();
+    set_objects = sim.CountSetObjects(name);
+  }
+  state.counters["set_objects"] = static_cast<double>(set_objects);
+}
+BENCHMARK(BM_NestBySharedSets)->Arg(1)->Arg(2)->Arg(8)->Arg(64);
+
+void BM_UnnestRoundTrip(benchmark::State& state) {
+  const size_t rows = static_cast<size_t>(state.range(0));
+  int round = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    NestedSimulator sim = Loaded(rows, rows / 4 + 1, 8);
+    std::string g = "G" + std::to_string(round);
+    std::string f = "F" + std::to_string(round++);
+    sim.Nest("R", g).OrDie();
+    state.ResumeTiming();
+    sim.Unnest(g, f).OrDie();
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_UnnestRoundTrip)->Range(16, 256);
+
+void BM_DirectNestReference(benchmark::State& state) {
+  const size_t rows = static_cast<size_t>(state.range(0));
+  std::vector<std::vector<Value>> flat;
+  for (size_t i = 0; i < rows; ++i) {
+    flat.push_back(
+        {Value(int64_t(i % (rows / 4 + 1))), Value(int64_t((i * 7) % 8))});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nested::DirectNest(flat).size());
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_DirectNestReference)->Range(16, 512);
+
+}  // namespace
+}  // namespace good
+
+BENCHMARK_MAIN();

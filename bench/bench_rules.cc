@@ -1,0 +1,95 @@
+/// The rule layer (concluding remarks / G-Log outlook): fixpoint cost
+/// for recursive derivations and negated conditions.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "pattern/builder.h"
+#include "rules/rules.h"
+
+namespace good {
+namespace {
+
+using graph::NodeId;
+using pattern::GraphBuilder;
+
+rules::RuleEngine ReachabilityRules(const schema::Scheme& scheme) {
+  rules::RuleEngine engine;
+  {
+    GraphBuilder b(scheme);
+    NodeId x = b.Object("Info");
+    NodeId y = b.Object("Info");
+    b.Edge(x, "links-to", y);
+    rules::Rule seed;
+    seed.name = "seed";
+    seed.condition.full = b.BuildOrDie();
+    seed.condition.positive_nodes = {x, y};
+    seed.edges = {{x, Sym("reach"), y, /*functional=*/false}};
+    engine.AddRule(std::move(seed)).OrDie();
+  }
+  {
+    auto ext = scheme;
+    ext.EnsureMultivaluedEdgeLabel(Sym("reach")).OrDie();
+    ext.EnsureTriple(Sym("Info"), Sym("reach"), Sym("Info")).OrDie();
+    GraphBuilder b(ext);
+    NodeId x = b.Object("Info");
+    NodeId y = b.Object("Info");
+    NodeId z = b.Object("Info");
+    b.Edge(x, "reach", y).Edge(y, "links-to", z);
+    rules::Rule step;
+    step.name = "step";
+    step.condition.full = b.BuildOrDie();
+    step.condition.positive_nodes = {x, y, z};
+    step.edges = {{x, Sym("reach"), z, /*functional=*/false}};
+    engine.AddRule(std::move(step)).OrDie();
+  }
+  return engine;
+}
+
+void BM_ReachabilityFixpointOnChain(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  size_t rounds = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto scheme = bench::HyperMediaScheme();
+    auto g = gen::InfoChain(scheme, n).ValueOrDie();
+    auto engine = ReachabilityRules(scheme);
+    state.ResumeTiming();
+    auto report = engine.Run(&scheme, &g).ValueOrDie();
+    rounds = report.rounds;
+    benchmark::DoNotOptimize(report.edges_added);
+  }
+  state.counters["rounds"] = static_cast<double>(rounds);
+  state.SetItemsProcessed(state.iterations() * n * (n - 1) / 2);
+}
+BENCHMARK(BM_ReachabilityFixpointOnChain)->Range(8, 64);
+
+void BM_NegatedRuleSingleRound(benchmark::State& state) {
+  const size_t docs = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto scheme = bench::HyperMediaScheme();
+    graph::Instance g = bench::ScaledInstance(docs);
+    GraphBuilder b(scheme);
+    NodeId x = b.Object("Info");
+    NodeId someone = b.Object("Info");
+    b.Edge(someone, "links-to", x);
+    rules::Rule orphan;
+    orphan.name = "orphan";
+    orphan.condition.full = b.BuildOrDie();
+    orphan.condition.positive_nodes = {x};
+    orphan.node = rules::NodeAction{Sym("Orphan"), {{Sym("is"), x}}};
+    rules::RuleEngine engine;
+    engine.AddRule(std::move(orphan)).OrDie();
+    state.ResumeTiming();
+    auto report = engine.Run(&scheme, &g).ValueOrDie();
+    benchmark::DoNotOptimize(report.nodes_added);
+  }
+  state.SetItemsProcessed(state.iterations() * docs);
+}
+BENCHMARK(BM_NegatedRuleSingleRound)->Range(64, 1024);
+
+}  // namespace
+}  // namespace good
+
+BENCHMARK_MAIN();

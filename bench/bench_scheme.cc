@@ -1,0 +1,61 @@
+/// Figure 1: scheme construction and scheme-level operations.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "program/serialize.h"
+
+namespace good {
+namespace {
+
+void BM_BuildFig1Scheme(benchmark::State& state) {
+  for (auto _ : state) {
+    auto scheme = hypermedia::BuildScheme().ValueOrDie();
+    benchmark::DoNotOptimize(scheme.num_triples());
+  }
+}
+BENCHMARK(BM_BuildFig1Scheme);
+
+void BM_SchemeUnion(benchmark::State& state) {
+  auto a = hypermedia::BuildScheme().ValueOrDie();
+  auto b = a;
+  b.EnsureObjectLabel(Sym("Extra")).OrDie();
+  for (auto _ : state) {
+    auto u = schema::Scheme::Union(a, b).ValueOrDie();
+    benchmark::DoNotOptimize(u.num_labels());
+  }
+}
+BENCHMARK(BM_SchemeUnion);
+
+void BM_SchemeSubschemeCheck(benchmark::State& state) {
+  auto a = hypermedia::BuildScheme().ValueOrDie();
+  auto b = a;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.IsSubschemeOf(b));
+  }
+}
+BENCHMARK(BM_SchemeSubschemeCheck);
+
+void BM_SchemeSuperclassClosure(benchmark::State& state) {
+  const auto& scheme = bench::HyperMediaScheme();
+  Symbol sound = Sym("Sound");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheme.SuperclassClosure(sound).size());
+  }
+}
+BENCHMARK(BM_SchemeSuperclassClosure);
+
+void BM_SchemeSerializeRoundTrip(benchmark::State& state) {
+  const auto& scheme = bench::HyperMediaScheme();
+  for (auto _ : state) {
+    std::string text = program::WriteScheme(scheme);
+    auto parsed = program::ParseScheme(text).ValueOrDie();
+    benchmark::DoNotOptimize(parsed.num_triples());
+  }
+}
+BENCHMARK(BM_SchemeSerializeRoundTrip);
+
+}  // namespace
+}  // namespace good
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+/// Section 4.3: Turing completeness — the cost of computing inside the
+/// GOOD model (recursive method steps) vs the direct interpreter.
+
+#include <benchmark/benchmark.h>
+
+#include "turing/turing.h"
+
+namespace good {
+namespace {
+
+using turing::RunDirect;
+using turing::TuringMachine;
+using turing::TuringSimulator;
+
+TuringMachine BinaryIncrement() {
+  TuringMachine tm;
+  tm.initial = "R";
+  tm.halting = {"H"};
+  tm.transitions = {
+      {"R", '0', "R", '0', +1}, {"R", '1', "R", '1', +1},
+      {"R", '_', "C", '_', -1}, {"C", '1', "C", '0', -1},
+      {"C", '0', "H", '1', +1}, {"C", '_', "H", '1', +1},
+  };
+  return tm;
+}
+
+std::string Ones(size_t n) { return std::string(n, '1'); }
+
+void BM_DirectInterpreter(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  TuringMachine tm = BinaryIncrement();
+  std::string input = Ones(n);  // Worst case: full carry chain.
+  for (auto _ : state) {
+    auto result = RunDirect(tm, input, 1'000'000).ValueOrDie();
+    benchmark::DoNotOptimize(result.steps);
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n);
+}
+BENCHMARK(BM_DirectInterpreter)->Range(2, 64);
+
+void BM_GoodSimulation(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::string input = Ones(n);
+  size_t ops = 0;
+  for (auto _ : state) {
+    TuringSimulator sim(BinaryIncrement());
+    auto result = sim.Run(input, 10'000'000).ValueOrDie();
+    ops = result.steps;
+    benchmark::DoNotOptimize(result.tape.size());
+  }
+  state.counters["executor_ops"] = static_cast<double>(ops);
+  state.SetItemsProcessed(state.iterations() * 2 * n);
+}
+BENCHMARK(BM_GoodSimulation)->Range(2, 16);
+
+void BM_GoodSimulationCompileOnly(benchmark::State& state) {
+  // Compilation + tape construction without running (the fixed cost).
+  TuringMachine halted = BinaryIncrement();
+  halted.initial = "H";  // Starts halted: zero steps execute.
+  for (auto _ : state) {
+    TuringSimulator sim(halted);
+    auto result = sim.Run("1111", 1000).ValueOrDie();
+    benchmark::DoNotOptimize(result.halted);
+  }
+}
+BENCHMARK(BM_GoodSimulationCompileOnly);
+
+}  // namespace
+}  // namespace good
+
+BENCHMARK_MAIN();

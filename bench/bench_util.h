@@ -1,0 +1,49 @@
+/// \file bench_util.h
+/// \brief Shared fixtures for the per-figure benchmark binaries.
+///
+/// The paper reports no performance numbers; these benchmarks
+/// characterize the implementation's cost model per figure/construct on
+/// workloads scaled from the running example (see EXPERIMENTS.md).
+
+#ifndef GOOD_BENCH_BENCH_UTIL_H_
+#define GOOD_BENCH_BENCH_UTIL_H_
+
+#include <benchmark/benchmark.h>
+
+#include "gen/generators.h"
+#include "graph/instance.h"
+#include "hypermedia/hypermedia.h"
+#include "schema/scheme.h"
+
+namespace good::bench {
+
+/// The Figure 1 scheme (cached — schemes are immutable here).
+inline const schema::Scheme& HyperMediaScheme() {
+  static const schema::Scheme* scheme =
+      new schema::Scheme(hypermedia::BuildScheme().ValueOrDie());
+  return *scheme;
+}
+
+/// A scaled hyper-media instance with `docs` documents (cached per
+/// size; benchmarks copy it when they mutate).
+inline const graph::Instance& ScaledInstance(size_t docs) {
+  static auto* cache = new std::map<size_t, graph::Instance>();
+  auto it = cache->find(docs);
+  if (it == cache->end()) {
+    gen::HyperMediaOptions options;
+    options.num_docs = docs;
+    options.links_per_doc = 3;
+    options.num_versions = docs / 10;
+    options.distinct_dates = 10;
+    it = cache
+             ->emplace(docs, gen::ScaledHyperMedia(HyperMediaScheme(),
+                                                   options)
+                                 .ValueOrDie())
+             .first;
+  }
+  return it->second;
+}
+
+}  // namespace good::bench
+
+#endif  // GOOD_BENCH_BENCH_UTIL_H_

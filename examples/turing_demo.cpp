@@ -1,0 +1,48 @@
+// Computational completeness, live: a binary-increment Turing machine
+// compiled to a GOOD scheme plus one recursive method, run by the
+// method executor, and cross-checked against a direct interpreter
+// (Section 4.3).
+//
+//   ./build/examples/turing_demo [binary-string]
+
+#include <cstdio>
+#include <string>
+
+#include "turing/turing.h"
+
+using good::turing::RunDirect;
+using good::turing::TuringMachine;
+using good::turing::TuringSimulator;
+
+int main(int argc, char** argv) {
+  std::string input = argc > 1 ? argv[1] : "10011";
+
+  TuringMachine increment;
+  increment.initial = "R";
+  increment.halting = {"H"};
+  increment.transitions = {
+      {"R", '0', "R", '0', +1}, {"R", '1', "R", '1', +1},
+      {"R", '_', "C", '_', -1}, {"C", '1', "C", '0', -1},
+      {"C", '0', "H", '1', +1}, {"C", '_', "H", '1', +1},
+  };
+
+  std::printf("input:  %s\n", input.c_str());
+  auto direct = RunDirect(increment, input, 10000).ValueOrDie();
+  std::printf("direct interpreter:  tape=%s state=%s steps=%zu\n",
+              direct.tape.c_str(), direct.final_state.c_str(),
+              direct.steps);
+
+  TuringSimulator sim(increment);
+  auto good_run = sim.Run(input, 1000000).ValueOrDie();
+  std::printf("GOOD simulation:     tape=%s state=%s (executor ops=%zu)\n",
+              good_run.tape.c_str(), good_run.final_state.c_str(),
+              good_run.steps);
+  std::printf("final tape graph: %zu cells, %zu nodes total\n",
+              sim.instance().CountNodesWithLabel(good::Sym("Cell")),
+              sim.instance().num_nodes());
+  std::printf("%s\n", good_run.tape == direct.tape
+                          ? "AGREEMENT: the GOOD method mechanism simulated "
+                            "the machine exactly."
+                          : "MISMATCH (bug!)");
+  return good_run.tape == direct.tape ? 0 : 1;
+}

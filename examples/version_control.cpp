@@ -1,0 +1,136 @@
+// Version-control scenario: the hyper-media versioning machinery as a
+// small application — create document versions, find stale ones with
+// negated patterns, group equal-content versions with abstraction, and
+// garbage-collect history with the recursive Remove-Old-Versions method
+// (Figure 22).
+//
+//   ./build/examples/version_control
+
+#include <cstdio>
+
+#include "hypermedia/hypermedia.h"
+#include "macro/negation.h"
+#include "method/method.h"
+#include "pattern/builder.h"
+#include "pattern/matcher.h"
+
+using good::Sym;
+using good::Value;
+using good::graph::Instance;
+using good::graph::NodeId;
+using good::hypermedia::Labels;
+using good::pattern::GraphBuilder;
+
+namespace {
+
+/// The Figure 22 method, as in the paper: recursively delete every
+/// older version reachable from the receiver.
+good::method::Method RemoveOldVersions(const good::schema::Scheme& scheme) {
+  good::method::Method rov;
+  rov.spec.name = "R-O-V";
+  rov.spec.receiver_label = Sym("Info");
+  {
+    GraphBuilder b(scheme);
+    NodeId receiver = b.Object("Info");
+    NodeId version = b.Object("Version");
+    NodeId older = b.Object("Info");
+    b.Edge(version, "new", receiver).Edge(version, "old", older);
+    good::method::MethodCallOp rec;
+    rec.pattern = b.BuildOrDie();
+    rec.method_name = "R-O-V";
+    rec.receiver = older;
+    good::method::HeadBinding head;
+    head.receiver = receiver;
+    rov.body.push_back({std::move(rec), head});
+  }
+  {
+    GraphBuilder b(scheme);
+    NodeId receiver = b.Object("Info");
+    NodeId version = b.Object("Version");
+    NodeId older = b.Object("Info");
+    b.Edge(version, "new", receiver).Edge(version, "old", older);
+    good::ops::NodeDeletion nd(b.BuildOrDie(), older);
+    good::method::HeadBinding head;
+    head.receiver = receiver;
+    rov.body.push_back({std::move(nd), head});
+  }
+  {
+    GraphBuilder b(scheme);
+    NodeId receiver = b.Object("Info");
+    NodeId version = b.Object("Version");
+    b.Edge(version, "new", receiver);
+    good::ops::NodeDeletion nd(b.BuildOrDie(), version);
+    good::method::HeadBinding head;
+    head.receiver = receiver;
+    rov.body.push_back({std::move(nd), head});
+  }
+  return rov;
+}
+
+}  // namespace
+
+int main() {
+  auto scheme = good::hypermedia::BuildScheme().ValueOrDie();
+  const Labels& l = Labels::Get();
+
+  // A document with five versions v5 (current) ... v1 (oldest).
+  Instance db;
+  NodeId current{};
+  NodeId previous{};
+  for (int v = 1; v <= 5; ++v) {
+    NodeId doc = db.AddObjectNode(scheme, l.info).ValueOrDie();
+    NodeId name = db.AddPrintableNode(scheme, l.string,
+                                      Value("report-v" + std::to_string(v)))
+                      .ValueOrDie();
+    db.AddEdge(scheme, doc, l.name, name).OrDie();
+    if (previous.valid()) {
+      NodeId version = db.AddObjectNode(scheme, l.version).ValueOrDie();
+      db.AddEdge(scheme, version, l.new_edge, doc).OrDie();
+      db.AddEdge(scheme, version, l.old_edge, previous).OrDie();
+    }
+    previous = doc;
+    current = doc;
+  }
+  std::printf("history: %zu documents, %zu version links\n",
+              db.CountNodesWithLabel(l.info),
+              db.CountNodesWithLabel(l.version));
+
+  // Which documents are CURRENT (not the old side of any version)?
+  // A negated (crossed) pattern, Section 4.1.
+  GraphBuilder nb(scheme);
+  NodeId doc = nb.Object("Info");
+  NodeId version = nb.Object("Version");
+  nb.Edge(version, "old", doc);
+  good::macros::NegatedPattern current_pattern;
+  current_pattern.full = nb.BuildOrDie();
+  current_pattern.positive_nodes = {doc};
+  auto currents =
+      good::macros::EvaluateNegated(current_pattern, db).ValueOrDie();
+  std::printf("current documents (never an old version): %zu\n",
+              currents.size());
+  for (const auto& m : currents) {
+    auto name = db.FunctionalTarget(m.At(doc), l.name);
+    std::printf("  - %s\n", db.PrintValueOf(*name)->ToString().c_str());
+  }
+
+  // Garbage-collect: call Remove-Old-Versions on the current document.
+  good::method::MethodRegistry registry;
+  registry.Register(RemoveOldVersions(scheme)).OrDie();
+  good::method::Executor executor(&registry);
+  GraphBuilder cb(scheme);
+  NodeId target = cb.Object("Info");
+  NodeId nm = cb.Printable("String", Value("report-v5"));
+  cb.Edge(target, "name", nm);
+  good::method::MethodCallOp call;
+  call.pattern = cb.BuildOrDie();
+  call.method_name = "R-O-V";
+  call.receiver = target;
+  executor.Execute(call, &scheme, &db).OrDie();
+
+  std::printf("after R-O-V: %zu documents, %zu version links "
+              "(current survives: %s)\n",
+              db.CountNodesWithLabel(l.info),
+              db.CountNodesWithLabel(l.version),
+              db.HasNode(current) ? "yes" : "no");
+  return 0;
+}

@@ -1,0 +1,366 @@
+#include "codd/codd.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "ops/operations.h"
+#include "pattern/matcher.h"
+
+namespace good::codd {
+
+using graph::Instance;
+using graph::NodeId;
+using pattern::Pattern;
+using schema::Scheme;
+
+Symbol CoddSimulator::DomainLabel(ValueKind kind) {
+  return Sym("dom:" + std::string(ValueKindToString(kind)));
+}
+
+Result<RelSchema> CoddSimulator::SchemaOf(
+    const std::string& relation) const {
+  // Returned by value: callers mutate declared_ (EnsureDeclared), which
+  // would invalidate references into it.
+  for (const RelSchema& s : declared_) {
+    if (s.name == relation) return s;
+  }
+  return Status::NotFound("relation '" + relation + "' is not declared");
+}
+
+Status CoddSimulator::EnsureDeclared(const RelSchema& schema) {
+  for (const RelSchema& s : declared_) {
+    if (s.name != schema.name) continue;
+    if (s.attrs != schema.attrs) {
+      return Status::InvalidArgument("relation '" + schema.name +
+                                     "' already declared with a different "
+                                     "attribute list");
+    }
+    return Status::OK();
+  }
+  return DeclareRelation(schema);
+}
+
+Status CoddSimulator::DeclareRelation(const RelSchema& schema) {
+  if (SchemaOf(schema.name).ok()) {
+    return Status::AlreadyExists("relation '" + schema.name +
+                                 "' already declared");
+  }
+  std::set<std::string> seen;
+  for (const auto& [attr, kind] : schema.attrs) {
+    if (!seen.insert(attr).second) {
+      return Status::InvalidArgument("attribute '" + attr + "' repeats");
+    }
+    (void)kind;
+  }
+  Symbol class_label = Sym(schema.name);
+  GOOD_RETURN_NOT_OK(scheme_.EnsureObjectLabel(class_label));
+  for (const auto& [attr, kind] : schema.attrs) {
+    GOOD_RETURN_NOT_OK(scheme_.EnsurePrintableLabel(DomainLabel(kind), kind));
+    GOOD_RETURN_NOT_OK(scheme_.EnsureFunctionalEdgeLabel(Sym(attr)));
+    GOOD_RETURN_NOT_OK(
+        scheme_.EnsureTriple(class_label, Sym(attr), DomainLabel(kind)));
+  }
+  declared_.push_back(schema);
+  return Status::OK();
+}
+
+Status CoddSimulator::InsertTuple(const std::string& relation,
+                                  const std::vector<Value>& values) {
+  GOOD_ASSIGN_OR_RETURN(const RelSchema schema, SchemaOf(relation));
+  if (values.size() != schema.attrs.size()) {
+    return Status::InvalidArgument("tuple arity mismatch for '" + relation +
+                                   "'");
+  }
+  GOOD_ASSIGN_OR_RETURN(NodeId row,
+                        instance_.AddObjectNode(scheme_, Sym(relation)));
+  for (size_t i = 0; i < values.size(); ++i) {
+    const auto& [attr, kind] = schema.attrs[i];
+    if (values[i].kind() != kind) {
+      return Status::InvalidArgument("value kind mismatch for attribute '" +
+                                     attr + "'");
+    }
+    GOOD_ASSIGN_OR_RETURN(
+        NodeId v, instance_.AddPrintableNode(scheme_, DomainLabel(kind),
+                                             values[i]));
+    GOOD_RETURN_NOT_OK(instance_.AddEdge(scheme_, row, Sym(attr), v));
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// A tuple pattern for `schema`: one object node with one valueless
+/// (or pinned) printable per attribute. Returns the object node and the
+/// per-attribute printable nodes.
+struct TuplePattern {
+  NodeId row;
+  std::vector<NodeId> attr_nodes;
+};
+
+Result<TuplePattern> AddTuplePattern(
+    Pattern* pattern, const Scheme& scheme, const RelSchema& schema,
+    const std::map<std::string, Value>& pinned,
+    const std::map<std::string, NodeId>& shared) {
+  TuplePattern out;
+  GOOD_ASSIGN_OR_RETURN(out.row,
+                        pattern->AddObjectNode(scheme, Sym(schema.name)));
+  for (const auto& [attr, kind] : schema.attrs) {
+    Symbol domain = Sym("dom:" + std::string(ValueKindToString(kind)));
+    NodeId node;
+    auto shared_it = shared.find(attr);
+    if (shared_it != shared.end()) {
+      node = shared_it->second;
+    } else if (auto it = pinned.find(attr); it != pinned.end()) {
+      GOOD_ASSIGN_OR_RETURN(
+          node, pattern->AddPrintableNode(scheme, domain, it->second));
+    } else {
+      GOOD_ASSIGN_OR_RETURN(
+          node, pattern->AddValuelessPrintableNode(scheme, domain));
+    }
+    GOOD_RETURN_NOT_OK(pattern->AddEdge(scheme, out.row, Sym(attr), node));
+    out.attr_nodes.push_back(node);
+  }
+  return out;
+}
+
+}  // namespace
+
+Status CoddSimulator::Select(const std::string& in, const std::string& attr,
+                             const Value& constant, const std::string& out) {
+  GOOD_ASSIGN_OR_RETURN(const RelSchema schema, SchemaOf(in));
+  RelSchema out_schema{out, schema.attrs};
+  GOOD_RETURN_NOT_OK(EnsureDeclared(out_schema));
+  Pattern p;
+  GOOD_ASSIGN_OR_RETURN(
+      TuplePattern t,
+      AddTuplePattern(&p, scheme_, schema, {{attr, constant}}, {}));
+  std::vector<std::pair<Symbol, NodeId>> bold;
+  for (size_t i = 0; i < schema.attrs.size(); ++i) {
+    bold.emplace_back(Sym(schema.attrs[i].first), t.attr_nodes[i]);
+  }
+  ops::NodeAddition na(std::move(p), Sym(out), std::move(bold));
+  return na.Apply(&scheme_, &instance_);
+}
+
+Status CoddSimulator::SelectAttrEquals(const std::string& in,
+                                       const std::string& a,
+                                       const std::string& b,
+                                       const std::string& out) {
+  GOOD_ASSIGN_OR_RETURN(const RelSchema schema, SchemaOf(in));
+  // Both attributes must share a domain; the shared pattern node makes
+  // the equality hold by printable dedup.
+  ValueKind ka{}, kb{};
+  for (const auto& [attr, kind] : schema.attrs) {
+    if (attr == a) ka = kind;
+    if (attr == b) kb = kind;
+  }
+  if (ka != kb) {
+    return Status::InvalidArgument(
+        "attribute equality requires equal domains");
+  }
+  RelSchema out_schema{out, schema.attrs};
+  GOOD_RETURN_NOT_OK(EnsureDeclared(out_schema));
+  Pattern p;
+  Symbol domain = DomainLabel(ka);
+  GOOD_ASSIGN_OR_RETURN(NodeId shared_node,
+                        p.AddValuelessPrintableNode(scheme_, domain));
+  GOOD_ASSIGN_OR_RETURN(
+      TuplePattern t,
+      AddTuplePattern(&p, scheme_, schema, {},
+                      {{a, shared_node}, {b, shared_node}}));
+  std::vector<std::pair<Symbol, NodeId>> bold;
+  for (size_t i = 0; i < schema.attrs.size(); ++i) {
+    bold.emplace_back(Sym(schema.attrs[i].first), t.attr_nodes[i]);
+  }
+  ops::NodeAddition na(std::move(p), Sym(out), std::move(bold));
+  return na.Apply(&scheme_, &instance_);
+}
+
+Status CoddSimulator::Project(const std::string& in,
+                              const std::vector<std::string>& attrs,
+                              const std::string& out) {
+  GOOD_ASSIGN_OR_RETURN(const RelSchema schema, SchemaOf(in));
+  RelSchema out_schema{out, {}};
+  for (const std::string& attr : attrs) {
+    bool found = false;
+    for (const auto& [name, kind] : schema.attrs) {
+      if (name == attr) {
+        out_schema.attrs.emplace_back(name, kind);
+        found = true;
+      }
+    }
+    if (!found) {
+      return Status::NotFound("attribute '" + attr + "' not in '" + in +
+                              "'");
+    }
+  }
+  GOOD_RETURN_NOT_OK(EnsureDeclared(out_schema));
+  Pattern p;
+  GOOD_ASSIGN_OR_RETURN(TuplePattern t,
+                        AddTuplePattern(&p, scheme_, schema, {}, {}));
+  std::vector<std::pair<Symbol, NodeId>> bold;
+  for (const std::string& attr : attrs) {
+    for (size_t i = 0; i < schema.attrs.size(); ++i) {
+      if (schema.attrs[i].first == attr) {
+        bold.emplace_back(Sym(attr), t.attr_nodes[i]);
+      }
+    }
+  }
+  ops::NodeAddition na(std::move(p), Sym(out), std::move(bold));
+  return na.Apply(&scheme_, &instance_);
+}
+
+Status CoddSimulator::Product(const std::string& in1, const std::string& in2,
+                              const std::string& out) {
+  GOOD_ASSIGN_OR_RETURN(const RelSchema s1, SchemaOf(in1));
+  GOOD_ASSIGN_OR_RETURN(const RelSchema s2, SchemaOf(in2));
+  RelSchema out_schema{out, s1.attrs};
+  for (const auto& [attr, kind] : s2.attrs) {
+    for (const auto& [a1, k1] : s1.attrs) {
+      (void)k1;
+      if (a1 == attr) {
+        return Status::InvalidArgument(
+            "product attribute lists must be disjoint ('" + attr + "')");
+      }
+    }
+    out_schema.attrs.emplace_back(attr, kind);
+  }
+  GOOD_RETURN_NOT_OK(EnsureDeclared(out_schema));
+  Pattern p;
+  GOOD_ASSIGN_OR_RETURN(TuplePattern t1,
+                        AddTuplePattern(&p, scheme_, s1, {}, {}));
+  GOOD_ASSIGN_OR_RETURN(TuplePattern t2,
+                        AddTuplePattern(&p, scheme_, s2, {}, {}));
+  std::vector<std::pair<Symbol, NodeId>> bold;
+  for (size_t i = 0; i < s1.attrs.size(); ++i) {
+    bold.emplace_back(Sym(s1.attrs[i].first), t1.attr_nodes[i]);
+  }
+  for (size_t i = 0; i < s2.attrs.size(); ++i) {
+    bold.emplace_back(Sym(s2.attrs[i].first), t2.attr_nodes[i]);
+  }
+  ops::NodeAddition na(std::move(p), Sym(out), std::move(bold));
+  return na.Apply(&scheme_, &instance_);
+}
+
+Status CoddSimulator::UnionRel(const std::string& in1, const std::string& in2,
+                               const std::string& out) {
+  GOOD_ASSIGN_OR_RETURN(const RelSchema s1, SchemaOf(in1));
+  GOOD_ASSIGN_OR_RETURN(const RelSchema s2, SchemaOf(in2));
+  if (s1.attrs != s2.attrs) {
+    return Status::InvalidArgument("union requires equal attribute lists");
+  }
+  GOOD_RETURN_NOT_OK(EnsureDeclared(RelSchema{out, s1.attrs}));
+  for (const RelSchema* s : {&s1, &s2}) {
+    Pattern p;
+    GOOD_ASSIGN_OR_RETURN(TuplePattern t,
+                          AddTuplePattern(&p, scheme_, *s, {}, {}));
+    std::vector<std::pair<Symbol, NodeId>> bold;
+    for (size_t i = 0; i < s->attrs.size(); ++i) {
+      bold.emplace_back(Sym(s->attrs[i].first), t.attr_nodes[i]);
+    }
+    ops::NodeAddition na(std::move(p), Sym(out), std::move(bold));
+    GOOD_RETURN_NOT_OK(na.Apply(&scheme_, &instance_));
+  }
+  return Status::OK();
+}
+
+Status CoddSimulator::DifferenceRel(const std::string& in1,
+                                    const std::string& in2,
+                                    const std::string& out) {
+  GOOD_ASSIGN_OR_RETURN(const RelSchema s1, SchemaOf(in1));
+  GOOD_ASSIGN_OR_RETURN(const RelSchema s2, SchemaOf(in2));
+  if (s1.attrs != s2.attrs) {
+    return Status::InvalidArgument(
+        "difference requires equal attribute lists");
+  }
+  GOOD_RETURN_NOT_OK(EnsureDeclared(RelSchema{out, s1.attrs}));
+  // Step 1: tag every in1 tuple with an out object (Section 3.3's
+  // negation technique).
+  {
+    Pattern p;
+    GOOD_ASSIGN_OR_RETURN(TuplePattern t,
+                          AddTuplePattern(&p, scheme_, s1, {}, {}));
+    std::vector<std::pair<Symbol, NodeId>> bold;
+    for (size_t i = 0; i < s1.attrs.size(); ++i) {
+      bold.emplace_back(Sym(s1.attrs[i].first), t.attr_nodes[i]);
+    }
+    ops::NodeAddition na(std::move(p), Sym(out), std::move(bold));
+    GOOD_RETURN_NOT_OK(na.Apply(&scheme_, &instance_));
+  }
+  // Step 2: delete the out objects whose values also form an in2 tuple
+  // (shared printable nodes make the value equality structural).
+  {
+    Pattern p;
+    RelSchema tagged{out, s1.attrs};
+    GOOD_ASSIGN_OR_RETURN(TuplePattern t,
+                          AddTuplePattern(&p, scheme_, tagged, {}, {}));
+    std::map<std::string, NodeId> shared;
+    for (size_t i = 0; i < s1.attrs.size(); ++i) {
+      shared[s1.attrs[i].first] = t.attr_nodes[i];
+    }
+    GOOD_RETURN_NOT_OK(
+        AddTuplePattern(&p, scheme_, s2, {}, shared).status());
+    ops::NodeDeletion nd(std::move(p), t.row);
+    GOOD_RETURN_NOT_OK(nd.Apply(&scheme_, &instance_));
+  }
+  return Status::OK();
+}
+
+Status CoddSimulator::RenameRel(
+    const std::string& in,
+    const std::vector<std::pair<std::string, std::string>>& renames,
+    const std::string& out) {
+  GOOD_ASSIGN_OR_RETURN(const RelSchema schema, SchemaOf(in));
+  std::map<std::string, std::string> mapping(renames.begin(), renames.end());
+  RelSchema out_schema{out, {}};
+  for (const auto& [attr, kind] : schema.attrs) {
+    auto it = mapping.find(attr);
+    out_schema.attrs.emplace_back(it == mapping.end() ? attr : it->second,
+                                  kind);
+  }
+  std::set<std::string> seen;
+  for (const auto& [attr, kind] : out_schema.attrs) {
+    (void)kind;
+    if (!seen.insert(attr).second) {
+      return Status::InvalidArgument("rename duplicates attribute '" + attr +
+                                     "'");
+    }
+  }
+  GOOD_RETURN_NOT_OK(EnsureDeclared(out_schema));
+  Pattern p;
+  GOOD_ASSIGN_OR_RETURN(TuplePattern t,
+                        AddTuplePattern(&p, scheme_, schema, {}, {}));
+  std::vector<std::pair<Symbol, NodeId>> bold;
+  for (size_t i = 0; i < out_schema.attrs.size(); ++i) {
+    bold.emplace_back(Sym(out_schema.attrs[i].first), t.attr_nodes[i]);
+  }
+  ops::NodeAddition na(std::move(p), Sym(out), std::move(bold));
+  return na.Apply(&scheme_, &instance_);
+}
+
+Result<relational::Relation> CoddSimulator::Export(
+    const std::string& relation) const {
+  GOOD_ASSIGN_OR_RETURN(const RelSchema schema, SchemaOf(relation));
+  std::vector<relational::Attribute> header;
+  for (const auto& [attr, kind] : schema.attrs) {
+    header.push_back(relational::Attribute{attr, kind});
+  }
+  relational::Relation out(std::move(header));
+  for (NodeId row : instance_.NodesWithLabel(Sym(relation))) {
+    relational::Tuple tuple;
+    for (const auto& [attr, kind] : schema.attrs) {
+      (void)kind;
+      auto target = instance_.FunctionalTarget(row, Sym(attr));
+      if (!target.has_value()) {
+        return Status::Internal("relation object misses attribute '" + attr +
+                                "'");
+      }
+      tuple.push_back(*instance_.PrintValueOf(*target));
+    }
+    GOOD_RETURN_NOT_OK(out.Insert(std::move(tuple)).status());
+  }
+  return out;
+}
+
+}  // namespace good::codd

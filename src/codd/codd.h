@@ -1,0 +1,116 @@
+/// \file codd.h
+/// \brief Relational completeness of the restricted GOOD language
+/// (Section 4.3).
+///
+/// "Suppose we represent a relation R with attributes A1 A2 A3 with
+/// domains D1 D2 D3 as a class R with functional edges labeled A1 A2 A3
+/// to printable classes D1 D2 D3. Tuples of R are represented by objects
+/// of this class. Then ... every relation computable in the relational
+/// algebra is also computable in the restricted GOOD language" — the
+/// fragment with only node/edge additions and deletions (no
+/// abstraction, no methods).
+///
+/// CoddSimulator realizes that simulation: it owns a GOOD database,
+/// encodes relations as classes, and implements each Codd operator as a
+/// GOOD program in the restricted fragment:
+///  - selection by constant: a pattern with a valued printable node;
+///  - selection by attribute equality: a pattern where both attribute
+///    edges share one printable node (printable dedup makes equal
+///    values the same node);
+///  - projection: a node addition with bold edges for the kept
+///    attributes only (the "if not exists" dedup gives set semantics);
+///  - product, rename, union: node additions;
+///  - difference: the tag-then-delete negation technique of Section 3.3.
+/// Export() reads a relation class back as a relational::Relation so
+/// tests can compare against the direct algebra of src/relational.
+
+#ifndef GOOD_CODD_CODD_H_
+#define GOOD_CODD_CODD_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/instance.h"
+#include "relational/relation.h"
+#include "schema/scheme.h"
+
+namespace good::codd {
+
+/// \brief The schema of a simulated relation: name plus named, typed
+/// attributes.
+struct RelSchema {
+  std::string name;
+  std::vector<std::pair<std::string, ValueKind>> attrs;
+};
+
+class CoddSimulator {
+ public:
+  CoddSimulator() = default;
+
+  /// Declares a relation class: object label `schema.name`, functional
+  /// attribute edges into per-domain printable classes.
+  Status DeclareRelation(const RelSchema& schema);
+
+  /// Inserts a tuple into a declared relation (the "load" phase; not
+  /// part of the algebra).
+  Status InsertTuple(const std::string& relation,
+                     const std::vector<Value>& values);
+
+  // ---- The Codd algebra, each operator a restricted-GOOD program. ----
+
+  /// out := σ_{attr = constant}(in).
+  Status Select(const std::string& in, const std::string& attr,
+                const Value& constant, const std::string& out);
+
+  /// out := σ_{a = b}(in).
+  Status SelectAttrEquals(const std::string& in, const std::string& a,
+                          const std::string& b, const std::string& out);
+
+  /// out := π_{attrs}(in).
+  Status Project(const std::string& in,
+                 const std::vector<std::string>& attrs,
+                 const std::string& out);
+
+  /// out := in1 × in2 (attribute names must be disjoint).
+  Status Product(const std::string& in1, const std::string& in2,
+                 const std::string& out);
+
+  /// out := in1 ∪ in2 (same attribute lists).
+  Status UnionRel(const std::string& in1, const std::string& in2,
+                  const std::string& out);
+
+  /// out := in1 − in2 (same attribute lists).
+  Status DifferenceRel(const std::string& in1, const std::string& in2,
+                       const std::string& out);
+
+  /// out := ρ(in) with attributes renamed per `renames` (old -> new).
+  Status RenameRel(
+      const std::string& in,
+      const std::vector<std::pair<std::string, std::string>>& renames,
+      const std::string& out);
+
+  /// Reads a relation class back as a relational::Relation (attribute
+  /// order as declared).
+  Result<relational::Relation> Export(const std::string& relation) const;
+
+  const schema::Scheme& scheme() const { return scheme_; }
+  const graph::Instance& instance() const { return instance_; }
+
+ private:
+  /// The printable label used for domain `kind` ("dom:int", ...).
+  static Symbol DomainLabel(ValueKind kind);
+
+  Result<RelSchema> SchemaOf(const std::string& relation) const;
+
+  /// Declares `out` with the given attribute list if not yet declared;
+  /// errors if declared differently.
+  Status EnsureDeclared(const RelSchema& schema);
+
+  schema::Scheme scheme_;
+  graph::Instance instance_;
+  std::vector<RelSchema> declared_;
+};
+
+}  // namespace good::codd
+
+#endif  // GOOD_CODD_CODD_H_

@@ -1,0 +1,28 @@
+/// \file hash.h
+/// \brief Small hashing helpers shared across modules.
+
+#ifndef GOOD_COMMON_HASH_H_
+#define GOOD_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace good {
+
+/// Combines `value` into the running hash `*seed` (boost::hash_combine
+/// recipe with a 64-bit golden-ratio constant).
+inline void HashCombine(size_t* seed, size_t value) {
+  *seed ^= value + 0x9e3779b97f4a7c15ULL + (*seed << 6) + (*seed >> 2);
+}
+
+/// Hashes a pair of integral ids.
+inline size_t HashPair(uint64_t a, uint64_t b) {
+  size_t seed = std::hash<uint64_t>{}(a);
+  HashCombine(&seed, std::hash<uint64_t>{}(b));
+  return seed;
+}
+
+}  // namespace good
+
+#endif  // GOOD_COMMON_HASH_H_

@@ -1,0 +1,31 @@
+#include "common/interner.h"
+
+namespace good {
+
+Symbol SymbolTable::Intern(std::string_view name) {
+  auto it = ids_.find(std::string(name));
+  if (it != ids_.end()) return Symbol{it->second};
+  uint32_t id = static_cast<uint32_t>(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(names_.back(), id);
+  return Symbol{id};
+}
+
+Symbol SymbolTable::Lookup(std::string_view name) const {
+  auto it = ids_.find(std::string(name));
+  if (it == ids_.end()) return Symbol{kInvalidId};
+  return Symbol{it->second};
+}
+
+const std::string& SymbolTable::NameOf(Symbol symbol) const {
+  static const std::string kInvalid = "<invalid>";
+  if (symbol.id >= names_.size()) return kInvalid;
+  return names_[symbol.id];
+}
+
+SymbolTable& GlobalSymbols() {
+  static SymbolTable* table = new SymbolTable();
+  return *table;
+}
+
+}  // namespace good

@@ -1,0 +1,78 @@
+/// \file interner.h
+/// \brief String interning for label names.
+///
+/// All label names (object labels, printable labels, edge labels, method
+/// names) are interned into 32-bit Symbols so that the pattern-matching
+/// hot paths compare and hash integers rather than strings.
+
+#ifndef GOOD_COMMON_INTERNER_H_
+#define GOOD_COMMON_INTERNER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace good {
+
+/// \brief An interned string handle. Symbols from the same SymbolTable
+/// compare equal iff their source strings are equal.
+struct Symbol {
+  uint32_t id = 0;
+
+  friend bool operator==(Symbol, Symbol) = default;
+  friend auto operator<=>(Symbol, Symbol) = default;
+};
+
+/// \brief Bidirectional string <-> Symbol map. Not thread-safe.
+class SymbolTable {
+ public:
+  /// Interns `name`, returning its Symbol (existing or fresh).
+  Symbol Intern(std::string_view name);
+
+  /// Returns the Symbol for `name` if already interned, else a Symbol
+  /// with id == kInvalidId.
+  Symbol Lookup(std::string_view name) const;
+
+  /// Returns the source string of `symbol`; "<invalid>" if unknown.
+  const std::string& NameOf(Symbol symbol) const;
+
+  size_t size() const { return names_.size(); }
+
+  static constexpr uint32_t kInvalidId = 0xFFFFFFFFu;
+
+ private:
+  std::unordered_map<std::string, uint32_t> ids_;
+  std::vector<std::string> names_;
+};
+
+/// \brief Process-wide symbol table used for all GOOD label names.
+///
+/// The library is single-threaded by design (the paper's semantics are
+/// sequential); a global table lets Symbols flow freely between schemes,
+/// instances and programs.
+SymbolTable& GlobalSymbols();
+
+/// Convenience: intern in the global table.
+inline Symbol Sym(std::string_view name) {
+  return GlobalSymbols().Intern(name);
+}
+
+/// Convenience: resolve in the global table.
+inline const std::string& SymName(Symbol symbol) {
+  return GlobalSymbols().NameOf(symbol);
+}
+
+}  // namespace good
+
+namespace std {
+template <>
+struct hash<good::Symbol> {
+  size_t operator()(good::Symbol s) const {
+    return std::hash<uint32_t>{}(s.id);
+  }
+};
+}  // namespace std
+
+#endif  // GOOD_COMMON_INTERNER_H_

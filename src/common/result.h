@@ -1,0 +1,79 @@
+/// \file result.h
+/// \brief Result<T>: a value or an error Status, Arrow-style.
+
+#ifndef GOOD_COMMON_RESULT_H_
+#define GOOD_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace good {
+
+/// \brief Holds either a value of type T or a non-OK Status.
+///
+/// Usage:
+/// \code
+///   Result<NodeId> r = instance.AddNode(label);
+///   if (!r.ok()) return r.status();
+///   NodeId id = *r;
+/// \endcode
+/// or, inside a Status/Result-returning function:
+/// \code
+///   GOOD_ASSIGN_OR_RETURN(NodeId id, instance.AddNode(label));
+/// \endcode
+template <typename T>
+class Result {
+ public:
+  /// Constructs an errored Result. `status` must not be OK.
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  /// Constructs a Result holding `value`.
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : value_(std::move(value)) {}
+
+  Result(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(const Result&) = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return value_.has_value(); }
+
+  /// Returns the error Status (OK if this holds a value).
+  const Status& status() const& { return status_; }
+  Status status() && { return std::move(status_); }
+
+  /// Value accessors; must only be called when ok().
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  T operator*() && { return std::move(*value_); }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+  const T& ValueUnsafe() const& { return *value_; }
+  T ValueUnsafe() && { return std::move(*value_); }
+
+  /// Returns the value, aborting the process if this holds an error.
+  const T& ValueOrDie() const& {
+    if (!ok()) status_.Abort();
+    return *value_;
+  }
+  T ValueOrDie() && {
+    if (!ok()) status_.Abort();
+    return std::move(*value_);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace good
+
+#endif  // GOOD_COMMON_RESULT_H_

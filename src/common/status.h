@@ -1,0 +1,162 @@
+/// \file status.h
+/// \brief Error model for the GOOD library.
+///
+/// The library does not use C++ exceptions. All fallible public APIs
+/// return a good::Status or a good::Result<T> (see result.h), in the
+/// style of Apache Arrow / Google status codes.
+
+#ifndef GOOD_COMMON_STATUS_H_
+#define GOOD_COMMON_STATUS_H_
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace good {
+
+/// \brief Machine-readable category of a Status.
+enum class StatusCode : int {
+  kOk = 0,
+  /// A caller-supplied argument is malformed (e.g. a label of the wrong
+  /// kind, an edge between labels not in the scheme's P relation).
+  kInvalidArgument = 1,
+  /// A referenced entity does not exist (node id, label, method name).
+  kNotFound = 2,
+  /// An entity being created already exists.
+  kAlreadyExists = 3,
+  /// The operation is valid but the database state forbids it — e.g. an
+  /// edge addition whose result would violate functional-edge uniqueness
+  /// (the run-time consistency check of Section 3.2 of the paper).
+  kFailedPrecondition = 4,
+  /// A numeric or positional argument is outside its valid range.
+  kOutOfRange = 5,
+  /// A step/recursion budget was exhausted (methods are Turing-complete,
+  /// so non-termination must be cut off by budget).
+  kResourceExhausted = 6,
+  /// Feature intentionally not provided.
+  kUnimplemented = 7,
+  /// Invariant violation inside the library itself; indicates a bug.
+  kInternal = 8,
+};
+
+/// \brief Returns the canonical name of a status code ("OK",
+/// "InvalidArgument", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// \brief An operation outcome: either OK or an error code with message.
+///
+/// Status is cheap to copy in the OK case (a single null pointer); error
+/// details are heap-allocated only when an error actually occurs.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with the given code and message. A code of
+  /// StatusCode::kOk ignores the message.
+  Status(StatusCode code, std::string message) {
+    if (code != StatusCode::kOk) {
+      rep_ = std::make_shared<Rep>(Rep{code, std::move(message)});
+    }
+  }
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return rep_ ? rep_->message : kEmpty;
+  }
+
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsFailedPrecondition() const {
+    return code() == StatusCode::kFailedPrecondition;
+  }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
+  bool IsUnimplemented() const { return code() == StatusCode::kUnimplemented; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+
+  /// Returns "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  /// Aborts the process with the status message if not OK. Intended for
+  /// call sites (tests, examples) where failure is a programming error.
+  void Abort() const;
+  const Status& OrDie() const {
+    if (!ok()) Abort();
+    return *this;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code() == b.code();
+  }
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+  std::shared_ptr<Rep> rep_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+}  // namespace good
+
+/// Propagates a non-OK Status from the evaluated expression.
+#define GOOD_RETURN_NOT_OK(expr)                 \
+  do {                                           \
+    ::good::Status _good_status = (expr);        \
+    if (!_good_status.ok()) return _good_status; \
+  } while (false)
+
+#define GOOD_CONCAT_IMPL(a, b) a##b
+#define GOOD_CONCAT(a, b) GOOD_CONCAT_IMPL(a, b)
+
+/// Evaluates a Result<T> expression; on error returns its Status,
+/// otherwise assigns the unwrapped value to `lhs` (which may be a
+/// declaration, e.g. `GOOD_ASSIGN_OR_RETURN(auto x, F())`).
+#define GOOD_ASSIGN_OR_RETURN(lhs, expr)                        \
+  GOOD_ASSIGN_OR_RETURN_IMPL(GOOD_CONCAT(_good_res_, __LINE__), \
+                             lhs, expr)
+
+#define GOOD_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr)   \
+  auto&& tmp = (expr);                               \
+  if (!tmp.ok()) return std::move(tmp).status();     \
+  lhs = std::move(tmp).ValueUnsafe()
+
+#endif  // GOOD_COMMON_STATUS_H_

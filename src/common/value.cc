@@ -1,0 +1,148 @@
+#include "common/value.h"
+
+#include <array>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "common/hash.h"
+
+namespace good {
+
+namespace {
+
+constexpr std::array<const char*, 12> kMonthNames = {
+    "Jan", "Feb", "Mar", "Apr", "May", "Jun",
+    "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"};
+
+}  // namespace
+
+int64_t Date::ToDayNumber() const {
+  // Howard Hinnant's civil-days algorithm.
+  int32_t y = year;
+  const int32_t m = month;
+  const int32_t d = day;
+  y -= m <= 2;
+  const int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const int64_t yoe = y - era * 400;
+  const int64_t doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;
+  const int64_t doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + doe - 719468;
+}
+
+Date Date::FromDayNumber(int64_t days) {
+  int64_t z = days + 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const int64_t doe = z - era * 146097;
+  const int64_t yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t y = yoe + era * 400;
+  const int64_t doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const int64_t mp = (5 * doy + 2) / 153;
+  const int64_t d = doy - (153 * mp + 2) / 5 + 1;
+  const int64_t m = mp + (mp < 10 ? 3 : -9);
+  return Date{static_cast<int32_t>(y + (m <= 2)), static_cast<int32_t>(m),
+              static_cast<int32_t>(d)};
+}
+
+std::string Date::ToString() const {
+  char buf[32];
+  const char* mon =
+      (month >= 1 && month <= 12) ? kMonthNames[month - 1] : "???";
+  std::snprintf(buf, sizeof(buf), "%s %d, %d", mon, day, year);
+  return buf;
+}
+
+Result<Date> Date::Parse(const std::string& text) {
+  char mon[4] = {0};
+  int day = 0;
+  int year = 0;
+  if (std::sscanf(text.c_str(), "%3s %d, %d", mon, &day, &year) != 3) {
+    return Status::InvalidArgument("unparsable date: '" + text + "'");
+  }
+  for (int m = 0; m < 12; ++m) {
+    if (std::string(mon) == kMonthNames[m]) {
+      if (day < 1 || day > 31) {
+        return Status::InvalidArgument("day out of range in '" + text + "'");
+      }
+      return Date{year, m + 1, day};
+    }
+  }
+  return Status::InvalidArgument("unknown month in date: '" + text + "'");
+}
+
+std::string_view ValueKindToString(ValueKind kind) {
+  switch (kind) {
+    case ValueKind::kBool:
+      return "bool";
+    case ValueKind::kInt:
+      return "int";
+    case ValueKind::kDouble:
+      return "double";
+    case ValueKind::kString:
+      return "string";
+    case ValueKind::kDate:
+      return "date";
+    case ValueKind::kBytes:
+      return "bytes";
+  }
+  return "unknown";
+}
+
+std::string Value::ToString() const {
+  switch (kind()) {
+    case ValueKind::kBool:
+      return AsBool() ? "true" : "false";
+    case ValueKind::kInt:
+      return std::to_string(AsInt());
+    case ValueKind::kDouble: {
+      std::ostringstream os;
+      os << AsDouble();
+      return os.str();
+    }
+    case ValueKind::kString:
+      return AsString();
+    case ValueKind::kDate:
+      return AsDate().ToString();
+    case ValueKind::kBytes: {
+      static const char* kHex = "0123456789abcdef";
+      std::string out = "0x";
+      for (uint8_t b : AsBytes()) {
+        out += kHex[b >> 4];
+        out += kHex[b & 0xF];
+      }
+      return out;
+    }
+  }
+  return "?";
+}
+
+size_t Value::Hash() const {
+  size_t seed = static_cast<size_t>(kind());
+  switch (kind()) {
+    case ValueKind::kBool:
+      HashCombine(&seed, static_cast<size_t>(AsBool()));
+      break;
+    case ValueKind::kInt:
+      HashCombine(&seed, static_cast<size_t>(AsInt()));
+      break;
+    case ValueKind::kDouble:
+      HashCombine(&seed, std::hash<double>{}(AsDouble()));
+      break;
+    case ValueKind::kString:
+      HashCombine(&seed, std::hash<std::string>{}(AsString()));
+      break;
+    case ValueKind::kDate:
+      HashCombine(&seed, static_cast<size_t>(AsDate().ToDayNumber()));
+      break;
+    case ValueKind::kBytes:
+      for (uint8_t b : AsBytes()) HashCombine(&seed, b);
+      break;
+  }
+  return seed;
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& value) {
+  return os << value.ToString();
+}
+
+}  // namespace good

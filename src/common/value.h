@@ -1,0 +1,129 @@
+/// \file value.h
+/// \brief Constants carried by printable objects.
+///
+/// The paper assumes a function pi associating to each printable object
+/// label an appropriate set of constants ("characters, strings, numbers,
+/// booleans, but also drawings, graphics, sound, etc"). We realize the
+/// constant universe as the tagged union good::Value, covering booleans,
+/// 64-bit integers, doubles, strings, calendar dates (the hyper-media
+/// example's Date class) and raw byte blobs (Bitmap / Bitstream /
+/// Longstring payloads).
+
+#ifndef GOOD_COMMON_VALUE_H_
+#define GOOD_COMMON_VALUE_H_
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/result.h"
+
+namespace good {
+
+/// \brief A calendar date, as used by the hyper-media example's Date
+/// printable class ("Jan 12, 1990").
+struct Date {
+  int32_t year = 0;
+  int32_t month = 1;  // 1..12
+  int32_t day = 1;    // 1..31
+
+  friend auto operator<=>(const Date&, const Date&) = default;
+
+  /// Days since the proleptic Gregorian epoch (0000-03-01 based civil
+  /// algorithm); used to implement date arithmetic (the paper's method D
+  /// computes the number of days elapsed between two dates).
+  int64_t ToDayNumber() const;
+  static Date FromDayNumber(int64_t days);
+
+  /// Formats as "Jan 12, 1990" to match the paper's figures.
+  std::string ToString() const;
+
+  /// Parses "Jan 12, 1990" style strings.
+  static Result<Date> Parse(const std::string& text);
+};
+
+/// \brief Raw byte payload (Bitmap / Bitstream contents).
+using Bytes = std::vector<uint8_t>;
+
+/// \brief Discriminator for Value alternatives; order matches the
+/// variant's alternative index.
+enum class ValueKind : int {
+  kBool = 0,
+  kInt = 1,
+  kDouble = 2,
+  kString = 3,
+  kDate = 4,
+  kBytes = 5,
+};
+
+std::string_view ValueKindToString(ValueKind kind);
+
+/// \brief A constant attached to a printable node.
+///
+/// Values are totally ordered within a kind and ordered by kind across
+/// kinds (so they can key ordered containers); the printable-predicate
+/// macro of Section 4.1 compares only same-kind values.
+class Value {
+ public:
+  Value() : rep_(false) {}
+  explicit Value(bool v) : rep_(v) {}
+  explicit Value(int64_t v) : rep_(v) {}
+  explicit Value(int v) : rep_(static_cast<int64_t>(v)) {}
+  explicit Value(double v) : rep_(v) {}
+  explicit Value(std::string v) : rep_(std::move(v)) {}
+  explicit Value(const char* v) : rep_(std::string(v)) {}
+  explicit Value(Date v) : rep_(v) {}
+  explicit Value(Bytes v) : rep_(std::move(v)) {}
+
+  ValueKind kind() const { return static_cast<ValueKind>(rep_.index()); }
+
+  bool is_bool() const { return kind() == ValueKind::kBool; }
+  bool is_int() const { return kind() == ValueKind::kInt; }
+  bool is_double() const { return kind() == ValueKind::kDouble; }
+  bool is_string() const { return kind() == ValueKind::kString; }
+  bool is_date() const { return kind() == ValueKind::kDate; }
+  bool is_bytes() const { return kind() == ValueKind::kBytes; }
+
+  bool AsBool() const { return std::get<bool>(rep_); }
+  int64_t AsInt() const { return std::get<int64_t>(rep_); }
+  double AsDouble() const { return std::get<double>(rep_); }
+  const std::string& AsString() const { return std::get<std::string>(rep_); }
+  const Date& AsDate() const { return std::get<Date>(rep_); }
+  const Bytes& AsBytes() const { return std::get<Bytes>(rep_); }
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.rep_ == b.rep_;
+  }
+  friend bool operator<(const Value& a, const Value& b) {
+    return a.rep_ < b.rep_;
+  }
+  friend bool operator<=(const Value& a, const Value& b) {
+    return a.rep_ <= b.rep_;
+  }
+  friend bool operator>(const Value& a, const Value& b) { return b < a; }
+  friend bool operator>=(const Value& a, const Value& b) { return b <= a; }
+
+  /// Human-readable rendering (dates as "Jan 12, 1990", bytes as hex).
+  std::string ToString() const;
+
+  /// Stable hash usable across processes.
+  size_t Hash() const;
+
+ private:
+  std::variant<bool, int64_t, double, std::string, Date, Bytes> rep_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Value& value);
+
+}  // namespace good
+
+namespace std {
+template <>
+struct hash<good::Value> {
+  size_t operator()(const good::Value& v) const { return v.Hash(); }
+};
+}  // namespace std
+
+#endif  // GOOD_COMMON_VALUE_H_

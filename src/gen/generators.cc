@@ -1,0 +1,142 @@
+#include "gen/generators.h"
+
+#include <random>
+#include <vector>
+
+#include "hypermedia/hypermedia.h"
+
+namespace good::gen {
+
+using graph::Instance;
+using graph::NodeId;
+using hypermedia::Labels;
+using schema::Scheme;
+
+Result<Instance> ScaledHyperMedia(const Scheme& scheme,
+                                  const HyperMediaOptions& options) {
+  const Labels& l = Labels::Get();
+  std::mt19937_64 rng(options.seed);
+  Instance g;
+  std::vector<NodeId> docs;
+  docs.reserve(options.num_docs);
+
+  const int64_t epoch = Date{1990, 1, 1}.ToDayNumber();
+  std::vector<NodeId> dates;
+  for (size_t d = 0; d < std::max<size_t>(options.distinct_dates, 1); ++d) {
+    GOOD_ASSIGN_OR_RETURN(
+        NodeId date,
+        g.AddPrintableNode(
+            scheme, l.date,
+            Value(Date::FromDayNumber(epoch + static_cast<int64_t>(d)))));
+    dates.push_back(date);
+  }
+
+  for (size_t i = 0; i < options.num_docs; ++i) {
+    GOOD_ASSIGN_OR_RETURN(NodeId doc, g.AddObjectNode(scheme, l.info));
+    GOOD_RETURN_NOT_OK(
+        g.AddEdge(scheme, doc, l.created, dates[i % dates.size()]));
+    if (rng() % 100 < options.named_percent) {
+      GOOD_ASSIGN_OR_RETURN(
+          NodeId name,
+          g.AddPrintableNode(scheme, l.string,
+                             Value("doc" + std::to_string(i))));
+      GOOD_RETURN_NOT_OK(g.AddEdge(scheme, doc, l.name, name));
+    }
+    docs.push_back(doc);
+  }
+  if (docs.size() > 1) {
+    for (NodeId doc : docs) {
+      for (size_t k = 0; k < options.links_per_doc; ++k) {
+        NodeId target = docs[rng() % docs.size()];
+        if (target == doc) continue;
+        GOOD_RETURN_NOT_OK(g.AddEdge(scheme, doc, l.links_to, target));
+      }
+    }
+    for (size_t v = 0; v + 1 < options.num_versions + 1 &&
+                       v + 1 < docs.size();
+         ++v) {
+      GOOD_ASSIGN_OR_RETURN(NodeId version,
+                            g.AddObjectNode(scheme, l.version));
+      GOOD_RETURN_NOT_OK(g.AddEdge(scheme, version, l.new_edge, docs[v]));
+      GOOD_RETURN_NOT_OK(
+          g.AddEdge(scheme, version, l.old_edge, docs[v + 1]));
+    }
+  }
+  return g;
+}
+
+Result<Instance> RandomInfoGraph(const Scheme& scheme, size_t n,
+                                 size_t edges, uint64_t seed) {
+  const Labels& l = Labels::Get();
+  std::mt19937_64 rng(seed);
+  Instance g;
+  std::vector<NodeId> nodes;
+  nodes.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    GOOD_ASSIGN_OR_RETURN(NodeId node, g.AddObjectNode(scheme, l.info));
+    nodes.push_back(node);
+  }
+  if (n > 1) {
+    for (size_t e = 0; e < edges; ++e) {
+      NodeId a = nodes[rng() % n];
+      NodeId b = nodes[rng() % n];
+      if (a == b) continue;
+      GOOD_RETURN_NOT_OK(g.AddEdge(scheme, a, l.links_to, b));
+    }
+  }
+  return g;
+}
+
+Result<Instance> InfoChain(const Scheme& scheme, size_t n) {
+  const Labels& l = Labels::Get();
+  Instance g;
+  NodeId previous{};
+  for (size_t i = 0; i < n; ++i) {
+    GOOD_ASSIGN_OR_RETURN(NodeId node, g.AddObjectNode(scheme, l.info));
+    if (previous.valid()) {
+      GOOD_RETURN_NOT_OK(g.AddEdge(scheme, previous, l.links_to, node));
+    }
+    previous = node;
+  }
+  return g;
+}
+
+Result<Instance> VersionChains(const Scheme& scheme, size_t chains,
+                               size_t length, size_t pool, uint64_t seed) {
+  const Labels& l = Labels::Get();
+  std::mt19937_64 rng(seed);
+  Instance g;
+  std::vector<NodeId> targets;
+  for (size_t p = 0; p < std::max<size_t>(pool, 2); ++p) {
+    GOOD_ASSIGN_OR_RETURN(NodeId t, g.AddObjectNode(scheme, l.info));
+    targets.push_back(t);
+  }
+  for (size_t c = 0; c < chains; ++c) {
+    // Two target sets per chain: the first half of the chain's docs
+    // share one, the second half the other — so abstraction groups the
+    // halves.
+    std::vector<NodeId> set_a{targets[rng() % targets.size()],
+                              targets[rng() % targets.size()]};
+    std::vector<NodeId> set_b{targets[rng() % targets.size()]};
+    NodeId previous{};
+    for (size_t i = 0; i < length; ++i) {
+      GOOD_ASSIGN_OR_RETURN(NodeId doc, g.AddObjectNode(scheme, l.info));
+      const auto& set = (i < length / 2) ? set_a : set_b;
+      for (NodeId t : set) {
+        if (t == doc) continue;
+        GOOD_RETURN_NOT_OK(g.AddEdge(scheme, doc, l.links_to, t));
+      }
+      if (previous.valid()) {
+        GOOD_ASSIGN_OR_RETURN(NodeId version,
+                              g.AddObjectNode(scheme, l.version));
+        GOOD_RETURN_NOT_OK(
+            g.AddEdge(scheme, version, l.new_edge, previous));
+        GOOD_RETURN_NOT_OK(g.AddEdge(scheme, version, l.old_edge, doc));
+      }
+      previous = doc;
+    }
+  }
+  return g;
+}
+
+}  // namespace good::gen

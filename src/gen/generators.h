@@ -1,0 +1,64 @@
+/// \file generators.h
+/// \brief Synthetic workload generators for benchmarks and property
+/// tests.
+///
+/// The paper reports no performance numbers (its evaluation is
+/// semantic), so the benchmark harness characterizes our implementation
+/// on synthetic workloads that scale the paper's running example: bigger
+/// hyper-media object bases, longer version chains, denser link graphs.
+
+#ifndef GOOD_GEN_GENERATORS_H_
+#define GOOD_GEN_GENERATORS_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "graph/instance.h"
+#include "schema/scheme.h"
+
+namespace good::gen {
+
+/// \brief Parameters for a scaled hyper-media object base.
+struct HyperMediaOptions {
+  /// Number of Info documents.
+  size_t num_docs = 100;
+  /// Outgoing links-to edges per document (to random targets).
+  size_t links_per_doc = 3;
+  /// Number of Version nodes chaining consecutive documents.
+  size_t num_versions = 10;
+  /// Distinct creation dates cycled over the documents (controls the
+  /// selectivity of date-valued patterns).
+  size_t distinct_dates = 10;
+  /// Fraction (0..100) of documents that carry a name.
+  size_t named_percent = 100;
+  uint64_t seed = 42;
+};
+
+/// \brief A scaled instance over the Figure 1 hyper-media scheme.
+/// Document i is named "doc<i>" (if named) and created on one of the
+/// distinct dates (derived from Jan 1, 1990).
+Result<graph::Instance> ScaledHyperMedia(const schema::Scheme& scheme,
+                                         const HyperMediaOptions& options);
+
+/// \brief n Info nodes with `edges` random links-to edges — the
+/// substrate for matcher-scaling and transitive-closure benchmarks.
+Result<graph::Instance> RandomInfoGraph(const schema::Scheme& scheme,
+                                        size_t n, size_t edges,
+                                        uint64_t seed);
+
+/// \brief A links-to chain of n Info nodes (worst case for transitive
+/// closure: the closure has n(n-1)/2 edges).
+Result<graph::Instance> InfoChain(const schema::Scheme& scheme, size_t n);
+
+/// \brief `chains` version chains of `length` documents each, where
+/// consecutive documents share links-to targets drawn from a pool of
+/// `pool` documents — the Figure 17/18 abstraction workload. Documents
+/// in the same chain half share target sets, so abstraction finds
+/// non-trivial groups.
+Result<graph::Instance> VersionChains(const schema::Scheme& scheme,
+                                      size_t chains, size_t length,
+                                      size_t pool, uint64_t seed);
+
+}  // namespace good::gen
+
+#endif  // GOOD_GEN_GENERATORS_H_

@@ -1,0 +1,322 @@
+#include "graph/instance.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace good::graph {
+
+NodeId Instance::NewNode(Symbol label, std::optional<Value> print) {
+  NodeId id{static_cast<uint32_t>(nodes_.size())};
+  nodes_.push_back(NodeRep{label, std::move(print), true, {}, {}});
+  ++num_alive_;
+  label_index_[label].insert(id.id);
+  return id;
+}
+
+Result<NodeId> Instance::AddObjectNode(const schema::Scheme& scheme,
+                                       Symbol label) {
+  if (!scheme.IsObjectLabel(label)) {
+    return Status::InvalidArgument("'" + SymName(label) +
+                                   "' is not an object label of the scheme");
+  }
+  return NewNode(label, std::nullopt);
+}
+
+Result<NodeId> Instance::AddPrintableNode(const schema::Scheme& scheme,
+                                          Symbol label, Value value) {
+  GOOD_ASSIGN_OR_RETURN(ValueKind domain, scheme.DomainOf(label));
+  if (value.kind() != domain) {
+    return Status::InvalidArgument(
+        "value " + value.ToString() + " has kind " +
+        std::string(ValueKindToString(value.kind())) + " but domain of '" +
+        SymName(label) + "' is " + std::string(ValueKindToString(domain)));
+  }
+  auto& by_value = printable_index_[label];
+  auto it = by_value.find(value);
+  if (it != by_value.end()) return NodeId{it->second};
+  NodeId id = NewNode(label, value);
+  by_value.emplace(std::move(value), id.id);
+  return id;
+}
+
+Result<NodeId> Instance::AddValuelessPrintableNode(
+    const schema::Scheme& scheme, Symbol label) {
+  if (!scheme.IsPrintableLabel(label)) {
+    return Status::InvalidArgument(
+        "'" + SymName(label) + "' is not a printable label of the scheme");
+  }
+  return NewNode(label, std::nullopt);
+}
+
+Status Instance::RemoveNode(NodeId node) {
+  if (!HasNode(node)) {
+    return Status::NotFound("node #" + std::to_string(node.id) +
+                            " does not exist");
+  }
+  NodeRep& rep = nodes_[node.id];
+  // Detach incident edges from the neighbours' mirror lists.
+  for (const auto& [label, target] : rep.out) {
+    auto& in = nodes_[target.id].in;
+    in.erase(std::remove(in.begin(), in.end(), std::make_pair(node, label)),
+             in.end());
+    --num_edges_;
+  }
+  for (const auto& [source, label] : rep.in) {
+    auto& out = nodes_[source.id].out;
+    out.erase(
+        std::remove(out.begin(), out.end(), std::make_pair(label, node)),
+        out.end());
+    --num_edges_;
+  }
+  rep.out.clear();
+  rep.in.clear();
+  rep.alive = false;
+  --num_alive_;
+  label_index_[rep.label].erase(node.id);
+  if (rep.print.has_value()) {
+    printable_index_[rep.label].erase(*rep.print);
+  }
+  return Status::OK();
+}
+
+Status Instance::AddEdge(const schema::Scheme& scheme, NodeId source,
+                         Symbol label, NodeId target) {
+  if (!HasNode(source) || !HasNode(target)) {
+    return Status::NotFound("edge endpoint does not exist");
+  }
+  const Symbol source_label = LabelOf(source);
+  const Symbol target_label = LabelOf(target);
+  if (!scheme.HasTriple(source_label, label, target_label)) {
+    return Status::InvalidArgument(
+        "scheme has no triple (" + SymName(source_label) + ", " +
+        SymName(label) + ", " + SymName(target_label) + ")");
+  }
+  const bool functional = scheme.IsFunctionalEdgeLabel(label);
+  for (const auto& [out_label, out_target] : nodes_[source.id].out) {
+    if (out_label != label) continue;
+    if (out_target == target) return Status::OK();  // Idempotent.
+    if (functional) {
+      return Status::FailedPrecondition(
+          "functional edge conflict: node #" + std::to_string(source.id) +
+          " already has a '" + SymName(label) + "' edge to a different node");
+    }
+    if (LabelOf(out_target) != target_label) {
+      return Status::FailedPrecondition(
+          "successor-label conflict: '" + SymName(label) +
+          "' successors of node #" + std::to_string(source.id) +
+          " would have unequal labels");
+    }
+  }
+  nodes_[source.id].out.emplace_back(label, target);
+  nodes_[target.id].in.emplace_back(source, label);
+  ++num_edges_;
+  return Status::OK();
+}
+
+Status Instance::RemoveEdge(NodeId source, Symbol label, NodeId target) {
+  if (!HasNode(source) || !HasNode(target)) return Status::OK();
+  auto& out = nodes_[source.id].out;
+  auto it = std::find(out.begin(), out.end(), std::make_pair(label, target));
+  if (it == out.end()) return Status::OK();
+  out.erase(it);
+  auto& in = nodes_[target.id].in;
+  in.erase(std::remove(in.begin(), in.end(), std::make_pair(source, label)),
+           in.end());
+  --num_edges_;
+  return Status::OK();
+}
+
+std::vector<NodeId> Instance::NodesWithLabel(Symbol label) const {
+  std::vector<NodeId> out;
+  auto it = label_index_.find(label);
+  if (it == label_index_.end()) return out;
+  out.reserve(it->second.size());
+  for (uint32_t id : it->second) out.push_back(NodeId{id});
+  return out;
+}
+
+size_t Instance::CountNodesWithLabel(Symbol label) const {
+  auto it = label_index_.find(label);
+  return it == label_index_.end() ? 0 : it->second.size();
+}
+
+std::optional<NodeId> Instance::FindPrintable(Symbol label,
+                                              const Value& value) const {
+  auto it = printable_index_.find(label);
+  if (it == printable_index_.end()) return std::nullopt;
+  auto vit = it->second.find(value);
+  if (vit == it->second.end()) return std::nullopt;
+  return NodeId{vit->second};
+}
+
+std::vector<NodeId> Instance::AllNodes() const {
+  std::vector<NodeId> out;
+  out.reserve(num_alive_);
+  for (uint32_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].alive) out.push_back(NodeId{i});
+  }
+  return out;
+}
+
+bool Instance::HasEdge(NodeId source, Symbol label, NodeId target) const {
+  if (!HasNode(source) || !HasNode(target)) return false;
+  const auto& out = nodes_[source.id].out;
+  return std::find(out.begin(), out.end(), std::make_pair(label, target)) !=
+         out.end();
+}
+
+std::vector<NodeId> Instance::OutTargets(NodeId node, Symbol label) const {
+  std::vector<NodeId> out;
+  for (const auto& [l, t] : nodes_[node.id].out) {
+    if (l == label) out.push_back(t);
+  }
+  return out;
+}
+
+std::optional<NodeId> Instance::FunctionalTarget(NodeId node,
+                                                 Symbol label) const {
+  for (const auto& [l, t] : nodes_[node.id].out) {
+    if (l == label) return t;
+  }
+  return std::nullopt;
+}
+
+std::vector<NodeId> Instance::InSources(NodeId node, Symbol label) const {
+  std::vector<NodeId> out;
+  for (const auto& [s, l] : nodes_[node.id].in) {
+    if (l == label) out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<Edge> Instance::AllEdges() const {
+  std::vector<Edge> out;
+  out.reserve(num_edges_);
+  for (uint32_t i = 0; i < nodes_.size(); ++i) {
+    if (!nodes_[i].alive) continue;
+    for (const auto& [label, target] : nodes_[i].out) {
+      out.push_back(Edge{NodeId{i}, label, target});
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Status Instance::Validate(const schema::Scheme& scheme) const {
+  for (uint32_t i = 0; i < nodes_.size(); ++i) {
+    const NodeRep& rep = nodes_[i];
+    if (!rep.alive) continue;
+    const std::string node_name = "node #" + std::to_string(i);
+    if (!scheme.IsNodeLabel(rep.label)) {
+      return Status::Internal(node_name + " label '" + SymName(rep.label) +
+                              "' not a node label of the scheme");
+    }
+    if (scheme.IsPrintableLabel(rep.label)) {
+      if (rep.print.has_value()) {
+        auto domain = scheme.DomainOf(rep.label);
+        GOOD_RETURN_NOT_OK(domain.status());
+        if (rep.print->kind() != *domain) {
+          return Status::Internal(node_name + " print value outside domain");
+        }
+      }
+    } else if (rep.print.has_value()) {
+      return Status::Internal(node_name + " is an object but has a print value");
+    }
+    // Edge typing, functional uniqueness, equal successor labels.
+    std::unordered_map<Symbol, Symbol> successor_label;
+    std::unordered_map<Symbol, int> functional_count;
+    for (const auto& [label, target] : rep.out) {
+      if (!HasNode(target)) {
+        return Status::Internal(node_name + " has an edge to a dead node");
+      }
+      if (!scheme.HasTriple(rep.label, label, LabelOf(target))) {
+        return Status::Internal(node_name + " edge '" + SymName(label) +
+                                "' not licensed by scheme");
+      }
+      auto [it, inserted] = successor_label.emplace(label, LabelOf(target));
+      if (!inserted && it->second != LabelOf(target)) {
+        return Status::Internal(node_name + " has '" + SymName(label) +
+                                "' successors with unequal labels");
+      }
+      if (scheme.IsFunctionalEdgeLabel(label) &&
+          ++functional_count[label] > 1) {
+        return Status::Internal(node_name + " has multiple functional '" +
+                                SymName(label) + "' edges");
+      }
+    }
+  }
+  // Printable dedup.
+  for (const auto& [label, by_value] : printable_index_) {
+    for (const auto& [value, id] : by_value) {
+      (void)value;
+      if (!nodes_[id].alive) {
+        return Status::Internal("printable index points at dead node");
+      }
+    }
+  }
+  std::unordered_map<Symbol, size_t> printable_census;
+  for (uint32_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].alive && nodes_[i].print.has_value()) {
+      ++printable_census[nodes_[i].label];
+    }
+  }
+  for (const auto& [label, count] : printable_census) {
+    auto it = printable_index_.find(label);
+    size_t indexed = it == printable_index_.end() ? 0 : it->second.size();
+    if (indexed != count) {
+      return Status::Internal("duplicate printable nodes for label '" +
+                              SymName(label) + "'");
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+
+std::string NodeSig(const Instance& instance, NodeId node) {
+  std::string sig = SymName(instance.LabelOf(node));
+  const auto& print = instance.PrintValueOf(node);
+  if (print.has_value()) {
+    sig += "=";
+    sig += print->ToString();
+  }
+  return sig;
+}
+
+}  // namespace
+
+std::string Instance::Fingerprint() const {
+  std::vector<std::string> node_sigs;
+  std::vector<std::string> edge_sigs;
+  for (NodeId node : AllNodes()) {
+    node_sigs.push_back(NodeSig(*this, node));
+    for (const auto& [label, target] : OutEdges(node)) {
+      edge_sigs.push_back(NodeSig(*this, node) + " -" + SymName(label) +
+                          "-> " + NodeSig(*this, target));
+    }
+  }
+  std::sort(node_sigs.begin(), node_sigs.end());
+  std::sort(edge_sigs.begin(), edge_sigs.end());
+  std::ostringstream os;
+  os << "nodes{";
+  for (const auto& s : node_sigs) os << s << "; ";
+  os << "} edges{";
+  for (const auto& s : edge_sigs) os << s << "; ";
+  os << "}";
+  return os.str();
+}
+
+std::string Instance::ToString() const {
+  std::ostringstream os;
+  os << "Instance(" << num_alive_ << " nodes, " << num_edges_ << " edges)\n";
+  for (NodeId node : AllNodes()) {
+    os << "  #" << node.id << " " << NodeSig(*this, node) << "\n";
+    for (const auto& [label, target] : OutEdges(node)) {
+      os << "    -" << SymName(label) << "-> #" << target.id << " "
+         << NodeSig(*this, target) << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace good::graph

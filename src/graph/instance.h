@@ -1,0 +1,205 @@
+/// \file instance.h
+/// \brief Object base instances (Section 2 of the paper).
+///
+/// An object base instance over a scheme S is a labeled directed graph
+/// I = (N, E) where:
+///  - every node carries a node label from OL ∪ POL; printable nodes may
+///    additionally carry a print label (a constant from the label's
+///    domain);
+///  - every edge (m, α, n) is typed by a triple (λ(m), α, λ(n)) ∈ P;
+///  - all α-successors of a node have equal node labels; if α is
+///    functional there is at most one α-successor;
+///  - two printable nodes with the same label and the same print value
+///    are the same node (printable dedup).
+/// The Instance class enforces all four conditions on mutation and can
+/// re-verify them wholesale with Validate().
+
+#ifndef GOOD_GRAPH_INSTANCE_H_
+#define GOOD_GRAPH_INSTANCE_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/interner.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/value.h"
+#include "schema/scheme.h"
+
+namespace good::graph {
+
+/// \brief Opaque object identity. The paper's objects "exist
+/// independently of their properties"; a NodeId is that identity.
+struct NodeId {
+  uint32_t id = kInvalid;
+
+  static constexpr uint32_t kInvalid = 0xFFFFFFFFu;
+  bool valid() const { return id != kInvalid; }
+
+  friend bool operator==(NodeId, NodeId) = default;
+  friend auto operator<=>(NodeId, NodeId) = default;
+};
+
+/// \brief A labeled directed edge.
+struct Edge {
+  NodeId source;
+  Symbol label;
+  NodeId target;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+  friend auto operator<=>(const Edge&, const Edge&) = default;
+};
+
+/// \brief An object base instance over some scheme.
+///
+/// The instance does not own its scheme; mutators take the scheme as a
+/// parameter so that operations (which may extend the scheme) can pass
+/// the freshest version. Instances are value types — copying snapshots
+/// the whole graph, which the operational semantics relies on (all
+/// matchings are computed against the pre-state).
+class Instance {
+ public:
+  Instance() = default;
+
+  // ---- Node mutation -------------------------------------------------------
+
+  /// Adds a fresh object node labeled `label` (must be in OL).
+  Result<NodeId> AddObjectNode(const schema::Scheme& scheme, Symbol label);
+
+  /// Adds (or finds) the printable node with `label` and print value
+  /// `value`. Per the instance definition printable nodes are unique per
+  /// (label, value), so re-adding returns the existing node.
+  Result<NodeId> AddPrintableNode(const schema::Scheme& scheme, Symbol label,
+                                  Value value);
+
+  /// Adds a printable node without a print value. The formal definition
+  /// makes the print label optional ("each printable node CAN have one
+  /// additional label print(n)"); patterns use valueless printable nodes
+  /// as wildcards (e.g. the Date nodes of Figure 8). Valueless nodes are
+  /// not deduplicated.
+  Result<NodeId> AddValuelessPrintableNode(const schema::Scheme& scheme,
+                                           Symbol label);
+
+  /// Removes `node` and all incident edges (node-deletion semantics).
+  Status RemoveNode(NodeId node);
+
+  // ---- Edge mutation -------------------------------------------------------
+
+  /// Adds edge (source, label, target). Checks: both nodes alive, the
+  /// triple (λ(source), label, λ(target)) ∈ P, the equal-successor-label
+  /// condition, and functional uniqueness. Adding an existing edge is an
+  /// idempotent no-op (edge sets, not multisets).
+  Status AddEdge(const schema::Scheme& scheme, NodeId source, Symbol label,
+                 NodeId target);
+
+  /// Removes the edge; OK even if absent (maximal-subinstance deletion
+  /// semantics make deletion of already-deleted edges a no-op).
+  Status RemoveEdge(NodeId source, Symbol label, NodeId target);
+
+  // ---- Node queries ----------------------------------------------------------
+
+  bool HasNode(NodeId node) const {
+    return node.id < nodes_.size() && nodes_[node.id].alive;
+  }
+  /// Node label; NodeId must be alive.
+  Symbol LabelOf(NodeId node) const { return nodes_[node.id].label; }
+  /// Print value; empty for object nodes.
+  const std::optional<Value>& PrintValueOf(NodeId node) const {
+    return nodes_[node.id].print;
+  }
+  /// True iff the node carries a print value. (Printable-ness of the
+  /// label itself is a scheme question; a printable node may be
+  /// valueless.)
+  bool HasPrintValue(NodeId node) const {
+    return nodes_[node.id].print.has_value();
+  }
+
+  /// All alive nodes with the given label, in ascending id order.
+  std::vector<NodeId> NodesWithLabel(Symbol label) const;
+  size_t CountNodesWithLabel(Symbol label) const;
+
+  /// The unique printable node (label, value), if present.
+  std::optional<NodeId> FindPrintable(Symbol label, const Value& value) const;
+
+  /// All alive nodes in ascending id order.
+  std::vector<NodeId> AllNodes() const;
+
+  // ---- Edge queries ----------------------------------------------------------
+
+  bool HasEdge(NodeId source, Symbol label, NodeId target) const;
+
+  /// Outgoing edges of `node` as (edge label, target) pairs.
+  const std::vector<std::pair<Symbol, NodeId>>& OutEdges(NodeId node) const {
+    return nodes_[node.id].out;
+  }
+  /// Incoming edges of `node` as (source, edge label) pairs.
+  const std::vector<std::pair<NodeId, Symbol>>& InEdges(NodeId node) const {
+    return nodes_[node.id].in;
+  }
+
+  /// Targets of `label`-edges leaving `node`.
+  std::vector<NodeId> OutTargets(NodeId node, Symbol label) const;
+  /// The unique functional `label`-successor of `node`, if any.
+  std::optional<NodeId> FunctionalTarget(NodeId node, Symbol label) const;
+  /// Sources of `label`-edges entering `node`.
+  std::vector<NodeId> InSources(NodeId node, Symbol label) const;
+
+  /// Every alive edge, ascending by (source, label, target).
+  std::vector<Edge> AllEdges() const;
+
+  size_t num_nodes() const { return num_alive_; }
+  size_t num_edges() const { return num_edges_; }
+
+  // ---- Whole-instance checks -------------------------------------------------
+
+  /// Re-verifies every instance condition against `scheme`. Intended for
+  /// tests and for auditing after bulk operations.
+  Status Validate(const schema::Scheme& scheme) const;
+
+  /// An isomorphism-invariant multiset summary: node census per
+  /// (label, print value) plus edge census per
+  /// (source label/print, edge label, target label/print). Equal
+  /// instances (up to iso) have equal fingerprints; the converse is
+  /// checked exactly by IsIsomorphic (isomorphism.h).
+  std::string Fingerprint() const;
+
+  /// Human-readable dump (ids, labels, values, edges) for debugging.
+  std::string ToString() const;
+
+ private:
+  struct NodeRep {
+    Symbol label;
+    std::optional<Value> print;
+    bool alive = true;
+    std::vector<std::pair<Symbol, NodeId>> out;
+    std::vector<std::pair<NodeId, Symbol>> in;
+  };
+
+  NodeId NewNode(Symbol label, std::optional<Value> print);
+
+  std::vector<NodeRep> nodes_;
+  size_t num_alive_ = 0;
+  size_t num_edges_ = 0;
+  // label -> alive node ids (ordered for deterministic iteration).
+  std::unordered_map<Symbol, std::set<uint32_t>> label_index_;
+  // printable label -> value -> node id.
+  std::unordered_map<Symbol, std::map<Value, uint32_t>> printable_index_;
+};
+
+}  // namespace good::graph
+
+namespace std {
+template <>
+struct hash<good::graph::NodeId> {
+  size_t operator()(good::graph::NodeId n) const {
+    return std::hash<uint32_t>{}(n.id);
+  }
+};
+}  // namespace std
+
+#endif  // GOOD_GRAPH_INSTANCE_H_

@@ -1,0 +1,35 @@
+/// \file isomorphism.h
+/// \brief Labeled-graph isomorphism between object base instances.
+///
+/// GOOD operations are "deterministic up to the particular choice of new
+/// objects" (Section 3). Consequently, figure-reproduction tests compare
+/// results up to isomorphism: a bijection between the node sets that
+/// preserves node labels, print values, and edges in both directions.
+///
+/// Printable nodes are deduplicated per (label, value), so an
+/// isomorphism maps each printable node to the unique same-valued node
+/// on the other side; only object nodes require search. The checker
+/// first refines node classes Weisfeiler-Leman-style and then
+/// backtracks within classes.
+
+#ifndef GOOD_GRAPH_ISOMORPHISM_H_
+#define GOOD_GRAPH_ISOMORPHISM_H_
+
+#include <unordered_map>
+
+#include "common/result.h"
+#include "graph/instance.h"
+
+namespace good::graph {
+
+/// \brief Finds an isomorphism from `a` onto `b`.
+/// Returns NotFound if the instances are not isomorphic.
+Result<std::unordered_map<NodeId, NodeId>> FindIsomorphism(const Instance& a,
+                                                           const Instance& b);
+
+/// \brief True iff the instances are isomorphic.
+bool IsIsomorphic(const Instance& a, const Instance& b);
+
+}  // namespace good::graph
+
+#endif  // GOOD_GRAPH_ISOMORPHISM_H_

@@ -1,0 +1,32 @@
+#include "graph/restrict.h"
+
+#include <vector>
+
+namespace good::graph {
+
+Status RestrictToScheme(const schema::Scheme& scheme, Instance* instance) {
+  // Drop nodes with foreign labels (and, for printable nodes, values
+  // outside the label's registered domain).
+  for (NodeId node : instance->AllNodes()) {
+    const Symbol label = instance->LabelOf(node);
+    bool keep = scheme.IsNodeLabel(label);
+    if (keep && instance->HasPrintValue(node)) {
+      auto domain = scheme.DomainOf(label);
+      keep = domain.ok() && instance->PrintValueOf(node)->kind() == *domain;
+    }
+    if (!keep) {
+      GOOD_RETURN_NOT_OK(instance->RemoveNode(node));
+    }
+  }
+  // Drop edges not licensed by the scheme's P relation.
+  for (const Edge& edge : instance->AllEdges()) {
+    if (!scheme.HasTriple(instance->LabelOf(edge.source), edge.label,
+                          instance->LabelOf(edge.target))) {
+      GOOD_RETURN_NOT_OK(
+          instance->RemoveEdge(edge.source, edge.label, edge.target));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace good::graph

@@ -1,0 +1,26 @@
+/// \file restrict.h
+/// \brief Restriction of an instance to a scheme (footnote 4 of the
+/// paper): "the largest subinstance of I that is an instance over S'".
+///
+/// Used by the method-call semantics: after a method body executes, the
+/// result is restricted to (original scheme ∪ method interface), which
+/// silently filters out temporary nodes and edges whose labels were
+/// introduced inside the body (Figures 24-25).
+
+#ifndef GOOD_GRAPH_RESTRICT_H_
+#define GOOD_GRAPH_RESTRICT_H_
+
+#include "common/status.h"
+#include "graph/instance.h"
+#include "schema/scheme.h"
+
+namespace good::graph {
+
+/// \brief Removes from `instance` every node whose label is not a node
+/// label of `scheme` (with its incident edges) and every remaining edge
+/// whose triple is not licensed by `scheme`.
+Status RestrictToScheme(const schema::Scheme& scheme, Instance* instance);
+
+}  // namespace good::graph
+
+#endif  // GOOD_GRAPH_RESTRICT_H_

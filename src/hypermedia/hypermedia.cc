@@ -1,0 +1,437 @@
+#include "hypermedia/hypermedia.h"
+
+#include "pattern/builder.h"
+
+namespace good::hypermedia {
+
+using graph::NodeId;
+using pattern::GraphBuilder;
+using schema::Scheme;
+
+const Labels& Labels::Get() {
+  static const Labels* labels = [] {
+    auto* l = new Labels();
+    l->info = Sym("Info");
+    l->version = Sym("Version");
+    l->reference = Sym("Reference");
+    l->data = Sym("Data");
+    l->comment = Sym("Comment");
+    l->sound = Sym("Sound");
+    l->text = Sym("Text");
+    l->graphics = Sym("Graphics");
+    l->date = Sym("Date");
+    l->string = Sym("String");
+    l->number = Sym("Number");
+    l->bitstream = Sym("Bitstream");
+    l->longstring = Sym("Longstring");
+    l->bitmap = Sym("Bitmap");
+    l->created = Sym("created");
+    l->modified = Sym("modified");
+    l->name = Sym("name");
+    l->comment_edge = Sym("comment");
+    l->is = Sym("is");
+    l->new_edge = Sym("new");
+    l->old_edge = Sym("old");
+    l->isa = Sym("isa");
+    l->width = Sym("width");
+    l->height = Sym("height");
+    l->frequency = Sym("frequency");
+    l->num_chars = Sym("#chars");
+    l->num_words = Sym("#words");
+    l->data_edge = Sym("data");
+    l->links_to = Sym("links-to");
+    l->in = Sym("in");
+    return l;
+  }();
+  return *labels;
+}
+
+Result<Scheme> BuildScheme() {
+  const Labels& l = Labels::Get();
+  Scheme s;
+  // Object classes (rectangles in Figure 1).
+  for (Symbol label : {l.info, l.version, l.reference, l.data, l.comment,
+                       l.sound, l.text, l.graphics}) {
+    GOOD_RETURN_NOT_OK(s.AddObjectLabel(label));
+  }
+  // Printable classes (ovals in Figure 1) with their constant domains.
+  GOOD_RETURN_NOT_OK(s.AddPrintableLabel(l.date, ValueKind::kDate));
+  GOOD_RETURN_NOT_OK(s.AddPrintableLabel(l.string, ValueKind::kString));
+  GOOD_RETURN_NOT_OK(s.AddPrintableLabel(l.number, ValueKind::kInt));
+  GOOD_RETURN_NOT_OK(s.AddPrintableLabel(l.bitstream, ValueKind::kBytes));
+  GOOD_RETURN_NOT_OK(s.AddPrintableLabel(l.longstring, ValueKind::kString));
+  GOOD_RETURN_NOT_OK(s.AddPrintableLabel(l.bitmap, ValueKind::kBytes));
+  // Edge labels.
+  for (Symbol label :
+       {l.created, l.modified, l.name, l.comment_edge, l.is, l.new_edge,
+        l.old_edge, l.isa, l.width, l.height, l.frequency, l.num_chars,
+        l.num_words, l.data_edge}) {
+    GOOD_RETURN_NOT_OK(s.AddFunctionalEdgeLabel(label));
+  }
+  GOOD_RETURN_NOT_OK(s.AddMultivaluedEdgeLabel(l.links_to));
+  GOOD_RETURN_NOT_OK(s.AddMultivaluedEdgeLabel(l.in));
+  // The edge relation P, following Figure 1.
+  GOOD_RETURN_NOT_OK(s.AddTriple(l.info, l.created, l.date));
+  GOOD_RETURN_NOT_OK(s.AddTriple(l.info, l.modified, l.date));
+  GOOD_RETURN_NOT_OK(s.AddTriple(l.info, l.name, l.string));
+  GOOD_RETURN_NOT_OK(s.AddTriple(l.info, l.comment_edge, l.comment));
+  GOOD_RETURN_NOT_OK(s.AddTriple(l.info, l.links_to, l.info));
+  GOOD_RETURN_NOT_OK(s.AddTriple(l.version, l.new_edge, l.info));
+  GOOD_RETURN_NOT_OK(s.AddTriple(l.version, l.old_edge, l.info));
+  GOOD_RETURN_NOT_OK(s.AddTriple(l.comment, l.is, l.string));
+  GOOD_RETURN_NOT_OK(s.AddTriple(l.comment, l.is, l.number));
+  GOOD_RETURN_NOT_OK(s.AddTriple(l.reference, l.isa, l.info));
+  GOOD_RETURN_NOT_OK(s.AddTriple(l.reference, l.in, l.info));
+  GOOD_RETURN_NOT_OK(s.AddTriple(l.data, l.isa, l.info));
+  GOOD_RETURN_NOT_OK(s.AddTriple(l.sound, l.isa, l.data));
+  GOOD_RETURN_NOT_OK(s.AddTriple(l.sound, l.data_edge, l.bitstream));
+  GOOD_RETURN_NOT_OK(s.AddTriple(l.sound, l.frequency, l.number));
+  GOOD_RETURN_NOT_OK(s.AddTriple(l.text, l.isa, l.data));
+  GOOD_RETURN_NOT_OK(s.AddTriple(l.text, l.data_edge, l.longstring));
+  GOOD_RETURN_NOT_OK(s.AddTriple(l.text, l.num_chars, l.number));
+  GOOD_RETURN_NOT_OK(s.AddTriple(l.text, l.num_words, l.number));
+  GOOD_RETURN_NOT_OK(s.AddTriple(l.graphics, l.isa, l.data));
+  GOOD_RETURN_NOT_OK(s.AddTriple(l.graphics, l.data_edge, l.bitmap));
+  GOOD_RETURN_NOT_OK(s.AddTriple(l.graphics, l.width, l.number));
+  GOOD_RETURN_NOT_OK(s.AddTriple(l.graphics, l.height, l.number));
+  // Section 4.2: mark the isa triples as subclass edges.
+  GOOD_RETURN_NOT_OK(s.MarkIsa(l.reference, l.isa, l.info));
+  GOOD_RETURN_NOT_OK(s.MarkIsa(l.data, l.isa, l.info));
+  GOOD_RETURN_NOT_OK(s.MarkIsa(l.sound, l.isa, l.data));
+  GOOD_RETURN_NOT_OK(s.MarkIsa(l.text, l.isa, l.data));
+  GOOD_RETURN_NOT_OK(s.MarkIsa(l.graphics, l.isa, l.data));
+  return s;
+}
+
+namespace {
+
+Value D(int year, int month, int day) {
+  return Value(Date{year, month, day});
+}
+Value S(std::string_view text) { return Value(std::string(text)); }
+Value N(int64_t number) { return Value(number); }
+Value B(std::initializer_list<uint8_t> bytes) { return Value(Bytes(bytes)); }
+
+const Value kJan12 = D(1990, 1, 12);
+const Value kJan14 = D(1990, 1, 14);
+
+}  // namespace
+
+Result<HyperMediaInstance> BuildInstance(const Scheme& scheme) {
+  const Labels& l = Labels::Get();
+  graph::Instance g;
+  InstanceNodes n;
+
+  auto obj = [&](Symbol label) -> Result<NodeId> {
+    return g.AddObjectNode(scheme, label);
+  };
+  auto pr = [&](Symbol label, Value v) -> Result<NodeId> {
+    return g.AddPrintableNode(scheme, label, std::move(v));
+  };
+  auto edge = [&](NodeId a, Symbol label, NodeId b) -> Status {
+    return g.AddEdge(scheme, a, label, b);
+  };
+
+  // --- Figure 2: the document-level structure. ---
+  GOOD_ASSIGN_OR_RETURN(n.music_history, obj(l.info));
+  GOOD_ASSIGN_OR_RETURN(n.rock_new, obj(l.info));
+  GOOD_ASSIGN_OR_RETURN(n.rock_old, obj(l.info));
+  GOOD_ASSIGN_OR_RETURN(n.classical, obj(l.info));
+  GOOD_ASSIGN_OR_RETURN(n.jazz, obj(l.info));
+  GOOD_ASSIGN_OR_RETURN(n.pinkfloyd, obj(l.info));
+  GOOD_ASSIGN_OR_RETURN(n.doors, obj(l.info));
+  GOOD_ASSIGN_OR_RETURN(n.beatles, obj(l.info));
+  GOOD_ASSIGN_OR_RETURN(n.mozart, obj(l.info));
+  GOOD_ASSIGN_OR_RETURN(n.version, obj(l.version));
+  GOOD_ASSIGN_OR_RETURN(n.reference, obj(l.reference));
+  GOOD_ASSIGN_OR_RETURN(n.music_comment, obj(l.comment));
+
+  GOOD_ASSIGN_OR_RETURN(NodeId jan12, pr(l.date, kJan12));
+  GOOD_ASSIGN_OR_RETURN(NodeId jan14, pr(l.date, kJan14));
+
+  // Music History: created Jan 12, modified Jan 14, comment by Jones,
+  // linked to the (new) Rock, Classical Music and Jazz documents.
+  GOOD_RETURN_NOT_OK(edge(n.music_history, l.created, jan12));
+  GOOD_RETURN_NOT_OK(edge(n.music_history, l.modified, jan14));
+  GOOD_ASSIGN_OR_RETURN(NodeId mh_name, pr(l.string, S("Music History")));
+  GOOD_RETURN_NOT_OK(edge(n.music_history, l.name, mh_name));
+  GOOD_RETURN_NOT_OK(edge(n.music_history, l.comment_edge, n.music_comment));
+  GOOD_ASSIGN_OR_RETURN(NodeId jones, pr(l.string, S("Author: Jones")));
+  GOOD_RETURN_NOT_OK(edge(n.music_comment, l.is, jones));
+  GOOD_RETURN_NOT_OK(edge(n.music_history, l.links_to, n.rock_new));
+  GOOD_RETURN_NOT_OK(edge(n.music_history, l.links_to, n.classical));
+  GOOD_RETURN_NOT_OK(edge(n.music_history, l.links_to, n.jazz));
+
+  // The two Rock versions and the Version node between them.
+  GOOD_ASSIGN_OR_RETURN(NodeId rock_name, pr(l.string, S("Rock")));
+  GOOD_RETURN_NOT_OK(edge(n.rock_new, l.created, jan14));
+  GOOD_RETURN_NOT_OK(edge(n.rock_new, l.name, rock_name));
+  GOOD_RETURN_NOT_OK(edge(n.rock_old, l.created, jan12));
+  GOOD_RETURN_NOT_OK(edge(n.rock_old, l.name, rock_name));
+  GOOD_RETURN_NOT_OK(edge(n.version, l.new_edge, n.rock_new));
+  GOOD_RETURN_NOT_OK(edge(n.version, l.old_edge, n.rock_old));
+  // Both versions preserve the link to The Doors; the new version adds
+  // Pinkfloyd where the old one had The Beatles.
+  GOOD_RETURN_NOT_OK(edge(n.rock_new, l.links_to, n.pinkfloyd));
+  GOOD_RETURN_NOT_OK(edge(n.rock_new, l.links_to, n.doors));
+  GOOD_RETURN_NOT_OK(edge(n.rock_old, l.links_to, n.doors));
+  GOOD_RETURN_NOT_OK(edge(n.rock_old, l.links_to, n.beatles));
+
+  // Classical Music -> Mozart; Jazz -> The Beatles (which the Reference
+  // node records as a reference occurring in Jazz).
+  GOOD_ASSIGN_OR_RETURN(NodeId cm_name, pr(l.string, S("Classical Music")));
+  GOOD_RETURN_NOT_OK(edge(n.classical, l.created, jan12));
+  GOOD_RETURN_NOT_OK(edge(n.classical, l.name, cm_name));
+  GOOD_RETURN_NOT_OK(edge(n.classical, l.links_to, n.mozart));
+  GOOD_ASSIGN_OR_RETURN(NodeId jazz_name, pr(l.string, S("Jazz")));
+  GOOD_RETURN_NOT_OK(edge(n.jazz, l.created, jan12));
+  GOOD_RETURN_NOT_OK(edge(n.jazz, l.name, jazz_name));
+  GOOD_RETURN_NOT_OK(edge(n.jazz, l.links_to, n.beatles));
+  GOOD_RETURN_NOT_OK(edge(n.reference, l.isa, n.beatles));
+  GOOD_RETURN_NOT_OK(edge(n.reference, l.in, n.jazz));
+
+  // Leaf documents. The Doors deliberately has no comment (incomplete
+  // information is allowed); Mozart only links from Classical Music.
+  GOOD_ASSIGN_OR_RETURN(NodeId pf_name, pr(l.string, S("Pinkfloyd")));
+  GOOD_RETURN_NOT_OK(edge(n.pinkfloyd, l.created, jan14));
+  GOOD_RETURN_NOT_OK(edge(n.pinkfloyd, l.name, pf_name));
+  GOOD_ASSIGN_OR_RETURN(NodeId doors_name, pr(l.string, S("The Doors")));
+  GOOD_RETURN_NOT_OK(edge(n.doors, l.created, jan12));
+  GOOD_RETURN_NOT_OK(edge(n.doors, l.name, doors_name));
+  GOOD_ASSIGN_OR_RETURN(NodeId beatles_name, pr(l.string, S("The Beatles")));
+  GOOD_RETURN_NOT_OK(edge(n.beatles, l.created, jan12));
+  GOOD_RETURN_NOT_OK(edge(n.beatles, l.name, beatles_name));
+  GOOD_ASSIGN_OR_RETURN(NodeId mozart_name, pr(l.string, S("Mozart")));
+  GOOD_RETURN_NOT_OK(edge(n.mozart, l.created, jan12));
+  GOOD_RETURN_NOT_OK(edge(n.mozart, l.name, mozart_name));
+
+  // --- Figure 3: the data nodes inside Pinkfloyd (node "1"). ---
+  GOOD_ASSIGN_OR_RETURN(n.pf_info_sound, obj(l.info));
+  GOOD_ASSIGN_OR_RETURN(n.pf_info_text, obj(l.info));
+  GOOD_RETURN_NOT_OK(edge(n.pinkfloyd, l.links_to, n.pf_info_sound));
+  GOOD_RETURN_NOT_OK(edge(n.pinkfloyd, l.links_to, n.pf_info_text));
+  GOOD_ASSIGN_OR_RETURN(n.pf_data_sound, obj(l.data));
+  GOOD_ASSIGN_OR_RETURN(n.pf_data_text, obj(l.data));
+  GOOD_RETURN_NOT_OK(edge(n.pf_data_sound, l.isa, n.pf_info_sound));
+  GOOD_RETURN_NOT_OK(edge(n.pf_data_text, l.isa, n.pf_info_text));
+  GOOD_ASSIGN_OR_RETURN(n.pf_sound, obj(l.sound));
+  GOOD_RETURN_NOT_OK(edge(n.pf_sound, l.isa, n.pf_data_sound));
+  GOOD_ASSIGN_OR_RETURN(NodeId freq, pr(l.number, N(1000)));
+  GOOD_RETURN_NOT_OK(edge(n.pf_sound, l.frequency, freq));
+  GOOD_ASSIGN_OR_RETURN(NodeId pf_stream,
+                        pr(l.bitstream, B({0x4D, 0x7})));  // 010011010111
+  GOOD_RETURN_NOT_OK(edge(n.pf_sound, l.data_edge, pf_stream));
+  GOOD_ASSIGN_OR_RETURN(n.pf_text, obj(l.text));
+  GOOD_RETURN_NOT_OK(edge(n.pf_text, l.isa, n.pf_data_text));
+  GOOD_ASSIGN_OR_RETURN(NodeId pf_words, pr(l.number, N(15000)));
+  GOOD_RETURN_NOT_OK(edge(n.pf_text, l.num_words, pf_words));
+  GOOD_ASSIGN_OR_RETURN(NodeId pf_long,
+                        pr(l.longstring, S("Pinkfloyd was created...")));
+  GOOD_RETURN_NOT_OK(edge(n.pf_text, l.data_edge, pf_long));
+
+  // --- Figure 3: the data nodes inside The Doors (node "2"). ---
+  GOOD_ASSIGN_OR_RETURN(n.dr_info_graphics, obj(l.info));
+  GOOD_ASSIGN_OR_RETURN(n.dr_info_text, obj(l.info));
+  GOOD_RETURN_NOT_OK(edge(n.doors, l.links_to, n.dr_info_graphics));
+  GOOD_RETURN_NOT_OK(edge(n.doors, l.links_to, n.dr_info_text));
+  GOOD_ASSIGN_OR_RETURN(n.dr_data_graphics, obj(l.data));
+  GOOD_ASSIGN_OR_RETURN(n.dr_data_text, obj(l.data));
+  GOOD_RETURN_NOT_OK(edge(n.dr_data_graphics, l.isa, n.dr_info_graphics));
+  GOOD_RETURN_NOT_OK(edge(n.dr_data_text, l.isa, n.dr_info_text));
+  GOOD_ASSIGN_OR_RETURN(n.dr_graphics, obj(l.graphics));
+  GOOD_RETURN_NOT_OK(edge(n.dr_graphics, l.isa, n.dr_data_graphics));
+  GOOD_ASSIGN_OR_RETURN(NodeId dr_width, pr(l.number, N(64)));
+  GOOD_RETURN_NOT_OK(edge(n.dr_graphics, l.width, dr_width));
+  GOOD_ASSIGN_OR_RETURN(NodeId dr_height, pr(l.number, N(48)));
+  GOOD_RETURN_NOT_OK(edge(n.dr_graphics, l.height, dr_height));
+  GOOD_ASSIGN_OR_RETURN(NodeId dr_map, pr(l.bitmap, B({0xB1})));  // 010110001
+  GOOD_RETURN_NOT_OK(edge(n.dr_graphics, l.data_edge, dr_map));
+  GOOD_ASSIGN_OR_RETURN(n.dr_text, obj(l.text));
+  GOOD_RETURN_NOT_OK(edge(n.dr_text, l.isa, n.dr_data_text));
+  GOOD_ASSIGN_OR_RETURN(NodeId dr_words, pr(l.number, N(2000)));
+  GOOD_RETURN_NOT_OK(edge(n.dr_text, l.num_words, dr_words));
+  GOOD_ASSIGN_OR_RETURN(NodeId dr_long,
+                        pr(l.longstring, S("The Doors are a...")));
+  GOOD_RETURN_NOT_OK(edge(n.dr_text, l.data_edge, dr_long));
+
+  GOOD_RETURN_NOT_OK(g.Validate(scheme));
+  return HyperMediaInstance{std::move(g), n};
+}
+
+Result<graph::Instance> BuildVersionInstance(const Scheme& scheme) {
+  const Labels& l = Labels::Get();
+  graph::Instance g;
+  NodeId i[6];
+  for (int k = 1; k <= 5; ++k) {
+    GOOD_ASSIGN_OR_RETURN(i[k], g.AddObjectNode(scheme, l.info));
+  }
+  GOOD_ASSIGN_OR_RETURN(NodeId x, g.AddObjectNode(scheme, l.info));
+  GOOD_ASSIGN_OR_RETURN(NodeId y, g.AddObjectNode(scheme, l.info));
+  GOOD_ASSIGN_OR_RETURN(NodeId z, g.AddObjectNode(scheme, l.info));
+  for (int k = 1; k <= 4; ++k) {
+    GOOD_ASSIGN_OR_RETURN(NodeId v, g.AddObjectNode(scheme, l.version));
+    GOOD_RETURN_NOT_OK(g.AddEdge(scheme, v, l.new_edge, i[k]));
+    GOOD_RETURN_NOT_OK(g.AddEdge(scheme, v, l.old_edge, i[k + 1]));
+  }
+  GOOD_RETURN_NOT_OK(g.AddEdge(scheme, i[1], l.links_to, x));
+  GOOD_RETURN_NOT_OK(g.AddEdge(scheme, i[1], l.links_to, y));
+  GOOD_RETURN_NOT_OK(g.AddEdge(scheme, i[2], l.links_to, x));
+  GOOD_RETURN_NOT_OK(g.AddEdge(scheme, i[2], l.links_to, y));
+  GOOD_RETURN_NOT_OK(g.AddEdge(scheme, i[3], l.links_to, y));
+  GOOD_RETURN_NOT_OK(g.AddEdge(scheme, i[4], l.links_to, y));
+  GOOD_RETURN_NOT_OK(g.AddEdge(scheme, i[5], l.links_to, y));
+  GOOD_RETURN_NOT_OK(g.AddEdge(scheme, i[5], l.links_to, z));
+  GOOD_RETURN_NOT_OK(g.Validate(scheme));
+  return g;
+}
+
+// ---------------------------------------------------------------------------
+// Figure operations
+// ---------------------------------------------------------------------------
+
+Result<Fig4> Fig4Pattern(const Scheme& scheme) {
+  GraphBuilder b(scheme);
+  NodeId upper = b.Object("Info");
+  NodeId lower = b.Object("Info");
+  NodeId date = b.Printable("Date", kJan14);
+  NodeId name = b.Printable("String", S("Rock"));
+  b.Edge(upper, "created", date)
+      .Edge(upper, "name", name)
+      .Edge(upper, "links-to", lower);
+  GOOD_ASSIGN_OR_RETURN(pattern::Pattern p, b.Build());
+  return Fig4{std::move(p), upper, lower};
+}
+
+Result<ops::NodeAddition> Fig6NodeAddition(const Scheme& scheme) {
+  GOOD_ASSIGN_OR_RETURN(Fig4 fig4, Fig4Pattern(scheme));
+  return ops::NodeAddition(std::move(fig4.pattern), Sym("Rock"),
+                           {{Sym("tagged-to"), fig4.lower_info}});
+}
+
+Result<ops::NodeAddition> Fig8NodeAddition(const Scheme& scheme) {
+  GraphBuilder b(scheme);
+  NodeId upper = b.Object("Info");
+  NodeId lower = b.Object("Info");
+  NodeId name = b.Printable("String", S("Rock"));
+  NodeId parent_date = b.Printable("Date");  // Valueless wildcard.
+  NodeId child_date = b.Printable("Date");
+  b.Edge(upper, "name", name)
+      .Edge(upper, "created", parent_date)
+      .Edge(upper, "links-to", lower)
+      .Edge(lower, "created", child_date);
+  GOOD_ASSIGN_OR_RETURN(pattern::Pattern p, b.Build());
+  return ops::NodeAddition(
+      std::move(p), Sym("Pair"),
+      {{Sym("parent"), parent_date}, {Sym("child"), child_date}});
+}
+
+Result<ops::EdgeAddition> Fig10EdgeAddition(const Scheme& scheme) {
+  GraphBuilder b(scheme);
+  NodeId data = b.Object("Data");
+  NodeId linked = b.Object("Info");
+  NodeId pf = b.Object("Info");
+  NodeId date = b.Printable("Date", kJan14);
+  NodeId name = b.Printable("String", S("Pinkfloyd"));
+  b.Edge(data, "isa", linked)
+      .Edge(pf, "links-to", linked)
+      .Edge(pf, "created", date)
+      .Edge(pf, "name", name);
+  GOOD_ASSIGN_OR_RETURN(pattern::Pattern p, b.Build());
+  return ops::EdgeAddition(
+      std::move(p),
+      {ops::EdgeSpec{data, Sym("data-creation"), date, /*functional=*/true}});
+}
+
+Result<ops::NodeAddition> Fig12NodeAddition(const Scheme& scheme) {
+  (void)scheme;
+  return ops::NodeAddition(pattern::Pattern(), Sym("Created Jan 14, 1990"),
+                           {});
+}
+
+Result<ops::EdgeAddition> Fig13EdgeAddition(const Scheme& scheme) {
+  GraphBuilder b(scheme);
+  NodeId set = b.Object("Created Jan 14, 1990");
+  NodeId info = b.Object("Info");
+  NodeId date = b.Printable("Date", kJan14);
+  b.Edge(info, "created", date);
+  GOOD_ASSIGN_OR_RETURN(pattern::Pattern p, b.Build());
+  return ops::EdgeAddition(
+      std::move(p),
+      {ops::EdgeSpec{set, Sym("contains"), info, /*functional=*/false}});
+}
+
+Result<ops::NodeDeletion> Fig14NodeDeletion(const Scheme& scheme) {
+  GraphBuilder b(scheme);
+  NodeId info = b.Object("Info");
+  NodeId name = b.Printable("String", S("Classical Music"));
+  b.Edge(info, "name", name);
+  GOOD_ASSIGN_OR_RETURN(pattern::Pattern p, b.Build());
+  return ops::NodeDeletion(std::move(p), info);
+}
+
+Result<ops::EdgeDeletion> Fig16EdgeDeletion(const Scheme& scheme) {
+  GraphBuilder b(scheme);
+  NodeId info = b.Object("Info");
+  NodeId name = b.Printable("String", S("Music History"));
+  NodeId date = b.Printable("Date");  // The old date, whatever it is.
+  b.Edge(info, "name", name).Edge(info, "modified", date);
+  GOOD_ASSIGN_OR_RETURN(pattern::Pattern p, b.Build());
+  return ops::EdgeDeletion(std::move(p),
+                           {ops::EdgeRef{info, Sym("modified"), date}});
+}
+
+Result<ops::EdgeAddition> Fig16EdgeAddition(const Scheme& scheme) {
+  GraphBuilder b(scheme);
+  NodeId info = b.Object("Info");
+  NodeId name = b.Printable("String", S("Music History"));
+  NodeId date = b.Printable("Date", D(1990, 1, 16));
+  b.Edge(info, "name", name);
+  GOOD_ASSIGN_OR_RETURN(pattern::Pattern p, b.Build());
+  return ops::EdgeAddition(
+      std::move(p),
+      {ops::EdgeSpec{info, Sym("modified"), date, /*functional=*/true}});
+}
+
+Result<Fig18> Fig18Abstraction(const Scheme& scheme) {
+  // Tag the info nodes reachable as new- and old-versions. (The paper
+  // draws the tag edge with label "in"; "in" is already a multivalued
+  // label in the scheme and node additions introduce functional edges
+  // only, so we name the tag edge "interested-in".)
+  GraphBuilder b_new(scheme);
+  NodeId v1 = b_new.Object("Version");
+  NodeId i1 = b_new.Object("Info");
+  b_new.Edge(v1, "new", i1);
+  GOOD_ASSIGN_OR_RETURN(pattern::Pattern p_new, b_new.Build());
+  ops::NodeAddition tag_new(std::move(p_new), Sym("Interested"),
+                            {{Sym("interested-in"), i1}});
+
+  GraphBuilder b_old(scheme);
+  NodeId v2 = b_old.Object("Version");
+  NodeId i2 = b_old.Object("Info");
+  b_old.Edge(v2, "old", i2);
+  GOOD_ASSIGN_OR_RETURN(pattern::Pattern p_old, b_old.Build());
+  ops::NodeAddition tag_old(std::move(p_old), Sym("Interested"),
+                            {{Sym("interested-in"), i2}});
+
+  // Abstract the tagged infos over their links-to sets. The source
+  // pattern needs the scheme extended by the tag NAs, so it is built
+  // against labels the NAs will introduce; the abstraction is applied
+  // after them, when the labels exist.
+  schema::Scheme extended = scheme;
+  GOOD_RETURN_NOT_OK(extended.EnsureObjectLabel(Sym("Interested")));
+  GOOD_RETURN_NOT_OK(extended.EnsureFunctionalEdgeLabel(Sym("interested-in")));
+  GOOD_RETURN_NOT_OK(
+      extended.EnsureTriple(Sym("Interested"), Sym("interested-in"),
+                            Sym("Info")));
+  GraphBuilder b_ab(extended);
+  NodeId tag = b_ab.Object("Interested");
+  NodeId info = b_ab.Object("Info");
+  b_ab.Edge(tag, "interested-in", info);
+  GOOD_ASSIGN_OR_RETURN(pattern::Pattern p_ab, b_ab.Build());
+  ops::Abstraction abstraction(std::move(p_ab), info, Sym("Same-Info"),
+                               Sym("contains"), Sym("links-to"));
+  return Fig18{std::move(tag_new), std::move(tag_old),
+               std::move(abstraction)};
+}
+
+}  // namespace good::hypermedia

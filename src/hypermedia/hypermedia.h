@@ -1,0 +1,142 @@
+/// \file hypermedia.h
+/// \brief The paper's running example: a hyper-media object base.
+///
+/// Section 2 develops a hyper-media system storing documents with text,
+/// graphics and sound, versioning, and cross-references. This module
+/// reconstructs:
+///  - the Figure 1 scheme (BuildScheme),
+///  - the Figure 2 + Figure 3 instance (BuildInstance), exposing every
+///    named node so tests can assert on specific figures,
+///  - the Figure 17 version-chain instance (BuildVersionInstance),
+///  - each figure's pattern/operation as a factory function
+///    (Fig4Pattern, Fig6NodeAddition, ...).
+///
+/// Where the scanned figures are ambiguous about incidental constants
+/// (e.g. the exact word counts of the Doors text node) we pick values
+/// consistent with the narrative; no operation's semantics depends on
+/// them. The figure-critical facts — e.g. that the Figure 4 pattern has
+/// exactly two matchings and the Figure 8 pattern exactly four — are
+/// asserted in tests/hypermedia_test.cc.
+
+#ifndef GOOD_HYPERMEDIA_HYPERMEDIA_H_
+#define GOOD_HYPERMEDIA_HYPERMEDIA_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "graph/instance.h"
+#include "ops/operations.h"
+#include "pattern/matcher.h"
+#include "schema/scheme.h"
+
+namespace good::hypermedia {
+
+/// \brief Interned label symbols of the hyper-media scheme.
+struct Labels {
+  // Object labels.
+  Symbol info, version, reference, data, comment, sound, text, graphics;
+  // Printable labels.
+  Symbol date, string, number, bitstream, longstring, bitmap;
+  // Functional edge labels.
+  Symbol created, modified, name, comment_edge, is, new_edge, old_edge, isa,
+      width, height, frequency, num_chars, num_words, data_edge;
+  // Multivalued edge labels.
+  Symbol links_to, in;
+
+  static const Labels& Get();
+};
+
+/// \brief Builds the Figure 1 scheme (isa triples marked as subclass
+/// edges per Section 4.2).
+Result<schema::Scheme> BuildScheme();
+
+/// \brief Node handles into the Figure 2 / Figure 3 instance.
+struct InstanceNodes {
+  using NodeId = graph::NodeId;
+  // Figure 2 info nodes.
+  NodeId music_history, rock_new, rock_old, classical, jazz, pinkfloyd,
+      doors, beatles, mozart;
+  NodeId version;           // The Version node between the two Rock infos.
+  NodeId reference;         // The Reference node (Beatles in Jazz).
+  NodeId music_comment;     // Comment node of Music History.
+  // Figure 3 structure under Pinkfloyd (node "1").
+  NodeId pf_info_sound, pf_info_text;  // links-to targets
+  NodeId pf_data_sound, pf_data_text;  // Data nodes
+  NodeId pf_sound, pf_text;            // Sound / Text nodes
+  // Figure 3 structure under The Doors (node "2").
+  NodeId dr_info_graphics, dr_info_text;
+  NodeId dr_data_graphics, dr_data_text;
+  NodeId dr_graphics, dr_text;
+};
+
+/// \brief The Figure 2 + Figure 3 instance and its named nodes.
+struct HyperMediaInstance {
+  graph::Instance instance;
+  InstanceNodes nodes;
+};
+
+/// \brief Builds the Figure 2 / Figure 3 instance over `scheme`.
+Result<HyperMediaInstance> BuildInstance(const schema::Scheme& scheme);
+
+/// \brief Builds the Figure 17 instance: a chain of four Version nodes
+/// over five Info nodes i1..i5 whose links-to sets are
+/// i1:{x,y}, i2:{x,y}, i3:{y}, i4:{y}, i5:{y,z} — so the Figure 18
+/// abstraction produces three Same-Info groups {i1,i2}, {i3,i4}, {i5}.
+Result<graph::Instance> BuildVersionInstance(const schema::Scheme& scheme);
+
+// ---------------------------------------------------------------------------
+// Figure operations
+// ---------------------------------------------------------------------------
+
+/// Figure 4: info node created on Jan 14, 1990, named Rock, linked to
+/// another info node. Returns the pattern and the pattern node the bold
+/// parts of later figures attach to (the lower Info node).
+struct Fig4 {
+  pattern::Pattern pattern;
+  graph::NodeId upper_info;
+  graph::NodeId lower_info;
+};
+Result<Fig4> Fig4Pattern(const schema::Scheme& scheme);
+
+/// Figure 6: tag each linked info node with a fresh Rock object via
+/// a functional tagged-to edge.
+Result<ops::NodeAddition> Fig6NodeAddition(const schema::Scheme& scheme);
+
+/// Figure 8: derive Pair objects aggregating (parent, child) creation
+/// dates of Rock-named infos and the infos they link to.
+Result<ops::NodeAddition> Fig8NodeAddition(const schema::Scheme& scheme);
+
+/// Figure 10: add a functional data-creation edge from each Data node of
+/// the Pinkfloyd document to its creation date.
+Result<ops::EdgeAddition> Fig10EdgeAddition(const schema::Scheme& scheme);
+
+/// Figure 12: add one single node labeled "Created Jan 14, 1990" (empty
+/// source pattern).
+Result<ops::NodeAddition> Fig12NodeAddition(const schema::Scheme& scheme);
+
+/// Figure 13: link that set object to every info created Jan 14, 1990
+/// via multivalued contains edges.
+Result<ops::EdgeAddition> Fig13EdgeAddition(const schema::Scheme& scheme);
+
+/// Figure 14: delete the info node named Classical Music.
+Result<ops::NodeDeletion> Fig14NodeDeletion(const schema::Scheme& scheme);
+
+/// Figure 16 (top): delete the modified edge of the Music History info.
+Result<ops::EdgeDeletion> Fig16EdgeDeletion(const schema::Scheme& scheme);
+
+/// Figure 16 (bottom): add modified = Jan 16, 1990 to Music History.
+Result<ops::EdgeAddition> Fig16EdgeAddition(const schema::Scheme& scheme);
+
+/// Figure 18: the three steps of the abstraction example — tag the new-
+/// and old-version infos with Interested objects, then abstract the
+/// tagged infos over their links-to sets into Same-Info groups.
+struct Fig18 {
+  ops::NodeAddition tag_new;
+  ops::NodeAddition tag_old;
+  ops::Abstraction abstraction;
+};
+Result<Fig18> Fig18Abstraction(const schema::Scheme& scheme);
+
+}  // namespace good::hypermedia
+
+#endif  // GOOD_HYPERMEDIA_HYPERMEDIA_H_

@@ -1,0 +1,250 @@
+#include "hypermedia/methods.h"
+
+#include "hypermedia/hypermedia.h"
+#include "ops/computed.h"
+#include "pattern/builder.h"
+
+namespace good::hypermedia {
+
+using graph::NodeId;
+using method::HeadBinding;
+using method::Method;
+using method::MethodCallOp;
+using method::ParameterizedOp;
+using pattern::GraphBuilder;
+using schema::Scheme;
+
+Result<Method> MakeUpdateMethod(const Scheme& scheme) {
+  Method update;
+  update.spec.name = "Update";
+  update.spec.params[Sym("parameter")] = Sym("Date");
+  update.spec.receiver_label = Sym("Info");
+
+  // Body op 1: delete the receiver's current modified edge.
+  {
+    GraphBuilder b(scheme);
+    NodeId info = b.Object("Info");
+    NodeId date = b.Printable("Date");
+    b.Edge(info, "modified", date);
+    GOOD_ASSIGN_OR_RETURN(pattern::Pattern p, b.Build());
+    ops::EdgeDeletion ed(std::move(p),
+                         {ops::EdgeRef{info, Sym("modified"), date}});
+    HeadBinding head;
+    head.receiver = info;
+    update.body.push_back(ParameterizedOp{std::move(ed), head});
+  }
+  // Body op 2: add the parameter as the new modified date.
+  {
+    GraphBuilder b(scheme);
+    NodeId info = b.Object("Info");
+    NodeId date = b.Printable("Date");
+    GOOD_ASSIGN_OR_RETURN(pattern::Pattern p, b.Build());
+    ops::EdgeAddition ea(
+        std::move(p),
+        {ops::EdgeSpec{info, Sym("modified"), date, /*functional=*/true}});
+    HeadBinding head;
+    head.receiver = info;
+    head.params[Sym("parameter")] = date;
+    update.body.push_back(ParameterizedOp{std::move(ea), head});
+  }
+  return update;  // No new labels: the interface is empty.
+}
+
+Result<MethodCallOp> MakeUpdateCall(const Scheme& scheme,
+                                    std::string_view name, Date new_date) {
+  GraphBuilder b(scheme);
+  NodeId info = b.Object("Info");
+  NodeId nm = b.Printable("String", Value(std::string(name)));
+  NodeId date = b.Printable("Date", Value(new_date));
+  b.Edge(info, "name", nm);
+  MethodCallOp call;
+  GOOD_ASSIGN_OR_RETURN(call.pattern, b.Build());
+  call.method_name = "Update";
+  call.args[Sym("parameter")] = date;
+  call.receiver = info;
+  return call;
+}
+
+Result<Method> MakeRemoveOldVersionsMethod(const Scheme& scheme) {
+  Method rov;
+  rov.spec.name = "R-O-V";
+  rov.spec.receiver_label = Sym("Info");
+
+  // Body op 1: recurse to the receiver's direct predecessor.
+  {
+    GraphBuilder b(scheme);
+    NodeId receiver = b.Object("Info");
+    NodeId version = b.Object("Version");
+    NodeId older = b.Object("Info");
+    b.Edge(version, "new", receiver).Edge(version, "old", older);
+    MethodCallOp rec;
+    GOOD_ASSIGN_OR_RETURN(rec.pattern, b.Build());
+    rec.method_name = "R-O-V";
+    rec.receiver = older;
+    HeadBinding head;
+    head.receiver = receiver;
+    rov.body.push_back(ParameterizedOp{std::move(rec), head});
+  }
+  // Body op 2: delete the predecessor.
+  {
+    GraphBuilder b(scheme);
+    NodeId receiver = b.Object("Info");
+    NodeId version = b.Object("Version");
+    NodeId older = b.Object("Info");
+    b.Edge(version, "new", receiver).Edge(version, "old", older);
+    GOOD_ASSIGN_OR_RETURN(pattern::Pattern p, b.Build());
+    ops::NodeDeletion nd(std::move(p), older);
+    HeadBinding head;
+    head.receiver = receiver;
+    rov.body.push_back(ParameterizedOp{std::move(nd), head});
+  }
+  // Body op 3: delete the dangling version node.
+  {
+    GraphBuilder b(scheme);
+    NodeId receiver = b.Object("Info");
+    NodeId version = b.Object("Version");
+    b.Edge(version, "new", receiver);
+    GOOD_ASSIGN_OR_RETURN(pattern::Pattern p, b.Build());
+    ops::NodeDeletion nd(std::move(p), version);
+    HeadBinding head;
+    head.receiver = receiver;
+    rov.body.push_back(ParameterizedOp{std::move(nd), head});
+  }
+  return rov;
+}
+
+namespace {
+
+/// The scheme extended with D's Elapsed sub-scheme, against which the
+/// D/E body patterns are constructed.
+Result<Scheme> ElapsedExtension(const Scheme& base) {
+  Scheme s = base;
+  GOOD_RETURN_NOT_OK(s.EnsureObjectLabel(Sym("Elapsed")));
+  GOOD_RETURN_NOT_OK(s.EnsureFunctionalEdgeLabel(Sym("olddate")));
+  GOOD_RETURN_NOT_OK(s.EnsureFunctionalEdgeLabel(Sym("newdate")));
+  GOOD_RETURN_NOT_OK(s.EnsureFunctionalEdgeLabel(Sym("diff")));
+  GOOD_RETURN_NOT_OK(s.EnsureTriple(Sym("Elapsed"), Sym("olddate"),
+                                    Sym("Date")));
+  GOOD_RETURN_NOT_OK(s.EnsureTriple(Sym("Elapsed"), Sym("newdate"),
+                                    Sym("Date")));
+  GOOD_RETURN_NOT_OK(s.EnsureTriple(Sym("Elapsed"), Sym("diff"),
+                                    Sym("Number")));
+  return s;
+}
+
+}  // namespace
+
+Result<Method> MakeDMethod(const Scheme& base) {
+  GOOD_ASSIGN_OR_RETURN(Scheme ext, ElapsedExtension(base));
+  Method d;
+  d.spec.name = "D";
+  d.spec.params[Sym("old")] = Sym("Date");
+  d.spec.receiver_label = Sym("Date");
+
+  // Body op 1: create the Elapsed node binding both dates.
+  {
+    GraphBuilder b(ext);
+    NodeId d_new = b.Printable("Date");
+    NodeId d_old = b.Printable("Date");
+    GOOD_ASSIGN_OR_RETURN(pattern::Pattern p, b.Build());
+    ops::NodeAddition na(
+        std::move(p), Sym("Elapsed"),
+        {{Sym("olddate"), d_old}, {Sym("newdate"), d_new}});
+    HeadBinding head;
+    head.receiver = d_new;
+    head.params[Sym("old")] = d_old;
+    d.body.push_back(ParameterizedOp{std::move(na), head});
+  }
+  // Body op 2: the external day-difference function (Section 4.1).
+  {
+    GraphBuilder b(ext);
+    NodeId e = b.Object("Elapsed");
+    NodeId d_old = b.Printable("Date");
+    NodeId d_new = b.Printable("Date");
+    b.Edge(e, "olddate", d_old).Edge(e, "newdate", d_new);
+    GOOD_ASSIGN_OR_RETURN(pattern::Pattern p, b.Build());
+    ops::ComputedEdgeAddition diff(
+        std::move(p), {d_old, d_new},
+        [](const std::vector<Value>& args) -> Result<Value> {
+          return Value(args[1].AsDate().ToDayNumber() -
+                       args[0].AsDate().ToDayNumber());
+        },
+        e, Sym("diff"), Sym("Number"), ValueKind::kInt);
+    d.body.push_back(ParameterizedOp{std::move(diff), std::nullopt});
+  }
+  // Interface: the Elapsed sub-scheme (Figure 23, right).
+  Scheme interface;
+  GOOD_RETURN_NOT_OK(interface.AddObjectLabel(Sym("Elapsed")));
+  GOOD_RETURN_NOT_OK(
+      interface.AddPrintableLabel(Sym("Date"), ValueKind::kDate));
+  GOOD_RETURN_NOT_OK(
+      interface.AddPrintableLabel(Sym("Number"), ValueKind::kInt));
+  GOOD_RETURN_NOT_OK(interface.AddFunctionalEdgeLabel(Sym("olddate")));
+  GOOD_RETURN_NOT_OK(interface.AddFunctionalEdgeLabel(Sym("newdate")));
+  GOOD_RETURN_NOT_OK(interface.AddFunctionalEdgeLabel(Sym("diff")));
+  GOOD_RETURN_NOT_OK(
+      interface.AddTriple(Sym("Elapsed"), Sym("olddate"), Sym("Date")));
+  GOOD_RETURN_NOT_OK(
+      interface.AddTriple(Sym("Elapsed"), Sym("newdate"), Sym("Date")));
+  GOOD_RETURN_NOT_OK(
+      interface.AddTriple(Sym("Elapsed"), Sym("diff"), Sym("Number")));
+  d.interface = interface;
+  return d;
+}
+
+Result<Method> MakeEMethod(const Scheme& base) {
+  GOOD_ASSIGN_OR_RETURN(Scheme ext, ElapsedExtension(base));
+  Method e;
+  e.spec.name = "E";
+  e.spec.receiver_label = Sym("Info");
+
+  // Body op 1: call D(old = created) on the modified date.
+  {
+    GraphBuilder b(ext);
+    NodeId info = b.Object("Info");
+    NodeId d_mod = b.Printable("Date");
+    NodeId d_cre = b.Printable("Date");
+    b.Edge(info, "modified", d_mod).Edge(info, "created", d_cre);
+    MethodCallOp call;
+    GOOD_ASSIGN_OR_RETURN(call.pattern, b.Build());
+    call.method_name = "D";
+    call.args[Sym("old")] = d_cre;
+    call.receiver = d_mod;
+    HeadBinding head;
+    head.receiver = info;
+    e.body.push_back(ParameterizedOp{std::move(call), head});
+  }
+  // Body op 2: copy the diff onto the receiver as days-unmod.
+  {
+    GraphBuilder b(ext);
+    NodeId info = b.Object("Info");
+    NodeId d_mod = b.Printable("Date");
+    NodeId d_cre = b.Printable("Date");
+    NodeId elapsed = b.Object("Elapsed");
+    NodeId num = b.Printable("Number");
+    b.Edge(info, "modified", d_mod)
+        .Edge(info, "created", d_cre)
+        .Edge(elapsed, "olddate", d_cre)
+        .Edge(elapsed, "newdate", d_mod)
+        .Edge(elapsed, "diff", num);
+    GOOD_ASSIGN_OR_RETURN(pattern::Pattern p, b.Build());
+    ops::EdgeAddition ea(
+        std::move(p),
+        {ops::EdgeSpec{info, Sym("days-unmod"), num, /*functional=*/true}});
+    HeadBinding head;
+    head.receiver = info;
+    e.body.push_back(ParameterizedOp{std::move(ea), head});
+  }
+  // Interface: Info -days-unmod-> Number (Figure 24, bottom).
+  Scheme interface;
+  GOOD_RETURN_NOT_OK(interface.AddObjectLabel(Sym("Info")));
+  GOOD_RETURN_NOT_OK(
+      interface.AddPrintableLabel(Sym("Number"), ValueKind::kInt));
+  GOOD_RETURN_NOT_OK(interface.AddFunctionalEdgeLabel(Sym("days-unmod")));
+  GOOD_RETURN_NOT_OK(
+      interface.AddTriple(Sym("Info"), Sym("days-unmod"), Sym("Number")));
+  e.interface = interface;
+  return e;
+}
+
+}  // namespace good::hypermedia

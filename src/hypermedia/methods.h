@@ -1,0 +1,38 @@
+/// \file methods.h
+/// \brief The paper's example methods (Figures 20-25) as reusable
+/// definitions over the hyper-media scheme.
+
+#ifndef GOOD_HYPERMEDIA_METHODS_H_
+#define GOOD_HYPERMEDIA_METHODS_H_
+
+#include "method/method.h"
+#include "schema/scheme.h"
+
+namespace good::hypermedia {
+
+/// Figure 20: method Update(parameter: Date) on Info — replaces the
+/// receiver's modified date with the parameter.
+Result<method::Method> MakeUpdateMethod(const schema::Scheme& scheme);
+
+/// Figure 21: a call updating every info named `name` to `new_date`.
+Result<method::MethodCallOp> MakeUpdateCall(const schema::Scheme& scheme,
+                                            std::string_view name,
+                                            Date new_date);
+
+/// Figure 22: the recursive Remove-Old-Versions method on Info.
+Result<method::Method> MakeRemoveOldVersionsMethod(
+    const schema::Scheme& scheme);
+
+/// Figure 23: method D(old: Date) on Date — leaves an Elapsed node with
+/// olddate/newdate/diff (days) edges; the Elapsed sub-scheme is D's
+/// interface.
+Result<method::Method> MakeDMethod(const schema::Scheme& scheme);
+
+/// Figures 24-25: method E on Info — attaches days-unmod =
+/// (modified - created) via a call to D; its interface filters the
+/// Elapsed temporaries.
+Result<method::Method> MakeEMethod(const schema::Scheme& scheme);
+
+}  // namespace good::hypermedia
+
+#endif  // GOOD_HYPERMEDIA_METHODS_H_

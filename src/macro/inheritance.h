@@ -1,0 +1,51 @@
+/// \file inheritance.h
+/// \brief Inheritance via marked isa edges (Section 4.2, Figures 30-31).
+///
+/// Functional scheme edges between object labels can be marked as
+/// subclass ("isa") edges (schema::Scheme::MarkIsa). The effect to the
+/// user is that all properties of the superclass objects are also
+/// available on the corresponding subclass objects, so queries may
+/// mention inherited properties directly (Figure 30). Internally this is
+/// a macro, realized two equivalent ways (both implemented and tested
+/// against each other):
+///  - *Pattern rewriting* (Figure 31): an edge drawn on a node whose own
+///    label does not license it is moved up an inserted chain of
+///    isa-edges to the nearest superclass that does license it.
+///  - *Virtual view*: materialize the instance obtained by copying each
+///    isa-target's outgoing edges down to the isa-source (a sequence of
+///    edge additions, to fixpoint across levels), then evaluate the
+///    original pattern. Subclass properties take precedence: a
+///    functional edge already present on the source is not overridden.
+
+#ifndef GOOD_MACRO_INHERITANCE_H_
+#define GOOD_MACRO_INHERITANCE_H_
+
+#include "graph/instance.h"
+#include "pattern/matcher.h"
+#include "schema/scheme.h"
+
+namespace good::macros {
+
+/// \brief Rewrites `pattern` so that every edge is licensed by its
+/// source node's own label, inserting isa-chains to superclasses where
+/// needed (Figure 31). Original pattern node ids remain valid. Fails
+/// with InvalidArgument when an edge is licensed by no (super)class.
+Result<pattern::Pattern> RewriteWithInheritance(const schema::Scheme& scheme,
+                                                const pattern::Pattern& p);
+
+/// \brief The inheritance view of a database: scheme and instance with
+/// superclass properties copied down to subclass objects.
+struct VirtualView {
+  schema::Scheme scheme;
+  graph::Instance instance;
+};
+
+/// \brief Materializes the virtual view of (scheme, instance): triples
+/// and edges of isa-targets are copied to isa-sources, iterated to
+/// fixpoint across multiple inheritance levels.
+Result<VirtualView> BuildVirtualView(const schema::Scheme& scheme,
+                                     const graph::Instance& instance);
+
+}  // namespace good::macros
+
+#endif  // GOOD_MACRO_INHERITANCE_H_

@@ -1,0 +1,173 @@
+#include "macro/negation.h"
+
+#include <algorithm>
+#include <memory>
+#include <set>
+
+namespace good::macros {
+
+using graph::Instance;
+
+namespace {
+
+/// Backtracking extension check: given the images of the positive nodes,
+/// does an assignment of the crossed nodes exist that realizes every
+/// edge of the full pattern?
+class ExtensionCheck {
+ public:
+  ExtensionCheck(const NegatedPattern& negated, const Instance& instance,
+                 const Matching& positive_matching)
+      : negated_(negated), instance_(instance) {
+    for (NodeId n : negated.positive_nodes) {
+      images_[n] = positive_matching.At(n);
+    }
+    std::set<NodeId> positive(negated.positive_nodes.begin(),
+                              negated.positive_nodes.end());
+    for (NodeId n : negated.full.AllNodes()) {
+      if (!positive.contains(n)) crossed_.push_back(n);
+    }
+  }
+
+  bool Extensible() { return Recurse(0); }
+
+ private:
+  /// All full-pattern edges whose endpoints are both assigned must be
+  /// present in the instance.
+  bool EdgesConsistent() const {
+    for (NodeId m : negated_.full.AllNodes()) {
+      auto mit = images_.find(m);
+      if (mit == images_.end()) continue;
+      for (const auto& [label, target] : negated_.full.OutEdges(m)) {
+        auto tit = images_.find(target);
+        if (tit == images_.end()) continue;
+        if (!instance_.HasEdge(mit->second, label, tit->second)) return false;
+      }
+    }
+    return true;
+  }
+
+  bool Recurse(size_t index) {
+    if (index == crossed_.size()) return EdgesConsistent();
+    NodeId m = crossed_[index];
+    std::vector<NodeId> candidates;
+    if (negated_.full.HasPrintValue(m)) {
+      auto found = instance_.FindPrintable(negated_.full.LabelOf(m),
+                                           *negated_.full.PrintValueOf(m));
+      if (found.has_value()) candidates.push_back(*found);
+    } else {
+      candidates = instance_.NodesWithLabel(negated_.full.LabelOf(m));
+    }
+    for (NodeId t : candidates) {
+      images_[m] = t;
+      // Prune early: partial assignments must stay edge-consistent.
+      if (EdgesConsistent() && Recurse(index + 1)) return true;
+    }
+    images_.erase(m);
+    return false;
+  }
+
+  const NegatedPattern& negated_;
+  const Instance& instance_;
+  std::unordered_map<NodeId, NodeId> images_;
+  std::vector<NodeId> crossed_;
+};
+
+bool IsExtensible(const NegatedPattern& negated, const Instance& instance,
+                  const Matching& positive_matching) {
+  return ExtensionCheck(negated, instance, positive_matching).Extensible();
+}
+
+}  // namespace
+
+Result<Pattern> NegatedPattern::PositivePart() const {
+  Pattern positive = full;  // Node ids stay stable under removal.
+  std::set<NodeId> keep(positive_nodes.begin(), positive_nodes.end());
+  for (NodeId n : positive_nodes) {
+    if (!full.HasNode(n)) {
+      return Status::InvalidArgument(
+          "positive node list references a node outside the pattern");
+    }
+  }
+  for (NodeId n : full.AllNodes()) {
+    if (!keep.contains(n)) {
+      GOOD_RETURN_NOT_OK(positive.RemoveNode(n));
+    }
+  }
+  for (const graph::Edge& e : crossed_edges) {
+    if (!full.HasEdge(e.source, e.label, e.target)) {
+      return Status::InvalidArgument(
+          "crossed edge is not an edge of the pattern");
+    }
+    GOOD_RETURN_NOT_OK(positive.RemoveEdge(e.source, e.label, e.target));
+  }
+  return positive;
+}
+
+Result<std::vector<Matching>> EvaluateNegated(const NegatedPattern& negated,
+                                              const Instance& instance) {
+  GOOD_ASSIGN_OR_RETURN(Pattern positive, negated.PositivePart());
+  std::vector<Matching> out;
+  for (const Matching& m : pattern::FindMatchings(positive, instance)) {
+    if (!IsExtensible(negated, instance, m)) out.push_back(m);
+  }
+  return out;
+}
+
+Result<ops::MatchFilter> NegationFilter(const NegatedPattern& negated) {
+  // Sanity-check the structure up front so the filter itself can't fail.
+  GOOD_RETURN_NOT_OK(negated.PositivePart().status());
+  auto shared = std::make_shared<NegatedPattern>(negated);
+  return ops::MatchFilter(
+      [shared](const Matching& m, const Instance& instance) {
+        return !IsExtensible(*shared, instance, m);
+      });
+}
+
+Result<std::vector<method::Operation>> NegationToOperations(
+    const NegatedPattern& negated, const schema::Scheme& scheme,
+    Symbol intermediate_label) {
+  GOOD_ASSIGN_OR_RETURN(Pattern positive, negated.PositivePart());
+
+  // Labels "$neg:<i>" bind the Intermediate node to the images of the
+  // positive nodes (the 1, 2, 3 edges of Figure 27).
+  std::vector<Symbol> index_labels;
+  for (size_t i = 0; i < negated.positive_nodes.size(); ++i) {
+    index_labels.push_back(Sym("$neg:" + std::to_string(i)));
+  }
+
+  // Pattern construction needs a scratch scheme that already carries the
+  // intermediate label and index triples; applying the operations
+  // performs the real minimal extension.
+  schema::Scheme scratch = scheme;
+  GOOD_RETURN_NOT_OK(scratch.EnsureObjectLabel(intermediate_label));
+  for (size_t i = 0; i < negated.positive_nodes.size(); ++i) {
+    GOOD_RETURN_NOT_OK(scratch.EnsureFunctionalEdgeLabel(index_labels[i]));
+    GOOD_RETURN_NOT_OK(scratch.EnsureTriple(
+        intermediate_label, index_labels[i],
+        negated.full.LabelOf(negated.positive_nodes[i])));
+  }
+
+  // Step 1 (Figure 27, top): tag every positive matching.
+  std::vector<std::pair<Symbol, NodeId>> bold;
+  for (size_t i = 0; i < negated.positive_nodes.size(); ++i) {
+    bold.emplace_back(index_labels[i], negated.positive_nodes[i]);
+  }
+  ops::NodeAddition tag(positive, intermediate_label, bold);
+
+  // Step 2 (Figure 27, middle): delete the tags of extensible matchings.
+  Pattern prune = negated.full;
+  GOOD_ASSIGN_OR_RETURN(NodeId intermediate,
+                        prune.AddObjectNode(scratch, intermediate_label));
+  for (size_t i = 0; i < negated.positive_nodes.size(); ++i) {
+    GOOD_RETURN_NOT_OK(prune.AddEdge(scratch, intermediate, index_labels[i],
+                                     negated.positive_nodes[i]));
+  }
+  ops::NodeDeletion sweep(std::move(prune), intermediate);
+
+  std::vector<method::Operation> out;
+  out.emplace_back(std::move(tag));
+  out.emplace_back(std::move(sweep));
+  return out;
+}
+
+}  // namespace good::macros

@@ -1,0 +1,92 @@
+/// \file predicates.h
+/// \brief Condition-box helpers (Section 4.1): ready-made MatchFilters
+/// over printable pattern nodes, in the style of QBE's condition boxes.
+
+#ifndef GOOD_MACRO_PREDICATES_H_
+#define GOOD_MACRO_PREDICATES_H_
+
+#include <utility>
+
+#include "common/value.h"
+#include "ops/operations.h"
+#include "pattern/matcher.h"
+
+namespace good::macros {
+
+namespace internal {
+inline const Value* PrintOf(const pattern::Matching& m,
+                            const graph::Instance& g,
+                            graph::NodeId pattern_node) {
+  const auto& v = g.PrintValueOf(m.At(pattern_node));
+  return v.has_value() ? &*v : nullptr;
+}
+}  // namespace internal
+
+/// The matched node's value compares to `bound` as requested; matchings
+/// whose node carries no value are rejected.
+inline ops::MatchFilter ValueEquals(graph::NodeId node, Value bound) {
+  return [node, bound = std::move(bound)](const pattern::Matching& m,
+                                          const graph::Instance& g) {
+    const Value* v = internal::PrintOf(m, g, node);
+    return v != nullptr && *v == bound;
+  };
+}
+
+inline ops::MatchFilter ValueLess(graph::NodeId node, Value bound) {
+  return [node, bound = std::move(bound)](const pattern::Matching& m,
+                                          const graph::Instance& g) {
+    const Value* v = internal::PrintOf(m, g, node);
+    return v != nullptr && *v < bound;
+  };
+}
+
+inline ops::MatchFilter ValueGreater(graph::NodeId node, Value bound) {
+  return [node, bound = std::move(bound)](const pattern::Matching& m,
+                                          const graph::Instance& g) {
+    const Value* v = internal::PrintOf(m, g, node);
+    return v != nullptr && *v > bound;
+  };
+}
+
+/// Inclusive range check — e.g. "created between Jan 1 and Jan 31, 1990"
+/// from Section 4.1.
+inline ops::MatchFilter ValueInRange(graph::NodeId node, Value lo, Value hi) {
+  return [node, lo = std::move(lo), hi = std::move(hi)](
+             const pattern::Matching& m, const graph::Instance& g) {
+    const Value* v = internal::PrintOf(m, g, node);
+    return v != nullptr && lo <= *v && *v <= hi;
+  };
+}
+
+/// The values of two matched nodes differ (Figure 26's query needs
+/// created != modified when expressed as a predicate).
+inline ops::MatchFilter ValuesDiffer(graph::NodeId a, graph::NodeId b) {
+  return [a, b](const pattern::Matching& m, const graph::Instance& g) {
+    const Value* va = internal::PrintOf(m, g, a);
+    const Value* vb = internal::PrintOf(m, g, b);
+    return va != nullptr && vb != nullptr && !(*va == *vb);
+  };
+}
+
+inline ops::MatchFilter And(ops::MatchFilter a, ops::MatchFilter b) {
+  return [a = std::move(a), b = std::move(b)](const pattern::Matching& m,
+                                              const graph::Instance& g) {
+    return a(m, g) && b(m, g);
+  };
+}
+
+inline ops::MatchFilter Or(ops::MatchFilter a, ops::MatchFilter b) {
+  return [a = std::move(a), b = std::move(b)](const pattern::Matching& m,
+                                              const graph::Instance& g) {
+    return a(m, g) || b(m, g);
+  };
+}
+
+inline ops::MatchFilter Not(ops::MatchFilter a) {
+  return [a = std::move(a)](const pattern::Matching& m,
+                            const graph::Instance& g) { return !a(m, g); };
+}
+
+}  // namespace good::macros
+
+#endif  // GOOD_MACRO_PREDICATES_H_

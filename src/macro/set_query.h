@@ -1,0 +1,45 @@
+/// \file set_query.h
+/// \brief The set-building query idiom of Figures 26 and 30.
+///
+/// Queries like "give the SET of the names of the info nodes ..." are
+/// drawn in the paper as a bold Answer node with a bold multivalued
+/// contains edge — shorthand for an empty-pattern node addition creating
+/// one Answer object followed by an edge addition linking it to every
+/// matched node (the Figure 12/13 two-step). SetQuery packages that
+/// idiom, optionally with a negated condition (Figure 26 combines both).
+
+#ifndef GOOD_MACRO_SET_QUERY_H_
+#define GOOD_MACRO_SET_QUERY_H_
+
+#include <vector>
+
+#include "macro/negation.h"
+#include "ops/operations.h"
+
+namespace good::macros {
+
+/// \brief A set-building query: collect the images of `collect` over
+/// the (possibly negated) condition's matchings under a fresh
+/// `answer_label` object via multivalued `member_edge` edges.
+struct SetQuery {
+  NegatedPattern condition;
+  graph::NodeId collect;
+  Symbol answer_label;
+  Symbol member_edge;
+};
+
+/// \brief Executes the query: creates the answer object (even when no
+/// matching exists — the set is then empty) and links the collected
+/// nodes. Returns the answer node.
+Result<graph::NodeId> RunSetQuery(const SetQuery& query,
+                                  schema::Scheme* scheme,
+                                  graph::Instance* instance);
+
+/// \brief Convenience: the members of an answer node.
+std::vector<graph::NodeId> AnswerMembers(const graph::Instance& instance,
+                                         graph::NodeId answer,
+                                         Symbol member_edge);
+
+}  // namespace good::macros
+
+#endif  // GOOD_MACRO_SET_QUERY_H_

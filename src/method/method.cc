@@ -1,0 +1,321 @@
+#include "method/method.h"
+
+#include <string>
+#include <utility>
+
+#include "graph/restrict.h"
+
+namespace good::method {
+
+using graph::Instance;
+using schema::Scheme;
+
+Symbol ReceiverEdgeLabel() { return Sym("$receiver"); }
+
+Status MethodRegistry::Register(Method method) {
+  // Copy the key before moving the method into the map: emplace argument
+  // evaluation order is unspecified.
+  const std::string name = method.spec.name;
+  if (name.empty()) {
+    return Status::InvalidArgument("method name must not be empty");
+  }
+  auto [it, inserted] =
+      methods_.emplace(name, std::make_unique<Method>(std::move(method)));
+  (void)it;
+  if (!inserted) {
+    return Status::AlreadyExists("method '" + name + "' already registered");
+  }
+  return Status::OK();
+}
+
+Result<const Method*> MethodRegistry::Find(const std::string& name) const {
+  auto it = methods_.find(name);
+  if (it == methods_.end()) {
+    return Status::NotFound("no method named '" + name + "'");
+  }
+  return it->second.get();
+}
+
+namespace {
+
+/// Copies `original` and augments it with a K-labeled node per the call
+/// semantics: head-bound operations get the K-node wired to their bound
+/// pattern nodes; head-less operations get an isolated K-node.
+Result<Pattern> AugmentPattern(const Pattern& original,
+                               const std::optional<HeadBinding>& head,
+                               Symbol k_label, const Scheme& scheme,
+                               const MethodSpec& spec) {
+  Pattern augmented = original;
+  GOOD_ASSIGN_OR_RETURN(NodeId k_node,
+                        augmented.AddObjectNode(scheme, k_label));
+  if (!head.has_value()) return augmented;
+  for (const auto& [param, node] : head->params) {
+    if (!spec.params.contains(param)) {
+      return Status::InvalidArgument(
+          "head binds '" + SymName(param) + "' which is not a parameter of "
+          "method '" + spec.name + "'");
+    }
+    if (!augmented.HasNode(node)) {
+      return Status::InvalidArgument(
+          "head binding for '" + SymName(param) +
+          "' references a node outside the source pattern");
+    }
+    if (augmented.LabelOf(node) != spec.params.at(param)) {
+      return Status::InvalidArgument(
+          "head binding for '" + SymName(param) + "' must point to a node "
+          "labeled '" + SymName(spec.params.at(param)) + "'");
+    }
+    GOOD_RETURN_NOT_OK(augmented.AddEdge(scheme, k_node, param, node));
+  }
+  if (head->receiver.has_value()) {
+    if (!augmented.HasNode(*head->receiver)) {
+      return Status::InvalidArgument(
+          "head receiver binding references a node outside the source "
+          "pattern");
+    }
+    if (augmented.LabelOf(*head->receiver) != spec.receiver_label) {
+      return Status::InvalidArgument(
+          "head receiver binding must point to a node labeled '" +
+          SymName(spec.receiver_label) + "'");
+    }
+    GOOD_RETURN_NOT_OK(augmented.AddEdge(scheme, k_node, ReceiverEdgeLabel(),
+                                         *head->receiver));
+  }
+  return augmented;
+}
+
+/// Rebuilds `po.op` over the augmented pattern (pattern node ids are
+/// stable under augmentation, so designators carry over unchanged).
+Result<Operation> AugmentOperation(const ParameterizedOp& po, Symbol k_label,
+                                   const Scheme& scheme,
+                                   const MethodSpec& spec) {
+  struct Visitor {
+    Symbol k_label;
+    const Scheme& scheme;
+    const MethodSpec& spec;
+    const std::optional<HeadBinding>& head;
+
+    Result<Operation> operator()(const ops::NodeAddition& op) {
+      GOOD_ASSIGN_OR_RETURN(
+          Pattern p, AugmentPattern(op.source_pattern(), head, k_label,
+                                    scheme, spec));
+      ops::NodeAddition out(std::move(p), op.new_label(), op.edges());
+      out.set_filter(op.filter());
+      return Operation(std::move(out));
+    }
+    Result<Operation> operator()(const ops::EdgeAddition& op) {
+      GOOD_ASSIGN_OR_RETURN(
+          Pattern p, AugmentPattern(op.source_pattern(), head, k_label,
+                                    scheme, spec));
+      ops::EdgeAddition out(std::move(p), op.edges());
+      out.set_filter(op.filter());
+      return Operation(std::move(out));
+    }
+    Result<Operation> operator()(const ops::NodeDeletion& op) {
+      GOOD_ASSIGN_OR_RETURN(
+          Pattern p, AugmentPattern(op.source_pattern(), head, k_label,
+                                    scheme, spec));
+      ops::NodeDeletion out(std::move(p), op.target());
+      out.set_filter(op.filter());
+      return Operation(std::move(out));
+    }
+    Result<Operation> operator()(const ops::EdgeDeletion& op) {
+      GOOD_ASSIGN_OR_RETURN(
+          Pattern p, AugmentPattern(op.source_pattern(), head, k_label,
+                                    scheme, spec));
+      ops::EdgeDeletion out(std::move(p), op.edges());
+      out.set_filter(op.filter());
+      return Operation(std::move(out));
+    }
+    Result<Operation> operator()(const ops::Abstraction& op) {
+      GOOD_ASSIGN_OR_RETURN(
+          Pattern p, AugmentPattern(op.source_pattern(), head, k_label,
+                                    scheme, spec));
+      ops::Abstraction out(std::move(p), op.node(), op.set_label(),
+                           op.member_edge(), op.grouping_edge());
+      out.set_filter(op.filter());
+      return Operation(std::move(out));
+    }
+    Result<Operation> operator()(const ops::ComputedEdgeAddition& op) {
+      GOOD_ASSIGN_OR_RETURN(
+          Pattern p, AugmentPattern(op.source_pattern(), head, k_label,
+                                    scheme, spec));
+      ops::ComputedEdgeAddition out(std::move(p), op.inputs(), op.fn(),
+                                    op.source(), op.edge_label(),
+                                    op.output_label(), op.output_domain());
+      out.set_filter(op.filter());
+      return Operation(std::move(out));
+    }
+    Result<Operation> operator()(const MethodCallOp& op) {
+      GOOD_ASSIGN_OR_RETURN(
+          Pattern p,
+          AugmentPattern(op.pattern, head, k_label, scheme, spec));
+      return Operation(MethodCallOp{std::move(p), op.method_name, op.args,
+                                    op.receiver, op.filter});
+    }
+  };
+  return std::visit(Visitor{k_label, scheme, spec, po.head}, po.op);
+}
+
+}  // namespace
+
+Status Executor::ChargeStep() {
+  if (++steps_ > options_.max_steps) {
+    return Status::ResourceExhausted(
+        "operation budget exhausted after " + std::to_string(steps_ - 1) +
+        " steps (non-terminating method recursion?)");
+  }
+  return Status::OK();
+}
+
+Symbol Executor::FreshCallLabel(const Scheme& scheme,
+                                const std::string& method_name) {
+  while (true) {
+    std::string candidate =
+        "$call:" + method_name + ":" + std::to_string(call_counter_++);
+    Symbol sym = Sym(candidate);
+    if (!scheme.HasLabel(sym)) return sym;
+  }
+}
+
+Status Executor::Execute(const Operation& op, Scheme* scheme,
+                         Instance* instance, ops::ApplyStats* stats) {
+  steps_ = 0;
+  return ExecuteAt(op, scheme, instance, stats, 0);
+}
+
+Status Executor::ExecuteAll(const std::vector<Operation>& ops, Scheme* scheme,
+                            Instance* instance, ops::ApplyStats* stats) {
+  steps_ = 0;
+  for (const Operation& op : ops) {
+    GOOD_RETURN_NOT_OK(ExecuteAt(op, scheme, instance, stats, 0));
+  }
+  return Status::OK();
+}
+
+Status Executor::ExecuteAt(const Operation& op, Scheme* scheme,
+                           Instance* instance, ops::ApplyStats* stats,
+                           size_t depth) {
+  GOOD_RETURN_NOT_OK(ChargeStep());
+  struct Visitor {
+    Executor* self;
+    Scheme* scheme;
+    Instance* instance;
+    ops::ApplyStats* stats;
+    size_t depth;
+
+    Status operator()(const ops::NodeAddition& o) {
+      return o.Apply(scheme, instance, stats);
+    }
+    Status operator()(const ops::EdgeAddition& o) {
+      return o.Apply(scheme, instance, stats);
+    }
+    Status operator()(const ops::NodeDeletion& o) {
+      return o.Apply(scheme, instance, stats);
+    }
+    Status operator()(const ops::EdgeDeletion& o) {
+      return o.Apply(scheme, instance, stats);
+    }
+    Status operator()(const ops::Abstraction& o) {
+      return o.Apply(scheme, instance, stats);
+    }
+    Status operator()(const ops::ComputedEdgeAddition& o) {
+      return o.Apply(scheme, instance, stats);
+    }
+    Status operator()(const MethodCallOp& o) {
+      return self->ExecuteCall(o, scheme, instance, stats, depth);
+    }
+  };
+  return std::visit(Visitor{this, scheme, instance, stats, depth}, op);
+}
+
+Status Executor::ExecuteCall(const MethodCallOp& call, Scheme* scheme,
+                             Instance* instance, ops::ApplyStats* stats,
+                             size_t depth) {
+  if (depth >= options_.max_depth) {
+    return Status::ResourceExhausted("method call depth limit reached");
+  }
+  if (registry_ == nullptr) {
+    return Status::FailedPrecondition("executor has no method registry");
+  }
+  GOOD_ASSIGN_OR_RETURN(const Method* m, registry_->Find(call.method_name));
+  const MethodSpec& spec = m->spec;
+
+  // -- Validate the actual parameters against the specification: g must
+  //    be total on L_M and label-correct; the receiver node must carry
+  //    R_M.
+  if (call.args.size() != spec.params.size()) {
+    return Status::InvalidArgument(
+        "call to '" + spec.name + "' supplies " +
+        std::to_string(call.args.size()) + " parameters, expected " +
+        std::to_string(spec.params.size()));
+  }
+  for (const auto& [param, label] : spec.params) {
+    auto it = call.args.find(param);
+    if (it == call.args.end()) {
+      return Status::InvalidArgument("call to '" + spec.name +
+                                     "' misses parameter '" +
+                                     SymName(param) + "'");
+    }
+    if (!call.pattern.HasNode(it->second)) {
+      return Status::InvalidArgument(
+          "actual parameter '" + SymName(param) +
+          "' is not a node of the call pattern");
+    }
+    if (call.pattern.LabelOf(it->second) != label) {
+      return Status::InvalidArgument(
+          "actual parameter '" + SymName(param) + "' must be labeled '" +
+          SymName(label) + "'");
+    }
+  }
+  if (!call.pattern.HasNode(call.receiver)) {
+    return Status::InvalidArgument(
+        "call receiver is not a node of the call pattern");
+  }
+  if (call.pattern.LabelOf(call.receiver) != spec.receiver_label) {
+    return Status::InvalidArgument("call receiver must be labeled '" +
+                                   SymName(spec.receiver_label) + "'");
+  }
+
+  // -- Step 1: the binding node addition with a fresh K label.
+  const Scheme base = *scheme;  // S: the scheme before the call.
+  Symbol k_label = FreshCallLabel(*scheme, spec.name);
+  std::vector<std::pair<Symbol, NodeId>> bold;
+  for (const auto& [param, node] : call.args) bold.emplace_back(param, node);
+  bold.emplace_back(ReceiverEdgeLabel(), call.receiver);
+  ops::NodeAddition binder(call.pattern, k_label, std::move(bold));
+  if (call.filter) binder.set_filter(call.filter);
+  ops::ApplyStats binder_stats;
+  GOOD_RETURN_NOT_OK(binder.Apply(scheme, instance, &binder_stats));
+  if (stats != nullptr) stats->matchings += binder_stats.matchings;
+
+  // -- Step 2: execute the body once, set-oriented over all K-nodes.
+  //    With zero K-nodes every transformed body operation has zero
+  //    matchings, so the body is skipped — this is also the recursion
+  //    cutoff (Figure 22 halts when a receiver has no older version).
+  if (instance->CountNodesWithLabel(k_label) > 0) {
+    for (const ParameterizedOp& po : m->body) {
+      GOOD_ASSIGN_OR_RETURN(Operation oper,
+                            AugmentOperation(po, k_label, *scheme, spec));
+      GOOD_RETURN_NOT_OK(
+          ExecuteAt(oper, scheme, instance, stats, depth + 1));
+    }
+  }
+
+  // -- Step 3: delete the K-nodes.
+  {
+    Pattern k_pattern;
+    GOOD_ASSIGN_OR_RETURN(NodeId k_node,
+                          k_pattern.AddObjectNode(*scheme, k_label));
+    ops::NodeDeletion cleanup(std::move(k_pattern), k_node);
+    GOOD_RETURN_NOT_OK(cleanup.Apply(scheme, instance, nullptr));
+  }
+
+  // -- Step 4: result scheme is S ∪ C_M; restrict the instance to it,
+  //    filtering out in-body temporaries (Figures 24-25).
+  GOOD_ASSIGN_OR_RETURN(*scheme, Scheme::Union(base, m->interface));
+  GOOD_RETURN_NOT_OK(graph::RestrictToScheme(*scheme, instance));
+  return Status::OK();
+}
+
+}  // namespace good::method

@@ -1,0 +1,208 @@
+/// \file method.h
+/// \brief The GOOD method mechanism (Section 3.6 of the paper).
+///
+/// A method is a named procedure with four parts:
+///  - a *specification* (s_M, R_M): the parameter labels (functional
+///    edge labels mapped to node labels) and the receiver node label —
+///    drawn as the diamond node in the figures;
+///  - a *body*: a sequence of parameterized operations — operations
+///    whose source pattern may contain the M-head (diamond) node binding
+///    pattern nodes to the formal receiver / parameters;
+///  - an *interface* C_M: a scheme describing the method's effect at the
+///    scheme level, used to filter out temporaries from the result;
+///  - *calls* MC[J, M, g, n]: invoke the body for every matching of the
+///    call pattern J, with g mapping parameter labels to pattern nodes
+///    and n the receiver pattern node.
+///
+/// Call semantics (implemented literally from the paper):
+///  1. Pick a fresh object label K and run the node addition
+///     NA[J, K, {(λ, g(λ)) : λ ∈ L_M} ∪ {($receiver, n)}], creating one
+///     K-node per distinct (parameters, receiver) binding.
+///  2. For each body operation PO_i build OPER_i: substitute the M-head
+///     diamond by a K-labeled pattern node (edges preserved), or — if
+///     PO_i has no head — add an isolated K-node to its pattern. Execute
+///     the OPER_i in order.
+///  3. Delete all K-nodes (ND over the single-K-node pattern).
+///  4. The result scheme is S ∪ C_M (S = the scheme *before* the call)
+///     and the result instance is the restriction to it — temporaries
+///     whose labels are in neither S nor C_M vanish (Figures 24-25).
+///
+/// Because every transformed body operation's pattern contains a K-node,
+/// a call whose pattern has no matchings (zero K-nodes) is a no-op; for
+/// recursive calls this is precisely the termination condition of
+/// Figure 22, and the executor uses it to cut off recursion. A step
+/// budget guards genuinely diverging programs (methods make the language
+/// Turing-complete, Section 4.3).
+
+#ifndef GOOD_METHOD_METHOD_H_
+#define GOOD_METHOD_METHOD_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/instance.h"
+#include "ops/computed.h"
+#include "ops/operations.h"
+#include "pattern/matcher.h"
+#include "schema/scheme.h"
+
+namespace good::method {
+
+using graph::NodeId;
+using pattern::Pattern;
+
+/// \brief Method specification (s_M, R_M) plus the method's name.
+struct MethodSpec {
+  std::string name;
+  /// s_M: parameter edge label -> node label of the parameter.
+  std::map<Symbol, Symbol> params;
+  /// R_M: node label of the receiver.
+  Symbol receiver_label;
+};
+
+/// \brief The M-head (diamond) node of a parameterized body operation:
+/// binds pattern nodes of the operation's source pattern to formal
+/// parameters / the formal receiver.
+struct HeadBinding {
+  /// Parameter edge label -> pattern node. Keys must be parameter
+  /// labels of the enclosing method; at most one edge per label.
+  std::map<Symbol, NodeId> params;
+  /// The pattern node bound to the receiver, if the head has the
+  /// (unlabeled, in the figures) receiver edge.
+  std::optional<NodeId> receiver;
+};
+
+/// \brief A method call operation MC[J, M, g, n]. Usable both at top
+/// level and (with a HeadBinding) inside method bodies — recursion is a
+/// body call to the enclosing method (Figure 22).
+struct MethodCallOp {
+  Pattern pattern;
+  std::string method_name;
+  /// g: parameter edge label -> pattern node carrying the actual value.
+  std::map<Symbol, NodeId> args;
+  /// n: the pattern node receiving the call.
+  NodeId receiver;
+  /// Optional Section 4.1 predicate restricting which matchings of the
+  /// call pattern trigger the method — also how crossed (negated)
+  /// stopping conditions of recursive macros are expressed (Figure 29).
+  ops::MatchFilter filter;
+};
+
+/// \brief Any GOOD operation: the five basic operations, the external-
+/// function extension (Section 4.1), or a method call.
+using Operation =
+    std::variant<ops::NodeAddition, ops::EdgeAddition, ops::NodeDeletion,
+                 ops::EdgeDeletion, ops::Abstraction,
+                 ops::ComputedEdgeAddition, MethodCallOp>;
+
+/// \brief One step of a method body.
+struct ParameterizedOp {
+  Operation op;
+  /// Present when the operation's pattern is augmented with the M-head
+  /// diamond node.
+  std::optional<HeadBinding> head;
+};
+
+/// \brief A complete method definition.
+struct Method {
+  MethodSpec spec;
+  std::vector<ParameterizedOp> body;
+  /// C_M: the method interface, a scheme. The call result is restricted
+  /// to (caller scheme ∪ interface).
+  schema::Scheme interface;
+};
+
+/// \brief Named collection of methods available to an Executor.
+class MethodRegistry {
+ public:
+  /// Registers `method`; its name must be unused.
+  Status Register(Method method);
+
+  /// Looks up a method by name; NotFound if absent.
+  Result<const Method*> Find(const std::string& name) const;
+
+  bool Contains(const std::string& name) const {
+    return methods_.contains(name);
+  }
+
+  size_t size() const { return methods_.size(); }
+
+  /// All registered methods, in name order (for serialization and
+  /// introspection).
+  std::vector<const Method*> All() const {
+    std::vector<const Method*> out;
+    out.reserve(methods_.size());
+    for (const auto& [name, method] : methods_) {
+      (void)name;
+      out.push_back(method.get());
+    }
+    return out;
+  }
+
+ private:
+  std::map<std::string, std::unique_ptr<Method>> methods_;
+};
+
+/// \brief Execution limits.
+struct ExecOptions {
+  /// Total operation budget across all (possibly recursive) calls; a
+  /// diverging program yields ResourceExhausted.
+  size_t max_steps = 1'000'000;
+  /// Maximum method-call nesting depth.
+  size_t max_depth = 10'000;
+};
+
+/// \brief Executes operations — including method calls — against a
+/// database (scheme + instance).
+class Executor {
+ public:
+  explicit Executor(const MethodRegistry* registry, ExecOptions options = {})
+      : registry_(registry), options_(options) {}
+
+  /// Executes one operation. Basic operations dispatch to their Apply;
+  /// method calls follow the Section 3.6 semantics described above.
+  Status Execute(const Operation& op, schema::Scheme* scheme,
+                 graph::Instance* instance,
+                 ops::ApplyStats* stats = nullptr);
+
+  /// Executes a sequence of operations in order.
+  Status ExecuteAll(const std::vector<Operation>& ops, schema::Scheme* scheme,
+                    graph::Instance* instance,
+                    ops::ApplyStats* stats = nullptr);
+
+  /// Operations executed by the last top-level Execute/ExecuteAll run
+  /// (including those inside method bodies).
+  size_t steps_used() const { return steps_; }
+
+ private:
+  Status ExecuteCall(const MethodCallOp& call, schema::Scheme* scheme,
+                     graph::Instance* instance, ops::ApplyStats* stats,
+                     size_t depth);
+  Status ExecuteAt(const Operation& op, schema::Scheme* scheme,
+                   graph::Instance* instance, ops::ApplyStats* stats,
+                   size_t depth);
+  Status ChargeStep();
+
+  /// Returns an object label unused by `scheme`, derived from the
+  /// method name.
+  Symbol FreshCallLabel(const schema::Scheme& scheme,
+                        const std::string& method_name);
+
+  const MethodRegistry* registry_;
+  ExecOptions options_;
+  size_t steps_ = 0;
+  size_t call_counter_ = 0;
+};
+
+/// The reserved functional edge label binding a call's K-node to the
+/// receiver (the paper draws this edge unlabeled).
+Symbol ReceiverEdgeLabel();
+
+}  // namespace good::method
+
+#endif  // GOOD_METHOD_METHOD_H_

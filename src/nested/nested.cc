@@ -1,0 +1,274 @@
+#include "nested/nested.h"
+
+#include <algorithm>
+#include <map>
+
+#include "ops/operations.h"
+
+namespace good::nested {
+
+using graph::Instance;
+using graph::NodeId;
+using pattern::Pattern;
+using schema::Scheme;
+
+namespace {
+
+Symbol DomainLabel(ValueKind kind) {
+  return Sym("dom:" + std::string(ValueKindToString(kind)));
+}
+
+}  // namespace
+
+NestedRelation DirectNest(
+    const std::vector<std::vector<Value>>& flat_rows) {
+  std::map<std::vector<Value>, std::set<Value>> groups;
+  for (const std::vector<Value>& row : flat_rows) {
+    std::vector<Value> keys(row.begin(), row.end() - 1);
+    groups[std::move(keys)].insert(row.back());
+  }
+  NestedRelation out;
+  for (auto& [keys, values] : groups) {
+    out.insert(NestedRow{keys, values});
+  }
+  return out;
+}
+
+std::set<std::vector<Value>> DirectUnnest(const NestedRelation& nested) {
+  std::set<std::vector<Value>> out;
+  for (const NestedRow& row : nested) {
+    for (const Value& v : row.set_values) {
+      std::vector<Value> flat = row.keys;
+      flat.push_back(v);
+      out.insert(std::move(flat));
+    }
+  }
+  return out;
+}
+
+Result<codd::RelSchema> NestedSimulator::SchemaOf(
+    const std::string& relation) const {
+  for (const codd::RelSchema& s : flat_schemas_) {
+    if (s.name == relation) return s;
+  }
+  return Status::NotFound("flat relation '" + relation +
+                          "' is not declared");
+}
+
+Status NestedSimulator::DeclareFlat(const codd::RelSchema& schema) {
+  if (SchemaOf(schema.name).ok()) {
+    return Status::AlreadyExists("relation '" + schema.name +
+                                 "' already declared");
+  }
+  if (schema.attrs.size() < 2) {
+    return Status::InvalidArgument(
+        "nesting needs at least one key attribute plus the nested one");
+  }
+  Symbol class_label = Sym(schema.name);
+  GOOD_RETURN_NOT_OK(scheme_.EnsureObjectLabel(class_label));
+  for (const auto& [attr, kind] : schema.attrs) {
+    GOOD_RETURN_NOT_OK(scheme_.EnsurePrintableLabel(DomainLabel(kind), kind));
+    GOOD_RETURN_NOT_OK(scheme_.EnsureFunctionalEdgeLabel(Sym(attr)));
+    GOOD_RETURN_NOT_OK(
+        scheme_.EnsureTriple(class_label, Sym(attr), DomainLabel(kind)));
+  }
+  flat_schemas_.push_back(schema);
+  return Status::OK();
+}
+
+Status NestedSimulator::InsertFlat(const std::string& relation,
+                                   const std::vector<Value>& values) {
+  GOOD_ASSIGN_OR_RETURN(const codd::RelSchema schema, SchemaOf(relation));
+  if (values.size() != schema.attrs.size()) {
+    return Status::InvalidArgument("tuple arity mismatch");
+  }
+  GOOD_ASSIGN_OR_RETURN(NodeId row,
+                        instance_.AddObjectNode(scheme_, Sym(relation)));
+  for (size_t i = 0; i < values.size(); ++i) {
+    const auto& [attr, kind] = schema.attrs[i];
+    if (values[i].kind() != kind) {
+      return Status::InvalidArgument("value kind mismatch for '" + attr +
+                                     "'");
+    }
+    GOOD_ASSIGN_OR_RETURN(
+        NodeId v,
+        instance_.AddPrintableNode(scheme_, DomainLabel(kind), values[i]));
+    GOOD_RETURN_NOT_OK(instance_.AddEdge(scheme_, row, Sym(attr), v));
+  }
+  return Status::OK();
+}
+
+Status NestedSimulator::Nest(const std::string& in, const std::string& out) {
+  GOOD_ASSIGN_OR_RETURN(const codd::RelSchema schema, SchemaOf(in));
+  const size_t num_keys = schema.attrs.size() - 1;
+  const auto& [nested_attr, nested_kind] = schema.attrs.back();
+  const Symbol has_edge = Sym("has:" + nested_attr);
+  const Symbol set_label = Sym(out + ":Set");
+
+  // Step 1: one group object per distinct key combination.
+  {
+    Pattern p;
+    GOOD_ASSIGN_OR_RETURN(NodeId row, p.AddObjectNode(scheme_, Sym(in)));
+    std::vector<std::pair<Symbol, NodeId>> bold;
+    for (size_t i = 0; i < num_keys; ++i) {
+      const auto& [attr, kind] = schema.attrs[i];
+      GOOD_ASSIGN_OR_RETURN(
+          NodeId d, p.AddValuelessPrintableNode(scheme_, DomainLabel(kind)));
+      GOOD_RETURN_NOT_OK(p.AddEdge(scheme_, row, Sym(attr), d));
+      bold.emplace_back(Sym(attr), d);
+    }
+    ops::NodeAddition na(std::move(p), Sym(out), std::move(bold));
+    GOOD_RETURN_NOT_OK(na.Apply(&scheme_, &instance_));
+  }
+  // Step 2: collect the nested values per group (multivalued has-edges).
+  {
+    Pattern p;
+    GOOD_ASSIGN_OR_RETURN(NodeId group, p.AddObjectNode(scheme_, Sym(out)));
+    GOOD_ASSIGN_OR_RETURN(NodeId row, p.AddObjectNode(scheme_, Sym(in)));
+    for (size_t i = 0; i < num_keys; ++i) {
+      const auto& [attr, kind] = schema.attrs[i];
+      GOOD_ASSIGN_OR_RETURN(
+          NodeId d, p.AddValuelessPrintableNode(scheme_, DomainLabel(kind)));
+      GOOD_RETURN_NOT_OK(p.AddEdge(scheme_, group, Sym(attr), d));
+      GOOD_RETURN_NOT_OK(p.AddEdge(scheme_, row, Sym(attr), d));
+    }
+    GOOD_ASSIGN_OR_RETURN(NodeId b, p.AddValuelessPrintableNode(
+                                        scheme_, DomainLabel(nested_kind)));
+    GOOD_RETURN_NOT_OK(p.AddEdge(scheme_, row, Sym(nested_attr), b));
+    ops::EdgeAddition ea(
+        std::move(p),
+        {ops::EdgeSpec{group, has_edge, b, /*functional=*/false}});
+    GOOD_RETURN_NOT_OK(ea.Apply(&scheme_, &instance_));
+  }
+  // Step 3: ABSTRACTION — one shared set object per distinct value set.
+  {
+    Pattern p;
+    GOOD_ASSIGN_OR_RETURN(NodeId group, p.AddObjectNode(scheme_, Sym(out)));
+    ops::Abstraction ab(std::move(p), group, set_label, Sym("contains"),
+                        has_edge);
+    GOOD_RETURN_NOT_OK(ab.Apply(&scheme_, &instance_));
+  }
+  // Step 4: functional value-set edge from each group to its shared set.
+  {
+    Pattern p;
+    GOOD_ASSIGN_OR_RETURN(NodeId vs, p.AddObjectNode(scheme_, set_label));
+    GOOD_ASSIGN_OR_RETURN(NodeId group, p.AddObjectNode(scheme_, Sym(out)));
+    GOOD_RETURN_NOT_OK(p.AddEdge(scheme_, vs, Sym("contains"), group));
+    ops::EdgeAddition ea(
+        std::move(p),
+        {ops::EdgeSpec{group, Sym("value-set"), vs, /*functional=*/true}});
+    GOOD_RETURN_NOT_OK(ea.Apply(&scheme_, &instance_));
+  }
+  // Step 5: the set objects carry their member values directly.
+  {
+    Pattern p;
+    GOOD_ASSIGN_OR_RETURN(NodeId vs, p.AddObjectNode(scheme_, set_label));
+    GOOD_ASSIGN_OR_RETURN(NodeId group, p.AddObjectNode(scheme_, Sym(out)));
+    GOOD_ASSIGN_OR_RETURN(NodeId b, p.AddValuelessPrintableNode(
+                                        scheme_, DomainLabel(nested_kind)));
+    GOOD_RETURN_NOT_OK(p.AddEdge(scheme_, vs, Sym("contains"), group));
+    GOOD_RETURN_NOT_OK(p.AddEdge(scheme_, group, has_edge, b));
+    ops::EdgeAddition ea(
+        std::move(p),
+        {ops::EdgeSpec{vs, Sym("members"), b, /*functional=*/false}});
+    GOOD_RETURN_NOT_OK(ea.Apply(&scheme_, &instance_));
+  }
+  nested_.emplace_back(out, schema);
+  return Status::OK();
+}
+
+Status NestedSimulator::Unnest(const std::string& in,
+                               const std::string& out) {
+  const codd::RelSchema* source = nullptr;
+  for (const auto& [group_class, schema] : nested_) {
+    if (group_class == in) source = &schema;
+  }
+  if (source == nullptr) {
+    return Status::NotFound("'" + in + "' is not a nested class");
+  }
+  const codd::RelSchema schema = *source;  // Copy: we mutate containers.
+  const size_t num_keys = schema.attrs.size() - 1;
+  const auto& [nested_attr, nested_kind] = schema.attrs.back();
+  codd::RelSchema out_schema{out, schema.attrs};
+  GOOD_RETURN_NOT_OK(DeclareFlat(out_schema));
+
+  Pattern p;
+  GOOD_ASSIGN_OR_RETURN(NodeId group, p.AddObjectNode(scheme_, Sym(in)));
+  std::vector<std::pair<Symbol, NodeId>> bold;
+  for (size_t i = 0; i < num_keys; ++i) {
+    const auto& [attr, kind] = schema.attrs[i];
+    GOOD_ASSIGN_OR_RETURN(
+        NodeId d, p.AddValuelessPrintableNode(scheme_, DomainLabel(kind)));
+    GOOD_RETURN_NOT_OK(p.AddEdge(scheme_, group, Sym(attr), d));
+    bold.emplace_back(Sym(attr), d);
+  }
+  GOOD_ASSIGN_OR_RETURN(NodeId vs,
+                        p.AddObjectNode(scheme_, Sym(in + ":Set")));
+  GOOD_ASSIGN_OR_RETURN(NodeId b, p.AddValuelessPrintableNode(
+                                      scheme_, DomainLabel(nested_kind)));
+  GOOD_RETURN_NOT_OK(p.AddEdge(scheme_, group, Sym("value-set"), vs));
+  GOOD_RETURN_NOT_OK(p.AddEdge(scheme_, vs, Sym("members"), b));
+  bold.emplace_back(Sym(nested_attr), b);
+  ops::NodeAddition na(std::move(p), Sym(out), std::move(bold));
+  return na.Apply(&scheme_, &instance_);
+}
+
+Result<NestedRelation> NestedSimulator::ExportNested(
+    const std::string& group_class) const {
+  const codd::RelSchema* source = nullptr;
+  for (const auto& [name, schema] : nested_) {
+    if (name == group_class) source = &schema;
+  }
+  if (source == nullptr) {
+    return Status::NotFound("'" + group_class + "' is not a nested class");
+  }
+  const size_t num_keys = source->attrs.size() - 1;
+  NestedRelation out;
+  for (NodeId group : instance_.NodesWithLabel(Sym(group_class))) {
+    NestedRow row;
+    for (size_t i = 0; i < num_keys; ++i) {
+      auto target =
+          instance_.FunctionalTarget(group, Sym(source->attrs[i].first));
+      if (!target.has_value()) {
+        return Status::Internal("group misses a key attribute");
+      }
+      row.keys.push_back(*instance_.PrintValueOf(*target));
+    }
+    auto vs = instance_.FunctionalTarget(group, Sym("value-set"));
+    if (!vs.has_value()) {
+      return Status::Internal("group misses its value-set object");
+    }
+    for (NodeId member : instance_.OutTargets(*vs, Sym("members"))) {
+      row.set_values.insert(*instance_.PrintValueOf(member));
+    }
+    out.insert(std::move(row));
+  }
+  return out;
+}
+
+Result<std::set<std::vector<Value>>> NestedSimulator::ExportFlat(
+    const std::string& relation) const {
+  GOOD_ASSIGN_OR_RETURN(const codd::RelSchema schema, SchemaOf(relation));
+  std::set<std::vector<Value>> out;
+  for (NodeId row : instance_.NodesWithLabel(Sym(relation))) {
+    std::vector<Value> tuple;
+    for (const auto& [attr, kind] : schema.attrs) {
+      (void)kind;
+      auto target = instance_.FunctionalTarget(row, Sym(attr));
+      if (!target.has_value()) {
+        return Status::Internal("flat tuple misses attribute '" + attr +
+                                "'");
+      }
+      tuple.push_back(*instance_.PrintValueOf(*target));
+    }
+    out.insert(std::move(tuple));
+  }
+  return out;
+}
+
+size_t NestedSimulator::CountSetObjects(
+    const std::string& group_class) const {
+  return instance_.CountNodesWithLabel(Sym(group_class + ":Set"));
+}
+
+}  // namespace good::nested

@@ -1,0 +1,104 @@
+/// \file nested.h
+/// \brief Nested relational algebra via abstraction (Section 4.3).
+///
+/// "By adding abstraction, one can moreover simulate the nested
+/// relational algebra. ... The abstraction operation is needed in this
+/// case to obtain 'faithful' simulations of relation-valued attributes,
+/// meaning that duplicate relations can be eliminated."
+///
+/// NestedSimulator works with one-level nested relations: atomic key
+/// attributes plus one set-valued attribute. Flat relations are encoded
+/// as in the codd module; NEST is a GOOD program
+///   1. node addition grouping tuples by their key attributes,
+///   2. edge addition collecting the nested values per group
+///      (multivalued has-edges),
+///   3. ABSTRACTION over the groups by their value sets, yielding one
+///      shared set object per distinct value set (the faithfulness),
+///   4. edge addition giving each group a functional value-set edge to
+///      its shared set object;
+/// UNNEST is a single node addition flattening groups back out. Direct
+/// C++ reference implementations allow differential testing.
+
+#ifndef GOOD_NESTED_NESTED_H_
+#define GOOD_NESTED_NESTED_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "codd/codd.h"
+#include "graph/instance.h"
+#include "schema/scheme.h"
+
+namespace good::nested {
+
+/// \brief One row of a one-level nested relation.
+struct NestedRow {
+  std::vector<Value> keys;
+  std::set<Value> set_values;
+
+  friend bool operator==(const NestedRow&, const NestedRow&) = default;
+  friend bool operator<(const NestedRow& a, const NestedRow& b) {
+    if (a.keys != b.keys) return a.keys < b.keys;
+    return a.set_values < b.set_values;
+  }
+};
+
+/// \brief A one-level nested relation as a canonical set of rows.
+using NestedRelation = std::set<NestedRow>;
+
+/// \brief Reference NEST: group `rows` (key values followed by one
+/// atomic value in the last position) by the key prefix.
+NestedRelation DirectNest(
+    const std::vector<std::vector<Value>>& flat_rows);
+
+/// \brief Reference UNNEST.
+std::set<std::vector<Value>> DirectUnnest(const NestedRelation& nested);
+
+/// \brief Runs the GOOD nest/unnest simulation.
+class NestedSimulator {
+ public:
+  NestedSimulator() = default;
+
+  /// Declares a flat relation whose LAST attribute is the one that will
+  /// be nested.
+  Status DeclareFlat(const codd::RelSchema& schema);
+  Status InsertFlat(const std::string& relation,
+                    const std::vector<Value>& values);
+
+  /// NEST: groups `in` by all attributes except the last, collecting
+  /// the last attribute's values into shared set objects. `out` names
+  /// the group class; set objects are labeled `out` + ":Set".
+  Status Nest(const std::string& in, const std::string& out);
+
+  /// UNNEST: flattens the group class `in` (produced by Nest) back into
+  /// a flat relation class `out`.
+  Status Unnest(const std::string& in, const std::string& out);
+
+  /// Reads a group class back as a canonical nested relation.
+  Result<NestedRelation> ExportNested(const std::string& group_class) const;
+
+  /// Reads a flat relation class back (canonical set of rows).
+  Result<std::set<std::vector<Value>>> ExportFlat(
+      const std::string& relation) const;
+
+  /// Number of set objects backing `group_class` — faithfulness means
+  /// this equals the number of DISTINCT value sets.
+  size_t CountSetObjects(const std::string& group_class) const;
+
+  const schema::Scheme& scheme() const { return scheme_; }
+  const graph::Instance& instance() const { return instance_; }
+
+ private:
+  Result<codd::RelSchema> SchemaOf(const std::string& relation) const;
+
+  schema::Scheme scheme_;
+  graph::Instance instance_;
+  std::vector<codd::RelSchema> flat_schemas_;
+  // Nested classes: group class name -> source flat schema.
+  std::vector<std::pair<std::string, codd::RelSchema>> nested_;
+};
+
+}  // namespace good::nested
+
+#endif  // GOOD_NESTED_NESTED_H_

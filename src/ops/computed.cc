@@ -1,0 +1,98 @@
+#include "ops/computed.h"
+
+#include <map>
+#include <set>
+
+namespace good::ops {
+
+using graph::Instance;
+using graph::NodeId;
+using pattern::Matching;
+using schema::Scheme;
+
+Status ComputedEdgeAddition::Apply(Scheme* scheme, Instance* instance,
+                                   ApplyStats* stats) const {
+  if (!pattern_.HasNode(source_)) {
+    return Status::InvalidArgument(
+        "computed edge source is not a node of the source pattern");
+  }
+  for (NodeId input : inputs_) {
+    if (!pattern_.HasNode(input)) {
+      return Status::InvalidArgument(
+          "computed edge input is not a node of the source pattern");
+    }
+  }
+  if (scheme->HasLabel(edge_label_) &&
+      !scheme->IsFunctionalEdgeLabel(edge_label_)) {
+    return Status::InvalidArgument(
+        "computed edge label '" + SymName(edge_label_) +
+        "' exists with a non-functional kind");
+  }
+
+  std::vector<Matching> matchings = Matchings(*instance);
+
+  // -- Minimal scheme extension.
+  GOOD_RETURN_NOT_OK(
+      scheme->EnsurePrintableLabel(output_label_, output_domain_));
+  GOOD_RETURN_NOT_OK(scheme->EnsureFunctionalEdgeLabel(edge_label_));
+  GOOD_RETURN_NOT_OK(scheme->EnsureTriple(pattern_.LabelOf(source_),
+                                          edge_label_, output_label_));
+
+  // -- Evaluate fn for every matching, then consistency-check before
+  //    mutating (atomicity, as in EdgeAddition).
+  std::map<NodeId, std::set<Value>> computed;  // source node -> values
+  for (const Matching& matching : matchings) {
+    std::vector<Value> args;
+    args.reserve(inputs_.size());
+    for (NodeId input : inputs_) {
+      NodeId image = matching.At(input);
+      const auto& value = instance->PrintValueOf(image);
+      if (!value.has_value()) {
+        return Status::FailedPrecondition(
+            "computed edge input node #" + std::to_string(image.id) +
+            " carries no print value");
+      }
+      args.push_back(*value);
+    }
+    GOOD_ASSIGN_OR_RETURN(Value out, fn_(args));
+    if (out.kind() != output_domain_) {
+      return Status::Internal(
+          "external function produced a value outside the declared domain");
+    }
+    computed[matching.At(source_)].insert(std::move(out));
+  }
+  for (const auto& [source, values] : computed) {
+    size_t distinct = values.size();
+    auto existing = instance->FunctionalTarget(source, edge_label_);
+    if (existing.has_value()) {
+      const auto& existing_value = instance->PrintValueOf(*existing);
+      if (!existing_value.has_value() || !values.contains(*existing_value)) {
+        ++distinct;
+      }
+    }
+    if (distinct > 1) {
+      return Status::FailedPrecondition(
+          "computed edge addition undefined: functional label '" +
+          SymName(edge_label_) + "' would leave node #" +
+          std::to_string(source.id) + " towards multiple computed values");
+    }
+  }
+
+  ApplyStats local;
+  local.matchings = matchings.size();
+  for (const auto& [source, values] : computed) {
+    for (const Value& value : values) {
+      GOOD_ASSIGN_OR_RETURN(
+          NodeId target,
+          instance->AddPrintableNode(*scheme, output_label_, value));
+      if (instance->HasEdge(source, edge_label_, target)) continue;
+      GOOD_RETURN_NOT_OK(
+          instance->AddEdge(*scheme, source, edge_label_, target));
+      ++local.edges_added;
+    }
+  }
+  if (stats != nullptr) *stats += local;
+  return Status::OK();
+}
+
+}  // namespace good::ops

@@ -1,0 +1,72 @@
+/// \file computed.h
+/// \brief Edge additions whose target printable is computed by an
+/// external function (Section 4.1's "additional predicates on printable
+/// objects ... possibly using external functions" extension).
+///
+/// The paper's method D (Figure 23) computes the number of days elapsed
+/// between two dates; pure GOOD operations cannot compute arithmetic on
+/// constants, so the model delegates to system-given external functions
+/// over printable domains. ComputedEdgeAddition captures exactly that:
+/// for each matching, it evaluates fn over the print values of
+/// designated input pattern nodes, materializes the printable node for
+/// the computed constant, and adds a functional edge from the image of a
+/// source pattern node to it.
+
+#ifndef GOOD_OPS_COMPUTED_H_
+#define GOOD_OPS_COMPUTED_H_
+
+#include <functional>
+#include <vector>
+
+#include "ops/operations.h"
+
+namespace good::ops {
+
+/// \brief The external function: print values of the designated input
+/// nodes (in declaration order) -> computed constant.
+using ExternalFn =
+    std::function<Result<Value>(const std::vector<Value>&)>;
+
+/// \brief For each matching i, adds the functional edge
+/// (i(source), label, printable(output_label, fn(values))) — the
+/// computed printable node is materialized on demand (printables are
+/// system-given). Functional consistency is checked before mutation,
+/// like EdgeAddition.
+class ComputedEdgeAddition : public PatternOperation {
+ public:
+  /// `inputs` are pattern nodes whose images must carry print values at
+  /// match time. `output_domain` is the constant domain of
+  /// `output_label` (used when the label is new to the scheme).
+  ComputedEdgeAddition(Pattern pattern, std::vector<NodeId> inputs,
+                       ExternalFn fn, NodeId source, Symbol edge_label,
+                       Symbol output_label, ValueKind output_domain)
+      : PatternOperation(std::move(pattern)),
+        inputs_(std::move(inputs)),
+        fn_(std::move(fn)),
+        source_(source),
+        edge_label_(edge_label),
+        output_label_(output_label),
+        output_domain_(output_domain) {}
+
+  Status Apply(schema::Scheme* scheme, graph::Instance* instance,
+               ApplyStats* stats = nullptr) const;
+
+  const std::vector<NodeId>& inputs() const { return inputs_; }
+  const ExternalFn& fn() const { return fn_; }
+  NodeId source() const { return source_; }
+  Symbol edge_label() const { return edge_label_; }
+  Symbol output_label() const { return output_label_; }
+  ValueKind output_domain() const { return output_domain_; }
+
+ private:
+  std::vector<NodeId> inputs_;
+  ExternalFn fn_;
+  NodeId source_;
+  Symbol edge_label_;
+  Symbol output_label_;
+  ValueKind output_domain_;
+};
+
+}  // namespace good::ops
+
+#endif  // GOOD_OPS_COMPUTED_H_

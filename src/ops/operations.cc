@@ -1,0 +1,382 @@
+#include "ops/operations.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/hash.h"
+
+namespace good::ops {
+
+using graph::Instance;
+using pattern::Matching;
+using schema::Scheme;
+
+namespace {
+
+/// Checks that every pattern node referenced by an operation designator
+/// actually belongs to the pattern.
+Status RequirePatternNode(const Pattern& pattern, NodeId node,
+                          const char* what) {
+  if (!pattern.HasNode(node)) {
+    return Status::InvalidArgument(std::string(what) +
+                                   " does not refer to a node of the "
+                                   "source pattern");
+  }
+  return Status::OK();
+}
+
+/// Printable objects are system-given: "printable nodes are
+/// system-defined and need not be explicitly added by GOOD
+/// transformation language operations" (Section 3.1). The additive
+/// operations therefore materialize every value-carrying printable node
+/// of their source pattern before matching, so that e.g. the Figure 16
+/// update can attach a modified-edge to a date constant that no node in
+/// the instance carries yet. (Materialization is idempotent thanks to
+/// printable dedup; deletions do NOT materialize — a deletion pattern
+/// naming an absent constant simply has no matchings.)
+Status MaterializePrintables(const Pattern& pattern,
+                             const schema::Scheme& scheme,
+                             Instance* instance) {
+  for (NodeId m : pattern.AllNodes()) {
+    if (!pattern.HasPrintValue(m)) continue;
+    GOOD_RETURN_NOT_OK(
+        instance->AddPrintableNode(scheme, pattern.LabelOf(m),
+                                   *pattern.PrintValueOf(m))
+            .status());
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::vector<Matching> PatternOperation::Matchings(
+    const Instance& instance) const {
+  std::vector<Matching> matchings =
+      pattern::FindMatchings(pattern_, instance);
+  if (filter_) {
+    std::erase_if(matchings,
+                  [&](const Matching& m) { return !filter_(m, instance); });
+  }
+  return matchings;
+}
+
+// ---------------------------------------------------------------------------
+// Node addition (Figure 9)
+// ---------------------------------------------------------------------------
+
+Status NodeAddition::Apply(Scheme* scheme, Instance* instance,
+                           ApplyStats* stats) const {
+  // -- Validation of the designator.
+  if (scheme->HasLabel(new_label_) && !scheme->IsObjectLabel(new_label_)) {
+    return Status::InvalidArgument(
+        "node addition label '" + SymName(new_label_) +
+        "' exists with a non-object kind (node additions never introduce "
+        "printable nodes)");
+  }
+  std::unordered_set<Symbol> seen_labels;
+  for (const auto& [label, node] : edges_) {
+    GOOD_RETURN_NOT_OK(RequirePatternNode(pattern_, node, "bold edge target"));
+    if (!seen_labels.insert(label).second) {
+      return Status::InvalidArgument(
+          "node addition edge labels must be pairwise distinct; '" +
+          SymName(label) + "' repeats");
+    }
+    if (scheme->HasLabel(label) && !scheme->IsFunctionalEdgeLabel(label)) {
+      return Status::InvalidArgument(
+          "node addition edge label '" + SymName(label) +
+          "' exists with a non-functional kind (node additions only "
+          "introduce functional edges)");
+    }
+  }
+
+  // -- Matchings against the pre-state (with system-given printables
+  //    materialized).
+  GOOD_RETURN_NOT_OK(MaterializePrintables(pattern_, *scheme, instance));
+  std::vector<Matching> matchings = Matchings(*instance);
+
+  // -- Minimal scheme extension.
+  GOOD_RETURN_NOT_OK(scheme->EnsureObjectLabel(new_label_));
+  for (const auto& [label, node] : edges_) {
+    GOOD_RETURN_NOT_OK(scheme->EnsureFunctionalEdgeLabel(label));
+    GOOD_RETURN_NOT_OK(
+        scheme->EnsureTriple(new_label_, label, pattern_.LabelOf(node)));
+  }
+
+  // -- Index the pre-existing K-nodes by their α-target tuples, so the
+  //    "if not exists" check of Figure 9 covers them.
+  std::map<std::vector<NodeId>, NodeId> by_targets;
+  for (NodeId k : instance->NodesWithLabel(new_label_)) {
+    std::vector<NodeId> key;
+    key.reserve(edges_.size());
+    bool complete = true;
+    for (const auto& [label, node] : edges_) {
+      (void)node;
+      auto target = instance->FunctionalTarget(k, label);
+      if (!target.has_value()) {
+        complete = false;
+        break;
+      }
+      key.push_back(*target);
+    }
+    if (complete) by_targets.emplace(std::move(key), k);
+  }
+
+  ApplyStats local;
+  local.matchings = matchings.size();
+  for (const Matching& matching : matchings) {
+    std::vector<NodeId> key;
+    key.reserve(edges_.size());
+    for (const auto& [label, node] : edges_) {
+      (void)label;
+      key.push_back(matching.At(node));
+    }
+    if (by_targets.contains(key)) continue;
+    GOOD_ASSIGN_OR_RETURN(NodeId fresh,
+                          instance->AddObjectNode(*scheme, new_label_));
+    ++local.nodes_added;
+    for (size_t e = 0; e < edges_.size(); ++e) {
+      GOOD_RETURN_NOT_OK(
+          instance->AddEdge(*scheme, fresh, edges_[e].first, key[e]));
+      ++local.edges_added;
+    }
+    by_targets.emplace(std::move(key), fresh);
+  }
+  if (stats != nullptr) *stats += local;
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Edge addition
+// ---------------------------------------------------------------------------
+
+Status EdgeAddition::Apply(Scheme* scheme, Instance* instance,
+                           ApplyStats* stats) const {
+  for (const EdgeSpec& spec : edges_) {
+    GOOD_RETURN_NOT_OK(
+        RequirePatternNode(pattern_, spec.source, "bold edge source"));
+    GOOD_RETURN_NOT_OK(
+        RequirePatternNode(pattern_, spec.target, "bold edge target"));
+    if (scheme->HasLabel(spec.label)) {
+      const bool registered_functional =
+          scheme->IsFunctionalEdgeLabel(spec.label);
+      if (!scheme->IsEdgeLabel(spec.label)) {
+        return Status::InvalidArgument("edge addition label '" +
+                                       SymName(spec.label) +
+                                       "' exists with a non-edge kind");
+      }
+      if (registered_functional != spec.functional) {
+        return Status::InvalidArgument(
+            "edge addition label '" + SymName(spec.label) +
+            "' kind disagrees with its registration in the scheme");
+      }
+    }
+  }
+
+  GOOD_RETURN_NOT_OK(MaterializePrintables(pattern_, *scheme, instance));
+  std::vector<Matching> matchings = Matchings(*instance);
+
+  // -- Minimal scheme extension.
+  for (const EdgeSpec& spec : edges_) {
+    if (spec.functional) {
+      GOOD_RETURN_NOT_OK(scheme->EnsureFunctionalEdgeLabel(spec.label));
+    } else {
+      GOOD_RETURN_NOT_OK(scheme->EnsureMultivaluedEdgeLabel(spec.label));
+    }
+    GOOD_RETURN_NOT_OK(scheme->EnsureTriple(pattern_.LabelOf(spec.source),
+                                            spec.label,
+                                            pattern_.LabelOf(spec.target)));
+  }
+
+  // -- Gather the full edge set to add, then run the consistency check
+  //    of Section 3.2 before mutating anything (atomicity).
+  std::set<graph::Edge> to_add;
+  for (const Matching& matching : matchings) {
+    for (const EdgeSpec& spec : edges_) {
+      to_add.insert(graph::Edge{matching.At(spec.source), spec.label,
+                                matching.At(spec.target)});
+    }
+  }
+
+  // Per (source node, label): collect distinct targets (new and old).
+  std::map<std::pair<NodeId, Symbol>, std::set<NodeId>> targets;
+  for (const graph::Edge& edge : to_add) {
+    targets[{edge.source, edge.label}].insert(edge.target);
+  }
+  for (auto& [key, target_set] : targets) {
+    const auto& [source, label] = key;
+    for (NodeId existing : instance->OutTargets(source, label)) {
+      target_set.insert(existing);
+    }
+    if (target_set.size() <= 1) continue;
+    if (scheme->IsFunctionalEdgeLabel(label)) {
+      return Status::FailedPrecondition(
+          "edge addition undefined: functional label '" + SymName(label) +
+          "' would leave node #" + std::to_string(source.id) +
+          " towards multiple targets");
+    }
+    Symbol first_label = instance->LabelOf(*target_set.begin());
+    for (NodeId t : target_set) {
+      if (instance->LabelOf(t) != first_label) {
+        return Status::FailedPrecondition(
+            "edge addition undefined: '" + SymName(label) +
+            "' successors of node #" + std::to_string(source.id) +
+            " would have unequal labels");
+      }
+    }
+  }
+
+  ApplyStats local;
+  local.matchings = matchings.size();
+  for (const graph::Edge& edge : to_add) {
+    if (instance->HasEdge(edge.source, edge.label, edge.target)) continue;
+    GOOD_RETURN_NOT_OK(
+        instance->AddEdge(*scheme, edge.source, edge.label, edge.target));
+    ++local.edges_added;
+  }
+  if (stats != nullptr) *stats += local;
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Node deletion
+// ---------------------------------------------------------------------------
+
+Status NodeDeletion::Apply(Scheme* scheme, Instance* instance,
+                           ApplyStats* stats) const {
+  (void)scheme;  // The scheme is unchanged by deletions.
+  GOOD_RETURN_NOT_OK(RequirePatternNode(pattern_, target_, "deleted node"));
+
+  std::vector<Matching> matchings = Matchings(*instance);
+  std::set<NodeId> doomed;
+  for (const Matching& matching : matchings) {
+    doomed.insert(matching.At(target_));
+  }
+
+  ApplyStats local;
+  local.matchings = matchings.size();
+  for (NodeId node : doomed) {
+    size_t incident =
+        instance->OutEdges(node).size() + instance->InEdges(node).size();
+    GOOD_RETURN_NOT_OK(instance->RemoveNode(node));
+    ++local.nodes_deleted;
+    local.edges_deleted += incident;
+  }
+  if (stats != nullptr) *stats += local;
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Edge deletion
+// ---------------------------------------------------------------------------
+
+Status EdgeDeletion::Apply(Scheme* scheme, Instance* instance,
+                           ApplyStats* stats) const {
+  (void)scheme;
+  for (const EdgeRef& ref : edges_) {
+    GOOD_RETURN_NOT_OK(
+        RequirePatternNode(pattern_, ref.source, "deleted edge source"));
+    GOOD_RETURN_NOT_OK(
+        RequirePatternNode(pattern_, ref.target, "deleted edge target"));
+    // The formal definition requires the deleted edges to be edges of
+    // the source pattern (double-outlined edges are drawn inside it).
+    if (!pattern_.HasEdge(ref.source, ref.label, ref.target)) {
+      return Status::InvalidArgument(
+          "edge deletion designator (" + SymName(ref.label) +
+          ") is not an edge of the source pattern");
+    }
+  }
+
+  std::vector<Matching> matchings = Matchings(*instance);
+  std::set<graph::Edge> doomed;
+  for (const Matching& matching : matchings) {
+    for (const EdgeRef& ref : edges_) {
+      doomed.insert(graph::Edge{matching.At(ref.source), ref.label,
+                                matching.At(ref.target)});
+    }
+  }
+
+  ApplyStats local;
+  local.matchings = matchings.size();
+  for (const graph::Edge& edge : doomed) {
+    GOOD_RETURN_NOT_OK(
+        instance->RemoveEdge(edge.source, edge.label, edge.target));
+    ++local.edges_deleted;
+  }
+  if (stats != nullptr) *stats += local;
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Abstraction
+// ---------------------------------------------------------------------------
+
+Status Abstraction::Apply(Scheme* scheme, Instance* instance,
+                          ApplyStats* stats) const {
+  GOOD_RETURN_NOT_OK(RequirePatternNode(pattern_, node_, "abstracted node"));
+  if (scheme->HasLabel(set_label_) && !scheme->IsObjectLabel(set_label_)) {
+    return Status::InvalidArgument("abstraction set label '" +
+                                   SymName(set_label_) +
+                                   "' exists with a non-object kind");
+  }
+  if (scheme->HasLabel(member_edge_) &&
+      !scheme->IsMultivaluedEdgeLabel(member_edge_)) {
+    return Status::InvalidArgument("abstraction member edge '" +
+                                   SymName(member_edge_) +
+                                   "' exists with a non-multivalued kind");
+  }
+  if (!scheme->IsMultivaluedEdgeLabel(grouping_edge_)) {
+    return Status::InvalidArgument(
+        "abstraction grouping edge '" + SymName(grouping_edge_) +
+        "' must be a multivalued edge label of the scheme");
+  }
+
+  GOOD_RETURN_NOT_OK(MaterializePrintables(pattern_, *scheme, instance));
+  std::vector<Matching> matchings = Matchings(*instance);
+
+  // -- Minimal scheme extension.
+  GOOD_RETURN_NOT_OK(scheme->EnsureObjectLabel(set_label_));
+  GOOD_RETURN_NOT_OK(scheme->EnsureMultivaluedEdgeLabel(member_edge_));
+  GOOD_RETURN_NOT_OK(
+      scheme->EnsureTriple(set_label_, member_edge_, pattern_.LabelOf(node_)));
+
+  // -- Group the distinct matched nodes by β-successor set (pre-state).
+  std::set<NodeId> matched;
+  for (const Matching& matching : matchings) {
+    matched.insert(matching.At(node_));
+  }
+  std::map<std::set<NodeId>, std::set<NodeId>> classes;  // β-set -> members
+  for (NodeId m : matched) {
+    std::vector<NodeId> targets = instance->OutTargets(m, grouping_edge_);
+    classes[std::set<NodeId>(targets.begin(), targets.end())].insert(m);
+  }
+
+  // -- Existing K-nodes already serving a class exactly make the
+  //    operation idempotent.
+  std::set<std::set<NodeId>> served;
+  for (NodeId k : instance->NodesWithLabel(set_label_)) {
+    std::vector<NodeId> members = instance->OutTargets(k, member_edge_);
+    served.insert(std::set<NodeId>(members.begin(), members.end()));
+  }
+
+  ApplyStats local;
+  local.matchings = matchings.size();
+  for (const auto& [beta_set, members] : classes) {
+    (void)beta_set;
+    if (served.contains(members)) continue;
+    GOOD_ASSIGN_OR_RETURN(NodeId fresh,
+                          instance->AddObjectNode(*scheme, set_label_));
+    ++local.nodes_added;
+    for (NodeId member : members) {
+      GOOD_RETURN_NOT_OK(
+          instance->AddEdge(*scheme, fresh, member_edge_, member));
+      ++local.edges_added;
+    }
+  }
+  if (stats != nullptr) *stats += local;
+  return Status::OK();
+}
+
+}  // namespace good::ops

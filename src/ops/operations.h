@@ -1,0 +1,233 @@
+/// \file operations.h
+/// \brief The five basic GOOD operations (Section 3 of the paper).
+///
+/// Each operation consists of a *source pattern* J plus a designation of
+/// what to add or delete (the bold / double-outlined part of the
+/// figures). Applying an operation to a database (S, I):
+///  1. computes ALL matchings of J in I (against the pre-state — the
+///     paper stresses this set-oriented, parallel application as the key
+///     difference from graph grammars),
+///  2. minimally extends the scheme S so the result pattern J' is a
+///     pattern over it (NA / EA / AB only),
+///  3. transforms I per the operation's declarative definition, realized
+///     by the procedural algorithm of Figure 9 and its analogues.
+/// All operations are deterministic up to the choice of new object ids.
+
+#ifndef GOOD_OPS_OPERATIONS_H_
+#define GOOD_OPS_OPERATIONS_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "graph/instance.h"
+#include "pattern/matcher.h"
+#include "schema/scheme.h"
+
+namespace good::ops {
+
+using graph::NodeId;
+using pattern::Pattern;
+
+/// \brief A predicate over matchings — the Section 4.1 "additional
+/// predicates on printable objects" extension (QBE-style condition
+/// boxes, possibly invoking external functions). An operation with a
+/// filter applies only to the matchings the filter accepts. The filter
+/// receives the instance being matched so it can express dynamic
+/// conditions (e.g. crossed-edge absence checks that must see edges
+/// added by earlier fixpoint rounds, Figure 29).
+using MatchFilter = std::function<bool(const pattern::Matching&,
+                                       const graph::Instance&)>;
+
+/// \brief Mutation counters reported by Apply.
+struct ApplyStats {
+  size_t matchings = 0;
+  size_t nodes_added = 0;
+  size_t edges_added = 0;
+  size_t nodes_deleted = 0;
+  size_t edges_deleted = 0;
+
+  ApplyStats& operator+=(const ApplyStats& other) {
+    matchings += other.matchings;
+    nodes_added += other.nodes_added;
+    edges_added += other.edges_added;
+    nodes_deleted += other.nodes_deleted;
+    edges_deleted += other.edges_deleted;
+    return *this;
+  }
+};
+
+/// \brief Common base of the five operations: holds the source pattern
+/// and an optional matching filter (the Section 4.1 predicate
+/// extension).
+class PatternOperation {
+ public:
+  const Pattern& source_pattern() const { return pattern_; }
+
+  /// Restricts the operation to the matchings the filter accepts.
+  void set_filter(MatchFilter filter) { filter_ = std::move(filter); }
+  const MatchFilter& filter() const { return filter_; }
+
+ protected:
+  explicit PatternOperation(Pattern pattern) : pattern_(std::move(pattern)) {}
+
+  /// All matchings of the source pattern, filtered.
+  std::vector<pattern::Matching> Matchings(
+      const graph::Instance& instance) const;
+
+  Pattern pattern_;
+  MatchFilter filter_;
+};
+
+/// \brief Node addition NA[J, K, {(α1, m1), ..., (αn, mn)}]
+/// (Section 3.1, procedural semantics in Figure 9).
+///
+/// For each matching i of J, ensures a K-labeled node with functional
+/// αℓ-edges to i(mℓ) exists, creating it (with its edges) if not. The
+/// "if not exists" check makes the operation establish a one-to-one
+/// correspondence between *restrictions of matchings to {m1..mn}* and
+/// K-nodes — four matchings that agree on all bold-edge targets yield a
+/// single new node. Node additions never introduce printable nodes and
+/// only introduce functional edges (paper invariants; enforced here).
+class NodeAddition : public PatternOperation {
+ public:
+  /// `edges` are the bold (label, pattern-node) pairs; labels must be
+  /// pairwise distinct.
+  NodeAddition(Pattern pattern, Symbol new_label,
+               std::vector<std::pair<Symbol, NodeId>> edges)
+      : PatternOperation(std::move(pattern)),
+        new_label_(new_label),
+        edges_(std::move(edges)) {}
+
+  Status Apply(schema::Scheme* scheme, graph::Instance* instance,
+               ApplyStats* stats = nullptr) const;
+
+  Symbol new_label() const { return new_label_; }
+  const std::vector<std::pair<Symbol, NodeId>>& edges() const {
+    return edges_;
+  }
+
+ private:
+  Symbol new_label_;
+  std::vector<std::pair<Symbol, NodeId>> edges_;
+};
+
+/// \brief One bold edge of an edge addition: add an `label`-edge from
+/// the image of `source` to the image of `target`. `functional` selects
+/// the label kind when the label is new to the scheme (single- vs
+/// double-arrow in the figures); if the label already exists its
+/// registered kind must agree.
+struct EdgeSpec {
+  NodeId source;
+  Symbol label;
+  NodeId target;
+  bool functional = false;
+};
+
+/// \brief Edge addition EA[J, {(m1, α1, m1'), ...}] (Section 3.2).
+///
+/// For each matching i, adds edges (i(mk), αk, i(mk')). The result is
+/// undefined — Apply returns FailedPrecondition and leaves the database
+/// untouched — when the additions would produce distinct same-labeled
+/// edges from one node that are functional or end in unequally-labeled
+/// nodes (the run-time consistency check the paper prescribes, static
+/// checking being undecidable).
+class EdgeAddition : public PatternOperation {
+ public:
+  EdgeAddition(Pattern pattern, std::vector<EdgeSpec> edges)
+      : PatternOperation(std::move(pattern)), edges_(std::move(edges)) {}
+
+  Status Apply(schema::Scheme* scheme, graph::Instance* instance,
+               ApplyStats* stats = nullptr) const;
+
+  const std::vector<EdgeSpec>& edges() const { return edges_; }
+
+ private:
+  std::vector<EdgeSpec> edges_;
+};
+
+/// \brief Node deletion ND[J, m] (Section 3.3).
+///
+/// Removes every node i(m) over all matchings i, together with all
+/// incident edges (maximal-subinstance semantics). The scheme is
+/// unchanged.
+class NodeDeletion : public PatternOperation {
+ public:
+  NodeDeletion(Pattern pattern, NodeId target)
+      : PatternOperation(std::move(pattern)), target_(target) {}
+
+  Status Apply(schema::Scheme* scheme, graph::Instance* instance,
+               ApplyStats* stats = nullptr) const;
+
+  NodeId target() const { return target_; }
+
+ private:
+  NodeId target_;
+};
+
+/// \brief One double-outlined edge of an edge deletion.
+struct EdgeRef {
+  NodeId source;
+  Symbol label;
+  NodeId target;
+};
+
+/// \brief Edge deletion ED[J, {(m1, α1, m1'), ...}] (Section 3.4).
+///
+/// Removes the image edges over all matchings. The referenced edges must
+/// be edges of the source pattern (per the formal definition). The
+/// scheme is unchanged.
+class EdgeDeletion : public PatternOperation {
+ public:
+  EdgeDeletion(Pattern pattern, std::vector<EdgeRef> edges)
+      : PatternOperation(std::move(pattern)), edges_(std::move(edges)) {}
+
+  Status Apply(schema::Scheme* scheme, graph::Instance* instance,
+               ApplyStats* stats = nullptr) const;
+
+  const std::vector<EdgeRef>& edges() const { return edges_; }
+
+ private:
+  std::vector<EdgeRef> edges_;
+};
+
+/// \brief Abstraction AB[J, n, K, α, β] (Section 3.5).
+///
+/// Groups the matched nodes i(n) into equivalence classes by their
+/// β-successor sets (computed in the pre-state) and ensures one
+/// K-labeled node per class with multivalued α-edges to exactly the
+/// class members — the duplicate eliminator that makes the nested
+/// relational algebra expressible (Section 4.3). A class whose exact
+/// α-neighbourhood is already served by an existing K-node is skipped,
+/// which makes abstraction idempotent. Always well-defined.
+class Abstraction : public PatternOperation {
+ public:
+  Abstraction(Pattern pattern, NodeId node, Symbol set_label,
+              Symbol member_edge, Symbol grouping_edge)
+      : PatternOperation(std::move(pattern)),
+        node_(node),
+        set_label_(set_label),
+        member_edge_(member_edge),
+        grouping_edge_(grouping_edge) {}
+
+  Status Apply(schema::Scheme* scheme, graph::Instance* instance,
+               ApplyStats* stats = nullptr) const;
+
+  NodeId node() const { return node_; }
+  Symbol set_label() const { return set_label_; }
+  Symbol member_edge() const { return member_edge_; }
+  Symbol grouping_edge() const { return grouping_edge_; }
+
+ private:
+  NodeId node_;       // n: the abstracted pattern node
+  Symbol set_label_;  // K: label of the created set objects
+  Symbol member_edge_;   // α: multivalued edge from set to members
+  Symbol grouping_edge_; // β: multivalued property defining equality
+};
+
+}  // namespace good::ops
+
+#endif  // GOOD_OPS_OPERATIONS_H_

@@ -1,0 +1,87 @@
+/// \file builder.h
+/// \brief Fluent construction of patterns and instances.
+///
+/// The paper's user draws patterns graphically; our substitution is this
+/// builder (plus the text format in program/serialize.h and the DOT
+/// exporter). The builder accumulates the first error and reports it
+/// from Build(), so call sites can chain node/edge additions without
+/// checking each step.
+
+#ifndef GOOD_PATTERN_BUILDER_H_
+#define GOOD_PATTERN_BUILDER_H_
+
+#include <string_view>
+#include <utility>
+
+#include "common/result.h"
+#include "graph/instance.h"
+#include "schema/scheme.h"
+
+namespace good::pattern {
+
+/// \brief Builds a graph::Instance (used both as pattern and as
+/// instance) over a scheme.
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(const schema::Scheme& scheme) : scheme_(scheme) {}
+
+  /// Adds an object node labeled `label`.
+  graph::NodeId Object(std::string_view label) {
+    return Record(graph_.AddObjectNode(scheme_, Sym(label)));
+  }
+
+  /// Adds (or finds) the printable node (label, value).
+  graph::NodeId Printable(std::string_view label, Value value) {
+    return Record(
+        graph_.AddPrintableNode(scheme_, Sym(label), std::move(value)));
+  }
+
+  /// Adds a valueless printable node (a wildcard in patterns).
+  graph::NodeId Printable(std::string_view label) {
+    return Record(graph_.AddValuelessPrintableNode(scheme_, Sym(label)));
+  }
+
+  /// Adds the edge (source, label, target).
+  GraphBuilder& Edge(graph::NodeId source, std::string_view label,
+                     graph::NodeId target) {
+    Status s = graph_.AddEdge(scheme_, source, Sym(label), target);
+    if (!s.ok() && status_.ok()) status_ = s;
+    return *this;
+  }
+
+  /// Returns the built graph, or the first accumulated error.
+  Result<graph::Instance> Build() {
+    if (!status_.ok()) return status_;
+    return std::move(graph_);
+  }
+
+  /// Returns the built graph, aborting on any accumulated error. For
+  /// tests and examples where failure is a programming bug.
+  graph::Instance BuildOrDie() {
+    status_.OrDie();
+    return std::move(graph_);
+  }
+
+  const Status& status() const { return status_; }
+
+  /// Access to the graph under construction (e.g. to run queries while
+  /// building).
+  const graph::Instance& graph() const { return graph_; }
+
+ private:
+  graph::NodeId Record(Result<graph::NodeId> result) {
+    if (!result.ok()) {
+      if (status_.ok()) status_ = result.status();
+      return graph::NodeId{};
+    }
+    return *result;
+  }
+
+  const schema::Scheme& scheme_;
+  graph::Instance graph_;
+  Status status_;
+};
+
+}  // namespace good::pattern
+
+#endif  // GOOD_PATTERN_BUILDER_H_

@@ -1,0 +1,263 @@
+#include "pattern/matcher.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace good::pattern {
+
+using graph::Instance;
+using graph::NodeId;
+
+namespace {
+
+/// Backtracking state for one enumeration run.
+class Enumerator {
+ public:
+  Enumerator(const Pattern& pattern, const Instance& instance, size_t limit,
+             const std::function<bool(const Matching&)>& callback)
+      : pattern_(pattern),
+        instance_(instance),
+        limit_(limit),
+        callback_(callback) {
+    order_ = PlanOrder();
+    assignment_.assign(order_.size(), NodeId{});
+    for (size_t i = 0; i < order_.size(); ++i) position_[order_[i]] = i;
+  }
+
+  size_t Run() {
+    if (limit_ == 0) return 0;
+    Recurse(0);
+    return emitted_;
+  }
+
+ private:
+  /// Chooses the node elimination order: seed with the most selective
+  /// node, then repeatedly pick a node adjacent to the placed set
+  /// (falling back to the most selective remaining node for a new
+  /// connected component).
+  std::vector<NodeId> PlanOrder() const {
+    std::vector<NodeId> nodes = pattern_.AllNodes();
+    std::vector<NodeId> order;
+    std::vector<bool> placed_flag;
+    std::unordered_map<NodeId, size_t> index;
+    for (size_t i = 0; i < nodes.size(); ++i) index[nodes[i]] = i;
+    placed_flag.assign(nodes.size(), false);
+
+    auto selectivity = [&](NodeId m) -> size_t {
+      if (pattern_.HasPrintValue(m)) return 1;
+      return instance_.CountNodesWithLabel(pattern_.LabelOf(m));
+    };
+    auto adjacent_to_placed = [&](NodeId m) -> bool {
+      for (const auto& [label, target] : pattern_.OutEdges(m)) {
+        (void)label;
+        if (placed_flag[index.at(target)]) return true;
+      }
+      for (const auto& [source, label] : pattern_.InEdges(m)) {
+        (void)label;
+        if (placed_flag[index.at(source)]) return true;
+      }
+      return false;
+    };
+
+    while (order.size() < nodes.size()) {
+      NodeId best{};
+      size_t best_sel = std::numeric_limits<size_t>::max();
+      bool best_adjacent = false;
+      for (NodeId m : nodes) {
+        if (placed_flag[index.at(m)]) continue;
+        bool adj = !order.empty() && adjacent_to_placed(m);
+        size_t sel = selectivity(m);
+        // Adjacency dominates; among equals prefer selectivity.
+        if (!best.valid() || (adj && !best_adjacent) ||
+            (adj == best_adjacent && sel < best_sel)) {
+          best = m;
+          best_sel = sel;
+          best_adjacent = adj;
+        }
+      }
+      order.push_back(best);
+      placed_flag[index.at(best)] = true;
+    }
+    return order;
+  }
+
+  /// True iff mapping `m` to `t` respects labels, prints, and all edges
+  /// between `m` and already-placed pattern nodes.
+  bool Feasible(size_t depth, NodeId m, NodeId t) const {
+    if (instance_.LabelOf(t) != pattern_.LabelOf(m)) return false;
+    if (pattern_.HasPrintValue(m)) {
+      const auto& instance_print = instance_.PrintValueOf(t);
+      if (!instance_print.has_value() ||
+          *instance_print != *pattern_.PrintValueOf(m)) {
+        return false;
+      }
+    }
+    for (const auto& [label, target] : pattern_.OutEdges(m)) {
+      auto pos = PositionOf(target);
+      if (pos < depth && !instance_.HasEdge(t, label, assignment_[pos])) {
+        return false;
+      }
+    }
+    for (const auto& [source, label] : pattern_.InEdges(m)) {
+      auto pos = PositionOf(source);
+      if (pos < depth && !instance_.HasEdge(assignment_[pos], label, t)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  size_t PositionOf(NodeId pattern_node) const {
+    auto it = position_.find(pattern_node);
+    return it == position_.end() ? order_.size() : it->second;
+  }
+
+  /// Candidate instance nodes for pattern node order_[depth]: derived
+  /// from an already-placed neighbour's adjacency when possible,
+  /// otherwise from the label index (or the printable dedup index).
+  std::vector<NodeId> Candidates(size_t depth) const {
+    NodeId m = order_[depth];
+    if (pattern_.HasPrintValue(m)) {
+      auto found =
+          instance_.FindPrintable(pattern_.LabelOf(m), *pattern_.PrintValueOf(m));
+      if (found.has_value()) return {*found};
+      return {};
+    }
+    // Prefer deriving candidates from a placed neighbour.
+    for (const auto& [source, label] : pattern_.InEdges(m)) {
+      size_t pos = PositionOf(source);
+      if (pos < depth) {
+        return instance_.OutTargets(assignment_[pos], label);
+      }
+    }
+    for (const auto& [label, target] : pattern_.OutEdges(m)) {
+      size_t pos = PositionOf(target);
+      if (pos < depth) {
+        return instance_.InSources(assignment_[pos], label);
+      }
+    }
+    return instance_.NodesWithLabel(pattern_.LabelOf(m));
+  }
+
+  bool Recurse(size_t depth) {  // Returns false to abort enumeration.
+    if (depth == order_.size()) {
+      Matching matching;
+      for (size_t i = 0; i < order_.size(); ++i) {
+        matching.Bind(order_[i], assignment_[i]);
+      }
+      ++emitted_;
+      if (!callback_(matching)) return false;
+      return emitted_ < limit_;
+    }
+    NodeId m = order_[depth];
+    for (NodeId t : Candidates(depth)) {
+      if (!Feasible(depth, m, t)) continue;
+      assignment_[depth] = t;
+      if (!Recurse(depth + 1)) return false;
+    }
+    return true;
+  }
+
+  const Pattern& pattern_;
+  const Instance& instance_;
+  size_t limit_;
+  const std::function<bool(const Matching&)>& callback_;
+  std::vector<NodeId> order_;
+  std::unordered_map<NodeId, size_t> position_;
+  std::vector<NodeId> assignment_;
+  size_t emitted_ = 0;
+};
+
+}  // namespace
+
+size_t Matcher::ForEach(
+    const std::function<bool(const Matching&)>& callback) const {
+  Enumerator enumerator(pattern_, instance_, options_.limit, callback);
+  return enumerator.Run();
+}
+
+std::vector<Matching> Matcher::FindAll() const {
+  std::vector<Matching> out;
+  ForEach([&](const Matching& m) {
+    out.push_back(m);
+    return true;
+  });
+  return out;
+}
+
+size_t Matcher::Count() const {
+  return ForEach([](const Matching&) { return true; });
+}
+
+bool Matcher::Exists() const {
+  Matcher limited(pattern_, instance_, MatchOptions{1});
+  return limited.Count() > 0;
+}
+
+std::vector<Matching> FindMatchings(const Pattern& pattern,
+                                    const graph::Instance& instance) {
+  return Matcher(pattern, instance).FindAll();
+}
+
+std::vector<Matching> FindMatchingsBruteForce(
+    const Pattern& pattern, const graph::Instance& instance) {
+  std::vector<NodeId> pattern_nodes = pattern.AllNodes();
+  std::vector<std::vector<NodeId>> candidates;
+  for (NodeId m : pattern_nodes) {
+    std::vector<NodeId> c;
+    for (NodeId t : instance.NodesWithLabel(pattern.LabelOf(m))) {
+      if (pattern.HasPrintValue(m)) {
+        const auto& print = instance.PrintValueOf(t);
+        if (!print.has_value() || *print != *pattern.PrintValueOf(m)) continue;
+      }
+      c.push_back(t);
+    }
+    candidates.push_back(std::move(c));
+  }
+
+  std::vector<Matching> out;
+  std::vector<size_t> cursor(pattern_nodes.size(), 0);
+  const size_t n = pattern_nodes.size();
+  if (n == 0) {
+    out.emplace_back();  // The empty pattern has one (empty) matching.
+    return out;
+  }
+  for (NodeId m : pattern_nodes) {
+    (void)m;
+  }
+  while (true) {
+    // Build and test the current assignment.
+    bool viable = true;
+    for (size_t i = 0; i < n && viable; ++i) {
+      viable = cursor[i] < candidates[i].size();
+    }
+    if (viable) {
+      Matching matching;
+      for (size_t i = 0; i < n; ++i) {
+        matching.Bind(pattern_nodes[i], candidates[i][cursor[i]]);
+      }
+      bool ok = true;
+      for (NodeId m : pattern_nodes) {
+        for (const auto& [label, target] : pattern.OutEdges(m)) {
+          if (!instance.HasEdge(matching.At(m), label, matching.At(target))) {
+            ok = false;
+            break;
+          }
+        }
+        if (!ok) break;
+      }
+      if (ok) out.push_back(std::move(matching));
+    }
+    // Odometer increment.
+    size_t i = 0;
+    for (; i < n; ++i) {
+      if (candidates[i].empty()) return {};  // Some node has no candidate.
+      if (++cursor[i] < candidates[i].size()) break;
+      cursor[i] = 0;
+    }
+    if (i == n) break;
+  }
+  return out;
+}
+
+}  // namespace good::pattern

@@ -1,0 +1,112 @@
+/// \file matcher.h
+/// \brief Patterns and matchings (Section 3 of the paper).
+///
+/// A pattern over a scheme S is syntactically itself an instance over S
+/// (we reuse graph::Instance as the representation; pattern printable
+/// nodes may be valueless wildcards). A *matching* of pattern J = (M, F)
+/// in instance I = (N, E) is a total mapping i : M -> N such that
+///   - labels are preserved: λ(i(m)) = λ(m),
+///   - defined print values are preserved: print(m) defined implies
+///     print(i(m)) = print(m),
+///   - edges are preserved: (m, α, n) ∈ F implies (i(m), α, i(n)) ∈ E.
+/// Matchings are graph homomorphisms — NOT required to be injective.
+/// The empty pattern has exactly one matching (the empty map), which is
+/// what makes Figure 12's "add one single node" work.
+
+#ifndef GOOD_PATTERN_MATCHER_H_
+#define GOOD_PATTERN_MATCHER_H_
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/instance.h"
+
+namespace good::pattern {
+
+/// \brief Patterns are syntactically instances.
+using Pattern = graph::Instance;
+
+/// \brief One matching: a total map from pattern nodes to instance
+/// nodes.
+class Matching {
+ public:
+  Matching() = default;
+
+  void Bind(graph::NodeId pattern_node, graph::NodeId instance_node) {
+    map_[pattern_node] = instance_node;
+  }
+
+  /// The instance node a pattern node is mapped to. The pattern node
+  /// must be bound.
+  graph::NodeId At(graph::NodeId pattern_node) const {
+    return map_.at(pattern_node);
+  }
+
+  bool Contains(graph::NodeId pattern_node) const {
+    return map_.contains(pattern_node);
+  }
+
+  size_t size() const { return map_.size(); }
+
+  const std::unordered_map<graph::NodeId, graph::NodeId>& map() const {
+    return map_;
+  }
+
+  friend bool operator==(const Matching&, const Matching&) = default;
+
+ private:
+  std::unordered_map<graph::NodeId, graph::NodeId> map_;
+};
+
+/// \brief Tuning and statistics for matching enumeration.
+struct MatchOptions {
+  /// Stop after this many matchings (e.g. 1 for existence checks).
+  size_t limit = static_cast<size_t>(-1);
+};
+
+/// \brief Enumerates matchings of `pattern` in `instance`.
+///
+/// The matcher orders pattern nodes most-selective-first (print-valued
+/// nodes have at most one candidate, then rarest node label), preferring
+/// nodes adjacent to already-placed ones so that candidates can be
+/// derived from neighbours instead of label scans.
+class Matcher {
+ public:
+  Matcher(const Pattern& pattern, const graph::Instance& instance,
+          MatchOptions options = {})
+      : pattern_(pattern), instance_(instance), options_(options) {}
+
+  /// Invokes `callback` once per matching; enumeration stops early when
+  /// the callback returns false or the limit is hit. Returns the number
+  /// of matchings visited.
+  size_t ForEach(const std::function<bool(const Matching&)>& callback) const;
+
+  /// Materializes all matchings.
+  std::vector<Matching> FindAll() const;
+
+  /// Counts matchings without materializing them.
+  size_t Count() const;
+
+  /// True iff at least one matching exists.
+  bool Exists() const;
+
+ private:
+  const Pattern& pattern_;
+  const graph::Instance& instance_;
+  MatchOptions options_;
+};
+
+/// Convenience wrapper: all matchings of `pattern` in `instance`.
+std::vector<Matching> FindMatchings(const Pattern& pattern,
+                                    const graph::Instance& instance);
+
+/// Reference implementation enumerating the full per-label candidate
+/// product and filtering; exponential, for differential testing only.
+std::vector<Matching> FindMatchingsBruteForce(const Pattern& pattern,
+                                              const graph::Instance& instance);
+
+}  // namespace good::pattern
+
+#endif  // GOOD_PATTERN_MATCHER_H_

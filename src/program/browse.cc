@@ -1,0 +1,92 @@
+#include "program/browse.h"
+
+#include <deque>
+#include <map>
+#include <set>
+
+namespace good::program {
+
+using graph::Instance;
+using graph::NodeId;
+
+Result<Instance> Neighborhood(const schema::Scheme& scheme,
+                              const Instance& instance,
+                              const std::vector<NodeId>& focus,
+                              const BrowseOptions& options) {
+  // Breadth-first collection, nearest nodes first.
+  std::set<NodeId> selected;
+  std::deque<std::pair<NodeId, size_t>> queue;
+  for (NodeId n : focus) {
+    if (!instance.HasNode(n)) {
+      return Status::NotFound("focus node #" + std::to_string(n.id) +
+                              " does not exist");
+    }
+    if (selected.insert(n).second) queue.emplace_back(n, 0);
+  }
+  while (!queue.empty() && selected.size() < options.max_nodes) {
+    auto [cur, depth] = queue.front();
+    queue.pop_front();
+    if (depth >= options.radius) continue;
+    auto visit = [&](NodeId next) {
+      if (selected.size() >= options.max_nodes) return;
+      if (selected.insert(next).second) queue.emplace_back(next, depth + 1);
+    };
+    for (const auto& [label, target] : instance.OutEdges(cur)) {
+      (void)label;
+      visit(target);
+    }
+    for (const auto& [source, label] : instance.InEdges(cur)) {
+      (void)label;
+      visit(source);
+    }
+  }
+
+  // Build the induced sub-instance.
+  Instance out;
+  std::map<NodeId, NodeId> mapping;
+  for (NodeId n : selected) {
+    if (instance.HasPrintValue(n)) {
+      GOOD_ASSIGN_OR_RETURN(
+          mapping[n],
+          out.AddPrintableNode(scheme, instance.LabelOf(n),
+                               *instance.PrintValueOf(n)));
+    } else if (scheme.IsPrintableLabel(instance.LabelOf(n))) {
+      GOOD_ASSIGN_OR_RETURN(
+          mapping[n],
+          out.AddValuelessPrintableNode(scheme, instance.LabelOf(n)));
+    } else {
+      GOOD_ASSIGN_OR_RETURN(
+          mapping[n], out.AddObjectNode(scheme, instance.LabelOf(n)));
+    }
+  }
+  for (NodeId n : selected) {
+    for (const auto& [label, target] : instance.OutEdges(n)) {
+      if (!selected.contains(target)) continue;
+      GOOD_RETURN_NOT_OK(
+          out.AddEdge(scheme, mapping[n], label, mapping[target]));
+    }
+  }
+  return out;
+}
+
+Result<Instance> BrowsePattern(const schema::Scheme& scheme,
+                               const Instance& instance,
+                               const pattern::Pattern& pattern,
+                               NodeId node,
+                               const BrowseOptions& options) {
+  if (!pattern.HasNode(node)) {
+    return Status::InvalidArgument(
+        "browse node is not a node of the pattern");
+  }
+  std::set<NodeId> focus_set;
+  for (const pattern::Matching& m :
+       pattern::FindMatchings(pattern, instance)) {
+    focus_set.insert(m.At(node));
+  }
+  return Neighborhood(scheme, instance,
+                      std::vector<NodeId>(focus_set.begin(),
+                                          focus_set.end()),
+                      options);
+}
+
+}  // namespace good::program

@@ -1,0 +1,47 @@
+/// \file browse.h
+/// \brief Pattern-directed browsing (Section 5).
+///
+/// The paper's interface provides "tools for pattern-directed
+/// browsing": the instance graph is "typically large and complex" and
+/// is never shown whole — the user matches a pattern and explores the
+/// neighbourhood of the matched objects. This module extracts such
+/// neighbourhoods as stand-alone sub-instances (ready for the DOT
+/// exporter).
+
+#ifndef GOOD_PROGRAM_BROWSE_H_
+#define GOOD_PROGRAM_BROWSE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "graph/instance.h"
+#include "pattern/matcher.h"
+#include "schema/scheme.h"
+
+namespace good::program {
+
+struct BrowseOptions {
+  /// Undirected hop distance to include around the focus nodes.
+  size_t radius = 1;
+  /// Hard cap on extracted nodes (breadth-first, nearest first).
+  size_t max_nodes = 200;
+};
+
+/// \brief The sub-instance induced by every node within `radius`
+/// undirected hops of `focus`, capped at `max_nodes`.
+Result<graph::Instance> Neighborhood(const schema::Scheme& scheme,
+                                     const graph::Instance& instance,
+                                     const std::vector<graph::NodeId>& focus,
+                                     const BrowseOptions& options = {});
+
+/// \brief Pattern-directed browsing: the neighbourhood of the images of
+/// `node` across all matchings of `pattern`.
+Result<graph::Instance> BrowsePattern(const schema::Scheme& scheme,
+                                      const graph::Instance& instance,
+                                      const pattern::Pattern& pattern,
+                                      graph::NodeId node,
+                                      const BrowseOptions& options = {});
+
+}  // namespace good::program
+
+#endif  // GOOD_PROGRAM_BROWSE_H_

@@ -1,0 +1,74 @@
+#include "program/dot.h"
+
+#include <sstream>
+
+namespace good::program {
+
+using graph::Instance;
+using graph::NodeId;
+using schema::Scheme;
+
+namespace {
+
+std::string Escape(const std::string& raw) {
+  std::string out;
+  for (char c : raw) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+void EdgeAttributes(std::ostringstream& os, const Scheme& scheme,
+                    Symbol edge, bool isa_marked) {
+  os << " [label=\"" << Escape(SymName(edge)) << "\"";
+  if (scheme.IsMultivaluedEdgeLabel(edge)) {
+    // The paper draws multivalued edges with a double arrow.
+    os << ", color=\"black:invis:black\"";
+  }
+  if (isa_marked) os << ", style=dashed";
+  os << "];\n";
+}
+
+}  // namespace
+
+std::string SchemeToDot(const Scheme& scheme) {
+  std::ostringstream os;
+  os << "digraph scheme {\n  rankdir=LR;\n";
+  for (Symbol label : scheme.object_labels()) {
+    os << "  \"" << Escape(SymName(label)) << "\" [shape=box];\n";
+  }
+  for (Symbol label : scheme.printable_labels()) {
+    os << "  \"" << Escape(SymName(label)) << "\" [shape=oval];\n";
+  }
+  for (const schema::Triple& t : scheme.triples()) {
+    os << "  \"" << Escape(SymName(t.source)) << "\" -> \""
+       << Escape(SymName(t.target)) << "\"";
+    EdgeAttributes(os, scheme, t.edge,
+                   scheme.IsIsaTriple(t.source, t.edge, t.target));
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string InstanceToDot(const Scheme& scheme, const Instance& instance) {
+  std::ostringstream os;
+  os << "digraph instance {\n  rankdir=LR;\n";
+  for (NodeId node : instance.AllNodes()) {
+    const Symbol label = instance.LabelOf(node);
+    os << "  n" << node.id << " [label=\"" << Escape(SymName(label));
+    if (instance.HasPrintValue(node)) {
+      os << "\\n" << Escape(instance.PrintValueOf(node)->ToString());
+    }
+    os << "\", shape=" << (scheme.IsPrintableLabel(label) ? "oval" : "box")
+       << "];\n";
+  }
+  for (const graph::Edge& e : instance.AllEdges()) {
+    os << "  n" << e.source.id << " -> n" << e.target.id;
+    EdgeAttributes(os, scheme, e.label, false);
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace good::program

@@ -1,0 +1,29 @@
+/// \file dot.h
+/// \brief GraphViz DOT export of schemes and instances.
+///
+/// Reproduces the paper's graphical conventions (Section 2): object
+/// classes/nodes are rectangles, printable classes/nodes are ovals,
+/// functional edges are single arrows, multivalued edges are double
+/// (drawn bold with a double-arrow head), and isa-marked edges are
+/// dashed.
+
+#ifndef GOOD_PROGRAM_DOT_H_
+#define GOOD_PROGRAM_DOT_H_
+
+#include <string>
+
+#include "graph/instance.h"
+#include "schema/scheme.h"
+
+namespace good::program {
+
+/// Renders the scheme graph in DOT.
+std::string SchemeToDot(const schema::Scheme& scheme);
+
+/// Renders the instance graph in DOT; printable nodes show their value.
+std::string InstanceToDot(const schema::Scheme& scheme,
+                          const graph::Instance& instance);
+
+}  // namespace good::program
+
+#endif  // GOOD_PROGRAM_DOT_H_

@@ -1,0 +1,192 @@
+#include "program/method_serialize.h"
+
+#include <sstream>
+
+#include "program/op_serialize.h"
+#include "program/serialize.h"
+#include "program/text.h"
+
+namespace good::program {
+
+using graph::NodeId;
+using method::HeadBinding;
+using method::Method;
+using method::ParameterizedOp;
+using schema::Scheme;
+using text::Cursor;
+
+namespace {
+
+std::string Node(NodeId node) { return "n" + std::to_string(node.id); }
+
+/// Indents every line of `block` by two spaces.
+std::string Indent(const std::string& block) {
+  std::ostringstream os;
+  std::istringstream in(block);
+  std::string line;
+  while (std::getline(in, line)) os << "  " << line << "\n";
+  return os.str();
+}
+
+Result<std::string> WriteStep(const Scheme& scheme,
+                              const ParameterizedOp& step) {
+  GOOD_ASSIGN_OR_RETURN(std::string op_text,
+                        WriteOperation(scheme, step.op));
+  std::ostringstream os;
+  os << "  step {\n" << Indent(Indent(op_text));
+  if (step.head.has_value()) {
+    os << "    head {\n";
+    if (step.head->receiver.has_value()) {
+      os << "      receiver " << Node(*step.head->receiver) << ";\n";
+    }
+    for (const auto& [param, node] : step.head->params) {
+      os << "      param " << text::WriteName(SymName(param)) << " "
+         << Node(node) << ";\n";
+    }
+    os << "    }\n";
+  }
+  os << "  }\n";
+  return os.str();
+}
+
+/// Collects the raw tokens of a brace-balanced "scheme { ... }" block
+/// and re-parses it with the scheme parser.
+Result<Scheme> ParseInterfaceBlock(Cursor* cursor) {
+  GOOD_RETURN_NOT_OK(cursor->Expect("scheme"));
+  GOOD_RETURN_NOT_OK(cursor->Expect("{"));
+  std::string body = "scheme {\n";
+  int depth = 1;
+  while (!cursor->AtEnd() && depth > 0) {
+    const text::Token& token = cursor->Peek();
+    if (!token.quoted && token.text == "{") ++depth;
+    if (!token.quoted && token.text == "}") {
+      --depth;
+      if (depth == 0) {
+        cursor->Next();
+        break;
+      }
+    }
+    body += token.quoted ? text::Quote(token.text) : token.text;
+    body += " ";
+    cursor->Next();
+  }
+  body += "}";
+  return ParseScheme(body);
+}
+
+Result<Method> ParseOneMethod(const Scheme& scheme, Cursor* cursor) {
+  GOOD_RETURN_NOT_OK(cursor->Expect("method"));
+  Method m;
+  GOOD_ASSIGN_OR_RETURN(m.spec.name, cursor->Word());
+  GOOD_RETURN_NOT_OK(cursor->Expect("{"));
+  bool have_receiver = false;
+  while (!cursor->TryConsume("}")) {
+    if (cursor->TryConsume("receiver")) {
+      GOOD_ASSIGN_OR_RETURN(std::string label, cursor->Word());
+      m.spec.receiver_label = Sym(label);
+      have_receiver = true;
+      GOOD_RETURN_NOT_OK(cursor->Expect(";"));
+    } else if (cursor->TryConsume("param")) {
+      GOOD_ASSIGN_OR_RETURN(std::string param, cursor->Word());
+      GOOD_ASSIGN_OR_RETURN(std::string label, cursor->Word());
+      m.spec.params[Sym(param)] = Sym(label);
+      GOOD_RETURN_NOT_OK(cursor->Expect(";"));
+    } else if (cursor->TryConsume("interface")) {
+      GOOD_ASSIGN_OR_RETURN(m.interface, ParseInterfaceBlock(cursor));
+    } else if (cursor->TryConsume("step")) {
+      GOOD_RETURN_NOT_OK(cursor->Expect("{"));
+      GOOD_ASSIGN_OR_RETURN(ParsedOperation parsed,
+                            ParseOperationNamed(scheme, cursor));
+      ParameterizedOp step{std::move(parsed.op), std::nullopt};
+      if (cursor->TryConsume("head")) {
+        GOOD_RETURN_NOT_OK(cursor->Expect("{"));
+        HeadBinding head;
+        while (!cursor->TryConsume("}")) {
+          if (cursor->TryConsume("receiver")) {
+            GOOD_ASSIGN_OR_RETURN(std::string node, cursor->Word());
+            auto it = parsed.pattern_names.find(node);
+            if (it == parsed.pattern_names.end()) {
+              return Status::InvalidArgument("unknown head node '" + node +
+                                             "'");
+            }
+            head.receiver = it->second;
+          } else if (cursor->TryConsume("param")) {
+            GOOD_ASSIGN_OR_RETURN(std::string param, cursor->Word());
+            GOOD_ASSIGN_OR_RETURN(std::string node, cursor->Word());
+            auto it = parsed.pattern_names.find(node);
+            if (it == parsed.pattern_names.end()) {
+              return Status::InvalidArgument("unknown head node '" + node +
+                                             "'");
+            }
+            head.params[Sym(param)] = it->second;
+          } else {
+            return Status::InvalidArgument("bad head statement");
+          }
+          GOOD_RETURN_NOT_OK(cursor->Expect(";"));
+        }
+        step.head = std::move(head);
+      }
+      GOOD_RETURN_NOT_OK(cursor->Expect("}"));
+      m.body.push_back(std::move(step));
+    } else {
+      GOOD_ASSIGN_OR_RETURN(std::string stmt, cursor->Word());
+      return Status::InvalidArgument("unknown method statement '" + stmt +
+                                     "'");
+    }
+  }
+  if (!have_receiver) {
+    return Status::InvalidArgument("method '" + m.spec.name +
+                                   "' misses a receiver statement");
+  }
+  return m;
+}
+
+}  // namespace
+
+Result<std::string> WriteMethod(const Scheme& scheme, const Method& m) {
+  std::ostringstream os;
+  os << "method " << text::WriteName(m.spec.name) << " {\n";
+  os << "  receiver " << text::WriteName(SymName(m.spec.receiver_label))
+     << ";\n";
+  for (const auto& [param, label] : m.spec.params) {
+    os << "  param " << text::WriteName(SymName(param)) << " "
+       << text::WriteName(SymName(label)) << ";\n";
+  }
+  os << "  interface " << Indent(WriteScheme(m.interface)).substr(2);
+  for (const ParameterizedOp& step : m.body) {
+    GOOD_ASSIGN_OR_RETURN(std::string step_text, WriteStep(scheme, step));
+    os << step_text;
+  }
+  os << "}\n";
+  return os.str();
+}
+
+Result<Method> ParseMethod(const Scheme& scheme, const std::string& input) {
+  GOOD_ASSIGN_OR_RETURN(auto tokens, text::Tokenize(input));
+  Cursor cursor(std::move(tokens));
+  return ParseOneMethod(scheme, &cursor);
+}
+
+Result<std::string> WriteMethods(const Scheme& scheme,
+                                 const method::MethodRegistry& registry) {
+  std::string out;
+  for (const Method* m : registry.All()) {
+    GOOD_ASSIGN_OR_RETURN(std::string one, WriteMethod(scheme, *m));
+    out += one;
+  }
+  return out;
+}
+
+Result<method::MethodRegistry> ParseMethods(const Scheme& scheme,
+                                            const std::string& input) {
+  GOOD_ASSIGN_OR_RETURN(auto tokens, text::Tokenize(input));
+  Cursor cursor(std::move(tokens));
+  method::MethodRegistry registry;
+  while (!cursor.AtEnd()) {
+    GOOD_ASSIGN_OR_RETURN(Method m, ParseOneMethod(scheme, &cursor));
+    GOOD_RETURN_NOT_OK(registry.Register(std::move(m)));
+  }
+  return registry;
+}
+
+}  // namespace good::program

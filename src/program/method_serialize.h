@@ -1,0 +1,59 @@
+/// \file method_serialize.h
+/// \brief Text serialization of GOOD method definitions.
+///
+/// Completes program persistence: a method's specification, body
+/// (including head bindings and nested/recursive calls) and interface
+/// all round-trip through text. Example:
+///
+/// \code
+/// method Update {
+///   receiver Info;
+///   param parameter Date;
+///   interface scheme { }
+///   step {
+///     ed { pattern { node n0 Info; node n1 Date; edge n0 modified n1; }
+///          remove n0 modified n1; }
+///     head { receiver n0; }
+///   }
+///   step {
+///     ea { pattern { node n0 Info; node n1 Date; }
+///          add n0 modified n1 functional; }
+///     head { receiver n0; param parameter n1; }
+///   }
+/// }
+/// \endcode
+///
+/// Bodies containing external functions (ComputedEdgeAddition) or C++
+/// match filters cannot be serialized and yield Unimplemented.
+
+#ifndef GOOD_PROGRAM_METHOD_SERIALIZE_H_
+#define GOOD_PROGRAM_METHOD_SERIALIZE_H_
+
+#include <string>
+
+#include "method/method.h"
+#include "schema/scheme.h"
+
+namespace good::program {
+
+/// Serializes one method definition.
+Result<std::string> WriteMethod(const schema::Scheme& scheme,
+                                const method::Method& m);
+
+/// Parses one method definition. Body patterns must be expressible over
+/// `scheme` (pre-extend a scratch copy with labels the method's own
+/// interface or called methods introduce).
+Result<method::Method> ParseMethod(const schema::Scheme& scheme,
+                                   const std::string& text);
+
+/// Serializes every method of a registry (name order).
+Result<std::string> WriteMethods(const schema::Scheme& scheme,
+                                 const method::MethodRegistry& registry);
+
+/// Parses a sequence of method definitions into a registry.
+Result<method::MethodRegistry> ParseMethods(const schema::Scheme& scheme,
+                                            const std::string& text);
+
+}  // namespace good::program
+
+#endif  // GOOD_PROGRAM_METHOD_SERIALIZE_H_

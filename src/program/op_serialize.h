@@ -1,0 +1,78 @@
+/// \file op_serialize.h
+/// \brief Text serialization of GOOD operations and programs.
+///
+/// The paper's operations are drawn graphically; this format is their
+/// storable textual counterpart (complementing the builder API and the
+/// DOT exporter). Example:
+///
+/// \code
+/// na {
+///   pattern {
+///     node n0 Info;
+///     node n1 Date = "Jan 14, 1990";
+///     edge n0 created n1;
+///   }
+///   label Rock;
+///   edge tagged-to n0;
+/// }
+/// ea { pattern { ... } add n0 data-creation n1 functional; }
+/// nd { pattern { ... } delete n0; }
+/// ed { pattern { ... } remove n0 modified n1; }
+/// ab { pattern { ... } node n0; label Same-Info;
+///      member contains; group links-to; }
+/// call { pattern { ... } method Update; arg parameter n1;
+///        receiver n0; }
+/// \endcode
+///
+/// Section 4.1 match filters and external functions are C++ closures
+/// and cannot be serialized; writing an operation that carries one
+/// returns Unimplemented.
+
+#ifndef GOOD_PROGRAM_OP_SERIALIZE_H_
+#define GOOD_PROGRAM_OP_SERIALIZE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "graph/instance.h"
+#include "method/method.h"
+#include "program/program.h"
+#include "program/text.h"
+#include "schema/scheme.h"
+
+namespace good::program {
+
+/// Serializes one operation.
+Result<std::string> WriteOperation(const schema::Scheme& scheme,
+                                   const method::Operation& op);
+
+/// Parses one operation. Pattern node labels must exist in `scheme`
+/// (pre-extend a scratch copy for operations whose patterns reference
+/// labels earlier operations introduce).
+Result<method::Operation> ParseOperation(const schema::Scheme& scheme,
+                                         const std::string& text);
+
+/// Serializes an operation sequence.
+Result<std::string> WriteOperations(const schema::Scheme& scheme,
+                                    const std::vector<method::Operation>& ops);
+
+/// Parses an operation sequence.
+Result<std::vector<method::Operation>> ParseOperations(
+    const schema::Scheme& scheme, const std::string& text);
+
+/// \brief An operation plus the file-local names of its pattern nodes —
+/// needed by formats that reference pattern nodes after the operation
+/// block (method head bindings in method_serialize.h).
+struct ParsedOperation {
+  method::Operation op;
+  std::map<std::string, graph::NodeId> pattern_names;
+};
+
+/// Parses one operation from a token cursor, exposing the name map.
+Result<ParsedOperation> ParseOperationNamed(const schema::Scheme& scheme,
+                                            text::Cursor* cursor);
+
+}  // namespace good::program
+
+#endif  // GOOD_PROGRAM_OP_SERIALIZE_H_

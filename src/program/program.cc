@@ -1,0 +1,28 @@
+#include "program/program.h"
+
+namespace good::program {
+
+Result<Database> Interpreter::Query(const Program& program,
+                                    const Database& database,
+                                    RunStats* stats) const {
+  Database scratch = database;  // Deep copies: query mode is side-effect
+                                // free on the caller's database.
+  GOOD_RETURN_NOT_OK(Update(program, &scratch, stats));
+  return scratch;
+}
+
+Status Interpreter::Update(const Program& program, Database* database,
+                           RunStats* stats) const {
+  method::Executor executor(&program.methods, options_);
+  ops::ApplyStats totals;
+  GOOD_RETURN_NOT_OK(executor.ExecuteAll(program.operations,
+                                         &database->scheme,
+                                         &database->instance, &totals));
+  if (stats != nullptr) {
+    stats->totals += totals;
+    stats->steps += executor.steps_used();
+  }
+  return Status::OK();
+}
+
+}  // namespace good::program

@@ -1,0 +1,75 @@
+/// \file program.h
+/// \brief GOOD programs and their interpreter.
+///
+/// A GOOD program is a sequence of operations (Section 3: the five
+/// basic operations plus method calls; Section 4.1 extensions included)
+/// together with a method registry. Whether the resulting database
+/// graph "is only a temporary entity or actually replaces the original
+/// database graph depends on whether the transformation represents,
+/// e.g., a query or an update" (Section 3) — the Interpreter exposes
+/// both modes:
+///  - Query: runs against copies and returns the transformed database,
+///    leaving the original untouched;
+///  - Update: transforms the database in place.
+
+#ifndef GOOD_PROGRAM_PROGRAM_H_
+#define GOOD_PROGRAM_PROGRAM_H_
+
+#include <string>
+#include <vector>
+
+#include "method/method.h"
+
+namespace good::program {
+
+/// \brief A database: scheme plus instance.
+struct Database {
+  schema::Scheme scheme;
+  graph::Instance instance;
+};
+
+/// \brief A sequence of operations with its method environment.
+/// Move-only (the registry owns its methods).
+struct Program {
+  std::vector<method::Operation> operations;
+  method::MethodRegistry methods;
+
+  Program() = default;
+  Program(Program&&) = default;
+  Program& operator=(Program&&) = default;
+  Program(const Program&) = delete;
+  Program& operator=(const Program&) = delete;
+};
+
+/// \brief Execution report for one program run.
+struct RunStats {
+  ops::ApplyStats totals;
+  size_t steps = 0;
+};
+
+/// \brief Runs GOOD programs in query or update mode.
+class Interpreter {
+ public:
+  explicit Interpreter(method::ExecOptions options = {})
+      : options_(options) {}
+
+  /// Query mode: evaluates `program` against a copy of `database` and
+  /// returns the transformed database. The input is unchanged.
+  Result<Database> Query(const Program& program,
+                         const Database& database,
+                         RunStats* stats = nullptr) const;
+
+  /// Update mode: transforms `database` in place. On error the database
+  /// is left as the failing prefix produced it (GOOD operations are
+  /// individually atomic but programs are not transactional; callers
+  /// wanting rollback should Query and swap).
+  Status Update(const Program& program, Database* database,
+                RunStats* stats = nullptr) const;
+
+ private:
+  method::ExecOptions options_;
+};
+
+}  // namespace good::program
+
+#endif  // GOOD_PROGRAM_PROGRAM_H_

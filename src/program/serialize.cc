@@ -1,0 +1,289 @@
+#include "program/serialize.h"
+
+#include "program/text.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace good::program {
+
+using graph::Instance;
+using graph::NodeId;
+using schema::Scheme;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Writing
+// ---------------------------------------------------------------------------
+
+std::string WriteValue(const Value& value) {
+  // Everything is written in its ToString form and re-parsed by domain.
+  return text::Quote(value.ToString());
+}
+
+std::string WriteName(Symbol symbol) {
+  return text::WriteName(SymName(symbol));
+}
+
+using text::Cursor;
+using text::Tokenize;
+
+Result<ValueKind> ParseDomain(const std::string& word) {
+  if (word == "bool") return ValueKind::kBool;
+  if (word == "int") return ValueKind::kInt;
+  if (word == "double") return ValueKind::kDouble;
+  if (word == "string") return ValueKind::kString;
+  if (word == "date") return ValueKind::kDate;
+  if (word == "bytes") return ValueKind::kBytes;
+  return Status::InvalidArgument("unknown domain '" + word + "'");
+}
+
+Result<Value> ParseValue(const std::string& raw, ValueKind domain) {
+  switch (domain) {
+    case ValueKind::kBool:
+      if (raw == "true") return Value(true);
+      if (raw == "false") return Value(false);
+      return Status::InvalidArgument("bad bool literal '" + raw + "'");
+    case ValueKind::kInt: {
+      int64_t v = 0;
+      auto [ptr, ec] = std::from_chars(raw.data(), raw.data() + raw.size(), v);
+      if (ec != std::errc() || ptr != raw.data() + raw.size()) {
+        return Status::InvalidArgument("bad int literal '" + raw + "'");
+      }
+      return Value(v);
+    }
+    case ValueKind::kDouble: {
+      try {
+        size_t used = 0;
+        double v = std::stod(raw, &used);
+        if (used != raw.size()) {
+          return Status::InvalidArgument("bad double literal '" + raw + "'");
+        }
+        return Value(v);
+      } catch (...) {
+        return Status::InvalidArgument("bad double literal '" + raw + "'");
+      }
+    }
+    case ValueKind::kString:
+      return Value(raw);
+    case ValueKind::kDate: {
+      GOOD_ASSIGN_OR_RETURN(Date d, Date::Parse(raw));
+      return Value(d);
+    }
+    case ValueKind::kBytes: {
+      if (raw.size() < 2 || raw[0] != '0' || raw[1] != 'x' ||
+          raw.size() % 2 != 0) {
+        return Status::InvalidArgument("bad bytes literal '" + raw + "'");
+      }
+      Bytes bytes;
+      for (size_t i = 2; i < raw.size(); i += 2) {
+        auto nibble = [&](char c) -> int {
+          if (c >= '0' && c <= '9') return c - '0';
+          if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+          if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+          return -1;
+        };
+        int hi = nibble(raw[i]);
+        int lo = nibble(raw[i + 1]);
+        if (hi < 0 || lo < 0) {
+          return Status::InvalidArgument("bad bytes literal '" + raw + "'");
+        }
+        bytes.push_back(static_cast<uint8_t>((hi << 4) | lo));
+      }
+      return Value(std::move(bytes));
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+Result<Scheme> ParseSchemeBody(Cursor* cursor) {
+  Scheme scheme;
+  GOOD_RETURN_NOT_OK(cursor->Expect("scheme"));
+  GOOD_RETURN_NOT_OK(cursor->Expect("{"));
+  while (!cursor->AtEnd() && cursor->Peek().text != "}") {
+    GOOD_ASSIGN_OR_RETURN(std::string kind, cursor->Word());
+    if (kind == "object") {
+      GOOD_ASSIGN_OR_RETURN(std::string name, cursor->Word());
+      GOOD_RETURN_NOT_OK(scheme.AddObjectLabel(Sym(name)));
+    } else if (kind == "printable") {
+      GOOD_ASSIGN_OR_RETURN(std::string name, cursor->Word());
+      GOOD_RETURN_NOT_OK(cursor->Expect(":"));
+      GOOD_ASSIGN_OR_RETURN(std::string domain_word, cursor->Word());
+      GOOD_ASSIGN_OR_RETURN(ValueKind domain, ParseDomain(domain_word));
+      GOOD_RETURN_NOT_OK(scheme.AddPrintableLabel(Sym(name), domain));
+    } else if (kind == "functional") {
+      GOOD_ASSIGN_OR_RETURN(std::string name, cursor->Word());
+      GOOD_RETURN_NOT_OK(scheme.AddFunctionalEdgeLabel(Sym(name)));
+    } else if (kind == "multivalued") {
+      GOOD_ASSIGN_OR_RETURN(std::string name, cursor->Word());
+      GOOD_RETURN_NOT_OK(scheme.AddMultivaluedEdgeLabel(Sym(name)));
+    } else if (kind == "triple") {
+      GOOD_ASSIGN_OR_RETURN(std::string src, cursor->Word());
+      GOOD_ASSIGN_OR_RETURN(std::string edge, cursor->Word());
+      GOOD_ASSIGN_OR_RETURN(std::string tgt, cursor->Word());
+      GOOD_RETURN_NOT_OK(scheme.AddTriple(Sym(src), Sym(edge), Sym(tgt)));
+    } else if (kind == "isa") {
+      GOOD_ASSIGN_OR_RETURN(std::string sub, cursor->Word());
+      GOOD_ASSIGN_OR_RETURN(std::string edge, cursor->Word());
+      GOOD_ASSIGN_OR_RETURN(std::string super, cursor->Word());
+      GOOD_RETURN_NOT_OK(scheme.MarkIsa(Sym(sub), Sym(edge), Sym(super)));
+    } else {
+      return Status::InvalidArgument("unknown scheme statement '" + kind +
+                                     "'");
+    }
+    GOOD_RETURN_NOT_OK(cursor->Expect(";"));
+  }
+  GOOD_RETURN_NOT_OK(cursor->Expect("}"));
+  return scheme;
+}
+
+Result<Instance> ParseInstanceBody(const Scheme& scheme, Cursor* cursor,
+                                   std::map<std::string, NodeId>* names_out) {
+  Instance instance;
+  std::map<std::string, NodeId> names;
+  GOOD_RETURN_NOT_OK(cursor->Expect("instance"));
+  GOOD_RETURN_NOT_OK(cursor->Expect("{"));
+  while (!cursor->AtEnd() && cursor->Peek().text != "}") {
+    GOOD_ASSIGN_OR_RETURN(std::string kind, cursor->Word());
+    if (kind == "node") {
+      GOOD_ASSIGN_OR_RETURN(std::string name, cursor->Word());
+      GOOD_ASSIGN_OR_RETURN(std::string label_word, cursor->Word());
+      Symbol label = Sym(label_word);
+      if (names.contains(name)) {
+        return Status::InvalidArgument("duplicate node name '" + name + "'");
+      }
+      NodeId node;
+      if (!cursor->AtEnd() && cursor->Peek().text == "=" &&
+          !cursor->Peek().quoted) {
+        GOOD_RETURN_NOT_OK(cursor->Expect("="));
+        if (cursor->AtEnd() || !cursor->Peek().quoted) {
+          return Status::InvalidArgument("expected quoted value after '='");
+        }
+        std::string raw = cursor->Next().text;
+        GOOD_ASSIGN_OR_RETURN(ValueKind domain, scheme.DomainOf(label));
+        GOOD_ASSIGN_OR_RETURN(Value value, ParseValue(raw, domain));
+        GOOD_ASSIGN_OR_RETURN(
+            node, instance.AddPrintableNode(scheme, label, std::move(value)));
+      } else if (scheme.IsPrintableLabel(label)) {
+        GOOD_ASSIGN_OR_RETURN(
+            node, instance.AddValuelessPrintableNode(scheme, label));
+      } else {
+        GOOD_ASSIGN_OR_RETURN(node, instance.AddObjectNode(scheme, label));
+      }
+      names.emplace(std::move(name), node);
+    } else if (kind == "edge") {
+      GOOD_ASSIGN_OR_RETURN(std::string src, cursor->Word());
+      GOOD_ASSIGN_OR_RETURN(std::string edge, cursor->Word());
+      GOOD_ASSIGN_OR_RETURN(std::string tgt, cursor->Word());
+      auto sit = names.find(src);
+      auto tit = names.find(tgt);
+      if (sit == names.end() || tit == names.end()) {
+        return Status::InvalidArgument("edge references undefined node");
+      }
+      GOOD_RETURN_NOT_OK(
+          instance.AddEdge(scheme, sit->second, Sym(edge), tit->second));
+    } else {
+      return Status::InvalidArgument("unknown instance statement '" + kind +
+                                     "'");
+    }
+    GOOD_RETURN_NOT_OK(cursor->Expect(";"));
+  }
+  GOOD_RETURN_NOT_OK(cursor->Expect("}"));
+  if (names_out != nullptr) *names_out = std::move(names);
+  return instance;
+}
+
+}  // namespace
+
+std::string WriteScheme(const Scheme& scheme) {
+  std::ostringstream os;
+  os << "scheme {\n";
+  for (Symbol label : scheme.object_labels()) {
+    os << "  object " << WriteName(label) << ";\n";
+  }
+  for (Symbol label : scheme.printable_labels()) {
+    os << "  printable " << WriteName(label) << " : "
+       << ValueKindToString(*scheme.DomainOf(label)) << ";\n";
+  }
+  for (Symbol label : scheme.functional_edge_labels()) {
+    os << "  functional " << WriteName(label) << ";\n";
+  }
+  for (Symbol label : scheme.multivalued_edge_labels()) {
+    os << "  multivalued " << WriteName(label) << ";\n";
+  }
+  for (const schema::Triple& t : scheme.triples()) {
+    os << "  triple " << WriteName(t.source) << " " << WriteName(t.edge)
+       << " " << WriteName(t.target) << ";\n";
+  }
+  for (Symbol sub : scheme.object_labels()) {
+    for (const auto& [edge, super] : scheme.DirectSuperclasses(sub)) {
+      os << "  isa " << WriteName(sub) << " " << WriteName(edge) << " "
+         << WriteName(super) << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+Result<Scheme> ParseScheme(const std::string& text) {
+  GOOD_ASSIGN_OR_RETURN(auto tokens, Tokenize(text));
+  Cursor cursor(std::move(tokens));
+  return ParseSchemeBody(&cursor);
+}
+
+std::string WriteInstance(const Scheme& scheme, const Instance& instance) {
+  (void)scheme;
+  std::ostringstream os;
+  os << "instance {\n";
+  for (NodeId node : instance.AllNodes()) {
+    os << "  node n" << node.id << " " << WriteName(instance.LabelOf(node));
+    if (instance.HasPrintValue(node)) {
+      os << " = " << WriteValue(*instance.PrintValueOf(node));
+    }
+    os << ";\n";
+  }
+  for (const graph::Edge& e : instance.AllEdges()) {
+    os << "  edge n" << e.source.id << " " << WriteName(e.label) << " n"
+       << e.target.id << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+Result<Instance> ParseInstance(const Scheme& scheme,
+                               const std::string& text) {
+  GOOD_ASSIGN_OR_RETURN(auto tokens, Tokenize(text));
+  Cursor cursor(std::move(tokens));
+  return ParseInstanceBody(scheme, &cursor, nullptr);
+}
+
+Result<NamedInstance> ParseInstanceNamed(const Scheme& scheme,
+                                         const std::string& text) {
+  GOOD_ASSIGN_OR_RETURN(auto tokens, Tokenize(text));
+  Cursor cursor(std::move(tokens));
+  NamedInstance out;
+  GOOD_ASSIGN_OR_RETURN(out.instance,
+                        ParseInstanceBody(scheme, &cursor, &out.names));
+  return out;
+}
+
+std::string WriteDatabase(const Database& database) {
+  return WriteScheme(database.scheme) +
+         WriteInstance(database.scheme, database.instance);
+}
+
+Result<Database> ParseDatabase(const std::string& text) {
+  GOOD_ASSIGN_OR_RETURN(auto tokens, Tokenize(text));
+  Cursor cursor(std::move(tokens));
+  GOOD_ASSIGN_OR_RETURN(Scheme scheme, ParseSchemeBody(&cursor));
+  GOOD_ASSIGN_OR_RETURN(Instance instance,
+                        ParseInstanceBody(scheme, &cursor, nullptr));
+  return Database{std::move(scheme), std::move(instance)};
+}
+
+}  // namespace good::program

@@ -1,0 +1,75 @@
+/// \file serialize.h
+/// \brief Text serialization of schemes and instances.
+///
+/// The paper's front-end is a graphical editor; our substitution is a
+/// small, line-oriented text format (plus the DOT exporter in dot.h for
+/// the visual direction). The format round-trips exactly:
+///
+/// \code
+/// scheme {
+///   object Info;
+///   printable Date : date;
+///   functional created;
+///   multivalued links-to;
+///   triple Info created Date;
+///   isa Data isa Info;
+/// }
+/// instance {
+///   node n0 Info;
+///   node n1 Date = "Jan 12, 1990";
+///   edge n0 created n1;
+/// }
+/// \endcode
+///
+/// Printable values are written as quoted strings and parsed back
+/// according to the label's registered domain; node names in the
+/// instance section are local to the file.
+
+#ifndef GOOD_PROGRAM_SERIALIZE_H_
+#define GOOD_PROGRAM_SERIALIZE_H_
+
+#include <map>
+#include <string>
+
+#include "common/result.h"
+#include "graph/instance.h"
+#include "program/program.h"
+#include "schema/scheme.h"
+
+namespace good::program {
+
+/// Serializes a scheme to the text format.
+std::string WriteScheme(const schema::Scheme& scheme);
+
+/// Parses a scheme section (must start with "scheme {").
+Result<schema::Scheme> ParseScheme(const std::string& text);
+
+/// Serializes an instance (over `scheme`) to the text format.
+std::string WriteInstance(const schema::Scheme& scheme,
+                          const graph::Instance& instance);
+
+/// Parses an instance section over `scheme`.
+Result<graph::Instance> ParseInstance(const schema::Scheme& scheme,
+                                      const std::string& text);
+
+/// \brief An instance together with the file-local node names, for
+/// formats that need to reference nodes after parsing (operation
+/// designators in op_serialize.h).
+struct NamedInstance {
+  graph::Instance instance;
+  std::map<std::string, graph::NodeId> names;
+};
+
+/// Parses an instance section, also returning the node-name map.
+Result<NamedInstance> ParseInstanceNamed(const schema::Scheme& scheme,
+                                         const std::string& text);
+
+/// Serializes a full database (scheme followed by instance).
+std::string WriteDatabase(const Database& database);
+
+/// Parses a full database.
+Result<Database> ParseDatabase(const std::string& text);
+
+}  // namespace good::program
+
+#endif  // GOOD_PROGRAM_SERIALIZE_H_

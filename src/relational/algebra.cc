@@ -1,0 +1,215 @@
+#include "relational/algebra.h"
+
+#include <map>
+#include <set>
+#include <unordered_map>
+
+namespace good::relational {
+
+namespace {
+
+Status RequireSameHeader(const Relation& a, const Relation& b,
+                         const char* op) {
+  if (a.header() != b.header()) {
+    return Status::InvalidArgument(std::string(op) +
+                                   " requires identical headers");
+  }
+  return Status::OK();
+}
+
+std::string JoinKey(const Tuple& tuple, const std::vector<size_t>& columns) {
+  std::string key;
+  for (size_t c : columns) {
+    key += std::to_string(static_cast<int>(tuple[c]->kind()));
+    key += ':';
+    key += tuple[c]->ToString();
+    key += '\x02';
+  }
+  return key;
+}
+
+}  // namespace
+
+Relation Select(const Relation& input, const RowPredicate& predicate) {
+  Relation out(input.header());
+  for (const Tuple& t : input.tuples()) {
+    if (predicate(input, t)) out.Insert(t).ValueOrDie();
+  }
+  return out;
+}
+
+Result<Relation> SelectEquals(const Relation& input, const std::string& attr,
+                              const Value& constant) {
+  GOOD_ASSIGN_OR_RETURN(size_t index, input.IndexOf(attr));
+  return Select(input, [index, &constant](const Relation&, const Tuple& t) {
+    return t[index].has_value() && *t[index] == constant;
+  });
+}
+
+Result<Relation> SelectAttrEquals(const Relation& input, const std::string& a,
+                                  const std::string& b) {
+  GOOD_ASSIGN_OR_RETURN(size_t ia, input.IndexOf(a));
+  GOOD_ASSIGN_OR_RETURN(size_t ib, input.IndexOf(b));
+  return Select(input, [ia, ib](const Relation&, const Tuple& t) {
+    return t[ia].has_value() && t[ib].has_value() && *t[ia] == *t[ib];
+  });
+}
+
+Result<Relation> SelectNotNull(const Relation& input,
+                               const std::string& attr) {
+  GOOD_ASSIGN_OR_RETURN(size_t index, input.IndexOf(attr));
+  return Select(input, [index](const Relation&, const Tuple& t) {
+    return t[index].has_value();
+  });
+}
+
+Result<Relation> Project(const Relation& input,
+                         const std::vector<std::string>& attrs) {
+  std::vector<size_t> indices;
+  std::vector<Attribute> header;
+  std::set<std::string> seen;
+  for (const std::string& name : attrs) {
+    GOOD_ASSIGN_OR_RETURN(size_t index, input.IndexOf(name));
+    if (!seen.insert(name).second) {
+      return Status::InvalidArgument("projection repeats attribute '" +
+                                     name + "'");
+    }
+    indices.push_back(index);
+    header.push_back(input.header()[index]);
+  }
+  Relation out(std::move(header));
+  for (const Tuple& t : input.tuples()) {
+    Tuple projected;
+    projected.reserve(indices.size());
+    for (size_t index : indices) projected.push_back(t[index]);
+    GOOD_RETURN_NOT_OK(out.Insert(std::move(projected)).status());
+  }
+  return out;
+}
+
+Result<Relation> Rename(
+    const Relation& input,
+    const std::vector<std::pair<std::string, std::string>>& renames) {
+  std::map<std::string, std::string> mapping(renames.begin(), renames.end());
+  std::vector<Attribute> header;
+  std::set<std::string> seen;
+  for (const Attribute& attr : input.header()) {
+    auto it = mapping.find(attr.name);
+    std::string name = it == mapping.end() ? attr.name : it->second;
+    if (it != mapping.end()) mapping.erase(it);
+    if (!seen.insert(name).second) {
+      return Status::InvalidArgument("rename would duplicate attribute '" +
+                                     name + "'");
+    }
+    header.push_back(Attribute{std::move(name), attr.type});
+  }
+  if (!mapping.empty()) {
+    return Status::NotFound("rename references missing attribute '" +
+                            mapping.begin()->first + "'");
+  }
+  Relation out(std::move(header));
+  for (const Tuple& t : input.tuples()) {
+    GOOD_RETURN_NOT_OK(out.Insert(t).status());
+  }
+  return out;
+}
+
+Result<Relation> Product(const Relation& a, const Relation& b) {
+  std::vector<Attribute> header = a.header();
+  for (const Attribute& attr : b.header()) {
+    if (a.HasAttribute(attr.name)) {
+      return Status::InvalidArgument("product headers share attribute '" +
+                                     attr.name + "'");
+    }
+    header.push_back(attr);
+  }
+  Relation out(std::move(header));
+  for (const Tuple& ta : a.tuples()) {
+    for (const Tuple& tb : b.tuples()) {
+      Tuple joined = ta;
+      joined.insert(joined.end(), tb.begin(), tb.end());
+      GOOD_RETURN_NOT_OK(out.Insert(std::move(joined)).status());
+    }
+  }
+  return out;
+}
+
+Result<Relation> NaturalJoin(const Relation& a, const Relation& b) {
+  // Identify shared attributes.
+  std::vector<size_t> a_shared, b_shared, b_rest;
+  for (size_t j = 0; j < b.header().size(); ++j) {
+    auto index = a.IndexOf(b.header()[j].name);
+    if (index.ok()) {
+      if (a.header()[*index].type != b.header()[j].type) {
+        return Status::InvalidArgument(
+            "join attribute '" + b.header()[j].name +
+            "' has conflicting types");
+      }
+      a_shared.push_back(*index);
+      b_shared.push_back(j);
+    } else {
+      b_rest.push_back(j);
+    }
+  }
+  if (a_shared.empty()) return Product(a, b);
+
+  std::vector<Attribute> header = a.header();
+  for (size_t j : b_rest) header.push_back(b.header()[j]);
+  Relation out(std::move(header));
+
+  // Hash the smaller input on the shared columns; NULLs never join.
+  std::unordered_map<std::string, std::vector<const Tuple*>> hashed;
+  for (const Tuple& tb : b.tuples()) {
+    bool has_null = false;
+    for (size_t j : b_shared) {
+      if (!tb[j].has_value()) {
+        has_null = true;
+        break;
+      }
+    }
+    if (has_null) continue;
+    hashed[JoinKey(tb, b_shared)].push_back(&tb);
+  }
+  for (const Tuple& ta : a.tuples()) {
+    bool has_null = false;
+    for (size_t i : a_shared) {
+      if (!ta[i].has_value()) {
+        has_null = true;
+        break;
+      }
+    }
+    if (has_null) continue;
+    auto it = hashed.find(JoinKey(ta, a_shared));
+    if (it == hashed.end()) continue;
+    for (const Tuple* tb : it->second) {
+      Tuple joined = ta;
+      for (size_t j : b_rest) joined.push_back((*tb)[j]);
+      GOOD_RETURN_NOT_OK(out.Insert(std::move(joined)).status());
+    }
+  }
+  return out;
+}
+
+Result<Relation> Union(const Relation& a, const Relation& b) {
+  GOOD_RETURN_NOT_OK(RequireSameHeader(a, b, "union"));
+  Relation out = a;
+  for (const Tuple& t : b.tuples()) {
+    GOOD_RETURN_NOT_OK(out.Insert(t).status());
+  }
+  return out;
+}
+
+Result<Relation> Difference(const Relation& a, const Relation& b) {
+  GOOD_RETURN_NOT_OK(RequireSameHeader(a, b, "difference"));
+  Relation out = a;
+  for (const Tuple& t : b.tuples()) out.Erase(t);
+  return out;
+}
+
+Result<Relation> Intersect(const Relation& a, const Relation& b) {
+  GOOD_RETURN_NOT_OK(RequireSameHeader(a, b, "intersect"));
+  GOOD_ASSIGN_OR_RETURN(Relation diff, Difference(a, b));
+  return Difference(a, diff);
+}
+
+}  // namespace good::relational

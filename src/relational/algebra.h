@@ -1,0 +1,72 @@
+/// \file algebra.h
+/// \brief Relational algebra operators over relational::Relation.
+///
+/// The classical operator set (selection, projection, rename, product,
+/// natural join, union, difference, distinct-by-construction) used by
+/// the GOOD-on-relations backend (backend.h) and by the Section 4.3
+/// relational-completeness harness (codd module). Joins are hash joins;
+/// NULLs never satisfy equality predicates.
+
+#ifndef GOOD_RELATIONAL_ALGEBRA_H_
+#define GOOD_RELATIONAL_ALGEBRA_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "relational/relation.h"
+
+namespace good::relational {
+
+/// \brief Row predicate used by generic selection.
+using RowPredicate = std::function<bool(const Relation&, const Tuple&)>;
+
+/// σ: tuples satisfying `predicate`.
+Relation Select(const Relation& input, const RowPredicate& predicate);
+
+/// σ attr = constant. NULL cells never match.
+Result<Relation> SelectEquals(const Relation& input, const std::string& attr,
+                              const Value& constant);
+
+/// σ attrA = attrB (both non-NULL).
+Result<Relation> SelectAttrEquals(const Relation& input,
+                                  const std::string& a,
+                                  const std::string& b);
+
+/// σ attr IS NOT NULL.
+Result<Relation> SelectNotNull(const Relation& input,
+                               const std::string& attr);
+
+/// π: keeps `attrs` in the given order (duplicates collapse: set
+/// semantics).
+Result<Relation> Project(const Relation& input,
+                         const std::vector<std::string>& attrs);
+
+/// ρ: renames attributes; `renames` maps old name -> new name. Names
+/// not mentioned stay. The resulting header must not contain
+/// duplicates.
+Result<Relation> Rename(
+    const Relation& input,
+    const std::vector<std::pair<std::string, std::string>>& renames);
+
+/// ×: Cartesian product. Headers must be disjoint.
+Result<Relation> Product(const Relation& a, const Relation& b);
+
+/// ⋈: natural join on all shared attribute names (hash join on the
+/// shared columns; NULLs never join). Shared attributes must agree on
+/// type; the output carries a's header followed by b's non-shared
+/// attributes.
+Result<Relation> NaturalJoin(const Relation& a, const Relation& b);
+
+/// ∪: headers must be identical.
+Result<Relation> Union(const Relation& a, const Relation& b);
+
+/// −: headers must be identical.
+Result<Relation> Difference(const Relation& a, const Relation& b);
+
+/// ∩: headers must be identical.
+Result<Relation> Intersect(const Relation& a, const Relation& b);
+
+}  // namespace good::relational
+
+#endif  // GOOD_RELATIONAL_ALGEBRA_H_

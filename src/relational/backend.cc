@@ -1,0 +1,787 @@
+#include "relational/backend.h"
+
+#include <algorithm>
+#include <set>
+
+namespace good::relational {
+
+using graph::Instance;
+using graph::NodeId;
+using pattern::Matching;
+using pattern::Pattern;
+using schema::Scheme;
+
+namespace {
+
+Value Oid(int64_t oid) { return Value(oid); }
+
+std::string NodeColumn(size_t k) { return "$" + std::to_string(k); }
+std::string FunctionalNodeColumn(size_t k, Symbol edge) {
+  return "$" + std::to_string(k) + "." + SymName(edge);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Layout & loading
+// ---------------------------------------------------------------------------
+
+Status RelationalBackend::SyncLayout() {
+  // Desired functional columns per object label.
+  std::map<Symbol, std::vector<Symbol>> functional_labels;
+  for (const schema::Triple& t : scheme_.triples()) {
+    if (scheme_.IsFunctionalEdgeLabel(t.edge)) {
+      auto& labels = functional_labels[t.source];
+      if (std::find(labels.begin(), labels.end(), t.edge) == labels.end()) {
+        labels.push_back(t.edge);
+      }
+    }
+  }
+  for (auto& [label, labels] : functional_labels) {
+    (void)label;
+    std::sort(labels.begin(), labels.end(),
+              [](Symbol a, Symbol b) { return SymName(a) < SymName(b); });
+  }
+
+  for (Symbol label : scheme_.object_labels()) {
+    std::vector<Attribute> header{{"oid", ValueKind::kInt}};
+    for (Symbol edge : functional_labels[label]) {
+      header.push_back(Attribute{FunctionalColumn(edge), ValueKind::kInt});
+    }
+    auto it = tables_.find(label);
+    if (it == tables_.end()) {
+      tables_.emplace(label, Relation(header));
+      continue;
+    }
+    if (it->second.header() == header) continue;
+    // Rebuild with the extended header, padding new columns with NULL.
+    Relation rebuilt(header);
+    for (const Tuple& row : it->second.tuples()) {
+      Tuple extended(header.size());
+      for (size_t i = 0; i < header.size(); ++i) {
+        auto old_index = it->second.IndexOf(header[i].name);
+        extended[i] = old_index.ok() ? row[*old_index] : Cell{};
+      }
+      GOOD_RETURN_NOT_OK(rebuilt.Insert(std::move(extended)).status());
+    }
+    it->second = std::move(rebuilt);
+  }
+  for (Symbol label : scheme_.printable_labels()) {
+    if (!tables_.contains(label)) {
+      GOOD_ASSIGN_OR_RETURN(ValueKind domain, scheme_.DomainOf(label));
+      tables_.emplace(label,
+                      Relation({{"oid", ValueKind::kInt}, {"value", domain}}));
+    }
+  }
+  for (Symbol label : scheme_.multivalued_edge_labels()) {
+    if (!edge_tables_.contains(label)) {
+      edge_tables_.emplace(
+          label, Relation({{"src", ValueKind::kInt}, {"tgt", ValueKind::kInt}}));
+    }
+  }
+  return Status::OK();
+}
+
+Result<RelationalBackend> RelationalBackend::Load(const Scheme& scheme,
+                                                  const Instance& instance) {
+  RelationalBackend backend;
+  backend.scheme_ = scheme;
+  GOOD_RETURN_NOT_OK(backend.SyncLayout());
+
+  for (NodeId node : instance.AllNodes()) {
+    const Symbol label = instance.LabelOf(node);
+    const int64_t oid = node.id;
+    backend.next_oid_ = std::max(backend.next_oid_, oid + 1);
+    backend.oid_labels_[oid] = label;
+    Relation& table = backend.tables_.at(label);
+    Tuple row(table.arity());
+    row[0] = Oid(oid);
+    if (scheme.IsPrintableLabel(label)) {
+      if (instance.HasPrintValue(node)) {
+        row[1] = *instance.PrintValueOf(node);
+      }
+    } else {
+      for (const auto& [edge, target] : instance.OutEdges(node)) {
+        if (!scheme.IsFunctionalEdgeLabel(edge)) continue;
+        GOOD_ASSIGN_OR_RETURN(size_t col,
+                              table.IndexOf(FunctionalColumn(edge)));
+        row[col] = Oid(target.id);
+      }
+    }
+    GOOD_RETURN_NOT_OK(table.Insert(std::move(row)).status());
+  }
+  for (const graph::Edge& e : instance.AllEdges()) {
+    if (!scheme.IsMultivaluedEdgeLabel(e.label)) continue;
+    GOOD_RETURN_NOT_OK(
+        backend.InsertMultivalued(e.label, e.source.id, e.target.id));
+  }
+  return backend;
+}
+
+// ---------------------------------------------------------------------------
+// Store primitives
+// ---------------------------------------------------------------------------
+
+Result<const Relation*> RelationalBackend::Table(Symbol label) const {
+  auto it = tables_.find(label);
+  if (it == tables_.end()) {
+    return Status::NotFound("no table for label '" + SymName(label) + "'");
+  }
+  return &it->second;
+}
+
+Result<const Relation*> RelationalBackend::EdgeTable(Symbol label) const {
+  auto it = edge_tables_.find(label);
+  if (it == edge_tables_.end()) {
+    return Status::NotFound("no edge table for label '" + SymName(label) +
+                            "'");
+  }
+  return &it->second;
+}
+
+Result<int64_t> RelationalBackend::InsertObject(Symbol label) {
+  auto it = tables_.find(label);
+  if (it == tables_.end()) {
+    return Status::NotFound("no class table for '" + SymName(label) + "'");
+  }
+  int64_t oid = next_oid_++;
+  Tuple row(it->second.arity());
+  row[0] = Oid(oid);
+  GOOD_RETURN_NOT_OK(it->second.Insert(std::move(row)).status());
+  oid_labels_[oid] = label;
+  return oid;
+}
+
+Result<int64_t> RelationalBackend::InsertPrintable(Symbol label,
+                                                   const Value& value) {
+  auto it = tables_.find(label);
+  if (it == tables_.end()) {
+    return Status::NotFound("no printable table for '" + SymName(label) +
+                            "'");
+  }
+  // Printable dedup: one row per (label, value).
+  for (const Tuple& row : it->second.tuples()) {
+    if (row[1].has_value() && *row[1] == value) return row[0]->AsInt();
+  }
+  int64_t oid = next_oid_++;
+  GOOD_RETURN_NOT_OK(it->second.Insert({Oid(oid), value}).status());
+  oid_labels_[oid] = label;
+  return oid;
+}
+
+Status RelationalBackend::SetFunctional(Symbol class_label, int64_t oid,
+                                        Symbol edge,
+                                        std::optional<int64_t> target) {
+  Relation& table = tables_.at(class_label);
+  GOOD_ASSIGN_OR_RETURN(size_t col, table.IndexOf(FunctionalColumn(edge)));
+  for (const Tuple& row : table.tuples()) {
+    if (row[0].has_value() && row[0]->AsInt() == oid) {
+      Tuple updated = row;
+      updated[col].reset();
+      if (target.has_value()) updated[col] = Oid(*target);
+      table.Erase(row);
+      return table.Insert(std::move(updated)).status();
+    }
+  }
+  return Status::NotFound("no row with oid " + std::to_string(oid));
+}
+
+Result<std::optional<int64_t>> RelationalBackend::GetFunctional(
+    Symbol class_label, int64_t oid, Symbol edge) const {
+  const Relation& table = tables_.at(class_label);
+  auto col = table.IndexOf(FunctionalColumn(edge));
+  if (!col.ok()) return std::optional<int64_t>{};
+  for (const Tuple& row : table.tuples()) {
+    if (row[0].has_value() && row[0]->AsInt() == oid) {
+      if (!row[*col].has_value()) return std::optional<int64_t>{};
+      return std::optional<int64_t>{row[*col]->AsInt()};
+    }
+  }
+  return Status::NotFound("no row with oid " + std::to_string(oid));
+}
+
+Status RelationalBackend::InsertMultivalued(Symbol edge, int64_t src,
+                                            int64_t tgt) {
+  auto it = edge_tables_.find(edge);
+  if (it == edge_tables_.end()) {
+    return Status::NotFound("no edge table for '" + SymName(edge) + "'");
+  }
+  return it->second.Insert({Oid(src), Oid(tgt)}).status();
+}
+
+Status RelationalBackend::DeleteNode(Symbol label, int64_t oid) {
+  Relation& table = tables_.at(label);
+  for (const Tuple& row : table.tuples()) {
+    if (row[0].has_value() && row[0]->AsInt() == oid) {
+      table.Erase(row);
+      break;
+    }
+  }
+  oid_labels_.erase(oid);
+  // Multivalued edges touching the node.
+  for (auto& [edge, edge_table] : edge_tables_) {
+    (void)edge;
+    std::vector<Tuple> doomed;
+    for (const Tuple& row : edge_table.tuples()) {
+      if ((row[0].has_value() && row[0]->AsInt() == oid) ||
+          (row[1].has_value() && row[1]->AsInt() == oid)) {
+        doomed.push_back(row);
+      }
+    }
+    for (const Tuple& row : doomed) edge_table.Erase(row);
+  }
+  // Functional references into the node: NULL them out.
+  for (auto& [class_label, class_table] : tables_) {
+    if (scheme_.IsPrintableLabel(class_label)) continue;
+    std::vector<std::pair<Tuple, Tuple>> updates;
+    for (const Tuple& row : class_table.tuples()) {
+      Tuple updated = row;
+      bool changed = false;
+      for (size_t c = 1; c < updated.size(); ++c) {
+        if (updated[c].has_value() && updated[c]->AsInt() == oid) {
+          updated[c] = Cell{};
+          changed = true;
+        }
+      }
+      if (changed) updates.emplace_back(row, std::move(updated));
+    }
+    for (auto& [old_row, new_row] : updates) {
+      class_table.Erase(old_row);
+      GOOD_RETURN_NOT_OK(class_table.Insert(std::move(new_row)).status());
+    }
+  }
+  return Status::OK();
+}
+
+Result<Symbol> RelationalBackend::LabelOfOid(int64_t oid) const {
+  auto it = oid_labels_.find(oid);
+  if (it == oid_labels_.end()) {
+    return Status::NotFound("unknown oid " + std::to_string(oid));
+  }
+  return it->second;
+}
+
+// ---------------------------------------------------------------------------
+// Pattern compilation (the "SQL query")
+// ---------------------------------------------------------------------------
+
+Result<Relation> RelationalBackend::MatchPattern(
+    const Pattern& pattern) const {
+  std::vector<NodeId> nodes = pattern.AllNodes();
+  if (nodes.empty()) {
+    // The empty pattern has exactly one (empty) matching.
+    Relation unit{std::vector<Attribute>{}};
+    GOOD_RETURN_NOT_OK(unit.Insert({}).status());
+    return unit;
+  }
+  std::map<NodeId, size_t> position;
+  for (size_t k = 0; k < nodes.size(); ++k) position[nodes[k]] = k;
+
+  // Per-node relations: oid renamed to $k; used functional columns to
+  // $k.<edge>; printable value constraints applied here.
+  auto node_relation = [&](size_t k) -> Result<Relation> {
+    NodeId m = nodes[k];
+    Symbol label = pattern.LabelOf(m);
+    auto table = Table(label);
+    if (!table.ok()) {
+      // Unknown label: no candidates.
+      return Relation({{NodeColumn(k), ValueKind::kInt}});
+    }
+    Relation base = **table;
+    if (pattern.HasPrintValue(m)) {
+      GOOD_ASSIGN_OR_RETURN(
+          base, SelectEquals(base, "value", *pattern.PrintValueOf(m)));
+    }
+    std::vector<std::pair<std::string, std::string>> renames{
+        {"oid", NodeColumn(k)}};
+    std::vector<std::string> keep{NodeColumn(k)};
+    for (const auto& [edge, target] : pattern.OutEdges(m)) {
+      (void)target;
+      if (!scheme_.IsFunctionalEdgeLabel(edge)) continue;
+      renames.emplace_back(FunctionalColumn(edge),
+                           FunctionalNodeColumn(k, edge));
+      keep.push_back(FunctionalNodeColumn(k, edge));
+    }
+    GOOD_ASSIGN_OR_RETURN(Relation renamed, Rename(base, renames));
+    return Project(renamed, keep);
+  };
+
+  // Connectivity-aware fold order: after the first node, prefer nodes
+  // adjacent to the already-joined set so each NaturalJoin shares a
+  // column (a Cartesian product only happens between genuinely
+  // disconnected pattern components).
+  std::vector<size_t> order;
+  {
+    std::vector<bool> placed(nodes.size(), false);
+    auto adjacent = [&](size_t k) {
+      NodeId m = nodes[k];
+      for (const auto& [edge, target] : pattern.OutEdges(m)) {
+        (void)edge;
+        if (placed[position.at(target)]) return true;
+      }
+      for (const auto& [source, edge] : pattern.InEdges(m)) {
+        (void)edge;
+        if (placed[position.at(source)]) return true;
+      }
+      return false;
+    };
+    while (order.size() < nodes.size()) {
+      size_t pick = nodes.size();
+      for (size_t k = 0; k < nodes.size(); ++k) {
+        if (placed[k]) continue;
+        if (!order.empty() && adjacent(k)) {
+          pick = k;
+          break;
+        }
+        if (pick == nodes.size()) pick = k;
+      }
+      order.push_back(pick);
+      placed[pick] = true;
+    }
+  }
+
+  auto edge_relation = [&](Symbol edge, size_t src_k,
+                           size_t tgt_k) -> Result<Relation> {
+    auto edge_table = EdgeTable(edge);
+    Relation binary =
+        edge_table.ok()
+            ? **edge_table
+            : Relation({{"src", ValueKind::kInt}, {"tgt", ValueKind::kInt}});
+    return Rename(binary, {{"src", NodeColumn(src_k)},
+                           {"tgt", NodeColumn(tgt_k)}});
+  };
+
+  GOOD_ASSIGN_OR_RETURN(Relation acc, node_relation(order[0]));
+  std::set<std::tuple<uint32_t, uint32_t, uint32_t>> applied;
+  std::vector<bool> present(nodes.size(), false);
+  present[order[0]] = true;
+
+  // Applies every not-yet-applied constraint among present nodes.
+  auto apply_edges = [&]() -> Status {
+    for (size_t k = 0; k < nodes.size(); ++k) {
+      if (!present[k]) continue;
+      NodeId m = nodes[k];
+      for (const auto& [edge, target] : pattern.OutEdges(m)) {
+        size_t tk = position.at(target);
+        if (!present[tk]) continue;
+        auto key = std::make_tuple(m.id, edge.id, target.id);
+        if (applied.contains(key)) continue;
+        applied.insert(key);
+        if (scheme_.IsFunctionalEdgeLabel(edge)) {
+          GOOD_ASSIGN_OR_RETURN(
+              acc, SelectAttrEquals(acc, FunctionalNodeColumn(k, edge),
+                                    NodeColumn(tk)));
+        } else {
+          GOOD_ASSIGN_OR_RETURN(Relation renamed, edge_relation(edge, k, tk));
+          GOOD_ASSIGN_OR_RETURN(acc, NaturalJoin(acc, renamed));
+        }
+      }
+    }
+    return Status::OK();
+  };
+  GOOD_RETURN_NOT_OK(apply_edges());
+
+  for (size_t idx = 1; idx < order.size(); ++idx) {
+    size_t k = order[idx];
+    NodeId m = nodes[k];
+    GOOD_ASSIGN_OR_RETURN(Relation rk, node_relation(k));
+
+    // Make the join with acc share a column: pre-join a connecting
+    // multivalued edge table, or turn a connecting functional edge into
+    // a column rename, before the node relation joins in.
+    bool connected = false;
+    bool rk_joined = false;
+    // Incoming multivalued edge from a present node.
+    for (const auto& [source, edge] : pattern.InEdges(m)) {
+      size_t sk = position.at(source);
+      if (!present[sk] || scheme_.IsFunctionalEdgeLabel(edge)) continue;
+      auto key = std::make_tuple(source.id, edge.id, m.id);
+      if (applied.contains(key)) continue;
+      applied.insert(key);
+      GOOD_ASSIGN_OR_RETURN(Relation renamed, edge_relation(edge, sk, k));
+      GOOD_ASSIGN_OR_RETURN(acc, NaturalJoin(acc, renamed));
+      connected = true;
+      break;
+    }
+    if (!connected) {
+      // Outgoing multivalued edge to a present node.
+      for (const auto& [edge, target] : pattern.OutEdges(m)) {
+        size_t tk = position.at(target);
+        if (!present[tk] || scheme_.IsFunctionalEdgeLabel(edge)) continue;
+        auto key = std::make_tuple(m.id, edge.id, target.id);
+        if (applied.contains(key)) continue;
+        applied.insert(key);
+        GOOD_ASSIGN_OR_RETURN(Relation renamed, edge_relation(edge, k, tk));
+        GOOD_ASSIGN_OR_RETURN(acc, NaturalJoin(acc, renamed));
+        connected = true;
+        break;
+      }
+    }
+    if (!connected) {
+      // Incoming functional edge from a present node i: rename rk's oid
+      // column to $i.<edge> so the natural join equates them, then name
+      // the merged column $k.
+      for (const auto& [source, edge] : pattern.InEdges(m)) {
+        size_t sk = position.at(source);
+        if (!present[sk] || !scheme_.IsFunctionalEdgeLabel(edge)) continue;
+        auto key = std::make_tuple(source.id, edge.id, m.id);
+        if (applied.contains(key)) continue;
+        applied.insert(key);
+        GOOD_ASSIGN_OR_RETURN(
+            rk, Rename(rk, {{NodeColumn(k),
+                             FunctionalNodeColumn(sk, edge)}}));
+        GOOD_ASSIGN_OR_RETURN(acc, NaturalJoin(acc, rk));
+        GOOD_ASSIGN_OR_RETURN(
+            acc, Rename(acc, {{FunctionalNodeColumn(sk, edge),
+                               NodeColumn(k)}}));
+        connected = true;
+        rk_joined = true;
+        break;
+      }
+    }
+    if (!connected) {
+      // Outgoing functional edge to a present node i: rk's $k.<edge>
+      // column renames to $i (the merged oid column of node i).
+      for (const auto& [edge, target] : pattern.OutEdges(m)) {
+        size_t tk = position.at(target);
+        if (!present[tk] || !scheme_.IsFunctionalEdgeLabel(edge)) continue;
+        auto key = std::make_tuple(m.id, edge.id, target.id);
+        if (applied.contains(key)) continue;
+        applied.insert(key);
+        GOOD_ASSIGN_OR_RETURN(
+            rk, Rename(rk, {{FunctionalNodeColumn(k, edge),
+                             NodeColumn(tk)}}));
+        GOOD_ASSIGN_OR_RETURN(acc, NaturalJoin(acc, rk));
+        connected = true;
+        rk_joined = true;
+        break;
+      }
+    }
+    if (!rk_joined) {
+      // Either a multivalued edge table already introduced $k (a shared
+      // column, so this is a real join) or the component is genuinely
+      // disconnected (a product).
+      (void)connected;
+      GOOD_ASSIGN_OR_RETURN(acc, NaturalJoin(acc, rk));
+    }
+    present[k] = true;
+    GOOD_RETURN_NOT_OK(apply_edges());
+  }
+
+  // Keep only the node columns.
+  std::vector<std::string> columns;
+  for (size_t k = 0; k < nodes.size(); ++k) columns.push_back(NodeColumn(k));
+  return Project(acc, columns);
+}
+
+Result<std::vector<Matching>> RelationalBackend::FindMatchings(
+    const Pattern& pattern) const {
+  GOOD_ASSIGN_OR_RETURN(Relation matchings, MatchPattern(pattern));
+  std::vector<NodeId> nodes = pattern.AllNodes();
+  std::vector<Matching> out;
+  for (const Tuple& row : matchings.SortedTuples()) {
+    Matching m;
+    for (size_t k = 0; k < nodes.size(); ++k) {
+      m.Bind(nodes[k], NodeId{static_cast<uint32_t>(row[k]->AsInt())});
+    }
+    out.push_back(std::move(m));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Operations as relational updates
+// ---------------------------------------------------------------------------
+
+namespace {
+
+Status RejectFilter(const ops::PatternOperation& op) {
+  if (op.filter()) {
+    return Status::Unimplemented(
+        "the relational backend covers the core language; Section 4.1 "
+        "match filters are not supported");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status RelationalBackend::Apply(const ops::NodeAddition& op) {
+  GOOD_RETURN_NOT_OK(RejectFilter(op));
+  const Pattern& pattern = op.source_pattern();
+  // Materialize system-given printables, as the native engine does.
+  for (NodeId m : pattern.AllNodes()) {
+    if (pattern.HasPrintValue(m)) {
+      GOOD_RETURN_NOT_OK(
+          InsertPrintable(pattern.LabelOf(m), *pattern.PrintValueOf(m))
+              .status());
+    }
+  }
+  // Minimal scheme extension, then layout sync.
+  GOOD_RETURN_NOT_OK(scheme_.EnsureObjectLabel(op.new_label()));
+  for (const auto& [edge, node] : op.edges()) {
+    GOOD_RETURN_NOT_OK(scheme_.EnsureFunctionalEdgeLabel(edge));
+    GOOD_RETURN_NOT_OK(
+        scheme_.EnsureTriple(op.new_label(), edge, pattern.LabelOf(node)));
+  }
+  GOOD_RETURN_NOT_OK(SyncLayout());
+
+  GOOD_ASSIGN_OR_RETURN(auto matchings, FindMatchings(pattern));
+
+  // Existing K-rows by bold-target tuple.
+  std::set<std::vector<int64_t>> served;
+  {
+    const Relation& k_table = tables_.at(op.new_label());
+    for (const Tuple& row : k_table.tuples()) {
+      std::vector<int64_t> key;
+      bool complete = true;
+      for (const auto& [edge, node] : op.edges()) {
+        (void)node;
+        auto col = k_table.IndexOf(FunctionalColumn(edge));
+        if (!col.ok() || !row[*col].has_value()) {
+          complete = false;
+          break;
+        }
+        key.push_back(row[*col]->AsInt());
+      }
+      if (complete) served.insert(std::move(key));
+    }
+  }
+  for (const Matching& matching : matchings) {
+    std::vector<int64_t> key;
+    for (const auto& [edge, node] : op.edges()) {
+      (void)edge;
+      key.push_back(matching.At(node).id);
+    }
+    if (!served.insert(key).second) continue;
+    GOOD_ASSIGN_OR_RETURN(int64_t oid, InsertObject(op.new_label()));
+    for (size_t e = 0; e < op.edges().size(); ++e) {
+      GOOD_RETURN_NOT_OK(SetFunctional(op.new_label(), oid,
+                                       op.edges()[e].first, key[e]));
+    }
+  }
+  return Status::OK();
+}
+
+Status RelationalBackend::Apply(const ops::EdgeAddition& op) {
+  GOOD_RETURN_NOT_OK(RejectFilter(op));
+  const Pattern& pattern = op.source_pattern();
+  for (NodeId m : pattern.AllNodes()) {
+    if (pattern.HasPrintValue(m)) {
+      GOOD_RETURN_NOT_OK(
+          InsertPrintable(pattern.LabelOf(m), *pattern.PrintValueOf(m))
+              .status());
+    }
+  }
+  for (const ops::EdgeSpec& spec : op.edges()) {
+    if (spec.functional) {
+      GOOD_RETURN_NOT_OK(scheme_.EnsureFunctionalEdgeLabel(spec.label));
+    } else {
+      GOOD_RETURN_NOT_OK(scheme_.EnsureMultivaluedEdgeLabel(spec.label));
+    }
+    GOOD_RETURN_NOT_OK(scheme_.EnsureTriple(pattern.LabelOf(spec.source),
+                                            spec.label,
+                                            pattern.LabelOf(spec.target)));
+  }
+  GOOD_RETURN_NOT_OK(SyncLayout());
+
+  GOOD_ASSIGN_OR_RETURN(auto matchings, FindMatchings(pattern));
+  // Gather, consistency-check, then apply (as in the native engine).
+  std::set<std::tuple<int64_t, Symbol, int64_t>> to_add;
+  for (const Matching& matching : matchings) {
+    for (const ops::EdgeSpec& spec : op.edges()) {
+      to_add.emplace(matching.At(spec.source).id, spec.label,
+                     matching.At(spec.target).id);
+    }
+  }
+  std::map<std::pair<int64_t, Symbol>, std::set<int64_t>> targets;
+  for (const auto& [src, label, tgt] : to_add) {
+    targets[{src, label}].insert(tgt);
+  }
+  for (auto& [key, target_set] : targets) {
+    const auto& [src, label] = key;
+    GOOD_ASSIGN_OR_RETURN(Symbol src_label, LabelOfOid(src));
+    if (scheme_.IsFunctionalEdgeLabel(label)) {
+      GOOD_ASSIGN_OR_RETURN(auto existing, GetFunctional(src_label, src, label));
+      if (existing.has_value()) target_set.insert(*existing);
+      if (target_set.size() > 1) {
+        return Status::FailedPrecondition(
+            "edge addition undefined: functional conflict on '" +
+            SymName(label) + "'");
+      }
+    } else {
+      const auto* edge_table = &edge_tables_.at(label);
+      for (const Tuple& row : edge_table->tuples()) {
+        if (row[0]->AsInt() == src) target_set.insert(row[1]->AsInt());
+      }
+      std::optional<Symbol> first;
+      for (int64_t tgt : target_set) {
+        GOOD_ASSIGN_OR_RETURN(Symbol tgt_label, LabelOfOid(tgt));
+        if (!first.has_value()) {
+          first = tgt_label;
+        } else if (*first != tgt_label) {
+          return Status::FailedPrecondition(
+              "edge addition undefined: successor-label conflict on '" +
+              SymName(label) + "'");
+        }
+      }
+    }
+  }
+  for (const auto& [src, label, tgt] : to_add) {
+    GOOD_ASSIGN_OR_RETURN(Symbol src_label, LabelOfOid(src));
+    if (scheme_.IsFunctionalEdgeLabel(label)) {
+      GOOD_RETURN_NOT_OK(SetFunctional(src_label, src, label, tgt));
+    } else {
+      GOOD_RETURN_NOT_OK(InsertMultivalued(label, src, tgt));
+    }
+  }
+  return Status::OK();
+}
+
+Status RelationalBackend::Apply(const ops::NodeDeletion& op) {
+  GOOD_RETURN_NOT_OK(RejectFilter(op));
+  GOOD_ASSIGN_OR_RETURN(auto matchings, FindMatchings(op.source_pattern()));
+  std::set<int64_t> doomed;
+  for (const Matching& matching : matchings) {
+    doomed.insert(matching.At(op.target()).id);
+  }
+  for (int64_t oid : doomed) {
+    GOOD_ASSIGN_OR_RETURN(Symbol label, LabelOfOid(oid));
+    GOOD_RETURN_NOT_OK(DeleteNode(label, oid));
+  }
+  return Status::OK();
+}
+
+Status RelationalBackend::Apply(const ops::EdgeDeletion& op) {
+  GOOD_RETURN_NOT_OK(RejectFilter(op));
+  GOOD_ASSIGN_OR_RETURN(auto matchings, FindMatchings(op.source_pattern()));
+  std::set<std::tuple<int64_t, Symbol, int64_t>> doomed;
+  for (const Matching& matching : matchings) {
+    for (const ops::EdgeRef& ref : op.edges()) {
+      doomed.emplace(matching.At(ref.source).id, ref.label,
+                     matching.At(ref.target).id);
+    }
+  }
+  for (const auto& [src, label, tgt] : doomed) {
+    GOOD_ASSIGN_OR_RETURN(Symbol src_label, LabelOfOid(src));
+    if (scheme_.IsFunctionalEdgeLabel(label)) {
+      GOOD_ASSIGN_OR_RETURN(auto existing, GetFunctional(src_label, src, label));
+      if (existing.has_value() && *existing == tgt) {
+        GOOD_RETURN_NOT_OK(
+            SetFunctional(src_label, src, label, std::nullopt));
+      }
+    } else {
+      edge_tables_.at(label).Erase({Oid(src), Oid(tgt)});
+    }
+  }
+  return Status::OK();
+}
+
+Status RelationalBackend::Apply(const ops::Abstraction& op) {
+  GOOD_RETURN_NOT_OK(RejectFilter(op));
+  if (!scheme_.IsMultivaluedEdgeLabel(op.grouping_edge())) {
+    return Status::InvalidArgument("grouping edge must be multivalued");
+  }
+  GOOD_RETURN_NOT_OK(scheme_.EnsureObjectLabel(op.set_label()));
+  GOOD_RETURN_NOT_OK(scheme_.EnsureMultivaluedEdgeLabel(op.member_edge()));
+  GOOD_RETURN_NOT_OK(
+      scheme_.EnsureTriple(op.set_label(), op.member_edge(),
+                           op.source_pattern().LabelOf(op.node())));
+  GOOD_RETURN_NOT_OK(SyncLayout());
+
+  GOOD_ASSIGN_OR_RETURN(auto matchings, FindMatchings(op.source_pattern()));
+  std::set<int64_t> matched;
+  for (const Matching& matching : matchings) {
+    matched.insert(matching.At(op.node()).id);
+  }
+  // β-successor sets from the grouping edge table.
+  const Relation& beta = edge_tables_.at(op.grouping_edge());
+  std::map<std::set<int64_t>, std::set<int64_t>> classes;
+  for (int64_t oid : matched) {
+    std::set<int64_t> successors;
+    for (const Tuple& row : beta.tuples()) {
+      if (row[0]->AsInt() == oid) successors.insert(row[1]->AsInt());
+    }
+    classes[std::move(successors)].insert(oid);
+  }
+  // Existing set objects already serving a class exactly.
+  std::set<std::set<int64_t>> served;
+  {
+    const Relation& alpha = edge_tables_.at(op.member_edge());
+    for (const Tuple& row : tables_.at(op.set_label()).tuples()) {
+      int64_t k_oid = row[0]->AsInt();
+      std::set<int64_t> members;
+      for (const Tuple& e : alpha.tuples()) {
+        if (e[0]->AsInt() == k_oid) members.insert(e[1]->AsInt());
+      }
+      served.insert(std::move(members));
+    }
+  }
+  for (const auto& [beta_set, members] : classes) {
+    (void)beta_set;
+    if (served.contains(members)) continue;
+    GOOD_ASSIGN_OR_RETURN(int64_t k_oid, InsertObject(op.set_label()));
+    for (int64_t member : members) {
+      GOOD_RETURN_NOT_OK(InsertMultivalued(op.member_edge(), k_oid, member));
+    }
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Export
+// ---------------------------------------------------------------------------
+
+Result<Instance> RelationalBackend::Export() const {
+  Instance out;
+  std::map<int64_t, NodeId> ids;
+  // Nodes first (ascending oid for determinism).
+  for (const auto& [oid, label] : oid_labels_) {
+    if (scheme_.IsPrintableLabel(label)) {
+      const Relation& table = tables_.at(label);
+      Cell value;
+      for (const Tuple& row : table.tuples()) {
+        if (row[0]->AsInt() == oid) {
+          value = row[1];
+          break;
+        }
+      }
+      if (value.has_value()) {
+        GOOD_ASSIGN_OR_RETURN(NodeId node,
+                              out.AddPrintableNode(scheme_, label, *value));
+        ids[oid] = node;
+      } else {
+        GOOD_ASSIGN_OR_RETURN(NodeId node,
+                              out.AddValuelessPrintableNode(scheme_, label));
+        ids[oid] = node;
+      }
+    } else {
+      GOOD_ASSIGN_OR_RETURN(NodeId node, out.AddObjectNode(scheme_, label));
+      ids[oid] = node;
+    }
+  }
+  // Functional edges from class tables.
+  for (const auto& [label, table] : tables_) {
+    if (scheme_.IsPrintableLabel(label)) continue;
+    for (const Tuple& row : table.tuples()) {
+      NodeId src = ids.at(row[0]->AsInt());
+      for (size_t c = 1; c < table.arity(); ++c) {
+        if (!row[c].has_value()) continue;
+        // Column name is "f:<edge>".
+        Symbol edge = Sym(table.header()[c].name.substr(2));
+        GOOD_RETURN_NOT_OK(
+            out.AddEdge(scheme_, src, edge, ids.at(row[c]->AsInt())));
+      }
+    }
+  }
+  // Multivalued edges.
+  for (const auto& [edge, table] : edge_tables_) {
+    for (const Tuple& row : table.tuples()) {
+      GOOD_RETURN_NOT_OK(out.AddEdge(scheme_, ids.at(row[0]->AsInt()), edge,
+                                     ids.at(row[1]->AsInt())));
+    }
+  }
+  return out;
+}
+
+}  // namespace good::relational

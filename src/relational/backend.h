@@ -1,0 +1,114 @@
+/// \file backend.h
+/// \brief The Section 5 (Antwerp) implementation route: GOOD on top of
+/// a relational system.
+///
+/// "Classes are stored as relations with attributes for the object
+/// identifier and the functional properties. Multivalued edges are
+/// stored as binary relations. The set of all matchings of the pattern
+/// of a GOOD operation is expressed as an SQL query. The actual
+/// transformation is performed using SQL's update capabilities."
+///
+/// This backend reproduces that design against the in-repo relational
+/// engine:
+///  - each object class K has a table K(oid, f:α1, ..., f:αk) with one
+///    nullable oid-valued column per functional label α with a triple
+///    (K, α, ·) in P;
+///  - each printable class L has a table L(oid, value);
+///  - each multivalued label m has a binary table m(src, tgt);
+///  - pattern matching compiles to a select-project-join expression
+///    (MatchPattern returns the matchings relation; FindMatchings
+///    decodes it);
+///  - the five operations run as relational updates.
+/// Export() converts the store back into a graph::Instance so that
+/// differential tests can compare against the native engine.
+
+#ifndef GOOD_RELATIONAL_BACKEND_H_
+#define GOOD_RELATIONAL_BACKEND_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ops/operations.h"
+#include "pattern/matcher.h"
+#include "relational/algebra.h"
+#include "relational/relation.h"
+#include "schema/scheme.h"
+
+namespace good::relational {
+
+class RelationalBackend {
+ public:
+  /// Builds the relational store for `instance` over `scheme`. The
+  /// backend keeps its own copy of the scheme and evolves it as
+  /// operations extend it.
+  static Result<RelationalBackend> Load(const schema::Scheme& scheme,
+                                        const graph::Instance& instance);
+
+  // ---- Pattern matching (the "SQL query" of the paper) -------------------
+
+  /// Compiles `pattern` to an algebra expression and evaluates it. The
+  /// result has one column "$<k>" of kind int per pattern node (in
+  /// Pattern::AllNodes order), one tuple per matching.
+  Result<Relation> MatchPattern(const pattern::Pattern& pattern) const;
+
+  /// Decodes MatchPattern into Matching objects keyed by pattern nodes
+  /// and instance oids (oid == NodeId id of the originally loaded
+  /// instance for loaded nodes).
+  Result<std::vector<pattern::Matching>> FindMatchings(
+      const pattern::Pattern& pattern) const;
+
+  // ---- Operations as relational updates ----------------------------------
+
+  Status Apply(const ops::NodeAddition& op);
+  Status Apply(const ops::EdgeAddition& op);
+  Status Apply(const ops::NodeDeletion& op);
+  Status Apply(const ops::EdgeDeletion& op);
+  Status Apply(const ops::Abstraction& op);
+
+  // ---- Introspection ------------------------------------------------------
+
+  const schema::Scheme& scheme() const { return scheme_; }
+  /// The class/printable table of `label` (error if unknown).
+  Result<const Relation*> Table(Symbol label) const;
+  /// The binary table of multivalued label `label`.
+  Result<const Relation*> EdgeTable(Symbol label) const;
+
+  /// Converts the store back into a labeled graph over scheme().
+  Result<graph::Instance> Export() const;
+
+ private:
+  RelationalBackend() = default;
+
+  static std::string FunctionalColumn(Symbol label) {
+    return "f:" + SymName(label);
+  }
+
+  /// Ensures the table layouts cover `scheme_` (new labels/triples get
+  /// tables/columns; existing rows get NULLs in new columns).
+  Status SyncLayout();
+
+  /// Store primitives.
+  Result<int64_t> InsertObject(Symbol label);
+  Result<int64_t> InsertPrintable(Symbol label, const Value& value);
+  Status SetFunctional(Symbol class_label, int64_t oid, Symbol edge,
+                       std::optional<int64_t> target);
+  Result<std::optional<int64_t>> GetFunctional(Symbol class_label,
+                                               int64_t oid,
+                                               Symbol edge) const;
+  Status InsertMultivalued(Symbol edge, int64_t src, int64_t tgt);
+  Status DeleteNode(Symbol label, int64_t oid);
+
+  /// The class label of the row holding `oid`, if any.
+  Result<Symbol> LabelOfOid(int64_t oid) const;
+
+  schema::Scheme scheme_;
+  std::map<Symbol, Relation> tables_;       // class & printable tables
+  std::map<Symbol, Relation> edge_tables_;  // multivalued binary tables
+  std::map<int64_t, Symbol> oid_labels_;    // oid -> class label
+  int64_t next_oid_ = 0;
+};
+
+}  // namespace good::relational
+
+#endif  // GOOD_RELATIONAL_BACKEND_H_

@@ -1,0 +1,127 @@
+#include "relational/relation.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+namespace good::relational {
+
+namespace {
+
+std::string CellKey(const Cell& cell) {
+  if (!cell.has_value()) return "\x01NULL";
+  return std::to_string(static_cast<int>(cell->kind())) + ":" +
+         cell->ToString();
+}
+
+std::string TupleKey(const Tuple& tuple) {
+  std::string key;
+  for (const Cell& c : tuple) {
+    key += CellKey(c);
+    key += '\x02';
+  }
+  return key;
+}
+
+}  // namespace
+
+bool CellEq(const Cell& a, const Cell& b) {
+  if (a.has_value() != b.has_value()) return false;
+  if (!a.has_value()) return true;
+  return *a == *b;
+}
+
+bool CellLess(const Cell& a, const Cell& b) {
+  if (!a.has_value()) return b.has_value();
+  if (!b.has_value()) return false;
+  return *a < *b;
+}
+
+Result<size_t> Relation::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < header_.size(); ++i) {
+    if (header_[i].name == name) return i;
+  }
+  return Status::NotFound("no attribute named '" + name + "'");
+}
+
+bool Relation::HasAttribute(const std::string& name) const {
+  return IndexOf(name).ok();
+}
+
+Result<bool> Relation::Insert(Tuple tuple) {
+  if (tuple.size() != header_.size()) {
+    return Status::InvalidArgument(
+        "tuple arity " + std::to_string(tuple.size()) +
+        " does not match header arity " + std::to_string(header_.size()));
+  }
+  for (size_t i = 0; i < tuple.size(); ++i) {
+    if (tuple[i].has_value() && tuple[i]->kind() != header_[i].type) {
+      return Status::InvalidArgument(
+          "cell " + std::to_string(i) + " has kind " +
+          std::string(ValueKindToString(tuple[i]->kind())) +
+          ", attribute '" + header_[i].name + "' expects " +
+          std::string(ValueKindToString(header_[i].type)));
+    }
+  }
+  std::string key = TupleKey(tuple);
+  if (!keys_.insert(std::move(key)).second) return false;
+  tuples_.push_back(std::move(tuple));
+  return true;
+}
+
+bool Relation::Erase(const Tuple& tuple) {
+  std::string key = TupleKey(tuple);
+  if (keys_.erase(key) == 0) return false;
+  for (auto it = tuples_.begin(); it != tuples_.end(); ++it) {
+    if (TupleKey(*it) == key) {
+      tuples_.erase(it);
+      return true;
+    }
+  }
+  return true;  // Unreachable in practice; the index and store agree.
+}
+
+std::vector<Tuple> Relation::SortedTuples() const {
+  std::vector<Tuple> out = tuples_;
+  std::sort(out.begin(), out.end(), [](const Tuple& a, const Tuple& b) {
+    for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
+      if (CellLess(a[i], b[i])) return true;
+      if (CellLess(b[i], a[i])) return false;
+    }
+    return a.size() < b.size();
+  });
+  return out;
+}
+
+bool operator==(const Relation& a, const Relation& b) {
+  if (a.header_ != b.header_) return false;
+  if (a.size() != b.size()) return false;
+  auto sa = a.SortedTuples();
+  auto sb = b.SortedTuples();
+  for (size_t i = 0; i < sa.size(); ++i) {
+    if (sa[i].size() != sb[i].size()) return false;
+    for (size_t j = 0; j < sa[i].size(); ++j) {
+      if (!CellEq(sa[i][j], sb[i][j])) return false;
+    }
+  }
+  return true;
+}
+
+std::string Relation::ToString() const {
+  std::ostringstream os;
+  for (size_t i = 0; i < header_.size(); ++i) {
+    if (i > 0) os << " | ";
+    os << header_[i].name;
+  }
+  os << "\n";
+  for (const Tuple& t : SortedTuples()) {
+    for (size_t i = 0; i < t.size(); ++i) {
+      if (i > 0) os << " | ";
+      os << (t[i].has_value() ? t[i]->ToString() : "NULL");
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace good::relational

@@ -1,0 +1,87 @@
+/// \file relation.h
+/// \brief A small typed relational engine — the substrate for the
+/// Section 5 implementation route ("a prototype of the actual data
+/// management is implemented on top of a relational system").
+///
+/// Relations are sets of tuples over a named, typed header. Cells are
+/// optional values: the GOOD storage mapping stores absent functional
+/// properties as NULLs. NULL follows SQL-ish semantics where it matters
+/// (NULLs never compare equal in joins/selections), while tuple-level
+/// set semantics treats NULL cells as equal for deduplication.
+
+#ifndef GOOD_RELATIONAL_RELATION_H_
+#define GOOD_RELATIONAL_RELATION_H_
+
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+
+namespace good::relational {
+
+/// \brief One column of a relation header.
+struct Attribute {
+  std::string name;
+  ValueKind type;
+
+  friend bool operator==(const Attribute&, const Attribute&) = default;
+};
+
+/// \brief A cell: a typed value or NULL.
+using Cell = std::optional<Value>;
+
+/// \brief A tuple of cells, positionally matching the header.
+using Tuple = std::vector<Cell>;
+
+/// \brief A relation: header plus a set of tuples (duplicates are
+/// removed on insertion).
+class Relation {
+ public:
+  Relation() = default;
+  explicit Relation(std::vector<Attribute> header)
+      : header_(std::move(header)) {}
+
+  const std::vector<Attribute>& header() const { return header_; }
+  size_t arity() const { return header_.size(); }
+  size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+
+  /// Index of the attribute named `name`; NotFound if absent.
+  Result<size_t> IndexOf(const std::string& name) const;
+  bool HasAttribute(const std::string& name) const;
+
+  /// Inserts a tuple; checks arity and cell types. Duplicate tuples are
+  /// silently ignored (set semantics). Returns true if inserted.
+  Result<bool> Insert(Tuple tuple);
+
+  /// Removes a tuple if present; returns true if removed.
+  bool Erase(const Tuple& tuple);
+
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+
+  /// Sorted copy of the tuples (canonical order for comparisons).
+  std::vector<Tuple> SortedTuples() const;
+
+  /// Set equality: same header (names, types, order) and same tuples.
+  friend bool operator==(const Relation& a, const Relation& b);
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Attribute> header_;
+  std::vector<Tuple> tuples_;
+  // Dedup index: canonical strings of the stored tuples.
+  std::unordered_set<std::string> keys_;
+};
+
+/// Total order on cells: NULL first, then by value. Used for canonical
+/// sorting and dedup.
+bool CellLess(const Cell& a, const Cell& b);
+bool CellEq(const Cell& a, const Cell& b);
+
+}  // namespace good::relational
+
+#endif  // GOOD_RELATIONAL_RELATION_H_

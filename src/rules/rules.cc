@@ -1,0 +1,106 @@
+#include "rules/rules.h"
+
+#include <algorithm>
+#include <set>
+
+namespace good::rules {
+
+using graph::Instance;
+using graph::NodeId;
+using schema::Scheme;
+
+Status RuleEngine::AddRule(Rule rule) {
+  if (rule.name.empty()) {
+    return Status::InvalidArgument("rule name must not be empty");
+  }
+  GOOD_ASSIGN_OR_RETURN(pattern::Pattern positive,
+                        rule.condition.PositivePart());
+  std::set<NodeId> positive_nodes(rule.condition.positive_nodes.begin(),
+                                  rule.condition.positive_nodes.end());
+  if (rule.node.has_value()) {
+    std::set<Symbol> labels;
+    for (const auto& [edge, target] : rule.node->edges) {
+      if (!labels.insert(edge).second) {
+        return Status::InvalidArgument("rule '" + rule.name +
+                                       "' repeats a node-action edge label");
+      }
+      if (!positive_nodes.contains(target)) {
+        return Status::InvalidArgument(
+            "rule '" + rule.name +
+            "' node action references a non-positive pattern node");
+      }
+    }
+  }
+  for (const ops::EdgeSpec& spec : rule.edges) {
+    if (!positive_nodes.contains(spec.source) ||
+        !positive_nodes.contains(spec.target)) {
+      return Status::InvalidArgument(
+          "rule '" + rule.name +
+          "' edge action references a non-positive pattern node");
+    }
+  }
+  if (!rule.node.has_value() && rule.edges.empty()) {
+    return Status::InvalidArgument("rule '" + rule.name +
+                                   "' has no action");
+  }
+  rules_.push_back(std::move(rule));
+  return Status::OK();
+}
+
+namespace {
+
+/// True iff the condition actually negates something — only then is the
+/// crossed-extension filter meaningful (with no crossed parts, every
+/// matching trivially "extends to the full pattern").
+bool HasNegation(const macros::NegatedPattern& condition) {
+  return !condition.crossed_edges.empty() ||
+         condition.full.num_nodes() > condition.positive_nodes.size();
+}
+
+}  // namespace
+
+Result<RunReport> RuleEngine::Step(Scheme* scheme, Instance* instance) {
+  RunReport report;
+  report.rounds = 1;
+  for (const Rule& rule : rules_) {
+    GOOD_ASSIGN_OR_RETURN(pattern::Pattern positive,
+                          rule.condition.PositivePart());
+    ops::MatchFilter filter;
+    if (HasNegation(rule.condition)) {
+      GOOD_ASSIGN_OR_RETURN(filter, macros::NegationFilter(rule.condition));
+    }
+    if (rule.node.has_value()) {
+      ops::NodeAddition na(positive, rule.node->label, rule.node->edges);
+      if (filter) na.set_filter(filter);
+      ops::ApplyStats stats;
+      GOOD_RETURN_NOT_OK(na.Apply(scheme, instance, &stats));
+      report.nodes_added += stats.nodes_added;
+      report.edges_added += stats.edges_added;
+    }
+    if (!rule.edges.empty()) {
+      ops::EdgeAddition ea(positive, rule.edges);
+      if (filter) ea.set_filter(filter);
+      ops::ApplyStats stats;
+      GOOD_RETURN_NOT_OK(ea.Apply(scheme, instance, &stats));
+      report.edges_added += stats.edges_added;
+    }
+  }
+  return report;
+}
+
+Result<RunReport> RuleEngine::Run(Scheme* scheme, Instance* instance,
+                                  size_t max_rounds) {
+  RunReport total;
+  for (size_t round = 0; round < max_rounds; ++round) {
+    GOOD_ASSIGN_OR_RETURN(RunReport step, Step(scheme, instance));
+    total.rounds += step.rounds;
+    total.nodes_added += step.nodes_added;
+    total.edges_added += step.edges_added;
+    if (step.nodes_added == 0 && step.edges_added == 0) return total;
+  }
+  return Status::ResourceExhausted(
+      "rule set did not reach a fixpoint within " +
+      std::to_string(max_rounds) + " rounds");
+}
+
+}  // namespace good::rules

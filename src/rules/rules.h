@@ -1,0 +1,86 @@
+/// \file rules.h
+/// \brief A rule layer on top of the GOOD operations (Section 5,
+/// concluding remarks).
+///
+/// "Although GOOD programs are written in a procedural way, the basic
+/// operations ... have a partly declarative nature. Indeed, the pattern
+/// of such an operation can be seen as the (declarative) condition part
+/// of a rule, while the bold or outlined part corresponds to a rule's
+/// action. This simple mechanism for visualization of rules can provide
+/// a basis for the development of graph-based, rule-based,
+/// object-oriented database languages [G-Log]."
+///
+/// This module makes that outlook concrete: a Rule is a (possibly
+/// negated) condition pattern with an additive action — a new node with
+/// functional edges (a node addition) and/or edges between matched
+/// nodes (an edge addition). A RuleEngine applies a rule set round-robin
+/// to fixpoint, exploiting the idempotence of NA/EA (a round that adds
+/// nothing is the fixpoint). Rule sets with negated conditions are not
+/// stratified — non-monotone sets may oscillate — so runs carry a round
+/// budget and report ResourceExhausted instead of looping.
+
+#ifndef GOOD_RULES_RULES_H_
+#define GOOD_RULES_RULES_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "macro/negation.h"
+#include "ops/operations.h"
+#include "schema/scheme.h"
+
+namespace good::rules {
+
+/// \brief The node-creating half of an action: a fresh `label` object
+/// with functional `edges` to condition pattern nodes (exactly a node
+/// addition's bold part).
+struct NodeAction {
+  Symbol label;
+  std::vector<std::pair<Symbol, graph::NodeId>> edges;
+};
+
+/// \brief A graph rule: condition (with optional crossed parts) plus an
+/// additive action.
+struct Rule {
+  std::string name;
+  /// The condition; crossed parts express negation-as-absence evaluated
+  /// against the current database each round.
+  macros::NegatedPattern condition;
+  /// Optional node-creating action.
+  std::optional<NodeAction> node;
+  /// Edge-creating actions between condition pattern nodes.
+  std::vector<ops::EdgeSpec> edges;
+};
+
+/// \brief Outcome of one engine run.
+struct RunReport {
+  size_t rounds = 0;
+  size_t nodes_added = 0;
+  size_t edges_added = 0;
+};
+
+/// \brief Applies a rule set to fixpoint.
+class RuleEngine {
+ public:
+  /// Validates and stores the rule (its positive part must be a valid
+  /// pattern and action references must hit positive pattern nodes).
+  Status AddRule(Rule rule);
+
+  size_t size() const { return rules_.size(); }
+
+  /// Applies every rule once, in order. Returns the additions made.
+  Result<RunReport> Step(schema::Scheme* scheme, graph::Instance* instance);
+
+  /// Rounds of Step until a round adds nothing; ResourceExhausted after
+  /// `max_rounds`.
+  Result<RunReport> Run(schema::Scheme* scheme, graph::Instance* instance,
+                        size_t max_rounds = 10'000);
+
+ private:
+  std::vector<Rule> rules_;
+};
+
+}  // namespace good::rules
+
+#endif  // GOOD_RULES_RULES_H_

@@ -1,0 +1,288 @@
+#include "schema/scheme.h"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+
+namespace good::schema {
+
+std::string_view LabelKindToString(LabelKind kind) {
+  switch (kind) {
+    case LabelKind::kObject:
+      return "object";
+    case LabelKind::kPrintable:
+      return "printable";
+    case LabelKind::kFunctionalEdge:
+      return "functional-edge";
+    case LabelKind::kMultivaluedEdge:
+      return "multivalued-edge";
+  }
+  return "unknown";
+}
+
+Status Scheme::AddLabel(Symbol label, LabelKind kind) {
+  auto [it, inserted] = kinds_.emplace(label, kind);
+  if (!inserted) {
+    return Status::AlreadyExists(
+        "label '" + SymName(label) + "' already registered as " +
+        std::string(LabelKindToString(it->second)));
+  }
+  return Status::OK();
+}
+
+Status Scheme::AddObjectLabel(Symbol label) {
+  return AddLabel(label, LabelKind::kObject);
+}
+
+Status Scheme::AddPrintableLabel(Symbol label, ValueKind domain) {
+  GOOD_RETURN_NOT_OK(AddLabel(label, LabelKind::kPrintable));
+  domains_[label] = domain;
+  return Status::OK();
+}
+
+Status Scheme::AddFunctionalEdgeLabel(Symbol label) {
+  return AddLabel(label, LabelKind::kFunctionalEdge);
+}
+
+Status Scheme::AddMultivaluedEdgeLabel(Symbol label) {
+  return AddLabel(label, LabelKind::kMultivaluedEdge);
+}
+
+Status Scheme::EnsureObjectLabel(Symbol label) {
+  if (IsObjectLabel(label)) return Status::OK();
+  return AddObjectLabel(label);
+}
+
+Status Scheme::EnsurePrintableLabel(Symbol label, ValueKind domain) {
+  if (IsPrintableLabel(label)) {
+    if (domains_.at(label) != domain) {
+      return Status::InvalidArgument(
+          "printable label '" + SymName(label) +
+          "' already registered with a different domain");
+    }
+    return Status::OK();
+  }
+  return AddPrintableLabel(label, domain);
+}
+
+Status Scheme::EnsureFunctionalEdgeLabel(Symbol label) {
+  if (IsFunctionalEdgeLabel(label)) return Status::OK();
+  return AddFunctionalEdgeLabel(label);
+}
+
+Status Scheme::EnsureMultivaluedEdgeLabel(Symbol label) {
+  if (IsMultivaluedEdgeLabel(label)) return Status::OK();
+  return AddMultivaluedEdgeLabel(label);
+}
+
+Status Scheme::AddTriple(Symbol source, Symbol edge, Symbol target) {
+  if (!IsObjectLabel(source)) {
+    return Status::InvalidArgument("triple source '" + SymName(source) +
+                                   "' is not an object label");
+  }
+  if (!IsEdgeLabel(edge)) {
+    return Status::InvalidArgument("triple edge '" + SymName(edge) +
+                                   "' is not an edge label");
+  }
+  if (!IsNodeLabel(target)) {
+    return Status::InvalidArgument("triple target '" + SymName(target) +
+                                   "' is not a node label");
+  }
+  if (HasTriple(source, edge, target)) {
+    return Status::AlreadyExists("triple (" + SymName(source) + ", " +
+                                 SymName(edge) + ", " + SymName(target) +
+                                 ") already in scheme");
+  }
+  triples_.push_back(Triple{source, edge, target});
+  triple_index_[PairKey(source, edge)].push_back(target);
+  return Status::OK();
+}
+
+Status Scheme::EnsureTriple(Symbol source, Symbol edge, Symbol target) {
+  if (HasTriple(source, edge, target)) return Status::OK();
+  return AddTriple(source, edge, target);
+}
+
+std::optional<LabelKind> Scheme::KindOf(Symbol label) const {
+  auto it = kinds_.find(label);
+  if (it == kinds_.end()) return std::nullopt;
+  return it->second;
+}
+
+Result<ValueKind> Scheme::DomainOf(Symbol label) const {
+  auto it = domains_.find(label);
+  if (it == domains_.end()) {
+    return Status::NotFound("'" + SymName(label) +
+                            "' is not a printable label of this scheme");
+  }
+  return it->second;
+}
+
+bool Scheme::HasTriple(Symbol source, Symbol edge, Symbol target) const {
+  auto it = triple_index_.find(PairKey(source, edge));
+  if (it == triple_index_.end()) return false;
+  return std::find(it->second.begin(), it->second.end(), target) !=
+         it->second.end();
+}
+
+std::vector<Symbol> Scheme::TargetsOf(Symbol source, Symbol edge) const {
+  auto it = triple_index_.find(PairKey(source, edge));
+  if (it == triple_index_.end()) return {};
+  return it->second;
+}
+
+std::vector<Symbol> Scheme::LabelsOfKind(LabelKind kind) const {
+  std::vector<Symbol> out;
+  for (const auto& [label, k] : kinds_) {
+    if (k == kind) out.push_back(label);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool Scheme::IsSubschemeOf(const Scheme& other) const {
+  for (const auto& [label, kind] : kinds_) {
+    auto other_kind = other.KindOf(label);
+    if (!other_kind || *other_kind != kind) return false;
+    if (kind == LabelKind::kPrintable &&
+        other.domains_.at(label) != domains_.at(label)) {
+      return false;
+    }
+  }
+  for (const Triple& t : triples_) {
+    if (!other.HasTriple(t.source, t.edge, t.target)) return false;
+  }
+  for (const auto& [sub, supers] : isa_) {
+    for (const auto& [edge, super] : supers) {
+      if (!other.IsIsaTriple(sub, edge, super)) return false;
+    }
+  }
+  return true;
+}
+
+Result<Scheme> Scheme::Union(const Scheme& a, const Scheme& b) {
+  Scheme out = a;
+  for (const auto& [label, kind] : b.kinds_) {
+    switch (kind) {
+      case LabelKind::kObject:
+        GOOD_RETURN_NOT_OK(out.EnsureObjectLabel(label));
+        break;
+      case LabelKind::kPrintable:
+        GOOD_RETURN_NOT_OK(
+            out.EnsurePrintableLabel(label, b.domains_.at(label)));
+        break;
+      case LabelKind::kFunctionalEdge:
+        GOOD_RETURN_NOT_OK(out.EnsureFunctionalEdgeLabel(label));
+        break;
+      case LabelKind::kMultivaluedEdge:
+        GOOD_RETURN_NOT_OK(out.EnsureMultivaluedEdgeLabel(label));
+        break;
+    }
+  }
+  for (const Triple& t : b.triples_) {
+    GOOD_RETURN_NOT_OK(out.EnsureTriple(t.source, t.edge, t.target));
+  }
+  for (const auto& [sub, supers] : b.isa_) {
+    for (const auto& [edge, super] : supers) {
+      if (!out.IsIsaTriple(sub, edge, super)) {
+        GOOD_RETURN_NOT_OK(out.MarkIsa(sub, edge, super));
+      }
+    }
+  }
+  return out;
+}
+
+Status Scheme::MarkIsa(Symbol sub, Symbol edge, Symbol super) {
+  if (!HasTriple(sub, edge, super)) {
+    return Status::NotFound("isa triple (" + SymName(sub) + ", " +
+                            SymName(edge) + ", " + SymName(super) +
+                            ") not in scheme");
+  }
+  if (!IsFunctionalEdgeLabel(edge)) {
+    return Status::InvalidArgument("isa edge '" + SymName(edge) +
+                                   "' must be functional");
+  }
+  if (!IsObjectLabel(sub) || !IsObjectLabel(super)) {
+    return Status::InvalidArgument(
+        "isa edges must connect two object labels");
+  }
+  if (IsIsaTriple(sub, edge, super)) {
+    return Status::AlreadyExists("isa triple already marked");
+  }
+  if (sub == super || IsaReaches(super, sub)) {
+    return Status::InvalidArgument(
+        "marking (" + SymName(sub) + " isa " + SymName(super) +
+        ") would create a subclass cycle");
+  }
+  isa_[sub].emplace_back(edge, super);
+  return Status::OK();
+}
+
+bool Scheme::IsIsaTriple(Symbol sub, Symbol edge, Symbol super) const {
+  auto it = isa_.find(sub);
+  if (it == isa_.end()) return false;
+  for (const auto& [e, s] : it->second) {
+    if (e == edge && s == super) return true;
+  }
+  return false;
+}
+
+std::vector<std::pair<Symbol, Symbol>> Scheme::DirectSuperclasses(
+    Symbol label) const {
+  auto it = isa_.find(label);
+  if (it == isa_.end()) return {};
+  return it->second;
+}
+
+std::vector<Symbol> Scheme::SuperclassClosure(Symbol label) const {
+  std::vector<Symbol> out;
+  std::unordered_set<Symbol> seen;
+  std::deque<Symbol> queue{label};
+  while (!queue.empty()) {
+    Symbol cur = queue.front();
+    queue.pop_front();
+    if (!seen.insert(cur).second) continue;
+    out.push_back(cur);
+    for (const auto& [edge, super] : DirectSuperclasses(cur)) {
+      (void)edge;
+      queue.push_back(super);
+    }
+  }
+  return out;
+}
+
+bool Scheme::IsaReaches(Symbol from, Symbol to) const {
+  auto closure = SuperclassClosure(from);
+  return std::find(closure.begin(), closure.end(), to) != closure.end();
+}
+
+bool operator==(const Scheme& a, const Scheme& b) {
+  return a.IsSubschemeOf(b) && b.IsSubschemeOf(a);
+}
+
+std::string Scheme::ToString() const {
+  std::ostringstream os;
+  auto dump = [&](const char* title, const std::vector<Symbol>& labels) {
+    os << title << " = {";
+    for (size_t i = 0; i < labels.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << SymName(labels[i]);
+    }
+    os << "}\n";
+  };
+  dump("OL ", object_labels());
+  dump("POL", printable_labels());
+  dump("FEL", functional_edge_labels());
+  dump("MEL", multivalued_edge_labels());
+  os << "P   = {";
+  for (size_t i = 0; i < triples_.size(); ++i) {
+    if (i > 0) os << ", ";
+    const Triple& t = triples_[i];
+    os << "(" << SymName(t.source) << " -" << SymName(t.edge) << "-> "
+       << SymName(t.target) << ")";
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace good::schema

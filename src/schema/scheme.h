@@ -1,0 +1,207 @@
+/// \file scheme.h
+/// \brief Object base schemes (Section 2 of the paper).
+///
+/// An object base scheme is a five-tuple S = (OL, POL, FEL, MEL, P) with
+///   OL   a finite set of object labels,
+///   POL  a finite set of printable object labels,
+///   FEL  a finite set of functional edge labels,
+///   MEL  a finite set of multivalued edge labels, and
+///   P  ⊆ OL × (MEL ∪ FEL) × (OL ∪ POL).
+/// The four label sets are pairwise disjoint. The scheme is represented
+/// as a directed graph: rectangular nodes for OL, oval nodes for POL,
+/// single arrows for functional edges and double arrows for multivalued
+/// edges (we reproduce that rendering in the DOT exporter).
+///
+/// The paper additionally assumes a function associating to each
+/// printable label its constant domain; we model domains as ValueKind.
+///
+/// Section 4.2 lets some functional edges between object labels be
+/// marked as subclass ("isa") edges; the subclass edges must not form a
+/// cycle. The Scheme tracks such markings and checks acyclicity.
+
+#ifndef GOOD_SCHEMA_SCHEME_H_
+#define GOOD_SCHEMA_SCHEME_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/interner.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/value.h"
+
+namespace good::schema {
+
+/// \brief What role a label plays in a scheme.
+enum class LabelKind : uint8_t {
+  kObject,
+  kPrintable,
+  kFunctionalEdge,
+  kMultivaluedEdge,
+};
+
+std::string_view LabelKindToString(LabelKind kind);
+
+/// \brief One element of the scheme's edge relation P: a triple
+/// (source object label, edge label, target node label).
+struct Triple {
+  Symbol source;
+  Symbol edge;
+  Symbol target;
+
+  friend bool operator==(const Triple&, const Triple&) = default;
+};
+
+/// \brief An object base scheme.
+///
+/// Mutating methods validate the paper's well-formedness conditions:
+/// label-set disjointness, P's typing (sources are object labels,
+/// targets are node labels, edges are edge labels) and isa-acyclicity.
+/// The Ensure* family is idempotent and powers the "minimal scheme
+/// extension" step in the semantics of NA / EA / AB.
+class Scheme {
+ public:
+  Scheme() = default;
+
+  // ---- Label registration -------------------------------------------------
+
+  /// Adds `label` to OL. Error if already registered with another kind.
+  Status AddObjectLabel(Symbol label);
+  /// Adds `label` to POL with constant domain `domain`.
+  Status AddPrintableLabel(Symbol label, ValueKind domain);
+  /// Adds `label` to FEL.
+  Status AddFunctionalEdgeLabel(Symbol label);
+  /// Adds `label` to MEL.
+  Status AddMultivaluedEdgeLabel(Symbol label);
+
+  /// Idempotent variants used for minimal scheme extension: succeed
+  /// silently when the label already has the requested kind.
+  Status EnsureObjectLabel(Symbol label);
+  Status EnsurePrintableLabel(Symbol label, ValueKind domain);
+  Status EnsureFunctionalEdgeLabel(Symbol label);
+  Status EnsureMultivaluedEdgeLabel(Symbol label);
+
+  // ---- Edge relation P ----------------------------------------------------
+
+  /// Adds (source, edge, target) to P. All three labels must already be
+  /// registered; `source` must be an object label, `target` a node
+  /// label, `edge` an edge label.
+  Status AddTriple(Symbol source, Symbol edge, Symbol target);
+
+  /// Idempotent AddTriple (minimal extension).
+  Status EnsureTriple(Symbol source, Symbol edge, Symbol target);
+
+  // ---- Queries ------------------------------------------------------------
+
+  bool HasLabel(Symbol label) const { return kinds_.contains(label); }
+  std::optional<LabelKind> KindOf(Symbol label) const;
+  bool IsObjectLabel(Symbol label) const {
+    return KindIs(label, LabelKind::kObject);
+  }
+  bool IsPrintableLabel(Symbol label) const {
+    return KindIs(label, LabelKind::kPrintable);
+  }
+  bool IsNodeLabel(Symbol label) const {
+    return IsObjectLabel(label) || IsPrintableLabel(label);
+  }
+  bool IsFunctionalEdgeLabel(Symbol label) const {
+    return KindIs(label, LabelKind::kFunctionalEdge);
+  }
+  bool IsMultivaluedEdgeLabel(Symbol label) const {
+    return KindIs(label, LabelKind::kMultivaluedEdge);
+  }
+  bool IsEdgeLabel(Symbol label) const {
+    return IsFunctionalEdgeLabel(label) || IsMultivaluedEdgeLabel(label);
+  }
+
+  /// Constant domain of a printable label; error if not printable.
+  Result<ValueKind> DomainOf(Symbol label) const;
+
+  bool HasTriple(Symbol source, Symbol edge, Symbol target) const;
+
+  /// All target labels L such that (source, edge, L) ∈ P.
+  std::vector<Symbol> TargetsOf(Symbol source, Symbol edge) const;
+
+  /// All triples, in insertion order.
+  const std::vector<Triple>& triples() const { return triples_; }
+
+  std::vector<Symbol> object_labels() const {
+    return LabelsOfKind(LabelKind::kObject);
+  }
+  std::vector<Symbol> printable_labels() const {
+    return LabelsOfKind(LabelKind::kPrintable);
+  }
+  std::vector<Symbol> functional_edge_labels() const {
+    return LabelsOfKind(LabelKind::kFunctionalEdge);
+  }
+  std::vector<Symbol> multivalued_edge_labels() const {
+    return LabelsOfKind(LabelKind::kMultivaluedEdge);
+  }
+
+  size_t num_labels() const { return kinds_.size(); }
+  size_t num_triples() const { return triples_.size(); }
+
+  // ---- Subschemes and unions (footnotes 2 and 3 of the paper) -------------
+
+  /// True iff every label (with matching kind/domain) and triple of this
+  /// scheme also belongs to `other` (set inclusion).
+  bool IsSubschemeOf(const Scheme& other) const;
+
+  /// The smallest scheme containing both `a` and `b`; error when the two
+  /// assign conflicting kinds or domains to a label.
+  static Result<Scheme> Union(const Scheme& a, const Scheme& b);
+
+  // ---- Inheritance (Section 4.2) -------------------------------------------
+
+  /// Marks the functional triple (sub, edge, super) as a subclass edge.
+  /// The triple must exist, connect two object labels, be functional,
+  /// and must not create a cycle in the subclass graph.
+  Status MarkIsa(Symbol sub, Symbol edge, Symbol super);
+
+  bool IsIsaTriple(Symbol sub, Symbol edge, Symbol super) const;
+
+  /// Direct superclasses of `label` via marked isa triples, as
+  /// (edge label, superclass) pairs.
+  std::vector<std::pair<Symbol, Symbol>> DirectSuperclasses(
+      Symbol label) const;
+
+  /// All (strict and reflexive) superclasses of `label`, label first.
+  std::vector<Symbol> SuperclassClosure(Symbol label) const;
+
+  // ---- Misc ----------------------------------------------------------------
+
+  friend bool operator==(const Scheme& a, const Scheme& b);
+
+  /// Multi-line census: labels per kind and all triples.
+  std::string ToString() const;
+
+ private:
+  bool KindIs(Symbol label, LabelKind kind) const {
+    auto it = kinds_.find(label);
+    return it != kinds_.end() && it->second == kind;
+  }
+  std::vector<Symbol> LabelsOfKind(LabelKind kind) const;
+  Status AddLabel(Symbol label, LabelKind kind);
+  /// True if adding sub -> super would close a cycle in the isa graph.
+  bool IsaReaches(Symbol from, Symbol to) const;
+
+  std::unordered_map<Symbol, LabelKind> kinds_;
+  std::unordered_map<Symbol, ValueKind> domains_;
+  std::vector<Triple> triples_;
+  // (source, edge) -> target labels, for O(1)-ish conformance checks.
+  std::unordered_map<uint64_t, std::vector<Symbol>> triple_index_;
+  // isa-marked triples, keyed by subclass label.
+  std::unordered_map<Symbol, std::vector<std::pair<Symbol, Symbol>>> isa_;
+
+  static uint64_t PairKey(Symbol a, Symbol b) {
+    return (static_cast<uint64_t>(a.id) << 32) | b.id;
+  }
+};
+
+}  // namespace good::schema
+
+#endif  // GOOD_SCHEMA_SCHEME_H_

@@ -1,0 +1,158 @@
+#include <functional>
+#include "tarski/backend.h"
+
+#include <algorithm>
+
+namespace good::tarski {
+
+using graph::Instance;
+using graph::NodeId;
+using pattern::Matching;
+using pattern::Pattern;
+
+Result<TarskiBackend> TarskiBackend::Load(const schema::Scheme& scheme,
+                                          const Instance& instance) {
+  TarskiBackend backend;
+  for (NodeId node : instance.AllNodes()) {
+    Symbol label = instance.LabelOf(node);
+    backend.node_sets_[label].insert(node.id);
+    if (instance.HasPrintValue(node)) {
+      backend.printable_values_[label][*instance.PrintValueOf(node)] =
+          node.id;
+    }
+  }
+  for (const graph::Edge& e : instance.AllEdges()) {
+    backend.relations_[e.label].Add(e.source.id, e.target.id);
+  }
+  (void)scheme;
+  return backend;
+}
+
+const BinaryRelation& TarskiBackend::Relation(Symbol label) const {
+  static const BinaryRelation* empty = new BinaryRelation();
+  auto it = relations_.find(label);
+  return it == relations_.end() ? *empty : it->second;
+}
+
+const OidSet& TarskiBackend::NodeSet(Symbol label) const {
+  static const OidSet* empty = new OidSet();
+  auto it = node_sets_.find(label);
+  return it == node_sets_.end() ? *empty : it->second;
+}
+
+Result<std::map<NodeId, OidSet>> TarskiBackend::ReduceCandidates(
+    const Pattern& pattern) const {
+  std::map<NodeId, OidSet> candidates;
+  // Initial candidates: the label's oid set, narrowed to the unique
+  // dedup witness for print-valued nodes.
+  for (NodeId m : pattern.AllNodes()) {
+    Symbol label = pattern.LabelOf(m);
+    if (pattern.HasPrintValue(m)) {
+      OidSet set;
+      auto lit = printable_values_.find(label);
+      if (lit != printable_values_.end()) {
+        auto vit = lit->second.find(*pattern.PrintValueOf(m));
+        if (vit != lit->second.end()) set.insert(vit->second);
+      }
+      candidates[m] = std::move(set);
+    } else {
+      candidates[m] = NodeSet(label);
+    }
+  }
+  // Semijoin reduction to arc consistency: for every pattern edge
+  // (m, α, n), C(m) ⊆ dom(α restricted to C(n)) and
+  // C(n) ⊆ ran(α restricted to C(m)).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (NodeId m : pattern.AllNodes()) {
+      for (const auto& [edge, target] : pattern.OutEdges(m)) {
+        const BinaryRelation& r = Relation(edge);
+        OidSet new_src =
+            r.RangeRestrict(candidates[target]).Domain();
+        OidSet pruned_src;
+        std::set_intersection(candidates[m].begin(), candidates[m].end(),
+                              new_src.begin(), new_src.end(),
+                              std::inserter(pruned_src, pruned_src.end()));
+        if (pruned_src.size() != candidates[m].size()) {
+          candidates[m] = std::move(pruned_src);
+          changed = true;
+        }
+        OidSet new_tgt = r.DomainRestrict(candidates[m]).Range();
+        OidSet pruned_tgt;
+        std::set_intersection(candidates[target].begin(),
+                              candidates[target].end(), new_tgt.begin(),
+                              new_tgt.end(),
+                              std::inserter(pruned_tgt, pruned_tgt.end()));
+        if (pruned_tgt.size() != candidates[target].size()) {
+          candidates[target] = std::move(pruned_tgt);
+          changed = true;
+        }
+      }
+    }
+  }
+  return candidates;
+}
+
+Result<std::vector<Matching>> TarskiBackend::FindMatchings(
+    const Pattern& pattern) const {
+  GOOD_ASSIGN_OR_RETURN(auto candidates, ReduceCandidates(pattern));
+  std::vector<NodeId> nodes = pattern.AllNodes();
+  std::vector<Matching> out;
+  if (nodes.empty()) {
+    out.emplace_back();
+    return out;
+  }
+  // Arc consistency is not global consistency: enumerate the residual
+  // space, checking every pattern edge.
+  std::vector<Oid> assignment(nodes.size());
+  std::map<NodeId, size_t> position;
+  for (size_t k = 0; k < nodes.size(); ++k) position[nodes[k]] = k;
+
+  std::function<void(size_t)> recurse = [&](size_t depth) {
+    if (depth == nodes.size()) {
+      Matching m;
+      for (size_t k = 0; k < nodes.size(); ++k) {
+        m.Bind(nodes[k], NodeId{static_cast<uint32_t>(assignment[k])});
+      }
+      out.push_back(std::move(m));
+      return;
+    }
+    NodeId node = nodes[depth];
+    for (Oid oid : candidates[node]) {
+      bool ok = true;
+      // Check edges to already-assigned neighbours.
+      for (const auto& [edge, target] : pattern.OutEdges(node)) {
+        size_t tk = position[target];
+        if (tk < depth && !Relation(edge).Contains(oid, assignment[tk])) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) {
+        for (const auto& [source, edge] : pattern.InEdges(node)) {
+          size_t sk = position[source];
+          if (sk < depth && !Relation(edge).Contains(assignment[sk], oid)) {
+            ok = false;
+            break;
+          }
+        }
+      }
+      if (!ok) continue;
+      // Self-loops in the pattern.
+      for (const auto& [edge, target] : pattern.OutEdges(node)) {
+        if (target == node && !Relation(edge).Contains(oid, oid)) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+      assignment[depth] = oid;
+      recurse(depth + 1);
+    }
+  };
+  recurse(0);
+  return out;
+}
+
+}  // namespace good::tarski

@@ -1,0 +1,69 @@
+/// \file backend.h
+/// \brief GOOD databases stored and queried as binary relations
+/// (Section 5, the Indiana / Tarski Data Model route).
+///
+/// Storage mapping:
+///  - each node label L (object and printable alike) maps to the oid
+///    set of its members;
+///  - each edge label α maps to one binary relation over oids;
+///  - printable values are a map (label, value) -> oid mirroring the
+///    printable dedup invariant.
+///
+/// Pattern evaluation is algebraic: candidate sets per pattern node are
+/// pruned to an arc-consistent fixpoint with domain/range restrictions
+/// and identity intersections — a semijoin program in the Tarski
+/// algebra — after which the (usually tiny) residual search space is
+/// enumerated. Differential tests check exact agreement with the
+/// native matcher.
+
+#ifndef GOOD_TARSKI_BACKEND_H_
+#define GOOD_TARSKI_BACKEND_H_
+
+#include <map>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/instance.h"
+#include "pattern/matcher.h"
+#include "schema/scheme.h"
+#include "tarski/binary_relation.h"
+
+namespace good::tarski {
+
+class TarskiBackend {
+ public:
+  /// Builds the binary-relation store for `instance` over `scheme`.
+  static Result<TarskiBackend> Load(const schema::Scheme& scheme,
+                                    const graph::Instance& instance);
+
+  /// All matchings of `pattern`, evaluated algebraically. Oids equal
+  /// the node ids of the loaded instance.
+  Result<std::vector<pattern::Matching>> FindMatchings(
+      const pattern::Pattern& pattern) const;
+
+  /// The arc-consistent candidate sets per pattern node (exposed for
+  /// tests; every true matching image is contained in them).
+  Result<std::map<graph::NodeId, OidSet>> ReduceCandidates(
+      const pattern::Pattern& pattern) const;
+
+  /// The stored relation of edge label `label` (empty if absent).
+  const BinaryRelation& Relation(Symbol label) const;
+  /// The oid set of node label `label` (empty if absent).
+  const OidSet& NodeSet(Symbol label) const;
+
+  /// Reachability: the transitive closure of `label`'s relation.
+  BinaryRelation Closure(Symbol label) const {
+    return Relation(label).TransitiveClosure();
+  }
+
+ private:
+  TarskiBackend() = default;
+
+  std::map<Symbol, OidSet> node_sets_;
+  std::map<Symbol, BinaryRelation> relations_;
+  std::map<Symbol, std::map<Value, Oid>> printable_values_;
+};
+
+}  // namespace good::tarski
+
+#endif  // GOOD_TARSKI_BACKEND_H_

@@ -1,0 +1,106 @@
+#include "tarski/binary_relation.h"
+
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace good::tarski {
+
+BinaryRelation BinaryRelation::Compose(const BinaryRelation& other) const {
+  // Index the right operand by left component.
+  std::map<Oid, std::vector<Oid>> by_left;
+  for (const Pair& p : other.pairs_) by_left[p.first].push_back(p.second);
+  BinaryRelation out;
+  for (const Pair& p : pairs_) {
+    auto it = by_left.find(p.second);
+    if (it == by_left.end()) continue;
+    for (Oid c : it->second) out.Add(p.first, c);
+  }
+  return out;
+}
+
+BinaryRelation BinaryRelation::Converse() const {
+  BinaryRelation out;
+  for (const Pair& p : pairs_) out.Add(p.second, p.first);
+  return out;
+}
+
+BinaryRelation BinaryRelation::Union(const BinaryRelation& other) const {
+  BinaryRelation out = *this;
+  for (const Pair& p : other.pairs_) out.pairs_.insert(p);
+  return out;
+}
+
+BinaryRelation BinaryRelation::Intersect(const BinaryRelation& other) const {
+  BinaryRelation out;
+  for (const Pair& p : pairs_) {
+    if (other.pairs_.contains(p)) out.pairs_.insert(p);
+  }
+  return out;
+}
+
+BinaryRelation BinaryRelation::Difference(const BinaryRelation& other) const {
+  BinaryRelation out;
+  for (const Pair& p : pairs_) {
+    if (!other.pairs_.contains(p)) out.pairs_.insert(p);
+  }
+  return out;
+}
+
+OidSet BinaryRelation::Domain() const {
+  OidSet out;
+  for (const Pair& p : pairs_) out.insert(p.first);
+  return out;
+}
+
+OidSet BinaryRelation::Range() const {
+  OidSet out;
+  for (const Pair& p : pairs_) out.insert(p.second);
+  return out;
+}
+
+BinaryRelation BinaryRelation::DomainRestrict(const OidSet& domain) const {
+  BinaryRelation out;
+  for (const Pair& p : pairs_) {
+    if (domain.contains(p.first)) out.pairs_.insert(p);
+  }
+  return out;
+}
+
+BinaryRelation BinaryRelation::RangeRestrict(const OidSet& range) const {
+  BinaryRelation out;
+  for (const Pair& p : pairs_) {
+    if (range.contains(p.second)) out.pairs_.insert(p);
+  }
+  return out;
+}
+
+BinaryRelation BinaryRelation::Identity(const OidSet& set) {
+  BinaryRelation out;
+  for (Oid o : set) out.Add(o, o);
+  return out;
+}
+
+BinaryRelation BinaryRelation::TransitiveClosure() const {
+  BinaryRelation closure = *this;
+  while (true) {
+    BinaryRelation next = closure.Union(closure.Compose(*this));
+    if (next.size() == closure.size()) return closure;
+    closure = std::move(next);
+  }
+}
+
+std::string BinaryRelation::ToString() const {
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (const Pair& p : pairs_) {
+    if (!first) os << ", ";
+    first = false;
+    os << "(" << p.first << "," << p.second << ")";
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace good::tarski

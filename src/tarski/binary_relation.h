@@ -1,0 +1,79 @@
+/// \file binary_relation.h
+/// \brief Binary relations and their Tarski-style algebra.
+///
+/// Section 5 of the paper describes the Indiana implementation route:
+/// "a binary relational model, called the Tarski Data Model, is used to
+/// store and compute with GOOD databases. The model includes its own
+/// (binary) relational algebra, which is inspired by Tarski's work."
+/// This file provides that algebra: relations over 64-bit object ids
+/// with composition, converse, the Boolean operations, identity,
+/// domain/range and their restrictions, and transitive closure.
+
+#ifndef GOOD_TARSKI_BINARY_RELATION_H_
+#define GOOD_TARSKI_BINARY_RELATION_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <utility>
+
+namespace good::tarski {
+
+using Oid = int64_t;
+using OidSet = std::set<Oid>;
+
+/// \brief A finite binary relation over object ids.
+class BinaryRelation {
+ public:
+  using Pair = std::pair<Oid, Oid>;
+
+  BinaryRelation() = default;
+  explicit BinaryRelation(std::set<Pair> pairs) : pairs_(std::move(pairs)) {}
+
+  void Add(Oid a, Oid b) { pairs_.emplace(a, b); }
+  void Remove(Oid a, Oid b) { pairs_.erase({a, b}); }
+  bool Contains(Oid a, Oid b) const { return pairs_.contains({a, b}); }
+
+  size_t size() const { return pairs_.size(); }
+  bool empty() const { return pairs_.empty(); }
+  const std::set<Pair>& pairs() const { return pairs_; }
+
+  /// { (a, c) : ∃b. (a, b) ∈ this ∧ (b, c) ∈ other } — relational
+  /// composition (this ; other).
+  BinaryRelation Compose(const BinaryRelation& other) const;
+
+  /// { (b, a) : (a, b) ∈ this }.
+  BinaryRelation Converse() const;
+
+  BinaryRelation Union(const BinaryRelation& other) const;
+  BinaryRelation Intersect(const BinaryRelation& other) const;
+  BinaryRelation Difference(const BinaryRelation& other) const;
+
+  /// { a : ∃b. (a, b) ∈ this }.
+  OidSet Domain() const;
+  /// { b : ∃a. (a, b) ∈ this }.
+  OidSet Range() const;
+
+  /// Pairs whose left component lies in `domain`.
+  BinaryRelation DomainRestrict(const OidSet& domain) const;
+  /// Pairs whose right component lies in `range`.
+  BinaryRelation RangeRestrict(const OidSet& range) const;
+
+  /// The identity relation over `set`.
+  static BinaryRelation Identity(const OidSet& set);
+
+  /// The transitive closure (iterated composition to fixpoint).
+  BinaryRelation TransitiveClosure() const;
+
+  friend bool operator==(const BinaryRelation&,
+                         const BinaryRelation&) = default;
+
+  std::string ToString() const;
+
+ private:
+  std::set<Pair> pairs_;
+};
+
+}  // namespace good::tarski
+
+#endif  // GOOD_TARSKI_BINARY_RELATION_H_

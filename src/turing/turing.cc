@@ -1,0 +1,422 @@
+#include "turing/turing.h"
+
+#include <algorithm>
+#include <map>
+
+#include "ops/computed.h"
+#include "ops/operations.h"
+
+namespace good::turing {
+
+using graph::Instance;
+using graph::NodeId;
+using method::HeadBinding;
+using method::Method;
+using method::MethodCallOp;
+using method::ParameterizedOp;
+using pattern::Pattern;
+using schema::Scheme;
+
+namespace {
+
+Value Sv(char c) { return Value(std::string(1, c)); }
+Value Sv(const std::string& s) { return Value(s); }
+
+Symbol ActLabel(size_t index) {
+  return Sym("Act:" + std::to_string(index));
+}
+
+}  // namespace
+
+Status TuringMachine::Validate() const {
+  std::set<std::pair<std::string, char>> seen;
+  for (const Transition& t : transitions) {
+    if (t.move != -1 && t.move != 1) {
+      return Status::InvalidArgument("move must be -1 or +1");
+    }
+    if (!seen.emplace(t.state, t.read).second) {
+      return Status::InvalidArgument(
+          "machine is nondeterministic on (" + t.state + ", " +
+          std::string(1, t.read) + ")");
+    }
+    if (halting.contains(t.state)) {
+      return Status::InvalidArgument("transition out of halting state '" +
+                                     t.state + "'");
+    }
+  }
+  if (initial.empty()) {
+    return Status::InvalidArgument("missing initial state");
+  }
+  return Status::OK();
+}
+
+Result<RunResult> RunDirect(const TuringMachine& tm,
+                            const std::string& input, size_t max_steps) {
+  GOOD_RETURN_NOT_OK(tm.Validate());
+  std::map<int64_t, char> tape;
+  for (size_t i = 0; i < input.size(); ++i) {
+    tape[static_cast<int64_t>(i)] = input[i];
+  }
+  std::map<std::pair<std::string, char>, const Transition*> delta;
+  for (const Transition& t : tm.transitions) {
+    delta[{t.state, t.read}] = &t;
+  }
+  std::string state = tm.initial;
+  int64_t pos = 0;
+  size_t steps = 0;
+  while (!tm.halting.contains(state)) {
+    if (steps >= max_steps) {
+      return Status::ResourceExhausted("direct TM run exceeded " +
+                                       std::to_string(max_steps) + " steps");
+    }
+    char read = tape.contains(pos) ? tape[pos] : tm.blank;
+    auto it = delta.find({state, read});
+    if (it == delta.end()) break;  // Stuck: no applicable transition.
+    tape[pos] = it->second->write;
+    pos += it->second->move;
+    state = it->second->next_state;
+    ++steps;
+  }
+  RunResult result;
+  result.final_state = state;
+  result.steps = steps;
+  result.halted = tm.halting.contains(state);
+  if (!tape.empty()) {
+    int64_t lo = tape.begin()->first;
+    int64_t hi = tape.rbegin()->first;
+    for (int64_t i = lo; i <= hi; ++i) {
+      result.tape += tape.contains(i) ? tape[i] : tm.blank;
+    }
+  }
+  // Trim blanks on both ends.
+  size_t begin = result.tape.find_first_not_of(tm.blank);
+  size_t end = result.tape.find_last_not_of(tm.blank);
+  result.tape = begin == std::string::npos
+                    ? ""
+                    : result.tape.substr(begin, end - begin + 1);
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// GOOD compilation
+// ---------------------------------------------------------------------------
+
+Status TuringSimulator::BuildScheme() {
+  scheme_ = Scheme();
+  GOOD_RETURN_NOT_OK(scheme_.AddObjectLabel(Sym("Cell")));
+  GOOD_RETURN_NOT_OK(scheme_.AddObjectLabel(Sym("Head")));
+  GOOD_RETURN_NOT_OK(scheme_.AddPrintableLabel(Sym("TSym"),
+                                               ValueKind::kString));
+  GOOD_RETURN_NOT_OK(scheme_.AddPrintableLabel(Sym("TState"),
+                                               ValueKind::kString));
+  for (const char* edge : {"left", "right", "symbol", "at", "state", "cell"}) {
+    GOOD_RETURN_NOT_OK(scheme_.AddFunctionalEdgeLabel(Sym(edge)));
+  }
+  GOOD_RETURN_NOT_OK(scheme_.AddTriple(Sym("Cell"), Sym("left"), Sym("Cell")));
+  GOOD_RETURN_NOT_OK(
+      scheme_.AddTriple(Sym("Cell"), Sym("right"), Sym("Cell")));
+  GOOD_RETURN_NOT_OK(
+      scheme_.AddTriple(Sym("Cell"), Sym("symbol"), Sym("TSym")));
+  GOOD_RETURN_NOT_OK(scheme_.AddTriple(Sym("Head"), Sym("at"), Sym("Cell")));
+  GOOD_RETURN_NOT_OK(
+      scheme_.AddTriple(Sym("Head"), Sym("state"), Sym("TState")));
+  for (size_t i = 0; i < tm_.transitions.size(); ++i) {
+    GOOD_RETURN_NOT_OK(scheme_.AddObjectLabel(ActLabel(i)));
+    GOOD_RETURN_NOT_OK(
+        scheme_.AddTriple(ActLabel(i), Sym("cell"), Sym("Cell")));
+  }
+  return Status::OK();
+}
+
+Status TuringSimulator::BuildTape(const std::string& input) {
+  instance_ = Instance();
+  std::string content = input.empty() ? std::string(1, tm_.blank) : input;
+  std::vector<NodeId> cells;
+  for (char c : content) {
+    GOOD_ASSIGN_OR_RETURN(NodeId cell,
+                          instance_.AddObjectNode(scheme_, Sym("Cell")));
+    GOOD_ASSIGN_OR_RETURN(
+        NodeId sym, instance_.AddPrintableNode(scheme_, Sym("TSym"), Sv(c)));
+    GOOD_RETURN_NOT_OK(instance_.AddEdge(scheme_, cell, Sym("symbol"), sym));
+    cells.push_back(cell);
+  }
+  for (size_t i = 0; i + 1 < cells.size(); ++i) {
+    GOOD_RETURN_NOT_OK(
+        instance_.AddEdge(scheme_, cells[i], Sym("right"), cells[i + 1]));
+    GOOD_RETURN_NOT_OK(
+        instance_.AddEdge(scheme_, cells[i + 1], Sym("left"), cells[i]));
+  }
+  GOOD_ASSIGN_OR_RETURN(head_, instance_.AddObjectNode(scheme_, Sym("Head")));
+  GOOD_RETURN_NOT_OK(instance_.AddEdge(scheme_, head_, Sym("at"), cells[0]));
+  GOOD_ASSIGN_OR_RETURN(
+      NodeId st,
+      instance_.AddPrintableNode(scheme_, Sym("TState"), Sv(tm_.initial)));
+  GOOD_RETURN_NOT_OK(instance_.AddEdge(scheme_, head_, Sym("state"), st));
+  return Status::OK();
+}
+
+Status TuringSimulator::AppendTransitionOps(
+    size_t index, std::vector<ParameterizedOp>* body) const {
+  const Transition& t = tm_.transitions[index];
+  const Symbol act = ActLabel(index);
+
+  // B1: erase the cell's current symbol edge.
+  {
+    Pattern p;
+    GOOD_ASSIGN_OR_RETURN(NodeId a, p.AddObjectNode(scheme_, act));
+    GOOD_ASSIGN_OR_RETURN(NodeId c, p.AddObjectNode(scheme_, Sym("Cell")));
+    GOOD_ASSIGN_OR_RETURN(NodeId sy,
+                          p.AddValuelessPrintableNode(scheme_, Sym("TSym")));
+    GOOD_RETURN_NOT_OK(p.AddEdge(scheme_, a, Sym("cell"), c));
+    GOOD_RETURN_NOT_OK(p.AddEdge(scheme_, c, Sym("symbol"), sy));
+    body->push_back(ParameterizedOp{
+        ops::EdgeDeletion(std::move(p),
+                          {ops::EdgeRef{c, Sym("symbol"), sy}}),
+        std::nullopt});
+  }
+  // B2: write the new symbol.
+  {
+    Pattern p;
+    GOOD_ASSIGN_OR_RETURN(NodeId a, p.AddObjectNode(scheme_, act));
+    GOOD_ASSIGN_OR_RETURN(NodeId c, p.AddObjectNode(scheme_, Sym("Cell")));
+    GOOD_ASSIGN_OR_RETURN(
+        NodeId w, p.AddPrintableNode(scheme_, Sym("TSym"), Sv(t.write)));
+    GOOD_RETURN_NOT_OK(p.AddEdge(scheme_, a, Sym("cell"), c));
+    body->push_back(ParameterizedOp{
+        ops::EdgeAddition(
+            std::move(p),
+            {ops::EdgeSpec{c, Sym("symbol"), w, /*functional=*/true}}),
+        std::nullopt});
+  }
+  // Movement: grow the tape on demand, then move the head.
+  const bool right = t.move == 1;
+  const Symbol toward = right ? Sym("left") : Sym("right");
+  const Symbol back = right ? Sym("right") : Sym("left");
+  // B3: create the neighbour cell iff absent — the NA "if not exists"
+  // check sees an existing neighbour through its toward-edge.
+  {
+    Pattern p;
+    GOOD_ASSIGN_OR_RETURN(NodeId a, p.AddObjectNode(scheme_, act));
+    GOOD_ASSIGN_OR_RETURN(NodeId c, p.AddObjectNode(scheme_, Sym("Cell")));
+    GOOD_RETURN_NOT_OK(p.AddEdge(scheme_, a, Sym("cell"), c));
+    body->push_back(ParameterizedOp{
+        ops::NodeAddition(std::move(p), Sym("Cell"), {{toward, c}}),
+        std::nullopt});
+  }
+  // B4: back-link the current cell to the neighbour.
+  {
+    Pattern p;
+    GOOD_ASSIGN_OR_RETURN(NodeId a, p.AddObjectNode(scheme_, act));
+    GOOD_ASSIGN_OR_RETURN(NodeId c, p.AddObjectNode(scheme_, Sym("Cell")));
+    GOOD_ASSIGN_OR_RETURN(NodeId n, p.AddObjectNode(scheme_, Sym("Cell")));
+    GOOD_RETURN_NOT_OK(p.AddEdge(scheme_, a, Sym("cell"), c));
+    GOOD_RETURN_NOT_OK(p.AddEdge(scheme_, n, toward, c));
+    body->push_back(ParameterizedOp{
+        ops::EdgeAddition(std::move(p),
+                          {ops::EdgeSpec{c, back, n, /*functional=*/true}}),
+        std::nullopt});
+  }
+  // B5: blank-initialize the neighbour if it has no symbol yet (a
+  // Section 4.1 predicate expressing the crossed "no symbol edge").
+  {
+    Pattern p;
+    GOOD_ASSIGN_OR_RETURN(NodeId a, p.AddObjectNode(scheme_, act));
+    GOOD_ASSIGN_OR_RETURN(NodeId c, p.AddObjectNode(scheme_, Sym("Cell")));
+    GOOD_ASSIGN_OR_RETURN(NodeId n, p.AddObjectNode(scheme_, Sym("Cell")));
+    GOOD_ASSIGN_OR_RETURN(
+        NodeId w, p.AddPrintableNode(scheme_, Sym("TSym"), Sv(tm_.blank)));
+    GOOD_RETURN_NOT_OK(p.AddEdge(scheme_, a, Sym("cell"), c));
+    GOOD_RETURN_NOT_OK(p.AddEdge(scheme_, n, toward, c));
+    ops::EdgeAddition ea(
+        std::move(p),
+        {ops::EdgeSpec{n, Sym("symbol"), w, /*functional=*/true}});
+    ea.set_filter([n](const pattern::Matching& m, const Instance& g) {
+      return !g.FunctionalTarget(m.At(n), Sym("symbol")).has_value();
+    });
+    body->push_back(ParameterizedOp{std::move(ea), std::nullopt});
+  }
+  // B6: detach the head from the current cell.
+  {
+    Pattern p;
+    GOOD_ASSIGN_OR_RETURN(NodeId a, p.AddObjectNode(scheme_, act));
+    GOOD_ASSIGN_OR_RETURN(NodeId c, p.AddObjectNode(scheme_, Sym("Cell")));
+    GOOD_ASSIGN_OR_RETURN(NodeId h, p.AddObjectNode(scheme_, Sym("Head")));
+    GOOD_RETURN_NOT_OK(p.AddEdge(scheme_, a, Sym("cell"), c));
+    GOOD_RETURN_NOT_OK(p.AddEdge(scheme_, h, Sym("at"), c));
+    body->push_back(ParameterizedOp{
+        ops::EdgeDeletion(std::move(p), {ops::EdgeRef{h, Sym("at"), c}}),
+        std::nullopt});
+  }
+  // B7: attach the head to the neighbour.
+  {
+    Pattern p;
+    GOOD_ASSIGN_OR_RETURN(NodeId a, p.AddObjectNode(scheme_, act));
+    GOOD_ASSIGN_OR_RETURN(NodeId c, p.AddObjectNode(scheme_, Sym("Cell")));
+    GOOD_ASSIGN_OR_RETURN(NodeId n, p.AddObjectNode(scheme_, Sym("Cell")));
+    GOOD_ASSIGN_OR_RETURN(NodeId h, p.AddObjectNode(scheme_, Sym("Head")));
+    GOOD_RETURN_NOT_OK(p.AddEdge(scheme_, a, Sym("cell"), c));
+    GOOD_RETURN_NOT_OK(p.AddEdge(scheme_, n, toward, c));
+    body->push_back(ParameterizedOp{
+        ops::EdgeAddition(
+            std::move(p),
+            {ops::EdgeSpec{h, Sym("at"), n, /*functional=*/true}}),
+        std::nullopt});
+  }
+  // B8: drop the old state edge.
+  {
+    Pattern p;
+    GOOD_ASSIGN_OR_RETURN(NodeId a, p.AddObjectNode(scheme_, act));
+    (void)a;
+    GOOD_ASSIGN_OR_RETURN(NodeId h, p.AddObjectNode(scheme_, Sym("Head")));
+    GOOD_ASSIGN_OR_RETURN(
+        NodeId st, p.AddValuelessPrintableNode(scheme_, Sym("TState")));
+    GOOD_RETURN_NOT_OK(p.AddEdge(scheme_, h, Sym("state"), st));
+    body->push_back(ParameterizedOp{
+        ops::EdgeDeletion(std::move(p), {ops::EdgeRef{h, Sym("state"), st}}),
+        std::nullopt});
+  }
+  // B9: set the new state.
+  {
+    Pattern p;
+    GOOD_ASSIGN_OR_RETURN(NodeId a, p.AddObjectNode(scheme_, act));
+    (void)a;
+    GOOD_ASSIGN_OR_RETURN(NodeId h, p.AddObjectNode(scheme_, Sym("Head")));
+    GOOD_ASSIGN_OR_RETURN(
+        NodeId st,
+        p.AddPrintableNode(scheme_, Sym("TState"), Sv(t.next_state)));
+    body->push_back(ParameterizedOp{
+        ops::EdgeAddition(
+            std::move(p),
+            {ops::EdgeSpec{h, Sym("state"), st, /*functional=*/true}}),
+        std::nullopt});
+  }
+  // D: retire the marker.
+  {
+    Pattern p;
+    GOOD_ASSIGN_OR_RETURN(NodeId a, p.AddObjectNode(scheme_, act));
+    body->push_back(
+        ParameterizedOp{ops::NodeDeletion(std::move(p), a), std::nullopt});
+  }
+  return Status::OK();
+}
+
+Result<Method> TuringSimulator::BuildStepMethod() const {
+  Method step;
+  step.spec.name = "Step";
+  step.spec.receiver_label = Sym("Head");
+
+  // Phase A for every transition first: all markers are created against
+  // the pre-step configuration (at most one fires — determinism).
+  for (size_t i = 0; i < tm_.transitions.size(); ++i) {
+    const Transition& t = tm_.transitions[i];
+    Pattern p;
+    GOOD_ASSIGN_OR_RETURN(NodeId h, p.AddObjectNode(scheme_, Sym("Head")));
+    GOOD_ASSIGN_OR_RETURN(
+        NodeId st, p.AddPrintableNode(scheme_, Sym("TState"), Sv(t.state)));
+    GOOD_ASSIGN_OR_RETURN(NodeId c, p.AddObjectNode(scheme_, Sym("Cell")));
+    GOOD_ASSIGN_OR_RETURN(
+        NodeId sy, p.AddPrintableNode(scheme_, Sym("TSym"), Sv(t.read)));
+    GOOD_RETURN_NOT_OK(p.AddEdge(scheme_, h, Sym("state"), st));
+    GOOD_RETURN_NOT_OK(p.AddEdge(scheme_, h, Sym("at"), c));
+    GOOD_RETURN_NOT_OK(p.AddEdge(scheme_, c, Sym("symbol"), sy));
+    step.body.push_back(ParameterizedOp{
+        ops::NodeAddition(std::move(p), ActLabel(i), {{Sym("cell"), c}}),
+        std::nullopt});
+  }
+  // Phase B/D blocks per transition.
+  for (size_t i = 0; i < tm_.transitions.size(); ++i) {
+    GOOD_RETURN_NOT_OK(AppendTransitionOps(i, &step.body));
+  }
+  // Recursive call with the halting predicate as stopping condition.
+  {
+    Pattern p;
+    GOOD_ASSIGN_OR_RETURN(NodeId h, p.AddObjectNode(scheme_, Sym("Head")));
+    GOOD_ASSIGN_OR_RETURN(
+        NodeId st, p.AddValuelessPrintableNode(scheme_, Sym("TState")));
+    GOOD_RETURN_NOT_OK(p.AddEdge(scheme_, h, Sym("state"), st));
+    MethodCallOp rec;
+    rec.pattern = std::move(p);
+    rec.method_name = "Step";
+    rec.receiver = h;
+    std::set<std::string> halting = tm_.halting;
+    rec.filter = [st, halting](const pattern::Matching& m,
+                               const Instance& g) {
+      return !halting.contains(g.PrintValueOf(m.At(st))->AsString());
+    };
+    HeadBinding head;
+    head.receiver = h;
+    step.body.push_back(ParameterizedOp{std::move(rec), head});
+  }
+  // The interface exposes the full machine scheme (tape and head edges
+  // persist across the recursion).
+  step.interface = scheme_;
+  return step;
+}
+
+Result<RunResult> TuringSimulator::ReadBack() const {
+  RunResult result;
+  auto heads = instance_.NodesWithLabel(Sym("Head"));
+  if (heads.size() != 1) {
+    return Status::Internal("expected exactly one head");
+  }
+  auto st = instance_.FunctionalTarget(heads[0], Sym("state"));
+  if (!st.has_value()) return Status::Internal("head lost its state");
+  result.final_state = instance_.PrintValueOf(*st)->AsString();
+  result.halted = tm_.halting.contains(result.final_state);
+  // Leftmost cell: the unique cell without a left neighbour.
+  NodeId leftmost{};
+  for (NodeId cell : instance_.NodesWithLabel(Sym("Cell"))) {
+    if (!instance_.FunctionalTarget(cell, Sym("left")).has_value()) {
+      if (leftmost.valid()) {
+        return Status::Internal("tape has two leftmost cells");
+      }
+      leftmost = cell;
+    }
+  }
+  if (!leftmost.valid()) return Status::Internal("tape has no leftmost cell");
+  for (std::optional<NodeId> cell = leftmost; cell.has_value();
+       cell = instance_.FunctionalTarget(*cell, Sym("right"))) {
+    auto sym = instance_.FunctionalTarget(*cell, Sym("symbol"));
+    if (!sym.has_value()) return Status::Internal("cell without symbol");
+    result.tape += instance_.PrintValueOf(*sym)->AsString();
+  }
+  size_t begin = result.tape.find_first_not_of(tm_.blank);
+  size_t end = result.tape.find_last_not_of(tm_.blank);
+  result.tape = begin == std::string::npos
+                    ? ""
+                    : result.tape.substr(begin, end - begin + 1);
+  return result;
+}
+
+Result<RunResult> TuringSimulator::Run(const std::string& input,
+                                       size_t max_ops) {
+  GOOD_RETURN_NOT_OK(tm_.Validate());
+  GOOD_RETURN_NOT_OK(BuildScheme());
+  GOOD_RETURN_NOT_OK(BuildTape(input));
+  GOOD_ASSIGN_OR_RETURN(Method step, BuildStepMethod());
+
+  method::MethodRegistry registry;
+  GOOD_RETURN_NOT_OK(registry.Register(std::move(step)));
+  method::Executor executor(
+      &registry, method::ExecOptions{max_ops, /*max_depth=*/max_ops});
+
+  Pattern p;
+  GOOD_ASSIGN_OR_RETURN(NodeId h, p.AddObjectNode(scheme_, Sym("Head")));
+  GOOD_ASSIGN_OR_RETURN(NodeId st,
+                        p.AddValuelessPrintableNode(scheme_, Sym("TState")));
+  GOOD_RETURN_NOT_OK(p.AddEdge(scheme_, h, Sym("state"), st));
+  MethodCallOp call;
+  call.pattern = std::move(p);
+  call.method_name = "Step";
+  call.receiver = h;
+  std::set<std::string> halting = tm_.halting;
+  call.filter = [st, halting](const pattern::Matching& m, const Instance& g) {
+    return !halting.contains(g.PrintValueOf(m.At(st))->AsString());
+  };
+  GOOD_RETURN_NOT_OK(executor.Execute(call, &scheme_, &instance_));
+  GOOD_ASSIGN_OR_RETURN(RunResult result, ReadBack());
+  result.steps = executor.steps_used();
+  return result;
+}
+
+}  // namespace good::turing

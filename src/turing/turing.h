@@ -1,0 +1,103 @@
+/// \file turing.h
+/// \brief Turing completeness of GOOD with methods (Section 4.3).
+///
+/// "The full language with methods is sufficiently strong to simulate
+/// arbitrary Turing machines." This module makes that constructive: a
+/// deterministic single-tape TM is compiled into a GOOD database scheme
+/// and a recursive method, and run with the method executor.
+///
+/// Encoding:
+///  - the tape is a doubly-linked list of Cell objects (functional left
+///    / right edges) with a functional symbol edge to a TSym printable;
+///  - the Head object has functional at (Cell) and state (TState)
+///    edges;
+///  - each transition (q, s) -> (q', s', move) compiles to a block of
+///    basic operations guarded by an Act:<i> marker object that a node
+///    addition creates exactly when the head is in state q reading s;
+///    the block rewrites the symbol (ED + EA), grows the tape on demand
+///    (NA — the "if not exists" check makes growth conditional), moves
+///    the head and updates the state;
+///  - the Step method executes all transition blocks (at most one fires,
+///    the machine being deterministic), deletes the markers, and calls
+///    itself recursively with a Section 4.1 predicate "state is not
+///    halting" as the stopping condition.
+/// A direct C++ interpreter is provided for differential testing.
+
+#ifndef GOOD_TURING_TURING_H_
+#define GOOD_TURING_TURING_H_
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "common/result.h"
+#include "graph/instance.h"
+#include "method/method.h"
+#include "schema/scheme.h"
+
+namespace good::turing {
+
+/// \brief One deterministic transition.
+struct Transition {
+  std::string state;
+  char read;
+  std::string next_state;
+  char write;
+  int move;  // -1 (left) or +1 (right).
+};
+
+/// \brief A deterministic single-tape Turing machine.
+struct TuringMachine {
+  std::string initial;
+  std::set<std::string> halting;
+  std::vector<Transition> transitions;
+  char blank = '_';
+
+  /// Checks determinism ((state, read) pairs unique), move values, and
+  /// that transition states are consistent.
+  Status Validate() const;
+};
+
+/// \brief Outcome of a run.
+struct RunResult {
+  std::string final_state;
+  std::string tape;  // Blank-trimmed tape contents.
+  size_t steps = 0;
+  bool halted = false;
+};
+
+/// \brief Reference interpreter.
+Result<RunResult> RunDirect(const TuringMachine& tm,
+                            const std::string& input, size_t max_steps);
+
+/// \brief Compiles and runs the GOOD simulation.
+class TuringSimulator {
+ public:
+  explicit TuringSimulator(TuringMachine tm) : tm_(std::move(tm)) {}
+
+  /// Runs the machine on `input` inside GOOD; `max_ops` bounds the
+  /// method executor's operation budget.
+  Result<RunResult> Run(const std::string& input, size_t max_ops);
+
+  /// The compiled database after the last Run (for inspection).
+  const schema::Scheme& scheme() const { return scheme_; }
+  const graph::Instance& instance() const { return instance_; }
+
+ private:
+  Status BuildScheme();
+  Status BuildTape(const std::string& input);
+  Result<method::Method> BuildStepMethod() const;
+  /// Per-transition operation block appended to `body`.
+  Status AppendTransitionOps(size_t index,
+                             std::vector<method::ParameterizedOp>* body) const;
+  Result<RunResult> ReadBack() const;
+
+  TuringMachine tm_;
+  schema::Scheme scheme_;
+  graph::Instance instance_;
+  graph::NodeId head_;
+};
+
+}  // namespace good::turing
+
+#endif  // GOOD_TURING_TURING_H_

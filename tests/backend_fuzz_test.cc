@@ -1,0 +1,122 @@
+/// Randomized operation-sequence differential: the relational backend
+/// and the native graph engine execute the SAME random sequence of core
+/// operations from the same start state; after every step the exported
+/// relational state must be isomorphic to the native instance.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "graph/isomorphism.h"
+#include "hypermedia/hypermedia.h"
+#include "pattern/builder.h"
+#include "relational/backend.h"
+
+namespace good::relational {
+namespace {
+
+using graph::Instance;
+using graph::NodeId;
+using pattern::GraphBuilder;
+using schema::Scheme;
+
+/// A small random document graph: 6-10 dated documents with random
+/// links.
+Instance BuildStart(const Scheme& scheme, std::mt19937* rng) {
+  const auto& l = hypermedia::Labels::Get();
+  Instance g;
+  std::vector<NodeId> docs;
+  size_t n = 6 + (*rng)() % 5;
+  for (size_t i = 0; i < n; ++i) {
+    NodeId doc = g.AddObjectNode(scheme, l.info).ValueOrDie();
+    NodeId date =
+        g.AddPrintableNode(scheme, l.date,
+                           Value(Date{1990, 1,
+                                      1 + static_cast<int>((*rng)() % 4)}))
+            .ValueOrDie();
+    g.AddEdge(scheme, doc, l.created, date).OrDie();
+    docs.push_back(doc);
+  }
+  for (NodeId a : docs) {
+    for (NodeId b : docs) {
+      if (a != b && (*rng)() % 3 == 0) {
+        g.AddEdge(scheme, a, l.links_to, b).OrDie();
+      }
+    }
+  }
+  return g;
+}
+
+class BackendFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BackendFuzzTest, RandomOperationSequencesStayInSync) {
+  std::mt19937 rng(GetParam());
+  Scheme native_scheme = hypermedia::BuildScheme().ValueOrDie();
+  Instance native = BuildStart(native_scheme, &rng);
+  auto backend = RelationalBackend::Load(native_scheme, native).ValueOrDie();
+
+  for (int step = 0; step < 12; ++step) {
+    int kind = static_cast<int>(rng() % 5);
+    GraphBuilder b(native_scheme);
+    NodeId x = b.Object("Info");
+    NodeId y = b.Object("Info");
+    b.Edge(x, "links-to", y);
+    switch (kind) {
+      case 0: {
+        Symbol label = Sym("Tag" + std::to_string(rng() % 2));
+        ops::NodeAddition op(b.BuildOrDie(), label, {{Sym("of"), y}});
+        ASSERT_TRUE(op.Apply(&native_scheme, &native).ok());
+        ASSERT_TRUE(backend.Apply(op).ok());
+        break;
+      }
+      case 1: {
+        ops::EdgeAddition op(
+            b.BuildOrDie(),
+            {ops::EdgeSpec{y, Sym("rev"), x, /*functional=*/false}});
+        ASSERT_TRUE(op.Apply(&native_scheme, &native).ok());
+        ASSERT_TRUE(backend.Apply(op).ok());
+        break;
+      }
+      case 2: {
+        GraphBuilder db(native_scheme);
+        NodeId info = db.Object("Info");
+        NodeId date = db.Printable(
+            "Date", Value(Date{1990, 1, 1 + static_cast<int>(rng() % 4)}));
+        db.Edge(info, "created", date);
+        ops::NodeDeletion op(db.BuildOrDie(), info);
+        ASSERT_TRUE(op.Apply(&native_scheme, &native).ok());
+        ASSERT_TRUE(backend.Apply(op).ok());
+        break;
+      }
+      case 3: {
+        ops::EdgeDeletion op(b.BuildOrDie(),
+                             {ops::EdgeRef{x, Sym("links-to"), y}});
+        ASSERT_TRUE(op.Apply(&native_scheme, &native).ok());
+        ASSERT_TRUE(backend.Apply(op).ok());
+        break;
+      }
+      default: {
+        GraphBuilder ab(native_scheme);
+        NodeId info = ab.Object("Info");
+        ops::Abstraction op(ab.BuildOrDie(), info,
+                            Sym("Grp" + std::to_string(rng() % 2)),
+                            Sym("member"), Sym("links-to"));
+        ASSERT_TRUE(op.Apply(&native_scheme, &native).ok());
+        ASSERT_TRUE(backend.Apply(op).ok());
+        break;
+      }
+    }
+    auto exported = backend.Export().ValueOrDie();
+    ASSERT_TRUE(graph::IsIsomorphic(native, exported))
+        << "seed=" << GetParam() << " step=" << step << " kind=" << kind
+        << "\nnative:\n" << native.Fingerprint() << "\nrelational:\n"
+        << exported.Fingerprint();
+    ASSERT_TRUE(backend.scheme() == native_scheme);
+    ASSERT_TRUE(native.Validate(native_scheme).ok());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BackendFuzzTest, ::testing::Range(0, 15));
+
+}  // namespace
+}  // namespace good::relational

@@ -1,0 +1,104 @@
+/// Tests for pattern-directed browsing (Section 5).
+
+#include <gtest/gtest.h>
+
+#include "hypermedia/hypermedia.h"
+#include "pattern/builder.h"
+#include "program/browse.h"
+
+namespace good::program {
+namespace {
+
+using graph::Instance;
+using graph::NodeId;
+using pattern::GraphBuilder;
+using schema::Scheme;
+
+class BrowseTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    scheme_ = hypermedia::BuildScheme().ValueOrDie();
+    auto built = hypermedia::BuildInstance(scheme_).ValueOrDie();
+    instance_ = std::move(built.instance);
+    nodes_ = built.nodes;
+  }
+  Scheme scheme_;
+  Instance instance_;
+  hypermedia::InstanceNodes nodes_;
+};
+
+TEST_F(BrowseTest, RadiusZeroIsTheFocusOnly) {
+  BrowseOptions options;
+  options.radius = 0;
+  auto view =
+      Neighborhood(scheme_, instance_, {nodes_.music_history}, options)
+          .ValueOrDie();
+  EXPECT_EQ(view.num_nodes(), 1u);
+  EXPECT_EQ(view.num_edges(), 0u);
+}
+
+TEST_F(BrowseTest, RadiusOneIncludesDirectNeighbours) {
+  auto view = Neighborhood(scheme_, instance_, {nodes_.music_history})
+                  .ValueOrDie();
+  // Music History touches: created + modified dates, name, comment,
+  // three linked documents = 7 neighbours + itself.
+  EXPECT_EQ(view.num_nodes(), 8u);
+  EXPECT_TRUE(view.Validate(scheme_).ok());
+  // Induced edges include those among selected nodes.
+  const auto& l = hypermedia::Labels::Get();
+  EXPECT_EQ(view.CountNodesWithLabel(l.info), 4u);
+}
+
+TEST_F(BrowseTest, RadiusGrowsTheView) {
+  BrowseOptions r1;
+  BrowseOptions r2;
+  r2.radius = 2;
+  auto v1 = Neighborhood(scheme_, instance_, {nodes_.pinkfloyd}, r1)
+                .ValueOrDie();
+  auto v2 = Neighborhood(scheme_, instance_, {nodes_.pinkfloyd}, r2)
+                .ValueOrDie();
+  EXPECT_GT(v2.num_nodes(), v1.num_nodes());
+  EXPECT_TRUE(v2.Validate(scheme_).ok());
+}
+
+TEST_F(BrowseTest, MaxNodesCapsTheView) {
+  BrowseOptions options;
+  options.radius = 10;
+  options.max_nodes = 5;
+  auto view = Neighborhood(scheme_, instance_, {nodes_.music_history},
+                           options)
+                  .ValueOrDie();
+  EXPECT_LE(view.num_nodes(), 5u);
+}
+
+TEST_F(BrowseTest, UnknownFocusIsNotFound) {
+  EXPECT_TRUE(Neighborhood(scheme_, instance_, {NodeId{9999}})
+                  .status()
+                  .IsNotFound());
+}
+
+TEST_F(BrowseTest, PatternDirectedBrowsing) {
+  // Browse around the documents matched by the Figure 4 pattern.
+  auto fig4 = hypermedia::Fig4Pattern(scheme_).ValueOrDie();
+  auto view = BrowsePattern(scheme_, instance_, fig4.pattern,
+                            fig4.lower_info)
+                  .ValueOrDie();
+  // The two matched documents (doors, pinkfloyd) plus their direct
+  // neighbourhoods.
+  EXPECT_GE(view.num_nodes(), 8u);
+  EXPECT_TRUE(view.Validate(scheme_).ok());
+  // Printable values survive into the view.
+  EXPECT_TRUE(view.FindPrintable(hypermedia::Labels::Get().string,
+                                 Value("Pinkfloyd"))
+                  .has_value());
+}
+
+TEST_F(BrowseTest, BrowseNodeMustBeInPattern) {
+  auto fig4 = hypermedia::Fig4Pattern(scheme_).ValueOrDie();
+  EXPECT_TRUE(BrowsePattern(scheme_, instance_, fig4.pattern, NodeId{777})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace good::program

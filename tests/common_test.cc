@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include "common/interner.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/value.h"
+
+namespace good {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad label");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(s.message(), "bad label");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad label");
+}
+
+TEST(StatusTest, AllConstructorsProduceMatchingCodes) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+  EXPECT_TRUE(Status::Unimplemented("x").IsUnimplemented());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+}
+
+TEST(StatusTest, CopyingPreservesError) {
+  Status s = Status::NotFound("gone");
+  Status t = s;
+  EXPECT_TRUE(t.IsNotFound());
+  EXPECT_EQ(t.message(), "gone");
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::OutOfRange("must be positive");
+  return x;
+}
+
+Status UseParse(int x, int* out) {
+  GOOD_ASSIGN_OR_RETURN(*out, ParsePositive(x));
+  return Status::OK();
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = ParsePositive(5);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 5);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = ParsePositive(-1);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsOutOfRange());
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  int out = 0;
+  EXPECT_TRUE(UseParse(7, &out).ok());
+  EXPECT_EQ(out, 7);
+  EXPECT_TRUE(UseParse(-7, &out).IsOutOfRange());
+}
+
+TEST(ResultTest, MoveOnlyValueWorks) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(42);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).ValueUnsafe();
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(DateTest, RoundTripsThroughDayNumbers) {
+  Date d{1990, 1, 12};
+  EXPECT_EQ(Date::FromDayNumber(d.ToDayNumber()), d);
+  Date e{2026, 7, 6};
+  EXPECT_EQ(Date::FromDayNumber(e.ToDayNumber()), e);
+}
+
+TEST(DateTest, DayArithmeticMatchesCalendar) {
+  Date a{1990, 1, 12};
+  Date b{1990, 1, 14};
+  EXPECT_EQ(b.ToDayNumber() - a.ToDayNumber(), 2);
+  Date c{1990, 2, 1};
+  EXPECT_EQ(c.ToDayNumber() - a.ToDayNumber(), 20);
+  // Leap year: 1992.
+  EXPECT_EQ((Date{1992, 3, 1}).ToDayNumber() - (Date{1992, 2, 28}).ToDayNumber(),
+            2);
+  // Non-leap: 1990.
+  EXPECT_EQ((Date{1990, 3, 1}).ToDayNumber() - (Date{1990, 2, 28}).ToDayNumber(),
+            1);
+}
+
+TEST(DateTest, FormatsLikeThePaper) {
+  EXPECT_EQ((Date{1990, 1, 12}).ToString(), "Jan 12, 1990");
+  EXPECT_EQ((Date{1990, 12, 3}).ToString(), "Dec 3, 1990");
+}
+
+TEST(DateTest, ParsesPaperFormat) {
+  auto d = Date::Parse("Jan 14, 1990");
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(*d, (Date{1990, 1, 14}));
+  EXPECT_FALSE(Date::Parse("14 January 1990").ok());
+  EXPECT_FALSE(Date::Parse("Foo 14, 1990").ok());
+  EXPECT_FALSE(Date::Parse("Jan 99, 1990").ok());
+}
+
+TEST(ValueTest, KindsAndAccessors) {
+  EXPECT_TRUE(Value(true).is_bool());
+  EXPECT_TRUE(Value(int64_t{3}).is_int());
+  EXPECT_TRUE(Value(3.5).is_double());
+  EXPECT_TRUE(Value("hi").is_string());
+  EXPECT_TRUE(Value(Date{1990, 1, 1}).is_date());
+  EXPECT_TRUE(Value(Bytes{1, 2}).is_bytes());
+  EXPECT_EQ(Value(int64_t{3}).AsInt(), 3);
+  EXPECT_EQ(Value("hi").AsString(), "hi");
+}
+
+TEST(ValueTest, EqualityAndOrdering) {
+  EXPECT_EQ(Value(int64_t{5}), Value(5));
+  EXPECT_NE(Value(int64_t{5}), Value(int64_t{6}));
+  EXPECT_LT(Value(int64_t{5}), Value(int64_t{6}));
+  EXPECT_LT(Value("abc"), Value("abd"));
+  EXPECT_NE(Value(int64_t{1}), Value(1.0));  // Different kinds differ.
+  EXPECT_LT(Value(Date{1990, 1, 12}), Value(Date{1990, 1, 14}));
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value("x").Hash(), Value("x").Hash());
+  EXPECT_EQ(Value(Date{1990, 1, 12}).Hash(), Value(Date{1990, 1, 12}).Hash());
+  // Different kinds holding "the same" number hash independently; no
+  // requirement, but equal values must hash equal (checked above).
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(Value(true).ToString(), "true");
+  EXPECT_EQ(Value(int64_t{42}).ToString(), "42");
+  EXPECT_EQ(Value("rock").ToString(), "rock");
+  EXPECT_EQ(Value(Date{1990, 1, 14}).ToString(), "Jan 14, 1990");
+  EXPECT_EQ(Value(Bytes{0xAB, 0x01}).ToString(), "0xab01");
+}
+
+TEST(InternerTest, InternIsIdempotent) {
+  SymbolTable table;
+  Symbol a = table.Intern("Info");
+  Symbol b = table.Intern("Info");
+  Symbol c = table.Intern("Version");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(table.NameOf(a), "Info");
+  EXPECT_EQ(table.NameOf(c), "Version");
+}
+
+TEST(InternerTest, LookupDoesNotIntern) {
+  SymbolTable table;
+  EXPECT_EQ(table.Lookup("missing").id, SymbolTable::kInvalidId);
+  table.Intern("present");
+  EXPECT_NE(table.Lookup("present").id, SymbolTable::kInvalidId);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(InternerTest, GlobalSymbolsShared) {
+  Symbol a = Sym("links-to");
+  Symbol b = Sym("links-to");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(SymName(a), "links-to");
+}
+
+}  // namespace
+}  // namespace good

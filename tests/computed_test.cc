@@ -1,0 +1,222 @@
+/// Direct unit tests for the Section 4.1 external-function extension
+/// (ComputedEdgeAddition) and for instance restriction (footnote 4),
+/// which are otherwise only exercised through the method machinery.
+
+#include <gtest/gtest.h>
+
+#include "graph/restrict.h"
+#include "ops/computed.h"
+#include "pattern/builder.h"
+#include "schema/scheme.h"
+
+namespace good::ops {
+namespace {
+
+using graph::Instance;
+using graph::NodeId;
+using pattern::GraphBuilder;
+using schema::Scheme;
+
+Scheme CalcScheme() {
+  Scheme s;
+  s.AddObjectLabel(Sym("Item")).OrDie();
+  s.AddPrintableLabel(Sym("Num"), ValueKind::kInt).OrDie();
+  s.AddFunctionalEdgeLabel(Sym("a")).OrDie();
+  s.AddFunctionalEdgeLabel(Sym("b")).OrDie();
+  s.AddTriple(Sym("Item"), Sym("a"), Sym("Num")).OrDie();
+  s.AddTriple(Sym("Item"), Sym("b"), Sym("Num")).OrDie();
+  return s;
+}
+
+struct Db {
+  Scheme scheme = CalcScheme();
+  Instance g;
+  std::vector<NodeId> items;
+};
+
+Db MakeDb(std::vector<std::pair<int, int>> rows) {
+  Db db;
+  for (const auto& [a, b] : rows) {
+    NodeId item = *db.g.AddObjectNode(db.scheme, Sym("Item"));
+    NodeId na = *db.g.AddPrintableNode(db.scheme, Sym("Num"),
+                                       Value(int64_t{a}));
+    NodeId nb = *db.g.AddPrintableNode(db.scheme, Sym("Num"),
+                                       Value(int64_t{b}));
+    db.g.AddEdge(db.scheme, item, Sym("a"), na).OrDie();
+    db.g.AddEdge(db.scheme, item, Sym("b"), nb).OrDie();
+    db.items.push_back(item);
+  }
+  return db;
+}
+
+ComputedEdgeAddition SumAddition(const Scheme& scheme, NodeId* item_out) {
+  GraphBuilder b(scheme);
+  NodeId item = b.Object("Item");
+  NodeId na = b.Printable("Num");
+  NodeId nb = b.Printable("Num");
+  b.Edge(item, "a", na).Edge(item, "b", nb);
+  *item_out = item;
+  return ComputedEdgeAddition(
+      b.BuildOrDie(), {na, nb},
+      [](const std::vector<Value>& args) -> Result<Value> {
+        return Value(args[0].AsInt() + args[1].AsInt());
+      },
+      item, Sym("sum"), Sym("Num"), ValueKind::kInt);
+}
+
+TEST(ComputedEdgeAdditionTest, ComputesPerMatching) {
+  Db db = MakeDb({{1, 2}, {10, 20}, {0, 0}});
+  NodeId item{};
+  auto op = SumAddition(db.scheme, &item);
+  ApplyStats stats;
+  ASSERT_TRUE(op.Apply(&db.scheme, &db.g, &stats).ok());
+  EXPECT_EQ(stats.matchings, 3u);
+  EXPECT_EQ(stats.edges_added, 3u);
+  std::multiset<int64_t> sums;
+  for (NodeId it : db.items) {
+    auto target = db.g.FunctionalTarget(it, Sym("sum"));
+    ASSERT_TRUE(target.has_value());
+    sums.insert(db.g.PrintValueOf(*target)->AsInt());
+  }
+  EXPECT_EQ(sums, (std::multiset<int64_t>{0, 3, 30}));
+  // The scheme was minimally extended with the output triple.
+  EXPECT_TRUE(db.scheme.HasTriple(Sym("Item"), Sym("sum"), Sym("Num")));
+  EXPECT_TRUE(db.g.Validate(db.scheme).ok());
+}
+
+TEST(ComputedEdgeAdditionTest, MaterializesComputedConstants) {
+  // The computed value 30 exists nowhere in the instance beforehand.
+  Db db = MakeDb({{10, 20}});
+  EXPECT_FALSE(db.g.FindPrintable(Sym("Num"), Value(int64_t{30}))
+                   .has_value());
+  NodeId item{};
+  auto op = SumAddition(db.scheme, &item);
+  ASSERT_TRUE(op.Apply(&db.scheme, &db.g).ok());
+  EXPECT_TRUE(db.g.FindPrintable(Sym("Num"), Value(int64_t{30}))
+                  .has_value());
+}
+
+TEST(ComputedEdgeAdditionTest, IsIdempotent) {
+  Db db = MakeDb({{1, 2}});
+  NodeId item{};
+  auto op = SumAddition(db.scheme, &item);
+  op.Apply(&db.scheme, &db.g).OrDie();
+  ApplyStats stats;
+  ASSERT_TRUE(op.Apply(&db.scheme, &db.g, &stats).ok());
+  EXPECT_EQ(stats.edges_added, 0u);
+}
+
+TEST(ComputedEdgeAdditionTest, ConflictingExistingEdgeIsRejected) {
+  Db db = MakeDb({{1, 2}});
+  db.scheme.EnsureFunctionalEdgeLabel(Sym("sum")).OrDie();
+  db.scheme.EnsureTriple(Sym("Item"), Sym("sum"), Sym("Num")).OrDie();
+  NodeId wrong = *db.g.AddPrintableNode(db.scheme, Sym("Num"),
+                                        Value(int64_t{999}));
+  db.g.AddEdge(db.scheme, db.items[0], Sym("sum"), wrong).OrDie();
+  NodeId item{};
+  auto op = SumAddition(db.scheme, &item);
+  EXPECT_TRUE(op.Apply(&db.scheme, &db.g).IsFailedPrecondition());
+}
+
+TEST(ComputedEdgeAdditionTest, InputWithoutValueFails) {
+  Db db = MakeDb({});
+  NodeId item = *db.g.AddObjectNode(db.scheme, Sym("Item"));
+  NodeId va = *db.g.AddValuelessPrintableNode(db.scheme, Sym("Num"));
+  NodeId vb = *db.g.AddPrintableNode(db.scheme, Sym("Num"),
+                                     Value(int64_t{1}));
+  db.g.AddEdge(db.scheme, item, Sym("a"), va).OrDie();
+  db.g.AddEdge(db.scheme, item, Sym("b"), vb).OrDie();
+  NodeId pattern_item{};
+  auto op = SumAddition(db.scheme, &pattern_item);
+  EXPECT_TRUE(op.Apply(&db.scheme, &db.g).IsFailedPrecondition());
+}
+
+TEST(ComputedEdgeAdditionTest, ExternalFunctionErrorsPropagate) {
+  Db db = MakeDb({{1, 0}});
+  GraphBuilder b(db.scheme);
+  NodeId item = b.Object("Item");
+  NodeId na = b.Printable("Num");
+  NodeId nb = b.Printable("Num");
+  b.Edge(item, "a", na).Edge(item, "b", nb);
+  ComputedEdgeAddition div(
+      b.BuildOrDie(), {na, nb},
+      [](const std::vector<Value>& args) -> Result<Value> {
+        if (args[1].AsInt() == 0) {
+          return Status::InvalidArgument("division by zero");
+        }
+        return Value(args[0].AsInt() / args[1].AsInt());
+      },
+      item, Sym("ratio"), Sym("Num"), ValueKind::kInt);
+  EXPECT_TRUE(div.Apply(&db.scheme, &db.g).IsInvalidArgument());
+}
+
+TEST(ComputedEdgeAdditionTest, FiltersRestrictComputation) {
+  Db db = MakeDb({{1, 2}, {5, 5}});
+  NodeId item{};
+  auto op = SumAddition(db.scheme, &item);
+  op.set_filter([item](const pattern::Matching& m, const Instance& g) {
+    auto a = g.FunctionalTarget(m.At(item), Sym("a"));
+    return g.PrintValueOf(*a)->AsInt() > 3;
+  });
+  ApplyStats stats;
+  ASSERT_TRUE(op.Apply(&db.scheme, &db.g, &stats).ok());
+  EXPECT_EQ(stats.edges_added, 1u);  // Only the {5,5} item.
+}
+
+// ---------------------------------------------------------------------------
+// RestrictToScheme (footnote 4)
+// ---------------------------------------------------------------------------
+
+TEST(RestrictTest, DropsForeignLabelsAndUnlicensedEdges) {
+  Scheme full = CalcScheme();
+  full.AddObjectLabel(Sym("Temp")).OrDie();
+  full.AddFunctionalEdgeLabel(Sym("tmp")).OrDie();
+  full.AddTriple(Sym("Temp"), Sym("tmp"), Sym("Num")).OrDie();
+  full.AddFunctionalEdgeLabel(Sym("extra")).OrDie();
+  full.AddTriple(Sym("Item"), Sym("extra"), Sym("Num")).OrDie();
+
+  Instance g;
+  NodeId item = *g.AddObjectNode(full, Sym("Item"));
+  NodeId num = *g.AddPrintableNode(full, Sym("Num"), Value(int64_t{7}));
+  NodeId temp = *g.AddObjectNode(full, Sym("Temp"));
+  g.AddEdge(full, item, Sym("a"), num).OrDie();
+  g.AddEdge(full, item, Sym("extra"), num).OrDie();
+  g.AddEdge(full, temp, Sym("tmp"), num).OrDie();
+
+  // Restrict to the base scheme: Temp nodes vanish with their edges;
+  // the unlicensed "extra" edge vanishes; the licensed "a" edge stays.
+  Scheme base = CalcScheme();
+  ASSERT_TRUE(graph::RestrictToScheme(base, &g).ok());
+  EXPECT_TRUE(g.HasNode(item));
+  EXPECT_TRUE(g.HasNode(num));
+  EXPECT_FALSE(g.HasNode(temp));
+  EXPECT_TRUE(g.HasEdge(item, Sym("a"), num));
+  EXPECT_FALSE(g.HasEdge(item, Sym("extra"), num));
+  EXPECT_TRUE(g.Validate(base).ok());
+}
+
+TEST(RestrictTest, RestrictionToSameSchemeIsIdentity) {
+  Scheme s = CalcScheme();
+  Instance g;
+  NodeId item = *g.AddObjectNode(s, Sym("Item"));
+  NodeId num = *g.AddPrintableNode(s, Sym("Num"), Value(int64_t{1}));
+  g.AddEdge(s, item, Sym("a"), num).OrDie();
+  std::string before = g.Fingerprint();
+  ASSERT_TRUE(graph::RestrictToScheme(s, &g).ok());
+  EXPECT_EQ(g.Fingerprint(), before);
+}
+
+TEST(RestrictTest, DomainMismatchDropsPrintables) {
+  Scheme full = CalcScheme();
+  Instance g;
+  (void)*g.AddPrintableNode(full, Sym("Num"), Value(int64_t{1}));
+  // A scheme where Num has a different domain: the node must go.
+  Scheme other;
+  other.AddObjectLabel(Sym("Item")).OrDie();
+  other.AddPrintableLabel(Sym("Num"), ValueKind::kString).OrDie();
+  ASSERT_TRUE(graph::RestrictToScheme(other, &g).ok());
+  EXPECT_EQ(g.num_nodes(), 0u);
+}
+
+}  // namespace
+}  // namespace good::ops

@@ -1,0 +1,80 @@
+/// Tests for the synthetic workload generators.
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "hypermedia/hypermedia.h"
+
+namespace good::gen {
+namespace {
+
+using schema::Scheme;
+
+class GenTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    scheme_ = hypermedia::BuildScheme().ValueOrDie();
+  }
+  Scheme scheme_;
+};
+
+TEST_F(GenTest, ScaledHyperMediaValidatesAndScales) {
+  HyperMediaOptions options;
+  options.num_docs = 50;
+  options.links_per_doc = 2;
+  options.num_versions = 5;
+  auto g = ScaledHyperMedia(scheme_, options).ValueOrDie();
+  EXPECT_TRUE(g.Validate(scheme_).ok());
+  const auto& l = hypermedia::Labels::Get();
+  EXPECT_EQ(g.CountNodesWithLabel(l.info), 50u);
+  EXPECT_EQ(g.CountNodesWithLabel(l.version), 5u);
+  EXPECT_EQ(g.CountNodesWithLabel(l.date), options.distinct_dates);
+  // Every doc has a created edge.
+  for (auto doc : g.NodesWithLabel(l.info)) {
+    EXPECT_TRUE(g.FunctionalTarget(doc, l.created).has_value());
+  }
+}
+
+TEST_F(GenTest, ScaledHyperMediaIsDeterministicPerSeed) {
+  HyperMediaOptions options;
+  options.num_docs = 30;
+  auto a = ScaledHyperMedia(scheme_, options).ValueOrDie();
+  auto b = ScaledHyperMedia(scheme_, options).ValueOrDie();
+  EXPECT_EQ(a.Fingerprint(), b.Fingerprint());
+  options.seed = 7;
+  auto c = ScaledHyperMedia(scheme_, options).ValueOrDie();
+  EXPECT_NE(a.Fingerprint(), c.Fingerprint());
+}
+
+TEST_F(GenTest, NamedPercentControlsNames) {
+  HyperMediaOptions options;
+  options.num_docs = 40;
+  options.named_percent = 0;
+  auto g = ScaledHyperMedia(scheme_, options).ValueOrDie();
+  EXPECT_EQ(g.CountNodesWithLabel(hypermedia::Labels::Get().string), 0u);
+}
+
+TEST_F(GenTest, RandomInfoGraphRespectsBounds) {
+  auto g = RandomInfoGraph(scheme_, 20, 40, 1).ValueOrDie();
+  EXPECT_TRUE(g.Validate(scheme_).ok());
+  EXPECT_EQ(g.num_nodes(), 20u);
+  EXPECT_LE(g.num_edges(), 40u);  // Self/duplicate draws are skipped.
+}
+
+TEST_F(GenTest, InfoChainIsAPath) {
+  auto g = InfoChain(scheme_, 10).ValueOrDie();
+  EXPECT_EQ(g.num_nodes(), 10u);
+  EXPECT_EQ(g.num_edges(), 9u);
+  EXPECT_TRUE(g.Validate(scheme_).ok());
+}
+
+TEST_F(GenTest, VersionChainsBuildChains) {
+  auto g = VersionChains(scheme_, 3, 6, 4, 2).ValueOrDie();
+  EXPECT_TRUE(g.Validate(scheme_).ok());
+  const auto& l = hypermedia::Labels::Get();
+  EXPECT_EQ(g.CountNodesWithLabel(l.version), 3u * 5u);
+  EXPECT_EQ(g.CountNodesWithLabel(l.info), 4u + 3u * 6u);
+}
+
+}  // namespace
+}  // namespace good::gen

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "graph/instance.h"
+#include "graph/isomorphism.h"
+#include "schema/scheme.h"
+
+namespace good::graph {
+namespace {
+
+using schema::Scheme;
+
+Scheme RingScheme() {
+  Scheme s;
+  s.AddObjectLabel(Sym("N")).OrDie();
+  s.AddObjectLabel(Sym("M")).OrDie();
+  s.AddPrintableLabel(Sym("V"), ValueKind::kInt).OrDie();
+  s.AddFunctionalEdgeLabel(Sym("val")).OrDie();
+  s.AddMultivaluedEdgeLabel(Sym("next")).OrDie();
+  s.AddTriple(Sym("N"), Sym("next"), Sym("N")).OrDie();
+  s.AddTriple(Sym("N"), Sym("val"), Sym("V")).OrDie();
+  return s;
+}
+
+Instance Ring(const Scheme& s, int n) {
+  Instance g;
+  std::vector<NodeId> nodes;
+  for (int i = 0; i < n; ++i) nodes.push_back(*g.AddObjectNode(s, Sym("N")));
+  for (int i = 0; i < n; ++i) {
+    g.AddEdge(s, nodes[i], Sym("next"), nodes[(i + 1) % n]).OrDie();
+  }
+  return g;
+}
+
+TEST(IsomorphismTest, EmptyInstancesAreIsomorphic) {
+  Instance a, b;
+  EXPECT_TRUE(IsIsomorphic(a, b));
+}
+
+TEST(IsomorphismTest, RingsOfSameSizeAreIsomorphic) {
+  Scheme s = RingScheme();
+  EXPECT_TRUE(IsIsomorphic(Ring(s, 5), Ring(s, 5)));
+}
+
+TEST(IsomorphismTest, RingsOfDifferentSizeAreNot) {
+  Scheme s = RingScheme();
+  EXPECT_FALSE(IsIsomorphic(Ring(s, 5), Ring(s, 6)));
+}
+
+TEST(IsomorphismTest, OneRingVsTwoRings) {
+  // Same node and edge counts, same degree sequences: a 6-ring vs two
+  // 3-rings. Only a true isomorphism check separates them.
+  Scheme s = RingScheme();
+  Instance six = Ring(s, 6);
+  Instance two_threes = Ring(s, 3);
+  {
+    std::vector<NodeId> nodes;
+    for (int i = 0; i < 3; ++i) {
+      nodes.push_back(*two_threes.AddObjectNode(s, Sym("N")));
+    }
+    for (int i = 0; i < 3; ++i) {
+      two_threes.AddEdge(s, nodes[i], Sym("next"), nodes[(i + 1) % 3])
+          .OrDie();
+    }
+  }
+  EXPECT_FALSE(IsIsomorphic(six, two_threes));
+}
+
+TEST(IsomorphismTest, LabelsMatter) {
+  Scheme s = RingScheme();
+  Instance a;
+  (void)*a.AddObjectNode(s, Sym("N"));
+  Instance b;
+  (void)*b.AddObjectNode(s, Sym("M"));
+  EXPECT_FALSE(IsIsomorphic(a, b));
+}
+
+TEST(IsomorphismTest, PrintValuesMatter) {
+  Scheme s = RingScheme();
+  Instance a;
+  (void)*a.AddPrintableNode(s, Sym("V"), Value(int64_t{1}));
+  Instance b;
+  (void)*b.AddPrintableNode(s, Sym("V"), Value(int64_t{2}));
+  EXPECT_FALSE(IsIsomorphic(a, b));
+  Instance c;
+  (void)*c.AddPrintableNode(s, Sym("V"), Value(int64_t{1}));
+  EXPECT_TRUE(IsIsomorphic(a, c));
+}
+
+TEST(IsomorphismTest, EdgeDirectionMatters) {
+  Scheme s = RingScheme();
+  Instance a;
+  NodeId a1 = *a.AddObjectNode(s, Sym("N"));
+  NodeId a2 = *a.AddObjectNode(s, Sym("N"));
+  a.AddEdge(s, a1, Sym("next"), a2).OrDie();
+  a.AddEdge(s, a1, Sym("next"), a1).OrDie();
+  Instance b;
+  NodeId b1 = *b.AddObjectNode(s, Sym("N"));
+  NodeId b2 = *b.AddObjectNode(s, Sym("N"));
+  b.AddEdge(s, b1, Sym("next"), b2).OrDie();
+  b.AddEdge(s, b2, Sym("next"), b2).OrDie();
+  EXPECT_FALSE(IsIsomorphic(a, b));
+}
+
+TEST(IsomorphismTest, MappingIsReturnedAndValid) {
+  Scheme s = RingScheme();
+  Instance a = Ring(s, 4);
+  Instance b = Ring(s, 4);
+  auto mapping = FindIsomorphism(a, b);
+  ASSERT_TRUE(mapping.ok());
+  EXPECT_EQ(mapping->size(), 4u);
+  // Verify the mapping preserves edges.
+  for (const Edge& e : a.AllEdges()) {
+    EXPECT_TRUE(
+        b.HasEdge(mapping->at(e.source), e.label, mapping->at(e.target)));
+  }
+}
+
+TEST(IsomorphismTest, IdRenamingIsIsomorphic) {
+  Scheme s = RingScheme();
+  Instance a;
+  NodeId n1 = *a.AddObjectNode(s, Sym("N"));
+  NodeId n2 = *a.AddObjectNode(s, Sym("N"));
+  NodeId v = *a.AddPrintableNode(s, Sym("V"), Value(int64_t{7}));
+  a.AddEdge(s, n1, Sym("next"), n2).OrDie();
+  a.AddEdge(s, n1, Sym("val"), v).OrDie();
+
+  // Same graph built in a different order with interleaved garbage.
+  Instance b;
+  NodeId junk = *b.AddObjectNode(s, Sym("N"));
+  NodeId m2 = *b.AddObjectNode(s, Sym("N"));
+  b.RemoveNode(junk).OrDie();
+  NodeId m1 = *b.AddObjectNode(s, Sym("N"));
+  NodeId w = *b.AddPrintableNode(s, Sym("V"), Value(int64_t{7}));
+  b.AddEdge(s, m1, Sym("next"), m2).OrDie();
+  b.AddEdge(s, m1, Sym("val"), w).OrDie();
+
+  EXPECT_TRUE(IsIsomorphic(a, b));
+}
+
+}  // namespace
+}  // namespace good::graph

@@ -1,0 +1,281 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "graph/instance.h"
+#include "pattern/builder.h"
+#include "pattern/matcher.h"
+#include "schema/scheme.h"
+
+namespace good::pattern {
+namespace {
+
+using graph::Instance;
+using graph::NodeId;
+using schema::Scheme;
+
+Scheme ChainScheme() {
+  Scheme s;
+  s.AddObjectLabel(Sym("N")).OrDie();
+  s.AddPrintableLabel(Sym("V"), ValueKind::kInt).OrDie();
+  s.AddFunctionalEdgeLabel(Sym("val")).OrDie();
+  s.AddMultivaluedEdgeLabel(Sym("next")).OrDie();
+  s.AddTriple(Sym("N"), Sym("next"), Sym("N")).OrDie();
+  s.AddTriple(Sym("N"), Sym("val"), Sym("V")).OrDie();
+  return s;
+}
+
+/// Builds a directed path of `n` N-nodes with val i on node i.
+Instance ChainInstance(const Scheme& s, int n) {
+  Instance g;
+  std::vector<NodeId> nodes;
+  for (int i = 0; i < n; ++i) {
+    NodeId node = *g.AddObjectNode(s, Sym("N"));
+    NodeId v = *g.AddPrintableNode(s, Sym("V"), Value(int64_t{i}));
+    g.AddEdge(s, node, Sym("val"), v).OrDie();
+    nodes.push_back(node);
+  }
+  for (int i = 0; i + 1 < n; ++i) {
+    g.AddEdge(s, nodes[i], Sym("next"), nodes[i + 1]).OrDie();
+  }
+  return g;
+}
+
+TEST(MatcherTest, EmptyPatternHasExactlyOneMatching) {
+  Scheme s = ChainScheme();
+  Instance g = ChainInstance(s, 3);
+  Pattern empty;
+  auto matchings = FindMatchings(empty, g);
+  ASSERT_EQ(matchings.size(), 1u);
+  EXPECT_EQ(matchings[0].size(), 0u);
+  // Even in an empty instance.
+  Instance nothing;
+  EXPECT_EQ(FindMatchings(empty, nothing).size(), 1u);
+}
+
+TEST(MatcherTest, SingleNodePatternMatchesEveryLabeledNode) {
+  Scheme s = ChainScheme();
+  Instance g = ChainInstance(s, 5);
+  GraphBuilder b(s);
+  b.Object("N");
+  Pattern p = b.BuildOrDie();
+  EXPECT_EQ(FindMatchings(p, g).size(), 5u);
+}
+
+TEST(MatcherTest, EdgePatternCountsPaths) {
+  Scheme s = ChainScheme();
+  Instance g = ChainInstance(s, 5);
+  GraphBuilder b(s);
+  NodeId x = b.Object("N");
+  NodeId y = b.Object("N");
+  b.Edge(x, "next", y);
+  Pattern p = b.BuildOrDie();
+  EXPECT_EQ(FindMatchings(p, g).size(), 4u);  // 4 consecutive pairs.
+}
+
+TEST(MatcherTest, PathOfLengthTwo) {
+  Scheme s = ChainScheme();
+  Instance g = ChainInstance(s, 5);
+  GraphBuilder b(s);
+  NodeId x = b.Object("N");
+  NodeId y = b.Object("N");
+  NodeId z = b.Object("N");
+  b.Edge(x, "next", y).Edge(y, "next", z);
+  Pattern p = b.BuildOrDie();
+  EXPECT_EQ(FindMatchings(p, g).size(), 3u);
+}
+
+TEST(MatcherTest, PrintValueFiltersCandidates) {
+  Scheme s = ChainScheme();
+  Instance g = ChainInstance(s, 5);
+  GraphBuilder b(s);
+  NodeId x = b.Object("N");
+  NodeId v = b.Printable("V", Value(int64_t{2}));
+  b.Edge(x, "val", v);
+  Pattern p = b.BuildOrDie();
+  auto matchings = FindMatchings(p, g);
+  ASSERT_EQ(matchings.size(), 1u);
+  // And the matched node must be the one whose val is 2.
+  NodeId matched = matchings[0].At(x);
+  NodeId value = *g.FunctionalTarget(matched, Sym("val"));
+  EXPECT_EQ(*g.PrintValueOf(value), Value(int64_t{2}));
+}
+
+TEST(MatcherTest, ValuelessPrintableActsAsWildcard) {
+  Scheme s = ChainScheme();
+  Instance g = ChainInstance(s, 4);
+  GraphBuilder b(s);
+  NodeId x = b.Object("N");
+  NodeId v = b.Printable("V");  // No value: matches any V node.
+  b.Edge(x, "val", v);
+  Pattern p = b.BuildOrDie();
+  EXPECT_EQ(FindMatchings(p, g).size(), 4u);
+}
+
+TEST(MatcherTest, MatchingsAreHomomorphismsNotEmbeddings) {
+  // Instance: a single node with a self-loop. Pattern: an edge between
+  // two distinct pattern nodes. The homomorphism maps both pattern nodes
+  // onto the single instance node.
+  Scheme s = ChainScheme();
+  Instance g;
+  NodeId a = *g.AddObjectNode(s, Sym("N"));
+  g.AddEdge(s, a, Sym("next"), a).OrDie();
+  GraphBuilder b(s);
+  NodeId x = b.Object("N");
+  NodeId y = b.Object("N");
+  b.Edge(x, "next", y);
+  Pattern p = b.BuildOrDie();
+  auto matchings = FindMatchings(p, g);
+  ASSERT_EQ(matchings.size(), 1u);
+  EXPECT_EQ(matchings[0].At(x), a);
+  EXPECT_EQ(matchings[0].At(y), a);
+}
+
+TEST(MatcherTest, DisconnectedPatternTakesCrossProduct) {
+  Scheme s = ChainScheme();
+  Instance g = ChainInstance(s, 3);
+  GraphBuilder b(s);
+  b.Object("N");
+  b.Object("N");
+  Pattern p = b.BuildOrDie();
+  EXPECT_EQ(FindMatchings(p, g).size(), 9u);  // 3 x 3 total maps.
+}
+
+TEST(MatcherTest, NoMatchWhenLabelAbsent) {
+  Scheme s = ChainScheme();
+  s.AddObjectLabel(Sym("Ghost")).OrDie();
+  Instance g = ChainInstance(s, 3);
+  GraphBuilder b(s);
+  b.Object("Ghost");
+  Pattern p = b.BuildOrDie();
+  EXPECT_TRUE(FindMatchings(p, g).empty());
+}
+
+TEST(MatcherTest, LimitStopsEnumeration) {
+  Scheme s = ChainScheme();
+  Instance g = ChainInstance(s, 10);
+  GraphBuilder b(s);
+  b.Object("N");
+  Pattern p = b.BuildOrDie();
+  Matcher limited(p, g, MatchOptions{3});
+  EXPECT_EQ(limited.Count(), 3u);
+  Matcher m(p, g);
+  EXPECT_TRUE(m.Exists());
+}
+
+TEST(MatcherTest, CallbackCanAbort) {
+  Scheme s = ChainScheme();
+  Instance g = ChainInstance(s, 10);
+  GraphBuilder b(s);
+  b.Object("N");
+  Pattern p = b.BuildOrDie();
+  size_t seen = 0;
+  Matcher(p, g).ForEach([&](const Matching&) {
+    ++seen;
+    return seen < 2;
+  });
+  EXPECT_EQ(seen, 2u);
+}
+
+TEST(MatcherTest, CyclePatternInCycleInstance) {
+  Scheme s = ChainScheme();
+  Instance g;
+  std::vector<NodeId> ring;
+  for (int i = 0; i < 4; ++i) ring.push_back(*g.AddObjectNode(s, Sym("N")));
+  for (int i = 0; i < 4; ++i) {
+    g.AddEdge(s, ring[i], Sym("next"), ring[(i + 1) % 4]).OrDie();
+  }
+  // Pattern: a directed 2-cycle. A 4-cycle contains no 2-cycle.
+  GraphBuilder b2(s);
+  NodeId x = b2.Object("N");
+  NodeId y = b2.Object("N");
+  b2.Edge(x, "next", y).Edge(y, "next", x);
+  EXPECT_TRUE(FindMatchings(b2.BuildOrDie(), g).empty());
+  // Pattern: a directed 4-cycle. Matches at each rotation.
+  GraphBuilder b4(s);
+  std::vector<NodeId> pn;
+  for (int i = 0; i < 4; ++i) pn.push_back(b4.Object("N"));
+  for (int i = 0; i < 4; ++i) b4.Edge(pn[i], "next", pn[(i + 1) % 4]);
+  EXPECT_EQ(FindMatchings(b4.BuildOrDie(), g).size(), 4u);
+}
+
+// --- Differential test against the brute-force reference matcher. ---
+
+class MatcherDifferentialTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MatcherDifferentialTest, AgreesWithBruteForceOnRandomGraphs) {
+  const int seed = GetParam();
+  std::mt19937 rng(seed);
+  Scheme s;
+  s.AddObjectLabel(Sym("A")).OrDie();
+  s.AddObjectLabel(Sym("B")).OrDie();
+  s.AddPrintableLabel(Sym("P"), ValueKind::kInt).OrDie();
+  s.AddFunctionalEdgeLabel(Sym("f")).OrDie();
+  s.AddMultivaluedEdgeLabel(Sym("m")).OrDie();
+  s.AddMultivaluedEdgeLabel(Sym("m2")).OrDie();
+  s.AddTriple(Sym("A"), Sym("m"), Sym("B")).OrDie();
+  s.AddTriple(Sym("A"), Sym("m2"), Sym("A")).OrDie();
+  s.AddTriple(Sym("B"), Sym("m"), Sym("B")).OrDie();
+  s.AddTriple(Sym("B"), Sym("f"), Sym("P")).OrDie();
+
+  // Random instance.
+  Instance g;
+  std::vector<NodeId> as, bs;
+  int na = 3 + static_cast<int>(rng() % 4);
+  int nb = 3 + static_cast<int>(rng() % 4);
+  for (int i = 0; i < na; ++i) as.push_back(*g.AddObjectNode(s, Sym("A")));
+  for (int i = 0; i < nb; ++i) bs.push_back(*g.AddObjectNode(s, Sym("B")));
+  for (NodeId a : as) {
+    for (NodeId b : bs) {
+      if (rng() % 3 == 0) g.AddEdge(s, a, Sym("m"), b).OrDie();
+    }
+    for (NodeId a2 : as) {
+      if (rng() % 4 == 0) g.AddEdge(s, a, Sym("m2"), a2).OrDie();
+    }
+  }
+  for (NodeId b : bs) {
+    for (NodeId b2 : bs) {
+      if (rng() % 3 == 0) g.AddEdge(s, b, Sym("m"), b2).OrDie();
+    }
+    if (rng() % 2 == 0) {
+      NodeId v =
+          *g.AddPrintableNode(s, Sym("P"), Value(int64_t(rng() % 3)));
+      g.AddEdge(s, b, Sym("f"), v).OrDie();
+    }
+  }
+
+  // Random small pattern: A -m-> B -m-> B, optionally with value.
+  GraphBuilder pb(s);
+  NodeId pa = pb.Object("A");
+  NodeId pb1 = pb.Object("B");
+  NodeId pb2 = pb.Object("B");
+  pb.Edge(pa, "m", pb1);
+  if (rng() % 2 == 0) pb.Edge(pb1, "m", pb2);
+  if (rng() % 2 == 0) {
+    NodeId pv = pb.Printable("P", Value(int64_t(rng() % 3)));
+    pb.Edge(pb2, "f", pv);
+  }
+  Pattern p = pb.BuildOrDie();
+
+  auto fast = FindMatchings(p, g);
+  auto slow = FindMatchingsBruteForce(p, g);
+  ASSERT_EQ(fast.size(), slow.size()) << "seed=" << seed;
+  // Compare as sets of matchings.
+  auto key = [&](const Matching& m) {
+    std::string k;
+    for (NodeId n : p.AllNodes()) {
+      k += std::to_string(m.At(n).id) + ",";
+    }
+    return k;
+  };
+  std::set<std::string> fast_keys, slow_keys;
+  for (const auto& m : fast) fast_keys.insert(key(m));
+  for (const auto& m : slow) slow_keys.insert(key(m));
+  EXPECT_EQ(fast_keys, slow_keys) << "seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatcherDifferentialTest,
+                         ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace good::pattern

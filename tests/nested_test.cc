@@ -1,0 +1,161 @@
+/// Tests for the nested relational algebra simulation (Section 4.3):
+/// NEST/UNNEST via abstraction, with faithfulness (shared set objects)
+/// checked explicitly and differentially against direct references.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "nested/nested.h"
+
+namespace good::nested {
+namespace {
+
+Value I(int64_t v) { return Value(v); }
+Value S(std::string_view v) { return Value(std::string(v)); }
+
+codd::RelSchema EnrollSchema() {
+  return codd::RelSchema{"Enroll",
+                         {{"student", ValueKind::kString},
+                          {"course", ValueKind::kString}}};
+}
+
+std::vector<std::vector<Value>> EnrollRows() {
+  return {
+      {S("ann"), S("math")}, {S("ann"), S("art")},
+      {S("bob"), S("math")}, {S("bob"), S("art")},
+      {S("cho"), S("art")},
+  };
+}
+
+NestedSimulator LoadedEnroll() {
+  NestedSimulator sim;
+  sim.DeclareFlat(EnrollSchema()).OrDie();
+  for (const auto& row : EnrollRows()) {
+    sim.InsertFlat("Enroll", row).OrDie();
+  }
+  return sim;
+}
+
+TEST(DirectNestTest, GroupsByKeyPrefix) {
+  NestedRelation nested = DirectNest(EnrollRows());
+  ASSERT_EQ(nested.size(), 3u);
+  NestedRow ann{{S("ann")}, {S("math"), S("art")}};
+  NestedRow cho{{S("cho")}, {S("art")}};
+  EXPECT_TRUE(nested.contains(ann));
+  EXPECT_TRUE(nested.contains(cho));
+}
+
+TEST(DirectNestTest, UnnestInvertsNest) {
+  auto rows = EnrollRows();
+  std::set<std::vector<Value>> as_set(rows.begin(), rows.end());
+  EXPECT_EQ(DirectUnnest(DirectNest(rows)), as_set);
+}
+
+TEST(NestedSimulatorTest, NestMatchesDirectReference) {
+  NestedSimulator sim = LoadedEnroll();
+  sim.Nest("Enroll", "Student").OrDie();
+  auto nested = sim.ExportNested("Student").ValueOrDie();
+  EXPECT_EQ(nested, DirectNest(EnrollRows()));
+  EXPECT_TRUE(sim.instance().Validate(sim.scheme()).ok());
+}
+
+TEST(NestedSimulatorTest, AbstractionSharesEqualValueSets) {
+  // ann and bob both take {math, art}: faithfulness demands ONE shared
+  // set object for them plus one for cho — 2 set objects for 3 groups.
+  NestedSimulator sim = LoadedEnroll();
+  sim.Nest("Enroll", "Student").OrDie();
+  EXPECT_EQ(sim.CountSetObjects("Student"), 2u);
+  // And ann and bob point at the SAME object.
+  const auto& g = sim.instance();
+  graph::NodeId ann_set, bob_set;
+  for (graph::NodeId group : g.NodesWithLabel(Sym("Student"))) {
+    auto name = g.FunctionalTarget(group, Sym("student"));
+    auto vs = g.FunctionalTarget(group, Sym("value-set"));
+    ASSERT_TRUE(name.has_value() && vs.has_value());
+    if (*g.PrintValueOf(*name) == S("ann")) ann_set = *vs;
+    if (*g.PrintValueOf(*name) == S("bob")) bob_set = *vs;
+  }
+  EXPECT_EQ(ann_set, bob_set);
+}
+
+TEST(NestedSimulatorTest, UnnestRoundTripsThroughGood) {
+  NestedSimulator sim = LoadedEnroll();
+  sim.Nest("Enroll", "Student").OrDie();
+  sim.Unnest("Student", "Flat2").OrDie();
+  auto rows = EnrollRows();
+  std::set<std::vector<Value>> expected(rows.begin(), rows.end());
+  EXPECT_EQ(sim.ExportFlat("Flat2").ValueOrDie(), expected);
+}
+
+TEST(NestedSimulatorTest, MultiKeyNesting) {
+  NestedSimulator sim;
+  sim.DeclareFlat(codd::RelSchema{"R",
+                                  {{"a", ValueKind::kInt},
+                                   {"b", ValueKind::kInt},
+                                   {"c", ValueKind::kInt}}})
+      .OrDie();
+  std::vector<std::vector<Value>> rows = {
+      {I(1), I(1), I(10)}, {I(1), I(1), I(20)}, {I(1), I(2), I(10)},
+      {I(2), I(1), I(10)}, {I(2), I(1), I(20)},
+  };
+  for (const auto& row : rows) sim.InsertFlat("R", row).OrDie();
+  sim.Nest("R", "G").OrDie();
+  EXPECT_EQ(sim.ExportNested("G").ValueOrDie(), DirectNest(rows));
+  // {10,20} shared by (1,1) and (2,1); {10} for (1,2): 2 set objects.
+  EXPECT_EQ(sim.CountSetObjects("G"), 2u);
+  sim.Unnest("G", "R2").OrDie();
+  std::set<std::vector<Value>> expected(rows.begin(), rows.end());
+  EXPECT_EQ(sim.ExportFlat("R2").ValueOrDie(), expected);
+}
+
+TEST(NestedSimulatorTest, ValidationErrors) {
+  NestedSimulator sim;
+  EXPECT_TRUE(sim.DeclareFlat(codd::RelSchema{"X",
+                                              {{"only", ValueKind::kInt}}})
+                  .IsInvalidArgument());
+  sim.DeclareFlat(EnrollSchema()).OrDie();
+  EXPECT_TRUE(sim.DeclareFlat(EnrollSchema()).IsAlreadyExists());
+  EXPECT_TRUE(sim.InsertFlat("Ghost", {I(1)}).IsNotFound());
+  EXPECT_TRUE(sim.InsertFlat("Enroll", {S("x")}).IsInvalidArgument());
+  EXPECT_TRUE(sim.Nest("Ghost", "G").IsNotFound());
+  EXPECT_TRUE(sim.Unnest("Ghost", "F").IsNotFound());
+  EXPECT_TRUE(sim.ExportNested("Ghost").status().IsNotFound());
+}
+
+class NestedDifferentialTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(NestedDifferentialTest, RandomNestUnnestAgree) {
+  std::mt19937 rng(GetParam());
+  NestedSimulator sim;
+  sim.DeclareFlat(codd::RelSchema{"R",
+                                  {{"k", ValueKind::kInt},
+                                   {"v", ValueKind::kInt}}})
+      .OrDie();
+  std::set<std::vector<Value>> unique_rows;
+  int n = 2 + static_cast<int>(rng() % 8);
+  for (int i = 0; i < n; ++i) {
+    std::vector<Value> row{I(static_cast<int64_t>(rng() % 3)),
+                           I(static_cast<int64_t>(rng() % 4))};
+    if (unique_rows.insert(row).second) sim.InsertFlat("R", row).OrDie();
+  }
+  std::vector<std::vector<Value>> rows(unique_rows.begin(),
+                                       unique_rows.end());
+  sim.Nest("R", "G").OrDie();
+  auto nested = sim.ExportNested("G").ValueOrDie();
+  auto expected = DirectNest(rows);
+  EXPECT_EQ(nested, expected) << "seed=" << GetParam();
+  // Faithfulness: #set objects == #distinct value sets.
+  std::set<std::set<Value>> distinct_sets;
+  for (const NestedRow& row : expected) distinct_sets.insert(row.set_values);
+  EXPECT_EQ(sim.CountSetObjects("G"), distinct_sets.size());
+  // Round trip.
+  sim.Unnest("G", "R2").OrDie();
+  EXPECT_EQ(sim.ExportFlat("R2").ValueOrDie(), unique_rows);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NestedDifferentialTest,
+                         ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace good::nested

@@ -1,0 +1,192 @@
+/// Round-trip tests for the operation/program text format: every figure
+/// operation serializes, parses back, and the parsed operation has the
+/// same effect on the database as the original.
+
+#include <gtest/gtest.h>
+
+#include "graph/isomorphism.h"
+#include "hypermedia/hypermedia.h"
+#include "hypermedia/methods.h"
+#include "method/method.h"
+#include "program/op_serialize.h"
+
+namespace good::program {
+namespace {
+
+using graph::Instance;
+using method::Operation;
+using schema::Scheme;
+
+class OpSerializeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    scheme_ = hypermedia::BuildScheme().ValueOrDie();
+  }
+
+  /// Applies `op` and its parse(write(op)) round-trip to two copies of
+  /// the paper instance; the results must be isomorphic (and the text
+  /// must re-serialize identically).
+  void ExpectRoundTripEquivalent(const Operation& op) {
+    std::string text = WriteOperation(scheme_, op).ValueOrDie();
+    auto reparsed = ParseOperation(scheme_, text);
+    ASSERT_TRUE(reparsed.ok()) << reparsed.status() << "\n" << text;
+    std::string text2 = WriteOperation(scheme_, *reparsed).ValueOrDie();
+    EXPECT_EQ(text, text2);
+
+    Scheme s1 = scheme_;
+    Scheme s2 = scheme_;
+    Instance g1 =
+        std::move(hypermedia::BuildInstance(s1).ValueOrDie().instance);
+    Instance g2 =
+        std::move(hypermedia::BuildInstance(s2).ValueOrDie().instance);
+    method::MethodRegistry registry;
+    method::Executor e1(&registry);
+    method::Executor e2(&registry);
+    ASSERT_TRUE(e1.Execute(op, &s1, &g1).ok());
+    ASSERT_TRUE(e2.Execute(*reparsed, &s2, &g2).ok());
+    EXPECT_TRUE(graph::IsIsomorphic(g1, g2)) << text;
+    EXPECT_TRUE(s1 == s2);
+  }
+
+  Scheme scheme_;
+};
+
+TEST_F(OpSerializeTest, Fig6NodeAdditionRoundTrips) {
+  ExpectRoundTripEquivalent(
+      hypermedia::Fig6NodeAddition(scheme_).ValueOrDie());
+}
+
+TEST_F(OpSerializeTest, Fig8AggregateRoundTrips) {
+  ExpectRoundTripEquivalent(
+      hypermedia::Fig8NodeAddition(scheme_).ValueOrDie());
+}
+
+TEST_F(OpSerializeTest, Fig10EdgeAdditionRoundTrips) {
+  ExpectRoundTripEquivalent(
+      hypermedia::Fig10EdgeAddition(scheme_).ValueOrDie());
+}
+
+TEST_F(OpSerializeTest, Fig12EmptyPatternRoundTrips) {
+  ExpectRoundTripEquivalent(
+      hypermedia::Fig12NodeAddition(scheme_).ValueOrDie());
+}
+
+TEST_F(OpSerializeTest, Fig14NodeDeletionRoundTrips) {
+  ExpectRoundTripEquivalent(
+      hypermedia::Fig14NodeDeletion(scheme_).ValueOrDie());
+}
+
+TEST_F(OpSerializeTest, Fig16EdgeDeletionRoundTrips) {
+  ExpectRoundTripEquivalent(
+      hypermedia::Fig16EdgeDeletion(scheme_).ValueOrDie());
+}
+
+TEST_F(OpSerializeTest, Fig18AbstractionRoundTrips) {
+  // Use the version instance (the abstraction's natural habitat).
+  auto fig18 = hypermedia::Fig18Abstraction(scheme_).ValueOrDie();
+  // Serialize the two tag NAs and the AB as a program.
+  Scheme extended = scheme_;
+  extended.EnsureObjectLabel(Sym("Interested")).OrDie();
+  extended.EnsureFunctionalEdgeLabel(Sym("interested-in")).OrDie();
+  extended.EnsureTriple(Sym("Interested"), Sym("interested-in"), Sym("Info"))
+      .OrDie();
+  std::vector<Operation> ops;
+  ops.emplace_back(fig18.tag_new);
+  ops.emplace_back(fig18.tag_old);
+  ops.emplace_back(fig18.abstraction);
+  std::string text = WriteOperations(scheme_, ops).ValueOrDie();
+  auto reparsed = ParseOperations(extended, text);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  ASSERT_EQ(reparsed->size(), 3u);
+
+  Scheme s1 = scheme_;
+  Scheme s2 = scheme_;
+  Instance g1 = hypermedia::BuildVersionInstance(s1).ValueOrDie();
+  Instance g2 = hypermedia::BuildVersionInstance(s2).ValueOrDie();
+  method::MethodRegistry registry;
+  method::Executor e1(&registry);
+  method::Executor e2(&registry);
+  ASSERT_TRUE(e1.ExecuteAll(ops, &s1, &g1).ok());
+  ASSERT_TRUE(e2.ExecuteAll(*reparsed, &s2, &g2).ok());
+  EXPECT_TRUE(graph::IsIsomorphic(g1, g2));
+}
+
+TEST_F(OpSerializeTest, MethodCallRoundTrips) {
+  auto call = hypermedia::MakeUpdateCall(scheme_, "Music History",
+                                         Date{1990, 1, 16})
+                  .ValueOrDie();
+  std::string text = WriteOperation(scheme_, Operation(call)).ValueOrDie();
+  auto reparsed = ParseOperation(scheme_, text);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status() << "\n" << text;
+  const auto* parsed_call = std::get_if<method::MethodCallOp>(&*reparsed);
+  ASSERT_NE(parsed_call, nullptr);
+  EXPECT_EQ(parsed_call->method_name, "Update");
+  EXPECT_EQ(parsed_call->args.size(), 1u);
+
+  // Execute both against registries holding the Update method.
+  auto run = [&](const Operation& op) {
+    Scheme s = scheme_;
+    Instance g = std::move(hypermedia::BuildInstance(s).ValueOrDie().instance);
+    method::MethodRegistry registry;
+    registry.Register(hypermedia::MakeUpdateMethod(s).ValueOrDie()).OrDie();
+    method::Executor executor(&registry);
+    executor.Execute(op, &s, &g).OrDie();
+    return g.Fingerprint();
+  };
+  EXPECT_EQ(run(Operation(call)), run(*reparsed));
+}
+
+TEST_F(OpSerializeTest, QuotedLabelsSurvive) {
+  // Figure 13's pattern references the "Created Jan 14, 1990" class.
+  Scheme extended = scheme_;
+  extended.EnsureObjectLabel(Sym("Created Jan 14, 1990")).OrDie();
+  auto ea = hypermedia::Fig13EdgeAddition(extended).ValueOrDie();
+  std::string text = WriteOperation(extended, Operation(ea)).ValueOrDie();
+  EXPECT_NE(text.find("\"Created Jan 14, 1990\""), std::string::npos);
+  auto reparsed = ParseOperation(extended, text);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+}
+
+TEST_F(OpSerializeTest, FiltersAreRejected) {
+  pattern::Pattern p;
+  auto info = p.AddObjectNode(scheme_, Sym("Info")).ValueOrDie();
+  ops::NodeAddition na(std::move(p), Sym("Tag"), {{Sym("of"), info}});
+  na.set_filter(
+      [](const pattern::Matching&, const Instance&) { return true; });
+  EXPECT_TRUE(
+      WriteOperation(scheme_, Operation(na)).status().IsUnimplemented());
+}
+
+TEST_F(OpSerializeTest, ParseErrorsAreReported) {
+  EXPECT_FALSE(ParseOperation(scheme_, "xx { pattern { } }").ok());
+  EXPECT_FALSE(ParseOperation(scheme_, "na { pattern { } }").ok());
+  EXPECT_FALSE(
+      ParseOperation(scheme_, "na { pattern { } edge e nX; label L; }")
+          .ok());
+  EXPECT_FALSE(
+      ParseOperation(scheme_, "nd { pattern { node x Info; } delete y; }")
+          .ok());
+  EXPECT_FALSE(ParseOperation(
+                   scheme_,
+                   "ea { pattern { node x Info; } add x e x sideways; }")
+                   .ok());
+  EXPECT_FALSE(ParseOperation(scheme_,
+                              "ab { pattern { node x Info; } node x; }")
+                   .ok());
+  EXPECT_FALSE(ParseOperation(scheme_,
+                              "call { pattern { node x Info; } method M; }")
+                   .ok());
+}
+
+TEST_F(OpSerializeTest, ProgramOfOperationsRoundTrips) {
+  std::vector<Operation> ops;
+  ops.emplace_back(hypermedia::Fig6NodeAddition(scheme_).ValueOrDie());
+  ops.emplace_back(hypermedia::Fig14NodeDeletion(scheme_).ValueOrDie());
+  std::string text = WriteOperations(scheme_, ops).ValueOrDie();
+  auto reparsed = ParseOperations(scheme_, text);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  EXPECT_EQ(reparsed->size(), 2u);
+}
+
+}  // namespace
+}  // namespace good::program

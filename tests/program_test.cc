@@ -1,0 +1,201 @@
+/// Tests for GOOD programs (interpreter query/update modes), the text
+/// serialization round-trip, and the DOT exporter.
+
+#include <gtest/gtest.h>
+
+#include "graph/isomorphism.h"
+#include "hypermedia/hypermedia.h"
+#include "pattern/builder.h"
+#include "program/dot.h"
+#include "program/program.h"
+#include "program/serialize.h"
+
+namespace good::program {
+namespace {
+
+using graph::NodeId;
+using pattern::GraphBuilder;
+using schema::Scheme;
+
+Database HyperMediaDb() {
+  Database db;
+  db.scheme = hypermedia::BuildScheme().ValueOrDie();
+  db.instance =
+      std::move(hypermedia::BuildInstance(db.scheme).ValueOrDie().instance);
+  return db;
+}
+
+Program TagRockProgram(const Scheme& scheme) {
+  Program p;
+  p.operations.push_back(
+      hypermedia::Fig6NodeAddition(scheme).ValueOrDie());
+  return p;
+}
+
+TEST(InterpreterTest, QueryModeLeavesDatabaseUntouched) {
+  Database db = HyperMediaDb();
+  std::string before = db.instance.Fingerprint();
+  Interpreter interpreter;
+  RunStats stats;
+  auto result =
+      interpreter.Query(TagRockProgram(db.scheme), db, &stats);
+  ASSERT_TRUE(result.ok());
+  // The original database is unchanged...
+  EXPECT_EQ(db.instance.Fingerprint(), before);
+  EXPECT_FALSE(db.scheme.HasLabel(Sym("Rock")));
+  // ... while the query result carries the transformation.
+  EXPECT_EQ(result->instance.CountNodesWithLabel(Sym("Rock")), 2u);
+  EXPECT_TRUE(result->scheme.IsObjectLabel(Sym("Rock")));
+  EXPECT_EQ(stats.totals.matchings, 2u);
+}
+
+TEST(InterpreterTest, UpdateModeTransformsInPlace) {
+  Database db = HyperMediaDb();
+  Interpreter interpreter;
+  ASSERT_TRUE(
+      interpreter.Update(TagRockProgram(db.scheme), &db).ok());
+  EXPECT_EQ(db.instance.CountNodesWithLabel(Sym("Rock")), 2u);
+}
+
+TEST(InterpreterTest, ProgramsRunOperationsInOrder) {
+  // Figure 12 then Figure 13: build the "Created Jan 14, 1990" set.
+  Database db = HyperMediaDb();
+  Program p;
+  p.operations.push_back(
+      hypermedia::Fig12NodeAddition(db.scheme).ValueOrDie());
+  // The second operation's pattern references the label the first one
+  // introduces, so it is constructed against a pre-extended scheme.
+  Scheme extended = db.scheme;
+  extended.EnsureObjectLabel(Sym("Created Jan 14, 1990")).OrDie();
+  p.operations.push_back(
+      hypermedia::Fig13EdgeAddition(extended).ValueOrDie());
+  Interpreter interpreter;
+  ASSERT_TRUE(interpreter.Update(p, &db).ok());
+  auto sets = db.instance.NodesWithLabel(Sym("Created Jan 14, 1990"));
+  ASSERT_EQ(sets.size(), 1u);
+  EXPECT_EQ(db.instance.OutTargets(sets[0], Sym("contains")).size(), 2u);
+}
+
+TEST(InterpreterTest, ErrorsPropagate) {
+  Database db = HyperMediaDb();
+  Program p;
+  // A functional edge addition that conflicts (two modified dates).
+  p.operations.push_back(
+      hypermedia::Fig16EdgeAddition(db.scheme).ValueOrDie());
+  p.operations.push_back(
+      hypermedia::Fig16EdgeAddition(db.scheme).ValueOrDie());
+  Interpreter interpreter;
+  // First run deletes nothing first, so the second EA conflicts... the
+  // first one already does (music history has a modified date).
+  EXPECT_TRUE(interpreter.Update(p, &db).IsFailedPrecondition());
+}
+
+// ---------------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------------
+
+TEST(SerializeTest, SchemeRoundTrips) {
+  Scheme scheme = hypermedia::BuildScheme().ValueOrDie();
+  std::string text = WriteScheme(scheme);
+  auto parsed = ParseScheme(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_TRUE(scheme == *parsed);
+  // Including the isa markings.
+  EXPECT_TRUE(parsed->IsIsaTriple(Sym("Data"), Sym("isa"), Sym("Info")));
+}
+
+TEST(SerializeTest, InstanceRoundTrips) {
+  Database db = HyperMediaDb();
+  std::string text = WriteInstance(db.scheme, db.instance);
+  auto parsed = ParseInstance(db.scheme, text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_TRUE(graph::IsIsomorphic(db.instance, *parsed));
+}
+
+TEST(SerializeTest, DatabaseRoundTrips) {
+  Database db = HyperMediaDb();
+  std::string text = WriteDatabase(db);
+  auto parsed = ParseDatabase(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_TRUE(db.scheme == parsed->scheme);
+  EXPECT_TRUE(graph::IsIsomorphic(db.instance, parsed->instance));
+}
+
+TEST(SerializeTest, AllValueKindsRoundTrip) {
+  Scheme s;
+  s.AddObjectLabel(Sym("Row")).OrDie();
+  s.AddPrintableLabel(Sym("B"), ValueKind::kBool).OrDie();
+  s.AddPrintableLabel(Sym("I"), ValueKind::kInt).OrDie();
+  s.AddPrintableLabel(Sym("D"), ValueKind::kDouble).OrDie();
+  s.AddPrintableLabel(Sym("S"), ValueKind::kString).OrDie();
+  s.AddPrintableLabel(Sym("T"), ValueKind::kDate).OrDie();
+  s.AddPrintableLabel(Sym("Y"), ValueKind::kBytes).OrDie();
+  graph::Instance g;
+  (void)*g.AddPrintableNode(s, Sym("B"), Value(true));
+  (void)*g.AddPrintableNode(s, Sym("I"), Value(int64_t{-42}));
+  (void)*g.AddPrintableNode(s, Sym("D"), Value(2.5));
+  (void)*g.AddPrintableNode(s, Sym("S"), Value("with \"quotes\" \\ slash"));
+  (void)*g.AddPrintableNode(s, Sym("T"), Value(Date{1990, 1, 12}));
+  (void)*g.AddPrintableNode(s, Sym("Y"), Value(Bytes{0xAB, 0x00, 0xFF}));
+  (void)*g.AddValuelessPrintableNode(s, Sym("S"));
+  std::string text = WriteInstance(s, g);
+  auto parsed = ParseInstance(s, text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_TRUE(graph::IsIsomorphic(g, *parsed));
+}
+
+TEST(SerializeTest, CommentsAndWhitespaceAreIgnored) {
+  auto parsed = ParseScheme(
+      "# a comment\nscheme {\n  object A; # trailing\n\n  printable P : "
+      "int;\n}");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_TRUE(parsed->IsObjectLabel(Sym("A")));
+}
+
+TEST(SerializeTest, ParseErrorsAreReported) {
+  EXPECT_FALSE(ParseScheme("scheme { object }").ok());
+  EXPECT_FALSE(ParseScheme("scheme { widget A; }").ok());
+  EXPECT_FALSE(ParseScheme("scheme { object A ").ok());
+  EXPECT_FALSE(ParseScheme("schema { }").ok());
+  EXPECT_FALSE(ParseScheme("scheme { printable P : complex; }").ok());
+  Scheme s;
+  s.AddObjectLabel(Sym("A")).OrDie();
+  EXPECT_FALSE(ParseInstance(s, "instance { node x B; }").ok());
+  EXPECT_FALSE(ParseInstance(s, "instance { edge x r y; }").ok());
+  EXPECT_FALSE(
+      ParseInstance(s, "instance { node x A; node x A; }").ok());
+  EXPECT_FALSE(ParseInstance(s, "instance { node x A = \"v\"; }").ok());
+}
+
+TEST(SerializeTest, UnterminatedStringIsRejected) {
+  EXPECT_FALSE(ParseScheme("scheme { object \"A; }").ok());
+}
+
+// ---------------------------------------------------------------------------
+// DOT export
+// ---------------------------------------------------------------------------
+
+TEST(DotTest, SchemeShapesFollowThePaper) {
+  Scheme scheme = hypermedia::BuildScheme().ValueOrDie();
+  std::string dot = SchemeToDot(scheme);
+  // Rectangles for object classes, ovals for printable classes.
+  EXPECT_NE(dot.find("\"Info\" [shape=box]"), std::string::npos);
+  EXPECT_NE(dot.find("\"Date\" [shape=oval]"), std::string::npos);
+  // Multivalued edges are drawn double, isa edges dashed.
+  EXPECT_NE(dot.find("label=\"links-to\", color=\"black:invis:black\""),
+            std::string::npos);
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);
+  EXPECT_EQ(dot.find("label=\"created\", color"), std::string::npos);
+}
+
+TEST(DotTest, InstanceShowsValues) {
+  Database db = HyperMediaDb();
+  std::string dot = InstanceToDot(db.scheme, db.instance);
+  EXPECT_NE(dot.find("Jan 12, 1990"), std::string::npos);
+  EXPECT_NE(dot.find("Music History"), std::string::npos);
+  EXPECT_NE(dot.find("shape=box"), std::string::npos);
+  EXPECT_NE(dot.find("shape=oval"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace good::program

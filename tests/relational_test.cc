@@ -1,0 +1,347 @@
+/// Tests for the relational substrate: the engine (relation + algebra)
+/// and the Section 5 GOOD-on-relations backend, which is differentially
+/// tested against the native graph engine.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "graph/isomorphism.h"
+#include "hypermedia/hypermedia.h"
+#include "pattern/builder.h"
+#include "relational/algebra.h"
+#include "relational/backend.h"
+#include "relational/relation.h"
+
+namespace good::relational {
+namespace {
+
+using graph::Instance;
+using graph::NodeId;
+using pattern::GraphBuilder;
+using schema::Scheme;
+
+// ---------------------------------------------------------------------------
+// Relation
+// ---------------------------------------------------------------------------
+
+Relation People() {
+  Relation r({{"id", ValueKind::kInt}, {"name", ValueKind::kString}});
+  r.Insert({Value(int64_t{1}), Value("ann")}).ValueOrDie();
+  r.Insert({Value(int64_t{2}), Value("bob")}).ValueOrDie();
+  r.Insert({Value(int64_t{3}), Value("cho")}).ValueOrDie();
+  return r;
+}
+
+TEST(RelationTest, InsertDeduplicatesAndTypechecks) {
+  Relation r = People();
+  EXPECT_EQ(r.size(), 3u);
+  // Duplicate insert is a no-op.
+  auto inserted = r.Insert({Value(int64_t{1}), Value("ann")});
+  ASSERT_TRUE(inserted.ok());
+  EXPECT_FALSE(*inserted);
+  EXPECT_EQ(r.size(), 3u);
+  // Arity and type mismatches are rejected.
+  EXPECT_FALSE(r.Insert({Value(int64_t{9})}).ok());
+  EXPECT_FALSE(r.Insert({Value("x"), Value("y")}).ok());
+}
+
+TEST(RelationTest, NullsAllowedAndDeduplicated) {
+  Relation r({{"a", ValueKind::kInt}});
+  EXPECT_TRUE(r.Insert({Cell{}}).ValueOrDie());
+  EXPECT_FALSE(r.Insert({Cell{}}).ValueOrDie());  // NULL dedups with NULL.
+  EXPECT_EQ(r.size(), 1u);
+}
+
+TEST(RelationTest, EraseRemovesTuples) {
+  Relation r = People();
+  EXPECT_TRUE(r.Erase({Value(int64_t{2}), Value("bob")}));
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_FALSE(r.Erase({Value(int64_t{2}), Value("bob")}));
+}
+
+TEST(RelationTest, EqualityIsSetBased) {
+  Relation a = People();
+  Relation b({{"id", ValueKind::kInt}, {"name", ValueKind::kString}});
+  b.Insert({Value(int64_t{3}), Value("cho")}).ValueOrDie();
+  b.Insert({Value(int64_t{1}), Value("ann")}).ValueOrDie();
+  b.Insert({Value(int64_t{2}), Value("bob")}).ValueOrDie();
+  EXPECT_TRUE(a == b);
+  b.Erase({Value(int64_t{2}), Value("bob")});
+  EXPECT_FALSE(a == b);
+}
+
+// ---------------------------------------------------------------------------
+// Algebra
+// ---------------------------------------------------------------------------
+
+TEST(AlgebraTest, SelectVariants) {
+  Relation r = People();
+  auto by_const = SelectEquals(r, "name", Value("bob")).ValueOrDie();
+  EXPECT_EQ(by_const.size(), 1u);
+  EXPECT_FALSE(SelectEquals(r, "ghost", Value("x")).ok());
+
+  Relation pairs({{"a", ValueKind::kInt}, {"b", ValueKind::kInt}});
+  pairs.Insert({Value(int64_t{1}), Value(int64_t{1})}).ValueOrDie();
+  pairs.Insert({Value(int64_t{1}), Value(int64_t{2})}).ValueOrDie();
+  pairs.Insert({Cell{}, Cell{}}).ValueOrDie();
+  auto eq = SelectAttrEquals(pairs, "a", "b").ValueOrDie();
+  EXPECT_EQ(eq.size(), 1u);  // NULL = NULL does not hold.
+  auto nn = SelectNotNull(pairs, "a").ValueOrDie();
+  EXPECT_EQ(nn.size(), 2u);
+}
+
+TEST(AlgebraTest, ProjectCollapsesDuplicates) {
+  Relation r({{"a", ValueKind::kInt}, {"b", ValueKind::kInt}});
+  r.Insert({Value(int64_t{1}), Value(int64_t{10})}).ValueOrDie();
+  r.Insert({Value(int64_t{1}), Value(int64_t{20})}).ValueOrDie();
+  auto p = Project(r, {"a"}).ValueOrDie();
+  EXPECT_EQ(p.size(), 1u);
+  EXPECT_FALSE(Project(r, {"a", "a"}).ok());
+  EXPECT_FALSE(Project(r, {"zz"}).ok());
+}
+
+TEST(AlgebraTest, RenameValidates) {
+  Relation r = People();
+  auto renamed = Rename(r, {{"id", "pid"}}).ValueOrDie();
+  EXPECT_TRUE(renamed.HasAttribute("pid"));
+  EXPECT_FALSE(renamed.HasAttribute("id"));
+  EXPECT_FALSE(Rename(r, {{"id", "name"}}).ok());   // Duplicate.
+  EXPECT_FALSE(Rename(r, {{"ghost", "g"}}).ok());   // Missing.
+}
+
+TEST(AlgebraTest, NaturalJoinOnSharedColumns) {
+  Relation owns({{"id", ValueKind::kInt}, {"car", ValueKind::kString}});
+  owns.Insert({Value(int64_t{1}), Value("saab")}).ValueOrDie();
+  owns.Insert({Value(int64_t{1}), Value("bmw")}).ValueOrDie();
+  owns.Insert({Value(int64_t{3}), Value("vw")}).ValueOrDie();
+  owns.Insert({Cell{}, Value("ghostcar")}).ValueOrDie();
+  auto joined = NaturalJoin(People(), owns).ValueOrDie();
+  EXPECT_EQ(joined.size(), 3u);  // ann x2, cho x1; NULL row joins nothing.
+  EXPECT_EQ(joined.arity(), 3u);
+}
+
+TEST(AlgebraTest, JoinWithoutSharedColumnsIsProduct) {
+  Relation colors({{"color", ValueKind::kString}});
+  colors.Insert({Value("red")}).ValueOrDie();
+  colors.Insert({Value("blue")}).ValueOrDie();
+  auto product = NaturalJoin(People(), colors).ValueOrDie();
+  EXPECT_EQ(product.size(), 6u);
+}
+
+TEST(AlgebraTest, SetOperations) {
+  Relation a({{"x", ValueKind::kInt}});
+  Relation b({{"x", ValueKind::kInt}});
+  for (int i = 0; i < 4; ++i) {
+    a.Insert({Value(int64_t{i})}).ValueOrDie();
+  }
+  for (int i = 2; i < 6; ++i) {
+    b.Insert({Value(int64_t{i})}).ValueOrDie();
+  }
+  EXPECT_EQ(Union(a, b).ValueOrDie().size(), 6u);
+  EXPECT_EQ(Difference(a, b).ValueOrDie().size(), 2u);
+  EXPECT_EQ(Intersect(a, b).ValueOrDie().size(), 2u);
+  Relation c({{"y", ValueKind::kInt}});
+  EXPECT_FALSE(Union(a, c).ok());
+  EXPECT_FALSE(Difference(a, c).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Backend: storage mapping
+// ---------------------------------------------------------------------------
+
+class BackendTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    scheme_ = hypermedia::BuildScheme().ValueOrDie();
+    auto built = hypermedia::BuildInstance(scheme_).ValueOrDie();
+    instance_ = std::move(built.instance);
+    nodes_ = built.nodes;
+    backend_ = std::make_unique<RelationalBackend>(
+        RelationalBackend::Load(scheme_, instance_).ValueOrDie());
+  }
+
+  Scheme scheme_;
+  Instance instance_;
+  hypermedia::InstanceNodes nodes_;
+  std::unique_ptr<RelationalBackend> backend_;
+};
+
+TEST_F(BackendTest, StorageMappingMatchesThePaper) {
+  // Info class table: oid + one column per functional property of Info.
+  auto info = backend_->Table(Sym("Info")).ValueOrDie();
+  EXPECT_TRUE(info->HasAttribute("oid"));
+  EXPECT_TRUE(info->HasAttribute("f:created"));
+  EXPECT_TRUE(info->HasAttribute("f:modified"));
+  EXPECT_TRUE(info->HasAttribute("f:name"));
+  EXPECT_TRUE(info->HasAttribute("f:comment"));
+  EXPECT_EQ(info->size(), 13u);
+  // Multivalued edges as binary relations.
+  auto links = backend_->EdgeTable(Sym("links-to")).ValueOrDie();
+  EXPECT_EQ(links->header().size(), 2u);
+  EXPECT_EQ(links->size(), 13u);
+  // Printables as (oid, value) tables.
+  auto dates = backend_->Table(Sym("Date")).ValueOrDie();
+  EXPECT_EQ(dates->size(), 2u);  // Jan 12 and Jan 14 (deduplicated).
+}
+
+TEST_F(BackendTest, ExportRoundTripsTheInstance) {
+  auto exported = backend_->Export().ValueOrDie();
+  EXPECT_TRUE(graph::IsIsomorphic(instance_, exported));
+}
+
+TEST_F(BackendTest, Fig4PatternMatchesViaAlgebra) {
+  auto fig4 = hypermedia::Fig4Pattern(scheme_).ValueOrDie();
+  auto native = pattern::FindMatchings(fig4.pattern, instance_);
+  auto relational = backend_->FindMatchings(fig4.pattern).ValueOrDie();
+  EXPECT_EQ(native.size(), relational.size());
+  EXPECT_EQ(relational.size(), 2u);
+  // Same matchings (oids == loaded node ids).
+  std::set<uint32_t> lower_native, lower_rel;
+  for (const auto& m : native) lower_native.insert(m.At(fig4.lower_info).id);
+  for (const auto& m : relational) lower_rel.insert(m.At(fig4.lower_info).id);
+  EXPECT_EQ(lower_native, lower_rel);
+}
+
+TEST_F(BackendTest, EmptyPatternHasOneMatching) {
+  auto matchings = backend_->FindMatchings(pattern::Pattern()).ValueOrDie();
+  EXPECT_EQ(matchings.size(), 1u);
+}
+
+TEST_F(BackendTest, Fig6NodeAdditionMatchesNative) {
+  auto na = hypermedia::Fig6NodeAddition(scheme_).ValueOrDie();
+  Scheme native_scheme = scheme_;
+  na.Apply(&native_scheme, &instance_).OrDie();
+  backend_->Apply(na).OrDie();
+  auto exported = backend_->Export().ValueOrDie();
+  EXPECT_TRUE(graph::IsIsomorphic(instance_, exported))
+      << "native:\n" << instance_.Fingerprint() << "\nrelational:\n"
+      << exported.Fingerprint();
+  EXPECT_TRUE(backend_->scheme() == native_scheme);
+}
+
+TEST_F(BackendTest, Fig8AggregateMatchesNative) {
+  auto na = hypermedia::Fig8NodeAddition(scheme_).ValueOrDie();
+  Scheme native_scheme = scheme_;
+  na.Apply(&native_scheme, &instance_).OrDie();
+  backend_->Apply(na).OrDie();
+  auto exported = backend_->Export().ValueOrDie();
+  EXPECT_TRUE(graph::IsIsomorphic(instance_, exported));
+}
+
+TEST_F(BackendTest, Fig10EdgeAdditionMatchesNative) {
+  auto ea = hypermedia::Fig10EdgeAddition(scheme_).ValueOrDie();
+  Scheme native_scheme = scheme_;
+  ea.Apply(&native_scheme, &instance_).OrDie();
+  backend_->Apply(ea).OrDie();
+  auto exported = backend_->Export().ValueOrDie();
+  EXPECT_TRUE(graph::IsIsomorphic(instance_, exported));
+}
+
+TEST_F(BackendTest, Fig14NodeDeletionMatchesNative) {
+  auto nd = hypermedia::Fig14NodeDeletion(scheme_).ValueOrDie();
+  Scheme native_scheme = scheme_;
+  nd.Apply(&native_scheme, &instance_).OrDie();
+  backend_->Apply(nd).OrDie();
+  auto exported = backend_->Export().ValueOrDie();
+  EXPECT_TRUE(graph::IsIsomorphic(instance_, exported));
+}
+
+TEST_F(BackendTest, Fig16UpdateMatchesNative) {
+  auto ed = hypermedia::Fig16EdgeDeletion(scheme_).ValueOrDie();
+  auto ea = hypermedia::Fig16EdgeAddition(scheme_).ValueOrDie();
+  Scheme native_scheme = scheme_;
+  ed.Apply(&native_scheme, &instance_).OrDie();
+  ea.Apply(&native_scheme, &instance_).OrDie();
+  backend_->Apply(ed).OrDie();
+  backend_->Apply(ea).OrDie();
+  auto exported = backend_->Export().ValueOrDie();
+  EXPECT_TRUE(graph::IsIsomorphic(instance_, exported));
+}
+
+TEST_F(BackendTest, Fig18AbstractionMatchesNative) {
+  Instance versions = hypermedia::BuildVersionInstance(scheme_).ValueOrDie();
+  auto backend =
+      RelationalBackend::Load(scheme_, versions).ValueOrDie();
+  auto fig18 = hypermedia::Fig18Abstraction(scheme_).ValueOrDie();
+  Scheme native_scheme = scheme_;
+  fig18.tag_new.Apply(&native_scheme, &versions).OrDie();
+  fig18.tag_old.Apply(&native_scheme, &versions).OrDie();
+  fig18.abstraction.Apply(&native_scheme, &versions).OrDie();
+  backend.Apply(fig18.tag_new).OrDie();
+  backend.Apply(fig18.tag_old).OrDie();
+  backend.Apply(fig18.abstraction).OrDie();
+  auto exported = backend.Export().ValueOrDie();
+  EXPECT_TRUE(graph::IsIsomorphic(versions, exported));
+}
+
+TEST_F(BackendTest, FunctionalConflictRejectedLikeNative) {
+  auto ea = hypermedia::Fig16EdgeAddition(scheme_).ValueOrDie();
+  // Without the preceding deletion both engines must refuse.
+  Scheme native_scheme = scheme_;
+  EXPECT_TRUE(ea.Apply(&native_scheme, &instance_).IsFailedPrecondition());
+  EXPECT_TRUE(backend_->Apply(ea).IsFailedPrecondition());
+}
+
+TEST_F(BackendTest, FiltersAreExplicitlyUnsupported) {
+  GraphBuilder b(scheme_);
+  NodeId info = b.Object("Info");
+  ops::NodeAddition na(b.BuildOrDie(), Sym("Tag"), {{Sym("of"), info}});
+  na.set_filter([](const pattern::Matching&, const Instance&) {
+    return true;
+  });
+  EXPECT_TRUE(backend_->Apply(na).IsUnimplemented());
+}
+
+// ---------------------------------------------------------------------------
+// Differential: random patterns against the native matcher.
+// ---------------------------------------------------------------------------
+
+class BackendDifferentialTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BackendDifferentialTest, RandomPatternsAgreeWithNativeMatcher) {
+  std::mt19937 rng(GetParam());
+  Scheme scheme = hypermedia::BuildScheme().ValueOrDie();
+  auto built = hypermedia::BuildInstance(scheme).ValueOrDie();
+  Instance instance = std::move(built.instance);
+  auto backend = RelationalBackend::Load(scheme, instance).ValueOrDie();
+
+  // Random small pattern over the Info/links-to/created sub-scheme.
+  GraphBuilder b(scheme);
+  int n = 1 + static_cast<int>(rng() % 3);
+  std::vector<NodeId> infos;
+  for (int i = 0; i < n; ++i) infos.push_back(b.Object("Info"));
+  for (int i = 0; i + 1 < n; ++i) {
+    if (rng() % 2 == 0) b.Edge(infos[i], "links-to", infos[i + 1]);
+  }
+  if (rng() % 2 == 0) {
+    NodeId date = (rng() % 2 == 0)
+                      ? b.Printable("Date", Value(Date{1990, 1, 12}))
+                      : b.Printable("Date");
+    b.Edge(infos[0], "created", date);
+  }
+  if (rng() % 3 == 0) {
+    NodeId name = b.Printable("String");
+    b.Edge(infos[n - 1], "name", name);
+  }
+  pattern::Pattern p = b.BuildOrDie();
+
+  auto native = pattern::FindMatchings(p, instance);
+  auto relational = backend.FindMatchings(p).ValueOrDie();
+  ASSERT_EQ(native.size(), relational.size()) << "seed=" << GetParam();
+  auto key = [&](const pattern::Matching& m) {
+    std::string k;
+    for (NodeId node : p.AllNodes()) k += std::to_string(m.At(node).id) + ",";
+    return k;
+  };
+  std::set<std::string> nk, rk;
+  for (const auto& m : native) nk.insert(key(m));
+  for (const auto& m : relational) rk.insert(key(m));
+  EXPECT_EQ(nk, rk) << "seed=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BackendDifferentialTest,
+                         ::testing::Range(0, 30));
+
+}  // namespace
+}  // namespace good::relational

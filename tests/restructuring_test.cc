@@ -1,0 +1,142 @@
+/// Integration tests for the paper's "modes of interpretation" beyond
+/// querying (Section 3): updating, scheme manipulation and
+/// restructuring, expressed purely as GOOD programs over the
+/// hyper-media object base.
+
+#include <gtest/gtest.h>
+
+#include "hypermedia/hypermedia.h"
+#include "method/method.h"
+#include "pattern/builder.h"
+#include "program/program.h"
+
+namespace good::program {
+namespace {
+
+using graph::Instance;
+using graph::NodeId;
+using hypermedia::Labels;
+using method::Operation;
+using pattern::GraphBuilder;
+using schema::Scheme;
+
+class RestructuringTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    scheme_ = hypermedia::BuildScheme().ValueOrDie();
+    auto built = hypermedia::BuildInstance(scheme_).ValueOrDie();
+    instance_ = std::move(built.instance);
+    nodes_ = built.nodes;
+  }
+  Scheme scheme_;
+  Instance instance_;
+  hypermedia::InstanceNodes nodes_;
+};
+
+TEST_F(RestructuringTest, InlineCommentIndirection) {
+  // Restructure: replace the Info -comment-> Comment -is-> String
+  // indirection by a direct Info -note-> String edge, then delete the
+  // Comment objects. Three core operations.
+  const Labels& l = Labels::Get();
+  method::MethodRegistry registry;
+  method::Executor executor(&registry);
+
+  // 1. EA: copy the value across the indirection.
+  {
+    GraphBuilder b(scheme_);
+    NodeId info = b.Object("Info");
+    NodeId comment = b.Object("Comment");
+    NodeId str = b.Printable("String");
+    b.Edge(info, "comment", comment).Edge(comment, "is", str);
+    ops::EdgeAddition ea(
+        b.BuildOrDie(),
+        {ops::EdgeSpec{info, Sym("note"), str, /*functional=*/true}});
+    executor.Execute(Operation(std::move(ea)), &scheme_, &instance_)
+        .OrDie();
+  }
+  // 2. ND: drop the Comment objects (their edges go with them).
+  {
+    GraphBuilder b(scheme_);
+    NodeId comment = b.Object("Comment");
+    ops::NodeDeletion nd(b.BuildOrDie(), comment);
+    executor.Execute(Operation(std::move(nd)), &scheme_, &instance_)
+        .OrDie();
+  }
+
+  // Music History's comment is now a direct note.
+  auto note = instance_.FunctionalTarget(nodes_.music_history, Sym("note"));
+  ASSERT_TRUE(note.has_value());
+  EXPECT_EQ(*instance_.PrintValueOf(*note), Value("Author: Jones"));
+  EXPECT_EQ(instance_.CountNodesWithLabel(l.comment), 0u);
+  EXPECT_EQ(instance_.FunctionalTarget(nodes_.music_history, l.comment_edge),
+            std::nullopt);
+  // The scheme keeps the old classes (scheme manipulation is additive;
+  // deletions act on instances) plus the new note triple.
+  EXPECT_TRUE(scheme_.HasTriple(l.info, Sym("note"), l.string));
+  EXPECT_TRUE(instance_.Validate(scheme_).ok());
+}
+
+TEST_F(RestructuringTest, ClassifyDocumentsIntoSubclasses) {
+  // Restructure: introduce a Named subclass — one Named object per
+  // document carrying a name, isa-linked back to it (object-preserving
+  // vertical partitioning).
+  const Labels& l = Labels::Get();
+  GraphBuilder b(scheme_);
+  NodeId info = b.Object("Info");
+  NodeId str = b.Printable("String");
+  b.Edge(info, "name", str);
+  ops::NodeAddition na(b.BuildOrDie(), Sym("Named"),
+                       {{Sym("isa"), info}});
+  na.Apply(&scheme_, &instance_).OrDie();
+
+  size_t named_docs = 0;
+  for (NodeId doc : instance_.NodesWithLabel(l.info)) {
+    if (instance_.FunctionalTarget(doc, l.name).has_value()) ++named_docs;
+  }
+  EXPECT_EQ(instance_.CountNodesWithLabel(Sym("Named")), named_docs);
+  EXPECT_EQ(named_docs, 9u);
+  // The new triple can then be marked as a subclass edge (Section 4.2).
+  ASSERT_TRUE(scheme_.HasTriple(Sym("Named"), l.isa, l.info));
+  EXPECT_TRUE(scheme_.MarkIsa(Sym("Named"), l.isa, l.info).ok());
+}
+
+TEST_F(RestructuringTest, ReifyEdgesIntoObjects) {
+  // Restructure: reify every links-to edge into a Link object with
+  // from/to functional edges (edges become first-class objects — the
+  // inverse of the usual flattening).
+  const Labels& l = Labels::Get();
+  size_t edge_count = 0;
+  for (const graph::Edge& e : instance_.AllEdges()) {
+    if (e.label == l.links_to) ++edge_count;
+  }
+  GraphBuilder b(scheme_);
+  NodeId x = b.Object("Info");
+  NodeId y = b.Object("Info");
+  b.Edge(x, "links-to", y);
+  ops::NodeAddition na(b.BuildOrDie(), Sym("Link"),
+                       {{Sym("from"), x}, {Sym("to"), y}});
+  ops::ApplyStats stats;
+  na.Apply(&scheme_, &instance_, &stats).OrDie();
+  EXPECT_EQ(stats.nodes_added, edge_count);  // One Link per edge.
+  EXPECT_EQ(instance_.CountNodesWithLabel(Sym("Link")), edge_count);
+  EXPECT_TRUE(instance_.Validate(scheme_).ok());
+}
+
+TEST_F(RestructuringTest, QueryModeIsolatesRestructuring) {
+  // The same restructuring as a QUERY leaves the stored database
+  // untouched — the "modes of interpretation" point of Section 3.
+  Database db{scheme_, instance_};
+  Program p;
+  {
+    GraphBuilder b(scheme_);
+    NodeId comment = b.Object("Comment");
+    p.operations.emplace_back(ops::NodeDeletion(b.BuildOrDie(), comment));
+  }
+  Interpreter interpreter;
+  auto result = interpreter.Query(p, db).ValueOrDie();
+  EXPECT_EQ(result.instance.CountNodesWithLabel(Sym("Comment")), 0u);
+  EXPECT_EQ(db.instance.CountNodesWithLabel(Sym("Comment")), 1u);
+}
+
+}  // namespace
+}  // namespace good::program

@@ -1,0 +1,215 @@
+/// Tests for the rule layer (Section 5's G-Log outlook): conditions,
+/// negated conditions, fixpoints, and divergence budgets.
+
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "hypermedia/hypermedia.h"
+#include "pattern/builder.h"
+#include "rules/rules.h"
+
+namespace good::rules {
+namespace {
+
+using graph::Instance;
+using graph::NodeId;
+using pattern::GraphBuilder;
+using schema::Scheme;
+
+class RulesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    scheme_ = hypermedia::BuildScheme().ValueOrDie();
+  }
+  Scheme scheme_;
+};
+
+/// Reference transitive closure over links-to.
+std::set<std::pair<NodeId, NodeId>> ReferenceClosure(const Instance& g) {
+  const auto& l = hypermedia::Labels::Get();
+  std::set<std::pair<NodeId, NodeId>> closure;
+  for (NodeId start : g.NodesWithLabel(l.info)) {
+    std::vector<NodeId> stack{start};
+    while (!stack.empty()) {
+      NodeId cur = stack.back();
+      stack.pop_back();
+      for (NodeId next : g.OutTargets(cur, l.links_to)) {
+        if (closure.emplace(start, next).second) stack.push_back(next);
+      }
+    }
+  }
+  return closure;
+}
+
+TEST_F(RulesTest, EdgeRuleReachesFixpoint) {
+  // Datalog's classic: reachable(x,y) :- links(x,y).
+  //                    reachable(x,z) :- reachable(x,y), links(y,z).
+  RuleEngine engine;
+  {
+    GraphBuilder b(scheme_);
+    NodeId x = b.Object("Info");
+    NodeId y = b.Object("Info");
+    b.Edge(x, "links-to", y);
+    Rule seed;
+    seed.name = "seed";
+    seed.condition.full = b.BuildOrDie();
+    seed.condition.positive_nodes = {x, y};
+    seed.edges = {ops::EdgeSpec{x, Sym("reach"), y, /*functional=*/false}};
+    engine.AddRule(std::move(seed)).OrDie();
+  }
+  {
+    Scheme ext = scheme_;
+    ext.EnsureMultivaluedEdgeLabel(Sym("reach")).OrDie();
+    ext.EnsureTriple(Sym("Info"), Sym("reach"), Sym("Info")).OrDie();
+    GraphBuilder b(ext);
+    NodeId x = b.Object("Info");
+    NodeId y = b.Object("Info");
+    NodeId z = b.Object("Info");
+    b.Edge(x, "reach", y).Edge(y, "links-to", z);
+    Rule step;
+    step.name = "step";
+    step.condition.full = b.BuildOrDie();
+    step.condition.positive_nodes = {x, y, z};
+    step.edges = {ops::EdgeSpec{x, Sym("reach"), z, /*functional=*/false}};
+    engine.AddRule(std::move(step)).OrDie();
+  }
+
+  auto g = gen::RandomInfoGraph(scheme_, 20, 40, /*seed=*/11).ValueOrDie();
+  auto expected = ReferenceClosure(g);
+  auto report = engine.Run(&scheme_, &g).ValueOrDie();
+  EXPECT_GT(report.rounds, 1u);
+  std::set<std::pair<NodeId, NodeId>> derived;
+  for (const graph::Edge& e : g.AllEdges()) {
+    if (e.label == Sym("reach")) derived.emplace(e.source, e.target);
+  }
+  EXPECT_EQ(derived, expected);
+  EXPECT_TRUE(g.Validate(scheme_).ok());
+}
+
+TEST_F(RulesTest, NegatedConditionTagsOrphans) {
+  // orphan(x) :- Info(x), NOT links-to(_, x).
+  GraphBuilder b(scheme_);
+  NodeId x = b.Object("Info");
+  NodeId someone = b.Object("Info");
+  b.Edge(someone, "links-to", x);
+  Rule orphan;
+  orphan.name = "orphan";
+  orphan.condition.full = b.BuildOrDie();
+  orphan.condition.positive_nodes = {x};  // someone is crossed.
+  orphan.node = NodeAction{Sym("Orphan"), {{Sym("is"), x}}};
+  RuleEngine engine;
+  engine.AddRule(std::move(orphan)).OrDie();
+
+  auto built = hypermedia::BuildInstance(scheme_).ValueOrDie();
+  Instance g = std::move(built.instance);
+  auto report = engine.Run(&scheme_, &g).ValueOrDie();
+  // Music History is the only document no other document links to.
+  // (The four inner data-infos ARE linked from their documents.)
+  size_t expected = 0;
+  const auto& l = hypermedia::Labels::Get();
+  for (NodeId info : g.NodesWithLabel(l.info)) {
+    if (g.InSources(info, l.links_to).empty()) ++expected;
+  }
+  EXPECT_EQ(report.nodes_added, expected);
+  EXPECT_EQ(g.CountNodesWithLabel(Sym("Orphan")), expected);
+  EXPECT_GE(expected, 1u);
+}
+
+TEST_F(RulesTest, RulesComposeAcrossRounds) {
+  // Rule 1 derives Tag objects; rule 2 (whose condition mentions Tag)
+  // only fires in later rounds, showing the round-robin fixpoint.
+  Scheme ext = scheme_;
+  ext.EnsureObjectLabel(Sym("Tag")).OrDie();
+  ext.EnsureFunctionalEdgeLabel(Sym("of")).OrDie();
+  ext.EnsureTriple(Sym("Tag"), Sym("of"), Sym("Info")).OrDie();
+
+  RuleEngine engine;
+  {
+    GraphBuilder b(scheme_);
+    NodeId x = b.Object("Info");
+    Rule r1;
+    r1.name = "tag";
+    r1.condition.full = b.BuildOrDie();
+    r1.condition.positive_nodes = {x};
+    r1.node = NodeAction{Sym("Tag"), {{Sym("of"), x}}};
+    engine.AddRule(std::move(r1)).OrDie();
+  }
+  {
+    GraphBuilder b(ext);
+    NodeId t = b.Object("Tag");
+    NodeId x = b.Object("Info");
+    b.Edge(t, "of", x);
+    Rule r2;
+    r2.name = "seen";
+    r2.condition.full = b.BuildOrDie();
+    r2.condition.positive_nodes = {t, x};
+    r2.edges = {ops::EdgeSpec{x, Sym("tagged-by"), t, /*functional=*/true}};
+    engine.AddRule(std::move(r2)).OrDie();
+  }
+  auto built = hypermedia::BuildInstance(scheme_).ValueOrDie();
+  Instance g = std::move(built.instance);
+  auto report = engine.Run(&scheme_, &g).ValueOrDie();
+  EXPECT_GE(report.rounds, 2u);
+  const auto& l = hypermedia::Labels::Get();
+  for (NodeId info : g.NodesWithLabel(l.info)) {
+    EXPECT_TRUE(g.FunctionalTarget(info, Sym("tagged-by")).has_value());
+  }
+}
+
+TEST_F(RulesTest, DivergingNodeRuleHitsBudget) {
+  // chain(x) => new A linked to x: every round's new node matches again.
+  Scheme s;
+  s.AddObjectLabel(Sym("A")).OrDie();
+  Instance g;
+  (void)*g.AddObjectNode(s, Sym("A"));
+  GraphBuilder b(s);
+  NodeId x = b.Object("A");
+  Rule grow;
+  grow.name = "grow";
+  grow.condition.full = b.BuildOrDie();
+  grow.condition.positive_nodes = {x};
+  grow.node = NodeAction{Sym("A"), {{Sym("from"), x}}};
+  RuleEngine engine;
+  engine.AddRule(std::move(grow)).OrDie();
+  EXPECT_TRUE(engine.Run(&s, &g, /*max_rounds=*/20).status()
+                  .IsResourceExhausted());
+}
+
+TEST_F(RulesTest, ValidationRejectsBadRules) {
+  RuleEngine engine;
+  GraphBuilder b(scheme_);
+  NodeId x = b.Object("Info");
+  NodeId hidden = b.Object("Info");
+  b.Edge(hidden, "links-to", x);
+
+  Rule nameless;
+  nameless.condition.full = b.graph();
+  nameless.condition.positive_nodes = {x};
+  nameless.node = NodeAction{Sym("T"), {{Sym("of"), x}}};
+  EXPECT_TRUE(engine.AddRule(nameless).IsInvalidArgument());
+
+  Rule actionless;
+  actionless.name = "a";
+  actionless.condition.full = b.graph();
+  actionless.condition.positive_nodes = {x};
+  EXPECT_TRUE(engine.AddRule(actionless).IsInvalidArgument());
+
+  Rule crossed_ref;
+  crossed_ref.name = "c";
+  crossed_ref.condition.full = b.graph();
+  crossed_ref.condition.positive_nodes = {x};
+  // Action references the crossed node — invalid.
+  crossed_ref.node = NodeAction{Sym("T"), {{Sym("of"), hidden}}};
+  EXPECT_TRUE(engine.AddRule(crossed_ref).IsInvalidArgument());
+
+  Rule dup_labels;
+  dup_labels.name = "d";
+  dup_labels.condition.full = b.graph();
+  dup_labels.condition.positive_nodes = {x};
+  dup_labels.node = NodeAction{Sym("T"), {{Sym("of"), x}, {Sym("of"), x}}};
+  EXPECT_TRUE(engine.AddRule(dup_labels).IsInvalidArgument());
+  EXPECT_EQ(engine.size(), 0u);
+}
+
+}  // namespace
+}  // namespace good::rules

@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include "schema/scheme.h"
+
+namespace good::schema {
+namespace {
+
+Scheme TinyScheme() {
+  Scheme s;
+  s.AddObjectLabel(Sym("Person")).OrDie();
+  s.AddObjectLabel(Sym("Company")).OrDie();
+  s.AddPrintableLabel(Sym("Name"), ValueKind::kString).OrDie();
+  s.AddFunctionalEdgeLabel(Sym("name")).OrDie();
+  s.AddMultivaluedEdgeLabel(Sym("works-for")).OrDie();
+  s.AddTriple(Sym("Person"), Sym("name"), Sym("Name")).OrDie();
+  s.AddTriple(Sym("Person"), Sym("works-for"), Sym("Company")).OrDie();
+  return s;
+}
+
+TEST(SchemeTest, LabelKindsAreTracked) {
+  Scheme s = TinyScheme();
+  EXPECT_TRUE(s.IsObjectLabel(Sym("Person")));
+  EXPECT_TRUE(s.IsPrintableLabel(Sym("Name")));
+  EXPECT_TRUE(s.IsNodeLabel(Sym("Name")));
+  EXPECT_TRUE(s.IsFunctionalEdgeLabel(Sym("name")));
+  EXPECT_TRUE(s.IsMultivaluedEdgeLabel(Sym("works-for")));
+  EXPECT_TRUE(s.IsEdgeLabel(Sym("works-for")));
+  EXPECT_FALSE(s.IsObjectLabel(Sym("Nonexistent")));
+  EXPECT_EQ(s.KindOf(Sym("Person")), LabelKind::kObject);
+  EXPECT_EQ(s.KindOf(Sym("Nonexistent")), std::nullopt);
+}
+
+TEST(SchemeTest, LabelSetsArePairwiseDisjoint) {
+  Scheme s = TinyScheme();
+  // Re-registering with a different kind must fail (the paper requires
+  // the four label sets to be pairwise disjoint).
+  EXPECT_TRUE(s.AddPrintableLabel(Sym("Person"), ValueKind::kString)
+                  .IsAlreadyExists());
+  EXPECT_TRUE(s.AddObjectLabel(Sym("name")).IsAlreadyExists());
+  EXPECT_TRUE(s.AddMultivaluedEdgeLabel(Sym("name")).IsAlreadyExists());
+}
+
+TEST(SchemeTest, DomainLookup) {
+  Scheme s = TinyScheme();
+  auto d = s.DomainOf(Sym("Name"));
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(*d, ValueKind::kString);
+  EXPECT_TRUE(s.DomainOf(Sym("Person")).status().IsNotFound());
+}
+
+TEST(SchemeTest, TripleTypingIsEnforced) {
+  Scheme s = TinyScheme();
+  // Source must be an object label.
+  EXPECT_TRUE(
+      s.AddTriple(Sym("Name"), Sym("name"), Sym("Person")).IsInvalidArgument());
+  // Edge must be an edge label.
+  EXPECT_TRUE(s.AddTriple(Sym("Person"), Sym("Company"), Sym("Name"))
+                  .IsInvalidArgument());
+  // Target must be a node label.
+  EXPECT_TRUE(s.AddTriple(Sym("Person"), Sym("name"), Sym("works-for"))
+                  .IsInvalidArgument());
+  // Duplicate triples are rejected.
+  EXPECT_TRUE(s.AddTriple(Sym("Person"), Sym("name"), Sym("Name"))
+                  .IsAlreadyExists());
+}
+
+TEST(SchemeTest, EnsureTripleIsIdempotent) {
+  Scheme s = TinyScheme();
+  EXPECT_TRUE(s.EnsureTriple(Sym("Person"), Sym("name"), Sym("Name")).ok());
+  EXPECT_EQ(s.num_triples(), 2u);
+}
+
+TEST(SchemeTest, TargetsOfReturnsAllAlternatives) {
+  Scheme s = TinyScheme();
+  s.AddPrintableLabel(Sym("Number"), ValueKind::kInt).OrDie();
+  s.AddFunctionalEdgeLabel(Sym("is")).OrDie();
+  s.AddTriple(Sym("Person"), Sym("is"), Sym("Name")).OrDie();
+  s.AddTriple(Sym("Person"), Sym("is"), Sym("Number")).OrDie();
+  auto targets = s.TargetsOf(Sym("Person"), Sym("is"));
+  EXPECT_EQ(targets.size(), 2u);
+}
+
+TEST(SchemeTest, SubschemeByInclusion) {
+  Scheme small = TinyScheme();
+  Scheme big = TinyScheme();
+  big.AddObjectLabel(Sym("Dept")).OrDie();
+  big.AddTriple(Sym("Person"), Sym("works-for"), Sym("Person")).OrDie();
+  EXPECT_TRUE(small.IsSubschemeOf(big));
+  EXPECT_FALSE(big.IsSubschemeOf(small));
+  EXPECT_TRUE(small.IsSubschemeOf(small));
+}
+
+TEST(SchemeTest, UnionIsLeastUpperBound) {
+  Scheme a = TinyScheme();
+  Scheme b;
+  b.AddObjectLabel(Sym("Person")).OrDie();
+  b.AddObjectLabel(Sym("Project")).OrDie();
+  b.AddMultivaluedEdgeLabel(Sym("works-on")).OrDie();
+  b.AddTriple(Sym("Person"), Sym("works-on"), Sym("Project")).OrDie();
+  auto u = Scheme::Union(a, b);
+  ASSERT_TRUE(u.ok());
+  EXPECT_TRUE(a.IsSubschemeOf(*u));
+  EXPECT_TRUE(b.IsSubschemeOf(*u));
+  EXPECT_EQ(u->num_triples(), 3u);
+}
+
+TEST(SchemeTest, UnionRejectsKindConflicts) {
+  Scheme a = TinyScheme();
+  Scheme b;
+  b.AddPrintableLabel(Sym("Person"), ValueKind::kString).OrDie();
+  EXPECT_FALSE(Scheme::Union(a, b).ok());
+}
+
+TEST(SchemeTest, UnionRejectsDomainConflicts) {
+  Scheme a;
+  a.AddPrintableLabel(Sym("Num"), ValueKind::kInt).OrDie();
+  Scheme b;
+  b.AddPrintableLabel(Sym("Num"), ValueKind::kDouble).OrDie();
+  EXPECT_FALSE(Scheme::Union(a, b).ok());
+}
+
+TEST(SchemeTest, EqualityIsMutualInclusion) {
+  Scheme a = TinyScheme();
+  Scheme b = TinyScheme();
+  EXPECT_TRUE(a == b);
+  b.AddObjectLabel(Sym("Extra")).OrDie();
+  EXPECT_FALSE(a == b);
+}
+
+Scheme IsaScheme() {
+  Scheme s;
+  s.AddObjectLabel(Sym("A")).OrDie();
+  s.AddObjectLabel(Sym("B")).OrDie();
+  s.AddObjectLabel(Sym("C")).OrDie();
+  s.AddFunctionalEdgeLabel(Sym("isa")).OrDie();
+  s.AddTriple(Sym("A"), Sym("isa"), Sym("B")).OrDie();
+  s.AddTriple(Sym("B"), Sym("isa"), Sym("C")).OrDie();
+  s.AddTriple(Sym("C"), Sym("isa"), Sym("A")).OrDie();
+  return s;
+}
+
+TEST(SchemeIsaTest, MarkAndQuery) {
+  Scheme s = IsaScheme();
+  EXPECT_TRUE(s.MarkIsa(Sym("A"), Sym("isa"), Sym("B")).ok());
+  EXPECT_TRUE(s.IsIsaTriple(Sym("A"), Sym("isa"), Sym("B")));
+  EXPECT_FALSE(s.IsIsaTriple(Sym("B"), Sym("isa"), Sym("C")));
+  auto supers = s.DirectSuperclasses(Sym("A"));
+  ASSERT_EQ(supers.size(), 1u);
+  EXPECT_EQ(supers[0].second, Sym("B"));
+}
+
+TEST(SchemeIsaTest, MarkRequiresExistingFunctionalObjectTriple) {
+  Scheme s = IsaScheme();
+  EXPECT_TRUE(s.MarkIsa(Sym("A"), Sym("isa"), Sym("C")).IsNotFound());
+  s.AddMultivaluedEdgeLabel(Sym("kind-of")).OrDie();
+  s.AddTriple(Sym("A"), Sym("kind-of"), Sym("C")).OrDie();
+  EXPECT_TRUE(
+      s.MarkIsa(Sym("A"), Sym("kind-of"), Sym("C")).IsInvalidArgument());
+}
+
+TEST(SchemeIsaTest, CyclesAreRejected) {
+  Scheme s = IsaScheme();
+  s.MarkIsa(Sym("A"), Sym("isa"), Sym("B")).OrDie();
+  s.MarkIsa(Sym("B"), Sym("isa"), Sym("C")).OrDie();
+  EXPECT_TRUE(s.MarkIsa(Sym("C"), Sym("isa"), Sym("A")).IsInvalidArgument());
+}
+
+TEST(SchemeIsaTest, SuperclassClosureIsTransitive) {
+  Scheme s = IsaScheme();
+  s.MarkIsa(Sym("A"), Sym("isa"), Sym("B")).OrDie();
+  s.MarkIsa(Sym("B"), Sym("isa"), Sym("C")).OrDie();
+  auto closure = s.SuperclassClosure(Sym("A"));
+  ASSERT_EQ(closure.size(), 3u);
+  EXPECT_EQ(closure[0], Sym("A"));  // Reflexive, label first.
+}
+
+TEST(SchemeTest, ToStringMentionsAllParts) {
+  Scheme s = TinyScheme();
+  std::string text = s.ToString();
+  EXPECT_NE(text.find("Person"), std::string::npos);
+  EXPECT_NE(text.find("works-for"), std::string::npos);
+  EXPECT_NE(text.find("OL"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace good::schema

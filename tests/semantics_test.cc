@@ -1,0 +1,316 @@
+/// Property tests checking that the procedural implementations (the
+/// Figure 9 algorithm and its analogues) satisfy the paper's DECLARATIVE
+/// definitions, on randomized databases:
+///
+///  NA: (1) the old instance is a subinstance of the result, (2) every
+///      pre-state matching is served by a K-node with the required
+///      functional edges, (3) no new edges leave pre-existing nodes,
+///      and minimality: every created node serves at least one matching.
+///  EA: result is minimal with the required edges for every matching.
+///  ND: result is the maximal subinstance avoiding all matched nodes.
+///  ED: result is the maximal subinstance avoiding all matched edges.
+///  AB: one set object per β-equivalence class with exactly the class
+///      as its α-neighbourhood.
+/// Plus: every operation preserves instance validity, and a long random
+/// program keeps the database valid after every step.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "graph/instance.h"
+#include "ops/operations.h"
+#include "pattern/builder.h"
+#include "pattern/matcher.h"
+#include "schema/scheme.h"
+
+namespace good::ops {
+namespace {
+
+using graph::Edge;
+using graph::Instance;
+using graph::NodeId;
+using pattern::GraphBuilder;
+using pattern::Matching;
+using schema::Scheme;
+
+Scheme TestScheme() {
+  Scheme s;
+  s.AddObjectLabel(Sym("A")).OrDie();
+  s.AddObjectLabel(Sym("B")).OrDie();
+  s.AddPrintableLabel(Sym("V"), ValueKind::kInt).OrDie();
+  s.AddFunctionalEdgeLabel(Sym("f")).OrDie();
+  s.AddMultivaluedEdgeLabel(Sym("m")).OrDie();
+  s.AddMultivaluedEdgeLabel(Sym("r")).OrDie();
+  s.AddTriple(Sym("A"), Sym("m"), Sym("B")).OrDie();
+  s.AddTriple(Sym("B"), Sym("m"), Sym("B")).OrDie();
+  s.AddTriple(Sym("A"), Sym("r"), Sym("A")).OrDie();
+  s.AddTriple(Sym("B"), Sym("f"), Sym("V")).OrDie();
+  return s;
+}
+
+Instance RandomInstance(const Scheme& s, std::mt19937* rng) {
+  Instance g;
+  std::vector<NodeId> as, bs;
+  size_t na = 2 + (*rng)() % 5;
+  size_t nb = 2 + (*rng)() % 5;
+  for (size_t i = 0; i < na; ++i) {
+    as.push_back(*g.AddObjectNode(s, Sym("A")));
+  }
+  for (size_t i = 0; i < nb; ++i) {
+    bs.push_back(*g.AddObjectNode(s, Sym("B")));
+  }
+  for (NodeId a : as) {
+    for (NodeId b : bs) {
+      if ((*rng)() % 3 == 0) g.AddEdge(s, a, Sym("m"), b).OrDie();
+    }
+    for (NodeId a2 : as) {
+      if (a != a2 && (*rng)() % 4 == 0) g.AddEdge(s, a, Sym("r"), a2).OrDie();
+    }
+  }
+  for (NodeId b : bs) {
+    for (NodeId b2 : bs) {
+      if ((*rng)() % 3 == 0) g.AddEdge(s, b, Sym("m"), b2).OrDie();
+    }
+    if ((*rng)() % 2 == 0) {
+      NodeId v = *g.AddPrintableNode(s, Sym("V"), Value(int64_t((*rng)() % 3)));
+      g.AddEdge(s, b, Sym("f"), v).OrDie();
+    }
+  }
+  return g;
+}
+
+/// Pattern: a(A) -m-> b(B), the workhorse for the sweeps.
+struct TestPattern {
+  pattern::Pattern p;
+  NodeId a, b;
+};
+TestPattern MakePattern(const Scheme& s) {
+  GraphBuilder builder(s);
+  NodeId a = builder.Object("A");
+  NodeId b = builder.Object("B");
+  builder.Edge(a, "m", b);
+  return TestPattern{builder.BuildOrDie(), a, b};
+}
+
+/// True iff `sub` is a subinstance of `super` under the identity map.
+bool IsSubinstance(const Instance& sub, const Instance& super) {
+  for (NodeId n : sub.AllNodes()) {
+    if (!super.HasNode(n) || super.LabelOf(n) != sub.LabelOf(n)) {
+      return false;
+    }
+  }
+  for (const Edge& e : sub.AllEdges()) {
+    if (!super.HasEdge(e.source, e.label, e.target)) return false;
+  }
+  return true;
+}
+
+class SemanticsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SemanticsTest, NodeAdditionSatisfiesDeclarativeConditions) {
+  std::mt19937 rng(GetParam());
+  Scheme s = TestScheme();
+  Instance before = RandomInstance(s, &rng);
+  TestPattern tp = MakePattern(s);
+  auto pre_matchings = pattern::FindMatchings(tp.p, before);
+  auto pre_nodes = before.AllNodes();
+
+  Instance after = before;
+  NodeAddition na(tp.p, Sym("K"), {{Sym("ka"), tp.a}, {Sym("kb"), tp.b}});
+  ASSERT_TRUE(na.Apply(&s, &after).ok());
+
+  // (1) I ⊆ I'.
+  EXPECT_TRUE(IsSubinstance(before, after));
+  // (2) every pre-state matching is served.
+  for (const Matching& m : pre_matchings) {
+    bool served = false;
+    for (NodeId k : after.NodesWithLabel(Sym("K"))) {
+      if (after.FunctionalTarget(k, Sym("ka")) == m.At(tp.a) &&
+          after.FunctionalTarget(k, Sym("kb")) == m.At(tp.b)) {
+        served = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(served);
+  }
+  // (3) no new edges leave pre-existing nodes.
+  for (NodeId n : pre_nodes) {
+    EXPECT_EQ(after.OutEdges(n).size(), before.OutEdges(n).size());
+  }
+  // Minimality: every K-node serves some matching.
+  std::set<std::pair<NodeId, NodeId>> images;
+  for (const Matching& m : pre_matchings) {
+    images.emplace(m.At(tp.a), m.At(tp.b));
+  }
+  for (NodeId k : after.NodesWithLabel(Sym("K"))) {
+    auto ka = after.FunctionalTarget(k, Sym("ka"));
+    auto kb = after.FunctionalTarget(k, Sym("kb"));
+    ASSERT_TRUE(ka.has_value() && kb.has_value());
+    EXPECT_TRUE(images.contains({*ka, *kb}));
+  }
+  EXPECT_TRUE(after.Validate(s).ok());
+}
+
+TEST_P(SemanticsTest, EdgeAdditionIsMinimalWithRequiredEdges) {
+  std::mt19937 rng(GetParam());
+  Scheme s = TestScheme();
+  Instance before = RandomInstance(s, &rng);
+  TestPattern tp = MakePattern(s);
+  auto pre_matchings = pattern::FindMatchings(tp.p, before);
+
+  Instance after = before;
+  EdgeAddition ea(tp.p,
+                  {EdgeSpec{tp.b, Sym("back"), tp.a, /*functional=*/false}});
+  ASSERT_TRUE(ea.Apply(&s, &after).ok());
+
+  EXPECT_TRUE(IsSubinstance(before, after));
+  // Every matching's edge exists.
+  std::set<std::pair<NodeId, NodeId>> required;
+  for (const Matching& m : pre_matchings) {
+    EXPECT_TRUE(after.HasEdge(m.At(tp.b), Sym("back"), m.At(tp.a)));
+    required.emplace(m.At(tp.b), m.At(tp.a));
+  }
+  // Minimality: no other back-edges, no new nodes.
+  for (const Edge& e : after.AllEdges()) {
+    if (e.label == Sym("back")) {
+      EXPECT_TRUE(required.contains({e.source, e.target}));
+    }
+  }
+  EXPECT_EQ(after.num_nodes(), before.num_nodes());
+  EXPECT_TRUE(after.Validate(s).ok());
+}
+
+TEST_P(SemanticsTest, NodeDeletionIsMaximalAvoidingMatchedNodes) {
+  std::mt19937 rng(GetParam());
+  Scheme s = TestScheme();
+  Instance before = RandomInstance(s, &rng);
+  TestPattern tp = MakePattern(s);
+  auto pre_matchings = pattern::FindMatchings(tp.p, before);
+  std::set<NodeId> doomed;
+  for (const Matching& m : pre_matchings) doomed.insert(m.At(tp.a));
+
+  Instance after = before;
+  NodeDeletion nd(tp.p, tp.a);
+  ASSERT_TRUE(nd.Apply(&s, &after).ok());
+
+  // Exactly the matched nodes disappeared.
+  for (NodeId n : before.AllNodes()) {
+    EXPECT_EQ(after.HasNode(n), !doomed.contains(n));
+  }
+  // Maximality: every surviving pre-state edge between survivors stays.
+  for (const Edge& e : before.AllEdges()) {
+    if (!doomed.contains(e.source) && !doomed.contains(e.target)) {
+      EXPECT_TRUE(after.HasEdge(e.source, e.label, e.target));
+    }
+  }
+  EXPECT_TRUE(after.Validate(s).ok());
+}
+
+TEST_P(SemanticsTest, EdgeDeletionIsMaximalAvoidingMatchedEdges) {
+  std::mt19937 rng(GetParam());
+  Scheme s = TestScheme();
+  Instance before = RandomInstance(s, &rng);
+  TestPattern tp = MakePattern(s);
+  auto pre_matchings = pattern::FindMatchings(tp.p, before);
+  std::set<std::pair<NodeId, NodeId>> doomed;
+  for (const Matching& m : pre_matchings) {
+    doomed.emplace(m.At(tp.a), m.At(tp.b));
+  }
+
+  Instance after = before;
+  EdgeDeletion ed(tp.p, {EdgeRef{tp.a, Sym("m"), tp.b}});
+  ASSERT_TRUE(ed.Apply(&s, &after).ok());
+
+  EXPECT_EQ(after.num_nodes(), before.num_nodes());
+  for (const Edge& e : before.AllEdges()) {
+    bool is_doomed = e.label == Sym("m") &&
+                     before.LabelOf(e.source) == Sym("A") &&
+                     doomed.contains({e.source, e.target});
+    EXPECT_EQ(after.HasEdge(e.source, e.label, e.target), !is_doomed);
+  }
+  EXPECT_TRUE(after.Validate(s).ok());
+}
+
+TEST_P(SemanticsTest, AbstractionClassesAreExactlyBetaEquivalence) {
+  std::mt19937 rng(GetParam());
+  Scheme s = TestScheme();
+  Instance before = RandomInstance(s, &rng);
+  GraphBuilder builder(s);
+  NodeId bnode = builder.Object("B");
+  pattern::Pattern p = builder.BuildOrDie();
+
+  Instance after = before;
+  Abstraction ab(p, bnode, Sym("Set"), Sym("elem"), Sym("m"));
+  ASSERT_TRUE(ab.Apply(&s, &after).ok());
+
+  // Reference grouping.
+  std::map<std::set<NodeId>, std::set<NodeId>> classes;
+  for (NodeId b : before.NodesWithLabel(Sym("B"))) {
+    auto succ = before.OutTargets(b, Sym("m"));
+    classes[std::set<NodeId>(succ.begin(), succ.end())].insert(b);
+  }
+  // One set object per class, with exactly the class as members.
+  auto sets = after.NodesWithLabel(Sym("Set"));
+  ASSERT_EQ(sets.size(), classes.size());
+  std::set<std::set<NodeId>> memberships;
+  for (NodeId set : sets) {
+    auto members = after.OutTargets(set, Sym("elem"));
+    memberships.insert(std::set<NodeId>(members.begin(), members.end()));
+  }
+  for (const auto& [beta, members] : classes) {
+    (void)beta;
+    EXPECT_TRUE(memberships.contains(members));
+  }
+  EXPECT_TRUE(after.Validate(s).ok());
+}
+
+TEST_P(SemanticsTest, RandomProgramPreservesValidity) {
+  // Fuzz: a sequence of random operations; validity must hold after
+  // every step and matchings are always computed against the pre-state.
+  std::mt19937 rng(GetParam() + 1000);
+  Scheme s = TestScheme();
+  Instance g = RandomInstance(s, &rng);
+  for (int step = 0; step < 20; ++step) {
+    TestPattern tp = MakePattern(s);
+    switch (rng() % 5) {
+      case 0: {
+        NodeAddition na(tp.p, Sym("K" + std::to_string(rng() % 3)),
+                        {{Sym("ka"), tp.a}});
+        ASSERT_TRUE(na.Apply(&s, &g).ok());
+        break;
+      }
+      case 1: {
+        EdgeAddition ea(
+            tp.p, {EdgeSpec{tp.b, Sym("back"), tp.a, /*functional=*/false}});
+        ASSERT_TRUE(ea.Apply(&s, &g).ok());
+        break;
+      }
+      case 2: {
+        NodeDeletion nd(tp.p, rng() % 2 == 0 ? tp.a : tp.b);
+        ASSERT_TRUE(nd.Apply(&s, &g).ok());
+        break;
+      }
+      case 3: {
+        EdgeDeletion ed(tp.p, {EdgeRef{tp.a, Sym("m"), tp.b}});
+        ASSERT_TRUE(ed.Apply(&s, &g).ok());
+        break;
+      }
+      default: {
+        GraphBuilder builder(s);
+        NodeId b = builder.Object("B");
+        Abstraction ab(builder.BuildOrDie(), b,
+                       Sym("S" + std::to_string(rng() % 3)), Sym("elem"),
+                       Sym("m"));
+        ASSERT_TRUE(ab.Apply(&s, &g).ok());
+        break;
+      }
+    }
+    ASSERT_TRUE(g.Validate(s).ok()) << "step " << step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SemanticsTest, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace good::ops

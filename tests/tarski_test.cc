@@ -1,0 +1,216 @@
+/// Tests for the Tarski binary-relation algebra and the Section 5
+/// Indiana-route backend (differential against the native matcher).
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "graph/instance.h"
+#include "hypermedia/hypermedia.h"
+#include "pattern/builder.h"
+#include "tarski/backend.h"
+#include "tarski/binary_relation.h"
+
+namespace good::tarski {
+namespace {
+
+using graph::Instance;
+using graph::NodeId;
+using pattern::GraphBuilder;
+using schema::Scheme;
+
+BinaryRelation R(std::initializer_list<std::pair<Oid, Oid>> pairs) {
+  BinaryRelation out;
+  for (const auto& [a, b] : pairs) out.Add(a, b);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Algebra
+// ---------------------------------------------------------------------------
+
+TEST(BinaryRelationTest, ComposeFollowsPaths) {
+  BinaryRelation r = R({{1, 2}, {2, 3}, {3, 4}});
+  BinaryRelation rr = r.Compose(r);
+  EXPECT_EQ(rr, R({{1, 3}, {2, 4}}));
+  EXPECT_TRUE(r.Compose(BinaryRelation()).empty());
+}
+
+TEST(BinaryRelationTest, ComposeIsAssociative) {
+  BinaryRelation a = R({{1, 2}, {2, 2}, {3, 1}});
+  BinaryRelation b = R({{2, 5}, {1, 4}, {2, 4}});
+  BinaryRelation c = R({{4, 7}, {5, 7}, {5, 8}});
+  EXPECT_EQ(a.Compose(b).Compose(c), a.Compose(b.Compose(c)));
+}
+
+TEST(BinaryRelationTest, ConverseLaws) {
+  BinaryRelation a = R({{1, 2}, {3, 4}});
+  BinaryRelation b = R({{2, 9}, {4, 9}});
+  EXPECT_EQ(a.Converse().Converse(), a);
+  // (a;b)˘ = b˘;a˘ — the Tarski converse-of-composition law.
+  EXPECT_EQ(a.Compose(b).Converse(), b.Converse().Compose(a.Converse()));
+}
+
+TEST(BinaryRelationTest, BooleanOperations) {
+  BinaryRelation a = R({{1, 1}, {1, 2}});
+  BinaryRelation b = R({{1, 2}, {2, 2}});
+  EXPECT_EQ(a.Union(b), R({{1, 1}, {1, 2}, {2, 2}}));
+  EXPECT_EQ(a.Intersect(b), R({{1, 2}}));
+  EXPECT_EQ(a.Difference(b), R({{1, 1}}));
+}
+
+TEST(BinaryRelationTest, DomainRangeAndRestrictions) {
+  BinaryRelation a = R({{1, 10}, {2, 20}, {3, 10}});
+  EXPECT_EQ(a.Domain(), (OidSet{1, 2, 3}));
+  EXPECT_EQ(a.Range(), (OidSet{10, 20}));
+  EXPECT_EQ(a.DomainRestrict({1, 3}), R({{1, 10}, {3, 10}}));
+  EXPECT_EQ(a.RangeRestrict({20}), R({{2, 20}}));
+}
+
+TEST(BinaryRelationTest, IdentityIsCompositionNeutral) {
+  BinaryRelation a = R({{1, 2}, {2, 3}});
+  BinaryRelation id = BinaryRelation::Identity({1, 2, 3});
+  EXPECT_EQ(id.Compose(a), a);
+  EXPECT_EQ(a.Compose(id), a);
+}
+
+TEST(BinaryRelationTest, TransitiveClosure) {
+  BinaryRelation chain = R({{1, 2}, {2, 3}, {3, 4}});
+  EXPECT_EQ(chain.TransitiveClosure(),
+            R({{1, 2}, {1, 3}, {1, 4}, {2, 3}, {2, 4}, {3, 4}}));
+  // A cycle closes onto itself.
+  BinaryRelation cycle = R({{1, 2}, {2, 1}});
+  EXPECT_EQ(cycle.TransitiveClosure(),
+            R({{1, 1}, {1, 2}, {2, 1}, {2, 2}}));
+  EXPECT_TRUE(BinaryRelation().TransitiveClosure().empty());
+}
+
+// ---------------------------------------------------------------------------
+// Backend
+// ---------------------------------------------------------------------------
+
+class TarskiBackendTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    scheme_ = hypermedia::BuildScheme().ValueOrDie();
+    auto built = hypermedia::BuildInstance(scheme_).ValueOrDie();
+    instance_ = std::move(built.instance);
+    nodes_ = built.nodes;
+    backend_ = std::make_unique<TarskiBackend>(
+        TarskiBackend::Load(scheme_, instance_).ValueOrDie());
+  }
+
+  Scheme scheme_;
+  Instance instance_;
+  hypermedia::InstanceNodes nodes_;
+  std::unique_ptr<TarskiBackend> backend_;
+};
+
+TEST_F(TarskiBackendTest, StorageMapping) {
+  EXPECT_EQ(backend_->NodeSet(Sym("Info")).size(), 13u);
+  EXPECT_EQ(backend_->Relation(Sym("links-to")).size(), 13u);
+  EXPECT_EQ(backend_->Relation(Sym("created")).size(), 9u);
+  EXPECT_TRUE(backend_->NodeSet(Sym("Nonexistent")).empty());
+  EXPECT_TRUE(backend_->Relation(Sym("nonexistent")).empty());
+}
+
+TEST_F(TarskiBackendTest, Fig4PatternMatches) {
+  auto fig4 = hypermedia::Fig4Pattern(scheme_).ValueOrDie();
+  auto matchings = backend_->FindMatchings(fig4.pattern).ValueOrDie();
+  ASSERT_EQ(matchings.size(), 2u);
+  std::set<NodeId> lower;
+  for (const auto& m : matchings) lower.insert(m.At(fig4.lower_info));
+  EXPECT_EQ(lower, (std::set<NodeId>{nodes_.doors, nodes_.pinkfloyd}));
+}
+
+TEST_F(TarskiBackendTest, ReductionPrunesButNeverDropsSolutions) {
+  auto fig4 = hypermedia::Fig4Pattern(scheme_).ValueOrDie();
+  auto candidates = backend_->ReduceCandidates(fig4.pattern).ValueOrDie();
+  // The upper node's candidates are pruned down from 13 infos.
+  EXPECT_LT(candidates[fig4.upper_info].size(), 13u);
+  // Soundness: every native matching image survives the reduction.
+  for (const auto& m : pattern::FindMatchings(fig4.pattern, instance_)) {
+    for (const auto& [pattern_node, image] : m.map()) {
+      EXPECT_TRUE(candidates[pattern_node].contains(image.id));
+    }
+  }
+}
+
+TEST_F(TarskiBackendTest, EmptyPatternHasOneMatching) {
+  auto matchings = backend_->FindMatchings(pattern::Pattern()).ValueOrDie();
+  EXPECT_EQ(matchings.size(), 1u);
+}
+
+TEST_F(TarskiBackendTest, ClosureComputesReachability) {
+  BinaryRelation closure = backend_->Closure(Sym("links-to"));
+  // Music History transitively reaches every document below it.
+  for (NodeId doc : {nodes_.pinkfloyd, nodes_.doors, nodes_.mozart,
+                     nodes_.beatles, nodes_.jazz}) {
+    EXPECT_TRUE(closure.Contains(nodes_.music_history.id, doc.id));
+  }
+  EXPECT_FALSE(closure.Contains(nodes_.mozart.id, nodes_.music_history.id));
+}
+
+TEST_F(TarskiBackendTest, SelfLoopPatterns) {
+  // A pattern self-loop must only match instance self-loops.
+  Instance g;
+  NodeId a = *g.AddObjectNode(scheme_, Sym("Info"));
+  NodeId b = *g.AddObjectNode(scheme_, Sym("Info"));
+  g.AddEdge(scheme_, a, Sym("links-to"), a).OrDie();
+  g.AddEdge(scheme_, a, Sym("links-to"), b).OrDie();
+  auto backend = TarskiBackend::Load(scheme_, g).ValueOrDie();
+  GraphBuilder pb(scheme_);
+  NodeId x = pb.Object("Info");
+  pb.Edge(x, "links-to", x);
+  auto matchings = backend.FindMatchings(pb.BuildOrDie()).ValueOrDie();
+  ASSERT_EQ(matchings.size(), 1u);
+  EXPECT_EQ(matchings[0].At(x), a);
+}
+
+class TarskiDifferentialTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TarskiDifferentialTest, RandomPatternsAgreeWithNativeMatcher) {
+  std::mt19937 rng(GetParam());
+  Scheme scheme = hypermedia::BuildScheme().ValueOrDie();
+  auto built = hypermedia::BuildInstance(scheme).ValueOrDie();
+  Instance instance = std::move(built.instance);
+  auto backend = TarskiBackend::Load(scheme, instance).ValueOrDie();
+
+  GraphBuilder b(scheme);
+  int n = 1 + static_cast<int>(rng() % 3);
+  std::vector<NodeId> infos;
+  for (int i = 0; i < n; ++i) infos.push_back(b.Object("Info"));
+  for (int i = 0; i + 1 < n; ++i) {
+    if (rng() % 2 == 0) b.Edge(infos[i], "links-to", infos[i + 1]);
+  }
+  if (rng() % 2 == 0) {
+    NodeId date = (rng() % 2 == 0)
+                      ? b.Printable("Date", Value(Date{1990, 1, 14}))
+                      : b.Printable("Date");
+    b.Edge(infos[0], "created", date);
+  }
+  if (rng() % 3 == 0) {
+    NodeId name = b.Printable("String");
+    b.Edge(infos[n - 1], "name", name);
+  }
+  pattern::Pattern p = b.BuildOrDie();
+
+  auto native = pattern::FindMatchings(p, instance);
+  auto tarski = backend.FindMatchings(p).ValueOrDie();
+  ASSERT_EQ(native.size(), tarski.size()) << "seed=" << GetParam();
+  auto key = [&](const pattern::Matching& m) {
+    std::string k;
+    for (NodeId node : p.AllNodes()) k += std::to_string(m.At(node).id) + ",";
+    return k;
+  };
+  std::set<std::string> nk, tk;
+  for (const auto& m : native) nk.insert(key(m));
+  for (const auto& m : tarski) tk.insert(key(m));
+  EXPECT_EQ(nk, tk) << "seed=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TarskiDifferentialTest,
+                         ::testing::Range(0, 30));
+
+}  // namespace
+}  // namespace good::tarski
