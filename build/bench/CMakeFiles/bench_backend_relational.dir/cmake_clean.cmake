@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_backend_relational.dir/bench_backend_relational.cc.o"
+  "CMakeFiles/bench_backend_relational.dir/bench_backend_relational.cc.o.d"
+  "bench_backend_relational"
+  "bench_backend_relational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_backend_relational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_backend_tarski.dir/bench_backend_tarski.cc.o"
+  "CMakeFiles/bench_backend_tarski.dir/bench_backend_tarski.cc.o.d"
+  "bench_backend_tarski"
+  "bench_backend_tarski.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_backend_tarski.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_codd.dir/bench_codd.cc.o"
+  "CMakeFiles/bench_codd.dir/bench_codd.cc.o.d"
+  "bench_codd"
+  "bench_codd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_codd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

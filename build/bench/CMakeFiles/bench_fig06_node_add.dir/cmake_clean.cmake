@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_node_add.dir/bench_fig06_node_add.cc.o"
+  "CMakeFiles/bench_fig06_node_add.dir/bench_fig06_node_add.cc.o.d"
+  "bench_fig06_node_add"
+  "bench_fig06_node_add.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_node_add.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

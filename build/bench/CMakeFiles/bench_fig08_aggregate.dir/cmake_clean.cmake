@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_aggregate.dir/bench_fig08_aggregate.cc.o"
+  "CMakeFiles/bench_fig08_aggregate.dir/bench_fig08_aggregate.cc.o.d"
+  "bench_fig08_aggregate"
+  "bench_fig08_aggregate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_aggregate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_edge_add.dir/bench_fig10_edge_add.cc.o"
+  "CMakeFiles/bench_fig10_edge_add.dir/bench_fig10_edge_add.cc.o.d"
+  "bench_fig10_edge_add"
+  "bench_fig10_edge_add.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_edge_add.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_node_del.dir/bench_fig14_node_del.cc.o"
+  "CMakeFiles/bench_fig14_node_del.dir/bench_fig14_node_del.cc.o.d"
+  "bench_fig14_node_del"
+  "bench_fig14_node_del.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_node_del.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_abstraction.dir/bench_fig18_abstraction.cc.o"
+  "CMakeFiles/bench_fig18_abstraction.dir/bench_fig18_abstraction.cc.o.d"
+  "bench_fig18_abstraction"
+  "bench_fig18_abstraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_abstraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig20_method_call.dir/bench_fig20_method_call.cc.o"
+  "CMakeFiles/bench_fig20_method_call.dir/bench_fig20_method_call.cc.o.d"
+  "bench_fig20_method_call"
+  "bench_fig20_method_call.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig20_method_call.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

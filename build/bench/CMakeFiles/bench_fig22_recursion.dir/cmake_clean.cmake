@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig22_recursion.dir/bench_fig22_recursion.cc.o"
+  "CMakeFiles/bench_fig22_recursion.dir/bench_fig22_recursion.cc.o.d"
+  "bench_fig22_recursion"
+  "bench_fig22_recursion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig22_recursion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig26_negation.dir/bench_fig26_negation.cc.o"
+  "CMakeFiles/bench_fig26_negation.dir/bench_fig26_negation.cc.o.d"
+  "bench_fig26_negation"
+  "bench_fig26_negation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig26_negation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

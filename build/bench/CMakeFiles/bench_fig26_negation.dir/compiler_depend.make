@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig26_negation.
+# This may be replaced when dependencies are built.

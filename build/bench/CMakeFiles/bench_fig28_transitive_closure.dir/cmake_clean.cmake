@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig28_transitive_closure.dir/bench_fig28_transitive_closure.cc.o"
+  "CMakeFiles/bench_fig28_transitive_closure.dir/bench_fig28_transitive_closure.cc.o.d"
+  "bench_fig28_transitive_closure"
+  "bench_fig28_transitive_closure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig28_transitive_closure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig28_transitive_closure.
+# This may be replaced when dependencies are built.

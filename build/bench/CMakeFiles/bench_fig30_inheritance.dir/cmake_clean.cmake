@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig30_inheritance.dir/bench_fig30_inheritance.cc.o"
+  "CMakeFiles/bench_fig30_inheritance.dir/bench_fig30_inheritance.cc.o.d"
+  "bench_fig30_inheritance"
+  "bench_fig30_inheritance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig30_inheritance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_instance_build.dir/bench_instance_build.cc.o"
+  "CMakeFiles/bench_instance_build.dir/bench_instance_build.cc.o.d"
+  "bench_instance_build"
+  "bench_instance_build.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_instance_build.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

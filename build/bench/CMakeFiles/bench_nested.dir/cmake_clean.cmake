@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nested.dir/bench_nested.cc.o"
+  "CMakeFiles/bench_nested.dir/bench_nested.cc.o.d"
+  "bench_nested"
+  "bench_nested.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nested.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

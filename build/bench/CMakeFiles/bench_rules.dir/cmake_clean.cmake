@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rules.dir/bench_rules.cc.o"
+  "CMakeFiles/bench_rules.dir/bench_rules.cc.o.d"
+  "bench_rules"
+  "bench_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

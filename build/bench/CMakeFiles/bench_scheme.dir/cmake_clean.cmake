@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scheme.dir/bench_scheme.cc.o"
+  "CMakeFiles/bench_scheme.dir/bench_scheme.cc.o.d"
+  "bench_scheme"
+  "bench_scheme.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scheme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_turing.dir/bench_turing.cc.o"
+  "CMakeFiles/bench_turing.dir/bench_turing.cc.o.d"
+  "bench_turing"
+  "bench_turing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_turing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

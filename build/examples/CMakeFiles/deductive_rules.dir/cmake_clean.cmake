@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deductive_rules.dir/deductive_rules.cpp.o"
+  "CMakeFiles/deductive_rules.dir/deductive_rules.cpp.o.d"
+  "deductive_rules"
+  "deductive_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deductive_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

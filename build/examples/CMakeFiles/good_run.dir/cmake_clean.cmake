@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/good_run.dir/good_run.cpp.o"
+  "CMakeFiles/good_run.dir/good_run.cpp.o.d"
+  "good_run"
+  "good_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/good_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypermedia_tour.dir/hypermedia_tour.cpp.o"
+  "CMakeFiles/hypermedia_tour.dir/hypermedia_tour.cpp.o.d"
+  "hypermedia_tour"
+  "hypermedia_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypermedia_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

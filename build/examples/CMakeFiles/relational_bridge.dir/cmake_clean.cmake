@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relational_bridge.dir/relational_bridge.cpp.o"
+  "CMakeFiles/relational_bridge.dir/relational_bridge.cpp.o.d"
+  "relational_bridge"
+  "relational_bridge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relational_bridge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turing_demo.dir/turing_demo.cpp.o"
+  "CMakeFiles/turing_demo.dir/turing_demo.cpp.o.d"
+  "turing_demo"
+  "turing_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turing_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/version_control.dir/version_control.cpp.o"
+  "CMakeFiles/version_control.dir/version_control.cpp.o.d"
+  "version_control"
+  "version_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/version_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

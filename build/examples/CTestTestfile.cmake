@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(good_run_query "/root/repo/build/examples/good_run" "/root/repo/examples/data/music.good" "/root/repo/examples/data/tag_rock.goodp" "--format" "text")
+set_tests_properties(good_run_query PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(good_run_dot "/root/repo/build/examples/good_run" "/root/repo/examples/data/music.good" "/root/repo/examples/data/tag_rock.goodp" "--format" "dot")
+set_tests_properties(good_run_dot PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(good_run_method_call "/root/repo/build/examples/good_run" "/root/repo/examples/data/music.good" "/root/repo/examples/data/touch_rock.goodp" "--methods" "/root/repo/examples/data/update.goodm" "--mode" "update")
+set_tests_properties(good_run_method_call PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(good_run_rejects_bad_input "/root/repo/build/examples/good_run" "/root/repo/examples/data/music.good" "/root/repo/examples/data/music.good")
+set_tests_properties(good_run_rejects_bad_input PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;29;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(quickstart_smoke "/root/repo/build/examples/quickstart")
+set_tests_properties(quickstart_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;33;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(hypermedia_tour_smoke "/root/repo/build/examples/hypermedia_tour")
+set_tests_properties(hypermedia_tour_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;34;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(version_control_smoke "/root/repo/build/examples/version_control")
+set_tests_properties(version_control_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;35;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(relational_bridge_smoke "/root/repo/build/examples/relational_bridge")
+set_tests_properties(relational_bridge_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;36;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(turing_demo_smoke "/root/repo/build/examples/turing_demo")
+set_tests_properties(turing_demo_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;37;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(deductive_rules_smoke "/root/repo/build/examples/deductive_rules")
+set_tests_properties(deductive_rules_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;38;add_test;/root/repo/examples/CMakeLists.txt;0;")

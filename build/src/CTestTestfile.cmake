@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("schema")
+subdirs("graph")
+subdirs("pattern")
+subdirs("ops")
+subdirs("method")
+subdirs("macro")
+subdirs("program")
+subdirs("relational")
+subdirs("tarski")
+subdirs("codd")
+subdirs("nested")
+subdirs("turing")
+subdirs("hypermedia")
+subdirs("gen")
+subdirs("rules")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/good_codd.dir/codd.cc.o"
+  "CMakeFiles/good_codd.dir/codd.cc.o.d"
+  "libgood_codd.a"
+  "libgood_codd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/good_codd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

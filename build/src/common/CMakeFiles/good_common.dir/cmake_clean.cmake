@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/good_common.dir/interner.cc.o"
+  "CMakeFiles/good_common.dir/interner.cc.o.d"
+  "CMakeFiles/good_common.dir/status.cc.o"
+  "CMakeFiles/good_common.dir/status.cc.o.d"
+  "CMakeFiles/good_common.dir/value.cc.o"
+  "CMakeFiles/good_common.dir/value.cc.o.d"
+  "libgood_common.a"
+  "libgood_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/good_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/good_gen.dir/generators.cc.o"
+  "CMakeFiles/good_gen.dir/generators.cc.o.d"
+  "libgood_gen.a"
+  "libgood_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/good_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

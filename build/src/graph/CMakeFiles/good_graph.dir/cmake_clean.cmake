@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/good_graph.dir/instance.cc.o"
+  "CMakeFiles/good_graph.dir/instance.cc.o.d"
+  "CMakeFiles/good_graph.dir/isomorphism.cc.o"
+  "CMakeFiles/good_graph.dir/isomorphism.cc.o.d"
+  "CMakeFiles/good_graph.dir/restrict.cc.o"
+  "CMakeFiles/good_graph.dir/restrict.cc.o.d"
+  "libgood_graph.a"
+  "libgood_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/good_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/good_hypermedia.dir/hypermedia.cc.o"
+  "CMakeFiles/good_hypermedia.dir/hypermedia.cc.o.d"
+  "CMakeFiles/good_hypermedia.dir/methods.cc.o"
+  "CMakeFiles/good_hypermedia.dir/methods.cc.o.d"
+  "libgood_hypermedia.a"
+  "libgood_hypermedia.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/good_hypermedia.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

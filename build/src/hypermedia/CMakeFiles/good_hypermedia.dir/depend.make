@@ -1,0 +1,2 @@
+# Empty dependencies file for good_hypermedia.
+# This may be replaced when dependencies are built.

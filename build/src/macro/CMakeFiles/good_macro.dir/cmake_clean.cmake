@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/good_macro.dir/inheritance.cc.o"
+  "CMakeFiles/good_macro.dir/inheritance.cc.o.d"
+  "CMakeFiles/good_macro.dir/negation.cc.o"
+  "CMakeFiles/good_macro.dir/negation.cc.o.d"
+  "CMakeFiles/good_macro.dir/recursive.cc.o"
+  "CMakeFiles/good_macro.dir/recursive.cc.o.d"
+  "CMakeFiles/good_macro.dir/set_query.cc.o"
+  "CMakeFiles/good_macro.dir/set_query.cc.o.d"
+  "libgood_macro.a"
+  "libgood_macro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/good_macro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

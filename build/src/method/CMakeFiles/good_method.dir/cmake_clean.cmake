@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/good_method.dir/method.cc.o"
+  "CMakeFiles/good_method.dir/method.cc.o.d"
+  "libgood_method.a"
+  "libgood_method.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/good_method.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgood_method.a"
+)

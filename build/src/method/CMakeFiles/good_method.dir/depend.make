@@ -1,0 +1,2 @@
+# Empty dependencies file for good_method.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/good_nested.dir/nested.cc.o"
+  "CMakeFiles/good_nested.dir/nested.cc.o.d"
+  "libgood_nested.a"
+  "libgood_nested.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/good_nested.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

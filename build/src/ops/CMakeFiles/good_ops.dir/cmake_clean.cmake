@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/good_ops.dir/computed.cc.o"
+  "CMakeFiles/good_ops.dir/computed.cc.o.d"
+  "CMakeFiles/good_ops.dir/operations.cc.o"
+  "CMakeFiles/good_ops.dir/operations.cc.o.d"
+  "libgood_ops.a"
+  "libgood_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/good_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/good_pattern.dir/matcher.cc.o"
+  "CMakeFiles/good_pattern.dir/matcher.cc.o.d"
+  "libgood_pattern.a"
+  "libgood_pattern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/good_pattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/program/browse.cc" "src/program/CMakeFiles/good_program.dir/browse.cc.o" "gcc" "src/program/CMakeFiles/good_program.dir/browse.cc.o.d"
+  "/root/repo/src/program/dot.cc" "src/program/CMakeFiles/good_program.dir/dot.cc.o" "gcc" "src/program/CMakeFiles/good_program.dir/dot.cc.o.d"
+  "/root/repo/src/program/method_serialize.cc" "src/program/CMakeFiles/good_program.dir/method_serialize.cc.o" "gcc" "src/program/CMakeFiles/good_program.dir/method_serialize.cc.o.d"
+  "/root/repo/src/program/op_serialize.cc" "src/program/CMakeFiles/good_program.dir/op_serialize.cc.o" "gcc" "src/program/CMakeFiles/good_program.dir/op_serialize.cc.o.d"
+  "/root/repo/src/program/program.cc" "src/program/CMakeFiles/good_program.dir/program.cc.o" "gcc" "src/program/CMakeFiles/good_program.dir/program.cc.o.d"
+  "/root/repo/src/program/serialize.cc" "src/program/CMakeFiles/good_program.dir/serialize.cc.o" "gcc" "src/program/CMakeFiles/good_program.dir/serialize.cc.o.d"
+  "/root/repo/src/program/text.cc" "src/program/CMakeFiles/good_program.dir/text.cc.o" "gcc" "src/program/CMakeFiles/good_program.dir/text.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/method/CMakeFiles/good_method.dir/DependInfo.cmake"
+  "/root/repo/build/src/ops/CMakeFiles/good_ops.dir/DependInfo.cmake"
+  "/root/repo/build/src/pattern/CMakeFiles/good_pattern.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/good_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/schema/CMakeFiles/good_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/good_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

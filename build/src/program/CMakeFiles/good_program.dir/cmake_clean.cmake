@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/good_program.dir/browse.cc.o"
+  "CMakeFiles/good_program.dir/browse.cc.o.d"
+  "CMakeFiles/good_program.dir/dot.cc.o"
+  "CMakeFiles/good_program.dir/dot.cc.o.d"
+  "CMakeFiles/good_program.dir/method_serialize.cc.o"
+  "CMakeFiles/good_program.dir/method_serialize.cc.o.d"
+  "CMakeFiles/good_program.dir/op_serialize.cc.o"
+  "CMakeFiles/good_program.dir/op_serialize.cc.o.d"
+  "CMakeFiles/good_program.dir/program.cc.o"
+  "CMakeFiles/good_program.dir/program.cc.o.d"
+  "CMakeFiles/good_program.dir/serialize.cc.o"
+  "CMakeFiles/good_program.dir/serialize.cc.o.d"
+  "CMakeFiles/good_program.dir/text.cc.o"
+  "CMakeFiles/good_program.dir/text.cc.o.d"
+  "libgood_program.a"
+  "libgood_program.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/good_program.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

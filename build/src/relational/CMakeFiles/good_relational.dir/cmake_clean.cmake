@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/good_relational.dir/algebra.cc.o"
+  "CMakeFiles/good_relational.dir/algebra.cc.o.d"
+  "CMakeFiles/good_relational.dir/backend.cc.o"
+  "CMakeFiles/good_relational.dir/backend.cc.o.d"
+  "CMakeFiles/good_relational.dir/relation.cc.o"
+  "CMakeFiles/good_relational.dir/relation.cc.o.d"
+  "libgood_relational.a"
+  "libgood_relational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/good_relational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/good_rules.dir/rules.cc.o"
+  "CMakeFiles/good_rules.dir/rules.cc.o.d"
+  "libgood_rules.a"
+  "libgood_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/good_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/good_schema.dir/scheme.cc.o"
+  "CMakeFiles/good_schema.dir/scheme.cc.o.d"
+  "libgood_schema.a"
+  "libgood_schema.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/good_schema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for good_schema.
+# This may be replaced when dependencies are built.

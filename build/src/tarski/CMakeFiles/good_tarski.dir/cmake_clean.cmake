@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/good_tarski.dir/backend.cc.o"
+  "CMakeFiles/good_tarski.dir/backend.cc.o.d"
+  "CMakeFiles/good_tarski.dir/binary_relation.cc.o"
+  "CMakeFiles/good_tarski.dir/binary_relation.cc.o.d"
+  "libgood_tarski.a"
+  "libgood_tarski.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/good_tarski.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/good_turing.dir/turing.cc.o"
+  "CMakeFiles/good_turing.dir/turing.cc.o.d"
+  "libgood_turing.a"
+  "libgood_turing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/good_turing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backend_fuzz_test.dir/backend_fuzz_test.cc.o"
+  "CMakeFiles/backend_fuzz_test.dir/backend_fuzz_test.cc.o.d"
+  "backend_fuzz_test"
+  "backend_fuzz_test.pdb"
+  "backend_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backend_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/browse_test.dir/browse_test.cc.o"
+  "CMakeFiles/browse_test.dir/browse_test.cc.o.d"
+  "browse_test"
+  "browse_test.pdb"
+  "browse_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/browse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codd_test.dir/codd_test.cc.o"
+  "CMakeFiles/codd_test.dir/codd_test.cc.o.d"
+  "codd_test"
+  "codd_test.pdb"
+  "codd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

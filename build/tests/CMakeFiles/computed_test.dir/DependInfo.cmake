@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/computed_test.cc" "tests/CMakeFiles/computed_test.dir/computed_test.cc.o" "gcc" "tests/CMakeFiles/computed_test.dir/computed_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ops/CMakeFiles/good_ops.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/good_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/pattern/CMakeFiles/good_pattern.dir/DependInfo.cmake"
+  "/root/repo/build/src/schema/CMakeFiles/good_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/good_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/computed_test.dir/computed_test.cc.o"
+  "CMakeFiles/computed_test.dir/computed_test.cc.o.d"
+  "computed_test"
+  "computed_test.pdb"
+  "computed_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/computed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

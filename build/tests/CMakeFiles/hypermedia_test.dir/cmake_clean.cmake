@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypermedia_test.dir/hypermedia_test.cc.o"
+  "CMakeFiles/hypermedia_test.dir/hypermedia_test.cc.o.d"
+  "hypermedia_test"
+  "hypermedia_test.pdb"
+  "hypermedia_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypermedia_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

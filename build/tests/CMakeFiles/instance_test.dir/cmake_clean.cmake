@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/instance_test.dir/instance_test.cc.o"
+  "CMakeFiles/instance_test.dir/instance_test.cc.o.d"
+  "instance_test"
+  "instance_test.pdb"
+  "instance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/instance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isomorphism_test.dir/isomorphism_test.cc.o"
+  "CMakeFiles/isomorphism_test.dir/isomorphism_test.cc.o.d"
+  "isomorphism_test"
+  "isomorphism_test.pdb"
+  "isomorphism_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isomorphism_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/macro_test.dir/macro_test.cc.o"
+  "CMakeFiles/macro_test.dir/macro_test.cc.o.d"
+  "macro_test"
+  "macro_test.pdb"
+  "macro_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/macro_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

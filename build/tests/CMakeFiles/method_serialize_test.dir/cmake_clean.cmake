@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/method_serialize_test.dir/method_serialize_test.cc.o"
+  "CMakeFiles/method_serialize_test.dir/method_serialize_test.cc.o.d"
+  "method_serialize_test"
+  "method_serialize_test.pdb"
+  "method_serialize_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/method_serialize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

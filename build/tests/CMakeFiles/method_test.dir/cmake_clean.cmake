@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/method_test.dir/method_test.cc.o"
+  "CMakeFiles/method_test.dir/method_test.cc.o.d"
+  "method_test"
+  "method_test.pdb"
+  "method_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/method_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nested_test.dir/nested_test.cc.o"
+  "CMakeFiles/nested_test.dir/nested_test.cc.o.d"
+  "nested_test"
+  "nested_test.pdb"
+  "nested_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nested_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

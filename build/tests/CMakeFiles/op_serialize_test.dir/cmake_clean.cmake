@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/op_serialize_test.dir/op_serialize_test.cc.o"
+  "CMakeFiles/op_serialize_test.dir/op_serialize_test.cc.o.d"
+  "op_serialize_test"
+  "op_serialize_test.pdb"
+  "op_serialize_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/op_serialize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

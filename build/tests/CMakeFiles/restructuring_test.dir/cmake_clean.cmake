@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/restructuring_test.dir/restructuring_test.cc.o"
+  "CMakeFiles/restructuring_test.dir/restructuring_test.cc.o.d"
+  "restructuring_test"
+  "restructuring_test.pdb"
+  "restructuring_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/restructuring_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

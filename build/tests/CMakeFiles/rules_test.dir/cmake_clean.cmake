@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rules_test.dir/rules_test.cc.o"
+  "CMakeFiles/rules_test.dir/rules_test.cc.o.d"
+  "rules_test"
+  "rules_test.pdb"
+  "rules_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rules_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

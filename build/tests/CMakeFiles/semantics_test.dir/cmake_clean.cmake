@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semantics_test.dir/semantics_test.cc.o"
+  "CMakeFiles/semantics_test.dir/semantics_test.cc.o.d"
+  "semantics_test"
+  "semantics_test.pdb"
+  "semantics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

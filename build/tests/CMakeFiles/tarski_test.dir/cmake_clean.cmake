@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tarski_test.dir/tarski_test.cc.o"
+  "CMakeFiles/tarski_test.dir/tarski_test.cc.o.d"
+  "tarski_test"
+  "tarski_test.pdb"
+  "tarski_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tarski_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turing_test.dir/turing_test.cc.o"
+  "CMakeFiles/turing_test.dir/turing_test.cc.o.d"
+  "turing_test"
+  "turing_test.pdb"
+  "turing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

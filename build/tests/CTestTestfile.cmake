@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/schema_test[1]_include.cmake")
+include("/root/repo/build/tests/instance_test[1]_include.cmake")
+include("/root/repo/build/tests/isomorphism_test[1]_include.cmake")
+include("/root/repo/build/tests/matcher_test[1]_include.cmake")
+include("/root/repo/build/tests/ops_test[1]_include.cmake")
+include("/root/repo/build/tests/hypermedia_test[1]_include.cmake")
+include("/root/repo/build/tests/method_test[1]_include.cmake")
+include("/root/repo/build/tests/macro_test[1]_include.cmake")
+include("/root/repo/build/tests/program_test[1]_include.cmake")
+include("/root/repo/build/tests/relational_test[1]_include.cmake")
+include("/root/repo/build/tests/tarski_test[1]_include.cmake")
+include("/root/repo/build/tests/codd_test[1]_include.cmake")
+include("/root/repo/build/tests/nested_test[1]_include.cmake")
+include("/root/repo/build/tests/turing_test[1]_include.cmake")
+include("/root/repo/build/tests/gen_test[1]_include.cmake")
+include("/root/repo/build/tests/semantics_test[1]_include.cmake")
+include("/root/repo/build/tests/op_serialize_test[1]_include.cmake")
+include("/root/repo/build/tests/method_serialize_test[1]_include.cmake")
+include("/root/repo/build/tests/rules_test[1]_include.cmake")
+include("/root/repo/build/tests/browse_test[1]_include.cmake")
+include("/root/repo/build/tests/computed_test[1]_include.cmake")
+include("/root/repo/build/tests/restructuring_test[1]_include.cmake")
+include("/root/repo/build/tests/backend_fuzz_test[1]_include.cmake")
