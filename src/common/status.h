@@ -39,6 +39,12 @@ enum class StatusCode : int {
   kUnimplemented = 7,
   /// Invariant violation inside the library itself; indicates a bug.
   kInternal = 8,
+  /// Unrecoverable loss or corruption of persisted data: a checksum
+  /// mismatch in a stored record, a write-ahead log whose interior (not
+  /// merely its tail) is damaged, or a snapshot that no longer parses.
+  /// Unlike kInternal this signals damage to durable state, not a code
+  /// bug; callers should surface it loudly rather than retry.
+  kDataLoss = 9,
 };
 
 /// \brief Returns the canonical name of a status code ("OK",
@@ -87,6 +93,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
 
   bool ok() const { return rep_ == nullptr; }
   StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
@@ -109,6 +118,7 @@ class Status {
   }
   bool IsUnimplemented() const { return code() == StatusCode::kUnimplemented; }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsDataLoss() const { return code() == StatusCode::kDataLoss; }
 
   /// Returns "OK" or "<CodeName>: <message>".
   std::string ToString() const;

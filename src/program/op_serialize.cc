@@ -337,25 +337,43 @@ Result<Operation> ParseOperation(const Scheme& scheme,
 
 Result<std::string> WriteOperations(const Scheme& scheme,
                                     const std::vector<Operation>& ops) {
-  std::string out;
+  OperationWriter writer;
   for (const Operation& op : ops) {
-    GOOD_ASSIGN_OR_RETURN(std::string one, WriteOperation(scheme, op));
-    out += one;
+    GOOD_RETURN_NOT_OK(writer.Append(scheme, op));
   }
-  return out;
+  return writer.Take();
 }
 
 Result<std::vector<Operation>> ParseOperations(const Scheme& scheme,
                                                const std::string& input) {
-  GOOD_ASSIGN_OR_RETURN(auto tokens, text::Tokenize(input));
-  Cursor cursor(std::move(tokens));
+  GOOD_ASSIGN_OR_RETURN(OperationReader reader, OperationReader::Open(input));
   std::vector<Operation> out;
-  while (!cursor.AtEnd()) {
-    GOOD_ASSIGN_OR_RETURN(ParsedOperation parsed,
-                          ParseOneOperationNamed(scheme, &cursor));
-    out.push_back(std::move(parsed.op));
+  while (!reader.AtEnd()) {
+    GOOD_ASSIGN_OR_RETURN(Operation op, reader.Next(scheme));
+    out.push_back(std::move(op));
   }
   return out;
+}
+
+Result<OperationReader> OperationReader::Open(const std::string& input) {
+  GOOD_ASSIGN_OR_RETURN(auto tokens, text::Tokenize(input));
+  return OperationReader(Cursor(std::move(tokens)));
+}
+
+Result<Operation> OperationReader::Next(const Scheme& scheme) {
+  if (cursor_.AtEnd()) {
+    return Status::OutOfRange("no operations left in the program text");
+  }
+  GOOD_ASSIGN_OR_RETURN(ParsedOperation parsed,
+                        ParseOneOperationNamed(scheme, &cursor_));
+  return std::move(parsed.op);
+}
+
+Status OperationWriter::Append(const Scheme& scheme, const Operation& op) {
+  GOOD_ASSIGN_OR_RETURN(std::string one, WriteOperation(scheme, op));
+  text_ += one;
+  ++ops_written_;
+  return Status::OK();
 }
 
 }  // namespace good::program

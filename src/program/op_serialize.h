@@ -73,6 +73,59 @@ struct ParsedOperation {
 Result<ParsedOperation> ParseOperationNamed(const schema::Scheme& scheme,
                                             text::Cursor* cursor);
 
+/// \brief Streams operations out of a program text one at a time.
+///
+/// ParseOperations resolves every operation against one fixed scheme,
+/// so a program whose later patterns mention labels introduced by its
+/// earlier operations needs the scheme pre-extended by hand. The
+/// streaming reader removes that restriction: each Next() call takes
+/// the *current* scheme, so a caller that executes (or otherwise
+/// extends the scheme with) each operation before parsing the next one
+/// can consume such programs directly — the pattern used by the storage
+/// engine's log replay and by incremental program loading.
+///
+/// \code
+/// GOOD_ASSIGN_OR_RETURN(auto reader, OperationReader::Open(text));
+/// while (!reader.AtEnd()) {
+///   GOOD_ASSIGN_OR_RETURN(auto op, reader.Next(scheme));
+///   GOOD_RETURN_NOT_OK(executor.Execute(op, &scheme, &instance));
+/// }
+/// \endcode
+class OperationReader {
+ public:
+  /// Tokenizes `text`; InvalidArgument on lexical errors.
+  static Result<OperationReader> Open(const std::string& text);
+
+  bool AtEnd() const { return cursor_.AtEnd(); }
+
+  /// Parses the next operation against `scheme`.
+  Result<method::Operation> Next(const schema::Scheme& scheme);
+
+ private:
+  explicit OperationReader(text::Cursor cursor)
+      : cursor_(std::move(cursor)) {}
+
+  text::Cursor cursor_;
+};
+
+/// \brief Accumulates operations into a growing program text — the
+/// writing counterpart of OperationReader. Each Append serializes
+/// against the scheme as it stands, so interleaving Append with
+/// execution records a scheme-evolving program faithfully.
+class OperationWriter {
+ public:
+  /// Serializes `op` against `scheme` and appends it to the text.
+  Status Append(const schema::Scheme& scheme, const method::Operation& op);
+
+  size_t ops_written() const { return ops_written_; }
+  const std::string& text() const { return text_; }
+  std::string Take() { return std::move(text_); }
+
+ private:
+  std::string text_;
+  size_t ops_written_ = 0;
+};
+
 }  // namespace good::program
 
 #endif  // GOOD_PROGRAM_OP_SERIALIZE_H_

@@ -1,0 +1,34 @@
+#include "storage/crc32.h"
+
+#include <array>
+
+namespace good::storage {
+namespace {
+
+constexpr uint32_t kPolynomial = 0xEDB88320u;  // reflected IEEE 802.3
+
+constexpr std::array<uint32_t, 256> MakeTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? kPolynomial : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr std::array<uint32_t, 256> kTable = MakeTable();
+
+}  // namespace
+
+uint32_t Crc32(std::string_view data, uint32_t seed) {
+  uint32_t crc = ~seed;
+  for (unsigned char byte : data) {
+    crc = (crc >> 8) ^ kTable[(crc ^ byte) & 0xFFu];
+  }
+  return ~crc;
+}
+
+}  // namespace good::storage

@@ -1,0 +1,267 @@
+#include "storage/database.h"
+
+#include <utility>
+
+#include "program/op_serialize.h"
+#include "program/serialize.h"
+
+namespace good::storage {
+namespace {
+
+const method::MethodRegistry& EmptyRegistry() {
+  static const method::MethodRegistry* empty = new method::MethodRegistry();
+  return *empty;
+}
+
+}  // namespace
+
+std::string Database::SnapshotPath(const std::string& dir) {
+  return dir + "/snapshot.good";
+}
+
+std::string Database::WalPath(const std::string& dir) {
+  return dir + "/wal.log";
+}
+
+Database::Database(std::string dir, Options options)
+    : dir_(std::move(dir)), options_(options) {
+  if (options_.env == nullptr) options_.env = FileEnv::Default();
+}
+
+const method::MethodRegistry* Database::Registry() const {
+  return options_.methods != nullptr ? options_.methods : &EmptyRegistry();
+}
+
+Result<Database> Database::Open(const std::string& dir, Options options) {
+  return Open(dir, program::Database{}, std::move(options));
+}
+
+Result<Database> Database::Open(const std::string& dir,
+                                program::Database initial, Options options) {
+  Database db(dir, options);
+  FileEnv* env = db.options_.env;
+  GOOD_RETURN_NOT_OK(env->CreateDirs(dir));
+  if (env->FileExists(SnapshotPath(dir))) {
+    GOOD_RETURN_NOT_OK(db.LoadSnapshot());
+    uint64_t valid_bytes = 0;
+    GOOD_RETURN_NOT_OK(db.ReplayWal(&valid_bytes));
+    GOOD_RETURN_NOT_OK(db.OpenWalForAppend(valid_bytes));
+  } else {
+    // No snapshot. An intact log record would mean operations were
+    // durably acknowledged but their base state is gone.
+    const std::string wal = WalPath(dir);
+    if (env->FileExists(wal)) {
+      GOOD_ASSIGN_OR_RETURN(std::string bytes, env->ReadFileToString(wal));
+      GOOD_ASSIGN_OR_RETURN(LogContents contents, ReadLogRecords(bytes));
+      if (!contents.records.empty()) {
+        return Status::DataLoss("log " + wal +
+                                " holds operations but the snapshot " +
+                                "they apply to is missing");
+      }
+    }
+    db.db_ = std::move(initial);
+    db.recovery_.created = true;
+    // The bootstrap checkpoint persists the initial state and creates
+    // the (empty) log.
+    GOOD_RETURN_NOT_OK(db.Checkpoint());
+  }
+  return db;
+}
+
+Status Database::LoadSnapshot() {
+  const std::string path = SnapshotPath(dir_);
+  GOOD_ASSIGN_OR_RETURN(std::string bytes,
+                        options_.env->ReadFileToString(path));
+  auto contents = ReadLogRecords(bytes);
+  if (!contents.ok()) {
+    return Status::DataLoss("snapshot " + path +
+                            " is corrupt: " + contents.status().message());
+  }
+  if (contents->records.size() != 1 || contents->dropped_torn_tail ||
+      contents->valid_bytes != bytes.size()) {
+    return Status::DataLoss("snapshot " + path +
+                            " is damaged (expected exactly one intact "
+                            "record)");
+  }
+  std::string_view payload = contents->records[0];
+  auto seq = ConsumeFixed64(&payload);
+  if (!seq.ok()) {
+    return Status::DataLoss("snapshot " + path + " has no sequence number");
+  }
+  auto parsed = program::ParseDatabase(std::string(payload));
+  if (!parsed.ok()) {
+    return Status::DataLoss("snapshot " + path + " does not parse: " +
+                            parsed.status().ToString());
+  }
+  db_ = std::move(*parsed);
+  next_seq_ = *seq;
+  return Status::OK();
+}
+
+Status Database::ReplayWal(uint64_t* valid_bytes) {
+  *valid_bytes = 0;
+  const std::string wal = WalPath(dir_);
+  if (!options_.env->FileExists(wal)) return Status::OK();
+  GOOD_ASSIGN_OR_RETURN(std::string bytes,
+                        options_.env->ReadFileToString(wal));
+  GOOD_ASSIGN_OR_RETURN(LogContents contents, ReadLogRecords(bytes));
+  *valid_bytes = contents.valid_bytes;
+  recovery_.dropped_torn_tail = contents.dropped_torn_tail;
+  const uint64_t snapshot_seq = next_seq_;
+  for (size_t i = 0; i < contents.records.size(); ++i) {
+    std::string_view payload = contents.records[i];
+    auto seq = ConsumeFixed64(&payload);
+    if (!seq.ok()) {
+      return Status::DataLoss("log record " + std::to_string(i) +
+                              " has no sequence number");
+    }
+    if (*seq < snapshot_seq) {
+      // Residue from a checkpoint that renamed its snapshot but crashed
+      // before truncating the log; the snapshot already contains it.
+      if (recovery_.ops_replayed > 0) {
+        return Status::DataLoss("log record " + std::to_string(i) +
+                                " is out of sequence order");
+      }
+      ++recovery_.ops_skipped;
+      continue;
+    }
+    if (*seq != next_seq_) {
+      return Status::DataLoss(
+          "log sequence gap at record " + std::to_string(i) + ": expected " +
+          std::to_string(next_seq_) + ", found " + std::to_string(*seq));
+    }
+    auto op = program::ParseOperation(db_.scheme, std::string(payload));
+    if (!op.ok()) {
+      return Status::DataLoss("log record " + std::to_string(i) +
+                              " does not parse: " + op.status().ToString());
+    }
+    method::Executor exec(Registry(), options_.exec);
+    Status applied = exec.Execute(*op, &db_.scheme, &db_.instance);
+    if (!applied.ok()) {
+      return Status::DataLoss("log record " + std::to_string(i) +
+                              " does not replay: " + applied.ToString());
+    }
+    ++next_seq_;
+    ++recovery_.ops_replayed;
+  }
+  log_ops_ = contents.records.size();
+  ops_since_checkpoint_ = recovery_.ops_replayed;
+  return Status::OK();
+}
+
+Status Database::OpenWalForAppend(uint64_t valid_bytes) {
+  const std::string wal = WalPath(dir_);
+  GOOD_ASSIGN_OR_RETURN(
+      std::unique_ptr<WritableFile> file,
+      options_.env->NewWritableFile(wal, /*truncate=*/valid_bytes == 0));
+  if (valid_bytes > 0) {
+    GOOD_ASSIGN_OR_RETURN(uint64_t size, options_.env->FileSize(wal));
+    if (size != valid_bytes) {
+      // Cut off the torn tail so new appends continue the valid prefix.
+      GOOD_RETURN_NOT_OK(file->Truncate(valid_bytes));
+    }
+  }
+  writer_ = std::make_unique<LogWriter>(std::move(file), valid_bytes,
+                                        options_.sync_every_append);
+  return Status::OK();
+}
+
+Status Database::Apply(const method::Operation& op, ops::ApplyStats* stats) {
+  if (closed_) return Status::FailedPrecondition("database is closed");
+  if (poisoned_) {
+    return Status::FailedPrecondition(
+        "database is poisoned by an earlier unrecoverable log failure; "
+        "reopen to recover");
+  }
+  GOOD_ASSIGN_OR_RETURN(std::string text,
+                        program::WriteOperation(db_.scheme, op));
+  std::string payload;
+  payload.reserve(sizeof(uint64_t) + text.size());
+  AppendFixed64(&payload, next_seq_);
+  payload += text;
+  // Write-ahead: the operation reaches the log before the instance.
+  Status logged = writer_->AppendRecord(payload);
+  if (!logged.ok()) return Undo(std::move(logged));
+  method::Executor exec(Registry(), options_.exec);
+  Status applied = exec.Execute(op, &db_.scheme, &db_.instance, stats);
+  if (!applied.ok()) return Undo(std::move(applied));
+  ++next_seq_;
+  ++log_ops_;
+  ++ops_since_checkpoint_;
+  if (options_.checkpoint_every > 0 &&
+      ops_since_checkpoint_ >= options_.checkpoint_every) {
+    GOOD_RETURN_NOT_OK(Checkpoint());
+  }
+  return Status::OK();
+}
+
+Status Database::ApplyAll(const std::vector<method::Operation>& ops,
+                          ops::ApplyStats* stats) {
+  for (const method::Operation& op : ops) {
+    GOOD_RETURN_NOT_OK(Apply(op, stats));
+  }
+  return Status::OK();
+}
+
+Status Database::Undo(Status cause) {
+  Status undone = writer_->UndoLastAppend();
+  if (!undone.ok()) {
+    // The log may now disagree with memory; refuse further writes.
+    poisoned_ = true;
+  }
+  return cause;
+}
+
+Status Database::Checkpoint() {
+  if (closed_) return Status::FailedPrecondition("database is closed");
+  if (poisoned_) {
+    return Status::FailedPrecondition(
+        "database is poisoned by an earlier unrecoverable log failure");
+  }
+  FileEnv* env = options_.env;
+  std::string payload;
+  AppendFixed64(&payload, next_seq_);
+  payload += program::WriteDatabase(db_);
+  std::string framed;
+  framed.reserve(kRecordHeaderSize + payload.size());
+  AppendRecordTo(&framed, payload);
+
+  const std::string tmp = dir_ + "/snapshot.tmp";
+  GOOD_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                        env->NewWritableFile(tmp, /*truncate=*/true));
+  GOOD_RETURN_NOT_OK(file->Append(framed));
+  GOOD_RETURN_NOT_OK(file->Sync());
+  GOOD_RETURN_NOT_OK(file->Close());
+  // Atomic publish; a crash on either side of the rename leaves a
+  // consistent (old or new) snapshot.
+  GOOD_RETURN_NOT_OK(env->RenameFile(tmp, SnapshotPath(dir_)));
+  GOOD_RETURN_NOT_OK(env->SyncDir(dir_));
+
+  // Snapshot durable — the log is now redundant. A crash before the
+  // truncation below is handled at recovery by sequence-number skip.
+  if (writer_ != nullptr) {
+    (void)writer_->Close();
+    writer_.reset();
+  }
+  Status reset = OpenWalForAppend(0);
+  if (!reset.ok()) {
+    poisoned_ = true;  // no log to append to
+    return reset;
+  }
+  log_ops_ = 0;
+  ops_since_checkpoint_ = 0;
+  return Status::OK();
+}
+
+Status Database::Close() {
+  if (closed_) return Status::OK();
+  closed_ = true;
+  if (writer_ == nullptr) return Status::OK();
+  Status synced = writer_->Sync();
+  Status closed = writer_->Close();
+  writer_.reset();
+  if (!synced.ok()) return synced;
+  return closed;
+}
+
+}  // namespace good::storage

@@ -1,0 +1,168 @@
+/// \file database.h
+/// \brief A durable GOOD database: write-ahead logging + snapshots.
+///
+/// The GOOD model makes durability unusually clean: every manipulation
+/// is one of the five graph transformations or a method call, each with
+/// a storable textual form (program/op_serialize.h). A database's
+/// history therefore *is* a log of serialized operations, and its state
+/// at any moment is (snapshot ∘ log tail). This class owns a scheme +
+/// instance and keeps them durable under that protocol:
+///
+///  - **Apply** serializes the operation, appends it to the write-ahead
+///    log (fsync'd by default) *before* mutating the in-memory
+///    instance, then executes it. If execution fails, the just-written
+///    record is rolled back by truncation, so the log always holds
+///    exactly the operations that succeeded.
+///  - **Checkpoint** writes the full scheme+instance (program/
+///    serialize.h) to a temporary file, fsyncs, atomically renames it
+///    over the previous snapshot, and truncates the log. Each log
+///    record carries a sequence number and the snapshot stores the next
+///    expected one, so a crash between rename and truncation is
+///    harmless: recovery skips records the snapshot already contains.
+///  - **Open** recovers by loading the snapshot and replaying the log
+///    tail. A truncated or checksum-failing *final* record is dropped
+///    (a torn append — the operation never reported success); any
+///    earlier damage fails loudly with StatusCode::kDataLoss.
+///
+/// Operations are deterministic up to the choice of new object ids
+/// (Section 3 of the paper), so a recovered instance is isomorphic —
+/// not pointer-identical — to the pre-crash one; tests compare with
+/// graph/isomorphism.h. Methods are code, not data: a database whose
+/// log contains `call` records must be reopened with a MethodRegistry
+/// providing the same definitions (Options::methods).
+
+#ifndef GOOD_STORAGE_DATABASE_H_
+#define GOOD_STORAGE_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "method/method.h"
+#include "program/program.h"
+#include "storage/file_env.h"
+#include "storage/wal.h"
+
+namespace good::storage {
+
+/// \brief Tuning and environment knobs for a durable database.
+struct Options {
+  /// File system to use; nullptr means FileEnv::Default().
+  FileEnv* env = nullptr;
+  /// Methods available to `call` operations, both at Apply time and
+  /// during recovery replay. Not owned; may be nullptr when no method
+  /// calls are applied.
+  const method::MethodRegistry* methods = nullptr;
+  /// Execution budgets for operations and replay.
+  method::ExecOptions exec;
+  /// Fsync the log after every appended operation. Turning this off
+  /// trades the durability of the last few operations for throughput
+  /// (recovery still sees a consistent prefix).
+  bool sync_every_append = true;
+  /// Automatically Checkpoint() after this many logged operations;
+  /// 0 disables auto-checkpointing.
+  size_t checkpoint_every = 0;
+};
+
+/// \brief What Open() found and did.
+struct RecoveryInfo {
+  /// True when the directory held no database and a fresh one was
+  /// bootstrapped from the caller's initial state.
+  bool created = false;
+  /// Operations replayed from the log tail.
+  size_t ops_replayed = 0;
+  /// Log records skipped because the snapshot already contained them
+  /// (crash between checkpoint rename and log truncation).
+  size_t ops_skipped = 0;
+  /// True iff a torn final log record was dropped.
+  bool dropped_torn_tail = false;
+};
+
+/// \brief A durable scheme + instance rooted in a directory.
+///
+/// Dropping the handle without Close() models a crash: everything
+/// synced to the log survives, nothing else is written.
+class Database {
+ public:
+  /// Opens the database in `dir`, creating it from `initial` when no
+  /// snapshot exists yet (on later opens `initial` is ignored — the
+  /// recovered state wins). Fails with kDataLoss when the persisted
+  /// state is damaged beyond a torn log tail.
+  static Result<Database> Open(const std::string& dir,
+                               program::Database initial,
+                               Options options = {});
+
+  /// Opens with an empty initial scheme + instance.
+  static Result<Database> Open(const std::string& dir,
+                               Options options = {});
+
+  Database(Database&&) = default;
+  Database& operator=(Database&&) = default;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Logs `op` then executes it against the in-memory database.
+  /// On error nothing is durably added and the in-memory state is
+  /// unchanged. Operations carrying C++ closures (match filters,
+  /// computed edges) cannot be serialized and are rejected.
+  Status Apply(const method::Operation& op,
+               ops::ApplyStats* stats = nullptr);
+
+  /// Applies a sequence of operations in order, stopping at the first
+  /// failure (earlier operations remain applied and logged).
+  Status ApplyAll(const std::vector<method::Operation>& ops,
+                  ops::ApplyStats* stats = nullptr);
+
+  /// Writes a snapshot of the current state and truncates the log.
+  Status Checkpoint();
+
+  /// Syncs and closes the log. Further Apply calls fail.
+  Status Close();
+
+  const schema::Scheme& scheme() const { return db_.scheme; }
+  const graph::Instance& instance() const { return db_.instance; }
+  /// The owned scheme + instance as a program::Database view.
+  const program::Database& database() const { return db_; }
+
+  const RecoveryInfo& recovery() const { return recovery_; }
+  /// Operations currently in the log (since the last checkpoint).
+  size_t log_ops() const { return log_ops_; }
+  /// Log file size in bytes.
+  uint64_t log_bytes() const { return writer_ ? writer_->size() : 0; }
+  /// Sequence number the next applied operation will carry.
+  uint64_t next_sequence() const { return next_seq_; }
+
+  /// Path helpers (for tests and tools).
+  static std::string SnapshotPath(const std::string& dir);
+  static std::string WalPath(const std::string& dir);
+
+ private:
+  Database(std::string dir, Options options);
+
+  Status LoadSnapshot();
+  /// Replays the log tail over the snapshot state; reports the byte
+  /// offset appends must resume from (torn tails are cut off there).
+  Status ReplayWal(uint64_t* valid_bytes);
+  Status OpenWalForAppend(uint64_t valid_bytes);
+  /// Rolls back the last log record; poisons the handle if the
+  /// truncation itself fails (log and memory can no longer be
+  /// reconciled).
+  Status Undo(Status cause);
+
+  const method::MethodRegistry* Registry() const;
+
+  std::string dir_;
+  Options options_;
+  program::Database db_;
+  std::unique_ptr<LogWriter> writer_;
+  uint64_t next_seq_ = 0;
+  size_t log_ops_ = 0;
+  size_t ops_since_checkpoint_ = 0;
+  RecoveryInfo recovery_;
+  bool poisoned_ = false;
+  bool closed_ = false;
+};
+
+}  // namespace good::storage
+
+#endif  // GOOD_STORAGE_DATABASE_H_

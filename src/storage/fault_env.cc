@@ -1,0 +1,102 @@
+#include "storage/fault_env.h"
+
+#include <utility>
+
+namespace good::storage {
+
+/// Forwards to the wrapped file, consulting the env's plan first.
+class FaultInjectedFile final : public WritableFile {
+ public:
+  FaultInjectedFile(std::unique_ptr<WritableFile> base,
+                    FaultInjectionEnv* env)
+      : base_(std::move(base)), env_(env) {}
+
+  Status Append(std::string_view data) override;
+  Status Sync() override;
+  Status Truncate(uint64_t size) override { return base_->Truncate(size); }
+  Status Close() override { return base_->Close(); }
+
+ private:
+  std::unique_ptr<WritableFile> base_;
+  FaultInjectionEnv* env_;
+};
+
+Status FaultInjectedFile::Append(std::string_view data) {
+  size_t n = ++env_->appends_;
+  if (n == env_->plan_.fail_append_at) {
+    ++env_->fired_;
+    return Status::Internal("injected append failure");
+  }
+  if (n == env_->plan_.short_write_at) {
+    ++env_->fired_;
+    // Persist a prefix, then report failure — a torn write.
+    Status s = base_->Append(data.substr(0, data.size() / 2));
+    if (!s.ok()) return s;
+    return Status::Internal("injected short write");
+  }
+  return base_->Append(data);
+}
+
+Status FaultInjectedFile::Sync() {
+  if (++env_->syncs_ == env_->plan_.fail_sync_at) {
+    ++env_->fired_;
+    return Status::Internal("injected sync failure");
+  }
+  return base_->Sync();
+}
+
+FaultInjectionEnv::FaultInjectionEnv(FileEnv* base)
+    : base_(base != nullptr ? base : FileEnv::Default()) {}
+
+void FaultInjectionEnv::SetPlan(const FaultPlan& plan) {
+  plan_ = plan;
+  appends_ = syncs_ = renames_ = opens_ = fired_ = 0;
+}
+
+Result<std::unique_ptr<WritableFile>> FaultInjectionEnv::NewWritableFile(
+    const std::string& path, bool truncate) {
+  if (++opens_ == plan_.fail_open_at) {
+    ++fired_;
+    return Status::Internal("injected open failure for " + path);
+  }
+  GOOD_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                        base_->NewWritableFile(path, truncate));
+  return std::unique_ptr<WritableFile>(
+      std::make_unique<FaultInjectedFile>(std::move(file), this));
+}
+
+Result<std::string> FaultInjectionEnv::ReadFileToString(
+    const std::string& path) {
+  return base_->ReadFileToString(path);
+}
+
+bool FaultInjectionEnv::FileExists(const std::string& path) {
+  return base_->FileExists(path);
+}
+
+Result<uint64_t> FaultInjectionEnv::FileSize(const std::string& path) {
+  return base_->FileSize(path);
+}
+
+Status FaultInjectionEnv::RenameFile(const std::string& from,
+                                     const std::string& to) {
+  if (++renames_ == plan_.fail_rename_at) {
+    ++fired_;
+    return Status::Internal("injected rename failure");
+  }
+  return base_->RenameFile(from, to);
+}
+
+Status FaultInjectionEnv::RemoveFile(const std::string& path) {
+  return base_->RemoveFile(path);
+}
+
+Status FaultInjectionEnv::CreateDirs(const std::string& path) {
+  return base_->CreateDirs(path);
+}
+
+Status FaultInjectionEnv::SyncDir(const std::string& path) {
+  return base_->SyncDir(path);
+}
+
+}  // namespace good::storage

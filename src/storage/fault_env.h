@@ -1,0 +1,85 @@
+/// \file fault_env.h
+/// \brief Deterministic fault injection for storage tests.
+///
+/// Wraps a base FileEnv and fails operations at configured points: the
+/// K-th append can error outright, persist only a prefix (a torn
+/// write — exactly what a power cut mid-write leaves behind), or the
+/// K-th sync / rename / file-open can fail. Counters are global across
+/// all files opened through the env, so a test script reads as "the
+/// 7th write to disk dies". In the spirit of backend_fuzz_test.cc,
+/// storage_test.cc sweeps K over a range and asserts recovery works
+/// after every possible failure point.
+
+#ifndef GOOD_STORAGE_FAULT_ENV_H_
+#define GOOD_STORAGE_FAULT_ENV_H_
+
+#include <cstddef>
+#include <limits>
+#include <memory>
+#include <string>
+
+#include "storage/file_env.h"
+
+namespace good::storage {
+
+/// \brief Which operations fail, 1-based; SIZE_MAX means never.
+struct FaultPlan {
+  static constexpr size_t kNever = std::numeric_limits<size_t>::max();
+
+  /// The N-th Append returns an error without writing anything.
+  size_t fail_append_at = kNever;
+  /// The N-th Append persists only the first half of its bytes, then
+  /// reports failure (torn write).
+  size_t short_write_at = kNever;
+  /// The N-th Sync fails (data may or may not be durable).
+  size_t fail_sync_at = kNever;
+  /// The N-th RenameFile fails without renaming.
+  size_t fail_rename_at = kNever;
+  /// The N-th NewWritableFile fails to open.
+  size_t fail_open_at = kNever;
+};
+
+/// \brief A FileEnv that injects the faults described by a FaultPlan.
+class FaultInjectionEnv final : public FileEnv {
+ public:
+  /// Wraps `base` (not owned; defaults to FileEnv::Default()).
+  explicit FaultInjectionEnv(FileEnv* base = nullptr);
+
+  /// Installs a new plan and resets all counters.
+  void SetPlan(const FaultPlan& plan);
+
+  /// Clears faults and counters (subsequent I/O passes through).
+  void Reset() { SetPlan(FaultPlan{}); }
+
+  size_t appends_seen() const { return appends_; }
+  size_t syncs_seen() const { return syncs_; }
+  size_t renames_seen() const { return renames_; }
+  size_t opens_seen() const { return opens_; }
+  /// Number of faults actually fired since the last SetPlan/Reset.
+  size_t faults_fired() const { return fired_; }
+
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) override;
+  Result<std::string> ReadFileToString(const std::string& path) override;
+  bool FileExists(const std::string& path) override;
+  Result<uint64_t> FileSize(const std::string& path) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status RemoveFile(const std::string& path) override;
+  Status CreateDirs(const std::string& path) override;
+  Status SyncDir(const std::string& path) override;
+
+ private:
+  friend class FaultInjectedFile;
+
+  FileEnv* base_;
+  FaultPlan plan_;
+  size_t appends_ = 0;
+  size_t syncs_ = 0;
+  size_t renames_ = 0;
+  size_t opens_ = 0;
+  size_t fired_ = 0;
+};
+
+}  // namespace good::storage
+
+#endif  // GOOD_STORAGE_FAULT_ENV_H_

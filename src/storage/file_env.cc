@@ -1,0 +1,166 @@
+#include "storage/file_env.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace good::storage {
+namespace {
+
+Status ErrnoStatus(const std::string& context, int err) {
+  std::string msg = context + ": " + std::strerror(err);
+  if (err == ENOENT) return Status::NotFound(std::move(msg));
+  return Status::Internal(std::move(msg));
+}
+
+class PosixWritableFile final : public WritableFile {
+ public:
+  PosixWritableFile(int fd, std::string path)
+      : fd_(fd), path_(std::move(path)) {}
+
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Append(std::string_view data) override {
+    if (fd_ < 0) return Status::Internal("Append on closed file " + path_);
+    while (!data.empty()) {
+      ssize_t n = ::write(fd_, data.data(), data.size());
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return ErrnoStatus("write " + path_, errno);
+      }
+      data.remove_prefix(static_cast<size_t>(n));
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (fd_ < 0) return Status::Internal("Sync on closed file " + path_);
+    if (::fsync(fd_) != 0) return ErrnoStatus("fsync " + path_, errno);
+    return Status::OK();
+  }
+
+  Status Truncate(uint64_t size) override {
+    if (fd_ < 0) return Status::Internal("Truncate on closed file " + path_);
+    if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
+      return ErrnoStatus("ftruncate " + path_, errno);
+    }
+    // Appends use O_APPEND, so the write position follows the new end.
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::OK();
+    int fd = fd_;
+    fd_ = -1;
+    if (::close(fd) != 0) return ErrnoStatus("close " + path_, errno);
+    return Status::OK();
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+class PosixFileEnv final : public FileEnv {
+ public:
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) override {
+    int flags = O_WRONLY | O_CREAT | O_CLOEXEC | O_APPEND;
+    if (truncate) flags |= O_TRUNC;
+    int fd = ::open(path.c_str(), flags, 0644);
+    if (fd < 0) return ErrnoStatus("open " + path, errno);
+    return std::unique_ptr<WritableFile>(
+        std::make_unique<PosixWritableFile>(fd, path));
+  }
+
+  Result<std::string> ReadFileToString(const std::string& path) override {
+    int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) return ErrnoStatus("open " + path, errno);
+    std::string out;
+    char buf[1 << 16];
+    for (;;) {
+      ssize_t n = ::read(fd, buf, sizeof(buf));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        int err = errno;
+        ::close(fd);
+        return ErrnoStatus("read " + path, err);
+      }
+      if (n == 0) break;
+      out.append(buf, static_cast<size_t>(n));
+    }
+    ::close(fd);
+    return out;
+  }
+
+  bool FileExists(const std::string& path) override {
+    return ::access(path.c_str(), F_OK) == 0;
+  }
+
+  Result<uint64_t> FileSize(const std::string& path) override {
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0) {
+      return ErrnoStatus("stat " + path, errno);
+    }
+    return static_cast<uint64_t>(st.st_size);
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return ErrnoStatus("rename " + from + " -> " + to, errno);
+    }
+    return Status::OK();
+  }
+
+  Status RemoveFile(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0) {
+      return ErrnoStatus("unlink " + path, errno);
+    }
+    return Status::OK();
+  }
+
+  Status CreateDirs(const std::string& path) override {
+    std::string prefix;
+    size_t pos = 0;
+    while (pos <= path.size()) {
+      size_t slash = path.find('/', pos);
+      if (slash == std::string::npos) slash = path.size();
+      prefix = path.substr(0, slash);
+      pos = slash + 1;
+      if (prefix.empty()) continue;  // leading '/'
+      if (::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST) {
+        return ErrnoStatus("mkdir " + prefix, errno);
+      }
+    }
+    return Status::OK();
+  }
+
+  Status SyncDir(const std::string& path) override {
+    int fd = ::open(path.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+    if (fd < 0) return ErrnoStatus("open dir " + path, errno);
+    // Some file systems reject fsync on directories; treat as
+    // best-effort there (EINVAL / ENOTSUP).
+    if (::fsync(fd) != 0 && errno != EINVAL && errno != ENOTSUP) {
+      int err = errno;
+      ::close(fd);
+      return ErrnoStatus("fsync dir " + path, err);
+    }
+    ::close(fd);
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+FileEnv* FileEnv::Default() {
+  static PosixFileEnv* env = new PosixFileEnv();
+  return env;
+}
+
+}  // namespace good::storage

@@ -1,0 +1,84 @@
+/// \file file_env.h
+/// \brief File-system abstraction for the storage engine.
+///
+/// All durable I/O goes through a FileEnv so tests can substitute a
+/// fault-injecting implementation (fault_env.h) and exercise crash /
+/// torn-write recovery deterministically — real crashes are not a
+/// repeatable test fixture. The default environment is POSIX: writes
+/// are fsync'd on Sync(), renames are atomic within a directory, and
+/// directory entries are fsync'd via SyncDir after a rename so a
+/// checkpoint survives power loss.
+
+#ifndef GOOD_STORAGE_FILE_ENV_H_
+#define GOOD_STORAGE_FILE_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace good::storage {
+
+/// \brief A sequentially writable file (append-only plus truncate).
+///
+/// Close() must be called explicitly when the caller cares about the
+/// outcome; the destructor closes silently (crash semantics: whatever
+/// was synced survives, the rest may or may not).
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  /// Appends `data` at the current end of file.
+  virtual Status Append(std::string_view data) = 0;
+
+  /// Forces appended data to stable storage (fsync).
+  virtual Status Sync() = 0;
+
+  /// Truncates the file to `size` bytes (used to undo a partially
+  /// persisted append after a failed operation).
+  virtual Status Truncate(uint64_t size) = 0;
+
+  virtual Status Close() = 0;
+};
+
+/// \brief The storage engine's view of a file system.
+class FileEnv {
+ public:
+  virtual ~FileEnv() = default;
+
+  /// The process-wide POSIX environment.
+  static FileEnv* Default();
+
+  /// Opens `path` for writing, creating it if needed. `truncate`
+  /// discards existing contents; otherwise writes append at the end.
+  virtual Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) = 0;
+
+  /// Reads the whole file. NotFound if it does not exist.
+  virtual Result<std::string> ReadFileToString(const std::string& path) = 0;
+
+  virtual bool FileExists(const std::string& path) = 0;
+
+  /// Size in bytes; NotFound if absent.
+  virtual Result<uint64_t> FileSize(const std::string& path) = 0;
+
+  /// Atomically replaces `to` with `from` (POSIX rename).
+  virtual Status RenameFile(const std::string& from,
+                            const std::string& to) = 0;
+
+  virtual Status RemoveFile(const std::string& path) = 0;
+
+  /// Creates `path` and missing parents; OK if it already exists.
+  virtual Status CreateDirs(const std::string& path) = 0;
+
+  /// Fsyncs the directory entry itself (makes a rename durable).
+  /// Best-effort on file systems that do not support it.
+  virtual Status SyncDir(const std::string& path) = 0;
+};
+
+}  // namespace good::storage
+
+#endif  // GOOD_STORAGE_FILE_ENV_H_

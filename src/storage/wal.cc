@@ -1,0 +1,107 @@
+#include "storage/wal.h"
+
+#include <limits>
+
+#include "storage/crc32.h"
+
+namespace good::storage {
+namespace {
+
+void AppendFixed32(std::string* dst, uint32_t value) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    dst->push_back(static_cast<char>((value >> shift) & 0xFF));
+  }
+}
+
+uint32_t DecodeFixed32(std::string_view bytes) {
+  uint32_t value = 0;
+  for (int i = 3; i >= 0; --i) {
+    value = (value << 8) | static_cast<unsigned char>(bytes[i]);
+  }
+  return value;
+}
+
+}  // namespace
+
+void AppendFixed64(std::string* dst, uint64_t value) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    dst->push_back(static_cast<char>((value >> shift) & 0xFF));
+  }
+}
+
+Result<uint64_t> ConsumeFixed64(std::string_view* input) {
+  if (input->size() < 8) {
+    return Status::InvalidArgument("fixed64 needs 8 bytes, have " +
+                                   std::to_string(input->size()));
+  }
+  uint64_t value = 0;
+  for (int i = 7; i >= 0; --i) {
+    value = (value << 8) | static_cast<unsigned char>((*input)[i]);
+  }
+  input->remove_prefix(8);
+  return value;
+}
+
+void AppendRecordTo(std::string* dst, std::string_view payload) {
+  AppendFixed32(dst, static_cast<uint32_t>(payload.size()));
+  AppendFixed32(dst, Crc32(payload));
+  dst->append(payload);
+}
+
+Result<LogContents> ReadLogRecords(std::string_view file_bytes) {
+  LogContents out;
+  uint64_t pos = 0;
+  const uint64_t total = file_bytes.size();
+  while (pos < total) {
+    const uint64_t remaining = total - pos;
+    if (remaining < kRecordHeaderSize) {
+      out.dropped_torn_tail = true;  // partial header at EOF
+      break;
+    }
+    const uint32_t length = DecodeFixed32(file_bytes.substr(pos, 4));
+    const uint32_t stored_crc = DecodeFixed32(file_bytes.substr(pos + 4, 4));
+    if (length > remaining - kRecordHeaderSize) {
+      out.dropped_torn_tail = true;  // payload cut off at EOF
+      break;
+    }
+    std::string_view payload =
+        file_bytes.substr(pos + kRecordHeaderSize, length);
+    if (Crc32(payload) != stored_crc) {
+      if (pos + kRecordHeaderSize + length == total) {
+        out.dropped_torn_tail = true;  // checksum-failing final record
+        break;
+      }
+      return Status::DataLoss(
+          "record at offset " + std::to_string(pos) +
+          " failed its checksum with " +
+          std::to_string(total - pos - kRecordHeaderSize - length) +
+          " bytes following it");
+    }
+    out.records.emplace_back(payload);
+    pos += kRecordHeaderSize + length;
+    out.valid_bytes = pos;
+  }
+  return out;
+}
+
+Status LogWriter::AppendRecord(std::string_view payload) {
+  std::string framed;
+  framed.reserve(kRecordHeaderSize + payload.size());
+  AppendRecordTo(&framed, payload);
+  last_record_offset_ = size_;
+  Status s = file_->Append(framed);
+  if (!s.ok()) return s;
+  size_ += framed.size();
+  if (sync_each_) {
+    GOOD_RETURN_NOT_OK(file_->Sync());
+  }
+  return Status::OK();
+}
+
+Status LogWriter::UndoLastAppend() {
+  GOOD_RETURN_NOT_OK(file_->Truncate(last_record_offset_));
+  size_ = last_record_offset_;
+  return Status::OK();
+}
+
+}  // namespace good::storage

@@ -31,6 +31,18 @@ TEST(StatusTest, AllConstructorsProduceMatchingCodes) {
   EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
   EXPECT_TRUE(Status::Unimplemented("x").IsUnimplemented());
   EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_TRUE(Status::DataLoss("x").IsDataLoss());
+}
+
+TEST(StatusTest, DataLossCarriesCodeAndName) {
+  Status s = Status::DataLoss("wal record 3 failed checksum");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(s.ToString(), "DataLoss: wal record 3 failed checksum");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kDataLoss), "DataLoss");
+  // DataLoss is distinct from the pre-existing codes.
+  EXPECT_FALSE(s.IsInternal());
+  EXPECT_FALSE(Status::Internal("x").IsDataLoss());
 }
 
 TEST(StatusTest, CopyingPreservesError) {

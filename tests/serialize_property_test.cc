@@ -1,0 +1,192 @@
+/// Round-trip property tests for the text formats the storage engine
+/// depends on: over generated workloads (src/gen) and randomized
+/// operation streams, serialize → parse → serialize must be a fixed
+/// point, and the parsed value must be semantically identical
+/// (isomorphic instance / equal scheme). Catches format drift before
+/// the write-ahead log inherits it as silent data corruption.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "gen/generators.h"
+#include "graph/isomorphism.h"
+#include "hypermedia/hypermedia.h"
+#include "method/method.h"
+#include "pattern/builder.h"
+#include "program/op_serialize.h"
+#include "program/serialize.h"
+
+namespace good::program {
+namespace {
+
+using graph::Instance;
+using graph::NodeId;
+using method::Operation;
+using pattern::GraphBuilder;
+using schema::Scheme;
+
+class SerializePropertyTest : public ::testing::TestWithParam<int> {
+ protected:
+  void SetUp() override {
+    scheme_ = hypermedia::BuildScheme().ValueOrDie();
+  }
+  Scheme scheme_;
+};
+
+TEST_P(SerializePropertyTest, GeneratedInstancesAreAFixedPoint) {
+  gen::HyperMediaOptions options;
+  options.seed = static_cast<uint64_t>(GetParam());
+  options.num_docs = 20 + 13 * static_cast<size_t>(GetParam());
+  options.links_per_doc = 1 + static_cast<size_t>(GetParam()) % 4;
+  options.num_versions = 5;
+  options.distinct_dates = 3 + static_cast<size_t>(GetParam()) % 7;
+  options.named_percent = 10 * static_cast<size_t>(GetParam()) % 101;
+  Instance original =
+      gen::ScaledHyperMedia(scheme_, options).ValueOrDie();
+
+  std::string text = WriteInstance(scheme_, original);
+  auto parsed = ParseInstance(scheme_, text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  std::string text2 = WriteInstance(scheme_, *parsed);
+  EXPECT_EQ(text, text2) << "serialize∘parse must be a fixed point";
+  EXPECT_TRUE(graph::IsIsomorphic(original, *parsed));
+}
+
+TEST_P(SerializePropertyTest, GeneratedDatabasesAreAFixedPoint) {
+  gen::HyperMediaOptions options;
+  options.seed = 1000 + static_cast<uint64_t>(GetParam());
+  options.num_docs = 30;
+  Instance instance =
+      gen::ScaledHyperMedia(scheme_, options).ValueOrDie();
+  Database db{scheme_, std::move(instance)};
+
+  std::string text = WriteDatabase(db);
+  auto parsed = ParseDatabase(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_TRUE(parsed->scheme == db.scheme);
+  EXPECT_EQ(WriteDatabase(*parsed), text);
+  EXPECT_TRUE(graph::IsIsomorphic(parsed->instance, db.instance));
+}
+
+TEST_P(SerializePropertyTest, RandomOperationsAreAFixedPoint) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()));
+  for (int step = 0; step < 20; ++step) {
+    GraphBuilder b(scheme_);
+    NodeId x = b.Object("Info");
+    NodeId y = b.Object("Info");
+    b.Edge(x, "links-to", y);
+    Operation op = [&]() -> Operation {
+      switch (rng() % 5) {
+        case 0:
+          return ops::NodeAddition(
+              b.BuildOrDie(), Sym("Tag" + std::to_string(rng() % 3)),
+              {{Sym("of"), y}});
+        case 1:
+          return ops::EdgeAddition(
+              b.BuildOrDie(),
+              {ops::EdgeSpec{y, Sym("rev"), x, rng() % 2 == 0}});
+        case 2:
+          return ops::NodeDeletion(b.BuildOrDie(), x);
+        case 3:
+          return ops::EdgeDeletion(
+              b.BuildOrDie(), {ops::EdgeRef{x, Sym("links-to"), y}});
+        default:
+          return ops::Abstraction(b.BuildOrDie(), x,
+                                  Sym("Grp" + std::to_string(rng() % 3)),
+                                  Sym("member"), Sym("links-to"));
+      }
+    }();
+    std::string text = WriteOperation(scheme_, op).ValueOrDie();
+    auto parsed = ParseOperation(scheme_, text);
+    ASSERT_TRUE(parsed.ok()) << parsed.status() << "\n" << text;
+    std::string text2 = WriteOperation(scheme_, *parsed).ValueOrDie();
+    EXPECT_EQ(text, text2);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SerializePropertyTest,
+                         ::testing::Range(0, 8));
+
+/// The scheme generators don't vary; pin the scheme round trip once.
+TEST(SerializeFixedPointTest, SchemeIsAFixedPoint) {
+  Scheme scheme = hypermedia::BuildScheme().ValueOrDie();
+  std::string text = WriteScheme(scheme);
+  auto parsed = ParseScheme(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_TRUE(*parsed == scheme);
+  EXPECT_EQ(WriteScheme(*parsed), text);
+}
+
+// ---------------------------------------------------------------------------
+// Streaming reader/writer
+// ---------------------------------------------------------------------------
+
+/// A program whose second operation's pattern mentions a label the
+/// first operation introduces. ParseOperations (fixed scheme) must
+/// reject it; OperationReader interleaved with execution consumes it.
+TEST(OperationStreamTest, ReaderFollowsSchemeEvolution) {
+  Scheme scheme = hypermedia::BuildScheme().ValueOrDie();
+  auto built = hypermedia::BuildInstance(scheme).ValueOrDie();
+  Instance instance = std::move(built.instance);
+
+  OperationWriter writer;
+  {
+    GraphBuilder b(scheme);
+    NodeId x = b.Object("Info");
+    writer
+        .Append(scheme, ops::NodeAddition(b.BuildOrDie(), Sym("Tag0"),
+                                          {{Sym("of"), x}}))
+        .OrDie();
+  }
+  {
+    // Serialize the second op against the post-op-1 scheme.
+    Scheme extended = scheme;
+    extended.EnsureObjectLabel(Sym("Tag0")).OrDie();
+    extended.EnsureFunctionalEdgeLabel(Sym("of")).OrDie();
+    extended.EnsureTriple(Sym("Tag0"), Sym("of"), Sym("Info")).OrDie();
+    GraphBuilder b(extended);
+    NodeId tag = b.Object("Tag0");
+    writer.Append(extended,
+                  ops::NodeAddition(b.BuildOrDie(), Sym("Meta"),
+                                    {{Sym("about"), tag}}))
+        .OrDie();
+  }
+  ASSERT_EQ(writer.ops_written(), 2u);
+  std::string text = writer.Take();
+
+  // Fixed-scheme parsing cannot resolve Tag0 in the second pattern.
+  EXPECT_FALSE(ParseOperations(scheme, text).ok());
+
+  // Streaming + execution can.
+  method::MethodRegistry registry;
+  method::Executor executor(&registry);
+  OperationReader reader = OperationReader::Open(text).ValueOrDie();
+  size_t executed = 0;
+  while (!reader.AtEnd()) {
+    auto op = reader.Next(scheme);
+    ASSERT_TRUE(op.ok()) << op.status();
+    ASSERT_TRUE(executor.Execute(*op, &scheme, &instance).ok());
+    ++executed;
+  }
+  EXPECT_EQ(executed, 2u);
+  EXPECT_TRUE(scheme.IsObjectLabel(Sym("Meta")));
+  EXPECT_GT(instance.CountNodesWithLabel(Sym("Meta")), 0u);
+  // Reading past the end is an error, not a crash.
+  EXPECT_TRUE(reader.Next(scheme).status().IsOutOfRange());
+}
+
+TEST(OperationStreamTest, WriterMatchesWriteOperations) {
+  Scheme scheme = hypermedia::BuildScheme().ValueOrDie();
+  std::vector<Operation> ops;
+  ops.emplace_back(hypermedia::Fig12NodeAddition(scheme).ValueOrDie());
+  ops.emplace_back(hypermedia::Fig14NodeDeletion(scheme).ValueOrDie());
+  std::string batch = WriteOperations(scheme, ops).ValueOrDie();
+
+  OperationWriter writer;
+  for (const Operation& op : ops) writer.Append(scheme, op).OrDie();
+  EXPECT_EQ(writer.text(), batch);
+}
+
+}  // namespace
+}  // namespace good::program

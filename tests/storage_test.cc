@@ -1,0 +1,643 @@
+/// Durability tests for the storage engine: crash/replay isomorphism,
+/// torn-tail tolerance, interior-corruption detection, checkpoint
+/// truncation — each also exercised under deterministic fault
+/// injection (fault_env.h). "Crash" means dropping the Database handle
+/// without Close() or Checkpoint(): only what reached the log survives.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "graph/isomorphism.h"
+#include "hypermedia/hypermedia.h"
+#include "hypermedia/methods.h"
+#include "pattern/builder.h"
+#include "storage/crc32.h"
+#include "storage/database.h"
+#include "storage/fault_env.h"
+#include "storage/wal.h"
+
+namespace good::storage {
+namespace {
+
+using graph::Instance;
+using graph::NodeId;
+using method::Operation;
+using pattern::GraphBuilder;
+using schema::Scheme;
+
+/// A fresh empty directory under the test tmp dir.
+std::string MakeTempDir() {
+  std::string tmpl = ::testing::TempDir() + "good_storage_XXXXXX";
+  char* made = ::mkdtemp(tmpl.data());
+  EXPECT_NE(made, nullptr);
+  return tmpl;
+}
+
+/// The paper database: Figure 1 scheme + Figure 2/3 instance.
+program::Database PaperDatabase() {
+  Scheme scheme = hypermedia::BuildScheme().ValueOrDie();
+  Instance instance =
+      std::move(hypermedia::BuildInstance(scheme).ValueOrDie().instance);
+  return program::Database{std::move(scheme), std::move(instance)};
+}
+
+/// A mixed sequence of serializable operations over the hyper-media
+/// scheme (node/edge additions and deletions, an abstraction) — each
+/// succeeds on the paper instance and several extend the scheme.
+std::vector<Operation> SampleOps(const Scheme& scheme) {
+  std::vector<Operation> ops;
+  {
+    GraphBuilder b(scheme);
+    NodeId x = b.Object("Info");
+    NodeId y = b.Object("Info");
+    b.Edge(x, "links-to", y);
+    ops.emplace_back(
+        ops::NodeAddition(b.BuildOrDie(), Sym("Tag0"), {{Sym("of"), y}}));
+  }
+  {
+    GraphBuilder b(scheme);
+    NodeId x = b.Object("Info");
+    NodeId y = b.Object("Info");
+    b.Edge(x, "links-to", y);
+    ops.emplace_back(ops::EdgeAddition(
+        b.BuildOrDie(), {ops::EdgeSpec{y, Sym("rev"), x, false}}));
+  }
+  ops.emplace_back(hypermedia::Fig12NodeAddition(scheme).ValueOrDie());
+  ops.emplace_back(hypermedia::Fig16EdgeDeletion(scheme).ValueOrDie());
+  {
+    GraphBuilder b(scheme);
+    NodeId x = b.Object("Info");
+    ops.emplace_back(ops::Abstraction(b.BuildOrDie(), x, Sym("Grp"),
+                                      Sym("member"), Sym("links-to")));
+  }
+  {
+    GraphBuilder b(scheme);
+    NodeId x = b.Object("Info");
+    NodeId y = b.Object("Info");
+    b.Edge(x, "links-to", y);
+    ops.emplace_back(ops::EdgeDeletion(
+        b.BuildOrDie(), {ops::EdgeRef{x, Sym("links-to"), y}}));
+  }
+  return ops;
+}
+
+/// Opens, applies `n` sample ops, and "crashes" (drops the handle),
+/// returning the expected scheme + instance copies.
+program::Database ApplyAndCrash(const std::string& dir, size_t n,
+                                Options options = {}) {
+  Database db = Database::Open(dir, PaperDatabase(), options).ValueOrDie();
+  std::vector<Operation> ops = SampleOps(db.scheme());
+  for (size_t i = 0; i < n && i < ops.size(); ++i) {
+    db.Apply(ops[i]).OrDie();
+  }
+  return program::Database{db.scheme(), db.instance()};
+}
+
+// ---------------------------------------------------------------------------
+// Record format
+// ---------------------------------------------------------------------------
+
+TEST(Crc32Test, MatchesKnownVector) {
+  // The canonical IEEE 802.3 check value pins the on-disk polynomial.
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32(""), 0u);
+}
+
+TEST(Crc32Test, ChunkedEqualsWhole) {
+  uint32_t whole = Crc32("hello, durable world");
+  uint32_t chunked = Crc32(" world", Crc32("hello, durable"));
+  EXPECT_EQ(whole, chunked);
+}
+
+TEST(Fixed64Test, RoundTrips) {
+  std::string buf;
+  AppendFixed64(&buf, 0);
+  AppendFixed64(&buf, 0xDEADBEEFCAFEBABEull);
+  std::string_view view = buf;
+  EXPECT_EQ(ConsumeFixed64(&view).ValueOrDie(), 0u);
+  EXPECT_EQ(ConsumeFixed64(&view).ValueOrDie(), 0xDEADBEEFCAFEBABEull);
+  EXPECT_TRUE(view.empty());
+  EXPECT_TRUE(ConsumeFixed64(&view).status().IsInvalidArgument());
+}
+
+TEST(WalFormatTest, RoundTripsRecords) {
+  std::string file;
+  AppendRecordTo(&file, "first");
+  AppendRecordTo(&file, "");
+  AppendRecordTo(&file, std::string(100000, 'x'));
+  LogContents contents = ReadLogRecords(file).ValueOrDie();
+  ASSERT_EQ(contents.records.size(), 3u);
+  EXPECT_EQ(contents.records[0], "first");
+  EXPECT_EQ(contents.records[1], "");
+  EXPECT_EQ(contents.records[2], std::string(100000, 'x'));
+  EXPECT_EQ(contents.valid_bytes, file.size());
+  EXPECT_FALSE(contents.dropped_torn_tail);
+}
+
+TEST(WalFormatTest, TornTailVariantsAreDropped) {
+  std::string base;
+  AppendRecordTo(&base, "alpha");
+  AppendRecordTo(&base, "beta");
+  const uint64_t base_size = base.size();
+
+  // Every possible truncation point of a third record is a torn tail.
+  std::string full = base;
+  AppendRecordTo(&full, "gamma");
+  for (size_t cut = base_size + 1; cut < full.size(); ++cut) {
+    LogContents contents =
+        ReadLogRecords(std::string_view(full).substr(0, cut)).ValueOrDie();
+    ASSERT_EQ(contents.records.size(), 2u) << "cut=" << cut;
+    EXPECT_TRUE(contents.dropped_torn_tail) << "cut=" << cut;
+    EXPECT_EQ(contents.valid_bytes, base_size) << "cut=" << cut;
+  }
+
+  // A checksum-failing final record is equally a torn tail.
+  std::string corrupt_last = full;
+  corrupt_last.back() ^= 0x01;
+  LogContents contents = ReadLogRecords(corrupt_last).ValueOrDie();
+  EXPECT_EQ(contents.records.size(), 2u);
+  EXPECT_TRUE(contents.dropped_torn_tail);
+}
+
+TEST(WalFormatTest, InteriorCorruptionIsDataLoss) {
+  std::string file;
+  AppendRecordTo(&file, "alpha");
+  const size_t first_payload_at = kRecordHeaderSize;
+  AppendRecordTo(&file, "beta");
+  file[first_payload_at] ^= 0x40;  // damage "alpha", "beta" still follows
+  auto result = ReadLogRecords(file);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsDataLoss()) << result.status();
+}
+
+// ---------------------------------------------------------------------------
+// Open / Apply / crash / recover
+// ---------------------------------------------------------------------------
+
+TEST(DatabaseTest, FreshOpenBootstrapsSnapshot) {
+  std::string dir = MakeTempDir();
+  program::Database initial = PaperDatabase();
+  Scheme scheme_copy = initial.scheme;
+  Instance instance_copy = initial.instance;
+  Database db = Database::Open(dir, std::move(initial)).ValueOrDie();
+  EXPECT_TRUE(db.recovery().created);
+  EXPECT_EQ(db.log_ops(), 0u);
+  EXPECT_TRUE(FileEnv::Default()->FileExists(Database::SnapshotPath(dir)));
+  EXPECT_TRUE(FileEnv::Default()->FileExists(Database::WalPath(dir)));
+  EXPECT_TRUE(db.scheme() == scheme_copy);
+  EXPECT_TRUE(graph::IsIsomorphic(db.instance(), instance_copy));
+}
+
+TEST(DatabaseTest, ApplyCrashReopenReplaysIsomorphically) {
+  std::string dir = MakeTempDir();
+  program::Database expected = ApplyAndCrash(dir, 6);
+
+  Database reopened = Database::Open(dir).ValueOrDie();
+  EXPECT_FALSE(reopened.recovery().created);
+  EXPECT_EQ(reopened.recovery().ops_replayed, 6u);
+  EXPECT_FALSE(reopened.recovery().dropped_torn_tail);
+  EXPECT_TRUE(reopened.scheme() == expected.scheme);
+  EXPECT_TRUE(graph::IsIsomorphic(reopened.instance(), expected.instance));
+}
+
+TEST(DatabaseTest, ReopenIgnoresInitialState) {
+  std::string dir = MakeTempDir();
+  program::Database expected = ApplyAndCrash(dir, 3);
+  // A different initial database must not clobber the recovered state.
+  Database reopened =
+      Database::Open(dir, program::Database{}).ValueOrDie();
+  EXPECT_FALSE(reopened.recovery().created);
+  EXPECT_TRUE(reopened.scheme() == expected.scheme);
+  EXPECT_TRUE(graph::IsIsomorphic(reopened.instance(), expected.instance));
+}
+
+TEST(DatabaseTest, RecoveredDatabaseKeepsAccepting) {
+  std::string dir = MakeTempDir();
+  (void)ApplyAndCrash(dir, 2);
+  program::Database expected;
+  {
+    Database db = Database::Open(dir).ValueOrDie();
+    std::vector<Operation> ops = SampleOps(db.scheme());
+    for (size_t i = 2; i < ops.size(); ++i) db.Apply(ops[i]).OrDie();
+    expected = program::Database{db.scheme(), db.instance()};
+  }
+  Database reopened = Database::Open(dir).ValueOrDie();
+  EXPECT_TRUE(reopened.scheme() == expected.scheme);
+  EXPECT_TRUE(graph::IsIsomorphic(reopened.instance(), expected.instance));
+}
+
+TEST(DatabaseTest, TornFinalRecordIsDroppedSilently) {
+  std::string dir = MakeTempDir();
+  (void)ApplyAndCrash(dir, 4);
+  // Expected state: the same ops replayed up to the one we tear off.
+  std::string dir2 = MakeTempDir();
+  program::Database expected = ApplyAndCrash(dir2, 3);
+
+  // Tear the final record: chop a few bytes off the log.
+  FileEnv* env = FileEnv::Default();
+  const std::string wal = Database::WalPath(dir);
+  std::string bytes = env->ReadFileToString(wal).ValueOrDie();
+  auto file = env->NewWritableFile(wal, /*truncate=*/false).ValueOrDie();
+  file->Truncate(bytes.size() - 3).OrDie();
+  file->Close().OrDie();
+
+  Database reopened = Database::Open(dir).ValueOrDie();
+  EXPECT_TRUE(reopened.recovery().dropped_torn_tail);
+  EXPECT_EQ(reopened.recovery().ops_replayed, 3u);
+  EXPECT_TRUE(reopened.scheme() == expected.scheme);
+  EXPECT_TRUE(graph::IsIsomorphic(reopened.instance(), expected.instance));
+}
+
+TEST(DatabaseTest, AppendsAfterTornTailRecovery) {
+  std::string dir = MakeTempDir();
+  (void)ApplyAndCrash(dir, 2);
+  FileEnv* env = FileEnv::Default();
+  const std::string wal = Database::WalPath(dir);
+  uint64_t size = env->FileSize(wal).ValueOrDie();
+  auto file = env->NewWritableFile(wal, /*truncate=*/false).ValueOrDie();
+  file->Truncate(size - 1).OrDie();
+  file->Close().OrDie();
+
+  program::Database expected;
+  {
+    Database db = Database::Open(dir).ValueOrDie();
+    ASSERT_TRUE(db.recovery().dropped_torn_tail);
+    ASSERT_EQ(db.recovery().ops_replayed, 1u);
+    std::vector<Operation> ops = SampleOps(db.scheme());
+    db.Apply(ops[2]).OrDie();
+    db.Apply(ops[3]).OrDie();
+    expected = program::Database{db.scheme(), db.instance()};
+  }
+  // The rewritten tail must read back cleanly.
+  Database reopened = Database::Open(dir).ValueOrDie();
+  EXPECT_FALSE(reopened.recovery().dropped_torn_tail);
+  EXPECT_EQ(reopened.recovery().ops_replayed, 3u);
+  EXPECT_TRUE(graph::IsIsomorphic(reopened.instance(), expected.instance));
+}
+
+TEST(DatabaseTest, CorruptInteriorRecordIsDataLoss) {
+  std::string dir = MakeTempDir();
+  (void)ApplyAndCrash(dir, 4);
+  FileEnv* env = FileEnv::Default();
+  const std::string wal = Database::WalPath(dir);
+  std::string bytes = env->ReadFileToString(wal).ValueOrDie();
+  // Flip a payload byte of the FIRST record (well before the tail).
+  bytes[kRecordHeaderSize + 9] ^= 0x20;
+  auto file = env->NewWritableFile(wal, /*truncate=*/true).ValueOrDie();
+  file->Append(bytes).OrDie();
+  file->Close().OrDie();
+
+  auto reopened = Database::Open(dir);
+  ASSERT_FALSE(reopened.ok());
+  EXPECT_TRUE(reopened.status().IsDataLoss()) << reopened.status();
+}
+
+TEST(DatabaseTest, CorruptSnapshotIsDataLoss) {
+  std::string dir = MakeTempDir();
+  (void)ApplyAndCrash(dir, 1);
+  FileEnv* env = FileEnv::Default();
+  const std::string snap = Database::SnapshotPath(dir);
+  std::string bytes = env->ReadFileToString(snap).ValueOrDie();
+  bytes[bytes.size() / 2] ^= 0x10;
+  auto file = env->NewWritableFile(snap, /*truncate=*/true).ValueOrDie();
+  file->Append(bytes).OrDie();
+  file->Close().OrDie();
+
+  auto reopened = Database::Open(dir);
+  ASSERT_FALSE(reopened.ok());
+  EXPECT_TRUE(reopened.status().IsDataLoss()) << reopened.status();
+}
+
+TEST(DatabaseTest, LogWithoutSnapshotIsDataLoss) {
+  std::string dir = MakeTempDir();
+  FileEnv* env = FileEnv::Default();
+  std::string record;
+  std::string payload;
+  AppendFixed64(&payload, 0);
+  payload += "na { pattern { } label X; }";
+  AppendRecordTo(&record, payload);
+  auto file = env->NewWritableFile(Database::WalPath(dir), true).ValueOrDie();
+  file->Append(record).OrDie();
+  file->Close().OrDie();
+
+  auto opened = Database::Open(dir);
+  ASSERT_FALSE(opened.ok());
+  EXPECT_TRUE(opened.status().IsDataLoss()) << opened.status();
+}
+
+// ---------------------------------------------------------------------------
+// Checkpointing
+// ---------------------------------------------------------------------------
+
+TEST(DatabaseTest, CheckpointTruncatesLogAndRecoversIdentically) {
+  std::string dir = MakeTempDir();
+  program::Database expected;
+  {
+    Database db = Database::Open(dir, PaperDatabase()).ValueOrDie();
+    std::vector<Operation> ops = SampleOps(db.scheme());
+    for (const Operation& op : ops) db.Apply(op).OrDie();
+    ASSERT_EQ(db.log_ops(), ops.size());
+    db.Checkpoint().OrDie();
+    EXPECT_EQ(db.log_ops(), 0u);
+    EXPECT_EQ(db.log_bytes(), 0u);
+    expected = program::Database{db.scheme(), db.instance()};
+  }
+  Database reopened = Database::Open(dir).ValueOrDie();
+  EXPECT_EQ(reopened.recovery().ops_replayed, 0u);
+  EXPECT_EQ(reopened.recovery().ops_skipped, 0u);
+  EXPECT_TRUE(reopened.scheme() == expected.scheme);
+  EXPECT_TRUE(graph::IsIsomorphic(reopened.instance(), expected.instance));
+}
+
+TEST(DatabaseTest, AutoCheckpointAfterNOps) {
+  std::string dir = MakeTempDir();
+  Options options;
+  options.checkpoint_every = 3;
+  program::Database expected;
+  {
+    Database db =
+        Database::Open(dir, PaperDatabase(), options).ValueOrDie();
+    std::vector<Operation> ops = SampleOps(db.scheme());
+    for (const Operation& op : ops) db.Apply(op).OrDie();  // 6 ops
+    EXPECT_EQ(db.log_ops(), 0u);  // checkpointed at op 3 and 6
+    db.Apply(hypermedia::Fig12NodeAddition(db.scheme()).ValueOrDie())
+        .OrDie();
+    EXPECT_EQ(db.log_ops(), 1u);
+    expected = program::Database{db.scheme(), db.instance()};
+  }
+  Database reopened = Database::Open(dir).ValueOrDie();
+  EXPECT_EQ(reopened.recovery().ops_replayed, 1u);
+  EXPECT_TRUE(graph::IsIsomorphic(reopened.instance(), expected.instance));
+}
+
+TEST(DatabaseTest, SequenceNumbersSurviveReopen) {
+  std::string dir = MakeTempDir();
+  {
+    Database db = Database::Open(dir, PaperDatabase()).ValueOrDie();
+    std::vector<Operation> ops = SampleOps(db.scheme());
+    db.Apply(ops[0]).OrDie();
+    db.Apply(ops[1]).OrDie();
+    EXPECT_EQ(db.next_sequence(), 2u);
+  }
+  Database reopened = Database::Open(dir).ValueOrDie();
+  EXPECT_EQ(reopened.next_sequence(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Failed operations leave no durable trace
+// ---------------------------------------------------------------------------
+
+TEST(DatabaseTest, UnserializableOperationIsRejectedBeforeLogging) {
+  std::string dir = MakeTempDir();
+  Database db = Database::Open(dir, PaperDatabase()).ValueOrDie();
+  GraphBuilder b(db.scheme());
+  NodeId x = b.Object("Info");
+  ops::NodeAddition op(b.BuildOrDie(), Sym("Tag0"), {{Sym("of"), x}});
+  op.set_filter([](const pattern::Matching&, const Instance&) {
+    return true;  // C++ closure — not serializable
+  });
+  uint64_t log_before = db.log_bytes();
+  Status s = db.Apply(Operation(op));
+  EXPECT_TRUE(s.IsUnimplemented()) << s;
+  EXPECT_EQ(db.log_bytes(), log_before);
+}
+
+TEST(DatabaseTest, FailedExecutionRollsBackTheLogRecord) {
+  std::string dir = MakeTempDir();
+  Database db = Database::Open(dir, PaperDatabase()).ValueOrDie();
+  Instance before = db.instance();
+  uint64_t log_before = db.log_bytes();
+
+  // 'links-to' is a multivalued edge label; using it as a node label
+  // fails the minimal-scheme-extension step of NA, after the record
+  // was already written ahead.
+  GraphBuilder b(db.scheme());
+  ops::NodeAddition bad(b.BuildOrDie(), Sym("links-to"), {});
+  Status s = db.Apply(Operation(bad));
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(db.log_bytes(), log_before);
+  EXPECT_TRUE(graph::IsIsomorphic(db.instance(), before));
+
+  // The rolled-back record must not resurface at recovery.
+  program::Database expected{db.scheme(), db.instance()};
+  Database reopened = Database::Open(dir).ValueOrDie();
+  EXPECT_EQ(reopened.recovery().ops_replayed, 0u);
+  EXPECT_TRUE(graph::IsIsomorphic(reopened.instance(), expected.instance));
+}
+
+TEST(DatabaseTest, CloseRejectsFurtherApplies) {
+  std::string dir = MakeTempDir();
+  Database db = Database::Open(dir, PaperDatabase()).ValueOrDie();
+  db.Close().OrDie();
+  Status s = db.Apply(hypermedia::Fig12NodeAddition(db.scheme()).ValueOrDie());
+  EXPECT_TRUE(s.IsFailedPrecondition());
+}
+
+// ---------------------------------------------------------------------------
+// Method calls
+// ---------------------------------------------------------------------------
+
+TEST(DatabaseTest, MethodCallsReplayThroughTheRegistry) {
+  std::string dir = MakeTempDir();
+  method::MethodRegistry registry;
+  Scheme scheme = hypermedia::BuildScheme().ValueOrDie();
+  registry.Register(hypermedia::MakeUpdateMethod(scheme).ValueOrDie())
+      .OrDie();
+  Options options;
+  options.methods = &registry;
+
+  program::Database expected;
+  {
+    Database db =
+        Database::Open(dir, PaperDatabase(), options).ValueOrDie();
+    auto call = hypermedia::MakeUpdateCall(db.scheme(), "Music History",
+                                           Date{1990, 1, 16})
+                    .ValueOrDie();
+    db.Apply(Operation(call)).OrDie();
+    expected = program::Database{db.scheme(), db.instance()};
+  }
+  Database reopened = Database::Open(dir, options).ValueOrDie();
+  EXPECT_EQ(reopened.recovery().ops_replayed, 1u);
+  EXPECT_TRUE(reopened.scheme() == expected.scheme);
+  EXPECT_TRUE(graph::IsIsomorphic(reopened.instance(), expected.instance));
+
+  // Without the method's definition the logged call cannot replay.
+  auto blind = Database::Open(dir);
+  ASSERT_FALSE(blind.ok());
+  EXPECT_TRUE(blind.status().IsDataLoss()) << blind.status();
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection
+// ---------------------------------------------------------------------------
+
+/// Applies sample ops under an env whose K-th log append is torn or
+/// failed; verifies the failed Apply leaves memory untouched and that
+/// reopening the directory recovers exactly the acknowledged prefix.
+class FaultPointTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FaultPointTest, TornAppendAtEveryPointRecovers) {
+  const size_t k = static_cast<size_t>(GetParam());
+  std::string dir = MakeTempDir();
+  FaultInjectionEnv env;
+  Options options;
+  options.env = &env;
+
+  program::Database expected;
+  size_t applied = 0;
+  {
+    Database db =
+        Database::Open(dir, PaperDatabase(), options).ValueOrDie();
+    // SetPlan resets the counters, so append #k is the k-th op record.
+    FaultPlan plan;
+    plan.short_write_at = k;
+    env.SetPlan(plan);
+    std::vector<Operation> ops = SampleOps(db.scheme());
+    for (const Operation& op : ops) {
+      Status s = db.Apply(op);
+      if (!s.ok()) {
+        EXPECT_EQ(applied, k - 1) << "fault fired at the wrong append";
+        break;
+      }
+      ++applied;
+    }
+    EXPECT_EQ(env.faults_fired(), 1u);
+    expected = program::Database{db.scheme(), db.instance()};
+  }
+
+  // Recover with a clean env: the torn append must be invisible.
+  Database reopened = Database::Open(dir).ValueOrDie();
+  EXPECT_EQ(reopened.recovery().ops_replayed, applied);
+  EXPECT_FALSE(reopened.recovery().dropped_torn_tail)
+      << "Apply already truncated the torn bytes";
+  EXPECT_TRUE(reopened.scheme() == expected.scheme);
+  EXPECT_TRUE(graph::IsIsomorphic(reopened.instance(), expected.instance));
+}
+
+TEST_P(FaultPointTest, FailedAppendAtEveryPointRecovers) {
+  const size_t k = static_cast<size_t>(GetParam());
+  std::string dir = MakeTempDir();
+  FaultInjectionEnv env;
+  Options options;
+  options.env = &env;
+
+  program::Database expected;
+  size_t applied = 0;
+  {
+    Database db =
+        Database::Open(dir, PaperDatabase(), options).ValueOrDie();
+    FaultPlan plan;
+    plan.fail_append_at = k;
+    env.SetPlan(plan);
+    std::vector<Operation> ops = SampleOps(db.scheme());
+    for (const Operation& op : ops) {
+      Status s = db.Apply(op);
+      if (!s.ok()) break;
+      ++applied;
+    }
+    // The database stays usable after a failed append.
+    db.Apply(hypermedia::Fig12NodeAddition(db.scheme()).ValueOrDie())
+        .OrDie();
+    expected = program::Database{db.scheme(), db.instance()};
+  }
+
+  Database reopened = Database::Open(dir).ValueOrDie();
+  EXPECT_EQ(reopened.recovery().ops_replayed, applied + 1);
+  EXPECT_TRUE(graph::IsIsomorphic(reopened.instance(), expected.instance));
+}
+
+INSTANTIATE_TEST_SUITE_P(EveryAppend, FaultPointTest,
+                         ::testing::Range(1, 7));
+
+TEST(FaultInjectionTest, SyncFailureRollsBackCleanly) {
+  std::string dir = MakeTempDir();
+  FaultInjectionEnv env;
+  Options options;
+  options.env = &env;
+  Database db = Database::Open(dir, PaperDatabase(), options).ValueOrDie();
+  program::Database before{db.scheme(), db.instance()};
+
+  FaultPlan plan;
+  plan.fail_sync_at = 1;  // the next op's log sync
+  env.SetPlan(plan);
+  std::vector<Operation> ops = SampleOps(db.scheme());
+  Status s = db.Apply(ops[0]);
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(graph::IsIsomorphic(db.instance(), before.instance));
+
+  env.Reset();
+  db.Apply(ops[0]).OrDie();
+  program::Database expected{db.scheme(), db.instance()};
+  Database reopened = Database::Open(dir).ValueOrDie();
+  EXPECT_EQ(reopened.recovery().ops_replayed, 1u);
+  EXPECT_TRUE(graph::IsIsomorphic(reopened.instance(), expected.instance));
+}
+
+TEST(FaultInjectionTest, FailedCheckpointRenameKeepsOldState) {
+  std::string dir = MakeTempDir();
+  FaultInjectionEnv env;
+  Options options;
+  options.env = &env;
+  Database db = Database::Open(dir, PaperDatabase(), options).ValueOrDie();
+  std::vector<Operation> ops = SampleOps(db.scheme());
+  db.Apply(ops[0]).OrDie();
+  db.Apply(ops[1]).OrDie();
+
+  FaultPlan plan;
+  plan.fail_rename_at = 1;  // this checkpoint's snapshot publish
+  env.SetPlan(plan);
+  Status s = db.Checkpoint();
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(db.log_ops(), 2u) << "failed checkpoint must not touch the log";
+
+  // Still usable, and recovery sees the old snapshot + full log.
+  db.Apply(ops[2]).OrDie();
+  program::Database expected{db.scheme(), db.instance()};
+  Database reopened = Database::Open(dir).ValueOrDie();
+  EXPECT_EQ(reopened.recovery().ops_replayed, 3u);
+  EXPECT_TRUE(graph::IsIsomorphic(reopened.instance(), expected.instance));
+}
+
+TEST(FaultInjectionTest, CrashBetweenRenameAndTruncationSkipsResidue) {
+  std::string dir = MakeTempDir();
+  FaultInjectionEnv env;
+  Options options;
+  options.env = &env;
+  program::Database expected;
+  {
+    Database db =
+        Database::Open(dir, PaperDatabase(), options).ValueOrDie();
+    std::vector<Operation> ops = SampleOps(db.scheme());
+    db.Apply(ops[0]).OrDie();
+    db.Apply(ops[1]).OrDie();
+    expected = program::Database{db.scheme(), db.instance()};
+
+    // This checkpoint opens tmp(#1), renames, then fails opening the
+    // fresh wal(#2) — i.e. a crash after the snapshot became visible
+    // but before the log truncation.
+    FaultPlan plan;
+    plan.fail_open_at = 2;
+    env.SetPlan(plan);
+    Status s = db.Checkpoint();
+    ASSERT_FALSE(s.ok());
+    // The handle cannot log anymore and says so.
+    EXPECT_TRUE(
+        db.Apply(hypermedia::Fig12NodeAddition(db.scheme()).ValueOrDie())
+            .IsFailedPrecondition());
+  }
+
+  Database reopened = Database::Open(dir).ValueOrDie();
+  EXPECT_EQ(reopened.recovery().ops_replayed, 0u);
+  EXPECT_EQ(reopened.recovery().ops_skipped, 2u)
+      << "pre-checkpoint records must be skipped, not re-applied";
+  EXPECT_TRUE(reopened.scheme() == expected.scheme);
+  EXPECT_TRUE(graph::IsIsomorphic(reopened.instance(), expected.instance));
+}
+
+}  // namespace
+}  // namespace good::storage
