@@ -65,7 +65,9 @@ void BM_GoodProject(benchmark::State& state) {
   int round = 0;
   CoddSimulator sim = Loaded(rows);
   for (auto _ : state) {
-    sim.Project("R", {"a"}, "P" + std::to_string(round++)).OrDie();
+    std::string name("P");
+    name += std::to_string(round++);
+    sim.Project("R", {"a"}, name).OrDie();
   }
   state.SetItemsProcessed(state.iterations() * rows);
 }
@@ -81,7 +83,9 @@ void BM_GoodDifference(benchmark::State& state) {
         .OrDie();
   }
   for (auto _ : state) {
-    sim.DifferenceRel("R", "S", "D" + std::to_string(round++)).OrDie();
+    std::string name("D");
+    name += std::to_string(round++);
+    sim.DifferenceRel("R", "S", name).OrDie();
   }
   state.SetItemsProcessed(state.iterations() * rows);
 }

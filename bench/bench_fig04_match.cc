@@ -20,6 +20,7 @@ void BM_Fig4PatternOnPaperInstance(benchmark::State& state) {
     auto matchings = pattern::FindMatchings(fig4.pattern, built.instance);
     benchmark::DoNotOptimize(matchings.size());
   }
+  bench::ExportMatchStats(state, fig4.pattern, built.instance);
 }
 BENCHMARK(BM_Fig4PatternOnPaperInstance);
 
@@ -38,6 +39,7 @@ void BM_SelectivePatternScaling(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(pattern::FindMatchings(p, g).size());
   }
+  bench::ExportMatchStats(state, p, g);
 }
 BENCHMARK(BM_SelectivePatternScaling)->Range(64, 8192);
 
@@ -55,6 +57,7 @@ void BM_UnanchoredPatternScaling(benchmark::State& state) {
     benchmark::DoNotOptimize(pattern::FindMatchings(p, g).size());
   }
   state.SetItemsProcessed(state.iterations() * g.num_edges());
+  bench::ExportMatchStats(state, p, g);
 }
 BENCHMARK(BM_UnanchoredPatternScaling)->Range(64, 8192);
 
@@ -75,6 +78,7 @@ void BM_CountVsMaterialize(benchmark::State& state) {
       benchmark::DoNotOptimize(matcher.Count());
     }
   }
+  bench::ExportMatchStats(state, p, g);
 }
 BENCHMARK(BM_CountVsMaterialize)->Arg(0)->Arg(1);
 

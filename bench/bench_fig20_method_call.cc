@@ -100,7 +100,7 @@ void BM_InterfaceFilteredNestedCall(benchmark::State& state) {
     auto info = b.Object("Info");
     method::MethodCallOp call;
     call.pattern = b.BuildOrDie();
-    call.method_name = "E";
+    call.method_name = std::string("E");
     call.receiver = info;
     state.ResumeTiming();
     executor.Execute(call, &scheme, &g).OrDie();

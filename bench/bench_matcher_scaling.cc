@@ -23,12 +23,10 @@ void BM_PatternSizeSweep(benchmark::State& state) {
   for (size_t i = 0; i <= k; ++i) nodes.push_back(b.Object("Info"));
   for (size_t i = 0; i < k; ++i) b.Edge(nodes[i], "links-to", nodes[i + 1]);
   auto p = b.BuildOrDie();
-  size_t found = 0;
   for (auto _ : state) {
-    found = pattern::Matcher(p, g).Count();
-    benchmark::DoNotOptimize(found);
+    benchmark::DoNotOptimize(pattern::Matcher(p, g).Count());
   }
-  state.counters["matchings"] = static_cast<double>(found);
+  bench::ExportMatchStats(state, p, g);
 }
 BENCHMARK(BM_PatternSizeSweep)->DenseRange(1, 5);
 
@@ -47,6 +45,7 @@ void BM_InstanceSizeSweep(benchmark::State& state) {
     benchmark::DoNotOptimize(pattern::Matcher(p, g).Count());
   }
   state.SetItemsProcessed(state.iterations() * n);
+  bench::ExportMatchStats(state, p, g);
 }
 BENCHMARK(BM_InstanceSizeSweep)->Range(128, 16384);
 
@@ -64,6 +63,7 @@ void BM_DensitySweep(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(pattern::Matcher(p, g).Count());
   }
+  bench::ExportMatchStats(state, p, g);
 }
 BENCHMARK(BM_DensitySweep)->Range(256, 16384);
 
@@ -87,6 +87,7 @@ void BM_OptimizedVsBruteForce(benchmark::State& state) {
       benchmark::DoNotOptimize(pattern::FindMatchings(p, g).size());
     }
   }
+  if (!brute) bench::ExportMatchStats(state, p, g);
 }
 BENCHMARK(BM_OptimizedVsBruteForce)->Arg(0)->Arg(1);
 

@@ -31,7 +31,9 @@ void BM_NestByRowCount(benchmark::State& state) {
     state.PauseTiming();
     NestedSimulator sim = Loaded(rows, rows / 4 + 1, 8);
     state.ResumeTiming();
-    sim.Nest("R", "G" + std::to_string(round++)).OrDie();
+    std::string name("G");
+    name += std::to_string(round++);
+    sim.Nest("R", name).OrDie();
   }
   state.SetItemsProcessed(state.iterations() * rows);
 }
@@ -45,7 +47,8 @@ void BM_NestBySharedSets(benchmark::State& state) {
   for (auto _ : state) {
     state.PauseTiming();
     NestedSimulator sim = Loaded(256, 32, values);
-    std::string name = "G" + std::to_string(round++);
+    std::string name("G");
+    name += std::to_string(round++);
     state.ResumeTiming();
     sim.Nest("R", name).OrDie();
     set_objects = sim.CountSetObjects(name);
@@ -60,8 +63,10 @@ void BM_UnnestRoundTrip(benchmark::State& state) {
   for (auto _ : state) {
     state.PauseTiming();
     NestedSimulator sim = Loaded(rows, rows / 4 + 1, 8);
-    std::string g = "G" + std::to_string(round);
-    std::string f = "F" + std::to_string(round++);
+    std::string g("G");
+    g += std::to_string(round);
+    std::string f("F");
+    f += std::to_string(round++);
     sim.Nest("R", g).OrDie();
     state.ResumeTiming();
     sim.Unnest(g, f).OrDie();

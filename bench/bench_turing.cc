@@ -14,7 +14,7 @@ using turing::TuringSimulator;
 
 TuringMachine BinaryIncrement() {
   TuringMachine tm;
-  tm.initial = "R";
+  tm.initial = std::string("R");
   tm.halting = {"H"};
   tm.transitions = {
       {"R", '0', "R", '0', +1}, {"R", '1', "R", '1', +1},
@@ -56,7 +56,7 @@ BENCHMARK(BM_GoodSimulation)->Range(2, 16);
 void BM_GoodSimulationCompileOnly(benchmark::State& state) {
   // Compilation + tape construction without running (the fixed cost).
   TuringMachine halted = BinaryIncrement();
-  halted.initial = "H";  // Starts halted: zero steps execute.
+  halted.initial = std::string("H");  // Starts halted: zero steps execute.
   for (auto _ : state) {
     TuringSimulator sim(halted);
     auto result = sim.Run("1111", 1000).ValueOrDie();

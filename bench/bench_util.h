@@ -13,9 +13,26 @@
 #include "gen/generators.h"
 #include "graph/instance.h"
 #include "hypermedia/hypermedia.h"
+#include "pattern/matcher.h"
 #include "schema/scheme.h"
 
 namespace good::bench {
+
+/// Runs one instrumented matching pass (outside the timed loop) and
+/// exports the matcher's search-effort counters on the benchmark state:
+/// candidates scanned, feasibility rejections, and backtracks.
+inline void ExportMatchStats(benchmark::State& state,
+                             const pattern::Pattern& pattern,
+                             const graph::Instance& instance) {
+  pattern::MatchStats stats;
+  pattern::MatchOptions options;
+  options.stats = &stats;
+  pattern::Matcher(pattern, instance, options).Count();
+  state.counters["cand"] = static_cast<double>(stats.candidates_scanned);
+  state.counters["rej"] = static_cast<double>(stats.feasibility_rejections);
+  state.counters["bt"] = static_cast<double>(stats.backtracks);
+  state.counters["matchings"] = static_cast<double>(stats.matchings);
+}
 
 /// The Figure 1 scheme (cached — schemes are immutable here).
 inline const schema::Scheme& HyperMediaScheme() {

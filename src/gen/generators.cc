@@ -66,7 +66,8 @@ Result<Instance> ScaledHyperMedia(const Scheme& scheme,
 }
 
 Result<Instance> RandomInfoGraph(const Scheme& scheme, size_t n,
-                                 size_t edges, uint64_t seed) {
+                                 size_t edges, uint64_t seed,
+                                 bool allow_self_loops) {
   const Labels& l = Labels::Get();
   std::mt19937_64 rng(seed);
   Instance g;
@@ -80,11 +81,42 @@ Result<Instance> RandomInfoGraph(const Scheme& scheme, size_t n,
     for (size_t e = 0; e < edges; ++e) {
       NodeId a = nodes[rng() % n];
       NodeId b = nodes[rng() % n];
-      if (a == b) continue;
+      if (a == b && !allow_self_loops) continue;
       GOOD_RETURN_NOT_OK(g.AddEdge(scheme, a, l.links_to, b));
     }
   }
   return g;
+}
+
+Result<Instance> RandomLinkPattern(const Scheme& scheme, size_t num_nodes,
+                                   size_t extra_edges, uint64_t seed,
+                                   bool allow_self_loops) {
+  const Labels& l = Labels::Get();
+  std::mt19937_64 rng(seed);
+  Instance p;
+  std::vector<NodeId> nodes;
+  nodes.reserve(num_nodes);
+  for (size_t i = 0; i < num_nodes; ++i) {
+    GOOD_ASSIGN_OR_RETURN(NodeId node, p.AddObjectNode(scheme, l.info));
+    if (i > 0) {
+      NodeId other = nodes[rng() % i];
+      if (rng() % 2 == 0) {
+        GOOD_RETURN_NOT_OK(p.AddEdge(scheme, other, l.links_to, node));
+      } else {
+        GOOD_RETURN_NOT_OK(p.AddEdge(scheme, node, l.links_to, other));
+      }
+    }
+    nodes.push_back(node);
+  }
+  if (!nodes.empty()) {
+    for (size_t e = 0; e < extra_edges; ++e) {
+      NodeId a = nodes[rng() % num_nodes];
+      NodeId b = nodes[rng() % num_nodes];
+      if (a == b && !allow_self_loops) continue;
+      GOOD_RETURN_NOT_OK(p.AddEdge(scheme, a, l.links_to, b));
+    }
+  }
+  return p;
 }
 
 Result<Instance> InfoChain(const Scheme& scheme, size_t n) {

@@ -42,9 +42,24 @@ Result<graph::Instance> ScaledHyperMedia(const schema::Scheme& scheme,
 
 /// \brief n Info nodes with `edges` random links-to edges — the
 /// substrate for matcher-scaling and transitive-closure benchmarks.
+/// With `allow_self_loops`, an edge draw may produce (a, links-to, a);
+/// the scheme's (Info, links-to, Info) triple licenses such loops, and
+/// the matcher differential sweeps rely on them being present.
 Result<graph::Instance> RandomInfoGraph(const schema::Scheme& scheme,
                                         size_t n, size_t edges,
-                                        uint64_t seed);
+                                        uint64_t seed,
+                                        bool allow_self_loops = false);
+
+/// \brief A small random links-to pattern over `num_nodes` Info nodes:
+/// a random spanning arborescence (random direction per edge) keeps it
+/// connected, plus `extra_edges` additional random edges. With
+/// `allow_self_loops`, extra-edge draws may produce pattern self-loops
+/// (m, links-to, m) — the shape that historically escaped feasibility
+/// checking, kept in the differential sweeps forever.
+Result<graph::Instance> RandomLinkPattern(const schema::Scheme& scheme,
+                                          size_t num_nodes,
+                                          size_t extra_edges, uint64_t seed,
+                                          bool allow_self_loops = false);
 
 /// \brief A links-to chain of n Info nodes (worst case for transitive
 /// closure: the closure has n(n-1)/2 edges).

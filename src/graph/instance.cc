@@ -7,7 +7,7 @@ namespace good::graph {
 
 NodeId Instance::NewNode(Symbol label, std::optional<Value> print) {
   NodeId id{static_cast<uint32_t>(nodes_.size())};
-  nodes_.push_back(NodeRep{label, std::move(print), true, {}, {}});
+  nodes_.push_back(NodeRep{label, std::move(print), true, {}, {}, {}, {}});
   ++num_alive_;
   label_index_[label].insert(id.id);
   return id;
@@ -48,17 +48,31 @@ Result<NodeId> Instance::AddValuelessPrintableNode(
   return NewNode(label, std::nullopt);
 }
 
+namespace {
+
+/// Removes the first occurrence of `value` from `vec` (order-preserving).
+void EraseFirst(std::vector<NodeId>* vec, NodeId value) {
+  auto it = std::find(vec->begin(), vec->end(), value);
+  if (it != vec->end()) vec->erase(it);
+}
+
+}  // namespace
+
 Status Instance::RemoveNode(NodeId node) {
   if (!HasNode(node)) {
     return Status::NotFound("node #" + std::to_string(node.id) +
                             " does not exist");
   }
   NodeRep& rep = nodes_[node.id];
-  // Detach incident edges from the neighbours' mirror lists.
+  // Detach incident edges from the neighbours' mirror lists. A self-loop
+  // is removed here (it appears in rep.out); the second loop only sees
+  // the in-edges that survive this one.
   for (const auto& [label, target] : rep.out) {
     auto& in = nodes_[target.id].in;
     in.erase(std::remove(in.begin(), in.end(), std::make_pair(node, label)),
              in.end());
+    EraseFirst(&nodes_[target.id].in_by_label[label], node);
+    edge_set_.erase(Edge{node, label, target});
     --num_edges_;
   }
   for (const auto& [source, label] : rep.in) {
@@ -66,10 +80,14 @@ Status Instance::RemoveNode(NodeId node) {
     out.erase(
         std::remove(out.begin(), out.end(), std::make_pair(label, node)),
         out.end());
+    EraseFirst(&nodes_[source.id].out_by_label[label], node);
+    edge_set_.erase(Edge{source, label, node});
     --num_edges_;
   }
   rep.out.clear();
   rep.in.clear();
+  rep.out_by_label.clear();
+  rep.in_by_label.clear();
   rep.alive = false;
   --num_alive_;
   label_index_[rep.label].erase(node.id);
@@ -91,16 +109,15 @@ Status Instance::AddEdge(const schema::Scheme& scheme, NodeId source,
         "scheme has no triple (" + SymName(source_label) + ", " +
         SymName(label) + ", " + SymName(target_label) + ")");
   }
-  const bool functional = scheme.IsFunctionalEdgeLabel(label);
-  for (const auto& [out_label, out_target] : nodes_[source.id].out) {
-    if (out_label != label) continue;
-    if (out_target == target) return Status::OK();  // Idempotent.
-    if (functional) {
+  if (HasEdge(source, label, target)) return Status::OK();  // Idempotent.
+  const auto& out_same_label = OutTargets(source, label);
+  if (!out_same_label.empty()) {
+    if (scheme.IsFunctionalEdgeLabel(label)) {
       return Status::FailedPrecondition(
           "functional edge conflict: node #" + std::to_string(source.id) +
           " already has a '" + SymName(label) + "' edge to a different node");
     }
-    if (LabelOf(out_target) != target_label) {
+    if (LabelOf(out_same_label.front()) != target_label) {
       return Status::FailedPrecondition(
           "successor-label conflict: '" + SymName(label) +
           "' successors of node #" + std::to_string(source.id) +
@@ -109,19 +126,24 @@ Status Instance::AddEdge(const schema::Scheme& scheme, NodeId source,
   }
   nodes_[source.id].out.emplace_back(label, target);
   nodes_[target.id].in.emplace_back(source, label);
+  nodes_[source.id].out_by_label[label].push_back(target);
+  nodes_[target.id].in_by_label[label].push_back(source);
+  edge_set_.insert(Edge{source, label, target});
   ++num_edges_;
   return Status::OK();
 }
 
 Status Instance::RemoveEdge(NodeId source, Symbol label, NodeId target) {
   if (!HasNode(source) || !HasNode(target)) return Status::OK();
+  if (edge_set_.erase(Edge{source, label, target}) == 0) return Status::OK();
   auto& out = nodes_[source.id].out;
   auto it = std::find(out.begin(), out.end(), std::make_pair(label, target));
-  if (it == out.end()) return Status::OK();
   out.erase(it);
   auto& in = nodes_[target.id].in;
   in.erase(std::remove(in.begin(), in.end(), std::make_pair(source, label)),
            in.end());
+  EraseFirst(&nodes_[source.id].out_by_label[label], target);
+  EraseFirst(&nodes_[target.id].in_by_label[label], source);
   --num_edges_;
   return Status::OK();
 }
@@ -158,35 +180,32 @@ std::vector<NodeId> Instance::AllNodes() const {
   return out;
 }
 
-bool Instance::HasEdge(NodeId source, Symbol label, NodeId target) const {
-  if (!HasNode(source) || !HasNode(target)) return false;
-  const auto& out = nodes_[source.id].out;
-  return std::find(out.begin(), out.end(), std::make_pair(label, target)) !=
-         out.end();
+namespace {
+
+const std::vector<NodeId>& EmptyAdjacency() {
+  static const std::vector<NodeId>* empty = new std::vector<NodeId>();
+  return *empty;
 }
 
-std::vector<NodeId> Instance::OutTargets(NodeId node, Symbol label) const {
-  std::vector<NodeId> out;
-  for (const auto& [l, t] : nodes_[node.id].out) {
-    if (l == label) out.push_back(t);
-  }
-  return out;
+}  // namespace
+
+const std::vector<NodeId>& Instance::OutTargets(NodeId node,
+                                                Symbol label) const {
+  const auto* found = nodes_[node.id].out_by_label.Find(label);
+  return found != nullptr ? *found : EmptyAdjacency();
 }
 
 std::optional<NodeId> Instance::FunctionalTarget(NodeId node,
                                                  Symbol label) const {
-  for (const auto& [l, t] : nodes_[node.id].out) {
-    if (l == label) return t;
-  }
-  return std::nullopt;
+  const auto& targets = OutTargets(node, label);
+  if (targets.empty()) return std::nullopt;
+  return targets.front();
 }
 
-std::vector<NodeId> Instance::InSources(NodeId node, Symbol label) const {
-  std::vector<NodeId> out;
-  for (const auto& [s, l] : nodes_[node.id].in) {
-    if (l == label) out.push_back(s);
-  }
-  return out;
+const std::vector<NodeId>& Instance::InSources(NodeId node,
+                                               Symbol label) const {
+  const auto* found = nodes_[node.id].in_by_label.Find(label);
+  return found != nullptr ? *found : EmptyAdjacency();
 }
 
 std::vector<Edge> Instance::AllEdges() const {
@@ -267,6 +286,49 @@ Status Instance::Validate(const schema::Scheme& scheme) const {
       return Status::Internal("duplicate printable nodes for label '" +
                               SymName(label) + "'");
     }
+  }
+  // Adjacency indexes must mirror the edge lists exactly.
+  size_t counted_edges = 0;
+  for (uint32_t i = 0; i < nodes_.size(); ++i) {
+    const NodeRep& rep = nodes_[i];
+    if (!rep.alive) continue;
+    const std::string node_name = "node #" + std::to_string(i);
+    std::unordered_map<Symbol, size_t> out_census, in_census;
+    for (const auto& [label, target] : rep.out) {
+      ++out_census[label];
+      ++counted_edges;
+      if (!edge_set_.contains(Edge{NodeId{i}, label, target})) {
+        return Status::Internal(node_name + " edge missing from edge set");
+      }
+      const auto& targets = OutTargets(NodeId{i}, label);
+      if (std::find(targets.begin(), targets.end(), target) ==
+          targets.end()) {
+        return Status::Internal(node_name + " edge missing from out index");
+      }
+    }
+    for (const auto& [source, label] : rep.in) {
+      ++in_census[label];
+      const auto& sources = InSources(NodeId{i}, label);
+      if (std::find(sources.begin(), sources.end(), source) ==
+          sources.end()) {
+        return Status::Internal(node_name + " edge missing from in index");
+      }
+    }
+    for (const auto& [label, targets] : rep.out_by_label.entries) {
+      if (targets.size() != out_census[label]) {
+        return Status::Internal(node_name + " out index size mismatch for '" +
+                                SymName(label) + "'");
+      }
+    }
+    for (const auto& [label, sources] : rep.in_by_label.entries) {
+      if (sources.size() != in_census[label]) {
+        return Status::Internal(node_name + " in index size mismatch for '" +
+                                SymName(label) + "'");
+      }
+    }
+  }
+  if (counted_edges != num_edges_ || edge_set_.size() != num_edges_) {
+    return Status::Internal("edge count disagrees with edge set");
   }
   return Status::OK();
 }

@@ -23,8 +23,10 @@
 #include <set>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
+#include "common/hash.h"
 #include "common/interner.h"
 #include "common/result.h"
 #include "common/status.h"
@@ -53,6 +55,16 @@ struct Edge {
 
   friend bool operator==(const Edge&, const Edge&) = default;
   friend auto operator<=>(const Edge&, const Edge&) = default;
+};
+
+/// \brief Hash for Edge, enabling the O(1) edge-membership index.
+struct EdgeHash {
+  size_t operator()(const Edge& e) const {
+    size_t seed = std::hash<uint32_t>{}(e.source.id);
+    HashCombine(&seed, e.label.id);
+    HashCombine(&seed, e.target.id);
+    return seed;
+  }
 };
 
 /// \brief An object base instance over some scheme.
@@ -131,7 +143,10 @@ class Instance {
 
   // ---- Edge queries ----------------------------------------------------------
 
-  bool HasEdge(NodeId source, Symbol label, NodeId target) const;
+  /// O(1) expected: backed by a whole-instance edge hash set.
+  bool HasEdge(NodeId source, Symbol label, NodeId target) const {
+    return edge_set_.contains(Edge{source, label, target});
+  }
 
   /// Outgoing edges of `node` as (edge label, target) pairs.
   const std::vector<std::pair<Symbol, NodeId>>& OutEdges(NodeId node) const {
@@ -142,12 +157,23 @@ class Instance {
     return nodes_[node.id].in;
   }
 
-  /// Targets of `label`-edges leaving `node`.
-  std::vector<NodeId> OutTargets(NodeId node, Symbol label) const;
-  /// The unique functional `label`-successor of `node`, if any.
+  /// Targets of `label`-edges leaving `node`. Index-backed: no scan over
+  /// unrelated labels. The reference is invalidated by mutation.
+  const std::vector<NodeId>& OutTargets(NodeId node, Symbol label) const;
+  /// The unique functional `label`-successor of `node`, if any. O(1).
   std::optional<NodeId> FunctionalTarget(NodeId node, Symbol label) const;
-  /// Sources of `label`-edges entering `node`.
-  std::vector<NodeId> InSources(NodeId node, Symbol label) const;
+  /// Sources of `label`-edges entering `node`. Index-backed; the
+  /// reference is invalidated by mutation.
+  const std::vector<NodeId>& InSources(NodeId node, Symbol label) const;
+
+  /// Number of `label`-edges leaving `node` (no materialization).
+  size_t OutDegree(NodeId node, Symbol label) const {
+    return OutTargets(node, label).size();
+  }
+  /// Number of `label`-edges entering `node` (no materialization).
+  size_t InDegree(NodeId node, Symbol label) const {
+    return InSources(node, label).size();
+  }
 
   /// Every alive edge, ascending by (source, label, target).
   std::vector<Edge> AllEdges() const;
@@ -172,12 +198,38 @@ class Instance {
   std::string ToString() const;
 
  private:
+  /// Per-label adjacency stored flat: a node touches few distinct edge
+  /// labels, so a linear scan over a contiguous array beats a per-node
+  /// hash map on the matcher hot path and costs far less memory.
+  struct LabelAdjacency {
+    std::vector<std::pair<Symbol, std::vector<NodeId>>> entries;
+
+    std::vector<NodeId>& operator[](Symbol label) {
+      for (auto& [l, list] : entries) {
+        if (l == label) return list;
+      }
+      entries.emplace_back(label, std::vector<NodeId>());
+      return entries.back().second;
+    }
+    const std::vector<NodeId>* Find(Symbol label) const {
+      for (const auto& [l, list] : entries) {
+        if (l == label) return &list;
+      }
+      return nullptr;
+    }
+    void clear() { entries.clear(); }
+  };
+
   struct NodeRep {
     Symbol label;
     std::optional<Value> print;
     bool alive = true;
     std::vector<std::pair<Symbol, NodeId>> out;
     std::vector<std::pair<NodeId, Symbol>> in;
+    // Per-label adjacency (insertion order preserved): the matcher hot
+    // path reads these instead of scanning `out`/`in`.
+    LabelAdjacency out_by_label;
+    LabelAdjacency in_by_label;
   };
 
   NodeId NewNode(Symbol label, std::optional<Value> print);
@@ -189,6 +241,8 @@ class Instance {
   std::unordered_map<Symbol, std::set<uint32_t>> label_index_;
   // printable label -> value -> node id.
   std::unordered_map<Symbol, std::map<Value, uint32_t>> printable_index_;
+  // Every alive edge, for O(1) HasEdge.
+  std::unordered_set<Edge, EdgeHash> edge_set_;
 };
 
 }  // namespace good::graph

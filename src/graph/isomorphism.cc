@@ -15,11 +15,16 @@ namespace {
 /// (edge label, neighbour color) over out- and in-edges.
 std::unordered_map<NodeId, std::string> RefineColors(const Instance& g,
                                                      int rounds) {
+  // Concatenations below deliberately build each piece with separate
+  // append calls: `str += a + b` trips a GCC 12 -Werror=restrict false
+  // positive in optimized builds (the temporary's buffer is believed to
+  // alias the destination), which would break -DCMAKE_BUILD_TYPE=Release.
   std::unordered_map<NodeId, std::string> color;
   for (NodeId n : g.AllNodes()) {
     std::string c = SymName(g.LabelOf(n));
     if (g.PrintValueOf(n).has_value()) {
-      c += "=" + g.PrintValueOf(n)->ToString();
+      c.push_back('=');
+      c.append(g.PrintValueOf(n)->ToString());
     }
     color[n] = c;
   }
@@ -27,15 +32,26 @@ std::unordered_map<NodeId, std::string> RefineColors(const Instance& g,
     std::unordered_map<NodeId, std::string> next;
     for (NodeId n : g.AllNodes()) {
       std::vector<std::string> sig;
+      auto edge_sig = [&](char direction, Symbol label, NodeId neighbour) {
+        std::string s(1, direction);
+        s.append(SymName(label));
+        s.push_back(':');
+        s.append(color[neighbour]);
+        return s;
+      };
       for (const auto& [label, target] : g.OutEdges(n)) {
-        sig.push_back(">" + SymName(label) + ":" + color[target]);
+        sig.push_back(edge_sig('>', label, target));
       }
       for (const auto& [source, label] : g.InEdges(n)) {
-        sig.push_back("<" + SymName(label) + ":" + color[source]);
+        sig.push_back(edge_sig('<', label, source));
       }
       std::sort(sig.begin(), sig.end());
-      std::string c = color[n] + "|";
-      for (const auto& s : sig) c += s + ";";
+      std::string c = color[n];
+      c.push_back('|');
+      for (const auto& s : sig) {
+        c.append(s);
+        c.push_back(';');
+      }
       next[n] = std::move(c);
     }
     color = std::move(next);

@@ -207,7 +207,7 @@ Result<Method> MakeEMethod(const Scheme& base) {
     b.Edge(info, "modified", d_mod).Edge(info, "created", d_cre);
     MethodCallOp call;
     GOOD_ASSIGN_OR_RETURN(call.pattern, b.Build());
-    call.method_name = "D";
+    call.method_name = std::string("D");
     call.args[Sym("old")] = d_cre;
     call.receiver = d_mod;
     HeadBinding head;

@@ -53,9 +53,11 @@ Status MaterializePrintables(const Pattern& pattern,
 }  // namespace
 
 std::vector<Matching> PatternOperation::Matchings(
-    const Instance& instance) const {
+    const Instance& instance, pattern::MatchStats* stats) const {
+  pattern::MatchOptions options;
+  options.stats = stats;
   std::vector<Matching> matchings =
-      pattern::FindMatchings(pattern_, instance);
+      pattern::Matcher(pattern_, instance, options).FindAll();
   if (filter_) {
     std::erase_if(matchings,
                   [&](const Matching& m) { return !filter_(m, instance); });
@@ -95,7 +97,8 @@ Status NodeAddition::Apply(Scheme* scheme, Instance* instance,
   // -- Matchings against the pre-state (with system-given printables
   //    materialized).
   GOOD_RETURN_NOT_OK(MaterializePrintables(pattern_, *scheme, instance));
-  std::vector<Matching> matchings = Matchings(*instance);
+  ApplyStats local;
+  std::vector<Matching> matchings = Matchings(*instance, &local.match);
 
   // -- Minimal scheme extension.
   GOOD_RETURN_NOT_OK(scheme->EnsureObjectLabel(new_label_));
@@ -124,7 +127,6 @@ Status NodeAddition::Apply(Scheme* scheme, Instance* instance,
     if (complete) by_targets.emplace(std::move(key), k);
   }
 
-  ApplyStats local;
   local.matchings = matchings.size();
   for (const Matching& matching : matchings) {
     std::vector<NodeId> key;
@@ -176,7 +178,8 @@ Status EdgeAddition::Apply(Scheme* scheme, Instance* instance,
   }
 
   GOOD_RETURN_NOT_OK(MaterializePrintables(pattern_, *scheme, instance));
-  std::vector<Matching> matchings = Matchings(*instance);
+  ApplyStats local;
+  std::vector<Matching> matchings = Matchings(*instance, &local.match);
 
   // -- Minimal scheme extension.
   for (const EdgeSpec& spec : edges_) {
@@ -228,7 +231,6 @@ Status EdgeAddition::Apply(Scheme* scheme, Instance* instance,
     }
   }
 
-  ApplyStats local;
   local.matchings = matchings.size();
   for (const graph::Edge& edge : to_add) {
     if (instance->HasEdge(edge.source, edge.label, edge.target)) continue;
@@ -249,17 +251,23 @@ Status NodeDeletion::Apply(Scheme* scheme, Instance* instance,
   (void)scheme;  // The scheme is unchanged by deletions.
   GOOD_RETURN_NOT_OK(RequirePatternNode(pattern_, target_, "deleted node"));
 
-  std::vector<Matching> matchings = Matchings(*instance);
+  ApplyStats local;
+  std::vector<Matching> matchings = Matchings(*instance, &local.match);
   std::set<NodeId> doomed;
   for (const Matching& matching : matchings) {
     doomed.insert(matching.At(target_));
   }
 
-  ApplyStats local;
   local.matchings = matchings.size();
   for (NodeId node : doomed) {
+    // A self-loop appears in both OutEdges and InEdges but is one edge;
+    // count it once.
     size_t incident =
         instance->OutEdges(node).size() + instance->InEdges(node).size();
+    for (const auto& [label, target] : instance->OutEdges(node)) {
+      (void)label;
+      if (target == node) --incident;
+    }
     GOOD_RETURN_NOT_OK(instance->RemoveNode(node));
     ++local.nodes_deleted;
     local.edges_deleted += incident;
@@ -289,7 +297,8 @@ Status EdgeDeletion::Apply(Scheme* scheme, Instance* instance,
     }
   }
 
-  std::vector<Matching> matchings = Matchings(*instance);
+  ApplyStats local;
+  std::vector<Matching> matchings = Matchings(*instance, &local.match);
   std::set<graph::Edge> doomed;
   for (const Matching& matching : matchings) {
     for (const EdgeRef& ref : edges_) {
@@ -298,7 +307,6 @@ Status EdgeDeletion::Apply(Scheme* scheme, Instance* instance,
     }
   }
 
-  ApplyStats local;
   local.matchings = matchings.size();
   for (const graph::Edge& edge : doomed) {
     GOOD_RETURN_NOT_OK(
@@ -334,7 +342,8 @@ Status Abstraction::Apply(Scheme* scheme, Instance* instance,
   }
 
   GOOD_RETURN_NOT_OK(MaterializePrintables(pattern_, *scheme, instance));
-  std::vector<Matching> matchings = Matchings(*instance);
+  ApplyStats local;
+  std::vector<Matching> matchings = Matchings(*instance, &local.match);
 
   // -- Minimal scheme extension.
   GOOD_RETURN_NOT_OK(scheme->EnsureObjectLabel(set_label_));
@@ -361,7 +370,6 @@ Status Abstraction::Apply(Scheme* scheme, Instance* instance,
     served.insert(std::set<NodeId>(members.begin(), members.end()));
   }
 
-  ApplyStats local;
   local.matchings = matchings.size();
   for (const auto& [beta_set, members] : classes) {
     (void)beta_set;

@@ -49,6 +49,10 @@ struct ApplyStats {
   size_t edges_added = 0;
   size_t nodes_deleted = 0;
   size_t edges_deleted = 0;
+  /// Matcher search-effort counters for the operation's pattern
+  /// evaluation (candidates scanned, feasibility rejections, backtracks,
+  /// per-depth fanout).
+  pattern::MatchStats match;
 
   ApplyStats& operator+=(const ApplyStats& other) {
     matchings += other.matchings;
@@ -56,6 +60,7 @@ struct ApplyStats {
     edges_added += other.edges_added;
     nodes_deleted += other.nodes_deleted;
     edges_deleted += other.edges_deleted;
+    match += other.match;
     return *this;
   }
 };
@@ -74,9 +79,11 @@ class PatternOperation {
  protected:
   explicit PatternOperation(Pattern pattern) : pattern_(std::move(pattern)) {}
 
-  /// All matchings of the source pattern, filtered.
+  /// All matchings of the source pattern, filtered. When `stats` is
+  /// non-null, matcher search-effort counters accumulate into it.
   std::vector<pattern::Matching> Matchings(
-      const graph::Instance& instance) const;
+      const graph::Instance& instance,
+      pattern::MatchStats* stats = nullptr) const;
 
   Pattern pattern_;
   MatchFilter filter_;

@@ -2,31 +2,118 @@
 
 #include <algorithm>
 #include <limits>
+#include <sstream>
 
 namespace good::pattern {
 
 using graph::Instance;
 using graph::NodeId;
 
+MatchStats& MatchStats::operator+=(const MatchStats& other) {
+  candidates_scanned += other.candidates_scanned;
+  feasibility_rejections += other.feasibility_rejections;
+  backtracks += other.backtracks;
+  matchings += other.matchings;
+  if (depth_fanout.size() < other.depth_fanout.size()) {
+    depth_fanout.resize(other.depth_fanout.size(), 0);
+  }
+  for (size_t i = 0; i < other.depth_fanout.size(); ++i) {
+    depth_fanout[i] += other.depth_fanout[i];
+  }
+  return *this;
+}
+
+std::string MatchStats::ToString() const {
+  std::ostringstream os;
+  os << "cand=" << candidates_scanned << " rej=" << feasibility_rejections
+     << " bt=" << backtracks << " match=" << matchings << " fanout=[";
+  for (size_t i = 0; i < depth_fanout.size(); ++i) {
+    if (i > 0) os << ",";
+    os << depth_fanout[i];
+  }
+  os << "]";
+  return os.str();
+}
+
 namespace {
+
+/// One edge constraint between the pattern node being placed and an
+/// already-placed pattern node (the "anchor"): the candidate must be
+/// adjacent to the anchor's image via `label` in direction `out_of_m`.
+struct Anchor {
+  Symbol label;
+  size_t position;  // Depth of the placed neighbour in the plan order.
+  bool out_of_m;    // True: pattern edge (m, label, neighbour).
+};
+
+/// Everything about placing order_[depth] that only depends on the
+/// pattern and the plan order — computed once so the per-candidate hot
+/// path allocates nothing and does no pattern-side hash lookups.
+struct DepthPlan {
+  NodeId m;
+  Symbol label;
+  bool has_print = false;
+  /// Candidates drawn from anchor adjacency lists carry arbitrary
+  /// labels; candidates from the label or printable index are
+  /// pre-filtered.
+  bool check_label = false;
+  /// Labels of pattern self-loops (m, α, m): the candidate t must carry
+  /// the instance loop (t, α, t).
+  std::vector<Symbol> self_loops;
+  /// Edge constraints towards already-placed neighbours. Candidates()
+  /// enforces every one of them.
+  std::vector<Anchor> anchors;
+};
 
 /// Backtracking state for one enumeration run.
 class Enumerator {
  public:
-  Enumerator(const Pattern& pattern, const Instance& instance, size_t limit,
+  Enumerator(const Pattern& pattern, const Instance& instance,
+             const MatchOptions& options,
              const std::function<bool(const Matching&)>& callback)
       : pattern_(pattern),
         instance_(instance),
-        limit_(limit),
+        limit_(options.limit),
+        sink_(options.stats),
         callback_(callback) {
     order_ = PlanOrder();
     assignment_.assign(order_.size(), NodeId{});
-    for (size_t i = 0; i < order_.size(); ++i) position_[order_[i]] = i;
+    scratch_.resize(order_.size());
+    stats_.depth_fanout.assign(order_.size(), 0);
+    // Pattern node ids are dense, so a plain vector maps node -> depth.
+    uint32_t max_id = 0;
+    for (NodeId m : order_) max_id = std::max(max_id, m.id);
+    position_.assign(order_.empty() ? 0 : max_id + 1, order_.size());
+    for (size_t i = 0; i < order_.size(); ++i) position_[order_[i].id] = i;
+    plans_.resize(order_.size());
+    for (size_t d = 0; d < order_.size(); ++d) {
+      DepthPlan& plan = plans_[d];
+      plan.m = order_[d];
+      plan.label = pattern_.LabelOf(plan.m);
+      plan.has_print = pattern_.HasPrintValue(plan.m);
+      for (const auto& [label, target] : pattern_.OutEdges(plan.m)) {
+        if (target == plan.m) {
+          plan.self_loops.push_back(label);
+          continue;
+        }
+        size_t pos = PositionOf(target);
+        if (pos < d) plan.anchors.push_back(Anchor{label, pos, true});
+      }
+      for (const auto& [source, label] : pattern_.InEdges(plan.m)) {
+        if (source == plan.m) continue;  // Mirrored in OutEdges above.
+        size_t pos = PositionOf(source);
+        if (pos < d) plan.anchors.push_back(Anchor{label, pos, false});
+      }
+      plan.check_label = !plan.has_print && !plan.anchors.empty();
+      // Pre-bind the plan keys so leaf emission only rebinds values.
+      matching_scratch_.Bind(plan.m, NodeId{});
+    }
   }
 
   size_t Run() {
-    if (limit_ == 0) return 0;
-    Recurse(0);
+    if (limit_ > 0) Recurse(0);
+    stats_.matchings = emitted_;
+    if (sink_ != nullptr) *sink_ += stats_;
     return emitted_;
   }
 
@@ -38,23 +125,26 @@ class Enumerator {
   std::vector<NodeId> PlanOrder() const {
     std::vector<NodeId> nodes = pattern_.AllNodes();
     std::vector<NodeId> order;
-    std::vector<bool> placed_flag;
-    std::unordered_map<NodeId, size_t> index;
-    for (size_t i = 0; i < nodes.size(); ++i) index[nodes[i]] = i;
-    placed_flag.assign(nodes.size(), false);
+    uint32_t max_id = 0;
+    for (NodeId m : nodes) max_id = std::max(max_id, m.id);
+    // Pattern node ids are dense; index flags/selectivity by id.
+    std::vector<bool> placed_flag(nodes.empty() ? 0 : max_id + 1, false);
+    std::vector<size_t> selectivity(placed_flag.size(), 0);
+    for (NodeId m : nodes) {
+      selectivity[m.id] = pattern_.HasPrintValue(m)
+                              ? 1
+                              : instance_.CountNodesWithLabel(
+                                    pattern_.LabelOf(m));
+    }
 
-    auto selectivity = [&](NodeId m) -> size_t {
-      if (pattern_.HasPrintValue(m)) return 1;
-      return instance_.CountNodesWithLabel(pattern_.LabelOf(m));
-    };
     auto adjacent_to_placed = [&](NodeId m) -> bool {
       for (const auto& [label, target] : pattern_.OutEdges(m)) {
         (void)label;
-        if (placed_flag[index.at(target)]) return true;
+        if (placed_flag[target.id]) return true;
       }
       for (const auto& [source, label] : pattern_.InEdges(m)) {
         (void)label;
-        if (placed_flag[index.at(source)]) return true;
+        if (placed_flag[source.id]) return true;
       }
       return false;
     };
@@ -64,9 +154,9 @@ class Enumerator {
       size_t best_sel = std::numeric_limits<size_t>::max();
       bool best_adjacent = false;
       for (NodeId m : nodes) {
-        if (placed_flag[index.at(m)]) continue;
+        if (placed_flag[m.id]) continue;
         bool adj = !order.empty() && adjacent_to_placed(m);
-        size_t sel = selectivity(m);
+        size_t sel = selectivity[m.id];
         // Adjacency dominates; among equals prefer selectivity.
         if (!best.valid() || (adj && !best_adjacent) ||
             (adj == best_adjacent && sel < best_sel)) {
@@ -76,31 +166,24 @@ class Enumerator {
         }
       }
       order.push_back(best);
-      placed_flag[index.at(best)] = true;
+      placed_flag[best.id] = true;
     }
     return order;
   }
 
-  /// True iff mapping `m` to `t` respects labels, prints, and all edges
-  /// between `m` and already-placed pattern nodes.
-  bool Feasible(size_t depth, NodeId m, NodeId t) const {
-    if (instance_.LabelOf(t) != pattern_.LabelOf(m)) return false;
-    if (pattern_.HasPrintValue(m)) {
-      const auto& instance_print = instance_.PrintValueOf(t);
-      if (!instance_print.has_value() ||
-          *instance_print != *pattern_.PrintValueOf(m)) {
-        return false;
-      }
+  /// True iff mapping plan.m to `t` respects the node label and every
+  /// pattern self-loop (m, α, m), which demands the instance edge
+  /// (t, α, t). Placed-neighbour edges and print values are already
+  /// enforced by Candidates(), which draws from (and intersects
+  /// against) the anchor adjacency lists.
+  bool Feasible(const DepthPlan& plan, NodeId t) {
+    if (plan.check_label && instance_.LabelOf(t) != plan.label) {
+      ++stats_.feasibility_rejections;
+      return false;
     }
-    for (const auto& [label, target] : pattern_.OutEdges(m)) {
-      auto pos = PositionOf(target);
-      if (pos < depth && !instance_.HasEdge(t, label, assignment_[pos])) {
-        return false;
-      }
-    }
-    for (const auto& [source, label] : pattern_.InEdges(m)) {
-      auto pos = PositionOf(source);
-      if (pos < depth && !instance_.HasEdge(assignment_[pos], label, t)) {
+    for (Symbol label : plan.self_loops) {
+      if (!instance_.HasEdge(t, label, t)) {
+        ++stats_.feasibility_rejections;
         return false;
       }
     }
@@ -108,63 +191,125 @@ class Enumerator {
   }
 
   size_t PositionOf(NodeId pattern_node) const {
-    auto it = position_.find(pattern_node);
-    return it == position_.end() ? order_.size() : it->second;
+    return pattern_node.id < position_.size() ? position_[pattern_node.id]
+                                              : order_.size();
   }
 
-  /// Candidate instance nodes for pattern node order_[depth]: derived
-  /// from an already-placed neighbour's adjacency when possible,
-  /// otherwise from the label index (or the printable dedup index).
-  std::vector<NodeId> Candidates(size_t depth) const {
-    NodeId m = order_[depth];
-    if (pattern_.HasPrintValue(m)) {
+  /// The adjacency list an anchor constrains candidates to.
+  const std::vector<NodeId>& AnchorList(const Anchor& anchor) const {
+    NodeId image = assignment_[anchor.position];
+    return anchor.out_of_m ? instance_.InSources(image, anchor.label)
+                           : instance_.OutTargets(image, anchor.label);
+  }
+
+  /// True iff `t` satisfies the anchor's edge constraint.
+  bool SatisfiesAnchor(const Anchor& anchor, NodeId t) const {
+    NodeId image = assignment_[anchor.position];
+    return anchor.out_of_m ? instance_.HasEdge(t, anchor.label, image)
+                           : instance_.HasEdge(image, anchor.label, t);
+  }
+
+  /// Candidate instance nodes for pattern node order_[depth].
+  ///
+  /// Anchored nodes (≥1 already-placed neighbour) draw candidates from
+  /// the smallest placed-neighbour adjacency list, intersected against
+  /// the remaining anchors via O(1) edge-index probes; unanchored nodes
+  /// fall back to the label index (or the printable dedup index, which
+  /// pins the candidate set to at most one node).
+  const std::vector<NodeId>& Candidates(size_t depth) {
+    const DepthPlan& plan = plans_[depth];
+    std::vector<NodeId>& scratch = scratch_[depth];
+    if (plan.has_print) {
+      scratch.clear();
       auto found =
-          instance_.FindPrintable(pattern_.LabelOf(m), *pattern_.PrintValueOf(m));
-      if (found.has_value()) return {*found};
-      return {};
+          instance_.FindPrintable(plan.label, *pattern_.PrintValueOf(plan.m));
+      if (found.has_value()) {
+        ++stats_.candidates_scanned;
+        bool in_all = true;
+        for (const Anchor& anchor : plan.anchors) {
+          if (!SatisfiesAnchor(anchor, *found)) {
+            in_all = false;
+            ++stats_.feasibility_rejections;
+            break;
+          }
+        }
+        if (in_all) scratch.push_back(*found);
+      }
+      return scratch;
     }
-    // Prefer deriving candidates from a placed neighbour.
-    for (const auto& [source, label] : pattern_.InEdges(m)) {
-      size_t pos = PositionOf(source);
-      if (pos < depth) {
-        return instance_.OutTargets(assignment_[pos], label);
+
+    if (plan.anchors.empty()) {
+      scratch = instance_.NodesWithLabel(plan.label);
+      stats_.candidates_scanned += scratch.size();
+      return scratch;
+    }
+
+    // Smallest adjacency list first: every candidate must appear in all
+    // of them, so scanning the smallest bounds the work.
+    size_t base = 0;
+    for (size_t i = 1; i < plan.anchors.size(); ++i) {
+      if (AnchorList(plan.anchors[i]).size() <
+          AnchorList(plan.anchors[base]).size()) {
+        base = i;
       }
     }
-    for (const auto& [label, target] : pattern_.OutEdges(m)) {
-      size_t pos = PositionOf(target);
-      if (pos < depth) {
-        return instance_.InSources(assignment_[pos], label);
+    const std::vector<NodeId>& base_list = AnchorList(plan.anchors[base]);
+    stats_.candidates_scanned += base_list.size();
+    if (plan.anchors.size() == 1) return base_list;  // Borrow, no copy.
+
+    scratch.clear();
+    for (NodeId t : base_list) {
+      bool in_all = true;
+      for (size_t i = 0; i < plan.anchors.size(); ++i) {
+        if (i == base) continue;
+        if (!SatisfiesAnchor(plan.anchors[i], t)) {
+          in_all = false;
+          ++stats_.feasibility_rejections;
+          break;
+        }
       }
+      if (in_all) scratch.push_back(t);
     }
-    return instance_.NodesWithLabel(pattern_.LabelOf(m));
+    return scratch;
   }
 
   bool Recurse(size_t depth) {  // Returns false to abort enumeration.
     if (depth == order_.size()) {
-      Matching matching;
+      // Rebind the reused matching in place: keys were pre-bound in the
+      // constructor, so this never rehashes or allocates.
       for (size_t i = 0; i < order_.size(); ++i) {
-        matching.Bind(order_[i], assignment_[i]);
+        matching_scratch_.Bind(order_[i], assignment_[i]);
       }
       ++emitted_;
-      if (!callback_(matching)) return false;
+      if (!callback_(matching_scratch_)) return false;
       return emitted_ < limit_;
     }
-    NodeId m = order_[depth];
+    const DepthPlan& plan = plans_[depth];
+    const size_t emitted_before = emitted_;
     for (NodeId t : Candidates(depth)) {
-      if (!Feasible(depth, m, t)) continue;
+      if (!Feasible(plan, t)) continue;
+      ++stats_.depth_fanout[depth];
       assignment_[depth] = t;
       if (!Recurse(depth + 1)) return false;
     }
+    if (emitted_ == emitted_before) ++stats_.backtracks;
     return true;
   }
 
   const Pattern& pattern_;
   const Instance& instance_;
   size_t limit_;
+  MatchStats* sink_;
   const std::function<bool(const Matching&)>& callback_;
   std::vector<NodeId> order_;
-  std::unordered_map<NodeId, size_t> position_;
+  std::vector<size_t> position_;  // Pattern node id -> depth in order_.
+  std::vector<DepthPlan> plans_;
   std::vector<NodeId> assignment_;
+  // Per-depth candidate buffers (reused across sibling subtrees).
+  std::vector<std::vector<NodeId>> scratch_;
+  // Reused across leaves; callback_ receives it by const reference.
+  Matching matching_scratch_;
+  MatchStats stats_;
   size_t emitted_ = 0;
 };
 
@@ -172,7 +317,7 @@ class Enumerator {
 
 size_t Matcher::ForEach(
     const std::function<bool(const Matching&)>& callback) const {
-  Enumerator enumerator(pattern_, instance_, options_.limit, callback);
+  Enumerator enumerator(pattern_, instance_, options_, callback);
   return enumerator.Run();
 }
 
@@ -190,8 +335,10 @@ size_t Matcher::Count() const {
 }
 
 bool Matcher::Exists() const {
-  Matcher limited(pattern_, instance_, MatchOptions{1});
-  return limited.Count() > 0;
+  MatchOptions limited = options_;
+  limited.limit = std::min<size_t>(options_.limit, 1);
+  Matcher bounded(pattern_, instance_, limited);
+  return bounded.Count() > 0;
 }
 
 std::vector<Matching> FindMatchings(const Pattern& pattern,
@@ -221,9 +368,6 @@ std::vector<Matching> FindMatchingsBruteForce(
   if (n == 0) {
     out.emplace_back();  // The empty pattern has one (empty) matching.
     return out;
-  }
-  for (NodeId m : pattern_nodes) {
-    (void)m;
   }
   while (true) {
     // Build and test the current assignment.

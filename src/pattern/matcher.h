@@ -17,6 +17,7 @@
 #define GOOD_PATTERN_MATCHER_H_
 
 #include <functional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -60,10 +61,38 @@ class Matching {
   std::unordered_map<graph::NodeId, graph::NodeId> map_;
 };
 
+/// \brief Counters describing one (or several, accumulated) enumeration
+/// runs. All counters are cheap relaxed increments on the search hot
+/// path; collection is opt-in via MatchOptions::stats.
+struct MatchStats {
+  /// Candidate instance nodes examined (before any feasibility check).
+  size_t candidates_scanned = 0;
+  /// Candidates rejected by label, print-value, or edge-consistency
+  /// checks — including candidates pruned during adjacency-list
+  /// intersection.
+  size_t feasibility_rejections = 0;
+  /// Times the search retreated from a depth after exhausting its
+  /// candidates without emitting below it.
+  size_t backtracks = 0;
+  /// Matchings emitted.
+  size_t matchings = 0;
+  /// Per-depth count of candidates that survived feasibility and were
+  /// placed (the effective fanout of the search tree at each level).
+  std::vector<size_t> depth_fanout;
+
+  MatchStats& operator+=(const MatchStats& other);
+
+  /// Compact one-line rendering, e.g.
+  /// "cand=120 rej=80 bt=14 match=26 fanout=[12,8,6]".
+  std::string ToString() const;
+};
+
 /// \brief Tuning and statistics for matching enumeration.
 struct MatchOptions {
   /// Stop after this many matchings (e.g. 1 for existence checks).
   size_t limit = static_cast<size_t>(-1);
+  /// When non-null, enumeration counters are accumulated (+=) here.
+  MatchStats* stats = nullptr;
 };
 
 /// \brief Enumerates matchings of `pattern` in `instance`.
@@ -71,7 +100,11 @@ struct MatchOptions {
 /// The matcher orders pattern nodes most-selective-first (print-valued
 /// nodes have at most one candidate, then rarest node label), preferring
 /// nodes adjacent to already-placed ones so that candidates can be
-/// derived from neighbours instead of label scans.
+/// derived from neighbours instead of label scans. When a node has
+/// several already-placed neighbours, their per-label adjacency lists
+/// are intersected smallest-first; feasibility then re-verifies every
+/// edge incident to the node being placed — including self-loops —
+/// against the instance's O(1) edge index.
 class Matcher {
  public:
   Matcher(const Pattern& pattern, const graph::Instance& instance,
@@ -89,7 +122,9 @@ class Matcher {
   /// Counts matchings without materializing them.
   size_t Count() const;
 
-  /// True iff at least one matching exists.
+  /// True iff at least one matching exists. Honors the caller's
+  /// MatchOptions (stats still accumulate; a limit of 0 means no
+  /// matching can be observed, so Exists is false).
   bool Exists() const;
 
  private:

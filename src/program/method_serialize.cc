@@ -17,7 +17,13 @@ using text::Cursor;
 
 namespace {
 
-std::string Node(NodeId node) { return "n" + std::to_string(node.id); }
+std::string Node(NodeId node) {
+  // Append form avoids the GCC 12 -Werror=restrict false positive that
+  // `"n" + std::to_string(...)` triggers in optimized builds.
+  std::string s("n");
+  s.append(std::to_string(node.id));
+  return s;
+}
 
 /// Indents every line of `block` by two spaces.
 std::string Indent(const std::string& block) {

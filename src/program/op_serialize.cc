@@ -18,7 +18,14 @@ using text::Cursor;
 namespace {
 
 std::string Name(Symbol symbol) { return text::WriteName(SymName(symbol)); }
-std::string Node(NodeId node) { return "n" + std::to_string(node.id); }
+std::string Node(NodeId node) {
+  // Built with append rather than `"n" + std::to_string(...)`: the
+  // operator+ form trips a GCC 12 -Werror=restrict false positive in
+  // optimized builds.
+  std::string s("n");
+  s.append(std::to_string(node.id));
+  return s;
+}
 
 Status RequireNoFilter(const ops::PatternOperation& op) {
   if (op.filter()) {

@@ -15,9 +15,18 @@ namespace {
 
 Value Oid(int64_t oid) { return Value(oid); }
 
-std::string NodeColumn(size_t k) { return "$" + std::to_string(k); }
+// Append form avoids the GCC 12 -Werror=restrict false positive that
+// `"$" + std::to_string(...)` triggers in optimized builds.
+std::string NodeColumn(size_t k) {
+  std::string s("$");
+  s.append(std::to_string(k));
+  return s;
+}
 std::string FunctionalNodeColumn(size_t k, Symbol edge) {
-  return "$" + std::to_string(k) + "." + SymName(edge);
+  std::string s = NodeColumn(k);
+  s.push_back('.');
+  s.append(SymName(edge));
+  return s;
 }
 
 }  // namespace

@@ -76,6 +76,7 @@ Result<RunReport> RuleEngine::Step(Scheme* scheme, Instance* instance) {
       GOOD_RETURN_NOT_OK(na.Apply(scheme, instance, &stats));
       report.nodes_added += stats.nodes_added;
       report.edges_added += stats.edges_added;
+      report.match += stats.match;
     }
     if (!rule.edges.empty()) {
       ops::EdgeAddition ea(positive, rule.edges);
@@ -83,6 +84,7 @@ Result<RunReport> RuleEngine::Step(Scheme* scheme, Instance* instance) {
       ops::ApplyStats stats;
       GOOD_RETURN_NOT_OK(ea.Apply(scheme, instance, &stats));
       report.edges_added += stats.edges_added;
+      report.match += stats.match;
     }
   }
   return report;
@@ -96,6 +98,7 @@ Result<RunReport> RuleEngine::Run(Scheme* scheme, Instance* instance,
     total.rounds += step.rounds;
     total.nodes_added += step.nodes_added;
     total.edges_added += step.edges_added;
+    total.match += step.match;
     if (step.nodes_added == 0 && step.edges_added == 0) return total;
   }
   return Status::ResourceExhausted(

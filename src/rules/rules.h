@@ -58,6 +58,10 @@ struct RunReport {
   size_t rounds = 0;
   size_t nodes_added = 0;
   size_t edges_added = 0;
+  /// Accumulated matcher search-effort counters over every rule
+  /// evaluation of the run (candidates scanned, feasibility rejections,
+  /// backtracks, per-depth fanout).
+  pattern::MatchStats match;
 };
 
 /// \brief Applies a rule set to fixpoint.

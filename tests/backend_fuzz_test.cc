@@ -6,10 +6,14 @@
 #include <gtest/gtest.h>
 
 #include <random>
+#include <set>
+#include <string>
 
+#include "gen/generators.h"
 #include "graph/isomorphism.h"
 #include "hypermedia/hypermedia.h"
 #include "pattern/builder.h"
+#include "pattern/matcher.h"
 #include "relational/backend.h"
 
 namespace good::relational {
@@ -117,6 +121,51 @@ TEST_P(BackendFuzzTest, RandomOperationSequencesStayInSync) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, BackendFuzzTest, ::testing::Range(0, 15));
+
+/// Fast-vs-brute matcher differential on generator-produced graphs and
+/// patterns WITH self-loops: the optimized matcher and the exponential
+/// reference must agree on the exact matching set. Self-loop pattern
+/// edges historically escaped the fast matcher's feasibility check, so
+/// the generators emit them permanently (gen::RandomInfoGraph /
+/// gen::RandomLinkPattern with allow_self_loops).
+class MatcherBruteDifferentialTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MatcherBruteDifferentialTest, FastAgreesWithBruteOnSelfLoopGraphs) {
+  const int seed = GetParam();
+  std::mt19937 rng(static_cast<unsigned>(seed));
+  Scheme scheme = hypermedia::BuildScheme().ValueOrDie();
+  const size_t n = 5 + rng() % 5;
+  const size_t edges = n + rng() % (2 * n);
+  Instance g = gen::RandomInfoGraph(scheme, n, edges, /*seed=*/rng(),
+                                    /*allow_self_loops=*/true)
+                   .ValueOrDie();
+  ASSERT_TRUE(g.Validate(scheme).ok());
+
+  pattern::Pattern p =
+      gen::RandomLinkPattern(scheme, /*num_nodes=*/2 + rng() % 3,
+                             /*extra_edges=*/1 + rng() % 3, /*seed=*/rng(),
+                             /*allow_self_loops=*/true)
+          .ValueOrDie();
+
+  auto fast = pattern::FindMatchings(p, g);
+  auto slow = pattern::FindMatchingsBruteForce(p, g);
+  auto key = [&](const pattern::Matching& m) {
+    std::string k;
+    for (NodeId node : p.AllNodes()) {
+      k += std::to_string(m.At(node).id);
+      k += ',';
+    }
+    return k;
+  };
+  std::set<std::string> fast_keys, slow_keys;
+  for (const auto& m : fast) fast_keys.insert(key(m));
+  for (const auto& m : slow) slow_keys.insert(key(m));
+  ASSERT_EQ(fast.size(), slow.size()) << "seed=" << seed;
+  EXPECT_EQ(fast_keys, slow_keys) << "seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatcherBruteDifferentialTest,
+                         ::testing::Range(0, 30));
 
 }  // namespace
 }  // namespace good::relational

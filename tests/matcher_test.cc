@@ -131,6 +131,121 @@ TEST(MatcherTest, MatchingsAreHomomorphismsNotEmbeddings) {
   EXPECT_EQ(matchings[0].At(y), a);
 }
 
+// --- Self-loop regressions. A pattern self-loop (m, α, m) used to be
+// --- skipped entirely by the feasibility check (it only examined edges
+// --- towards strictly-earlier plan positions), so the fast matcher
+// --- reported spurious matchings that the brute-force reference
+// --- correctly rejected.
+
+TEST(MatcherTest, SelfLoopPatternHasNoMatchingInLoopFreeInstance) {
+  Scheme s = ChainScheme();
+  // Instance: the loop-free two-node chain a -next-> b.
+  Instance g;
+  NodeId a = *g.AddObjectNode(s, Sym("N"));
+  NodeId b = *g.AddObjectNode(s, Sym("N"));
+  g.AddEdge(s, a, Sym("next"), b).OrDie();
+  // Pattern: x -next-> x.
+  GraphBuilder pb(s);
+  NodeId x = pb.Object("N");
+  pb.Edge(x, "next", x);
+  Pattern p = pb.BuildOrDie();
+  EXPECT_TRUE(FindMatchings(p, g).empty());
+  EXPECT_TRUE(FindMatchingsBruteForce(p, g).empty());
+}
+
+TEST(MatcherTest, SelfLoopPatternMatchesExactlyTheLoopedNodes) {
+  Scheme s = ChainScheme();
+  Instance g;
+  NodeId a = *g.AddObjectNode(s, Sym("N"));
+  NodeId b = *g.AddObjectNode(s, Sym("N"));
+  NodeId c = *g.AddObjectNode(s, Sym("N"));
+  g.AddEdge(s, a, Sym("next"), a).OrDie();
+  g.AddEdge(s, c, Sym("next"), c).OrDie();
+  g.AddEdge(s, a, Sym("next"), b).OrDie();
+  GraphBuilder pb(s);
+  NodeId x = pb.Object("N");
+  pb.Edge(x, "next", x);
+  Pattern p = pb.BuildOrDie();
+  auto matchings = FindMatchings(p, g);
+  ASSERT_EQ(matchings.size(), 2u);
+  std::set<NodeId> matched;
+  for (const auto& m : matchings) matched.insert(m.At(x));
+  EXPECT_EQ(matched, (std::set<NodeId>{a, c}));
+  EXPECT_EQ(FindMatchingsBruteForce(p, g).size(), 2u);
+}
+
+TEST(MatcherTest, SelfLoopCombinesWithAnchoredNeighbours) {
+  Scheme s = ChainScheme();
+  // a carries a self-loop and links to b; c -next-> d is loop-free.
+  Instance g;
+  NodeId a = *g.AddObjectNode(s, Sym("N"));
+  NodeId b = *g.AddObjectNode(s, Sym("N"));
+  NodeId c = *g.AddObjectNode(s, Sym("N"));
+  NodeId d = *g.AddObjectNode(s, Sym("N"));
+  g.AddEdge(s, a, Sym("next"), a).OrDie();
+  g.AddEdge(s, a, Sym("next"), b).OrDie();
+  g.AddEdge(s, c, Sym("next"), d).OrDie();
+  // Pattern: x -next-> x and x -next-> y. Only x=a qualifies; y ranges
+  // over a's successors {a, b}.
+  GraphBuilder pb(s);
+  NodeId x = pb.Object("N");
+  NodeId y = pb.Object("N");
+  pb.Edge(x, "next", x).Edge(x, "next", y);
+  Pattern p = pb.BuildOrDie();
+  auto matchings = FindMatchings(p, g);
+  ASSERT_EQ(matchings.size(), 2u);
+  for (const auto& m : matchings) {
+    EXPECT_EQ(m.At(x), a);
+  }
+  EXPECT_EQ(FindMatchingsBruteForce(p, g).size(), 2u);
+}
+
+TEST(MatcherTest, ExistsRespectsCallerOptions) {
+  Scheme s = ChainScheme();
+  Instance g = ChainInstance(s, 5);
+  GraphBuilder b(s);
+  b.Object("N");
+  Pattern p = b.BuildOrDie();
+  // A caller-set limit of 0 admits no matchings at all.
+  EXPECT_FALSE(Matcher(p, g, MatchOptions{0}).Exists());
+  // Any positive limit is clamped to one probe; stats still flow to the
+  // caller's sink.
+  MatchStats stats;
+  MatchOptions options;
+  options.limit = 7;
+  options.stats = &stats;
+  EXPECT_TRUE(Matcher(p, g, options).Exists());
+  EXPECT_EQ(stats.matchings, 1u);
+  EXPECT_GE(stats.candidates_scanned, 1u);
+}
+
+TEST(MatcherTest, StatsCountSearchEffort) {
+  Scheme s = ChainScheme();
+  Instance g = ChainInstance(s, 5);
+  GraphBuilder b(s);
+  NodeId x = b.Object("N");
+  NodeId y = b.Object("N");
+  NodeId z = b.Object("N");
+  b.Edge(x, "next", y).Edge(y, "next", z);
+  Pattern p = b.BuildOrDie();
+  MatchStats stats;
+  MatchOptions options;
+  options.stats = &stats;
+  EXPECT_EQ(Matcher(p, g, options).Count(), 3u);
+  EXPECT_EQ(stats.matchings, 3u);
+  ASSERT_EQ(stats.depth_fanout.size(), 3u);
+  // The root ranges over all five N nodes; anchored depths only place
+  // nodes that extend a partial path.
+  EXPECT_EQ(stats.depth_fanout[0], 5u);
+  EXPECT_GE(stats.candidates_scanned, 5u);
+  EXPECT_GT(stats.backtracks, 0u);  // Chain tails fail to extend.
+  // Accumulation: a second run doubles the counters.
+  EXPECT_EQ(Matcher(p, g, options).Count(), 3u);
+  EXPECT_EQ(stats.matchings, 6u);
+  EXPECT_EQ(stats.depth_fanout[0], 10u);
+  EXPECT_FALSE(stats.ToString().empty());
+}
+
 TEST(MatcherTest, DisconnectedPatternTakesCrossProduct) {
   Scheme s = ChainScheme();
   Instance g = ChainInstance(s, 3);
@@ -244,7 +359,9 @@ TEST_P(MatcherDifferentialTest, AgreesWithBruteForceOnRandomGraphs) {
     }
   }
 
-  // Random small pattern: A -m-> B -m-> B, optionally with value.
+  // Random small pattern: A -m-> B -m-> B, optionally with value and
+  // optionally with self-loops (A -m2-> A, B -m-> B) — the instance
+  // generation above already emits both loop shapes.
   GraphBuilder pb(s);
   NodeId pa = pb.Object("A");
   NodeId pb1 = pb.Object("B");
@@ -255,6 +372,8 @@ TEST_P(MatcherDifferentialTest, AgreesWithBruteForceOnRandomGraphs) {
     NodeId pv = pb.Printable("P", Value(int64_t(rng() % 3)));
     pb.Edge(pb2, "f", pv);
   }
+  if (rng() % 2 == 0) pb.Edge(pa, "m2", pa);
+  if (rng() % 2 == 0) pb.Edge(pb1, "m", pb1);
   Pattern p = pb.BuildOrDie();
 
   auto fast = FindMatchings(p, g);

@@ -298,6 +298,30 @@ TEST(NodeDeletionTest, DeletingIsolatesNeighbours) {
   EXPECT_TRUE(db.instance.FindPrintable(Sym("Str"), Value("a")).has_value());
 }
 
+TEST(NodeDeletionTest, SelfLoopCountedOnceInEdgeStats) {
+  // A self-loop appears in both the out- and in-edge lists of its node
+  // but is one edge; edges_deleted must not double-count it.
+  Scheme scheme = DocScheme();
+  Instance g;
+  NodeId a = *g.AddObjectNode(scheme, Sym("Doc"));
+  NodeId b = *g.AddObjectNode(scheme, Sym("Doc"));
+  g.AddEdge(scheme, a, Sym("refs"), a).OrDie();
+  g.AddEdge(scheme, a, Sym("refs"), b).OrDie();
+
+  GraphBuilder pb(scheme);
+  NodeId x = pb.Object("Doc");
+  pb.Edge(x, "refs", x);  // Matches only the looped doc.
+  NodeDeletion nd(pb.BuildOrDie(), x);
+  ApplyStats stats;
+  ASSERT_TRUE(nd.Apply(&scheme, &g, &stats).ok());
+  EXPECT_EQ(stats.nodes_deleted, 1u);
+  EXPECT_EQ(stats.edges_deleted, 2u);  // Loop once + the a->b edge.
+  EXPECT_EQ(stats.match.matchings, 1u);
+  EXPECT_FALSE(g.HasNode(a));
+  EXPECT_TRUE(g.HasNode(b));
+  EXPECT_TRUE(g.Validate(scheme).ok());
+}
+
 TEST(NodeDeletionTest, NoMatchNoChange) {
   Db db = MakeDb();
   GraphBuilder b(db.scheme);
