@@ -67,6 +67,56 @@ void BM_DensitySweep(benchmark::State& state) {
 }
 BENCHMARK(BM_DensitySweep)->Range(256, 16384);
 
+/// Thread sweep over instance size: the two-hop pattern counted with
+/// 1/2/4/8 worker threads (threshold left at the default, so 128+ node
+/// graphs all engage the pool). Serial time at the same size is
+/// BM_InstanceSizeSweep; speedup = serial_time / this_time. The
+/// "workers" counter records the partition width actually used.
+void BM_InstanceSizeThreadSweep(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const size_t threads = static_cast<size_t>(state.range(1));
+  const auto& scheme = bench::HyperMediaScheme();
+  auto g = gen::RandomInfoGraph(scheme, n, 2 * n, /*seed=*/3).ValueOrDie();
+  GraphBuilder b(scheme);
+  auto x = b.Object("Info");
+  auto y = b.Object("Info");
+  auto z = b.Object("Info");
+  b.Edge(x, "links-to", y).Edge(y, "links-to", z);
+  auto p = b.BuildOrDie();
+  pattern::MatchOptions options;
+  options.num_threads = threads;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pattern::Matcher(p, g, options).Count());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  bench::ExportMatchStats(state, p, g, options);
+}
+BENCHMARK(BM_InstanceSizeThreadSweep)
+    ->ArgsProduct({{512, 2048, 8192}, {1, 2, 4, 8}});
+
+/// Thread sweep over density at fixed node count (512): denser graphs
+/// mean more work per depth-0 chunk, which is where partitioning pays.
+void BM_DensityThreadSweep(benchmark::State& state) {
+  const size_t edges = static_cast<size_t>(state.range(0));
+  const size_t threads = static_cast<size_t>(state.range(1));
+  const auto& scheme = bench::HyperMediaScheme();
+  auto g = gen::RandomInfoGraph(scheme, 512, edges, /*seed=*/3).ValueOrDie();
+  GraphBuilder b(scheme);
+  auto x = b.Object("Info");
+  auto y = b.Object("Info");
+  auto z = b.Object("Info");
+  b.Edge(x, "links-to", y).Edge(y, "links-to", z);
+  auto p = b.BuildOrDie();
+  pattern::MatchOptions options;
+  options.num_threads = threads;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pattern::Matcher(p, g, options).Count());
+  }
+  bench::ExportMatchStats(state, p, g, options);
+}
+BENCHMARK(BM_DensityThreadSweep)
+    ->ArgsProduct({{1024, 4096, 16384}, {1, 2, 4, 8}});
+
 /// Optimized backtracking vs the brute-force reference (tiny sizes —
 /// brute force is exponential in candidates).
 void BM_OptimizedVsBruteForce(benchmark::State& state) {

@@ -20,18 +20,22 @@ namespace good::bench {
 
 /// Runs one instrumented matching pass (outside the timed loop) and
 /// exports the matcher's search-effort counters on the benchmark state:
-/// candidates scanned, feasibility rejections, and backtracks.
+/// candidates scanned, feasibility rejections, backtracks, and the
+/// worker count the enumeration actually partitioned over. Pass
+/// `options` to instrument a configured (e.g. parallel) matcher; its
+/// stats pointer is overridden.
 inline void ExportMatchStats(benchmark::State& state,
                              const pattern::Pattern& pattern,
-                             const graph::Instance& instance) {
+                             const graph::Instance& instance,
+                             pattern::MatchOptions options = {}) {
   pattern::MatchStats stats;
-  pattern::MatchOptions options;
   options.stats = &stats;
   pattern::Matcher(pattern, instance, options).Count();
   state.counters["cand"] = static_cast<double>(stats.candidates_scanned);
   state.counters["rej"] = static_cast<double>(stats.feasibility_rejections);
   state.counters["bt"] = static_cast<double>(stats.backtracks);
   state.counters["matchings"] = static_cast<double>(stats.matchings);
+  state.counters["workers"] = static_cast<double>(stats.workers_used);
 }
 
 /// The Figure 1 scheme (cached — schemes are immutable here).

@@ -3,6 +3,7 @@
 namespace good {
 
 Symbol SymbolTable::Intern(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = ids_.find(std::string(name));
   if (it != ids_.end()) return Symbol{it->second};
   uint32_t id = static_cast<uint32_t>(names_.size());
@@ -12,6 +13,7 @@ Symbol SymbolTable::Intern(std::string_view name) {
 }
 
 Symbol SymbolTable::Lookup(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = ids_.find(std::string(name));
   if (it == ids_.end()) return Symbol{kInvalidId};
   return Symbol{it->second};
@@ -19,8 +21,16 @@ Symbol SymbolTable::Lookup(std::string_view name) const {
 
 const std::string& SymbolTable::NameOf(Symbol symbol) const {
   static const std::string kInvalid = "<invalid>";
+  std::lock_guard<std::mutex> lock(mutex_);
   if (symbol.id >= names_.size()) return kInvalid;
+  // Deque entries are address-stable and never mutated after interning,
+  // so the reference outlives the lock.
   return names_[symbol.id];
+}
+
+size_t SymbolTable::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return names_.size();
 }
 
 SymbolTable& GlobalSymbols() {

@@ -9,10 +9,11 @@
 #define GOOD_COMMON_INTERNER_H_
 
 #include <cstdint>
+#include <deque>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
-#include <vector>
 
 namespace good {
 
@@ -25,7 +26,10 @@ struct Symbol {
   friend auto operator<=>(Symbol, Symbol) = default;
 };
 
-/// \brief Bidirectional string <-> Symbol map. Not thread-safe.
+/// \brief Bidirectional string <-> Symbol map. Thread-safe: all
+/// accessors lock an internal mutex, and NameOf returns a reference to
+/// an address-stable, immutable entry (names are stored in a deque), so
+/// the reference stays valid across concurrent interning.
 class SymbolTable {
  public:
   /// Interns `name`, returning its Symbol (existing or fresh).
@@ -38,20 +42,22 @@ class SymbolTable {
   /// Returns the source string of `symbol`; "<invalid>" if unknown.
   const std::string& NameOf(Symbol symbol) const;
 
-  size_t size() const { return names_.size(); }
+  size_t size() const;
 
   static constexpr uint32_t kInvalidId = 0xFFFFFFFFu;
 
  private:
+  mutable std::mutex mutex_;
   std::unordered_map<std::string, uint32_t> ids_;
-  std::vector<std::string> names_;
+  std::deque<std::string> names_;
 };
 
 /// \brief Process-wide symbol table used for all GOOD label names.
 ///
-/// The library is single-threaded by design (the paper's semantics are
-/// sequential); a global table lets Symbols flow freely between schemes,
-/// instances and programs.
+/// A global table lets Symbols flow freely between schemes, instances
+/// and programs. The parallel matching engine runs enumeration on
+/// worker threads; those workers only compare Symbol values, but the
+/// table itself is mutex-guarded so interning from any thread is safe.
 SymbolTable& GlobalSymbols();
 
 /// Convenience: intern in the global table.

@@ -1,0 +1,63 @@
+#include "common/thread_pool.h"
+
+namespace good::common {
+
+ThreadPool::ThreadPool(size_t num_workers) {
+  if (num_workers == 0) num_workers = 1;
+  workers_.reserve(num_workers);
+  for (size_t i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this, i] { WorkerMain(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::ParallelFor(
+    size_t num_items,
+    const std::function<void(size_t, size_t)>& fn) {
+  if (num_items == 0) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &fn;
+    job_items_ = num_items;
+    next_item_ = 0;
+    in_flight_ = 0;
+  }
+  work_cv_.notify_all();
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock,
+                [this] { return next_item_ >= job_items_ && in_flight_ == 0; });
+  job_ = nullptr;
+}
+
+void ThreadPool::WorkerMain(size_t worker_index) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    work_cv_.wait(lock, [this] {
+      return stop_ || (job_ != nullptr && next_item_ < job_items_);
+    });
+    if (stop_) return;
+    const size_t item = next_item_++;
+    ++in_flight_;
+    const std::function<void(size_t, size_t)>* fn = job_;
+    lock.unlock();
+    (*fn)(worker_index, item);
+    lock.lock();
+    --in_flight_;
+    if (next_item_ >= job_items_ && in_flight_ == 0) done_cv_.notify_all();
+  }
+}
+
+size_t ThreadPool::HardwareConcurrency() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<size_t>(n);
+}
+
+}  // namespace good::common

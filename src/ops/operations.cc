@@ -7,6 +7,7 @@
 #include <unordered_set>
 
 #include "common/hash.h"
+#include "common/thread_pool.h"
 
 namespace good::ops {
 
@@ -15,6 +16,51 @@ using pattern::Matching;
 using schema::Scheme;
 
 namespace {
+
+/// Partition-and-merge designator extraction: runs
+/// `extract(matching, &out)` for every matching. With worker threads
+/// configured and a matching list at least `threshold` long, the list
+/// is partitioned into chunks processed concurrently, and the
+/// per-chunk outputs are concatenated in chunk order — so the returned
+/// sequence is exactly what the serial loop produces, and every
+/// downstream consumer (dedup maps, consistency checks, mutation loops)
+/// behaves identically. Extraction only reads the matchings, so chunks
+/// are trivially independent.
+template <typename T, typename Extract>
+std::vector<T> ExtractPerMatching(const std::vector<Matching>& matchings,
+                                  size_t num_threads, size_t threshold,
+                                  const Extract& extract) {
+  std::vector<T> out;
+  if (num_threads == 0 || matchings.size() < std::max<size_t>(threshold, 2)) {
+    for (const Matching& matching : matchings) extract(matching, &out);
+    return out;
+  }
+  const size_t workers = std::min(num_threads, matchings.size());
+  // ~4 chunks per worker: slack for load balancing without fragmenting
+  // the ordered merge.
+  const size_t chunk_size = std::max<size_t>(
+      1, (matchings.size() + workers * 4 - 1) / (workers * 4));
+  const size_t num_chunks = (matchings.size() + chunk_size - 1) / chunk_size;
+  std::vector<std::vector<T>> chunk_out(num_chunks);
+  {
+    common::ThreadPool pool(workers);
+    pool.ParallelFor(num_chunks, [&](size_t worker, size_t chunk) {
+      (void)worker;
+      const size_t begin = chunk * chunk_size;
+      const size_t end = std::min(matchings.size(), begin + chunk_size);
+      for (size_t i = begin; i < end; ++i) {
+        extract(matchings[i], &chunk_out[chunk]);
+      }
+    });
+  }
+  size_t total = 0;
+  for (const std::vector<T>& chunk : chunk_out) total += chunk.size();
+  out.reserve(total);
+  for (std::vector<T>& chunk : chunk_out) {
+    std::move(chunk.begin(), chunk.end(), std::back_inserter(out));
+  }
+  return out;
+}
 
 /// Checks that every pattern node referenced by an operation designator
 /// actually belongs to the pattern.
@@ -56,6 +102,8 @@ std::vector<Matching> PatternOperation::Matchings(
     const Instance& instance, pattern::MatchStats* stats) const {
   pattern::MatchOptions options;
   options.stats = stats;
+  options.num_threads = num_threads_;
+  options.parallel_threshold = parallel_threshold_;
   std::vector<Matching> matchings =
       pattern::Matcher(pattern_, instance, options).FindAll();
   if (filter_) {
@@ -128,13 +176,22 @@ Status NodeAddition::Apply(Scheme* scheme, Instance* instance,
   }
 
   local.matchings = matchings.size();
-  for (const Matching& matching : matchings) {
-    std::vector<NodeId> key;
-    key.reserve(edges_.size());
-    for (const auto& [label, node] : edges_) {
-      (void)label;
-      key.push_back(matching.At(node));
-    }
+  // Keys are extracted per matching (parallelizable); the dedup-and-
+  // create phase below stays serial in matching order, so fresh nodes
+  // get the same ids a serial application assigns.
+  std::vector<std::vector<NodeId>> keys =
+      ExtractPerMatching<std::vector<NodeId>>(
+          matchings, num_threads_, parallel_threshold_,
+          [&](const Matching& matching, std::vector<std::vector<NodeId>>* out) {
+            std::vector<NodeId> key;
+            key.reserve(edges_.size());
+            for (const auto& [label, node] : edges_) {
+              (void)label;
+              key.push_back(matching.At(node));
+            }
+            out->push_back(std::move(key));
+          });
+  for (std::vector<NodeId>& key : keys) {
     if (by_targets.contains(key)) continue;
     GOOD_ASSIGN_OR_RETURN(NodeId fresh,
                           instance->AddObjectNode(*scheme, new_label_));
@@ -194,14 +251,18 @@ Status EdgeAddition::Apply(Scheme* scheme, Instance* instance,
   }
 
   // -- Gather the full edge set to add, then run the consistency check
-  //    of Section 3.2 before mutating anything (atomicity).
-  std::set<graph::Edge> to_add;
-  for (const Matching& matching : matchings) {
-    for (const EdgeSpec& spec : edges_) {
-      to_add.insert(graph::Edge{matching.At(spec.source), spec.label,
-                                matching.At(spec.target)});
-    }
-  }
+  //    of Section 3.2 before mutating anything (atomicity). The set
+  //    insertion canonicalizes order, so parallel extraction cannot
+  //    change the outcome.
+  std::vector<graph::Edge> extracted = ExtractPerMatching<graph::Edge>(
+      matchings, num_threads_, parallel_threshold_,
+      [&](const Matching& matching, std::vector<graph::Edge>* out) {
+        for (const EdgeSpec& spec : edges_) {
+          out->push_back(graph::Edge{matching.At(spec.source), spec.label,
+                                     matching.At(spec.target)});
+        }
+      });
+  std::set<graph::Edge> to_add(extracted.begin(), extracted.end());
 
   // Per (source node, label): collect distinct targets (new and old).
   std::map<std::pair<NodeId, Symbol>, std::set<NodeId>> targets;
@@ -253,10 +314,12 @@ Status NodeDeletion::Apply(Scheme* scheme, Instance* instance,
 
   ApplyStats local;
   std::vector<Matching> matchings = Matchings(*instance, &local.match);
-  std::set<NodeId> doomed;
-  for (const Matching& matching : matchings) {
-    doomed.insert(matching.At(target_));
-  }
+  std::vector<NodeId> images = ExtractPerMatching<NodeId>(
+      matchings, num_threads_, parallel_threshold_,
+      [&](const Matching& matching, std::vector<NodeId>* out) {
+        out->push_back(matching.At(target_));
+      });
+  std::set<NodeId> doomed(images.begin(), images.end());
 
   local.matchings = matchings.size();
   for (NodeId node : doomed) {
@@ -299,13 +362,15 @@ Status EdgeDeletion::Apply(Scheme* scheme, Instance* instance,
 
   ApplyStats local;
   std::vector<Matching> matchings = Matchings(*instance, &local.match);
-  std::set<graph::Edge> doomed;
-  for (const Matching& matching : matchings) {
-    for (const EdgeRef& ref : edges_) {
-      doomed.insert(graph::Edge{matching.At(ref.source), ref.label,
-                                matching.At(ref.target)});
-    }
-  }
+  std::vector<graph::Edge> extracted = ExtractPerMatching<graph::Edge>(
+      matchings, num_threads_, parallel_threshold_,
+      [&](const Matching& matching, std::vector<graph::Edge>* out) {
+        for (const EdgeRef& ref : edges_) {
+          out->push_back(graph::Edge{matching.At(ref.source), ref.label,
+                                     matching.At(ref.target)});
+        }
+      });
+  std::set<graph::Edge> doomed(extracted.begin(), extracted.end());
 
   local.matchings = matchings.size();
   for (const graph::Edge& edge : doomed) {
@@ -352,10 +417,12 @@ Status Abstraction::Apply(Scheme* scheme, Instance* instance,
       scheme->EnsureTriple(set_label_, member_edge_, pattern_.LabelOf(node_)));
 
   // -- Group the distinct matched nodes by β-successor set (pre-state).
-  std::set<NodeId> matched;
-  for (const Matching& matching : matchings) {
-    matched.insert(matching.At(node_));
-  }
+  std::vector<NodeId> images = ExtractPerMatching<NodeId>(
+      matchings, num_threads_, parallel_threshold_,
+      [&](const Matching& matching, std::vector<NodeId>* out) {
+        out->push_back(matching.At(node_));
+      });
+  std::set<NodeId> matched(images.begin(), images.end());
   std::map<std::set<NodeId>, std::set<NodeId>> classes;  // β-set -> members
   for (NodeId m : matched) {
     std::vector<NodeId> targets = instance->OutTargets(m, grouping_edge_);

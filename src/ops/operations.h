@@ -76,17 +76,36 @@ class PatternOperation {
   void set_filter(MatchFilter filter) { filter_ = std::move(filter); }
   const MatchFilter& filter() const { return filter_; }
 
+  /// Worker threads for pattern matching and per-matching designator
+  /// extraction; 0 (the default) keeps the fully serial path. Parallel
+  /// application partitions work into chunks merged in chunk order, so
+  /// the resulting database and ApplyStats are identical to a serial
+  /// application (ApplyStats::match.workers_used aside).
+  void set_num_threads(size_t num_threads) { num_threads_ = num_threads; }
+  size_t num_threads() const { return num_threads_; }
+
+  /// Minimum work-list size (depth-0 candidates for matching, matchings
+  /// for extraction) before parallelism engages; see
+  /// pattern::MatchOptions::parallel_threshold.
+  void set_parallel_threshold(size_t threshold) {
+    parallel_threshold_ = threshold;
+  }
+  size_t parallel_threshold() const { return parallel_threshold_; }
+
  protected:
   explicit PatternOperation(Pattern pattern) : pattern_(std::move(pattern)) {}
 
   /// All matchings of the source pattern, filtered. When `stats` is
   /// non-null, matcher search-effort counters accumulate into it.
+  /// Honors num_threads()/parallel_threshold().
   std::vector<pattern::Matching> Matchings(
       const graph::Instance& instance,
       pattern::MatchStats* stats = nullptr) const;
 
   Pattern pattern_;
   MatchFilter filter_;
+  size_t num_threads_ = 0;
+  size_t parallel_threshold_ = pattern::kDefaultParallelThreshold;
 };
 
 /// \brief Node addition NA[J, K, {(α1, m1), ..., (αn, mn)}]

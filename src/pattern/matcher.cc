@@ -1,13 +1,30 @@
 #include "pattern/matcher.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <limits>
+#include <memory>
 #include <sstream>
+
+#include "common/thread_pool.h"
 
 namespace good::pattern {
 
 using graph::Instance;
 using graph::NodeId;
+
+namespace internal {
+
+void AbortUnboundPatternNode(uint32_t pattern_node_id) {
+  std::fprintf(stderr,
+               "Matching::At: pattern node #%u is not bound in this "
+               "matching\n",
+               pattern_node_id);
+  std::abort();
+}
+
+}  // namespace internal
 
 MatchStats& MatchStats::operator+=(const MatchStats& other) {
   candidates_scanned += other.candidates_scanned;
@@ -20,6 +37,7 @@ MatchStats& MatchStats::operator+=(const MatchStats& other) {
   for (size_t i = 0; i < other.depth_fanout.size(); ++i) {
     depth_fanout[i] += other.depth_fanout[i];
   }
+  workers_used = std::max(workers_used, other.workers_used);
   return *this;
 }
 
@@ -31,11 +49,13 @@ std::string MatchStats::ToString() const {
     if (i > 0) os << ",";
     os << depth_fanout[i];
   }
-  os << "]";
+  os << "] workers=" << workers_used;
   return os.str();
 }
 
 namespace {
+
+constexpr size_t kNoLimit = static_cast<size_t>(-1);
 
 /// One edge constraint between the pattern node being placed and an
 /// already-placed pattern node (the "anchor"): the candidate must be
@@ -46,7 +66,7 @@ struct Anchor {
   bool out_of_m;    // True: pattern edge (m, label, neighbour).
 };
 
-/// Everything about placing order_[depth] that only depends on the
+/// Everything about placing order[depth] that only depends on the
 /// pattern and the plan order — computed once so the per-candidate hot
 /// path allocates nothing and does no pattern-side hash lookups.
 struct DepthPlan {
@@ -65,112 +85,165 @@ struct DepthPlan {
   std::vector<Anchor> anchors;
 };
 
-/// Backtracking state for one enumeration run.
+/// The per-(pattern, instance) search plan, shared read-only by the
+/// serial enumerator and every parallel worker.
+struct SearchPlan {
+  std::vector<NodeId> order;
+  std::vector<size_t> position;  // Pattern node id -> depth in order.
+  std::vector<DepthPlan> plans;
+
+  size_t PositionOf(NodeId pattern_node) const {
+    return pattern_node.id < position.size() ? position[pattern_node.id]
+                                             : order.size();
+  }
+};
+
+/// Chooses the node elimination order: seed with the most selective
+/// node, then repeatedly pick a node adjacent to the placed set
+/// (falling back to the most selective remaining node for a new
+/// connected component).
+std::vector<NodeId> PlanOrder(const Pattern& pattern,
+                              const Instance& instance) {
+  std::vector<NodeId> nodes = pattern.AllNodes();
+  std::vector<NodeId> order;
+  uint32_t max_id = 0;
+  for (NodeId m : nodes) max_id = std::max(max_id, m.id);
+  // Pattern node ids are dense; index flags/selectivity by id.
+  std::vector<bool> placed_flag(nodes.empty() ? 0 : max_id + 1, false);
+  std::vector<size_t> selectivity(placed_flag.size(), 0);
+  for (NodeId m : nodes) {
+    selectivity[m.id] =
+        pattern.HasPrintValue(m)
+            ? 1
+            : instance.CountNodesWithLabel(pattern.LabelOf(m));
+  }
+
+  auto adjacent_to_placed = [&](NodeId m) -> bool {
+    for (const auto& [label, target] : pattern.OutEdges(m)) {
+      (void)label;
+      if (placed_flag[target.id]) return true;
+    }
+    for (const auto& [source, label] : pattern.InEdges(m)) {
+      (void)label;
+      if (placed_flag[source.id]) return true;
+    }
+    return false;
+  };
+
+  while (order.size() < nodes.size()) {
+    NodeId best{};
+    size_t best_sel = std::numeric_limits<size_t>::max();
+    bool best_adjacent = false;
+    for (NodeId m : nodes) {
+      if (placed_flag[m.id]) continue;
+      bool adj = !order.empty() && adjacent_to_placed(m);
+      size_t sel = selectivity[m.id];
+      // Adjacency dominates; among equals prefer selectivity.
+      if (!best.valid() || (adj && !best_adjacent) ||
+          (adj == best_adjacent && sel < best_sel)) {
+        best = m;
+        best_sel = sel;
+        best_adjacent = adj;
+      }
+    }
+    order.push_back(best);
+    placed_flag[best.id] = true;
+  }
+  return order;
+}
+
+SearchPlan BuildSearchPlan(const Pattern& pattern, const Instance& instance) {
+  SearchPlan plan;
+  plan.order = PlanOrder(pattern, instance);
+  uint32_t max_id = 0;
+  for (NodeId m : plan.order) max_id = std::max(max_id, m.id);
+  plan.position.assign(plan.order.empty() ? 0 : max_id + 1,
+                       plan.order.size());
+  for (size_t i = 0; i < plan.order.size(); ++i) {
+    plan.position[plan.order[i].id] = i;
+  }
+  plan.plans.resize(plan.order.size());
+  for (size_t d = 0; d < plan.order.size(); ++d) {
+    DepthPlan& depth_plan = plan.plans[d];
+    depth_plan.m = plan.order[d];
+    depth_plan.label = pattern.LabelOf(depth_plan.m);
+    depth_plan.has_print = pattern.HasPrintValue(depth_plan.m);
+    for (const auto& [label, target] : pattern.OutEdges(depth_plan.m)) {
+      if (target == depth_plan.m) {
+        depth_plan.self_loops.push_back(label);
+        continue;
+      }
+      size_t pos = plan.PositionOf(target);
+      if (pos < d) depth_plan.anchors.push_back(Anchor{label, pos, true});
+    }
+    for (const auto& [source, label] : pattern.InEdges(depth_plan.m)) {
+      if (source == depth_plan.m) continue;  // Mirrored in OutEdges above.
+      size_t pos = plan.PositionOf(source);
+      if (pos < d) depth_plan.anchors.push_back(Anchor{label, pos, false});
+    }
+    depth_plan.check_label =
+        !depth_plan.has_print && !depth_plan.anchors.empty();
+  }
+  return plan;
+}
+
+/// Backtracking state for one enumeration run. One instance per thread:
+/// the plan is shared read-only, everything mutable lives here.
 class Enumerator {
  public:
   Enumerator(const Pattern& pattern, const Instance& instance,
-             const MatchOptions& options,
-             const std::function<bool(const Matching&)>& callback)
+             const SearchPlan& plan, size_t limit, MatchStats* sink)
       : pattern_(pattern),
         instance_(instance),
-        limit_(options.limit),
-        sink_(options.stats),
-        callback_(callback) {
-    order_ = PlanOrder();
-    assignment_.assign(order_.size(), NodeId{});
-    scratch_.resize(order_.size());
-    stats_.depth_fanout.assign(order_.size(), 0);
-    // Pattern node ids are dense, so a plain vector maps node -> depth.
-    uint32_t max_id = 0;
-    for (NodeId m : order_) max_id = std::max(max_id, m.id);
-    position_.assign(order_.empty() ? 0 : max_id + 1, order_.size());
-    for (size_t i = 0; i < order_.size(); ++i) position_[order_[i].id] = i;
-    plans_.resize(order_.size());
-    for (size_t d = 0; d < order_.size(); ++d) {
-      DepthPlan& plan = plans_[d];
-      plan.m = order_[d];
-      plan.label = pattern_.LabelOf(plan.m);
-      plan.has_print = pattern_.HasPrintValue(plan.m);
-      for (const auto& [label, target] : pattern_.OutEdges(plan.m)) {
-        if (target == plan.m) {
-          plan.self_loops.push_back(label);
-          continue;
-        }
-        size_t pos = PositionOf(target);
-        if (pos < d) plan.anchors.push_back(Anchor{label, pos, true});
-      }
-      for (const auto& [source, label] : pattern_.InEdges(plan.m)) {
-        if (source == plan.m) continue;  // Mirrored in OutEdges above.
-        size_t pos = PositionOf(source);
-        if (pos < d) plan.anchors.push_back(Anchor{label, pos, false});
-      }
-      plan.check_label = !plan.has_print && !plan.anchors.empty();
-      // Pre-bind the plan keys so leaf emission only rebinds values.
-      matching_scratch_.Bind(plan.m, NodeId{});
-    }
+        plan_(plan),
+        limit_(limit),
+        sink_(sink) {
+    assignment_.assign(plan_.order.size(), NodeId{});
+    scratch_.resize(plan_.order.size());
+    stats_.depth_fanout.assign(plan_.order.size(), 0);
+    // Pre-bind the plan keys so leaf emission only rebinds values.
+    for (NodeId m : plan_.order) matching_scratch_.Bind(m, NodeId{});
   }
 
-  size_t Run() {
+  /// Full enumeration from depth 0, the classic serial path: invokes
+  /// `callback` per matching, honoring the limit and callback aborts.
+  size_t RunSerial(const std::function<bool(const Matching&)>& callback) {
+    callback_ = &callback;
     if (limit_ > 0) Recurse(0);
+    callback_ = nullptr;
     stats_.matchings = emitted_;
+    stats_.workers_used = 1;
     if (sink_ != nullptr) *sink_ += stats_;
     return emitted_;
   }
 
- private:
-  /// Chooses the node elimination order: seed with the most selective
-  /// node, then repeatedly pick a node adjacent to the placed set
-  /// (falling back to the most selective remaining node for a new
-  /// connected component).
-  std::vector<NodeId> PlanOrder() const {
-    std::vector<NodeId> nodes = pattern_.AllNodes();
-    std::vector<NodeId> order;
-    uint32_t max_id = 0;
-    for (NodeId m : nodes) max_id = std::max(max_id, m.id);
-    // Pattern node ids are dense; index flags/selectivity by id.
-    std::vector<bool> placed_flag(nodes.empty() ? 0 : max_id + 1, false);
-    std::vector<size_t> selectivity(placed_flag.size(), 0);
-    for (NodeId m : nodes) {
-      selectivity[m.id] = pattern_.HasPrintValue(m)
-                              ? 1
-                              : instance_.CountNodesWithLabel(
-                                    pattern_.LabelOf(m));
+  /// Parallel-worker entry: enumerates the subtrees rooted at
+  /// roots[begin, end), appending matchings to `out` (count-only when
+  /// null). Feasibility, fanout, and backtrack accounting match what
+  /// the serial matcher does for the same depth-0 candidates. Returns
+  /// the number of matchings emitted for this chunk; cumulative stats
+  /// stay in stats() for the caller to merge after the job completes.
+  size_t RunChunk(const std::vector<NodeId>& roots, size_t begin, size_t end,
+                  std::vector<Matching>* out) {
+    collect_ = out;
+    const size_t emitted_before = emitted_;
+    const DepthPlan& plan0 = plan_.plans[0];
+    for (size_t i = begin; i < end; ++i) {
+      NodeId t = roots[i];
+      if (!Feasible(plan0, t)) continue;
+      ++stats_.depth_fanout[0];
+      assignment_[0] = t;
+      Recurse(1);
     }
-
-    auto adjacent_to_placed = [&](NodeId m) -> bool {
-      for (const auto& [label, target] : pattern_.OutEdges(m)) {
-        (void)label;
-        if (placed_flag[target.id]) return true;
-      }
-      for (const auto& [source, label] : pattern_.InEdges(m)) {
-        (void)label;
-        if (placed_flag[source.id]) return true;
-      }
-      return false;
-    };
-
-    while (order.size() < nodes.size()) {
-      NodeId best{};
-      size_t best_sel = std::numeric_limits<size_t>::max();
-      bool best_adjacent = false;
-      for (NodeId m : nodes) {
-        if (placed_flag[m.id]) continue;
-        bool adj = !order.empty() && adjacent_to_placed(m);
-        size_t sel = selectivity[m.id];
-        // Adjacency dominates; among equals prefer selectivity.
-        if (!best.valid() || (adj && !best_adjacent) ||
-            (adj == best_adjacent && sel < best_sel)) {
-          best = m;
-          best_sel = sel;
-          best_adjacent = adj;
-        }
-      }
-      order.push_back(best);
-      placed_flag[best.id] = true;
-    }
-    return order;
+    collect_ = nullptr;
+    const size_t emitted = emitted_ - emitted_before;
+    stats_.matchings += emitted;
+    return emitted;
   }
 
+  const MatchStats& stats() const { return stats_; }
+
+ private:
   /// True iff mapping plan.m to `t` respects the node label and every
   /// pattern self-loop (m, α, m), which demands the instance edge
   /// (t, α, t). Placed-neighbour edges and print values are already
@@ -190,11 +263,6 @@ class Enumerator {
     return true;
   }
 
-  size_t PositionOf(NodeId pattern_node) const {
-    return pattern_node.id < position_.size() ? position_[pattern_node.id]
-                                              : order_.size();
-  }
-
   /// The adjacency list an anchor constrains candidates to.
   const std::vector<NodeId>& AnchorList(const Anchor& anchor) const {
     NodeId image = assignment_[anchor.position];
@@ -209,7 +277,7 @@ class Enumerator {
                            : instance_.HasEdge(image, anchor.label, t);
   }
 
-  /// Candidate instance nodes for pattern node order_[depth].
+  /// Candidate instance nodes for pattern node order[depth].
   ///
   /// Anchored nodes (≥1 already-placed neighbour) draw candidates from
   /// the smallest placed-neighbour adjacency list, intersected against
@@ -217,7 +285,7 @@ class Enumerator {
   /// fall back to the label index (or the printable dedup index, which
   /// pins the candidate set to at most one node).
   const std::vector<NodeId>& Candidates(size_t depth) {
-    const DepthPlan& plan = plans_[depth];
+    const DepthPlan& plan = plan_.plans[depth];
     std::vector<NodeId>& scratch = scratch_[depth];
     if (plan.has_print) {
       scratch.clear();
@@ -274,17 +342,21 @@ class Enumerator {
   }
 
   bool Recurse(size_t depth) {  // Returns false to abort enumeration.
-    if (depth == order_.size()) {
+    if (depth == plan_.order.size()) {
       // Rebind the reused matching in place: keys were pre-bound in the
       // constructor, so this never rehashes or allocates.
-      for (size_t i = 0; i < order_.size(); ++i) {
-        matching_scratch_.Bind(order_[i], assignment_[i]);
+      for (size_t i = 0; i < plan_.order.size(); ++i) {
+        matching_scratch_.Bind(plan_.order[i], assignment_[i]);
       }
       ++emitted_;
-      if (!callback_(matching_scratch_)) return false;
+      if (collect_ != nullptr) {
+        collect_->push_back(matching_scratch_);
+      } else if (callback_ != nullptr && !(*callback_)(matching_scratch_)) {
+        return false;
+      }
       return emitted_ < limit_;
     }
-    const DepthPlan& plan = plans_[depth];
+    const DepthPlan& plan = plan_.plans[depth];
     const size_t emitted_before = emitted_;
     for (NodeId t : Candidates(depth)) {
       if (!Feasible(plan, t)) continue;
@@ -298,12 +370,11 @@ class Enumerator {
 
   const Pattern& pattern_;
   const Instance& instance_;
+  const SearchPlan& plan_;
   size_t limit_;
   MatchStats* sink_;
-  const std::function<bool(const Matching&)>& callback_;
-  std::vector<NodeId> order_;
-  std::vector<size_t> position_;  // Pattern node id -> depth in order_.
-  std::vector<DepthPlan> plans_;
+  const std::function<bool(const Matching&)>* callback_ = nullptr;
+  std::vector<Matching>* collect_ = nullptr;
   std::vector<NodeId> assignment_;
   // Per-depth candidate buffers (reused across sibling subtrees).
   std::vector<std::vector<NodeId>> scratch_;
@@ -313,16 +384,104 @@ class Enumerator {
   size_t emitted_ = 0;
 };
 
+/// The parallel driver behind FindAll/Count. Partitions the depth-0
+/// candidate list into chunks, runs a per-worker Enumerator over the
+/// chunks via the shared thread pool queue, and merges chunk outputs in
+/// chunk-index order — so the matching sequence and all stats (except
+/// workers_used) are identical to the serial matcher's. Returns false
+/// (without touching the outputs) when the enumeration is ineligible:
+/// serial options, a limit, the empty pattern, or a depth-0 candidate
+/// list below the threshold — the caller then runs the serial engine.
+bool TryParallelEnumerate(const Pattern& pattern, const Instance& instance,
+                          const MatchOptions& options,
+                          std::vector<Matching>* out, size_t* count) {
+  if (options.num_threads == 0) return false;
+  if (options.limit != kNoLimit) return false;
+  SearchPlan plan = BuildSearchPlan(pattern, instance);
+  // The empty pattern has exactly one matching (the empty map); let the
+  // serial engine emit it.
+  if (plan.order.empty()) return false;
+
+  MatchStats merged;
+  merged.depth_fanout.assign(plan.order.size(), 0);
+  const DepthPlan& plan0 = plan.plans[0];
+  std::vector<NodeId> roots;
+  if (plan0.has_print) {
+    auto found =
+        instance.FindPrintable(plan0.label, *pattern.PrintValueOf(plan0.m));
+    if (found.has_value()) {
+      ++merged.candidates_scanned;
+      roots.push_back(*found);
+    }
+  } else {
+    roots = instance.NodesWithLabel(plan0.label);
+    merged.candidates_scanned += roots.size();
+  }
+  if (roots.size() < options.parallel_threshold) return false;
+
+  const size_t workers =
+      std::min(options.num_threads, std::max<size_t>(roots.size(), 1));
+  // ~4 chunks per worker: slack for dynamic load balancing without
+  // fragmenting the ordered merge.
+  const size_t chunk_size =
+      std::max<size_t>(1, (roots.size() + workers * 4 - 1) / (workers * 4));
+  const size_t num_chunks = (roots.size() + chunk_size - 1) / chunk_size;
+
+  std::vector<std::vector<Matching>> chunk_out(out != nullptr ? num_chunks
+                                                              : 0);
+  std::vector<size_t> chunk_count(num_chunks, 0);
+  std::vector<std::unique_ptr<Enumerator>> per_worker;
+  per_worker.reserve(workers);
+  for (size_t w = 0; w < workers; ++w) {
+    per_worker.push_back(std::make_unique<Enumerator>(
+        pattern, instance, plan, kNoLimit, nullptr));
+  }
+  {
+    common::ThreadPool pool(workers);
+    pool.ParallelFor(num_chunks, [&](size_t worker, size_t chunk) {
+      const size_t begin = chunk * chunk_size;
+      const size_t end = std::min(roots.size(), begin + chunk_size);
+      chunk_count[chunk] = per_worker[worker]->RunChunk(
+          roots, begin, end, out != nullptr ? &chunk_out[chunk] : nullptr);
+    });
+  }
+
+  size_t total = 0;
+  for (size_t c = 0; c < num_chunks; ++c) total += chunk_count[c];
+  for (const auto& enumerator : per_worker) merged += enumerator->stats();
+  // The depth-0 retreat the serial matcher counts when nothing at all
+  // was emitted.
+  if (total == 0) ++merged.backtracks;
+  merged.workers_used = std::max<size_t>(1, std::min(workers, num_chunks));
+  if (options.stats != nullptr) *options.stats += merged;
+
+  if (out != nullptr) {
+    out->clear();
+    out->reserve(total);
+    for (std::vector<Matching>& chunk : chunk_out) {
+      std::move(chunk.begin(), chunk.end(), std::back_inserter(*out));
+    }
+  }
+  *count = total;
+  return true;
+}
+
 }  // namespace
 
 size_t Matcher::ForEach(
     const std::function<bool(const Matching&)>& callback) const {
-  Enumerator enumerator(pattern_, instance_, options_, callback);
-  return enumerator.Run();
+  SearchPlan plan = BuildSearchPlan(pattern_, instance_);
+  Enumerator enumerator(pattern_, instance_, plan, options_.limit,
+                        options_.stats);
+  return enumerator.RunSerial(callback);
 }
 
 std::vector<Matching> Matcher::FindAll() const {
   std::vector<Matching> out;
+  size_t count = 0;
+  if (TryParallelEnumerate(pattern_, instance_, options_, &out, &count)) {
+    return out;
+  }
   ForEach([&](const Matching& m) {
     out.push_back(m);
     return true;
@@ -331,6 +490,10 @@ std::vector<Matching> Matcher::FindAll() const {
 }
 
 size_t Matcher::Count() const {
+  size_t count = 0;
+  if (TryParallelEnumerate(pattern_, instance_, options_, nullptr, &count)) {
+    return count;
+  }
   return ForEach([](const Matching&) { return true; });
 }
 

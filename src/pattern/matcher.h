@@ -17,6 +17,7 @@
 #define GOOD_PATTERN_MATCHER_H_
 
 #include <functional>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -29,6 +30,12 @@ namespace good::pattern {
 /// \brief Patterns are syntactically instances.
 using Pattern = graph::Instance;
 
+namespace internal {
+/// Aborts with a diagnostic naming the unbound pattern node. Out of
+/// line so the header stays light; used by Matching::At.
+[[noreturn]] void AbortUnboundPatternNode(uint32_t pattern_node_id);
+}  // namespace internal
+
 /// \brief One matching: a total map from pattern nodes to instance
 /// nodes.
 class Matching {
@@ -40,9 +47,22 @@ class Matching {
   }
 
   /// The instance node a pattern node is mapped to. The pattern node
-  /// must be bound.
+  /// must be bound; an unbound node aborts with a diagnostic naming the
+  /// offending pattern node id (instead of an opaque std::out_of_range),
+  /// so misuse on concurrent paths is immediately attributable. Use
+  /// Find() for a non-fatal checked lookup.
   graph::NodeId At(graph::NodeId pattern_node) const {
-    return map_.at(pattern_node);
+    auto it = map_.find(pattern_node);
+    if (it == map_.end()) internal::AbortUnboundPatternNode(pattern_node.id);
+    return it->second;
+  }
+
+  /// Checked lookup: the mapped instance node, or nullopt when
+  /// `pattern_node` is not bound.
+  std::optional<graph::NodeId> Find(graph::NodeId pattern_node) const {
+    auto it = map_.find(pattern_node);
+    if (it == map_.end()) return std::nullopt;
+    return it->second;
   }
 
   bool Contains(graph::NodeId pattern_node) const {
@@ -79,13 +99,22 @@ struct MatchStats {
   /// Per-depth count of candidates that survived feasibility and were
   /// placed (the effective fanout of the search tree at each level).
   std::vector<size_t> depth_fanout;
+  /// Widest parallelism observed: the number of workers the enumeration
+  /// was partitioned over (1 for a serial run, 0 before any run has
+  /// been accumulated). Unlike the other counters this is not additive,
+  /// so operator+= takes the maximum across accumulated runs.
+  size_t workers_used = 0;
 
   MatchStats& operator+=(const MatchStats& other);
 
   /// Compact one-line rendering, e.g.
-  /// "cand=120 rej=80 bt=14 match=26 fanout=[12,8,6]".
+  /// "cand=120 rej=80 bt=14 match=26 fanout=[12,8,6] workers=1".
   std::string ToString() const;
 };
+
+/// The depth-0 candidate count below which a parallel-enabled matcher
+/// still runs serially (partitioning overhead dominates small inputs).
+inline constexpr size_t kDefaultParallelThreshold = 64;
 
 /// \brief Tuning and statistics for matching enumeration.
 struct MatchOptions {
@@ -93,6 +122,18 @@ struct MatchOptions {
   size_t limit = static_cast<size_t>(-1);
   /// When non-null, enumeration counters are accumulated (+=) here.
   MatchStats* stats = nullptr;
+  /// Worker threads for FindAll()/Count() enumeration; 0 preserves the
+  /// fully serial engine. Parallel enumeration partitions the depth-0
+  /// candidate list into chunks and merges per-chunk results in chunk
+  /// order, so the matching sequence (and all stats except
+  /// workers_used) is identical to the serial matcher's. Enumerations
+  /// with a limit, callbacks (ForEach), and Exists() always run
+  /// serially.
+  size_t num_threads = 0;
+  /// Minimum depth-0 candidate count before parallelism engages; below
+  /// it the serial engine runs even when num_threads > 0. Set to 0 to
+  /// force the parallel path (differential tests do).
+  size_t parallel_threshold = kDefaultParallelThreshold;
 };
 
 /// \brief Enumerates matchings of `pattern` in `instance`.
@@ -113,13 +154,18 @@ class Matcher {
 
   /// Invokes `callback` once per matching; enumeration stops early when
   /// the callback returns false or the limit is hit. Returns the number
-  /// of matchings visited.
+  /// of matchings visited. Always serial (callbacks observe the exact
+  /// serial emission order and may abort).
   size_t ForEach(const std::function<bool(const Matching&)>& callback) const;
 
-  /// Materializes all matchings.
+  /// Materializes all matchings. With MatchOptions::num_threads > 0 and
+  /// a large enough depth-0 candidate list, enumeration runs on a
+  /// worker pool; the returned sequence is identical to the serial
+  /// matcher's.
   std::vector<Matching> FindAll() const;
 
-  /// Counts matchings without materializing them.
+  /// Counts matchings without materializing them. Parallelizes under
+  /// the same conditions as FindAll().
   size_t Count() const;
 
   /// True iff at least one matching exists. Honors the caller's

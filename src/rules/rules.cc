@@ -72,6 +72,8 @@ Result<RunReport> RuleEngine::Step(Scheme* scheme, Instance* instance) {
     if (rule.node.has_value()) {
       ops::NodeAddition na(positive, rule.node->label, rule.node->edges);
       if (filter) na.set_filter(filter);
+      na.set_num_threads(num_threads_);
+      na.set_parallel_threshold(parallel_threshold_);
       ops::ApplyStats stats;
       GOOD_RETURN_NOT_OK(na.Apply(scheme, instance, &stats));
       report.nodes_added += stats.nodes_added;
@@ -81,12 +83,15 @@ Result<RunReport> RuleEngine::Step(Scheme* scheme, Instance* instance) {
     if (!rule.edges.empty()) {
       ops::EdgeAddition ea(positive, rule.edges);
       if (filter) ea.set_filter(filter);
+      ea.set_num_threads(num_threads_);
+      ea.set_parallel_threshold(parallel_threshold_);
       ops::ApplyStats stats;
       GOOD_RETURN_NOT_OK(ea.Apply(scheme, instance, &stats));
       report.edges_added += stats.edges_added;
       report.match += stats.match;
     }
   }
+  report.workers_used = report.match.workers_used;
   return report;
 }
 
@@ -98,6 +103,7 @@ Result<RunReport> RuleEngine::Run(Scheme* scheme, Instance* instance,
     total.rounds += step.rounds;
     total.nodes_added += step.nodes_added;
     total.edges_added += step.edges_added;
+    total.workers_used = std::max(total.workers_used, step.workers_used);
     total.match += step.match;
     if (step.nodes_added == 0 && step.edges_added == 0) return total;
   }

@@ -58,6 +58,11 @@ struct RunReport {
   size_t rounds = 0;
   size_t nodes_added = 0;
   size_t edges_added = 0;
+  /// Widest parallelism observed over the run's rule evaluations: 1 for
+  /// a serial engine, up to num_threads() when parallel matching
+  /// engaged, 0 when no rule was evaluated. Non-additive — accumulated
+  /// by maximum, like pattern::MatchStats::workers_used.
+  size_t workers_used = 0;
   /// Accumulated matcher search-effort counters over every rule
   /// evaluation of the run (candidates scanned, feasibility rejections,
   /// backtracks, per-depth fanout).
@@ -73,6 +78,19 @@ class RuleEngine {
 
   size_t size() const { return rules_.size(); }
 
+  /// Worker threads forwarded to every rule's node/edge addition (and
+  /// through them to the pattern matcher); 0 keeps the engine fully
+  /// serial. Fixpoints and reports are identical either way
+  /// (workers_used aside) — parallel application is deterministic.
+  void set_num_threads(size_t num_threads) { num_threads_ = num_threads; }
+  size_t num_threads() const { return num_threads_; }
+
+  /// See pattern::MatchOptions::parallel_threshold.
+  void set_parallel_threshold(size_t threshold) {
+    parallel_threshold_ = threshold;
+  }
+  size_t parallel_threshold() const { return parallel_threshold_; }
+
   /// Applies every rule once, in order. Returns the additions made.
   Result<RunReport> Step(schema::Scheme* scheme, graph::Instance* instance);
 
@@ -83,6 +101,8 @@ class RuleEngine {
 
  private:
   std::vector<Rule> rules_;
+  size_t num_threads_ = 0;
+  size_t parallel_threshold_ = pattern::kDefaultParallelThreshold;
 };
 
 }  // namespace good::rules

@@ -167,5 +167,79 @@ TEST_P(MatcherBruteDifferentialTest, FastAgreesWithBruteOnSelfLoopGraphs) {
 INSTANTIATE_TEST_SUITE_P(Seeds, MatcherBruteDifferentialTest,
                          ::testing::Range(0, 30));
 
+/// Serial-vs-parallel matcher differential on the same generator-made
+/// self-loop graphs: for every thread count the parallel engine must
+/// return the exact matching sequence (same order, not just the same
+/// set) and the exact search-effort stats of the serial engine. The
+/// threshold is forced to 0 so the parallel path engages even on these
+/// small instances.
+class ParallelMatcherDifferentialTest : public ::testing::TestWithParam<int> {
+};
+
+TEST_P(ParallelMatcherDifferentialTest, ParallelSequenceAndStatsMatchSerial) {
+  const int seed = GetParam();
+  std::mt19937 rng(static_cast<unsigned>(seed));
+  Scheme scheme = hypermedia::BuildScheme().ValueOrDie();
+  const size_t n = 5 + rng() % 8;
+  const size_t edges = n + rng() % (2 * n);
+  Instance g = gen::RandomInfoGraph(scheme, n, edges, /*seed=*/rng(),
+                                    /*allow_self_loops=*/true)
+                   .ValueOrDie();
+  pattern::Pattern p =
+      gen::RandomLinkPattern(scheme, /*num_nodes=*/2 + rng() % 3,
+                             /*extra_edges=*/1 + rng() % 3, /*seed=*/rng(),
+                             /*allow_self_loops=*/true)
+          .ValueOrDie();
+
+  pattern::MatchStats serial_stats;
+  pattern::MatchOptions serial_options;
+  serial_options.stats = &serial_stats;
+  auto serial =
+      pattern::Matcher(p, g, serial_options).FindAll();
+
+  for (size_t threads : {1u, 2u, 8u}) {
+    pattern::MatchStats par_stats;
+    pattern::MatchOptions options;
+    options.stats = &par_stats;
+    options.num_threads = threads;
+    options.parallel_threshold = 0;  // Engage parallelism on any input.
+    pattern::Matcher matcher(p, g, options);
+
+    auto par = matcher.FindAll();
+    ASSERT_EQ(par, serial) << "seed=" << seed << " threads=" << threads;
+    EXPECT_EQ(par_stats.candidates_scanned, serial_stats.candidates_scanned)
+        << "seed=" << seed << " threads=" << threads;
+    EXPECT_EQ(par_stats.feasibility_rejections,
+              serial_stats.feasibility_rejections)
+        << "seed=" << seed << " threads=" << threads;
+    EXPECT_EQ(par_stats.backtracks, serial_stats.backtracks)
+        << "seed=" << seed << " threads=" << threads;
+    EXPECT_EQ(par_stats.matchings, serial_stats.matchings)
+        << "seed=" << seed << " threads=" << threads;
+    EXPECT_EQ(par_stats.depth_fanout, serial_stats.depth_fanout)
+        << "seed=" << seed << " threads=" << threads;
+    EXPECT_GE(par_stats.workers_used, 1u);
+    EXPECT_LE(par_stats.workers_used, threads);
+
+    // Count() shares the parallel driver but skips materialization.
+    EXPECT_EQ(matcher.Count(), serial.size())
+        << "seed=" << seed << " threads=" << threads;
+  }
+
+  // The empty pattern has exactly one matching (the empty map),
+  // regardless of engine: the parallel driver defers it to the serial
+  // path, which emits it.
+  pattern::Pattern empty;
+  pattern::MatchOptions options;
+  options.num_threads = 8;
+  options.parallel_threshold = 0;
+  auto empty_matchings = pattern::Matcher(empty, g, options).FindAll();
+  ASSERT_EQ(empty_matchings.size(), 1u) << "seed=" << seed;
+  EXPECT_EQ(empty_matchings[0].size(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParallelMatcherDifferentialTest,
+                         ::testing::Range(0, 30));
+
 }  // namespace
 }  // namespace good::relational

@@ -41,6 +41,23 @@ Instance ChainInstance(const Scheme& s, int n) {
   return g;
 }
 
+TEST(MatchingTest, FindReturnsNulloptForUnboundNode) {
+  Matching m;
+  m.Bind(NodeId{3}, NodeId{7});
+  ASSERT_TRUE(m.Find(NodeId{3}).has_value());
+  EXPECT_EQ(m.Find(NodeId{3})->id, 7u);
+  EXPECT_FALSE(m.Find(NodeId{4}).has_value());
+  EXPECT_EQ(m.At(NodeId{3}).id, 7u);
+}
+
+TEST(MatchingDeathTest, AtNamesTheUnboundPatternNode) {
+  Matching m;
+  m.Bind(NodeId{3}, NodeId{7});
+  // At() on an unbound node must abort with a diagnostic carrying the
+  // offending pattern node id, not an opaque std::out_of_range.
+  EXPECT_DEATH(m.At(NodeId{42}), "pattern node #42 is not bound");
+}
+
 TEST(MatcherTest, EmptyPatternHasExactlyOneMatching) {
   Scheme s = ChainScheme();
   Instance g = ChainInstance(s, 3);

@@ -1,0 +1,302 @@
+/// Serial-vs-parallel determinism suite for the parallel matching and
+/// bulk-application engine: figure replays (the paper's own operations
+/// applied with and without worker threads must produce isomorphic
+/// databases and identical stats), the serial-fallback threshold,
+/// Count-vs-FindAll agreement, and the rule engine's fixpoint under
+/// parallelism. The random-graph differential sweeps live in
+/// backend_fuzz_test.cc; this file covers the named shapes.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "common/thread_pool.h"
+#include "gen/generators.h"
+#include "graph/isomorphism.h"
+#include "hypermedia/hypermedia.h"
+#include "pattern/builder.h"
+#include "pattern/matcher.h"
+#include "rules/rules.h"
+
+namespace good::pattern {
+namespace {
+
+using graph::Instance;
+using graph::NodeId;
+using schema::Scheme;
+
+void ExpectSameApplyStats(const ops::ApplyStats& serial,
+                          const ops::ApplyStats& par) {
+  EXPECT_EQ(par.matchings, serial.matchings);
+  EXPECT_EQ(par.nodes_added, serial.nodes_added);
+  EXPECT_EQ(par.edges_added, serial.edges_added);
+  EXPECT_EQ(par.nodes_deleted, serial.nodes_deleted);
+  EXPECT_EQ(par.edges_deleted, serial.edges_deleted);
+  EXPECT_EQ(par.match.candidates_scanned, serial.match.candidates_scanned);
+  EXPECT_EQ(par.match.feasibility_rejections,
+            serial.match.feasibility_rejections);
+  EXPECT_EQ(par.match.backtracks, serial.match.backtracks);
+  EXPECT_EQ(par.match.matchings, serial.match.matchings);
+  EXPECT_EQ(par.match.depth_fanout, serial.match.depth_fanout);
+}
+
+/// Applies `op` twice from the same start state — serially and with the
+/// parallel engine forced on — and checks the resulting databases are
+/// isomorphic (in fact the engines assign identical node ids, but
+/// isomorphism is the semantic contract) with identical ApplyStats.
+template <typename Op>
+void ExpectParallelReplayMatches(const Scheme& scheme,
+                                 const Instance& start, Op op) {
+  Scheme serial_scheme = scheme;
+  Instance serial_instance = start;
+  ops::ApplyStats serial_stats;
+  ASSERT_TRUE(
+      op.Apply(&serial_scheme, &serial_instance, &serial_stats).ok());
+
+  Scheme par_scheme = scheme;
+  Instance par_instance = start;
+  ops::ApplyStats par_stats;
+  op.set_num_threads(4);
+  op.set_parallel_threshold(0);
+  ASSERT_TRUE(op.Apply(&par_scheme, &par_instance, &par_stats).ok());
+
+  EXPECT_TRUE(graph::IsIsomorphic(serial_instance, par_instance))
+      << "serial:\n"
+      << serial_instance.Fingerprint() << "\nparallel:\n"
+      << par_instance.Fingerprint();
+  EXPECT_TRUE(par_scheme == serial_scheme);
+  ExpectSameApplyStats(serial_stats, par_stats);
+}
+
+class ParallelFigureReplayTest : public ::testing::Test {
+ protected:
+  void SetUp() override { scheme_ = hypermedia::BuildScheme().ValueOrDie(); }
+  Scheme scheme_;
+};
+
+TEST_F(ParallelFigureReplayTest, Fig6NodeAddition) {
+  auto built = hypermedia::BuildInstance(scheme_).ValueOrDie();
+  auto op = hypermedia::Fig6NodeAddition(scheme_).ValueOrDie();
+  ExpectParallelReplayMatches(scheme_, built.instance, op);
+}
+
+TEST_F(ParallelFigureReplayTest, Fig10EdgeAddition) {
+  auto built = hypermedia::BuildInstance(scheme_).ValueOrDie();
+  auto op = hypermedia::Fig10EdgeAddition(scheme_).ValueOrDie();
+  ExpectParallelReplayMatches(scheme_, built.instance, op);
+}
+
+TEST_F(ParallelFigureReplayTest, Fig14NodeDeletion) {
+  auto built = hypermedia::BuildInstance(scheme_).ValueOrDie();
+  auto op = hypermedia::Fig14NodeDeletion(scheme_).ValueOrDie();
+  ExpectParallelReplayMatches(scheme_, built.instance, op);
+}
+
+TEST_F(ParallelFigureReplayTest, Fig18AbstractionPipeline) {
+  // The three-step Figure 18 pipeline (tag new, tag old, abstract) run
+  // end-to-end in both engines; each parallel step builds on the
+  // parallel result of the previous one.
+  Instance serial_instance =
+      hypermedia::BuildVersionInstance(scheme_).ValueOrDie();
+  Instance par_instance = serial_instance;
+  Scheme serial_scheme = scheme_;
+  Scheme par_scheme = scheme_;
+
+  auto serial_fig = hypermedia::Fig18Abstraction(scheme_).ValueOrDie();
+  ops::ApplyStats serial_stats;
+  ASSERT_TRUE(serial_fig.tag_new
+                  .Apply(&serial_scheme, &serial_instance, &serial_stats)
+                  .ok());
+  ASSERT_TRUE(serial_fig.tag_old
+                  .Apply(&serial_scheme, &serial_instance, &serial_stats)
+                  .ok());
+  ASSERT_TRUE(serial_fig.abstraction
+                  .Apply(&serial_scheme, &serial_instance, &serial_stats)
+                  .ok());
+
+  auto par_fig = hypermedia::Fig18Abstraction(scheme_).ValueOrDie();
+  par_fig.tag_new.set_num_threads(4);
+  par_fig.tag_new.set_parallel_threshold(0);
+  par_fig.tag_old.set_num_threads(4);
+  par_fig.tag_old.set_parallel_threshold(0);
+  par_fig.abstraction.set_num_threads(4);
+  par_fig.abstraction.set_parallel_threshold(0);
+  ops::ApplyStats par_stats;
+  ASSERT_TRUE(
+      par_fig.tag_new.Apply(&par_scheme, &par_instance, &par_stats).ok());
+  ASSERT_TRUE(
+      par_fig.tag_old.Apply(&par_scheme, &par_instance, &par_stats).ok());
+  ASSERT_TRUE(
+      par_fig.abstraction.Apply(&par_scheme, &par_instance, &par_stats).ok());
+
+  EXPECT_TRUE(graph::IsIsomorphic(serial_instance, par_instance))
+      << "serial:\n"
+      << serial_instance.Fingerprint() << "\nparallel:\n"
+      << par_instance.Fingerprint();
+  EXPECT_TRUE(par_scheme == serial_scheme);
+  ExpectSameApplyStats(serial_stats, par_stats);
+  // The Figure 18 narrative: three Same-Info groups.
+  EXPECT_EQ(par_instance.CountNodesWithLabel(Sym("Same-Info")), 3u);
+}
+
+class ParallelThresholdTest : public ::testing::Test {
+ protected:
+  void SetUp() override { scheme_ = hypermedia::BuildScheme().ValueOrDie(); }
+
+  /// A two-node links-to pattern (the matcher-scaling workload shape).
+  Pattern LinkPattern() {
+    GraphBuilder b(scheme_);
+    NodeId x = b.Object("Info");
+    NodeId y = b.Object("Info");
+    b.Edge(x, "links-to", y);
+    return b.BuildOrDie();
+  }
+
+  Scheme scheme_;
+};
+
+TEST_F(ParallelThresholdTest, SmallInputsStaySerial) {
+  // 16 depth-0 candidates < kDefaultParallelThreshold (64): even with
+  // 8 worker threads requested, the engine must fall back to the serial
+  // path (workers_used == 1) — partitioning overhead dominates tiny
+  // inputs.
+  Instance g =
+      gen::RandomInfoGraph(scheme_, 16, 32, /*seed=*/7).ValueOrDie();
+  Pattern p = LinkPattern();
+
+  MatchStats stats;
+  MatchOptions options;
+  options.stats = &stats;
+  options.num_threads = 8;
+  auto serial_sized = Matcher(p, g, options).FindAll();
+  EXPECT_EQ(stats.workers_used, 1u);
+
+  // Forcing the threshold to 0 engages the pool on the same input.
+  MatchStats forced_stats;
+  options.stats = &forced_stats;
+  options.parallel_threshold = 0;
+  auto forced = Matcher(p, g, options).FindAll();
+  EXPECT_EQ(forced_stats.workers_used, 8u);
+  EXPECT_EQ(forced, serial_sized);
+}
+
+TEST_F(ParallelThresholdTest, DefaultThresholdEngagesOnLargeInputs) {
+  // 512 depth-0 candidates ≥ 64: the default threshold lets 4 workers
+  // engage, and the result still equals the serial FindMatchings.
+  Instance g =
+      gen::RandomInfoGraph(scheme_, 512, 1024, /*seed=*/9).ValueOrDie();
+  Pattern p = LinkPattern();
+
+  MatchStats stats;
+  MatchOptions options;
+  options.stats = &stats;
+  options.num_threads = 4;
+  auto par = Matcher(p, g, options).FindAll();
+  EXPECT_EQ(stats.workers_used, 4u);
+  EXPECT_EQ(par, FindMatchings(p, g));
+}
+
+TEST_F(ParallelThresholdTest, CountAgreesWithMaterializeUnderParallelism) {
+  std::mt19937 rng(123);
+  for (int round = 0; round < 8; ++round) {
+    const size_t n = 8 + rng() % 16;
+    Instance g = gen::RandomInfoGraph(scheme_, n, 2 * n, /*seed=*/rng(),
+                                      /*allow_self_loops=*/true)
+                     .ValueOrDie();
+    Pattern p =
+        gen::RandomLinkPattern(scheme_, 2 + rng() % 3, 1 + rng() % 3,
+                               /*seed=*/rng(), /*allow_self_loops=*/true)
+            .ValueOrDie();
+    MatchOptions options;
+    options.num_threads = 4;
+    options.parallel_threshold = 0;
+    Matcher matcher(p, g, options);
+    EXPECT_EQ(matcher.Count(), matcher.FindAll().size()) << "round=" << round;
+    EXPECT_EQ(matcher.FindAll(), FindMatchings(p, g)) << "round=" << round;
+  }
+}
+
+TEST(ParallelRuleEngineTest, FixpointMatchesSerialEngine) {
+  // The transitive-closure rule set run to fixpoint by a serial and a
+  // parallel engine from the same start state: same rounds, same
+  // additions, same final graph (the engines even agree on node ids —
+  // isomorphism is the weaker semantic contract we assert).
+  auto build_engine = [](const Scheme& scheme, rules::RuleEngine* engine) {
+    GraphBuilder b(scheme);
+    NodeId x = b.Object("Info");
+    NodeId y = b.Object("Info");
+    b.Edge(x, "links-to", y);
+    rules::Rule seed;
+    seed.name = "seed";
+    seed.condition.full = b.BuildOrDie();
+    seed.condition.positive_nodes = {x, y};
+    seed.edges = {ops::EdgeSpec{x, Sym("reach"), y, /*functional=*/false}};
+    engine->AddRule(std::move(seed)).OrDie();
+
+    Scheme ext = scheme;
+    ext.EnsureMultivaluedEdgeLabel(Sym("reach")).OrDie();
+    ext.EnsureTriple(Sym("Info"), Sym("reach"), Sym("Info")).OrDie();
+    GraphBuilder sb(ext);
+    NodeId sx = sb.Object("Info");
+    NodeId sy = sb.Object("Info");
+    NodeId sz = sb.Object("Info");
+    sb.Edge(sx, "reach", sy).Edge(sy, "links-to", sz);
+    rules::Rule step;
+    step.name = "step";
+    step.condition.full = sb.BuildOrDie();
+    step.condition.positive_nodes = {sx, sy, sz};
+    step.edges = {ops::EdgeSpec{sx, Sym("reach"), sz, /*functional=*/false}};
+    engine->AddRule(std::move(step)).OrDie();
+  };
+
+  Scheme base = hypermedia::BuildScheme().ValueOrDie();
+  Instance start =
+      gen::RandomInfoGraph(base, 24, 48, /*seed=*/17).ValueOrDie();
+
+  Scheme serial_scheme = base;
+  Instance serial_g = start;
+  rules::RuleEngine serial_engine;
+  build_engine(base, &serial_engine);
+  auto serial_report =
+      serial_engine.Run(&serial_scheme, &serial_g).ValueOrDie();
+
+  Scheme par_scheme = base;
+  Instance par_g = start;
+  rules::RuleEngine par_engine;
+  build_engine(base, &par_engine);
+  par_engine.set_num_threads(4);
+  par_engine.set_parallel_threshold(0);
+  auto par_report = par_engine.Run(&par_scheme, &par_g).ValueOrDie();
+
+  EXPECT_EQ(par_report.rounds, serial_report.rounds);
+  EXPECT_EQ(par_report.nodes_added, serial_report.nodes_added);
+  EXPECT_EQ(par_report.edges_added, serial_report.edges_added);
+  EXPECT_EQ(par_report.match.matchings, serial_report.match.matchings);
+  EXPECT_EQ(serial_report.workers_used, 1u);
+  EXPECT_GE(par_report.workers_used, 2u);
+  EXPECT_LE(par_report.workers_used, 4u);
+  EXPECT_TRUE(graph::IsIsomorphic(serial_g, par_g));
+  EXPECT_TRUE(par_scheme == serial_scheme);
+}
+
+TEST(ThreadPoolTest, ParallelForVisitsEveryItemExactlyOnce) {
+  common::ThreadPool pool(4);
+  EXPECT_EQ(pool.num_workers(), 4u);
+  std::vector<int> visits(1000, 0);
+  pool.ParallelFor(visits.size(), [&](size_t worker, size_t item) {
+    ASSERT_LT(worker, 4u);
+    ++visits[item];  // Items are claimed exclusively: no two workers
+                     // share an index, so unsynchronized writes are safe.
+  });
+  for (size_t i = 0; i < visits.size(); ++i) {
+    EXPECT_EQ(visits[i], 1) << "item " << i;
+  }
+  // The pool is reusable: a second job on the same pool.
+  std::vector<int> again(17, 0);
+  pool.ParallelFor(again.size(), [&](size_t, size_t item) { ++again[item]; });
+  for (size_t i = 0; i < again.size(); ++i) EXPECT_EQ(again[i], 1);
+  pool.ParallelFor(0, [&](size_t, size_t) { FAIL(); });  // Empty job: no-op.
+}
+
+}  // namespace
+}  // namespace good::pattern
