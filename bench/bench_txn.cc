@@ -1,0 +1,178 @@
+/// \file bench_txn.cc
+/// \brief Cost model of transactional execution: undo-journal recording
+/// overhead on mutation churn, rollback throughput, transaction-scope
+/// (scheme snapshot + journal attach) overhead, the price of a failed
+/// method call, and WAL append retries.
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "graph/undo_journal.h"
+#include "hypermedia/methods.h"
+#include "method/method.h"
+#include "ops/transaction.h"
+#include "program/program.h"
+#include "storage/database.h"
+#include "storage/fault_env.h"
+#include "storage/file_env.h"
+
+namespace good::bench {
+namespace {
+
+using graph::Instance;
+using graph::NodeId;
+using schema::Scheme;
+
+constexpr size_t kNodes = 1000;
+constexpr size_t kEdges = 2000;
+
+/// Builds a pseudo-random Info graph of kNodes/kEdges into `out`,
+/// optionally recording every mutation into an attached journal.
+/// Returns the number of micro-mutations performed.
+size_t BuildChurn(const Scheme& scheme, Instance* out,
+                  graph::UndoJournal* journal) {
+  if (journal != nullptr) out->AttachJournal(journal);
+  const auto& l = hypermedia::Labels::Get();
+  std::vector<NodeId> nodes;
+  nodes.reserve(kNodes);
+  for (size_t i = 0; i < kNodes; ++i) {
+    nodes.push_back(out->AddObjectNode(scheme, l.info).ValueOrDie());
+  }
+  size_t mutations = kNodes;
+  uint64_t s = 0x9e3779b97f4a7c15ULL;
+  for (size_t i = 0; i < kEdges; ++i) {
+    s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+    NodeId a = nodes[(s >> 33) % kNodes];
+    s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+    NodeId b = nodes[(s >> 33) % kNodes];
+    if (a == b || out->HasEdge(a, l.links_to, b)) continue;
+    out->AddEdge(scheme, a, l.links_to, b).OrDie();
+    ++mutations;
+  }
+  return mutations;
+}
+
+/// Mutation churn with the journal detached (range 0) or attached
+/// (range 1): the delta is the pure recording overhead.
+void BM_MutationChurn(benchmark::State& state) {
+  Scheme scheme = HyperMediaScheme();
+  const bool journaled = state.range(0) != 0;
+  size_t mutations = 0;
+  for (auto _ : state) {
+    graph::UndoJournal journal;
+    Instance g;
+    mutations = BuildChurn(scheme, &g, journaled ? &journal : nullptr);
+    if (journaled) g.DetachJournal();
+    benchmark::DoNotOptimize(g);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(mutations));
+}
+BENCHMARK(BM_MutationChurn)->Arg(0)->Arg(1)->ArgName("journal");
+
+/// Journaled churn plus a full rollback: items/sec counts mutations
+/// recorded *and* undone, so compare against BM_MutationChurn/1 for
+/// the reverse-replay share.
+void BM_RollbackChurn(benchmark::State& state) {
+  Scheme scheme = HyperMediaScheme();
+  size_t mutations = 0;
+  for (auto _ : state) {
+    graph::UndoJournal journal;
+    Instance g;
+    mutations = BuildChurn(scheme, &g, &journal);
+    journal.Rollback(&g);
+    g.DetachJournal();
+    benchmark::DoNotOptimize(g);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(mutations));
+}
+BENCHMARK(BM_RollbackChurn);
+
+/// The fixed cost of one transaction scope on the paper scheme: scheme
+/// snapshot + journal attach + commit (no mutations inside).
+void BM_TransactionScope(benchmark::State& state) {
+  Scheme scheme = HyperMediaScheme();
+  Instance instance =
+      hypermedia::BuildInstance(scheme).ValueOrDie().instance;
+  for (auto _ : state) {
+    ops::Transaction txn(&scheme, &instance);
+    txn.Commit();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TransactionScope);
+
+/// A method call that dies mid-body on an exhausted budget: each
+/// iteration pays for the partial execution plus the rollback that
+/// restores the instance (which is what makes steady state possible).
+void BM_FailedMethodCallRollback(benchmark::State& state) {
+  Scheme scheme = HyperMediaScheme();
+  Instance instance =
+      hypermedia::BuildInstance(scheme).ValueOrDie().instance;
+  method::MethodRegistry registry;
+  registry.Register(hypermedia::MakeUpdateMethod(scheme).ValueOrDie())
+      .OrDie();
+  auto call = hypermedia::MakeUpdateCall(scheme, "Music History",
+                                         Date{1990, 1, 16})
+                  .ValueOrDie();
+  method::ExecOptions options;
+  options.max_steps = 2;  // dies mid-body, after real mutations
+  method::Executor executor(&registry, options);
+  for (auto _ : state) {
+    Status s = executor.Execute(call, &scheme, &instance);
+    if (!s.IsResourceExhausted()) std::abort();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FailedMethodCallRollback);
+
+/// Durable Apply with zero (range 0) or one (range 1) injected
+/// transient WAL append fault per operation: the delta is the cost of
+/// undoing the failed append and retrying (backoff disabled).
+void BM_WalRetry(benchmark::State& state) {
+  std::string tmpl = "/tmp/good_bench_txn_XXXXXX";
+  if (::mkdtemp(tmpl.data()) == nullptr) std::abort();
+  const std::string dir = tmpl;
+  const bool faulty = state.range(0) != 0;
+
+  storage::FaultInjectionEnv env;
+  storage::Options options;
+  options.env = &env;
+  options.sync_every_append = false;  // isolate the append/retry path
+  options.wal_retry_backoff = std::chrono::microseconds{0};
+  auto instance = hypermedia::BuildInstance(HyperMediaScheme())
+                      .ValueOrDie()
+                      .instance;
+  storage::Database db =
+      storage::Database::Open(
+          dir, program::Database{HyperMediaScheme(), std::move(instance)},
+          options)
+          .ValueOrDie();
+  method::Operation op(
+      hypermedia::Fig12NodeAddition(db.scheme()).ValueOrDie());
+  for (auto _ : state) {
+    if (faulty) {
+      storage::FaultPlan plan;
+      plan.fail_append_at = 1;  // SetPlan resets counters: next append
+      env.SetPlan(plan);
+    }
+    db.Apply(op).OrDie();
+  }
+  state.SetItemsProcessed(state.iterations());
+  db.Close().OrDie();
+  auto* fs = storage::FileEnv::Default();
+  (void)fs->RemoveFile(storage::Database::WalPath(dir));
+  (void)fs->RemoveFile(storage::Database::SnapshotPath(dir));
+  ::rmdir(dir.c_str());
+}
+BENCHMARK(BM_WalRetry)->Arg(0)->Arg(1)->ArgName("fault");
+
+}  // namespace
+}  // namespace good::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,109 @@
+/// \file deadline.h
+/// \brief Wall-clock deadlines and cooperative cancellation.
+///
+/// Step budgets (method::ExecOptions::max_steps) bound the *number* of
+/// operations a program may execute, but a single operation's pattern
+/// enumeration can be super-polynomial in the instance size — a budget
+/// of one step does not bound wall-clock time. A Deadline carries an
+/// optional steady-clock expiry plus an optional pointer to an external
+/// CancelToken; long-running engines (the pattern matcher, the
+/// executor, the rule engine) poll Check() at coarse intervals — per
+/// candidate chunk, per step, per round — so a runaway enumeration is
+/// cut off cleanly with StatusCode::kDeadlineExceeded or kCancelled.
+/// The checks never alter the computation when they pass, so results on
+/// the success path are bit-identical with and without a deadline
+/// (preserving the parallel matcher's determinism guarantee).
+///
+/// Deadline is a small value type; it can be copied freely and shared
+/// by const pointer across worker threads. CancelToken is a single
+/// atomic flag: Cancel() may be called from any thread, any number of
+/// times, and is observed by every Deadline pointing at the token.
+
+#ifndef GOOD_COMMON_DEADLINE_H_
+#define GOOD_COMMON_DEADLINE_H_
+
+#include <atomic>
+#include <chrono>
+
+#include "common/status.h"
+
+namespace good::common {
+
+/// \brief A thread-safe cancellation flag, set once from outside and
+/// observed cooperatively by running engines.
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Requests cancellation. Safe from any thread; idempotent.
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// \brief An execution cutoff: wall-clock expiry and/or external
+/// cancellation. Default-constructed deadlines are unarmed and Check()
+/// is a no-op returning OK.
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Unarmed: never expires, observes no token.
+  Deadline() = default;
+
+  /// Expires `budget` from now.
+  static Deadline After(Clock::duration budget) {
+    Deadline d;
+    d.has_expiry_ = true;
+    d.expiry_ = Clock::now() + budget;
+    return d;
+  }
+
+  /// Expires at `when`.
+  static Deadline At(Clock::time_point when) {
+    Deadline d;
+    d.has_expiry_ = true;
+    d.expiry_ = when;
+    return d;
+  }
+
+  /// Observes `token` (not owned; must outlive the deadline). May be
+  /// combined with a wall-clock expiry.
+  void ObserveCancellation(const CancelToken* token) { token_ = token; }
+
+  /// True iff Check() can ever fail — engines use this to skip the
+  /// polling machinery entirely when no cutoff is configured.
+  bool armed() const { return has_expiry_ || token_ != nullptr; }
+
+  bool expired() const { return has_expiry_ && Clock::now() >= expiry_; }
+  bool cancelled() const { return token_ != nullptr && token_->cancelled(); }
+
+  /// OK, or kCancelled / kDeadlineExceeded. Cancellation is checked
+  /// first (an atomic load) so a cancelled long-running enumeration
+  /// reports the caller's intent even when the clock has also run out.
+  Status Check() const {
+    if (cancelled()) {
+      return Status::Cancelled("operation cancelled via CancelToken");
+    }
+    if (expired()) {
+      return Status::DeadlineExceeded("operation deadline expired");
+    }
+    return Status::OK();
+  }
+
+ private:
+  bool has_expiry_ = false;
+  Clock::time_point expiry_{};
+  const CancelToken* token_ = nullptr;
+};
+
+}  // namespace good::common
+
+#endif  // GOOD_COMMON_DEADLINE_H_

@@ -28,6 +28,10 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Internal";
     case StatusCode::kDataLoss:
       return "DataLoss";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kCancelled:
+      return "Cancelled";
   }
   return "Unknown";
 }

@@ -45,6 +45,18 @@ enum class StatusCode : int {
   /// Unlike kInternal this signals damage to durable state, not a code
   /// bug; callers should surface it loudly rather than retry.
   kDataLoss = 9,
+  /// A wall-clock deadline expired before the operation completed.
+  /// Methods make GOOD Turing-complete (Section 4.3), and pattern
+  /// enumeration alone can be super-polynomial, so production callers
+  /// bound execution by time as well as by step budget
+  /// (common/deadline.h). The instance is rolled back, not left
+  /// half-mutated.
+  kDeadlineExceeded = 10,
+  /// The operation was cancelled cooperatively via a CancelToken
+  /// observed from another thread. Like kDeadlineExceeded this is a
+  /// clean cutoff: transactional callers roll back to the pre-call
+  /// state.
+  kCancelled = 11,
 };
 
 /// \brief Returns the canonical name of a status code ("OK",
@@ -96,6 +108,12 @@ class Status {
   static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   bool ok() const { return rep_ == nullptr; }
   StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
@@ -119,6 +137,10 @@ class Status {
   bool IsUnimplemented() const { return code() == StatusCode::kUnimplemented; }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
   bool IsDataLoss() const { return code() == StatusCode::kDataLoss; }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
+  }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
 
   /// Returns "OK" or "<CodeName>: <message>".
   std::string ToString() const;

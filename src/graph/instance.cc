@@ -3,13 +3,60 @@
 #include <algorithm>
 #include <sstream>
 
+#include "graph/undo_journal.h"
+
 namespace good::graph {
+
+Instance::Instance(const Instance& other)
+    : nodes_(other.nodes_),
+      num_alive_(other.num_alive_),
+      num_edges_(other.num_edges_),
+      label_index_(other.label_index_),
+      printable_index_(other.printable_index_),
+      edge_set_(other.edge_set_) {}
+
+Instance& Instance::operator=(const Instance& other) {
+  if (this == &other) return *this;
+  nodes_ = other.nodes_;
+  num_alive_ = other.num_alive_;
+  num_edges_ = other.num_edges_;
+  label_index_ = other.label_index_;
+  printable_index_ = other.printable_index_;
+  edge_set_ = other.edge_set_;
+  journal_ = nullptr;
+  return *this;
+}
+
+Instance::Instance(Instance&& other) noexcept
+    : nodes_(std::move(other.nodes_)),
+      num_alive_(other.num_alive_),
+      num_edges_(other.num_edges_),
+      label_index_(std::move(other.label_index_)),
+      printable_index_(std::move(other.printable_index_)),
+      edge_set_(std::move(other.edge_set_)),
+      journal_(other.journal_) {
+  other.journal_ = nullptr;
+}
+
+Instance& Instance::operator=(Instance&& other) noexcept {
+  if (this == &other) return *this;
+  nodes_ = std::move(other.nodes_);
+  num_alive_ = other.num_alive_;
+  num_edges_ = other.num_edges_;
+  label_index_ = std::move(other.label_index_);
+  printable_index_ = std::move(other.printable_index_);
+  edge_set_ = std::move(other.edge_set_);
+  journal_ = other.journal_;
+  other.journal_ = nullptr;
+  return *this;
+}
 
 NodeId Instance::NewNode(Symbol label, std::optional<Value> print) {
   NodeId id{static_cast<uint32_t>(nodes_.size())};
   nodes_.push_back(NodeRep{label, std::move(print), true, {}, {}, {}, {}});
   ++num_alive_;
   label_index_[label].insert(id.id);
+  if (journal_ != nullptr) journal_->RecordNodeAdded(id);
   return id;
 }
 
@@ -62,6 +109,32 @@ Status Instance::RemoveNode(NodeId node) {
   if (!HasNode(node)) {
     return Status::NotFound("node #" + std::to_string(node.id) +
                             " does not exist");
+  }
+  if (journal_ != nullptr) {
+    // Journaled path: detach each incident edge through RemoveEdge so
+    // its exact list positions are recorded, then kill the node. The
+    // edge lists are copied because RemoveEdge mutates them; a
+    // self-loop appears in both copies, and its second removal is an
+    // idempotent no-op. The rep keeps its label and print value (the
+    // kill-undo revives them in place) and its emptied per-label
+    // entries — both invisible to every query.
+    const std::vector<std::pair<Symbol, NodeId>> out = nodes_[node.id].out;
+    const std::vector<std::pair<NodeId, Symbol>> in = nodes_[node.id].in;
+    for (const auto& [label, target] : out) {
+      GOOD_RETURN_NOT_OK(RemoveEdge(node, label, target));
+    }
+    for (const auto& [source, label] : in) {
+      GOOD_RETURN_NOT_OK(RemoveEdge(source, label, node));
+    }
+    NodeRep& rep = nodes_[node.id];
+    rep.alive = false;
+    --num_alive_;
+    label_index_[rep.label].erase(node.id);
+    if (rep.print.has_value()) {
+      printable_index_[rep.label].erase(*rep.print);
+    }
+    journal_->RecordNodeKilled(node);
+    return Status::OK();
   }
   NodeRep& rep = nodes_[node.id];
   // Detach incident edges from the neighbours' mirror lists. A self-loop
@@ -124,27 +197,52 @@ Status Instance::AddEdge(const schema::Scheme& scheme, NodeId source,
           " would have unequal labels");
     }
   }
+  const bool fresh_out_entry =
+      journal_ != nullptr &&
+      nodes_[source.id].out_by_label.Find(label) == nullptr;
+  const bool fresh_in_entry =
+      journal_ != nullptr &&
+      nodes_[target.id].in_by_label.Find(label) == nullptr;
   nodes_[source.id].out.emplace_back(label, target);
   nodes_[target.id].in.emplace_back(source, label);
   nodes_[source.id].out_by_label[label].push_back(target);
   nodes_[target.id].in_by_label[label].push_back(source);
   edge_set_.insert(Edge{source, label, target});
   ++num_edges_;
+  if (journal_ != nullptr) {
+    journal_->RecordEdgeAdded(source, label, target, fresh_out_entry,
+                              fresh_in_entry);
+  }
   return Status::OK();
 }
 
 Status Instance::RemoveEdge(NodeId source, Symbol label, NodeId target) {
   if (!HasNode(source) || !HasNode(target)) return Status::OK();
   if (edge_set_.erase(Edge{source, label, target}) == 0) return Status::OK();
+  // Each erase records the position it vacates; the journal's undo
+  // re-inserts there, so list orderings survive a rollback exactly.
+  // (Edges are sets, so every find hits the unique occurrence.)
   auto& out = nodes_[source.id].out;
-  auto it = std::find(out.begin(), out.end(), std::make_pair(label, target));
-  out.erase(it);
+  auto oit = std::find(out.begin(), out.end(), std::make_pair(label, target));
+  const auto out_pos = static_cast<uint32_t>(oit - out.begin());
+  out.erase(oit);
   auto& in = nodes_[target.id].in;
-  in.erase(std::remove(in.begin(), in.end(), std::make_pair(source, label)),
-           in.end());
-  EraseFirst(&nodes_[source.id].out_by_label[label], target);
-  EraseFirst(&nodes_[target.id].in_by_label[label], source);
+  auto iit = std::find(in.begin(), in.end(), std::make_pair(source, label));
+  const auto in_pos = static_cast<uint32_t>(iit - in.begin());
+  in.erase(iit);
+  auto& out_list = nodes_[source.id].out_by_label[label];
+  auto olit = std::find(out_list.begin(), out_list.end(), target);
+  const auto out_label_pos = static_cast<uint32_t>(olit - out_list.begin());
+  out_list.erase(olit);
+  auto& in_list = nodes_[target.id].in_by_label[label];
+  auto ilit = std::find(in_list.begin(), in_list.end(), source);
+  const auto in_label_pos = static_cast<uint32_t>(ilit - in_list.begin());
+  in_list.erase(ilit);
   --num_edges_;
+  if (journal_ != nullptr) {
+    journal_->RecordEdgeRemoved(source, label, target, out_pos, in_pos,
+                                out_label_pos, in_label_pos);
+  }
   return Status::OK();
 }
 

@@ -35,6 +35,8 @@
 
 namespace good::graph {
 
+class UndoJournal;
+
 /// \brief Opaque object identity. The paper's objects "exist
 /// independently of their properties"; a NodeId is that identity.
 struct NodeId {
@@ -77,6 +79,26 @@ struct EdgeHash {
 class Instance {
  public:
   Instance() = default;
+
+  /// Copies snapshot the graph but never the journal attachment: a
+  /// journal records mutations of one specific instance, so a copy
+  /// taken mid-transaction starts un-journaled.
+  Instance(const Instance& other);
+  Instance& operator=(const Instance& other);
+  /// Moves transfer the journal attachment (the recorded state now
+  /// lives in the destination) and detach the source.
+  Instance(Instance&& other) noexcept;
+  Instance& operator=(Instance&& other) noexcept;
+
+  // ---- Undo journaling -----------------------------------------------------
+
+  /// Attaches `journal` (not owned): every subsequent mutation records
+  /// its inverse there until DetachJournal(). At most one journal can
+  /// be attached; nested transaction scopes share it via savepoint
+  /// marks (see ops/transaction.h).
+  void AttachJournal(UndoJournal* journal) { journal_ = journal; }
+  void DetachJournal() { journal_ = nullptr; }
+  UndoJournal* journal() const { return journal_; }
 
   // ---- Node mutation -------------------------------------------------------
 
@@ -198,6 +220,8 @@ class Instance {
   std::string ToString() const;
 
  private:
+  friend class UndoJournal;
+
   /// Per-label adjacency stored flat: a node touches few distinct edge
   /// labels, so a linear scan over a contiguous array beats a per-node
   /// hash map on the matcher hot path and costs far less memory.
@@ -243,6 +267,8 @@ class Instance {
   std::unordered_map<Symbol, std::map<Value, uint32_t>> printable_index_;
   // Every alive edge, for O(1) HasEdge.
   std::unordered_set<Edge, EdgeHash> edge_set_;
+  // Inverse-mutation recorder; nullptr outside transactions. Not owned.
+  UndoJournal* journal_ = nullptr;
 };
 
 }  // namespace good::graph

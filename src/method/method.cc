@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "graph/restrict.h"
+#include "ops/transaction.h"
 
 namespace good::method {
 
@@ -160,6 +161,9 @@ Result<Operation> AugmentOperation(const ParameterizedOp& po, Symbol k_label,
 }  // namespace
 
 Status Executor::ChargeStep() {
+  if (options_.deadline.armed()) {
+    GOOD_RETURN_NOT_OK(options_.deadline.Check());
+  }
   if (++steps_ > options_.max_steps) {
     return Status::ResourceExhausted(
         "operation budget exhausted after " + std::to_string(steps_ - 1) +
@@ -181,14 +185,19 @@ Symbol Executor::FreshCallLabel(const Scheme& scheme,
 Status Executor::Execute(const Operation& op, Scheme* scheme,
                          Instance* instance, ops::ApplyStats* stats) {
   steps_ = 0;
-  return ExecuteAt(op, scheme, instance, stats, 0);
+  ops::Transaction txn(scheme, instance);
+  GOOD_RETURN_NOT_OK(ExecuteAt(op, scheme, instance, stats, 0));
+  txn.Commit();
+  return Status::OK();
 }
 
 Status Executor::ExecuteAll(const std::vector<Operation>& ops, Scheme* scheme,
                             Instance* instance, ops::ApplyStats* stats) {
   steps_ = 0;
   for (const Operation& op : ops) {
+    ops::Transaction txn(scheme, instance);
     GOOD_RETURN_NOT_OK(ExecuteAt(op, scheme, instance, stats, 0));
+    txn.Commit();
   }
   return Status::OK();
 }
@@ -203,30 +212,34 @@ Status Executor::ExecuteAt(const Operation& op, Scheme* scheme,
     Instance* instance;
     ops::ApplyStats* stats;
     size_t depth;
+    const common::Deadline* deadline;
 
     Status operator()(const ops::NodeAddition& o) {
-      return o.Apply(scheme, instance, stats);
+      return o.Apply(scheme, instance, stats, deadline);
     }
     Status operator()(const ops::EdgeAddition& o) {
-      return o.Apply(scheme, instance, stats);
+      return o.Apply(scheme, instance, stats, deadline);
     }
     Status operator()(const ops::NodeDeletion& o) {
-      return o.Apply(scheme, instance, stats);
+      return o.Apply(scheme, instance, stats, deadline);
     }
     Status operator()(const ops::EdgeDeletion& o) {
-      return o.Apply(scheme, instance, stats);
+      return o.Apply(scheme, instance, stats, deadline);
     }
     Status operator()(const ops::Abstraction& o) {
-      return o.Apply(scheme, instance, stats);
+      return o.Apply(scheme, instance, stats, deadline);
     }
     Status operator()(const ops::ComputedEdgeAddition& o) {
-      return o.Apply(scheme, instance, stats);
+      return o.Apply(scheme, instance, stats, deadline);
     }
     Status operator()(const MethodCallOp& o) {
       return self->ExecuteCall(o, scheme, instance, stats, depth);
     }
   };
-  return std::visit(Visitor{this, scheme, instance, stats, depth}, op);
+  const common::Deadline* deadline =
+      options_.deadline.armed() ? &options_.deadline : nullptr;
+  return std::visit(Visitor{this, scheme, instance, stats, depth, deadline},
+                    op);
 }
 
 Status Executor::ExecuteCall(const MethodCallOp& call, Scheme* scheme,
@@ -285,8 +298,10 @@ Status Executor::ExecuteCall(const MethodCallOp& call, Scheme* scheme,
   bold.emplace_back(ReceiverEdgeLabel(), call.receiver);
   ops::NodeAddition binder(call.pattern, k_label, std::move(bold));
   if (call.filter) binder.set_filter(call.filter);
+  const common::Deadline* deadline =
+      options_.deadline.armed() ? &options_.deadline : nullptr;
   ops::ApplyStats binder_stats;
-  GOOD_RETURN_NOT_OK(binder.Apply(scheme, instance, &binder_stats));
+  GOOD_RETURN_NOT_OK(binder.Apply(scheme, instance, &binder_stats, deadline));
   if (stats != nullptr) stats->matchings += binder_stats.matchings;
 
   // -- Step 2: execute the body once, set-oriented over all K-nodes.
@@ -308,7 +323,7 @@ Status Executor::ExecuteCall(const MethodCallOp& call, Scheme* scheme,
     GOOD_ASSIGN_OR_RETURN(NodeId k_node,
                           k_pattern.AddObjectNode(*scheme, k_label));
     ops::NodeDeletion cleanup(std::move(k_pattern), k_node);
-    GOOD_RETURN_NOT_OK(cleanup.Apply(scheme, instance, nullptr));
+    GOOD_RETURN_NOT_OK(cleanup.Apply(scheme, instance, nullptr, deadline));
   }
 
   // -- Step 4: result scheme is S ∪ C_M; restrict the instance to it,

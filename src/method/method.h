@@ -155,6 +155,12 @@ struct ExecOptions {
   size_t max_steps = 1'000'000;
   /// Maximum method-call nesting depth.
   size_t max_depth = 10'000;
+  /// Execution cutoff: a wall-clock expiry and/or cancellation token.
+  /// Checked before every charged step and threaded into each
+  /// operation's pattern matching, so a stuck program surfaces
+  /// kDeadlineExceeded / kCancelled promptly. Defaults to unarmed
+  /// (never fires).
+  common::Deadline deadline;
 };
 
 /// \brief Executes operations — including method calls — against a
@@ -166,11 +172,17 @@ class Executor {
 
   /// Executes one operation. Basic operations dispatch to their Apply;
   /// method calls follow the Section 3.6 semantics described above.
+  /// All-or-nothing: on any failure — a mid-body error, an exhausted
+  /// budget, a deadline interrupt — the scheme and instance are rolled
+  /// back to their pre-call state.
   Status Execute(const Operation& op, schema::Scheme* scheme,
                  graph::Instance* instance,
                  ops::ApplyStats* stats = nullptr);
 
-  /// Executes a sequence of operations in order.
+  /// Executes a sequence of operations in order. Each operation is its
+  /// own transaction (matching the storage layer's one-WAL-record-per-
+  /// operation semantics): a failure rolls back the failing operation
+  /// whole, while earlier operations of the sequence remain applied.
   Status ExecuteAll(const std::vector<Operation>& ops, schema::Scheme* scheme,
                     graph::Instance* instance,
                     ops::ApplyStats* stats = nullptr);

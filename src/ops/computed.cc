@@ -3,6 +3,8 @@
 #include <map>
 #include <set>
 
+#include "ops/transaction.h"
+
 namespace good::ops {
 
 using graph::Instance;
@@ -11,7 +13,9 @@ using pattern::Matching;
 using schema::Scheme;
 
 Status ComputedEdgeAddition::Apply(Scheme* scheme, Instance* instance,
-                                   ApplyStats* stats) const {
+                                   ApplyStats* stats,
+                                   const common::Deadline* deadline) const {
+  if (deadline != nullptr) GOOD_RETURN_NOT_OK(deadline->Check());
   if (!pattern_.HasNode(source_)) {
     return Status::InvalidArgument(
         "computed edge source is not a node of the source pattern");
@@ -29,7 +33,9 @@ Status ComputedEdgeAddition::Apply(Scheme* scheme, Instance* instance,
         "' exists with a non-functional kind");
   }
 
-  std::vector<Matching> matchings = Matchings(*instance);
+  Transaction txn(scheme, instance);
+  GOOD_ASSIGN_OR_RETURN(std::vector<Matching> matchings,
+                        Matchings(*instance, nullptr, deadline));
 
   // -- Minimal scheme extension.
   GOOD_RETURN_NOT_OK(
@@ -92,6 +98,7 @@ Status ComputedEdgeAddition::Apply(Scheme* scheme, Instance* instance,
     }
   }
   if (stats != nullptr) *stats += local;
+  txn.Commit();
   return Status::OK();
 }
 

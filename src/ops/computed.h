@@ -48,8 +48,11 @@ class ComputedEdgeAddition : public PatternOperation {
         output_label_(output_label),
         output_domain_(output_domain) {}
 
+  /// All-or-nothing like the basic operations: any failure (including a
+  /// deadline interrupt) rolls the scheme and instance back whole.
   Status Apply(schema::Scheme* scheme, graph::Instance* instance,
-               ApplyStats* stats = nullptr) const;
+               ApplyStats* stats = nullptr,
+               const common::Deadline* deadline = nullptr) const;
 
   const std::vector<NodeId>& inputs() const { return inputs_; }
   const ExternalFn& fn() const { return fn_; }

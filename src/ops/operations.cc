@@ -8,6 +8,7 @@
 
 #include "common/hash.h"
 #include "common/thread_pool.h"
+#include "ops/transaction.h"
 
 namespace good::ops {
 
@@ -98,14 +99,17 @@ Status MaterializePrintables(const Pattern& pattern,
 
 }  // namespace
 
-std::vector<Matching> PatternOperation::Matchings(
-    const Instance& instance, pattern::MatchStats* stats) const {
+Result<std::vector<Matching>> PatternOperation::Matchings(
+    const Instance& instance, pattern::MatchStats* stats,
+    const common::Deadline* deadline) const {
   pattern::MatchOptions options;
   options.stats = stats;
   options.num_threads = num_threads_;
   options.parallel_threshold = parallel_threshold_;
-  std::vector<Matching> matchings =
-      pattern::Matcher(pattern_, instance, options).FindAll();
+  options.deadline = deadline;
+  GOOD_ASSIGN_OR_RETURN(
+      std::vector<Matching> matchings,
+      pattern::Matcher(pattern_, instance, options).FindAllChecked());
   if (filter_) {
     std::erase_if(matchings,
                   [&](const Matching& m) { return !filter_(m, instance); });
@@ -118,7 +122,9 @@ std::vector<Matching> PatternOperation::Matchings(
 // ---------------------------------------------------------------------------
 
 Status NodeAddition::Apply(Scheme* scheme, Instance* instance,
-                           ApplyStats* stats) const {
+                           ApplyStats* stats,
+                           const common::Deadline* deadline) const {
+  if (deadline != nullptr) GOOD_RETURN_NOT_OK(deadline->Check());
   // -- Validation of the designator.
   if (scheme->HasLabel(new_label_) && !scheme->IsObjectLabel(new_label_)) {
     return Status::InvalidArgument(
@@ -143,10 +149,13 @@ Status NodeAddition::Apply(Scheme* scheme, Instance* instance,
   }
 
   // -- Matchings against the pre-state (with system-given printables
-  //    materialized).
+  //    materialized). From here on mutations occur, so the transaction
+  //    scope makes any failure roll the database back whole.
+  Transaction txn(scheme, instance);
   GOOD_RETURN_NOT_OK(MaterializePrintables(pattern_, *scheme, instance));
   ApplyStats local;
-  std::vector<Matching> matchings = Matchings(*instance, &local.match);
+  GOOD_ASSIGN_OR_RETURN(std::vector<Matching> matchings,
+                        Matchings(*instance, &local.match, deadline));
 
   // -- Minimal scheme extension.
   GOOD_RETURN_NOT_OK(scheme->EnsureObjectLabel(new_label_));
@@ -204,6 +213,7 @@ Status NodeAddition::Apply(Scheme* scheme, Instance* instance,
     by_targets.emplace(std::move(key), fresh);
   }
   if (stats != nullptr) *stats += local;
+  txn.Commit();
   return Status::OK();
 }
 
@@ -212,7 +222,9 @@ Status NodeAddition::Apply(Scheme* scheme, Instance* instance,
 // ---------------------------------------------------------------------------
 
 Status EdgeAddition::Apply(Scheme* scheme, Instance* instance,
-                           ApplyStats* stats) const {
+                           ApplyStats* stats,
+                           const common::Deadline* deadline) const {
+  if (deadline != nullptr) GOOD_RETURN_NOT_OK(deadline->Check());
   for (const EdgeSpec& spec : edges_) {
     GOOD_RETURN_NOT_OK(
         RequirePatternNode(pattern_, spec.source, "bold edge source"));
@@ -234,9 +246,11 @@ Status EdgeAddition::Apply(Scheme* scheme, Instance* instance,
     }
   }
 
+  Transaction txn(scheme, instance);
   GOOD_RETURN_NOT_OK(MaterializePrintables(pattern_, *scheme, instance));
   ApplyStats local;
-  std::vector<Matching> matchings = Matchings(*instance, &local.match);
+  GOOD_ASSIGN_OR_RETURN(std::vector<Matching> matchings,
+                        Matchings(*instance, &local.match, deadline));
 
   // -- Minimal scheme extension.
   for (const EdgeSpec& spec : edges_) {
@@ -300,6 +314,7 @@ Status EdgeAddition::Apply(Scheme* scheme, Instance* instance,
     ++local.edges_added;
   }
   if (stats != nullptr) *stats += local;
+  txn.Commit();
   return Status::OK();
 }
 
@@ -308,12 +323,17 @@ Status EdgeAddition::Apply(Scheme* scheme, Instance* instance,
 // ---------------------------------------------------------------------------
 
 Status NodeDeletion::Apply(Scheme* scheme, Instance* instance,
-                           ApplyStats* stats) const {
+                           ApplyStats* stats,
+                           const common::Deadline* deadline) const {
   (void)scheme;  // The scheme is unchanged by deletions.
+  if (deadline != nullptr) GOOD_RETURN_NOT_OK(deadline->Check());
   GOOD_RETURN_NOT_OK(RequirePatternNode(pattern_, target_, "deleted node"));
 
+  // Deletions never touch the scheme, so the scope skips its snapshot.
+  Transaction txn(nullptr, instance);
   ApplyStats local;
-  std::vector<Matching> matchings = Matchings(*instance, &local.match);
+  GOOD_ASSIGN_OR_RETURN(std::vector<Matching> matchings,
+                        Matchings(*instance, &local.match, deadline));
   std::vector<NodeId> images = ExtractPerMatching<NodeId>(
       matchings, num_threads_, parallel_threshold_,
       [&](const Matching& matching, std::vector<NodeId>* out) {
@@ -336,6 +356,7 @@ Status NodeDeletion::Apply(Scheme* scheme, Instance* instance,
     local.edges_deleted += incident;
   }
   if (stats != nullptr) *stats += local;
+  txn.Commit();
   return Status::OK();
 }
 
@@ -344,8 +365,10 @@ Status NodeDeletion::Apply(Scheme* scheme, Instance* instance,
 // ---------------------------------------------------------------------------
 
 Status EdgeDeletion::Apply(Scheme* scheme, Instance* instance,
-                           ApplyStats* stats) const {
+                           ApplyStats* stats,
+                           const common::Deadline* deadline) const {
   (void)scheme;
+  if (deadline != nullptr) GOOD_RETURN_NOT_OK(deadline->Check());
   for (const EdgeRef& ref : edges_) {
     GOOD_RETURN_NOT_OK(
         RequirePatternNode(pattern_, ref.source, "deleted edge source"));
@@ -360,8 +383,10 @@ Status EdgeDeletion::Apply(Scheme* scheme, Instance* instance,
     }
   }
 
+  Transaction txn(nullptr, instance);
   ApplyStats local;
-  std::vector<Matching> matchings = Matchings(*instance, &local.match);
+  GOOD_ASSIGN_OR_RETURN(std::vector<Matching> matchings,
+                        Matchings(*instance, &local.match, deadline));
   std::vector<graph::Edge> extracted = ExtractPerMatching<graph::Edge>(
       matchings, num_threads_, parallel_threshold_,
       [&](const Matching& matching, std::vector<graph::Edge>* out) {
@@ -379,6 +404,7 @@ Status EdgeDeletion::Apply(Scheme* scheme, Instance* instance,
     ++local.edges_deleted;
   }
   if (stats != nullptr) *stats += local;
+  txn.Commit();
   return Status::OK();
 }
 
@@ -387,7 +413,9 @@ Status EdgeDeletion::Apply(Scheme* scheme, Instance* instance,
 // ---------------------------------------------------------------------------
 
 Status Abstraction::Apply(Scheme* scheme, Instance* instance,
-                          ApplyStats* stats) const {
+                          ApplyStats* stats,
+                          const common::Deadline* deadline) const {
+  if (deadline != nullptr) GOOD_RETURN_NOT_OK(deadline->Check());
   GOOD_RETURN_NOT_OK(RequirePatternNode(pattern_, node_, "abstracted node"));
   if (scheme->HasLabel(set_label_) && !scheme->IsObjectLabel(set_label_)) {
     return Status::InvalidArgument("abstraction set label '" +
@@ -406,9 +434,11 @@ Status Abstraction::Apply(Scheme* scheme, Instance* instance,
         "' must be a multivalued edge label of the scheme");
   }
 
+  Transaction txn(scheme, instance);
   GOOD_RETURN_NOT_OK(MaterializePrintables(pattern_, *scheme, instance));
   ApplyStats local;
-  std::vector<Matching> matchings = Matchings(*instance, &local.match);
+  GOOD_ASSIGN_OR_RETURN(std::vector<Matching> matchings,
+                        Matchings(*instance, &local.match, deadline));
 
   // -- Minimal scheme extension.
   GOOD_RETURN_NOT_OK(scheme->EnsureObjectLabel(set_label_));
@@ -451,6 +481,7 @@ Status Abstraction::Apply(Scheme* scheme, Instance* instance,
     }
   }
   if (stats != nullptr) *stats += local;
+  txn.Commit();
   return Status::OK();
 }
 

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "graph/instance.h"
@@ -49,6 +50,10 @@ struct ApplyStats {
   size_t edges_added = 0;
   size_t nodes_deleted = 0;
   size_t edges_deleted = 0;
+  /// WAL append attempts that failed transiently and were retried by
+  /// storage::Database::Apply before the record landed. Zero outside
+  /// the storage layer.
+  size_t wal_retries = 0;
   /// Matcher search-effort counters for the operation's pattern
   /// evaluation (candidates scanned, feasibility rejections, backtracks,
   /// per-depth fanout).
@@ -60,6 +65,7 @@ struct ApplyStats {
     edges_added += other.edges_added;
     nodes_deleted += other.nodes_deleted;
     edges_deleted += other.edges_deleted;
+    wal_retries += other.wal_retries;
     match += other.match;
     return *this;
   }
@@ -97,10 +103,12 @@ class PatternOperation {
 
   /// All matchings of the source pattern, filtered. When `stats` is
   /// non-null, matcher search-effort counters accumulate into it.
-  /// Honors num_threads()/parallel_threshold().
-  std::vector<pattern::Matching> Matchings(
-      const graph::Instance& instance,
-      pattern::MatchStats* stats = nullptr) const;
+  /// Honors num_threads()/parallel_threshold(). A non-null armed
+  /// `deadline` interrupts enumeration with kDeadlineExceeded /
+  /// kCancelled.
+  Result<std::vector<pattern::Matching>> Matchings(
+      const graph::Instance& instance, pattern::MatchStats* stats = nullptr,
+      const common::Deadline* deadline = nullptr) const;
 
   Pattern pattern_;
   MatchFilter filter_;
@@ -128,8 +136,12 @@ class NodeAddition : public PatternOperation {
         new_label_(new_label),
         edges_(std::move(edges)) {}
 
+  /// Applies the operation all-or-nothing: on any failure (including a
+  /// deadline interrupt) the scheme and instance are rolled back to
+  /// their pre-call state via an ops::Transaction scope.
   Status Apply(schema::Scheme* scheme, graph::Instance* instance,
-               ApplyStats* stats = nullptr) const;
+               ApplyStats* stats = nullptr,
+               const common::Deadline* deadline = nullptr) const;
 
   Symbol new_label() const { return new_label_; }
   const std::vector<std::pair<Symbol, NodeId>>& edges() const {
@@ -166,8 +178,12 @@ class EdgeAddition : public PatternOperation {
   EdgeAddition(Pattern pattern, std::vector<EdgeSpec> edges)
       : PatternOperation(std::move(pattern)), edges_(std::move(edges)) {}
 
+  /// Applies the operation all-or-nothing: on any failure (including a
+  /// deadline interrupt) the scheme and instance are rolled back to
+  /// their pre-call state via an ops::Transaction scope.
   Status Apply(schema::Scheme* scheme, graph::Instance* instance,
-               ApplyStats* stats = nullptr) const;
+               ApplyStats* stats = nullptr,
+               const common::Deadline* deadline = nullptr) const;
 
   const std::vector<EdgeSpec>& edges() const { return edges_; }
 
@@ -185,8 +201,12 @@ class NodeDeletion : public PatternOperation {
   NodeDeletion(Pattern pattern, NodeId target)
       : PatternOperation(std::move(pattern)), target_(target) {}
 
+  /// Applies the operation all-or-nothing: on any failure (including a
+  /// deadline interrupt) the scheme and instance are rolled back to
+  /// their pre-call state via an ops::Transaction scope.
   Status Apply(schema::Scheme* scheme, graph::Instance* instance,
-               ApplyStats* stats = nullptr) const;
+               ApplyStats* stats = nullptr,
+               const common::Deadline* deadline = nullptr) const;
 
   NodeId target() const { return target_; }
 
@@ -211,8 +231,12 @@ class EdgeDeletion : public PatternOperation {
   EdgeDeletion(Pattern pattern, std::vector<EdgeRef> edges)
       : PatternOperation(std::move(pattern)), edges_(std::move(edges)) {}
 
+  /// Applies the operation all-or-nothing: on any failure (including a
+  /// deadline interrupt) the scheme and instance are rolled back to
+  /// their pre-call state via an ops::Transaction scope.
   Status Apply(schema::Scheme* scheme, graph::Instance* instance,
-               ApplyStats* stats = nullptr) const;
+               ApplyStats* stats = nullptr,
+               const common::Deadline* deadline = nullptr) const;
 
   const std::vector<EdgeRef>& edges() const { return edges_; }
 
@@ -239,8 +263,12 @@ class Abstraction : public PatternOperation {
         member_edge_(member_edge),
         grouping_edge_(grouping_edge) {}
 
+  /// Applies the operation all-or-nothing: on any failure (including a
+  /// deadline interrupt) the scheme and instance are rolled back to
+  /// their pre-call state via an ops::Transaction scope.
   Status Apply(schema::Scheme* scheme, graph::Instance* instance,
-               ApplyStats* stats = nullptr) const;
+               ApplyStats* stats = nullptr,
+               const common::Deadline* deadline = nullptr) const;
 
   NodeId node() const { return node_; }
   Symbol set_label() const { return set_label_; }

@@ -1,0 +1,45 @@
+#include "ops/transaction.h"
+
+#include <utility>
+
+namespace good::ops {
+
+Transaction::Transaction(schema::Scheme* scheme, graph::Instance* instance)
+    : scheme_(scheme), instance_(instance) {
+  if (scheme_ != nullptr) saved_scheme_ = *scheme_;
+  if (instance_->journal() != nullptr) {
+    // Nested scope: savepoint on the enclosing scope's journal.
+    journal_ = instance_->journal();
+    mark_ = journal_->Position();
+  } else {
+    journal_ = &owned_journal_;
+    mark_ = 0;
+    outermost_ = true;
+    instance_->AttachJournal(journal_);
+  }
+}
+
+Transaction::~Transaction() {
+  if (!done_) Rollback();
+}
+
+void Transaction::Commit() {
+  if (done_) return;
+  done_ = true;
+  if (outermost_) {
+    instance_->DetachJournal();
+    journal_->Clear();
+  }
+  // Nested commits keep their entries: the enclosing scope may still
+  // roll the whole region back.
+}
+
+void Transaction::Rollback() {
+  if (done_) return;
+  done_ = true;
+  journal_->RollbackTo(instance_, mark_);
+  if (scheme_ != nullptr) *scheme_ = std::move(saved_scheme_);
+  if (outermost_) instance_->DetachJournal();
+}
+
+}  // namespace good::ops

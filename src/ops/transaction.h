@@ -1,0 +1,74 @@
+/// \file transaction.h
+/// \brief RAII transaction scopes over (scheme, instance) pairs.
+///
+/// A Transaction makes a region of mutations all-or-nothing: construct
+/// it before mutating, Commit() on success, and let early returns fall
+/// through — the destructor rolls back everything the scope recorded.
+/// Instance mutations are undone exactly through a graph::UndoJournal
+/// (see graph/undo_journal.h); scheme mutations are undone by restoring
+/// a snapshot copy taken at scope entry (schemes are tiny — a handful
+/// of label maps — so a copy costs far less than the matching work any
+/// operation performs).
+///
+/// Scopes nest as savepoints: the outermost Transaction attaches its
+/// own journal to the instance, and inner scopes piggyback on the
+/// attached journal, remembering its length at entry. An inner rollback
+/// undoes only the inner suffix; an inner *commit* deliberately keeps
+/// the entries, so an outer rollback can still undo the whole region —
+/// exactly the semantics a failed method call needs when some body
+/// operations already succeeded.
+///
+/// Used by every ops::*::Apply (a failed operation leaves the database
+/// untouched), by method::Executor (a failed program or method call
+/// rolls back whole), and by rules::RuleEngine (a failed round rolls
+/// back whole).
+
+#ifndef GOOD_OPS_TRANSACTION_H_
+#define GOOD_OPS_TRANSACTION_H_
+
+#include "graph/instance.h"
+#include "graph/undo_journal.h"
+#include "schema/scheme.h"
+
+namespace good::ops {
+
+/// \brief A rollback scope over one instance and (optionally) its
+/// scheme. Not copyable, not movable; stack-allocate it.
+class Transaction {
+ public:
+  /// Starts a scope. `scheme` may be nullptr when the region cannot
+  /// mutate the scheme (deletions), skipping the snapshot copy.
+  Transaction(schema::Scheme* scheme, graph::Instance* instance);
+
+  /// Rolls back unless Commit() was called.
+  ~Transaction();
+
+  Transaction(const Transaction&) = delete;
+  Transaction& operator=(const Transaction&) = delete;
+
+  /// Accepts the scope's mutations. The outermost scope detaches and
+  /// clears the journal; a nested scope keeps its entries so the
+  /// enclosing scope can still roll the whole region back.
+  void Commit();
+
+  /// Undoes the scope's mutations (instance exactly, scheme via the
+  /// entry snapshot) immediately. Idempotent with ~Transaction.
+  void Rollback();
+
+  /// True while neither Commit() nor Rollback() has run.
+  bool active() const { return !done_; }
+
+ private:
+  schema::Scheme* scheme_;
+  graph::Instance* instance_;
+  schema::Scheme saved_scheme_;
+  graph::UndoJournal owned_journal_;
+  graph::UndoJournal* journal_;
+  graph::UndoJournal::Mark mark_ = 0;
+  bool outermost_ = false;
+  bool done_ = false;
+};
+
+}  // namespace good::ops
+
+#endif  // GOOD_OPS_TRANSACTION_H_

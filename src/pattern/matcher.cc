@@ -1,11 +1,13 @@
 #include "pattern/matcher.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <limits>
 #include <memory>
 #include <sstream>
+#include <utility>
 
 #include "common/thread_pool.h"
 
@@ -56,6 +58,12 @@ std::string MatchStats::ToString() const {
 namespace {
 
 constexpr size_t kNoLimit = static_cast<size_t>(-1);
+
+/// Candidate visits between deadline polls. A poll is one relaxed
+/// atomic load plus (every stride) a steady_clock read; 256 visits of
+/// real search work amortize that to noise while still bounding the
+/// reaction latency to a few microseconds of enumeration.
+constexpr size_t kPollStride = 256;
 
 /// One edge constraint between the pattern node being placed and an
 /// already-placed pattern node (the "anchor"): the candidate must be
@@ -191,13 +199,22 @@ SearchPlan BuildSearchPlan(const Pattern& pattern, const Instance& instance) {
 /// the plan is shared read-only, everything mutable lives here.
 class Enumerator {
  public:
+  /// `deadline` (optional) is polled every kPollStride candidate
+  /// visits; `trip` (optional, parallel runs) is a flag shared by all
+  /// workers — the first to observe an expiry sets it, peers observe it
+  /// and stop promptly.
   Enumerator(const Pattern& pattern, const Instance& instance,
-             const SearchPlan& plan, size_t limit, MatchStats* sink)
+             const SearchPlan& plan, size_t limit, MatchStats* sink,
+             const common::Deadline* deadline = nullptr,
+             std::atomic<bool>* trip = nullptr)
       : pattern_(pattern),
         instance_(instance),
         plan_(plan),
         limit_(limit),
-        sink_(sink) {
+        sink_(sink),
+        deadline_(deadline),
+        trip_(trip),
+        armed_(deadline != nullptr && deadline->armed()) {
     assignment_.assign(plan_.order.size(), NodeId{});
     scratch_.resize(plan_.order.size());
     stats_.depth_fanout.assign(plan_.order.size(), 0);
@@ -225,15 +242,22 @@ class Enumerator {
   /// stay in stats() for the caller to merge after the job completes.
   size_t RunChunk(const std::vector<NodeId>& roots, size_t begin, size_t end,
                   std::vector<Matching>* out) {
+    // A tripped worker drains its remaining queued chunks immediately.
+    if (!interrupt_.ok()) return 0;
+    if (trip_ != nullptr && trip_->load(std::memory_order_relaxed)) {
+      NotePeerTrip();
+      return 0;
+    }
     collect_ = out;
     const size_t emitted_before = emitted_;
     const DepthPlan& plan0 = plan_.plans[0];
     for (size_t i = begin; i < end; ++i) {
+      if (armed_ && !PollDeadline()) break;
       NodeId t = roots[i];
       if (!Feasible(plan0, t)) continue;
       ++stats_.depth_fanout[0];
       assignment_[0] = t;
-      Recurse(1);
+      if (!Recurse(1)) break;
     }
     collect_ = nullptr;
     const size_t emitted = emitted_ - emitted_before;
@@ -243,7 +267,38 @@ class Enumerator {
 
   const MatchStats& stats() const { return stats_; }
 
+  /// OK, or the status (kDeadlineExceeded/kCancelled) that cut this
+  /// enumeration short.
+  const Status& interrupt() const { return interrupt_; }
+
+  /// True when interrupt() only mirrors a peer worker's trip — the
+  /// driver prefers the primary status recorded by the worker that
+  /// actually observed the deadline.
+  bool interrupt_from_peer() const { return interrupt_from_peer_; }
+
  private:
+  void NotePeerTrip() {
+    interrupt_ = Status::Cancelled("enumeration aborted by a peer worker");
+    interrupt_from_peer_ = true;
+  }
+
+  /// Stride-gated deadline poll. Returns false when enumeration must
+  /// stop; interrupt_ then holds the reason. Only called when armed_.
+  bool PollDeadline() {
+    if ((++polls_ & (kPollStride - 1)) != 0) return true;
+    if (trip_ != nullptr && trip_->load(std::memory_order_relaxed)) {
+      NotePeerTrip();
+      return false;
+    }
+    Status expired = deadline_->Check();
+    if (!expired.ok()) {
+      interrupt_ = std::move(expired);
+      if (trip_ != nullptr) trip_->store(true, std::memory_order_relaxed);
+      return false;
+    }
+    return true;
+  }
+
   /// True iff mapping plan.m to `t` respects the node label and every
   /// pattern self-loop (m, α, m), which demands the instance edge
   /// (t, α, t). Placed-neighbour edges and print values are already
@@ -359,6 +414,7 @@ class Enumerator {
     const DepthPlan& plan = plan_.plans[depth];
     const size_t emitted_before = emitted_;
     for (NodeId t : Candidates(depth)) {
+      if (armed_ && !PollDeadline()) return false;
       if (!Feasible(plan, t)) continue;
       ++stats_.depth_fanout[depth];
       assignment_[depth] = t;
@@ -373,6 +429,12 @@ class Enumerator {
   const SearchPlan& plan_;
   size_t limit_;
   MatchStats* sink_;
+  const common::Deadline* deadline_;
+  std::atomic<bool>* trip_;
+  const bool armed_;
+  size_t polls_ = 0;
+  Status interrupt_;
+  bool interrupt_from_peer_ = false;
   const std::function<bool(const Matching&)>* callback_ = nullptr;
   std::vector<Matching>* collect_ = nullptr;
   std::vector<NodeId> assignment_;
@@ -388,19 +450,23 @@ class Enumerator {
 /// candidate list into chunks, runs a per-worker Enumerator over the
 /// chunks via the shared thread pool queue, and merges chunk outputs in
 /// chunk-index order — so the matching sequence and all stats (except
-/// workers_used) are identical to the serial matcher's. Returns false
-/// (without touching the outputs) when the enumeration is ineligible:
-/// serial options, a limit, the empty pattern, or a depth-0 candidate
-/// list below the threshold — the caller then runs the serial engine.
-bool TryParallelEnumerate(const Pattern& pattern, const Instance& instance,
-                          const MatchOptions& options,
-                          std::vector<Matching>* out, size_t* count) {
-  if (options.num_threads == 0) return false;
-  if (options.limit != kNoLimit) return false;
+/// workers_used) are identical to the serial matcher's. Sets *engaged
+/// to false (without touching the outputs) when the enumeration is
+/// ineligible: serial options, a limit, the empty pattern, or a depth-0
+/// candidate list below the threshold — the caller then runs the serial
+/// engine. When a deadline interrupt cuts the run short, returns the
+/// interrupt status with the outputs and stats untouched.
+Status TryParallelEnumerate(const Pattern& pattern, const Instance& instance,
+                            const MatchOptions& options,
+                            std::vector<Matching>* out, size_t* count,
+                            bool* engaged) {
+  *engaged = false;
+  if (options.num_threads == 0) return Status::OK();
+  if (options.limit != kNoLimit) return Status::OK();
   SearchPlan plan = BuildSearchPlan(pattern, instance);
   // The empty pattern has exactly one matching (the empty map); let the
   // serial engine emit it.
-  if (plan.order.empty()) return false;
+  if (plan.order.empty()) return Status::OK();
 
   MatchStats merged;
   merged.depth_fanout.assign(plan.order.size(), 0);
@@ -417,7 +483,8 @@ bool TryParallelEnumerate(const Pattern& pattern, const Instance& instance,
     roots = instance.NodesWithLabel(plan0.label);
     merged.candidates_scanned += roots.size();
   }
-  if (roots.size() < options.parallel_threshold) return false;
+  if (roots.size() < options.parallel_threshold) return Status::OK();
+  *engaged = true;
 
   const size_t workers =
       std::min(options.num_threads, std::max<size_t>(roots.size(), 1));
@@ -427,6 +494,9 @@ bool TryParallelEnumerate(const Pattern& pattern, const Instance& instance,
       std::max<size_t>(1, (roots.size() + workers * 4 - 1) / (workers * 4));
   const size_t num_chunks = (roots.size() + chunk_size - 1) / chunk_size;
 
+  const bool armed =
+      options.deadline != nullptr && options.deadline->armed();
+  std::atomic<bool> trip{false};
   std::vector<std::vector<Matching>> chunk_out(out != nullptr ? num_chunks
                                                               : 0);
   std::vector<size_t> chunk_count(num_chunks, 0);
@@ -434,7 +504,8 @@ bool TryParallelEnumerate(const Pattern& pattern, const Instance& instance,
   per_worker.reserve(workers);
   for (size_t w = 0; w < workers; ++w) {
     per_worker.push_back(std::make_unique<Enumerator>(
-        pattern, instance, plan, kNoLimit, nullptr));
+        pattern, instance, plan, kNoLimit, nullptr,
+        armed ? options.deadline : nullptr, armed ? &trip : nullptr));
   }
   {
     common::ThreadPool pool(workers);
@@ -445,6 +516,18 @@ bool TryParallelEnumerate(const Pattern& pattern, const Instance& instance,
           roots, begin, end, out != nullptr ? &chunk_out[chunk] : nullptr);
     });
   }
+
+  // Interrupt resolution: prefer the primary status recorded by a
+  // worker that observed the deadline itself over a peer-trip mirror.
+  Status interrupt;
+  for (const auto& enumerator : per_worker) {
+    if (enumerator->interrupt().ok()) continue;
+    if (interrupt.ok() || !enumerator->interrupt_from_peer()) {
+      interrupt = enumerator->interrupt();
+      if (!enumerator->interrupt_from_peer()) break;
+    }
+  }
+  if (!interrupt.ok()) return interrupt;
 
   size_t total = 0;
   for (size_t c = 0; c < num_chunks; ++c) total += chunk_count[c];
@@ -463,38 +546,78 @@ bool TryParallelEnumerate(const Pattern& pattern, const Instance& instance,
     }
   }
   *count = total;
-  return true;
+  return Status::OK();
 }
 
 }  // namespace
 
-size_t Matcher::ForEach(
-    const std::function<bool(const Matching&)>& callback) const {
+Status Matcher::ForEachChecked(
+    const std::function<bool(const Matching&)>& callback,
+    size_t* visited) const {
+  if (visited != nullptr) *visited = 0;
+  // Upfront check: tiny enumerations may finish under the poll stride,
+  // so an already-expired deadline must still be observed.
+  if (options_.deadline != nullptr) {
+    GOOD_RETURN_NOT_OK(options_.deadline->Check());
+  }
   SearchPlan plan = BuildSearchPlan(pattern_, instance_);
   Enumerator enumerator(pattern_, instance_, plan, options_.limit,
-                        options_.stats);
-  return enumerator.RunSerial(callback);
+                        options_.stats, options_.deadline, nullptr);
+  size_t n = enumerator.RunSerial(callback);
+  if (visited != nullptr) *visited = n;
+  return enumerator.interrupt();
 }
 
-std::vector<Matching> Matcher::FindAll() const {
+size_t Matcher::ForEach(
+    const std::function<bool(const Matching&)>& callback) const {
+  size_t visited = 0;
+  (void)ForEachChecked(callback, &visited);
+  return visited;
+}
+
+Result<std::vector<Matching>> Matcher::FindAllChecked() const {
+  if (options_.deadline != nullptr) {
+    GOOD_RETURN_NOT_OK(options_.deadline->Check());
+  }
   std::vector<Matching> out;
   size_t count = 0;
-  if (TryParallelEnumerate(pattern_, instance_, options_, &out, &count)) {
-    return out;
-  }
-  ForEach([&](const Matching& m) {
-    out.push_back(m);
-    return true;
-  });
+  bool engaged = false;
+  GOOD_RETURN_NOT_OK(TryParallelEnumerate(pattern_, instance_, options_, &out,
+                                          &count, &engaged));
+  if (engaged) return out;
+  GOOD_RETURN_NOT_OK(ForEachChecked(
+      [&](const Matching& m) {
+        out.push_back(m);
+        return true;
+      },
+      nullptr));
   return out;
 }
 
-size_t Matcher::Count() const {
-  size_t count = 0;
-  if (TryParallelEnumerate(pattern_, instance_, options_, nullptr, &count)) {
-    return count;
+std::vector<Matching> Matcher::FindAll() const {
+  Result<std::vector<Matching>> result = FindAllChecked();
+  if (!result.ok()) return {};
+  return std::move(*result);
+}
+
+Result<size_t> Matcher::CountChecked() const {
+  if (options_.deadline != nullptr) {
+    GOOD_RETURN_NOT_OK(options_.deadline->Check());
   }
-  return ForEach([](const Matching&) { return true; });
+  size_t count = 0;
+  bool engaged = false;
+  GOOD_RETURN_NOT_OK(TryParallelEnumerate(pattern_, instance_, options_,
+                                          nullptr, &count, &engaged));
+  if (engaged) return count;
+  size_t visited = 0;
+  GOOD_RETURN_NOT_OK(
+      ForEachChecked([](const Matching&) { return true; }, &visited));
+  return visited;
+}
+
+size_t Matcher::Count() const {
+  Result<size_t> result = CountChecked();
+  return result.ok() ? *result : 0;
 }
 
 bool Matcher::Exists() const {

@@ -22,6 +22,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/result.h"
 #include "graph/instance.h"
 
@@ -134,6 +135,15 @@ struct MatchOptions {
   /// it the serial engine runs even when num_threads > 0. Set to 0 to
   /// force the parallel path (differential tests do).
   size_t parallel_threshold = kDefaultParallelThreshold;
+  /// Execution cutoff (wall-clock and/or cancellation token; not
+  /// owned). Both the serial engine and every parallel worker poll it
+  /// every few hundred candidate visits; on expiry or cancellation the
+  /// checked entry points (FindAllChecked/CountChecked/ForEachChecked)
+  /// return kDeadlineExceeded/kCancelled promptly. The polls never
+  /// alter the search when they pass, so enumerations that complete are
+  /// bit-identical with and without a deadline — the parallel engine's
+  /// determinism guarantee is preserved on success.
+  const common::Deadline* deadline = nullptr;
 };
 
 /// \brief Enumerates matchings of `pattern` in `instance`.
@@ -155,18 +165,44 @@ class Matcher {
   /// Invokes `callback` once per matching; enumeration stops early when
   /// the callback returns false or the limit is hit. Returns the number
   /// of matchings visited. Always serial (callbacks observe the exact
-  /// serial emission order and may abort).
+  /// serial emission order and may abort). With a deadline configured,
+  /// an interrupted enumeration simply stops early — use
+  /// ForEachChecked() to observe the interrupt status.
   size_t ForEach(const std::function<bool(const Matching&)>& callback) const;
 
   /// Materializes all matchings. With MatchOptions::num_threads > 0 and
   /// a large enough depth-0 candidate list, enumeration runs on a
   /// worker pool; the returned sequence is identical to the serial
-  /// matcher's.
+  /// matcher's. With a deadline configured, an interrupted enumeration
+  /// returns empty — use FindAllChecked() to tell "no matchings" from
+  /// "cut off".
   std::vector<Matching> FindAll() const;
 
   /// Counts matchings without materializing them. Parallelizes under
-  /// the same conditions as FindAll().
+  /// the same conditions as FindAll(). Returns 0 on interrupt — use
+  /// CountChecked() to observe the status.
   size_t Count() const;
+
+  // ---- Deadline-aware entry points ----------------------------------------
+  //
+  // Identical to their unchecked namesakes on success; when
+  // MatchOptions::deadline expires or its cancel token fires, they stop
+  // promptly and surface kDeadlineExceeded / kCancelled instead of a
+  // partial result. Without a configured deadline they never fail.
+
+  /// All matchings, or the interrupt status. Parallel runs abort all
+  /// workers promptly via a shared trip flag.
+  Result<std::vector<Matching>> FindAllChecked() const;
+
+  /// The matching count, or the interrupt status.
+  Result<size_t> CountChecked() const;
+
+  /// Serial callback enumeration. On interrupt, returns the status
+  /// after `callback` has observed a prefix of the matchings; when
+  /// `visited` is non-null it receives the number of matchings visited
+  /// (also on the interrupt path).
+  Status ForEachChecked(const std::function<bool(const Matching&)>& callback,
+                        size_t* visited = nullptr) const;
 
   /// True iff at least one matching exists. Honors the caller's
   /// MatchOptions (stats still accumulate; a limit of 0 means no

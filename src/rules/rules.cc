@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <set>
 
+#include "ops/transaction.h"
+
 namespace good::rules {
 
 using graph::Instance;
@@ -60,8 +62,13 @@ bool HasNegation(const macros::NegatedPattern& condition) {
 }  // namespace
 
 Result<RunReport> RuleEngine::Step(Scheme* scheme, Instance* instance) {
+  if (deadline_ != nullptr) GOOD_RETURN_NOT_OK(deadline_->Check());
   RunReport report;
   report.rounds = 1;
+  // One transaction per round: a failing rule evaluation rolls back the
+  // whole round, keeping reported fixpoint progress consistent with the
+  // database state.
+  ops::Transaction txn(scheme, instance);
   for (const Rule& rule : rules_) {
     GOOD_ASSIGN_OR_RETURN(pattern::Pattern positive,
                           rule.condition.PositivePart());
@@ -75,7 +82,7 @@ Result<RunReport> RuleEngine::Step(Scheme* scheme, Instance* instance) {
       na.set_num_threads(num_threads_);
       na.set_parallel_threshold(parallel_threshold_);
       ops::ApplyStats stats;
-      GOOD_RETURN_NOT_OK(na.Apply(scheme, instance, &stats));
+      GOOD_RETURN_NOT_OK(na.Apply(scheme, instance, &stats, deadline_));
       report.nodes_added += stats.nodes_added;
       report.edges_added += stats.edges_added;
       report.match += stats.match;
@@ -86,12 +93,13 @@ Result<RunReport> RuleEngine::Step(Scheme* scheme, Instance* instance) {
       ea.set_num_threads(num_threads_);
       ea.set_parallel_threshold(parallel_threshold_);
       ops::ApplyStats stats;
-      GOOD_RETURN_NOT_OK(ea.Apply(scheme, instance, &stats));
+      GOOD_RETURN_NOT_OK(ea.Apply(scheme, instance, &stats, deadline_));
       report.edges_added += stats.edges_added;
       report.match += stats.match;
     }
   }
   report.workers_used = report.match.workers_used;
+  txn.Commit();
   return report;
 }
 

@@ -91,11 +91,21 @@ class RuleEngine {
   }
   size_t parallel_threshold() const { return parallel_threshold_; }
 
+  /// Execution cutoff (not owned; may be null). Checked before every
+  /// round and threaded into every rule's pattern matching, so a
+  /// runaway fixpoint computation surfaces kDeadlineExceeded /
+  /// kCancelled promptly — with the interrupted round rolled back.
+  void set_deadline(const common::Deadline* deadline) { deadline_ = deadline; }
+  const common::Deadline* deadline() const { return deadline_; }
+
   /// Applies every rule once, in order. Returns the additions made.
+  /// All-or-nothing per round: a failure (including a deadline
+  /// interrupt) rolls back every addition the round already made.
   Result<RunReport> Step(schema::Scheme* scheme, graph::Instance* instance);
 
   /// Rounds of Step until a round adds nothing; ResourceExhausted after
-  /// `max_rounds`.
+  /// `max_rounds`. Completed rounds persist when a later round fails
+  /// (each round is its own transaction).
   Result<RunReport> Run(schema::Scheme* scheme, graph::Instance* instance,
                         size_t max_rounds = 10'000);
 
@@ -103,6 +113,7 @@ class RuleEngine {
   std::vector<Rule> rules_;
   size_t num_threads_ = 0;
   size_t parallel_threshold_ = pattern::kDefaultParallelThreshold;
+  const common::Deadline* deadline_ = nullptr;
 };
 
 }  // namespace good::rules

@@ -1,5 +1,6 @@
 #include "storage/database.h"
 
+#include <thread>
 #include <utility>
 
 #include "program/op_serialize.h"
@@ -180,8 +181,27 @@ Status Database::Apply(const method::Operation& op, ops::ApplyStats* stats) {
   AppendFixed64(&payload, next_seq_);
   payload += text;
   // Write-ahead: the operation reaches the log before the instance.
-  Status logged = writer_->AppendRecord(payload);
-  if (!logged.ok()) return Undo(std::move(logged));
+  // Transient append faults are retried with exponential backoff; every
+  // failed attempt's torn bytes are truncated away before the next try
+  // so the record never lands twice.
+  size_t retries = 0;
+  while (true) {
+    Status logged = writer_->AppendRecord(payload);
+    if (logged.ok()) break;
+    Status undone = writer_->UndoLastAppend();
+    if (!undone.ok()) {
+      // The log may now disagree with memory; refuse further writes.
+      poisoned_ = true;
+      return logged;
+    }
+    if (retries >= options_.wal_retry_limit) return logged;
+    ++retries;
+    if (options_.wal_retry_backoff.count() > 0) {
+      std::this_thread::sleep_for(options_.wal_retry_backoff *
+                                  (1 << (retries - 1)));
+    }
+  }
+  if (stats != nullptr) stats->wal_retries += retries;
   method::Executor exec(Registry(), options_.exec);
   Status applied = exec.Execute(op, &db_.scheme, &db_.instance, stats);
   if (!applied.ok()) return Undo(std::move(applied));

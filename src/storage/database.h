@@ -34,6 +34,7 @@
 #ifndef GOOD_STORAGE_DATABASE_H_
 #define GOOD_STORAGE_DATABASE_H_
 
+#include <chrono>
 #include <memory>
 #include <string>
 #include <vector>
@@ -62,6 +63,15 @@ struct Options {
   /// Automatically Checkpoint() after this many logged operations;
   /// 0 disables auto-checkpointing.
   size_t checkpoint_every = 0;
+  /// How many times a failed WAL append is retried before the operation
+  /// is rejected. Each failed attempt's partial bytes are truncated
+  /// away first, so retries always start from a clean record boundary.
+  /// 0 disables retrying (historical fail-fast behavior).
+  size_t wal_retry_limit = 3;
+  /// Sleep before the first retry; doubles per subsequent retry
+  /// (exponential backoff). Zero disables sleeping — tests use that to
+  /// keep fault-injection sweeps fast.
+  std::chrono::microseconds wal_retry_backoff{100};
 };
 
 /// \brief What Open() found and did.
@@ -103,8 +113,13 @@ class Database {
 
   /// Logs `op` then executes it against the in-memory database.
   /// On error nothing is durably added and the in-memory state is
-  /// unchanged. Operations carrying C++ closures (match filters,
-  /// computed edges) cannot be serialized and are rejected.
+  /// unchanged: transient WAL append faults are retried up to
+  /// Options::wal_retry_limit times (ApplyStats::wal_retries counts
+  /// them), and a failed execution rolls back both the log record (by
+  /// truncation) and the in-memory scheme + instance (via the
+  /// executor's transaction scope), so log and memory never diverge.
+  /// Operations carrying C++ closures (match filters, computed edges)
+  /// cannot be serialized and are rejected.
   Status Apply(const method::Operation& op,
                ops::ApplyStats* stats = nullptr);
 

@@ -23,7 +23,13 @@ class FaultInjectedFile final : public WritableFile {
 
 Status FaultInjectedFile::Append(std::string_view data) {
   size_t n = ++env_->appends_;
-  if (n == env_->plan_.fail_append_at) {
+  if (n >= env_->plan_.fail_appends_from) {
+    ++env_->fired_;
+    return Status::Internal("injected permanent append failure");
+  }
+  if (env_->plan_.fail_append_at != FaultPlan::kNever &&
+      n >= env_->plan_.fail_append_at &&
+      n - env_->plan_.fail_append_at < env_->plan_.fail_append_count) {
     ++env_->fired_;
     return Status::Internal("injected append failure");
   }

@@ -28,6 +28,14 @@ struct FaultPlan {
 
   /// The N-th Append returns an error without writing anything.
   size_t fail_append_at = kNever;
+  /// How many consecutive appends fail starting at fail_append_at
+  /// (appends N .. N+count-1). Models a transient burst the WAL retry
+  /// loop can ride out; the default keeps the historical one-shot
+  /// behavior.
+  size_t fail_append_count = 1;
+  /// Every append from the N-th on fails — a permanent device fault
+  /// that retrying cannot fix.
+  size_t fail_appends_from = kNever;
   /// The N-th Append persists only the first half of its bytes, then
   /// reports failure (torn write).
   size_t short_write_at = kNever;

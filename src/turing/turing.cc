@@ -397,8 +397,10 @@ Result<RunResult> TuringSimulator::Run(const std::string& input,
 
   method::MethodRegistry registry;
   GOOD_RETURN_NOT_OK(registry.Register(std::move(step)));
-  method::Executor executor(
-      &registry, method::ExecOptions{max_ops, /*max_depth=*/max_ops});
+  method::ExecOptions exec_options;
+  exec_options.max_steps = max_ops;
+  exec_options.max_depth = max_ops;
+  method::Executor executor(&registry, exec_options);
 
   Pattern p;
   GOOD_ASSIGN_OR_RETURN(NodeId h, p.AddObjectNode(scheme_, Sym("Head")));

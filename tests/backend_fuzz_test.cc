@@ -5,16 +5,24 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <cstdlib>
 #include <random>
 #include <set>
 #include <string>
 
+#include "common/deadline.h"
 #include "gen/generators.h"
 #include "graph/isomorphism.h"
 #include "hypermedia/hypermedia.h"
+#include "hypermedia/methods.h"
+#include "method/method.h"
 #include "pattern/builder.h"
 #include "pattern/matcher.h"
+#include "program/program.h"
 #include "relational/backend.h"
+#include "storage/database.h"
+#include "storage/fault_env.h"
 
 namespace good::relational {
 namespace {
@@ -240,6 +248,122 @@ TEST_P(ParallelMatcherDifferentialTest, ParallelSequenceAndStatsMatchSerial) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ParallelMatcherDifferentialTest,
                          ::testing::Range(0, 30));
+
+/// Differential fault sweep over a durable database: a method call is
+/// interrupted mid-flight by a randomized fault — budget exhaustion,
+/// an expired deadline, or an injected WAL I/O failure — and both the
+/// in-memory state and the recovered on-disk state must equal the
+/// pre-call state (byte-exact in memory, isomorphic across recovery).
+class MidMethodFaultTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MidMethodFaultTest, InjectedFaultRollsBackToPreCallState) {
+  // CI's fault-injection loop exports GOOD_FAULT_SEED to shift the
+  // whole sweep to fresh seeds each iteration (printed on failure).
+  const char* base = std::getenv("GOOD_FAULT_SEED");
+  const int seed =
+      GetParam() +
+      (base != nullptr
+           ? static_cast<int>(std::strtoul(base, nullptr, 10) % 1000000)
+           : 0);
+  std::mt19937 rng(static_cast<unsigned>(seed));
+  std::string dir_template =
+      ::testing::TempDir() + "good_fault_fuzz_XXXXXX";
+  ASSERT_NE(::mkdtemp(dir_template.data()), nullptr);
+  const std::string dir = dir_template;
+
+  method::MethodRegistry registry;
+  Scheme proto = hypermedia::BuildScheme().ValueOrDie();
+  registry.Register(hypermedia::MakeUpdateMethod(proto).ValueOrDie())
+      .OrDie();
+  program::Database initial{
+      proto,
+      std::move(hypermedia::BuildInstance(proto).ValueOrDie().instance)};
+
+  const int fault = seed % 3;
+  storage::FaultInjectionEnv env;
+  storage::Options options;
+  options.env = &env;
+  options.methods = &registry;
+  options.wal_retry_backoff = std::chrono::microseconds{0};
+  // Fault 1 (expired deadline) applies to every Apply through this
+  // handle, so its variant skips the warm-up mutations below.
+  const size_t warmup = fault == 1 ? 0 : rng() % 3;
+  if (fault == 0) options.exec.max_steps = 1 + rng() % 2;
+  if (fault == 1) {
+    options.exec.deadline =
+        common::Deadline::After(std::chrono::seconds(-1));
+  }
+  storage::Database db =
+      storage::Database::Open(dir, initial, options).ValueOrDie();
+
+  // A few successful mutations first, so the pre-call state differs
+  // from the bootstrap snapshot and recovery must really replay.
+  for (size_t i = 0; i < warmup; ++i) {
+    GraphBuilder b(db.scheme());
+    NodeId x = b.Object("Info");
+    NodeId y = b.Object("Info");
+    b.Edge(x, "links-to", y);
+    ops::NodeAddition op(b.BuildOrDie(),
+                         Sym("Tag" + std::to_string(i)), {{Sym("of"), y}});
+    db.Apply(method::Operation(op)).OrDie();
+  }
+
+  const std::string before = db.instance().Fingerprint();
+  program::Database pre{db.scheme(), db.instance()};
+
+  if (fault == 2) {
+    // A fault burst longer than the retry limit: the append stage of
+    // the method call's WAL record keeps failing.
+    storage::FaultPlan plan;
+    if (rng() % 2 == 0) {
+      plan.fail_append_at = 1;
+      plan.fail_append_count = options.wal_retry_limit + 1;
+    } else {
+      plan.fail_appends_from = 1;  // permanent medium failure
+    }
+    env.SetPlan(plan);
+  }
+
+  auto call = hypermedia::MakeUpdateCall(db.scheme(), "Music History",
+                                         Date{1990, 1, 16})
+                  .ValueOrDie();
+  Status s = db.Apply(method::Operation(call));
+  ASSERT_FALSE(s.ok()) << "seed=" << seed << " fault=" << fault;
+  switch (fault) {
+    case 0:
+      EXPECT_TRUE(s.IsResourceExhausted()) << s.ToString();
+      break;
+    case 1:
+      EXPECT_TRUE(s.IsDeadlineExceeded()) << s.ToString();
+      break;
+    default:
+      EXPECT_GE(env.faults_fired(), 1u);
+      break;
+  }
+
+  // In memory: byte-exact rollback.
+  EXPECT_EQ(db.instance().Fingerprint(), before)
+      << "seed=" << seed << " fault=" << fault;
+  EXPECT_TRUE(db.scheme() == pre.scheme);
+
+  // Across recovery: the failed call left no trace in the log.
+  env.Reset();
+  storage::Options clean;
+  clean.methods = &registry;
+  storage::Database reopened =
+      storage::Database::Open(dir, clean).ValueOrDie();
+  EXPECT_EQ(reopened.recovery().ops_replayed, warmup)
+      << "seed=" << seed << " fault=" << fault;
+  EXPECT_TRUE(reopened.scheme() == pre.scheme);
+  EXPECT_TRUE(graph::IsIsomorphic(reopened.instance(), pre.instance))
+      << "seed=" << seed << " fault=" << fault;
+
+  // And the same call goes through once the fault is gone.
+  reopened.Apply(method::Operation(call)).OrDie();
+  EXPECT_NE(reopened.instance().Fingerprint(), before);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MidMethodFaultTest, ::testing::Range(0, 18));
 
 }  // namespace
 }  // namespace good::relational

@@ -336,8 +336,10 @@ TEST_F(MethodTest, DivergingRecursionHitsBudget) {
     loop.body.push_back(ParameterizedOp{std::move(rec), head});
   }
   registry_.Register(std::move(loop)).OrDie();
-  Executor executor(&registry_, ExecOptions{/*max_steps=*/500,
-                                            /*max_depth=*/100});
+  ExecOptions exec_options;
+  exec_options.max_steps = 500;
+  exec_options.max_depth = 100;
+  Executor executor(&registry_, exec_options);
   GraphBuilder b(scheme_);
   NodeId info = b.Object("Info");
   MethodCallOp call;

@@ -8,8 +8,11 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <random>
+#include <thread>
 
+#include "common/deadline.h"
 #include "common/thread_pool.h"
 #include "gen/generators.h"
 #include "graph/isomorphism.h"
@@ -296,6 +299,122 @@ TEST(ThreadPoolTest, ParallelForVisitsEveryItemExactlyOnce) {
   pool.ParallelFor(again.size(), [&](size_t, size_t item) { ++again[item]; });
   for (size_t i = 0; i < again.size(); ++i) EXPECT_EQ(again[i], 1);
   pool.ParallelFor(0, [&](size_t, size_t) { FAIL(); });  // Empty job: no-op.
+}
+
+/// Cooperative cancellation of the matching engines: a CancelToken
+/// fired from another thread mid-enumeration must interrupt both the
+/// serial and the parallel drivers promptly with kCancelled, and an
+/// unexpired deadline must not perturb results (determinism contract).
+class CancellationTest : public ::testing::TestWithParam<size_t> {
+ protected:
+  void SetUp() override { scheme_ = hypermedia::BuildScheme().ValueOrDie(); }
+
+  /// A 3-chain plus a free node: on a dense 400-node graph the matching
+  /// space is in the millions, far more work than the cancel latency.
+  Pattern HeavyPattern() {
+    pattern::GraphBuilder b(scheme_);
+    NodeId x = b.Object("Info");
+    NodeId y = b.Object("Info");
+    NodeId z = b.Object("Info");
+    b.Object("Info");  // unconstrained: multiplies the search space
+    b.Edge(x, "links-to", y).Edge(y, "links-to", z);
+    return b.BuildOrDie();
+  }
+
+  Scheme scheme_;
+};
+
+TEST_P(CancellationTest, CrossThreadCancelInterruptsCountPromptly) {
+  const size_t threads = GetParam();
+  Instance g =
+      gen::RandomInfoGraph(scheme_, 400, 1600, /*seed=*/21).ValueOrDie();
+  Pattern p = HeavyPattern();
+
+  common::CancelToken token;
+  common::Deadline deadline;
+  deadline.ObserveCancellation(&token);
+  MatchOptions options;
+  options.num_threads = threads;
+  options.parallel_threshold = 0;  // Force the parallel driver.
+  options.deadline = &deadline;
+  Matcher matcher(p, g, options);
+
+  std::thread canceller([&token] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(3));
+    token.Cancel();
+  });
+  auto count = matcher.CountChecked();
+  canceller.join();
+  ASSERT_FALSE(count.ok()) << "threads=" << threads;
+  EXPECT_TRUE(count.status().IsCancelled()) << count.status();
+}
+
+INSTANTIATE_TEST_SUITE_P(WorkerCounts, CancellationTest,
+                         ::testing::Values(2u, 8u));
+
+TEST_F(CancellationTest, PreCancelledTokenShortCircuitsEveryEntryPoint) {
+  Instance g =
+      gen::RandomInfoGraph(scheme_, 32, 64, /*seed=*/5).ValueOrDie();
+  Pattern p = HeavyPattern();
+  common::CancelToken token;
+  token.Cancel();
+  common::Deadline deadline;
+  deadline.ObserveCancellation(&token);
+  MatchOptions options;
+  options.deadline = &deadline;
+
+  auto found = Matcher(p, g, options).FindAllChecked();
+  ASSERT_FALSE(found.ok());
+  EXPECT_TRUE(found.status().IsCancelled());
+  auto count = Matcher(p, g, options).CountChecked();
+  ASSERT_FALSE(count.ok());
+  EXPECT_TRUE(count.status().IsCancelled());
+  size_t visited = 0;
+  Status s = Matcher(p, g, options).ForEachChecked([&](const Matching&) {
+    ++visited;
+    return true;
+  });
+  EXPECT_TRUE(s.IsCancelled());
+  EXPECT_EQ(visited, 0u);
+
+  // Legacy (unchecked) APIs degrade to empty results, never partial.
+  EXPECT_TRUE(Matcher(p, g, options).FindAll().empty());
+  EXPECT_EQ(Matcher(p, g, options).Count(), 0u);
+}
+
+TEST_F(CancellationTest, ExpiredDeadlineReportsDeadlineExceeded) {
+  Instance g =
+      gen::RandomInfoGraph(scheme_, 32, 64, /*seed=*/6).ValueOrDie();
+  common::Deadline deadline =
+      common::Deadline::After(std::chrono::seconds(-1));
+  MatchOptions options;
+  options.deadline = &deadline;
+  auto found = Matcher(HeavyPattern(), g, options).FindAllChecked();
+  ASSERT_FALSE(found.ok());
+  EXPECT_TRUE(found.status().IsDeadlineExceeded());
+}
+
+TEST_F(CancellationTest, UnexpiredDeadlineDoesNotPerturbResults) {
+  Instance g =
+      gen::RandomInfoGraph(scheme_, 64, 192, /*seed=*/8).ValueOrDie();
+  pattern::GraphBuilder b(scheme_);
+  NodeId x = b.Object("Info");
+  NodeId y = b.Object("Info");
+  b.Edge(x, "links-to", y);
+  Pattern p = b.BuildOrDie();
+
+  auto bare = Matcher(p, g).FindAll();
+  common::Deadline deadline =
+      common::Deadline::After(std::chrono::hours(1));
+  for (size_t threads : {0u, 4u}) {
+    MatchOptions options;
+    options.deadline = &deadline;
+    options.num_threads = threads;
+    options.parallel_threshold = 0;
+    auto checked = Matcher(p, g, options).FindAllChecked();
+    ASSERT_TRUE(checked.ok()) << "threads=" << threads;
+    EXPECT_EQ(*checked, bare) << "threads=" << threads;
+  }
 }
 
 }  // namespace
