@@ -16,6 +16,9 @@
 #include "program/program.h"
 #include "storage/database.h"
 #include "storage/file_env.h"
+#include "storage/salvage.h"
+#include "storage/scrub.h"
+#include "storage/wal.h"
 
 namespace good::bench {
 namespace {
@@ -33,6 +36,8 @@ void RemoveDir(const std::string& dir) {
   auto* env = storage::FileEnv::Default();
   (void)env->RemoveFile(Database::WalPath(dir));
   (void)env->RemoveFile(Database::SnapshotPath(dir));
+  (void)env->RemoveFile(Database::PreviousSnapshotPath(dir));
+  (void)env->RemoveFile(Database::QuarantinePath(dir));
   ::rmdir(dir.c_str());
 }
 
@@ -121,6 +126,77 @@ void BM_Checkpoint(benchmark::State& state) {
   RemoveDir(dir);
 }
 BENCHMARK(BM_Checkpoint)
+    ->Arg(100)
+    ->Arg(1000)
+    ->ArgName("docs")
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+/// Salvage scan throughput over a 100k-record log (frames/sec).
+/// range(0) toggles mid-file corruption, which forces the scanner off
+/// the fast clean-prefix path into classify-and-resync.
+void BM_SalvageScan(benchmark::State& state) {
+  static auto* logs = new std::map<int64_t, std::string>();
+  auto it = logs->find(state.range(0));
+  const size_t kRecords = 100000;
+  if (it == logs->end()) {
+    std::string log;
+    std::string payload(100, '\0');
+    for (size_t i = 0; i < kRecords; ++i) {
+      for (size_t j = 0; j < payload.size(); ++j) {
+        payload[j] = static_cast<char>((i * 131 + j * 17) & 0xFF);
+      }
+      storage::AppendRecordTo(&log, payload);
+    }
+    if (state.range(0) != 0) {
+      // One flipped byte per ~1000 records, spread across the file.
+      for (size_t at = log.size() / 200; at < log.size();
+           at += log.size() / 100) {
+        log[at] ^= 0x01;
+      }
+    }
+    it = logs->emplace(state.range(0), std::move(log)).first;
+  }
+  size_t kept = 0;
+  for (auto _ : state) {
+    storage::SalvageResult result = storage::WalSalvager::Scan(it->second);
+    kept = result.report.frames_kept;
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * kRecords);
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(it->second.size()));
+  state.counters["frames_kept"] =
+      benchmark::Counter(static_cast<double>(kept));
+}
+BENCHMARK(BM_SalvageScan)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgName("corrupt")
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+/// Integrity scrub throughput on a scaled instance (nodes/sec): full
+/// scheme conformance + index cross-checks per node.
+void BM_Scrub(benchmark::State& state) {
+  graph::Instance instance =
+      ScaledInstance(static_cast<size_t>(state.range(0)));
+  const schema::Scheme scheme = HyperMediaScheme();
+  size_t problems = 0;
+  for (auto _ : state) {
+    storage::ScrubReport report = storage::Scrub(scheme, instance);
+    problems = report.problems.size();
+    benchmark::DoNotOptimize(report);
+  }
+  if (problems != 0) std::abort();
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(instance.num_nodes()));
+  state.counters["nodes"] =
+      benchmark::Counter(static_cast<double>(instance.num_nodes()));
+  state.counters["edges"] =
+      benchmark::Counter(static_cast<double>(instance.num_edges()));
+}
+BENCHMARK(BM_Scrub)
     ->Arg(100)
     ->Arg(1000)
     ->ArgName("docs")

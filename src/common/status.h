@@ -57,6 +57,12 @@ enum class StatusCode : int {
   /// clean cutoff: transactional callers roll back to the pre-call
   /// state.
   kCancelled = 11,
+  /// The service can currently not perform the operation but the
+  /// condition is not damage to the caller's data: a database opened
+  /// read-only in degraded salvage mode rejects writes with
+  /// kUnavailable (reads keep working), where kDataLoss would wrongly
+  /// suggest the write itself lost data.
+  kUnavailable = 12,
 };
 
 /// \brief Returns the canonical name of a status code ("OK",
@@ -114,6 +120,9 @@ class Status {
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return rep_ == nullptr; }
   StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
@@ -141,6 +150,7 @@ class Status {
     return code() == StatusCode::kDeadlineExceeded;
   }
   bool IsCancelled() const { return code() == StatusCode::kCancelled; }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
 
   /// Returns "OK" or "<CodeName>: <message>".
   std::string ToString() const;

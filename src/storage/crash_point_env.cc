@@ -1,0 +1,195 @@
+#include "storage/crash_point_env.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+namespace good::storage {
+
+std::string_view CrashModeToString(CrashMode mode) {
+  switch (mode) {
+    case CrashMode::kCutBeforeOp:
+      return "cut-before-op";
+    case CrashMode::kTornWrite:
+      return "torn-write";
+    case CrashMode::kLoseUnsynced:
+      return "lose-unsynced";
+  }
+  return "unknown";
+}
+
+/// Tracks the logical and last-synced sizes of one file so a
+/// lose-unsynced crash can roll the durable bytes back.
+class CrashPointFile final : public WritableFile {
+ public:
+  CrashPointFile(std::unique_ptr<WritableFile> base, CrashPointEnv* env,
+                 uint64_t size)
+      : base_(std::move(base)), env_(env), size_(size), synced_(size) {
+    env_->open_files_.push_back(this);
+  }
+
+  ~CrashPointFile() override {
+    auto& files = env_->open_files_;
+    files.erase(std::remove(files.begin(), files.end(), this), files.end());
+  }
+
+  Status Append(std::string_view data) override {
+    if (env_->crashed_) return env_->DeadIfCrashed();
+    const size_t n = ++env_->ops_;
+    if (env_->schedule_.crash_at != 0 && n == env_->schedule_.crash_at &&
+        env_->schedule_.mode == CrashMode::kTornWrite) {
+      // Persist a prefix as durable sectors, then die. No error path in
+      // the caller runs — the torn bytes stay on disk for the next
+      // incarnation to find.
+      const CrashSchedule& s = env_->schedule_;
+      const size_t keep = s.torn_keep_den == 0
+                              ? data.size() / 2
+                              : data.size() * s.torn_keep_num /
+                                    s.torn_keep_den;
+      Status wrote = base_->Append(data.substr(0, keep));
+      if (wrote.ok()) {
+        size_ += keep;
+        synced_ = std::max(synced_, size_);  // treated as durable
+      }
+      env_->FireCrash();
+      return Status::Unavailable("simulated crash: torn write at boundary " +
+                                 std::to_string(n));
+    }
+    if (env_->schedule_.crash_at != 0 && n == env_->schedule_.crash_at) {
+      env_->FireCrash();
+      return Status::Unavailable("simulated crash at boundary " +
+                                 std::to_string(n));
+    }
+    Status s = base_->Append(data);
+    if (s.ok()) size_ += data.size();
+    return s;
+  }
+
+  Status Sync() override {
+    GOOD_RETURN_NOT_OK(env_->Boundary());
+    Status s = base_->Sync();
+    if (s.ok()) synced_ = size_;
+    return s;
+  }
+
+  Status Truncate(uint64_t size) override {
+    GOOD_RETURN_NOT_OK(env_->Boundary());
+    Status s = base_->Truncate(size);
+    if (s.ok()) {
+      size_ = size;
+      synced_ = std::min(synced_, size);
+    }
+    return s;
+  }
+
+  Status Close() override {
+    // Not a boundary: closing mutates no data. A close after the crash
+    // is the destructor of a dead process's fd table — quietly allowed.
+    return base_->Close();
+  }
+
+  /// The lose-unsynced damage model: whatever was appended but never
+  /// synced evaporates with the page cache.
+  void DropUnsynced() {
+    if (synced_ < size_) {
+      (void)base_->Truncate(synced_);
+      size_ = synced_;
+    }
+  }
+
+ private:
+  std::unique_ptr<WritableFile> base_;
+  CrashPointEnv* env_;
+  uint64_t size_;
+  uint64_t synced_;
+};
+
+CrashPointEnv::CrashPointEnv(FileEnv* base)
+    : base_(base != nullptr ? base : FileEnv::Default()) {}
+
+CrashPointEnv::~CrashPointEnv() = default;
+
+void CrashPointEnv::SetSchedule(const CrashSchedule& schedule) {
+  schedule_ = schedule;
+  ops_ = 0;
+  crashed_ = false;
+}
+
+Status CrashPointEnv::DeadIfCrashed() const {
+  if (crashed_) {
+    return Status::Unavailable("simulated crash: process is dead");
+  }
+  return Status::OK();
+}
+
+Status CrashPointEnv::Boundary() {
+  GOOD_RETURN_NOT_OK(DeadIfCrashed());
+  const size_t n = ++ops_;
+  if (schedule_.crash_at != 0 && n == schedule_.crash_at) {
+    FireCrash();
+    return Status::Unavailable("simulated crash at boundary " +
+                               std::to_string(n));
+  }
+  return Status::OK();
+}
+
+void CrashPointEnv::FireCrash() {
+  crashed_ = true;
+  if (schedule_.mode == CrashMode::kLoseUnsynced) {
+    for (CrashPointFile* file : open_files_) file->DropUnsynced();
+  }
+}
+
+Result<std::unique_ptr<WritableFile>> CrashPointEnv::NewWritableFile(
+    const std::string& path, bool truncate) {
+  GOOD_RETURN_NOT_OK(DeadIfCrashed());
+  if (truncate) {
+    // Destroys existing bytes — a mutating boundary.
+    GOOD_RETURN_NOT_OK(Boundary());
+  }
+  uint64_t size = 0;
+  if (!truncate && base_->FileExists(path)) {
+    GOOD_ASSIGN_OR_RETURN(size, base_->FileSize(path));
+  }
+  GOOD_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                        base_->NewWritableFile(path, truncate));
+  return std::unique_ptr<WritableFile>(
+      std::make_unique<CrashPointFile>(std::move(file), this, size));
+}
+
+Result<std::string> CrashPointEnv::ReadFileToString(const std::string& path) {
+  GOOD_RETURN_NOT_OK(DeadIfCrashed());
+  return base_->ReadFileToString(path);
+}
+
+bool CrashPointEnv::FileExists(const std::string& path) {
+  return !crashed_ && base_->FileExists(path);
+}
+
+Result<uint64_t> CrashPointEnv::FileSize(const std::string& path) {
+  GOOD_RETURN_NOT_OK(DeadIfCrashed());
+  return base_->FileSize(path);
+}
+
+Status CrashPointEnv::RenameFile(const std::string& from,
+                                 const std::string& to) {
+  GOOD_RETURN_NOT_OK(Boundary());
+  return base_->RenameFile(from, to);
+}
+
+Status CrashPointEnv::RemoveFile(const std::string& path) {
+  GOOD_RETURN_NOT_OK(Boundary());
+  return base_->RemoveFile(path);
+}
+
+Status CrashPointEnv::CreateDirs(const std::string& path) {
+  GOOD_RETURN_NOT_OK(DeadIfCrashed());
+  return base_->CreateDirs(path);
+}
+
+Status CrashPointEnv::SyncDir(const std::string& path) {
+  GOOD_RETURN_NOT_OK(Boundary());
+  return base_->SyncDir(path);
+}
+
+}  // namespace good::storage

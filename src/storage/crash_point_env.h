@@ -1,0 +1,116 @@
+/// \file crash_point_env.h
+/// \brief Deterministic whole-process crash simulation for storage.
+///
+/// FaultInjectionEnv (fault_env.h) models a *surviving* process whose
+/// I/O call failed: the caller sees the error and runs its cleanup
+/// (truncating torn bytes, retrying). A crash is the complementary —
+/// and strictly harsher — failure: the process dies mid-I/O, no
+/// cleanup code ever runs, and the next incarnation sees whatever the
+/// file system happened to keep. CrashPointEnv simulates that death
+/// deterministically: every state-mutating I/O call (append, sync,
+/// truncate, rename, remove, create-with-truncate, directory sync) is
+/// a numbered *boundary*, and a CrashSchedule names the boundary at
+/// which the crash fires plus the damage model:
+///
+///  - kCutBeforeOp: the K-th mutating call never reaches the disk;
+///  - kTornWrite: the K-th call, if an append, persists only a prefix
+///    of its bytes (a power cut mid-sector-train);
+///  - kLoseUnsynced: at the K-th call, every open file is rolled back
+///    to its last synced size (the page cache died with the machine).
+///
+/// After the crash fires, *every* call through the env — including
+/// reads — fails with kUnavailable: the process is dead. The test
+/// driver (crashsim.h) then reopens the directory with a clean env,
+/// exactly like a new process would after a reboot.
+///
+/// Simplifications, on purpose: renames are treated as atomic and
+/// immediately durable (ext4/xfs behavior with the journal; the
+/// SyncDir boundary still exists so cut-mode covers the crash before
+/// it), and bytes of files closed before the crash are treated as
+/// durable (the engine syncs before every close on its write paths).
+
+#ifndef GOOD_STORAGE_CRASH_POINT_ENV_H_
+#define GOOD_STORAGE_CRASH_POINT_ENV_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "storage/file_env.h"
+
+namespace good::storage {
+
+/// \brief How the simulated crash mangles in-flight data.
+enum class CrashMode {
+  /// The crashing call performs no I/O at all.
+  kCutBeforeOp,
+  /// The crashing append persists torn_keep_num/torn_keep_den of its
+  /// bytes first. Non-append boundaries degrade to kCutBeforeOp.
+  kTornWrite,
+  /// Open files are truncated back to their last synced size.
+  kLoseUnsynced,
+};
+
+std::string_view CrashModeToString(CrashMode mode);
+
+/// \brief When and how to crash. crash_at is 1-based over mutating
+/// I/O boundaries; 0 never crashes (used to count boundaries).
+struct CrashSchedule {
+  size_t crash_at = 0;
+  CrashMode mode = CrashMode::kCutBeforeOp;
+  /// Fraction of the crashing append persisted in kTornWrite mode.
+  size_t torn_keep_num = 1;
+  size_t torn_keep_den = 2;
+};
+
+class CrashPointFile;
+
+/// \brief A FileEnv that executes one CrashSchedule.
+class CrashPointEnv final : public FileEnv {
+ public:
+  /// Wraps `base` (not owned; defaults to FileEnv::Default()).
+  explicit CrashPointEnv(FileEnv* base = nullptr);
+  ~CrashPointEnv() override;
+
+  /// Installs a schedule and resets the boundary counter and the
+  /// crashed flag (open files stay open).
+  void SetSchedule(const CrashSchedule& schedule);
+
+  /// Mutating I/O boundaries observed since the last SetSchedule. Run
+  /// a workload with crash_at = 0 to learn the exploration range.
+  size_t ops_seen() const { return ops_; }
+  bool crashed() const { return crashed_; }
+
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) override;
+  Result<std::string> ReadFileToString(const std::string& path) override;
+  bool FileExists(const std::string& path) override;
+  Result<uint64_t> FileSize(const std::string& path) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status RemoveFile(const std::string& path) override;
+  Status CreateDirs(const std::string& path) override;
+  Status SyncDir(const std::string& path) override;
+
+ private:
+  friend class CrashPointFile;
+
+  /// Counts one mutating boundary; fires the crash when it is due.
+  /// Returns non-OK when the op must not proceed (crashed now or
+  /// earlier).
+  Status Boundary();
+  Status DeadIfCrashed() const;
+  /// Marks the env dead and, in kLoseUnsynced mode, rolls every open
+  /// file back to its synced size.
+  void FireCrash();
+
+  FileEnv* base_;
+  CrashSchedule schedule_;
+  size_t ops_ = 0;
+  bool crashed_ = false;
+  std::vector<CrashPointFile*> open_files_;
+};
+
+}  // namespace good::storage
+
+#endif  // GOOD_STORAGE_CRASH_POINT_ENV_H_

@@ -1,0 +1,182 @@
+#include "storage/crashsim.h"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "graph/isomorphism.h"
+#include "program/serialize.h"
+#include "storage/database.h"
+
+namespace good::storage {
+namespace {
+
+const method::MethodRegistry& EmptyRegistry() {
+  static const method::MethodRegistry* empty = new method::MethodRegistry();
+  return *empty;
+}
+
+/// Applies the workload through one env; `acked` counts the Apply
+/// calls that returned OK before the first failure. The call sequence
+/// (Open, Apply*, Close) is identical in the counting run and every
+/// crash run, so boundary numbering lines up across runs.
+struct WorkloadRun {
+  size_t acked = 0;
+  bool opened = false;
+};
+
+WorkloadRun RunWorkload(const CrashSimOptions& options,
+                        const std::string& dir, FileEnv* env) {
+  WorkloadRun run;
+  Options o;
+  o.env = env;
+  o.methods = options.methods;
+  o.exec = options.exec;
+  o.checkpoint_every = options.checkpoint_every;
+  o.sync_every_append = options.sync_every_append;
+  // A real crash leaves torn bytes on disk because no cleanup code
+  // runs. Retrying (which truncates them) would mask exactly the states
+  // recovery must handle, so the crashing process never retries.
+  o.wal_retry_limit = 0;
+  o.wal_retry_backoff = std::chrono::microseconds{0};
+  auto db = Database::Open(dir, options.initial, o);
+  if (!db.ok()) return run;
+  run.opened = true;
+  for (const method::Operation& op : options.workload) {
+    if (!db->Apply(op).ok()) break;
+    ++run.acked;
+  }
+  (void)db->Close();
+  return run;
+}
+
+}  // namespace
+
+std::string CrashSimReport::ToString() const {
+  std::string out = std::to_string(boundaries) + " boundaries, " +
+                    std::to_string(schedules_explored) + " schedules (" +
+                    std::to_string(crashes_simulated) + " crashes), " +
+                    std::to_string(recovered_ok) + " recovered ok, " +
+                    std::to_string(divergences.size()) + " divergences";
+  if (!complete) out += " [INCOMPLETE]";
+  return out;
+}
+
+Result<CrashSimReport> ExploreCrashPoints(const CrashSimOptions& options) {
+  if (options.dir_prefix.empty()) {
+    return Status::InvalidArgument("crashsim needs a scratch dir_prefix");
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(options.dir_prefix, ec);
+  if (ec) {
+    return Status::Internal("cannot create " + options.dir_prefix + ": " +
+                            ec.message());
+  }
+  const method::MethodRegistry* registry =
+      options.methods != nullptr ? options.methods : &EmptyRegistry();
+
+  // Oracle: pure in-memory replay. oracle[m] is the database after the
+  // first m workload operations; no file system is involved, so any
+  // disagreement with recovery is the storage engine's fault.
+  std::vector<program::Database> oracle;
+  oracle.reserve(options.workload.size() + 1);
+  oracle.push_back(options.initial);
+  for (size_t i = 0; i < options.workload.size(); ++i) {
+    program::Database next = oracle.back();
+    method::Executor exec(registry, options.exec);
+    Status applied =
+        exec.Execute(options.workload[i], &next.scheme, &next.instance);
+    if (!applied.ok()) {
+      return Status::InvalidArgument(
+          "crashsim workload op " + std::to_string(i) +
+          " fails even without crashes: " + applied.ToString());
+    }
+    oracle.push_back(std::move(next));
+  }
+
+  CrashSimReport report;
+
+  // Crash-free counting run establishes the exploration range.
+  {
+    const std::string dir = options.dir_prefix + "/count";
+    std::filesystem::remove_all(dir, ec);
+    CrashPointEnv env;
+    env.SetSchedule(CrashSchedule{});  // crash_at = 0: never fires
+    WorkloadRun run = RunWorkload(options, dir, &env);
+    if (!run.opened || run.acked != options.workload.size()) {
+      return Status::InvalidArgument(
+          "crashsim workload does not run clean (acked " +
+          std::to_string(run.acked) + " of " +
+          std::to_string(options.workload.size()) + ")");
+    }
+    report.boundaries = env.ops_seen();
+    std::filesystem::remove_all(dir, ec);
+  }
+
+  for (CrashMode mode : options.modes) {
+    for (size_t k = 1; k <= report.boundaries; ++k) {
+      if (!options.deadline.Check().ok()) return report;  // incomplete
+
+      const std::string dir = options.dir_prefix + "/" +
+                              std::string(CrashModeToString(mode)) + "_" +
+                              std::to_string(k);
+      std::filesystem::remove_all(dir, ec);
+      CrashPointEnv env;
+      CrashSchedule schedule;
+      schedule.crash_at = k;
+      schedule.mode = mode;
+      env.SetSchedule(schedule);
+      WorkloadRun run = RunWorkload(options, dir, &env);
+      ++report.schedules_explored;
+      if (env.crashed()) ++report.crashes_simulated;
+
+      auto diverge = [&](std::string detail) {
+        report.divergences.push_back(
+            CrashSimDivergence{schedule, run.acked, std::move(detail)});
+      };
+
+      // The rebooted process: a clean default env, strict recovery.
+      Options reopen;
+      reopen.methods = options.methods;
+      reopen.exec = options.exec;
+      auto recovered = Database::Open(dir, options.initial, reopen);
+      if (!recovered.ok()) {
+        diverge("reopen after crash failed: " +
+                recovered.status().ToString());
+        std::filesystem::remove_all(dir, ec);
+        continue;
+      }
+
+      // Committed-prefix window (see file comment in crashsim.h).
+      const size_t hi = std::min(run.acked + 1, options.workload.size());
+      const size_t lo = (mode == CrashMode::kLoseUnsynced &&
+                         !options.sync_every_append)
+                            ? 0
+                            : run.acked;
+      bool matched = false;
+      for (size_t m = lo; m <= hi && !matched; ++m) {
+        matched = program::WriteScheme(recovered->scheme()) ==
+                      program::WriteScheme(oracle[m].scheme) &&
+                  graph::IsIsomorphic(recovered->instance(),
+                                      oracle[m].instance);
+      }
+      if (!matched) {
+        diverge("recovered state matches no oracle prefix in [" +
+                std::to_string(lo) + ", " + std::to_string(hi) +
+                "]; recovery: " + recovered->recovery().ToString());
+      } else {
+        ScrubReport scrub = recovered->Scrub();
+        if (!scrub.clean()) {
+          diverge("recovered instance fails scrub: " + scrub.problems[0]);
+        } else {
+          ++report.recovered_ok;
+        }
+      }
+      (void)recovered->Close();
+      std::filesystem::remove_all(dir, ec);
+    }
+  }
+  report.complete = true;
+  return report;
+}
+
+}  // namespace good::storage

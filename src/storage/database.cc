@@ -1,5 +1,6 @@
 #include "storage/database.h"
 
+#include <algorithm>
 #include <thread>
 #include <utility>
 
@@ -16,12 +17,49 @@ const method::MethodRegistry& EmptyRegistry() {
 
 }  // namespace
 
+std::string_view SalvageModeToString(SalvageMode mode) {
+  switch (mode) {
+    case SalvageMode::kStrict:
+      return "strict";
+    case SalvageMode::kSalvage:
+      return "salvage";
+    case SalvageMode::kReadOnlyDegraded:
+      return "read-only-degraded";
+  }
+  return "unknown";
+}
+
+std::string RecoveryReport::ToString() const {
+  if (created) return "created fresh database";
+  std::string out = "replayed " + std::to_string(ops_replayed) +
+                    " ops, skipped " + std::to_string(ops_skipped);
+  if (ops_quarantined > 0) {
+    out += ", quarantined " + std::to_string(ops_quarantined);
+  }
+  if (dropped_torn_tail) out += ", dropped torn tail";
+  if (bytes_truncated > 0) {
+    out += ", truncated " + std::to_string(bytes_truncated) + " B";
+  }
+  if (used_previous_snapshot) out += ", from previous snapshot";
+  if (salvaged) out += " [salvaged: " + salvage.ToString() + "]";
+  if (degraded) out += " (read-only degraded)";
+  return out;
+}
+
 std::string Database::SnapshotPath(const std::string& dir) {
   return dir + "/snapshot.good";
 }
 
+std::string Database::PreviousSnapshotPath(const std::string& dir) {
+  return dir + "/snapshot.prev";
+}
+
 std::string Database::WalPath(const std::string& dir) {
   return dir + "/wal.log";
+}
+
+std::string Database::QuarantinePath(const std::string& dir) {
+  return dir + "/wal.quarantine";
 }
 
 Database::Database(std::string dir, Options options)
@@ -41,13 +79,26 @@ Result<Database> Database::Open(const std::string& dir,
                                 program::Database initial, Options options) {
   Database db(dir, options);
   FileEnv* env = db.options_.env;
-  GOOD_RETURN_NOT_OK(env->CreateDirs(dir));
-  if (env->FileExists(SnapshotPath(dir))) {
+  const bool degraded =
+      db.options_.salvage_mode == SalvageMode::kReadOnlyDegraded;
+  if (!degraded) {
+    // A degraded open must not mutate anything — not even mkdir.
+    GOOD_RETURN_NOT_OK(env->CreateDirs(dir));
+  }
+  if (env->FileExists(SnapshotPath(dir)) ||
+      env->FileExists(PreviousSnapshotPath(dir))) {
+    db.recovery_.degraded = degraded;
     GOOD_RETURN_NOT_OK(db.LoadSnapshot());
     uint64_t valid_bytes = 0;
     GOOD_RETURN_NOT_OK(db.ReplayWal(&valid_bytes));
-    GOOD_RETURN_NOT_OK(db.OpenWalForAppend(valid_bytes));
+    if (!degraded) {
+      GOOD_RETURN_NOT_OK(db.OpenWalForAppend(valid_bytes));
+    }
   } else {
+    if (degraded) {
+      return Status::FailedPrecondition(
+          "no database in " + dir + " to serve in read-only degraded mode");
+    }
     // No snapshot. An intact log record would mean operations were
     // durably acknowledged but their base state is gone.
     const std::string wal = WalPath(dir);
@@ -69,8 +120,7 @@ Result<Database> Database::Open(const std::string& dir,
   return db;
 }
 
-Status Database::LoadSnapshot() {
-  const std::string path = SnapshotPath(dir_);
+Status Database::LoadSnapshotFile(const std::string& path) {
   GOOD_ASSIGN_OR_RETURN(std::string bytes,
                         options_.env->ReadFileToString(path));
   auto contents = ReadLogRecords(bytes);
@@ -99,17 +149,78 @@ Status Database::LoadSnapshot() {
   return Status::OK();
 }
 
+Status Database::LoadSnapshot() {
+  FileEnv* env = options_.env;
+  const std::string snap = SnapshotPath(dir_);
+  const std::string prev = PreviousSnapshotPath(dir_);
+  if (env->FileExists(snap)) {
+    Status loaded = LoadSnapshotFile(snap);
+    if (loaded.ok()) return loaded;
+    if (options_.salvage_mode == SalvageMode::kStrict) return loaded;
+    // Salvage modes: the current snapshot is damaged — fall back to the
+    // one the last checkpoint displaced. Operations checkpointed into
+    // the damaged snapshot and truncated out of the log are gone; the
+    // sequence-number check in replay keeps us from papering over that
+    // hole with misordered operations.
+    if (env->FileExists(prev)) {
+      Status fallback = LoadSnapshotFile(prev);
+      if (fallback.ok()) {
+        recovery_.used_previous_snapshot = true;
+        recovery_.salvaged = true;
+        return fallback;
+      }
+    }
+    return loaded;  // both damaged: surface the primary failure
+  }
+  // No current snapshot but a previous one: our own checkpoint crash
+  // window (between the two renames). The untruncated log still holds
+  // everything since the previous checkpoint, so this recovers fully —
+  // in every mode, strict included.
+  GOOD_RETURN_NOT_OK(LoadSnapshotFile(prev));
+  recovery_.used_previous_snapshot = true;
+  return Status::OK();
+}
+
+Status Database::ReplayRecord(std::string_view op_text, size_t index) {
+  auto op = program::ParseOperation(db_.scheme, std::string(op_text));
+  if (!op.ok()) {
+    return Status::DataLoss("log record " + std::to_string(index) +
+                            " does not parse: " + op.status().ToString());
+  }
+  method::Executor exec(Registry(), options_.exec);
+  Status applied = exec.Execute(*op, &db_.scheme, &db_.instance);
+  if (!applied.ok()) {
+    return Status::DataLoss("log record " + std::to_string(index) +
+                            " does not replay: " + applied.ToString());
+  }
+  ++next_seq_;
+  ++recovery_.ops_replayed;
+  return Status::OK();
+}
+
 Status Database::ReplayWal(uint64_t* valid_bytes) {
   *valid_bytes = 0;
   const std::string wal = WalPath(dir_);
   if (!options_.env->FileExists(wal)) return Status::OK();
   GOOD_ASSIGN_OR_RETURN(std::string bytes,
                         options_.env->ReadFileToString(wal));
+  if (options_.salvage_mode == SalvageMode::kStrict) {
+    return ReplayWalStrict(bytes, valid_bytes);
+  }
+  return ReplayWalSalvage(wal, bytes, valid_bytes);
+}
+
+Status Database::ReplayWalStrict(std::string_view bytes,
+                                 uint64_t* valid_bytes) {
   GOOD_ASSIGN_OR_RETURN(LogContents contents, ReadLogRecords(bytes));
   *valid_bytes = contents.valid_bytes;
   recovery_.dropped_torn_tail = contents.dropped_torn_tail;
+  recovery_.bytes_truncated = bytes.size() - contents.valid_bytes;
   const uint64_t snapshot_seq = next_seq_;
   for (size_t i = 0; i < contents.records.size(); ++i) {
+    // Replay executes real operations — a huge log tail can take a
+    // while, so recovery is cancellable like any other long engine run.
+    GOOD_RETURN_NOT_OK(options_.recovery_deadline.Check());
     std::string_view payload = contents.records[i];
     auto seq = ConsumeFixed64(&payload);
     if (!seq.ok()) {
@@ -131,22 +242,116 @@ Status Database::ReplayWal(uint64_t* valid_bytes) {
           "log sequence gap at record " + std::to_string(i) + ": expected " +
           std::to_string(next_seq_) + ", found " + std::to_string(*seq));
     }
-    auto op = program::ParseOperation(db_.scheme, std::string(payload));
-    if (!op.ok()) {
-      return Status::DataLoss("log record " + std::to_string(i) +
-                              " does not parse: " + op.status().ToString());
-    }
-    method::Executor exec(Registry(), options_.exec);
-    Status applied = exec.Execute(*op, &db_.scheme, &db_.instance);
-    if (!applied.ok()) {
-      return Status::DataLoss("log record " + std::to_string(i) +
-                              " does not replay: " + applied.ToString());
-    }
-    ++next_seq_;
-    ++recovery_.ops_replayed;
+    GOOD_RETURN_NOT_OK(ReplayRecord(payload, i));
   }
   log_ops_ = contents.records.size();
   ops_since_checkpoint_ = recovery_.ops_replayed;
+  return Status::OK();
+}
+
+Status Database::ReplayWalSalvage(const std::string& wal,
+                                  std::string_view bytes,
+                                  uint64_t* valid_bytes) {
+  SalvageResult scan = WalSalvager::Scan(bytes);
+  const uint64_t snapshot_seq = next_seq_;
+  recovery_.dropped_torn_tail =
+      !scan.report.dropped.empty() &&
+      scan.report.dropped.back().offset + scan.report.dropped.back().length ==
+          bytes.size();
+  // A lone dropped range at the exact end of the clean prefix is the
+  // ordinary torn tail strict mode tolerates too; everything else is
+  // real salvage work.
+  const bool torn_tail_only =
+      scan.report.clean ||
+      (scan.report.dropped.size() == 1 &&
+       scan.report.dropped[0].offset == scan.report.clean_prefix_bytes &&
+       recovery_.dropped_torn_tail);
+
+  // Replay the longest prefix of frames that is sound to execute:
+  // contiguous sequence numbers, parseable, and executable. The first
+  // frame that is none of these ends the prefix — an intact frame past
+  // a hole may depend on lost operations, so executing it would
+  // fabricate state.
+  std::vector<SalvagedFrame> kept;
+  size_t stop_index = scan.frames.size();
+  for (size_t i = 0; i < scan.frames.size(); ++i) {
+    GOOD_RETURN_NOT_OK(options_.recovery_deadline.Check());
+    std::string_view payload = scan.frames[i].payload;
+    auto seq = ConsumeFixed64(&payload);
+    if (!seq.ok()) {
+      stop_index = i;
+      break;
+    }
+    if (*seq < snapshot_seq) {
+      if (recovery_.ops_replayed > 0) {
+        stop_index = i;  // misordered — do not trust anything after
+        break;
+      }
+      // Checkpoint residue; the snapshot already contains it. Dropped
+      // from the rewritten log (it is durable in the snapshot).
+      ++recovery_.ops_skipped;
+      continue;
+    }
+    if (*seq != next_seq_) {
+      stop_index = i;  // a hole in the history
+      break;
+    }
+    if (!ReplayRecord(payload, i).ok()) {
+      stop_index = i;
+      break;
+    }
+    kept.push_back(scan.frames[i]);
+  }
+  // Frames past the stop point are salvageable but not replayable:
+  // quarantine them alongside the corrupt byte ranges.
+  for (size_t i = stop_index; i < scan.frames.size(); ++i) {
+    const uint64_t extent = kRecordHeaderSize + scan.frames[i].payload.size();
+    scan.report.dropped.push_back(DroppedRange{
+        scan.frames[i].offset, extent, SalvageDropReason::kUnreplayable});
+    scan.report.bytes_dropped += extent;
+    scan.report.bytes_kept -= extent;
+    ++recovery_.ops_quarantined;
+  }
+  std::sort(scan.report.dropped.begin(), scan.report.dropped.end(),
+            [](const DroppedRange& a, const DroppedRange& b) {
+              return a.offset < b.offset;
+            });
+  scan.report.frames_kept = kept.size();
+  scan.report.clean = scan.report.dropped.empty();
+
+  const bool stopped = stop_index < scan.frames.size();
+  recovery_.salvaged |= stopped || !torn_tail_only;
+  recovery_.salvage = scan.report;
+  log_ops_ = recovery_.ops_skipped + recovery_.ops_replayed;
+  ops_since_checkpoint_ = recovery_.ops_replayed;
+
+  if (options_.salvage_mode == SalvageMode::kReadOnlyDegraded) {
+    // Report only; the damaged file stays byte-for-byte as found.
+    *valid_bytes = 0;
+    return Status::OK();
+  }
+  if (stopped || !torn_tail_only || recovery_.used_previous_snapshot) {
+    // Real damage: preserve every dropped byte in the sidecar, then
+    // rewrite the log to exactly the replayed prefix (atomically — a
+    // crash mid-repair leaves the damaged original, and salvage is
+    // idempotent).
+    GOOD_RETURN_NOT_OK(WalSalvager::WriteQuarantine(
+        options_.env, QuarantinePath(dir_), bytes, scan));
+    GOOD_RETURN_NOT_OK(
+        WalSalvager::RewriteLog(options_.env, wal, kept, kept.size()));
+    uint64_t kept_bytes = 0;
+    for (const SalvagedFrame& frame : kept) {
+      kept_bytes += kRecordHeaderSize + frame.payload.size();
+    }
+    *valid_bytes = kept_bytes;
+    recovery_.bytes_truncated = bytes.size() - kept_bytes;
+    log_ops_ = kept.size();
+  } else {
+    // Clean log or plain torn tail: behave exactly like strict mode
+    // (the tail is truncated by OpenWalForAppend).
+    *valid_bytes = scan.report.clean_prefix_bytes;
+    recovery_.bytes_truncated = bytes.size() - *valid_bytes;
+  }
   return Status::OK();
 }
 
@@ -169,6 +374,11 @@ Status Database::OpenWalForAppend(uint64_t valid_bytes) {
 
 Status Database::Apply(const method::Operation& op, ops::ApplyStats* stats) {
   if (closed_) return Status::FailedPrecondition("database is closed");
+  if (recovery_.degraded) {
+    return Status::Unavailable(
+        "database is open read-only (degraded salvage mode); reopen with "
+        "SalvageMode::kSalvage to repair and accept writes");
+  }
   if (poisoned_) {
     return Status::FailedPrecondition(
         "database is poisoned by an earlier unrecoverable log failure; "
@@ -234,6 +444,10 @@ Status Database::Undo(Status cause) {
 
 Status Database::Checkpoint() {
   if (closed_) return Status::FailedPrecondition("database is closed");
+  if (recovery_.degraded) {
+    return Status::Unavailable(
+        "database is open read-only (degraded salvage mode)");
+  }
   if (poisoned_) {
     return Status::FailedPrecondition(
         "database is poisoned by an earlier unrecoverable log failure");
@@ -252,9 +466,16 @@ Status Database::Checkpoint() {
   GOOD_RETURN_NOT_OK(file->Append(framed));
   GOOD_RETURN_NOT_OK(file->Sync());
   GOOD_RETURN_NOT_OK(file->Close());
-  // Atomic publish; a crash on either side of the rename leaves a
-  // consistent (old or new) snapshot.
-  GOOD_RETURN_NOT_OK(env->RenameFile(tmp, SnapshotPath(dir_)));
+  // Atomic publish, keeping the displaced snapshot as the salvage
+  // fallback. A crash on either side of either rename leaves a
+  // recoverable chain: before the first, the old snapshot is current;
+  // between them, recovery finds snapshot.prev plus the untruncated
+  // log; after the second, the new snapshot is current.
+  const std::string snap = SnapshotPath(dir_);
+  if (env->FileExists(snap)) {
+    GOOD_RETURN_NOT_OK(env->RenameFile(snap, PreviousSnapshotPath(dir_)));
+  }
+  GOOD_RETURN_NOT_OK(env->RenameFile(tmp, snap));
   GOOD_RETURN_NOT_OK(env->SyncDir(dir_));
 
   // Snapshot durable — the log is now redundant. A crash before the
@@ -271,6 +492,10 @@ Status Database::Checkpoint() {
   log_ops_ = 0;
   ops_since_checkpoint_ = 0;
   return Status::OK();
+}
+
+ScrubReport Database::Scrub(const ScrubOptions& options) const {
+  return storage::Scrub(db_.scheme, db_.instance, options);
 }
 
 Status Database::Close() {

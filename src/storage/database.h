@@ -15,19 +15,31 @@
 ///    exactly the operations that succeeded.
 ///  - **Checkpoint** writes the full scheme+instance (program/
 ///    serialize.h) to a temporary file, fsyncs, atomically renames it
-///    over the previous snapshot, and truncates the log. Each log
-///    record carries a sequence number and the snapshot stores the next
-///    expected one, so a crash between rename and truncation is
-///    harmless: recovery skips records the snapshot already contains.
+///    over the previous snapshot — keeping the displaced snapshot as
+///    `snapshot.prev`, the salvage fallback — and truncates the log.
+///    Each log record carries a sequence number and the snapshot stores
+///    the next expected one, so a crash anywhere in that dance is
+///    harmless: recovery skips records the snapshot already contains,
+///    and falls back to `snapshot.prev` when the crash hit between the
+///    two renames.
 ///  - **Open** recovers by loading the snapshot and replaying the log
-///    tail. A truncated or checksum-failing *final* record is dropped
-///    (a torn append — the operation never reported success); any
-///    earlier damage fails loudly with StatusCode::kDataLoss.
+///    tail, under one of three damage policies (Options::salvage_mode):
+///    kStrict drops a torn *final* record (the residue of an
+///    interrupted append) and fails loudly with kDataLoss on anything
+///    worse; kSalvage scans past interior damage (storage/salvage.h),
+///    replays the longest sound prefix, quarantines everything it had
+///    to drop into a sidecar file, and repairs the log in place;
+///    kReadOnlyDegraded recovers the same salvaged prefix without
+///    touching a single byte on disk and serves reads only — writes
+///    are rejected with kUnavailable instead of the database refusing
+///    to open.
 ///
 /// Operations are deterministic up to the choice of new object ids
 /// (Section 3 of the paper), so a recovered instance is isomorphic —
 /// not pointer-identical — to the pre-crash one; tests compare with
-/// graph/isomorphism.h. Methods are code, not data: a database whose
+/// graph/isomorphism.h, and tests/crash_consistency_test.cc proves the
+/// committed-prefix invariant at every mutating-I/O boundary via
+/// storage/crashsim.h. Methods are code, not data: a database whose
 /// log contains `call` records must be reopened with a MethodRegistry
 /// providing the same definitions (Options::methods).
 
@@ -39,12 +51,29 @@
 #include <string>
 #include <vector>
 
+#include "common/deadline.h"
 #include "method/method.h"
 #include "program/program.h"
 #include "storage/file_env.h"
+#include "storage/salvage.h"
+#include "storage/scrub.h"
 #include "storage/wal.h"
 
 namespace good::storage {
+
+/// \brief How much damage Open() tolerates, and at what cost.
+enum class SalvageMode {
+  /// Torn tails only; interior damage is kDataLoss. The default.
+  kStrict,
+  /// Recover the longest sound prefix, quarantine the damage to a
+  /// sidecar, rewrite the log, open writable.
+  kSalvage,
+  /// Recover like kSalvage but write nothing — not even the torn-tail
+  /// truncation. Reads work; Apply/Checkpoint return kUnavailable.
+  kReadOnlyDegraded,
+};
+
+std::string_view SalvageModeToString(SalvageMode mode);
 
 /// \brief Tuning and environment knobs for a durable database.
 struct Options {
@@ -56,6 +85,12 @@ struct Options {
   const method::MethodRegistry* methods = nullptr;
   /// Execution budgets for operations and replay.
   method::ExecOptions exec;
+  /// Damage tolerance policy for Open (see SalvageMode).
+  SalvageMode salvage_mode = SalvageMode::kStrict;
+  /// Polled between replayed records during recovery, so opening a
+  /// database with a huge log is cancellable / time-boxed. Expiry
+  /// surfaces as kDeadlineExceeded (or kCancelled) from Open.
+  common::Deadline recovery_deadline;
   /// Fsync the log after every appended operation. Turning this off
   /// trades the durability of the last few operations for throughput
   /// (recovery still sees a consistent prefix).
@@ -74,8 +109,8 @@ struct Options {
   std::chrono::microseconds wal_retry_backoff{100};
 };
 
-/// \brief What Open() found and did.
-struct RecoveryInfo {
+/// \brief Structured account of what Open() found, dropped, and did.
+struct RecoveryReport {
   /// True when the directory held no database and a fresh one was
   /// bootstrapped from the caller's initial state.
   bool created = false;
@@ -84,8 +119,27 @@ struct RecoveryInfo {
   /// Log records skipped because the snapshot already contained them
   /// (crash between checkpoint rename and log truncation).
   size_t ops_skipped = 0;
+  /// Checksum-intact log records NOT replayed because they follow a
+  /// hole (salvage modes only; quarantined, never executed).
+  size_t ops_quarantined = 0;
   /// True iff a torn final log record was dropped.
   bool dropped_torn_tail = false;
+  /// Bytes of log tail cut off (torn tail, or everything past the
+  /// salvageable prefix in kSalvage mode).
+  uint64_t bytes_truncated = 0;
+  /// True iff recovery based itself on snapshot.prev because the
+  /// current snapshot was missing or (salvage modes) damaged.
+  bool used_previous_snapshot = false;
+  /// True iff the salvage scanner had to engage (non-strict mode and
+  /// real damage found).
+  bool salvaged = false;
+  /// True iff the handle is read-only (kReadOnlyDegraded).
+  bool degraded = false;
+  /// Details of the salvage scan when `salvaged` is true.
+  SalvageReport salvage;
+
+  /// One-line human summary for logs.
+  std::string ToString() const;
 };
 
 /// \brief A durable scheme + instance rooted in a directory.
@@ -97,7 +151,7 @@ class Database {
   /// Opens the database in `dir`, creating it from `initial` when no
   /// snapshot exists yet (on later opens `initial` is ignored — the
   /// recovered state wins). Fails with kDataLoss when the persisted
-  /// state is damaged beyond a torn log tail.
+  /// state is damaged beyond what Options::salvage_mode tolerates.
   static Result<Database> Open(const std::string& dir,
                                program::Database initial,
                                Options options = {});
@@ -119,7 +173,8 @@ class Database {
   /// truncation) and the in-memory scheme + instance (via the
   /// executor's transaction scope), so log and memory never diverge.
   /// Operations carrying C++ closures (match filters, computed edges)
-  /// cannot be serialized and are rejected.
+  /// cannot be serialized and are rejected. A degraded (read-only)
+  /// handle rejects every Apply with kUnavailable.
   Status Apply(const method::Operation& op,
                ops::ApplyStats* stats = nullptr);
 
@@ -129,7 +184,14 @@ class Database {
                   ops::ApplyStats* stats = nullptr);
 
   /// Writes a snapshot of the current state and truncates the log.
+  /// kUnavailable on a degraded handle.
   Status Checkpoint();
+
+  /// Audits the in-memory pair against the scheme and its own indexes
+  /// (storage/scrub.h) — one full pass, sliced under
+  /// `options.deadline` if armed. Corruption findings are returned in
+  /// the report, not as an error status.
+  ScrubReport Scrub(const ScrubOptions& options = {}) const;
 
   /// Syncs and closes the log. Further Apply calls fail.
   Status Close();
@@ -139,7 +201,9 @@ class Database {
   /// The owned scheme + instance as a program::Database view.
   const program::Database& database() const { return db_; }
 
-  const RecoveryInfo& recovery() const { return recovery_; }
+  const RecoveryReport& recovery() const { return recovery_; }
+  /// True iff this handle serves reads only (kReadOnlyDegraded open).
+  bool degraded() const { return recovery_.degraded; }
   /// Operations currently in the log (since the last checkpoint).
   size_t log_ops() const { return log_ops_; }
   /// Log file size in bytes.
@@ -149,15 +213,31 @@ class Database {
 
   /// Path helpers (for tests and tools).
   static std::string SnapshotPath(const std::string& dir);
+  /// The pre-checkpoint snapshot, kept as the salvage fallback.
+  static std::string PreviousSnapshotPath(const std::string& dir);
   static std::string WalPath(const std::string& dir);
+  /// Sidecar holding the byte ranges a salvaging Open dropped.
+  static std::string QuarantinePath(const std::string& dir);
 
  private:
   Database(std::string dir, Options options);
 
+  /// Loads snapshot.good, falling back to snapshot.prev when the
+  /// current one is missing (all modes — that is our own checkpoint
+  /// crash window) or damaged (salvage modes only).
   Status LoadSnapshot();
+  /// Parses one snapshot file into db_/next_seq_.
+  Status LoadSnapshotFile(const std::string& path);
   /// Replays the log tail over the snapshot state; reports the byte
   /// offset appends must resume from (torn tails are cut off there).
+  /// Dispatches to the strict or salvaging variant per salvage_mode.
   Status ReplayWal(uint64_t* valid_bytes);
+  Status ReplayWalStrict(std::string_view bytes, uint64_t* valid_bytes);
+  Status ReplayWalSalvage(const std::string& wal, std::string_view bytes,
+                          uint64_t* valid_bytes);
+  /// Parses and executes one logged operation (the payload with its
+  /// sequence number already consumed). Shared by both replay variants.
+  Status ReplayRecord(std::string_view op_text, size_t index);
   Status OpenWalForAppend(uint64_t valid_bytes);
   /// Rolls back the last log record; poisons the handle if the
   /// truncation itself fails (log and memory can no longer be
@@ -173,7 +253,7 @@ class Database {
   uint64_t next_seq_ = 0;
   size_t log_ops_ = 0;
   size_t ops_since_checkpoint_ = 0;
-  RecoveryInfo recovery_;
+  RecoveryReport recovery_;
   bool poisoned_ = false;
   bool closed_ = false;
 };

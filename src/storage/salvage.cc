@@ -1,0 +1,171 @@
+#include "storage/salvage.h"
+
+#include "storage/crc32.h"
+#include "storage/wal.h"
+
+namespace good::storage {
+namespace {
+
+/// True iff `bytes` at `pos` starts a frame whose checksum verifies.
+bool FrameVerifiesAt(std::string_view bytes, uint64_t pos,
+                     uint32_t* length_out) {
+  const uint64_t remaining = bytes.size() - pos;
+  if (remaining < kRecordHeaderSize) return false;
+  const uint32_t length = DecodeFixed32(bytes.substr(pos, 4));
+  if (length > remaining - kRecordHeaderSize) return false;
+  const uint32_t stored_crc = DecodeFixed32(bytes.substr(pos + 4, 4));
+  if (Crc32(bytes.substr(pos + kRecordHeaderSize, length)) != stored_crc) {
+    return false;
+  }
+  *length_out = length;
+  return true;
+}
+
+}  // namespace
+
+std::string_view SalvageDropReasonToString(SalvageDropReason reason) {
+  switch (reason) {
+    case SalvageDropReason::kBadChecksum:
+      return "bad-checksum";
+    case SalvageDropReason::kTruncatedPayload:
+      return "truncated-payload";
+    case SalvageDropReason::kPartialHeader:
+      return "partial-header";
+    case SalvageDropReason::kResyncSkip:
+      return "resync-skip";
+    case SalvageDropReason::kUnreplayable:
+      return "unreplayable";
+  }
+  return "unknown";
+}
+
+std::string SalvageReport::ToString() const {
+  std::string out = "kept " + std::to_string(frames_kept) + " frames / " +
+                    std::to_string(bytes_kept) + " B, dropped " +
+                    std::to_string(dropped.size()) + " ranges / " +
+                    std::to_string(bytes_dropped) + " B";
+  if (clean) out += " (clean)";
+  return out;
+}
+
+SalvageResult WalSalvager::Scan(std::string_view file_bytes) {
+  SalvageResult out;
+  const uint64_t total = file_bytes.size();
+  uint64_t pos = 0;
+  bool in_clean_prefix = true;
+  // Coalesces consecutive dropped bytes into one range per damage run.
+  uint64_t drop_start = 0;
+  uint64_t drop_length = 0;
+  SalvageDropReason drop_reason = SalvageDropReason::kBadChecksum;
+  auto flush_drop = [&] {
+    if (drop_length == 0) return;
+    out.report.dropped.push_back(
+        DroppedRange{drop_start, drop_length, drop_reason});
+    out.report.bytes_dropped += drop_length;
+    drop_length = 0;
+  };
+  auto drop = [&](uint64_t at, uint64_t len, SalvageDropReason reason) {
+    if (drop_length > 0 &&
+        (drop_start + drop_length != at || drop_reason != reason)) {
+      flush_drop();
+    }
+    if (drop_length == 0) {
+      drop_start = at;
+      drop_reason = reason;
+    }
+    drop_length += len;
+    in_clean_prefix = false;
+  };
+
+  while (pos < total) {
+    const uint64_t remaining = total - pos;
+    if (remaining < kRecordHeaderSize) {
+      drop(pos, remaining, SalvageDropReason::kPartialHeader);
+      break;
+    }
+    uint32_t length = 0;
+    if (FrameVerifiesAt(file_bytes, pos, &length)) {
+      flush_drop();
+      out.frames.push_back(SalvagedFrame{
+          pos, std::string(file_bytes.substr(pos + kRecordHeaderSize,
+                                             length))});
+      out.report.bytes_kept += kRecordHeaderSize + length;
+      pos += kRecordHeaderSize + length;
+      if (in_clean_prefix) out.report.clean_prefix_bytes = pos;
+      continue;
+    }
+    // The header at `pos` does not describe a verifiable frame. Classify
+    // the damage for the report, then resync: slide forward until some
+    // offset verifies again (or EOF).
+    const uint32_t declared = DecodeFixed32(file_bytes.substr(pos, 4));
+    const bool truncated = declared > remaining - kRecordHeaderSize;
+    const uint64_t frame_extent =
+        truncated ? remaining : kRecordHeaderSize + declared;
+    uint64_t next = pos + 1;
+    uint32_t next_length = 0;
+    while (next < total && !FrameVerifiesAt(file_bytes, next, &next_length)) {
+      ++next;
+    }
+    if (next >= pos + frame_extent || next >= total) {
+      // The whole declared frame (or the rest of the file) is damage.
+      drop(pos, frame_extent,
+           truncated ? SalvageDropReason::kTruncatedPayload
+                     : SalvageDropReason::kBadChecksum);
+      ++out.report.frames_dropped;
+      pos += frame_extent;
+      if (next > pos && next < total) {
+        drop(pos, next - pos, SalvageDropReason::kResyncSkip);
+        pos = next;
+      }
+    } else {
+      // A verifiable frame begins inside the bad frame's declared
+      // extent — trust the checksum over the (possibly corrupt) length
+      // field and resync there.
+      drop(pos, next - pos, SalvageDropReason::kBadChecksum);
+      ++out.report.frames_dropped;
+      pos = next;
+    }
+  }
+  flush_drop();
+  out.report.frames_kept = out.frames.size();
+  out.report.clean = out.report.dropped.empty();
+  if (out.report.clean) out.report.clean_prefix_bytes = total;
+  return out;
+}
+
+Status WalSalvager::WriteQuarantine(FileEnv* env, const std::string& path,
+                                    std::string_view file_bytes,
+                                    const SalvageResult& result) {
+  if (result.report.dropped.empty()) return Status::OK();
+  std::string contents;
+  for (const DroppedRange& range : result.report.dropped) {
+    std::string payload;
+    AppendFixed64(&payload, range.offset);
+    AppendFixed32(&payload, static_cast<uint32_t>(range.reason));
+    payload.append(file_bytes.substr(range.offset, range.length));
+    AppendRecordTo(&contents, payload);
+  }
+  GOOD_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                        env->NewWritableFile(path, /*truncate=*/true));
+  GOOD_RETURN_NOT_OK(file->Append(contents));
+  GOOD_RETURN_NOT_OK(file->Sync());
+  return file->Close();
+}
+
+Status WalSalvager::RewriteLog(FileEnv* env, const std::string& wal_path,
+                               const std::vector<SalvagedFrame>& keep,
+                               size_t keep_count) {
+  std::string contents;
+  for (size_t i = 0; i < keep_count && i < keep.size(); ++i) {
+    AppendRecordTo(&contents, keep[i].payload);
+  }
+  const std::string tmp = wal_path + ".repair";
+  GOOD_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                        env->NewWritableFile(tmp, /*truncate=*/true));
+  GOOD_RETURN_NOT_OK(file->Append(contents));
+  GOOD_RETURN_NOT_OK(file->Sync());
+  GOOD_RETURN_NOT_OK(file->Close());
+  return env->RenameFile(tmp, wal_path);
+}
+
+}  // namespace good::storage

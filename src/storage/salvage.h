@@ -1,0 +1,128 @@
+/// \file salvage.h
+/// \brief Best-effort scanning and repair of damaged record files.
+///
+/// ReadLogRecords (wal.h) is deliberately strict: the first interior
+/// checksum failure is kDataLoss and nothing after it is trusted. That
+/// is the right default for recovery, but it turns one flipped byte in
+/// the middle of a long log into a refusal to open the database at
+/// all. The salvager implements the complementary policy: scan the
+/// whole file, keep every frame whose checksum verifies, quarantine
+/// the byte ranges that do not, and report exactly what was kept and
+/// dropped so the caller (or an operator reading the sidecar) can
+/// decide what to do.
+///
+/// Resynchronization after a bad frame is heuristic by necessity — the
+/// framing has no magic number, so the scanner slides forward one byte
+/// at a time until it finds an offset whose header describes a payload
+/// that checksums correctly. A false resync would require a 32-bit CRC
+/// collision against random bytes; frames after a genuine resync point
+/// verify like any other. Note that *salvageable* is a weaker property
+/// than *replayable*: a frame past a damaged region may checksum
+/// perfectly yet depend on lost operations, so Database::Open in
+/// salvage mode replays only the contiguous-sequence prefix and
+/// reports (but does not execute) later frames.
+
+#ifndef GOOD_STORAGE_SALVAGE_H_
+#define GOOD_STORAGE_SALVAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/file_env.h"
+
+namespace good::storage {
+
+/// \brief Why a byte range of the scanned file was not kept.
+enum class SalvageDropReason {
+  /// A whole frame whose stored CRC does not match its payload.
+  kBadChecksum,
+  /// A header whose declared payload length runs past the end of the
+  /// file (torn final append, or a corrupted length field).
+  kTruncatedPayload,
+  /// Fewer than kRecordHeaderSize bytes at end of file.
+  kPartialHeader,
+  /// Bytes skipped while hunting for the next verifiable frame after
+  /// damage (no parseable header at these offsets).
+  kResyncSkip,
+  /// A checksum-intact frame that cannot be replayed: it follows a
+  /// hole in the operation sequence (or fails to parse/execute), so
+  /// executing it against the recovered prefix would be unsound.
+  kUnreplayable,
+};
+
+std::string_view SalvageDropReasonToString(SalvageDropReason reason);
+
+/// \brief A frame that survived the salvage scan.
+struct SalvagedFrame {
+  /// Byte offset of the frame header in the scanned file.
+  uint64_t offset = 0;
+  /// The verified payload.
+  std::string payload;
+};
+
+/// \brief A byte range the salvage scan dropped.
+struct DroppedRange {
+  uint64_t offset = 0;
+  uint64_t length = 0;
+  SalvageDropReason reason = SalvageDropReason::kBadChecksum;
+};
+
+/// \brief Structured outcome of a salvage scan.
+struct SalvageReport {
+  size_t frames_kept = 0;
+  size_t frames_dropped = 0;  // bad-checksum + truncated-payload drops
+  uint64_t bytes_kept = 0;
+  uint64_t bytes_dropped = 0;
+  /// Length of the leading undamaged prefix (identical to what strict
+  /// ReadLogRecords would accept). frames past this offset verified
+  /// only after a resync.
+  uint64_t clean_prefix_bytes = 0;
+  /// True iff the file had no damage at all.
+  bool clean = false;
+  std::vector<DroppedRange> dropped;
+
+  /// One-line human summary ("kept 17 frames / 2041 B, dropped 2
+  /// ranges / 63 B").
+  std::string ToString() const;
+};
+
+/// \brief Result of scanning a damaged record file.
+struct SalvageResult {
+  std::vector<SalvagedFrame> frames;
+  SalvageReport report;
+};
+
+/// \brief Scans past damage that strict reading refuses to cross.
+class WalSalvager {
+ public:
+  /// Scans `file_bytes`, keeping every checksum-verified frame and
+  /// recording every dropped byte range. Never fails: a fully corrupt
+  /// file yields zero frames and one big dropped range.
+  static SalvageResult Scan(std::string_view file_bytes);
+
+  /// Writes the dropped byte ranges of `result` (resolved against the
+  /// original `file_bytes`) to `path` as a quarantine sidecar: one
+  /// framed record per range whose payload is
+  /// [fixed64 original offset][fixed32 reason][raw bytes]. The sidecar
+  /// uses the standard framing so it can itself be read back with
+  /// ReadLogRecords.
+  static Status WriteQuarantine(FileEnv* env, const std::string& path,
+                                std::string_view file_bytes,
+                                const SalvageResult& result);
+
+  /// Rewrites `wal_path` to contain exactly the frames of `keep`
+  /// (already-framed payloads are re-framed verbatim), via a temp file
+  /// and atomic rename so a crash mid-repair leaves either the damaged
+  /// original or the repaired file, never a half-written one.
+  static Status RewriteLog(FileEnv* env, const std::string& wal_path,
+                           const std::vector<SalvagedFrame>& keep,
+                           size_t keep_count);
+};
+
+}  // namespace good::storage
+
+#endif  // GOOD_STORAGE_SALVAGE_H_

@@ -1,0 +1,193 @@
+#include "storage/scrub.h"
+
+#include <algorithm>
+
+namespace good::storage {
+namespace {
+
+/// Deadline poll stride: cheap enough to be invisible, frequent enough
+/// that a slice overshoots its budget by at most a few nodes.
+constexpr size_t kPollStride = 64;
+
+bool Contains(const std::vector<graph::NodeId>& list, graph::NodeId node) {
+  return std::find(list.begin(), list.end(), node) != list.end();
+}
+
+}  // namespace
+
+void Scrubber::Reset() {
+  report_ = ScrubReport{};
+  cursor_ = 0;
+  alive_seen_ = 0;
+  out_edges_seen_ = 0;
+  label_census_.clear();
+}
+
+void Scrubber::ScrubNode(graph::NodeId node) {
+  const graph::Instance& g = *instance_;
+  const schema::Scheme& s = *scheme_;
+  const std::string name = "node #" + std::to_string(node.id);
+  auto problem = [&](std::string text) {
+    report_.problems.push_back(name + " " + std::move(text));
+  };
+
+  const Symbol label = g.LabelOf(node);
+  ++alive_seen_;
+  ++label_census_[label];
+
+  // Scheme conformance of the node itself.
+  if (!s.IsNodeLabel(label)) {
+    problem("label '" + SymName(label) + "' is not a node label");
+  } else if (s.IsPrintableLabel(label)) {
+    if (g.HasPrintValue(node)) {
+      const Value& value = *g.PrintValueOf(node);
+      auto domain = s.DomainOf(label);
+      if (!domain.ok()) {
+        problem("printable label without a domain: " +
+                domain.status().ToString());
+      } else if (value.kind() != *domain) {
+        problem("print value outside the domain of '" + SymName(label) + "'");
+      }
+      // Printable dedup: the (label, value) map must resolve to this
+      // very node — a duplicate or a stale map entry both surface here.
+      auto dedup = g.FindPrintable(label, value);
+      if (!dedup.has_value()) {
+        problem("missing from the printable dedup index");
+      } else if (*dedup != node) {
+        problem("printable dedup index resolves to node #" +
+                std::to_string(dedup->id) + " instead");
+      }
+    }
+  } else if (g.HasPrintValue(node)) {
+    problem("is an object node but carries a print value");
+  }
+
+  // Outgoing edges: typing, uniqueness, and agreement of all three
+  // redundant indexes (edge set, out index, target's in index).
+  std::unordered_map<Symbol, size_t> out_census, in_census;
+  std::unordered_map<Symbol, Symbol> successor_label;
+  for (const auto& [edge_label, target] : g.OutEdges(node)) {
+    ++report_.edges_scrubbed;
+    ++out_edges_seen_;
+    ++out_census[edge_label];
+    if (!g.HasNode(target)) {
+      problem("has a '" + SymName(edge_label) + "' edge to dead node #" +
+              std::to_string(target.id));
+      continue;
+    }
+    if (!s.HasTriple(label, edge_label, g.LabelOf(target))) {
+      problem("edge '" + SymName(edge_label) +
+              "' is not licensed by any scheme triple");
+    }
+    auto [it, inserted] =
+        successor_label.emplace(edge_label, g.LabelOf(target));
+    if (!inserted && it->second != g.LabelOf(target)) {
+      problem("has '" + SymName(edge_label) +
+              "' successors with unequal labels");
+    }
+    if (s.IsFunctionalEdgeLabel(edge_label) &&
+        out_census[edge_label] > 1) {
+      problem("has multiple functional '" + SymName(edge_label) + "' edges");
+    }
+    if (!g.HasEdge(node, edge_label, target)) {
+      problem("edge '" + SymName(edge_label) + "' missing from the edge set");
+    }
+    if (!Contains(g.OutTargets(node, edge_label), target)) {
+      problem("edge '" + SymName(edge_label) + "' missing from the out index");
+    }
+    if (!Contains(g.InSources(target, edge_label), node)) {
+      problem("edge '" + SymName(edge_label) +
+              "' missing from the target's in index");
+    }
+  }
+  // Incoming edges: every recorded predecessor must know about us.
+  for (const auto& [source, edge_label] : g.InEdges(node)) {
+    ++in_census[edge_label];
+    if (!g.HasNode(source)) {
+      problem("has a '" + SymName(edge_label) + "' edge from dead node #" +
+              std::to_string(source.id));
+      continue;
+    }
+    if (!g.HasEdge(source, edge_label, node)) {
+      problem("incoming '" + SymName(edge_label) +
+              "' edge missing from the edge set");
+    }
+    if (!Contains(g.OutTargets(source, edge_label), node)) {
+      problem("incoming '" + SymName(edge_label) +
+              "' edge missing from the source's out index");
+    }
+  }
+  // Cardinality agreement catches *stale* index entries — an index can
+  // contain every listed edge and still be too big.
+  for (const auto& [edge_label, count] : out_census) {
+    if (g.OutDegree(node, edge_label) != count) {
+      problem("out index size disagrees for '" + SymName(edge_label) + "'");
+    }
+  }
+  for (const auto& [edge_label, count] : in_census) {
+    if (g.InDegree(node, edge_label) != count) {
+      problem("in index size disagrees for '" + SymName(edge_label) + "'");
+    }
+  }
+  // Label index membership.
+  if (!Contains(g.NodesWithLabel(label), node)) {
+    problem("missing from the label index for '" + SymName(label) + "'");
+  }
+}
+
+Status Scrubber::Step(const ScrubOptions& options) {
+  if (report_.complete) return Status::OK();
+  const std::vector<graph::NodeId> nodes = instance_->AllNodes();
+  auto it = std::lower_bound(
+      nodes.begin(), nodes.end(), graph::NodeId{cursor_},
+      [](graph::NodeId a, graph::NodeId b) { return a.id < b.id; });
+  size_t scrubbed_this_call = 0;
+  for (; it != nodes.end(); ++it) {
+    if (options.deadline.armed() && scrubbed_this_call % kPollStride == 0) {
+      Status cutoff = options.deadline.Check();
+      if (!cutoff.ok()) {
+        cursor_ = it->id;  // resume here next call
+        return cutoff;
+      }
+    }
+    if (options.max_nodes != 0 && scrubbed_this_call >= options.max_nodes) {
+      cursor_ = it->id;
+      return Status::OK();  // paused, report_.complete stays false
+    }
+    ScrubNode(*it);
+    ++report_.nodes_scrubbed;
+    ++scrubbed_this_call;
+  }
+  cursor_ = static_cast<uint32_t>(-1);
+
+  // Whole-instance totals (exact when the pass ran without concurrent
+  // mutation; see file comment).
+  if (alive_seen_ != instance_->num_nodes()) {
+    report_.problems.push_back(
+        "alive-node count disagrees: walked " + std::to_string(alive_seen_) +
+        ", instance reports " + std::to_string(instance_->num_nodes()));
+  }
+  if (out_edges_seen_ != instance_->num_edges()) {
+    report_.problems.push_back(
+        "edge count disagrees: walked " + std::to_string(out_edges_seen_) +
+        ", instance reports " + std::to_string(instance_->num_edges()));
+  }
+  for (const auto& [label, count] : label_census_) {
+    if (instance_->CountNodesWithLabel(label) != count) {
+      report_.problems.push_back(
+          "label index cardinality disagrees for '" + SymName(label) + "'");
+    }
+  }
+  report_.complete = true;
+  return Status::OK();
+}
+
+ScrubReport Scrub(const schema::Scheme& scheme,
+                  const graph::Instance& instance,
+                  const ScrubOptions& options) {
+  Scrubber scrubber(&scheme, &instance);
+  (void)scrubber.Step(options);
+  return scrubber.report();
+}
+
+}  // namespace good::storage

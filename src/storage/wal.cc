@@ -5,7 +5,6 @@
 #include "storage/crc32.h"
 
 namespace good::storage {
-namespace {
 
 void AppendFixed32(std::string* dst, uint32_t value) {
   for (int shift = 0; shift < 32; shift += 8) {
@@ -20,8 +19,6 @@ uint32_t DecodeFixed32(std::string_view bytes) {
   }
   return value;
 }
-
-}  // namespace
 
 void AppendFixed64(std::string* dst, uint64_t value) {
   for (int shift = 0; shift < 64; shift += 8) {

@@ -44,6 +44,12 @@ namespace good::storage {
 /// Bytes of framing overhead per record (length + checksum).
 inline constexpr size_t kRecordHeaderSize = 8;
 
+/// Appends `value` to `dst` as 4 little-endian bytes.
+void AppendFixed32(std::string* dst, uint32_t value);
+
+/// Decodes 4 little-endian bytes (`bytes.size()` must be >= 4).
+uint32_t DecodeFixed32(std::string_view bytes);
+
 /// Appends `value` to `dst` as 8 little-endian bytes.
 void AppendFixed64(std::string* dst, uint64_t value);
 

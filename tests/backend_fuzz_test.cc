@@ -21,8 +21,11 @@
 #include "pattern/matcher.h"
 #include "program/program.h"
 #include "relational/backend.h"
+#include "storage/crc32.h"
 #include "storage/database.h"
 #include "storage/fault_env.h"
+#include "storage/salvage.h"
+#include "storage/wal.h"
 
 namespace good::relational {
 namespace {
@@ -364,6 +367,103 @@ TEST_P(MidMethodFaultTest, InjectedFaultRollsBackToPreCallState) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MidMethodFaultTest, ::testing::Range(0, 18));
+
+// ---------------------------------------------------------------------------
+// Salvage scanner fuzz: random log corruption
+// ---------------------------------------------------------------------------
+
+class SalvageFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SalvageFuzzTest, RandomCorruptionNeverBreaksScanInvariants) {
+  // CI's fault-injection loop exports GOOD_FAULT_SEED to shift the
+  // seed range across runs.
+  const char* base = std::getenv("GOOD_FAULT_SEED");
+  const int seed =
+      GetParam() + (base != nullptr ? std::atoi(base) : 0) * 1000;
+  std::mt19937 rng(static_cast<unsigned>(seed));
+
+  // A synthetic log of 20-60 frames with varied payload sizes.
+  std::string log;
+  size_t frames = 20 + rng() % 41;
+  for (size_t i = 0; i < frames; ++i) {
+    std::string payload;
+    size_t len = 1 + rng() % 200;
+    for (size_t j = 0; j < len; ++j) {
+      payload.push_back(static_cast<char>(rng() % 256));
+    }
+    storage::AppendRecordTo(&log, payload);
+  }
+
+  // An undamaged log scans clean and keeps everything.
+  {
+    storage::SalvageResult clean = storage::WalSalvager::Scan(log);
+    EXPECT_TRUE(clean.report.clean);
+    EXPECT_EQ(clean.frames.size(), frames);
+    EXPECT_EQ(clean.report.clean_prefix_bytes, log.size());
+  }
+
+  // Inflict 1-4 random mutilations: byte flips, range erasures, and
+  // garbage insertions, anywhere in the file.
+  std::string hurt = log;
+  size_t wounds = 1 + rng() % 4;
+  for (size_t w = 0; w < wounds && !hurt.empty(); ++w) {
+    switch (rng() % 3) {
+      case 0:
+        hurt[rng() % hurt.size()] ^= static_cast<char>(1 + rng() % 255);
+        break;
+      case 1: {
+        size_t at = rng() % hurt.size();
+        hurt.erase(at, std::min<size_t>(1 + rng() % 64,
+                                        hurt.size() - at));
+        break;
+      }
+      default: {
+        std::string junk;
+        for (size_t j = 0, n = 1 + rng() % 32; j < n; ++j) {
+          junk.push_back(static_cast<char>(rng() % 256));
+        }
+        hurt.insert(rng() % (hurt.size() + 1), junk);
+        break;
+      }
+    }
+  }
+
+  storage::SalvageResult result = storage::WalSalvager::Scan(hurt);
+  // Accounting invariant: every byte is either kept or dropped.
+  EXPECT_EQ(result.report.bytes_kept + result.report.bytes_dropped,
+            hurt.size());
+  EXPECT_EQ(result.report.frames_kept, result.frames.size());
+  // Every kept frame re-verifies against the mutated file at its
+  // reported offset — the scanner never invents data.
+  for (const storage::SalvagedFrame& frame : result.frames) {
+    ASSERT_LE(frame.offset + storage::kRecordHeaderSize + frame.payload.size(),
+              hurt.size());
+    EXPECT_EQ(hurt.substr(frame.offset + storage::kRecordHeaderSize,
+                          frame.payload.size()),
+              frame.payload);
+    EXPECT_EQ(storage::Crc32(frame.payload),
+              storage::DecodeFixed32(
+                  std::string_view(hurt).substr(frame.offset + 4, 4)));
+  }
+  // Dropped ranges are sorted, non-overlapping, and in bounds.
+  uint64_t last_end = 0;
+  for (const storage::DroppedRange& range : result.report.dropped) {
+    EXPECT_GE(range.offset, last_end);
+    EXPECT_LE(range.offset + range.length, hurt.size());
+    last_end = range.offset + range.length;
+  }
+  // Salvage output is a fixed point: a log rebuilt from the kept
+  // frames scans clean and keeps them all.
+  std::string repaired;
+  for (const storage::SalvagedFrame& frame : result.frames) {
+    storage::AppendRecordTo(&repaired, frame.payload);
+  }
+  storage::SalvageResult rescan = storage::WalSalvager::Scan(repaired);
+  EXPECT_TRUE(rescan.report.clean);
+  EXPECT_EQ(rescan.frames.size(), result.frames.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SalvageFuzzTest, ::testing::Range(0, 25));
 
 }  // namespace
 }  // namespace good::relational

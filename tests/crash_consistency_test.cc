@@ -1,0 +1,402 @@
+/// Crash-consistency harness tests: exhaustive crash-point exploration
+/// (storage/crashsim.h) over the paper's figure workload, WAL salvage
+/// and degraded read-only opens (Options::salvage_mode), and the
+/// online integrity scrubber (storage/scrub.h). The exploration proves
+/// the committed-prefix invariant at EVERY mutating-I/O boundary: the
+/// recovered database is isomorphic to an in-memory oracle replay of
+/// the acknowledged prefix (GOOD operations are deterministic up to
+/// new-object ids, so equality is graph isomorphism, not id identity).
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "graph/isomorphism.h"
+#include "hypermedia/hypermedia.h"
+#include "storage/crash_point_env.h"
+#include "storage/crashsim.h"
+#include "storage/database.h"
+#include "storage/salvage.h"
+#include "storage/scrub.h"
+#include "storage/wal.h"
+
+namespace good::storage {
+namespace {
+
+using graph::Instance;
+using method::Operation;
+using schema::Scheme;
+
+std::string MakeTempDir() {
+  std::string tmpl = ::testing::TempDir() + "good_crash_XXXXXX";
+  char* made = ::mkdtemp(tmpl.data());
+  EXPECT_NE(made, nullptr);
+  return tmpl;
+}
+
+/// The paper database: Figure 1 scheme + Figure 2/3 instance.
+program::Database PaperDatabase() {
+  Scheme scheme = hypermedia::BuildScheme().ValueOrDie();
+  Instance instance =
+      std::move(hypermedia::BuildInstance(scheme).ValueOrDie().instance);
+  return program::Database{std::move(scheme), std::move(instance)};
+}
+
+/// The figure workload: the paper's four operation walkthroughs
+/// (Figures 6, 10, 14, 18) applied in sequence — node addition, edge
+/// addition, node deletion, and the three-step abstraction.
+std::vector<Operation> FigureWorkload(const Scheme& scheme) {
+  std::vector<Operation> ops;
+  ops.emplace_back(hypermedia::Fig6NodeAddition(scheme).ValueOrDie());
+  ops.emplace_back(hypermedia::Fig10EdgeAddition(scheme).ValueOrDie());
+  ops.emplace_back(hypermedia::Fig14NodeDeletion(scheme).ValueOrDie());
+  auto fig18 = hypermedia::Fig18Abstraction(scheme).ValueOrDie();
+  ops.emplace_back(fig18.tag_new);
+  ops.emplace_back(fig18.tag_old);
+  ops.emplace_back(fig18.abstraction);
+  return ops;
+}
+
+void OverwriteFile(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good());
+}
+
+/// Builds a database whose log holds all figure-workload records (no
+/// auto-checkpoint), then crashes (drops the handle).
+program::Database BuildLoggedDatabase(const std::string& dir) {
+  Database db = Database::Open(dir, PaperDatabase()).ValueOrDie();
+  for (const Operation& op : FigureWorkload(db.scheme())) {
+    db.Apply(op).OrDie();
+  }
+  return program::Database{db.scheme(), db.instance()};
+}
+
+// ---------------------------------------------------------------------------
+// CrashPointEnv
+// ---------------------------------------------------------------------------
+
+TEST(CrashPointEnvTest, TornWritePersistsPrefix) {
+  const std::string dir = MakeTempDir();
+  const std::string path = dir + "/file";
+  CrashPointEnv env;
+  // Boundary 1 is the create, boundary 2 the append: crash there, torn.
+  env.SetSchedule(CrashSchedule{2, CrashMode::kTornWrite, 1, 2});
+  auto file = env.NewWritableFile(path, true).ValueOrDie();
+  Status torn = file->Append("0123456789");
+  EXPECT_TRUE(torn.IsUnavailable()) << torn.ToString();
+  EXPECT_TRUE(env.crashed());
+  // The "rebooted" view: half the bytes made it.
+  EXPECT_EQ(FileEnv::Default()->ReadFileToString(path).ValueOrDie(), "01234");
+}
+
+TEST(CrashPointEnvTest, LoseUnsyncedRollsBackToSyncedSize) {
+  const std::string dir = MakeTempDir();
+  const std::string path = dir + "/file";
+  CrashPointEnv env;
+  CrashSchedule schedule;
+  schedule.mode = CrashMode::kLoseUnsynced;
+  schedule.crash_at = 5;  // create, append, sync, append, crash at sync
+  env.SetSchedule(schedule);
+  auto file = env.NewWritableFile(path, true).ValueOrDie();
+  file->Append("durable").OrDie();
+  file->Sync().OrDie();
+  file->Append(" lost").OrDie();
+  EXPECT_TRUE(file->Sync().IsUnavailable());
+  EXPECT_EQ(FileEnv::Default()->ReadFileToString(path).ValueOrDie(),
+            "durable");
+}
+
+TEST(CrashPointEnvTest, EverythingFailsAfterCrash) {
+  const std::string dir = MakeTempDir();
+  CrashPointEnv env;
+  env.SetSchedule(CrashSchedule{1, CrashMode::kCutBeforeOp});
+  EXPECT_TRUE(env.NewWritableFile(dir + "/a", true).status().IsUnavailable());
+  // The cut call performed no I/O at all.
+  EXPECT_FALSE(FileEnv::Default()->FileExists(dir + "/a"));
+  // The dead process cannot even read.
+  EXPECT_TRUE(env.ReadFileToString(dir + "/a").status().IsUnavailable());
+  EXPECT_TRUE(env.RenameFile(dir + "/a", dir + "/b").IsUnavailable());
+}
+
+TEST(CrashPointEnvTest, SetScheduleResetsCounters) {
+  const std::string dir = MakeTempDir();
+  CrashPointEnv env;
+  env.SetSchedule(CrashSchedule{});  // never crash
+  auto file = env.NewWritableFile(dir + "/a", true).ValueOrDie();
+  file->Append("x").OrDie();
+  file->Sync().OrDie();
+  EXPECT_EQ(env.ops_seen(), 3u);
+  env.SetSchedule(CrashSchedule{1, CrashMode::kCutBeforeOp});
+  EXPECT_EQ(env.ops_seen(), 0u);
+  // The counter restarted: the very next mutating call is boundary 1.
+  EXPECT_TRUE(env.SyncDir(dir).IsUnavailable());
+  EXPECT_TRUE(env.crashed());
+  env.SetSchedule(CrashSchedule{});
+  EXPECT_FALSE(env.crashed());  // alive again for the next run
+  EXPECT_TRUE(env.SyncDir(dir).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Exhaustive crash-point exploration
+// ---------------------------------------------------------------------------
+
+CrashSimOptions FigureSimOptions(const std::string& dir) {
+  CrashSimOptions options;
+  options.initial = PaperDatabase();
+  options.workload = FigureWorkload(options.initial.scheme);
+  options.dir_prefix = dir;
+  return options;
+}
+
+TEST(CrashSimTest, FigureWorkloadSurvivesEveryCrashPoint) {
+  CrashSimOptions options = FigureSimOptions(MakeTempDir());
+  options.checkpoint_every = 2;  // crash inside checkpoints too
+  CrashSimReport report = ExploreCrashPoints(options).ValueOrDie();
+  std::cout << "[crash-matrix] checkpointed: " << report.ToString() << "\n";
+  EXPECT_GT(report.boundaries, 10u);
+  EXPECT_EQ(report.schedules_explored, 3 * report.boundaries);
+  EXPECT_EQ(report.crashes_simulated, report.schedules_explored);
+  EXPECT_EQ(report.recovered_ok, report.schedules_explored);
+  EXPECT_TRUE(report.ok()) << report.ToString()
+                           << (report.divergences.empty()
+                                   ? ""
+                                   : "; first: " +
+                                         report.divergences[0].detail);
+}
+
+TEST(CrashSimTest, FigureWorkloadWithoutCheckpoints) {
+  CrashSimOptions options = FigureSimOptions(MakeTempDir());
+  options.checkpoint_every = 0;
+  CrashSimReport report = ExploreCrashPoints(options).ValueOrDie();
+  std::cout << "[crash-matrix] log-only: " << report.ToString() << "\n";
+  EXPECT_TRUE(report.ok()) << report.ToString()
+                           << (report.divergences.empty()
+                                   ? ""
+                                   : "; first: " +
+                                         report.divergences[0].detail);
+}
+
+TEST(CrashSimTest, UnsyncedAppendsStillRecoverAPrefix) {
+  CrashSimOptions options = FigureSimOptions(MakeTempDir());
+  options.sync_every_append = false;
+  options.checkpoint_every = 3;
+  CrashSimReport report = ExploreCrashPoints(options).ValueOrDie();
+  std::cout << "[crash-matrix] unsynced: " << report.ToString() << "\n";
+  EXPECT_TRUE(report.ok()) << report.ToString()
+                           << (report.divergences.empty()
+                                   ? ""
+                                   : "; first: " +
+                                         report.divergences[0].detail);
+}
+
+TEST(CrashSimTest, DeadlineCutsExplorationShortNotWrong) {
+  CrashSimOptions options = FigureSimOptions(MakeTempDir());
+  options.deadline = common::Deadline::After(std::chrono::seconds(0));
+  CrashSimReport report = ExploreCrashPoints(options).ValueOrDie();
+  EXPECT_FALSE(report.complete);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.divergences.empty());
+}
+
+TEST(CrashSimTest, RejectsWorkloadThatFailsWithoutCrashes) {
+  CrashSimOptions options = FigureSimOptions(MakeTempDir());
+  // A call to a method nobody registered fails on a crash-free run —
+  // the harness must refuse to explore such a workload instead of
+  // reporting its failures as crash divergences.
+  method::MethodCallOp bogus;
+  bogus.method_name = "no-such-method";
+  options.workload.emplace_back(std::move(bogus));
+  auto result = ExploreCrashPoints(options);
+  EXPECT_FALSE(result.ok());
+}
+
+// ---------------------------------------------------------------------------
+// Salvage & degraded open
+// ---------------------------------------------------------------------------
+
+/// Flips one byte inside the payload of the `frame`-th log record.
+void CorruptLogFrame(const std::string& dir, size_t frame) {
+  const std::string wal = Database::WalPath(dir);
+  std::string bytes =
+      FileEnv::Default()->ReadFileToString(wal).ValueOrDie();
+  SalvageResult clean = WalSalvager::Scan(bytes);
+  ASSERT_TRUE(clean.report.clean);
+  ASSERT_GT(clean.frames.size(), frame);
+  bytes[clean.frames[frame].offset + kRecordHeaderSize] ^= 0x40;
+  OverwriteFile(wal, bytes);
+}
+
+TEST(SalvageOpenTest, StrictRejectsInteriorCorruption) {
+  const std::string dir = MakeTempDir();
+  BuildLoggedDatabase(dir);
+  CorruptLogFrame(dir, 2);
+  auto reopened = Database::Open(dir, PaperDatabase());
+  ASSERT_FALSE(reopened.ok());
+  EXPECT_TRUE(reopened.status().IsDataLoss()) << reopened.status().ToString();
+}
+
+TEST(SalvageOpenTest, DegradedServesReadsAndRejectsWrites) {
+  const std::string dir = MakeTempDir();
+  BuildLoggedDatabase(dir);
+  CorruptLogFrame(dir, 2);
+  const std::string before =
+      FileEnv::Default()
+          ->ReadFileToString(Database::WalPath(dir))
+          .ValueOrDie();
+
+  Options options;
+  options.salvage_mode = SalvageMode::kReadOnlyDegraded;
+  Database db = Database::Open(dir, PaperDatabase(), options).ValueOrDie();
+  EXPECT_TRUE(db.degraded());
+  EXPECT_TRUE(db.recovery().degraded);
+  EXPECT_TRUE(db.recovery().salvaged);
+  // Reads work: the salvageable prefix (2 of 6 ops) is served.
+  EXPECT_EQ(db.recovery().ops_replayed, 2u);
+  EXPECT_GT(db.instance().num_nodes(), 0u);
+  EXPECT_TRUE(db.Scrub().clean());
+  // Writes are refused with kUnavailable — not a refused open.
+  std::vector<Operation> ops = FigureWorkload(db.scheme());
+  EXPECT_TRUE(db.Apply(ops[0]).IsUnavailable());
+  EXPECT_TRUE(db.Checkpoint().IsUnavailable());
+  db.Close().OrDie();
+
+  // Not a byte on disk changed, and no quarantine sidecar appeared.
+  EXPECT_EQ(FileEnv::Default()
+                ->ReadFileToString(Database::WalPath(dir))
+                .ValueOrDie(),
+            before);
+  EXPECT_FALSE(FileEnv::Default()->FileExists(Database::QuarantinePath(dir)));
+}
+
+TEST(SalvageOpenTest, SalvageRepairsLogAndQuarantinesDamage) {
+  const std::string dir = MakeTempDir();
+  BuildLoggedDatabase(dir);
+  CorruptLogFrame(dir, 2);
+
+  program::Database expected = PaperDatabase();
+  {
+    std::vector<Operation> ops = FigureWorkload(expected.scheme);
+    method::MethodRegistry no_methods;
+    method::Executor exec(&no_methods, method::ExecOptions{});
+    for (size_t i = 0; i < 2; ++i) {  // the salvageable prefix
+      exec.Execute(ops[i], &expected.scheme, &expected.instance).OrDie();
+    }
+  }
+
+  Options options;
+  options.salvage_mode = SalvageMode::kSalvage;
+  {
+    Database db = Database::Open(dir, PaperDatabase(), options).ValueOrDie();
+    EXPECT_TRUE(db.recovery().salvaged);
+    EXPECT_EQ(db.recovery().ops_replayed, 2u);
+    // One frame was corrupt; the three intact frames after it follow a
+    // hole in the sequence, so they are quarantined, never executed.
+    EXPECT_EQ(db.recovery().ops_quarantined, 3u);
+    EXPECT_GT(db.recovery().bytes_truncated, 0u);
+    EXPECT_TRUE(graph::IsIsomorphic(db.instance(), expected.instance));
+    // A salvaging open is writable again.
+    std::vector<Operation> ops = FigureWorkload(db.scheme());
+    EXPECT_TRUE(db.Apply(ops[2]).ok());
+    db.Close().OrDie();
+  }
+
+  // The quarantine sidecar holds the dropped ranges, readable with the
+  // standard framing.
+  const std::string quarantine =
+      FileEnv::Default()
+          ->ReadFileToString(Database::QuarantinePath(dir))
+          .ValueOrDie();
+  LogContents sidecar = ReadLogRecords(quarantine).ValueOrDie();
+  EXPECT_GE(sidecar.records.size(), 4u);  // 1 corrupt + 3 unreplayable
+
+  // The repair is durable: a plain strict open succeeds now.
+  auto strict = Database::Open(dir, PaperDatabase());
+  ASSERT_TRUE(strict.ok()) << strict.status().ToString();
+  EXPECT_FALSE(strict->recovery().salvaged);
+}
+
+TEST(SalvageOpenTest, SalvageOfCleanDatabaseMatchesStrict) {
+  const std::string dir = MakeTempDir();
+  program::Database expected = BuildLoggedDatabase(dir);
+  Options options;
+  options.salvage_mode = SalvageMode::kSalvage;
+  Database db = Database::Open(dir, PaperDatabase(), options).ValueOrDie();
+  EXPECT_FALSE(db.recovery().salvaged);
+  EXPECT_EQ(db.recovery().ops_replayed, 6u);
+  EXPECT_EQ(db.recovery().ops_quarantined, 0u);
+  EXPECT_TRUE(graph::IsIsomorphic(db.instance(), expected.instance));
+  EXPECT_FALSE(FileEnv::Default()->FileExists(Database::QuarantinePath(dir)));
+}
+
+// ---------------------------------------------------------------------------
+// Scrubber
+// ---------------------------------------------------------------------------
+
+TEST(ScrubTest, PaperDatabaseIsClean) {
+  program::Database db = PaperDatabase();
+  ScrubReport report = Scrub(db.scheme, db.instance);
+  EXPECT_TRUE(report.complete);
+  EXPECT_TRUE(report.clean()) << report.problems[0];
+  EXPECT_EQ(report.nodes_scrubbed, db.instance.num_nodes());
+  EXPECT_EQ(report.edges_scrubbed, db.instance.num_edges());
+}
+
+TEST(ScrubTest, ForeignSchemeIsReported) {
+  // Scrubbing an instance against a scheme that licenses none of it
+  // must surface conformance problems (and proves the checks fire).
+  program::Database db = PaperDatabase();
+  schema::Scheme empty;
+  ScrubReport report = Scrub(empty, db.instance);
+  EXPECT_TRUE(report.complete);
+  EXPECT_FALSE(report.clean());
+}
+
+TEST(ScrubTest, MaxNodesPausesAndResumes) {
+  program::Database db = PaperDatabase();
+  Scrubber scrubber(&db.scheme, &db.instance);
+  ScrubOptions slice;
+  slice.max_nodes = 5;
+  size_t slices = 0;
+  while (!scrubber.report().complete) {
+    scrubber.Step(slice).OrDie();
+    ++slices;
+    ASSERT_LT(slices, 1000u);
+  }
+  EXPECT_GT(slices, 1u);
+  EXPECT_TRUE(scrubber.report().clean());
+  EXPECT_EQ(scrubber.report().nodes_scrubbed, db.instance.num_nodes());
+}
+
+TEST(ScrubTest, CancellationPausesResumably) {
+  program::Database db = PaperDatabase();
+  Scrubber scrubber(&db.scheme, &db.instance);
+  common::CancelToken cancel;
+  cancel.Cancel();
+  ScrubOptions cancelled;
+  cancelled.deadline.ObserveCancellation(&cancel);
+  EXPECT_TRUE(scrubber.Step(cancelled).IsCancelled());
+  EXPECT_FALSE(scrubber.report().complete);
+  // A later, uncancelled call finishes the pass.
+  scrubber.Step().OrDie();
+  EXPECT_TRUE(scrubber.report().complete);
+  EXPECT_TRUE(scrubber.report().clean());
+}
+
+TEST(ScrubTest, DatabaseScrubIsWiredIn) {
+  const std::string dir = MakeTempDir();
+  Database db = Database::Open(dir, PaperDatabase()).ValueOrDie();
+  ScrubReport report = db.Scrub();
+  EXPECT_TRUE(report.complete);
+  EXPECT_TRUE(report.clean());
+}
+
+}  // namespace
+}  // namespace good::storage

@@ -9,6 +9,7 @@
 #include <unistd.h>
 
 #include <cstdlib>
+#include <fstream>
 #include <random>
 #include <string>
 #include <vector>
@@ -881,6 +882,179 @@ TEST(MethodFailureTest, BudgetExhaustedCallLeavesMemoryAndLogConsistent) {
   Database db2 = Database::Open(dir, roomy).ValueOrDie();
   db2.Apply(Operation(call)).OrDie();
   EXPECT_NE(db2.instance().Fingerprint(), before);
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot corruption & the snapshot.prev fallback chain
+// ---------------------------------------------------------------------------
+
+/// Bootstraps, checkpoints a 3-op state (displacing the bootstrap
+/// snapshot into snapshot.prev), then logs `tail_ops` more operations.
+/// Returns the bootstrap-time (initial) database for comparison.
+program::Database BuildCheckpointedDatabase(const std::string& dir,
+                                            size_t tail_ops) {
+  program::Database initial = PaperDatabase();
+  Database db = Database::Open(dir, initial).ValueOrDie();
+  std::vector<Operation> ops = SampleOps(db.scheme());
+  for (size_t i = 0; i < 3; ++i) db.Apply(ops[i]).OrDie();
+  db.Checkpoint().OrDie();
+  for (size_t i = 3; i < 3 + tail_ops && i < ops.size(); ++i) {
+    db.Apply(ops[i]).OrDie();
+  }
+  EXPECT_TRUE(FileEnv::Default()->FileExists(
+      Database::PreviousSnapshotPath(dir)));
+  return initial;
+}
+
+void Overwrite(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good());
+}
+
+enum class SnapshotDamage { kFlippedByte, kTruncated, kZeroLength };
+
+class SnapshotCorruptionTest
+    : public ::testing::TestWithParam<SnapshotDamage> {};
+
+TEST_P(SnapshotCorruptionTest, StrictRejectsSalvageFallsBackToPrev) {
+  std::string dir = MakeTempDir();
+  program::Database initial = BuildCheckpointedDatabase(dir, 2);
+  const std::string snap = Database::SnapshotPath(dir);
+  std::string bytes = FileEnv::Default()->ReadFileToString(snap).ValueOrDie();
+  switch (GetParam()) {
+    case SnapshotDamage::kFlippedByte:
+      bytes[bytes.size() / 2] ^= 0x01;
+      break;
+    case SnapshotDamage::kTruncated:
+      bytes.resize(bytes.size() / 2);
+      break;
+    case SnapshotDamage::kZeroLength:
+      bytes.clear();
+      break;
+  }
+  Overwrite(snap, bytes);
+
+  // Strict mode: a damaged snapshot is kDataLoss, full stop.
+  auto strict = Database::Open(dir, PaperDatabase());
+  ASSERT_FALSE(strict.ok());
+  EXPECT_TRUE(strict.status().IsDataLoss()) << strict.status().ToString();
+
+  // Salvage mode: recovery falls back to the snapshot the last
+  // checkpoint displaced. The log's records belong to the damaged
+  // snapshot's era (their sequence numbers jump past snapshot.prev's),
+  // so none replay — they are quarantined, and the recovered state is
+  // the previous snapshot itself.
+  Options options;
+  options.salvage_mode = SalvageMode::kSalvage;
+  Database db = Database::Open(dir, PaperDatabase(), options).ValueOrDie();
+  EXPECT_TRUE(db.recovery().used_previous_snapshot);
+  EXPECT_TRUE(db.recovery().salvaged);
+  EXPECT_EQ(db.recovery().ops_replayed, 0u);
+  EXPECT_EQ(db.recovery().ops_quarantined, 2u);
+  EXPECT_TRUE(db.scheme() == initial.scheme);
+  EXPECT_TRUE(graph::IsIsomorphic(db.instance(), initial.instance));
+  EXPECT_TRUE(db.Scrub().clean());
+}
+
+INSTANTIATE_TEST_SUITE_P(EveryDamage, SnapshotCorruptionTest,
+                         ::testing::Values(SnapshotDamage::kFlippedByte,
+                                           SnapshotDamage::kTruncated,
+                                           SnapshotDamage::kZeroLength));
+
+TEST(SnapshotCorruptionTest, BothSnapshotsDamagedIsDataLossEvenInSalvage) {
+  std::string dir = MakeTempDir();
+  BuildCheckpointedDatabase(dir, 2);
+  Overwrite(Database::SnapshotPath(dir), "junk");
+  Overwrite(Database::PreviousSnapshotPath(dir), "more junk");
+  Options options;
+  options.salvage_mode = SalvageMode::kSalvage;
+  auto db = Database::Open(dir, PaperDatabase(), options);
+  ASSERT_FALSE(db.ok());
+  EXPECT_TRUE(db.status().IsDataLoss()) << db.status().ToString();
+}
+
+TEST(SnapshotCorruptionTest, MissingCurrentSnapshotRecoversInStrictMode) {
+  // A crash between Checkpoint's two renames leaves snapshot.prev plus
+  // the untruncated log and no snapshot.good. That is the engine's own
+  // crash window, not damage — even strict mode must recover through
+  // it, replaying the full log over the previous snapshot.
+  std::string dir = MakeTempDir();
+  FaultInjectionEnv env;
+  Options options;
+  options.env = &env;
+  Database db = Database::Open(dir, PaperDatabase(), options).ValueOrDie();
+  std::vector<Operation> ops = SampleOps(db.scheme());
+  for (size_t i = 0; i < 4; ++i) db.Apply(ops[i]).OrDie();
+  program::Database expected{db.scheme(), db.instance()};
+  FaultPlan plan;
+  plan.fail_rename_at = 2;  // rename #1: snap -> prev; #2: tmp -> snap
+  env.SetPlan(plan);
+  EXPECT_FALSE(db.Checkpoint().ok());
+  // Crash: drop the handle with snapshot.good missing.
+  EXPECT_FALSE(FileEnv::Default()->FileExists(Database::SnapshotPath(dir)));
+
+  Database reopened = Database::Open(dir, PaperDatabase()).ValueOrDie();
+  EXPECT_TRUE(reopened.recovery().used_previous_snapshot);
+  EXPECT_FALSE(reopened.recovery().salvaged);  // nothing was damaged
+  EXPECT_EQ(reopened.recovery().ops_replayed, 4u);
+  EXPECT_TRUE(reopened.scheme() == expected.scheme);
+  EXPECT_TRUE(graph::IsIsomorphic(reopened.instance(), expected.instance));
+}
+
+// ---------------------------------------------------------------------------
+// Recovery deadline & report
+// ---------------------------------------------------------------------------
+
+TEST(RecoveryDeadlineTest, CancelledRecoveryStopsCleanly) {
+  std::string dir = MakeTempDir();
+  ApplyAndCrash(dir, 4);
+  common::CancelToken cancel;
+  cancel.Cancel();
+  Options options;
+  options.recovery_deadline.ObserveCancellation(&cancel);
+  auto db = Database::Open(dir, PaperDatabase(), options);
+  ASSERT_FALSE(db.ok());
+  EXPECT_TRUE(db.status().IsCancelled()) << db.status().ToString();
+  // Without the token the same directory opens fine — nothing was
+  // harmed by the cancelled attempt.
+  EXPECT_TRUE(Database::Open(dir, PaperDatabase()).ok());
+}
+
+TEST(RecoveryDeadlineTest, ReportSummarizesRecovery) {
+  std::string dir = MakeTempDir();
+  ApplyAndCrash(dir, 3);
+  Database db = Database::Open(dir, PaperDatabase()).ValueOrDie();
+  const std::string summary = db.recovery().ToString();
+  EXPECT_NE(summary.find("replayed 3 ops"), std::string::npos) << summary;
+  Database fresh = Database::Open(MakeTempDir(), PaperDatabase()).ValueOrDie();
+  EXPECT_EQ(fresh.recovery().ToString(), "created fresh database");
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjectionEnv counter hygiene
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjectionTest, SetPlanResetsAccumulatedCounters) {
+  // Regression: a reused env must count from zero after SetPlan/Reset,
+  // or sweep harnesses that share one env across runs fire faults at
+  // drifting positions.
+  std::string dir = MakeTempDir();
+  FaultInjectionEnv env;
+  FaultPlan plan;
+  plan.fail_append_at = 2;
+  env.SetPlan(plan);
+  auto file = env.NewWritableFile(dir + "/a", true).ValueOrDie();
+  file->Append("one").OrDie();  // append #1 passes
+
+  env.SetPlan(plan);  // counters restart: next append is #1 again
+  file->Append("two").OrDie();
+  EXPECT_FALSE(file->Append("three").ok());  // #2 fires
+
+  env.Reset();  // clears the plan AND the counters
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(file->Append("x").ok()) << "append " << i;
+  }
 }
 
 }  // namespace
