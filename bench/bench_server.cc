@@ -1,0 +1,206 @@
+/// \file bench_server.cc
+/// \brief Cost model of the multi-session server: group-commit
+/// throughput as a function of the batch ceiling and writer
+/// concurrency, snapshot-read scaling as a function of reader count,
+/// and the overhead of one commit round-trip through the pipeline
+/// (session preview + validation + authoritative re-execution + fsync)
+/// versus a bare storage apply.
+
+#include <unistd.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "hypermedia/hypermedia.h"
+#include "method/method.h"
+#include "program/program.h"
+#include "server/session.h"
+#include "storage/database.h"
+#include "storage/file_env.h"
+
+namespace good::bench {
+namespace {
+
+using method::Operation;
+using server::CommitResult;
+using server::Server;
+using server::ServerOptions;
+using server::Session;
+using storage::Database;
+
+std::string MakeTempDir() {
+  std::string tmpl = "/tmp/good_bench_server_XXXXXX";
+  if (::mkdtemp(tmpl.data()) == nullptr) std::abort();
+  return tmpl;
+}
+
+void RemoveDir(const std::string& dir) {
+  auto* env = storage::FileEnv::Default();
+  (void)env->RemoveFile(Database::WalPath(dir));
+  (void)env->RemoveFile(Database::SnapshotPath(dir));
+  (void)env->RemoveFile(Database::PreviousSnapshotPath(dir));
+  (void)env->RemoveFile(Database::QuarantinePath(dir));
+  ::rmdir(dir.c_str());
+}
+
+program::Database PaperDatabase() {
+  auto instance = hypermedia::BuildInstance(HyperMediaScheme())
+                      .ValueOrDie()
+                      .instance;
+  return program::Database{HyperMediaScheme(), std::move(instance)};
+}
+
+std::unique_ptr<Server> OpenServer(const std::string& dir,
+                                   ServerOptions options) {
+  storage::Options db_options;
+  db_options.sync_every_append = false;
+  db_options.checkpoint_every = 0;  // steady-state log appends only
+  Database db =
+      Database::Open(dir, PaperDatabase(), db_options).ValueOrDie();
+  return Server::Open(std::move(db), options).ValueOrDie();
+}
+
+/// Group-commit throughput: range(0) concurrent writer sessions each
+/// committing single-op transactions (the Figure 12 insertion:
+/// disconnected, conflict-free) under a batch ceiling of range(1).
+/// items/sec is acked commits/sec; `fsyncs_per_commit` shows the
+/// batching win (1.0 = no batching).
+void BM_GroupCommitThroughput(benchmark::State& state) {
+  const size_t writers = static_cast<size_t>(state.range(0));
+  const size_t max_batch = static_cast<size_t>(state.range(1));
+  std::string dir = MakeTempDir();
+  ServerOptions options;
+  options.max_batch = max_batch;
+  auto srv = OpenServer(dir, options);
+  Operation op(
+      hypermedia::Fig12NodeAddition(srv->database().scheme()).ValueOrDie());
+
+  size_t commits = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    constexpr size_t kCommitsPerWriter = 32;
+    std::vector<std::thread> threads;
+    threads.reserve(writers);
+    state.ResumeTiming();
+    for (size_t w = 0; w < writers; ++w) {
+      threads.emplace_back([&] {
+        auto session = srv->StartSession();
+        for (size_t i = 0; i < kCommitsPerWriter; ++i) {
+          session->Execute(op).OrDie();
+          CommitResult result = session->Commit();
+          if (!result.ok()) result.status.Abort();
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    commits += writers * kCommitsPerWriter;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(commits));
+  server::PipelineStats stats = srv->pipeline_stats();
+  state.counters["fsyncs_per_commit"] =
+      stats.committed == 0
+          ? 0.0
+          : static_cast<double>(stats.batches) /
+                static_cast<double>(stats.committed);
+  srv->Close().OrDie();
+  RemoveDir(dir);
+}
+BENCHMARK(BM_GroupCommitThroughput)
+    ->Args({1, 1})
+    ->Args({4, 1})
+    ->Args({4, 4})
+    ->Args({4, 16})
+    ->Args({8, 8})
+    ->Args({8, 32})
+    ->ArgNames({"writers", "batch"})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+/// Snapshot-read scaling: range(0) reader sessions run the Figure 4
+/// query against their pinned snapshots while one writer churns
+/// commits in the background. Pinned versions are immutable shared
+/// state, so reads should scale with reader count instead of
+/// serializing behind the writer. items/sec is pattern counts/sec
+/// across all readers.
+void BM_SnapshotReadScaling(benchmark::State& state) {
+  const size_t readers = static_cast<size_t>(state.range(0));
+  std::string dir = MakeTempDir();
+  auto srv = OpenServer(dir, ServerOptions{});
+  const schema::Scheme& scheme = srv->database().scheme();
+  pattern::Pattern query =
+      std::move(hypermedia::Fig4Pattern(scheme).ValueOrDie().pattern);
+  Operation churn(hypermedia::Fig12NodeAddition(scheme).ValueOrDie());
+
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    auto session = srv->StartSession();
+    while (!stop) {
+      session->Execute(churn).OrDie();
+      CommitResult result = session->Commit();
+      if (!result.ok()) result.status.Abort();
+    }
+  });
+
+  size_t total_reads = 0;
+  for (auto _ : state) {
+    constexpr size_t kReadsPerReader = 64;
+    std::vector<std::thread> threads;
+    threads.reserve(readers);
+    for (size_t r = 0; r < readers; ++r) {
+      threads.emplace_back([&] {
+        auto session = srv->StartSession();
+        for (size_t i = 0; i < kReadsPerReader; ++i) {
+          if ((i & 15) == 0) session->Refresh().OrDie();
+          benchmark::DoNotOptimize(session->Count(query).ValueOrDie());
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    total_reads += readers * kReadsPerReader;
+  }
+  stop = true;
+  writer.join();
+  state.SetItemsProcessed(static_cast<int64_t>(total_reads));
+  srv->Close().OrDie();
+  RemoveDir(dir);
+}
+BENCHMARK(BM_SnapshotReadScaling)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->ArgName("readers")
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+/// One commit round-trip through a single session: preview execution on
+/// the working copy, footprint collection, pipeline hand-off,
+/// authoritative re-execution, fsync, publication, re-pin. The bare
+/// ApplyTransaction cost is BM_DurableApply in bench_storage.cc; the
+/// difference is the server's MVCC overhead (dominated by the
+/// per-commit snapshot copy).
+void BM_CommitRoundTrip(benchmark::State& state) {
+  std::string dir = MakeTempDir();
+  auto srv = OpenServer(dir, ServerOptions{});
+  auto session = srv->StartSession();
+  Operation op(
+      hypermedia::Fig12NodeAddition(srv->database().scheme()).ValueOrDie());
+  for (auto _ : state) {
+    session->Execute(op).OrDie();
+    CommitResult result = session->Commit();
+    if (!result.ok()) result.status.Abort();
+  }
+  state.SetItemsProcessed(state.iterations());
+  srv->Close().OrDie();
+  RemoveDir(dir);
+}
+BENCHMARK(BM_CommitRoundTrip)->UseRealTime();
+
+}  // namespace
+}  // namespace good::bench
+
+BENCHMARK_MAIN();

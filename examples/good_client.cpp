@@ -1,0 +1,114 @@
+// Interactive client for the good_server text protocol.
+//
+// Connects to a running good_server and passes protocol commands
+// through from stdin, printing each response. Commands that carry a
+// body (exec, count, match) read body lines until a line containing
+// only "." — exactly the wire format, so a session transcript doubles
+// as protocol documentation:
+//
+//   $ ./build/examples/good_client --port 7070
+//   > hello
+//   ok good/1 base 0
+//   > count
+//   | pattern {
+//   |   node n0 Info;
+//   | }
+//   | .
+//   ok count 13
+//   > quit
+//   ok bye
+//
+// Usage:
+//   good_client [--port N] [--unix PATH] [--host H]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "server/client.h"
+#include "server/socket.h"
+
+namespace server = good::server;
+
+namespace {
+
+bool TakesBody(const std::string& line) {
+  return line.rfind("exec", 0) == 0 || line.rfind("count", 0) == 0 ||
+         line.rfind("match", 0) == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  std::string unix_path;
+  int port = 7070;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--port" && i + 1 < argc) {
+      port = std::atoi(argv[++i]);
+    } else if (arg == "--unix" && i + 1 < argc) {
+      unix_path = argv[++i];
+    } else if (arg == "--host" && i + 1 < argc) {
+      host = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--port N] [--unix PATH] [--host H]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  auto transport =
+      unix_path.empty()
+          ? server::SocketTransport::ConnectTcp(host, port)
+          : server::SocketTransport::ConnectUnix(unix_path);
+  if (!transport.ok()) {
+    std::fprintf(stderr, "connect: %s\n",
+                 transport.status().ToString().c_str());
+    return 1;
+  }
+  server::Transport& wire = **transport;
+
+  bool tty = ::isatty(0);
+  std::string line;
+  if (tty) std::fputs("> ", stdout), std::fflush(stdout);
+  while (std::getline(std::cin, line)) {
+    std::string request = line + "\n";
+    if (TakesBody(line)) {
+      std::string body_line;
+      if (tty) std::fputs("| ", stdout), std::fflush(stdout);
+      while (std::getline(std::cin, body_line)) {
+        request += body_line + "\n";
+        if (body_line == ".") break;
+        if (tty) std::fputs("| ", stdout), std::fflush(stdout);
+      }
+    }
+    if (!wire.Write(request).ok()) {
+      std::fprintf(stderr, "connection lost\n");
+      return 1;
+    }
+    auto status_line = wire.ReadLine();
+    if (!status_line.ok()) {
+      std::fprintf(stderr, "%s\n", status_line.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s\n", status_line->c_str());
+    if (status_line->rfind("ok+", 0) == 0) {
+      for (;;) {
+        auto body_line = wire.ReadLine();
+        if (!body_line.ok()) {
+          std::fprintf(stderr, "%s\n",
+                       body_line.status().ToString().c_str());
+          return 1;
+        }
+        std::printf("%s\n", body_line->c_str());
+        if (*body_line == ".") break;
+      }
+    }
+    if (line.rfind("quit", 0) == 0) break;
+    if (tty) std::fputs("> ", stdout), std::fflush(stdout);
+  }
+  return 0;
+}

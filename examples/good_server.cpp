@@ -1,0 +1,251 @@
+// Multi-session database server over the text protocol.
+//
+// Usage:
+//   good_server <dir> [--port N]       serve <dir> on 127.0.0.1:N
+//   good_server <dir> --unix <path>    serve <dir> on a unix socket
+//   good_server --selftest             end-to-end smoke test (temp dir,
+//                                      ephemeral port, scripted clients)
+//
+// The directory is created (with the paper's hyper-media object base as
+// the initial state) when it holds no database yet. The database is
+// opened with per-append fsync OFF: durability comes from the commit
+// pipeline's group-commit barrier — every acknowledged commit has been
+// fsynced, adjacent commits share one fsync.
+//
+// Build & run:
+//   cmake -B build && cmake --build build
+//   ./build/examples/good_server /tmp/gooddb --port 7070
+//   ./build/examples/good_client --port 7070
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "hypermedia/hypermedia.h"
+#include "program/op_serialize.h"
+#include "program/serialize.h"
+#include "server/client.h"
+#include "server/session.h"
+#include "server/socket.h"
+#include "storage/database.h"
+
+namespace hm = good::hypermedia;
+namespace server = good::server;
+namespace storage = good::storage;
+namespace program = good::program;
+
+using good::method::Operation;
+
+namespace {
+
+program::Database PaperDatabase() {
+  auto scheme = hm::BuildScheme().ValueOrDie();
+  auto instance = std::move(hm::BuildInstance(scheme).ValueOrDie().instance);
+  return program::Database{std::move(scheme), std::move(instance)};
+}
+
+storage::Options GroupCommitOptions() {
+  storage::Options options;
+  options.sync_every_append = false;  // the pipeline batches fsyncs
+  return options;
+}
+
+int Serve(const std::string& dir, server::SocketServer::Options bind) {
+  auto db = storage::Database::Open(dir, PaperDatabase(),
+                                    GroupCommitOptions());
+  if (!db.ok()) {
+    std::fprintf(stderr, "open %s: %s\n", dir.c_str(),
+                 db.status().ToString().c_str());
+    return 1;
+  }
+  auto srv = server::Server::Open(std::move(*db), {});
+  if (!srv.ok()) {
+    std::fprintf(stderr, "server: %s\n", srv.status().ToString().c_str());
+    return 1;
+  }
+  auto listener = server::SocketServer::Listen(srv->get(), bind);
+  if (!listener.ok()) {
+    std::fprintf(stderr, "listen: %s\n",
+                 listener.status().ToString().c_str());
+    return 1;
+  }
+  if ((*listener)->port() != 0) {
+    std::printf("serving %s on 127.0.0.1:%d\n", dir.c_str(),
+                (*listener)->port());
+  } else {
+    std::printf("serving %s on %s\n", dir.c_str(),
+                (*listener)->unix_path().c_str());
+  }
+  std::printf("press Ctrl-C to stop\n");
+  std::fflush(stdout);
+
+  // Park until killed; connections are handled on their own threads.
+  sigset_t set;
+  sigemptyset(&set);
+  sigaddset(&set, SIGINT);
+  sigaddset(&set, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &set, nullptr);
+  int sig = 0;
+  sigwait(&set, &sig);
+  std::printf("\nsignal %d: shutting down\n", sig);
+  (*listener)->Stop();
+  return (*srv)->Close().ok() ? 0 : 1;
+}
+
+#define CHECK_OK(expr)                                                  \
+  do {                                                                  \
+    auto _st = (expr);                                                  \
+    if (!_st.ok()) {                                                    \
+      std::fprintf(stderr, "FAIL %s:%d: %s\n", __FILE__, __LINE__,      \
+                   _st.ToString().c_str());                             \
+      return 1;                                                         \
+    }                                                                   \
+  } while (false)
+
+#define CHECK_TRUE(cond)                                                \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      std::fprintf(stderr, "FAIL %s:%d: %s\n", __FILE__, __LINE__,      \
+                   #cond);                                              \
+      return 1;                                                         \
+    }                                                                   \
+  } while (false)
+
+int SelfTest() {
+  std::string dir = "/tmp/good_server_XXXXXX";
+  if (::mkdtemp(dir.data()) == nullptr) {
+    std::perror("mkdtemp");
+    return 1;
+  }
+
+  auto db = storage::Database::Open(dir, PaperDatabase(),
+                                    GroupCommitOptions());
+  CHECK_OK(db.status());
+  auto srv = server::Server::Open(std::move(*db), {});
+  CHECK_OK(srv.status());
+  auto listener = server::SocketServer::Listen(srv->get(), {});
+  CHECK_OK(listener.status());
+  std::printf("listening on 127.0.0.1:%d\n", (*listener)->port());
+
+  auto connect = [&]() {
+    return server::SocketTransport::ConnectTcp("127.0.0.1",
+                                               (*listener)->port());
+  };
+
+  // --- Client 1: handshake, read the scheme, count a paper pattern. ---
+  auto t1 = connect();
+  CHECK_OK(t1.status());
+  server::Client c1(t1->get());
+  CHECK_OK(c1.Hello());
+  auto dump = c1.Dump();
+  CHECK_OK(dump.status());
+  auto parsed = program::ParseDatabase(*dump);
+  CHECK_OK(parsed.status());
+  const auto& scheme = parsed->scheme;
+
+  auto fig4 = hm::Fig4Pattern(scheme).ValueOrDie();
+  std::string fig4_text = program::WritePattern(scheme, fig4.pattern);
+  auto count = c1.Count(fig4_text);
+  CHECK_OK(count.status());
+  CHECK_TRUE(*count == 2);  // Figure 4 has exactly two matchings
+  std::printf("figure 4 pattern: %zu matchings\n", *count);
+
+  // --- Client 2 pins the base version before client 1 commits. --------
+  auto t2 = connect();
+  CHECK_OK(t2.status());
+  server::Client c2(t2->get());
+  CHECK_OK(c2.Hello());
+
+  Operation fig12(hm::Fig12NodeAddition(scheme).ValueOrDie());
+  CHECK_OK(c1.Exec(scheme, {fig12}));
+  auto ack1 = c1.Commit();
+  CHECK_OK(ack1.status());
+  CHECK_TRUE(ack1->version == 1);
+  std::printf("client 1 committed version %llu (batch %zu)\n",
+              static_cast<unsigned long long>(ack1->version),
+              ack1->batch_size);
+
+  // Client 2 still reads its pinned snapshot; refresh moves it forward.
+  auto base = c2.Base();
+  CHECK_OK(base.status());
+  CHECK_TRUE(*base == 0);
+  auto refreshed = c2.Refresh();
+  CHECK_OK(refreshed.status());
+  CHECK_TRUE(*refreshed == 1);
+  std::printf("client 2 refreshed: base 0 -> 1\n");
+
+  // --- First-committer-wins: both delete the same edge. ---------------
+  auto latest_dump = c1.Dump();
+  CHECK_OK(latest_dump.status());
+  auto latest = program::ParseDatabase(*latest_dump);
+  CHECK_OK(latest.status());
+  Operation fig16(hm::Fig16EdgeDeletion(latest->scheme).ValueOrDie());
+  std::string fig16_text =
+      program::WriteOperations(latest->scheme, {fig16}).ValueOrDie();
+
+  CHECK_OK(c1.Exec(fig16_text));
+  CHECK_OK(c2.Exec(fig16_text));
+  auto ack2 = c1.Commit();
+  CHECK_OK(ack2.status());
+  // Client 2 loses the race; its wrapper replays and retries
+  // automatically (the replayed deletion finds no matchings and the
+  // retried commit goes through).
+  auto ack3 = c2.Commit();
+  CHECK_OK(ack3.status());
+  CHECK_TRUE(ack3->retries >= 1);
+  std::printf("client 2 lost first-committer-wins, auto-retried %zu time(s), "
+              "committed version %llu\n",
+              ack3->retries, static_cast<unsigned long long>(ack3->version));
+
+  CHECK_OK(c1.Quit());
+  CHECK_OK(c2.Quit());
+
+  auto stats = (*srv)->pipeline_stats();
+  std::printf("pipeline: %llu committed, %llu conflicts, %llu fsync "
+              "batches\n",
+              static_cast<unsigned long long>(stats.committed),
+              static_cast<unsigned long long>(stats.conflicts),
+              static_cast<unsigned long long>(stats.batches));
+  CHECK_TRUE(stats.conflicts >= 1);
+
+  (*listener)->Stop();
+  CHECK_OK((*srv)->Close());
+  std::printf("OK\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string dir;
+  server::SocketServer::Options bind;
+  bool selftest = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--selftest") {
+      selftest = true;
+    } else if (arg == "--port" && i + 1 < argc) {
+      bind.tcp_port = std::atoi(argv[++i]);
+    } else if (arg == "--unix" && i + 1 < argc) {
+      bind.unix_path = argv[++i];
+    } else if (!arg.empty() && arg[0] != '-') {
+      dir = arg;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s <dir> [--port N | --unix PATH] | --selftest\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (selftest) return SelfTest();
+  if (dir.empty()) {
+    std::fprintf(stderr,
+                 "usage: %s <dir> [--port N | --unix PATH] | --selftest\n",
+                 argv[0]);
+    return 2;
+  }
+  return Serve(dir, bind);
+}

@@ -1,0 +1,37 @@
+/// \file retry.h
+/// \brief Classification of transient failures.
+///
+/// Two Status codes describe conditions that a fresh attempt can cure
+/// without any operator intervention:
+///  - kUnavailable: the service or device momentarily cannot perform
+///    the operation (a transient I/O fault the WAL retry loop rides
+///    out, a server that is still starting, a briefly stalled commit
+///    pipeline);
+///  - kAborted: an optimistic transaction lost a first-committer-wins
+///    race — nothing was applied, and re-running against a fresh
+///    snapshot is exactly what the protocol expects.
+/// Everything else is either permanent (bad arguments, missing
+/// entities, corruption) or an intentional cutoff the caller chose
+/// (deadline, cancellation, budget) that retrying would subvert.
+///
+/// Retry loops — the storage engine's WAL append retry, the server
+/// client's transaction auto-retry — gate on IsRetriable so that a
+/// permanent error surfaces immediately instead of burning the retry
+/// budget against a failure that cannot change.
+
+#ifndef GOOD_COMMON_RETRY_H_
+#define GOOD_COMMON_RETRY_H_
+
+#include "common/status.h"
+
+namespace good::common {
+
+/// \brief True iff a fresh attempt of the failed operation can
+/// plausibly succeed without external intervention.
+inline bool IsRetriable(const Status& status) {
+  return status.IsUnavailable() || status.IsAborted();
+}
+
+}  // namespace good::common
+
+#endif  // GOOD_COMMON_RETRY_H_

@@ -34,8 +34,26 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Cancelled";
     case StatusCode::kUnavailable:
       return "Unavailable";
+    case StatusCode::kAborted:
+      return "Aborted";
   }
   return "Unknown";
+}
+
+StatusCode StatusCodeFromString(std::string_view name) {
+  static constexpr StatusCode kAll[] = {
+      StatusCode::kOk,           StatusCode::kInvalidArgument,
+      StatusCode::kNotFound,     StatusCode::kAlreadyExists,
+      StatusCode::kFailedPrecondition, StatusCode::kOutOfRange,
+      StatusCode::kResourceExhausted,  StatusCode::kUnimplemented,
+      StatusCode::kInternal,     StatusCode::kDataLoss,
+      StatusCode::kDeadlineExceeded,   StatusCode::kCancelled,
+      StatusCode::kUnavailable,  StatusCode::kAborted,
+  };
+  for (StatusCode code : kAll) {
+    if (StatusCodeToString(code) == name) return code;
+  }
+  return StatusCode::kInternal;
 }
 
 std::string Status::ToString() const {

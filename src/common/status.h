@@ -63,11 +63,22 @@ enum class StatusCode : int {
   /// kUnavailable (reads keep working), where kDataLoss would wrongly
   /// suggest the write itself lost data.
   kUnavailable = 12,
+  /// An optimistic transaction lost a first-committer-wins race: a
+  /// transaction that committed after this one's snapshot touched an
+  /// overlapping set of nodes/edges, so the commit was rejected to
+  /// preserve snapshot-consistent client decisions. Nothing was applied
+  /// or logged; re-running the transaction against a fresh snapshot is
+  /// the expected reaction (see common::IsRetriable).
+  kAborted = 13,
 };
 
 /// \brief Returns the canonical name of a status code ("OK",
 /// "InvalidArgument", ...).
 std::string_view StatusCodeToString(StatusCode code);
+
+/// \brief Inverse of StatusCodeToString; kInternal for unknown names
+/// (an unknown wire code is a protocol bug, which kInternal flags).
+StatusCode StatusCodeFromString(std::string_view name);
 
 /// \brief An operation outcome: either OK or an error code with message.
 ///
@@ -123,6 +134,9 @@ class Status {
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
   }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
 
   bool ok() const { return rep_ == nullptr; }
   StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
@@ -151,6 +165,7 @@ class Status {
   }
   bool IsCancelled() const { return code() == StatusCode::kCancelled; }
   bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
+  bool IsAborted() const { return code() == StatusCode::kAborted; }
 
   /// Returns "OK" or "<CodeName>: <message>".
   std::string ToString() const;

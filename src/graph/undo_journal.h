@@ -29,6 +29,7 @@
 #define GOOD_GRAPH_UNDO_JOURNAL_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "graph/instance.h"
@@ -61,6 +62,37 @@ class UndoJournal {
 
   /// Forgets all entries (after a successful commit).
   void Clear() { entries_.clear(); }
+
+  /// Visits what the journaled region touched, entry by entry in
+  /// recording order: `node_fn` once per node added (`added`=true) or
+  /// killed (`added`=false), `edge_fn` once per edge added or removed.
+  /// This is the write footprint a transaction exposes for
+  /// optimistic-concurrency conflict checks (ops/footprint.h);
+  /// positional undo details stay private. Because an edge can only be
+  /// recorded after both endpoints exist, a kNodeAdded entry always
+  /// precedes every edge entry touching that node — consumers may
+  /// build a created-node set in the same single pass.
+  void ForEachTouched(
+      const std::function<void(NodeId, bool added)>& node_fn,
+      const std::function<void(NodeId, Symbol, NodeId, bool added)>& edge_fn)
+      const {
+    for (const Entry& entry : entries_) {
+      switch (entry.kind) {
+        case Kind::kNodeAdded:
+          node_fn(entry.node, true);
+          break;
+        case Kind::kNodeKilled:
+          node_fn(entry.node, false);
+          break;
+        case Kind::kEdgeAdded:
+          edge_fn(entry.node, entry.label, entry.target, true);
+          break;
+        case Kind::kEdgeRemoved:
+          edge_fn(entry.node, entry.label, entry.target, false);
+          break;
+      }
+    }
+  }
 
  private:
   friend class Instance;

@@ -1,0 +1,71 @@
+#include "ops/footprint.h"
+
+namespace good::ops {
+
+void Footprint::AddFromJournal(const graph::UndoJournal& journal) {
+  // Nodes the journaled region itself created are excluded: they were
+  // invisible to every concurrent snapshot, so nothing can conflict on
+  // them — and their ids are session-local (every working copy
+  // allocates the same next id), so comparing them across transactions
+  // would manufacture spurious conflicts between independent inserts.
+  // A kNodeAdded entry precedes every edge entry touching that node
+  // (see UndoJournal::ForEachTouched), so one pass suffices.
+  std::unordered_set<graph::NodeId> created;
+  journal.ForEachTouched(
+      [this, &created](graph::NodeId node, bool added) {
+        if (added) {
+          created.insert(node);
+        } else if (!created.contains(node)) {
+          AddNode(node);
+        }
+      },
+      [this, &created](graph::NodeId source, Symbol label,
+                       graph::NodeId target, bool /*added*/) {
+        bool source_fresh = created.contains(source);
+        bool target_fresh = created.contains(target);
+        if (!source_fresh && !target_fresh) {
+          AddEdge(source, label, target);
+          return;
+        }
+        // An edge incident to a fresh node touches only its
+        // pre-existing endpoint (the fresh one cannot be named in any
+        // other transaction's footprint).
+        if (!source_fresh) AddNode(source);
+        if (!target_fresh) AddNode(target);
+      });
+}
+
+bool Footprint::Overlaps(const Footprint& other) const {
+  // Iterate the smaller set, probe the larger: overlap checks run once
+  // per (committing txn, committed version) pair, so the asymmetry
+  // matters when one side is a bulk load.
+  const Footprint& small = nodes.size() <= other.nodes.size() ? *this : other;
+  const Footprint& large = nodes.size() <= other.nodes.size() ? other : *this;
+  for (graph::NodeId node : small.nodes) {
+    if (large.nodes.contains(node)) return true;
+  }
+  // Edge overlap is implied by endpoint overlap (AddEdge inserts both
+  // endpoints into `nodes`), but check explicitly so a footprint built
+  // by hand from edges alone still conflicts correctly.
+  const Footprint& esmall = edges.size() <= other.edges.size() ? *this : other;
+  const Footprint& elarge = edges.size() <= other.edges.size() ? other : *this;
+  for (const graph::Edge& edge : esmall.edges) {
+    if (elarge.edges.contains(edge)) return true;
+  }
+  return false;
+}
+
+std::string Footprint::ToString() const {
+  std::string out = "nodes=" + std::to_string(nodes.size()) +
+                    " edges=" + std::to_string(edges.size());
+  if (scheme_changed) out += " scheme+";
+  return out;
+}
+
+Footprint CollectFootprint(const graph::UndoJournal& journal) {
+  Footprint footprint;
+  footprint.AddFromJournal(journal);
+  return footprint;
+}
+
+}  // namespace good::ops

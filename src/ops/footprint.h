@@ -1,0 +1,84 @@
+/// \file footprint.h
+/// \brief Write footprints for first-committer-wins conflict checks.
+///
+/// A transaction's *footprint* is the set of nodes and edges its
+/// mutations touched: every node it added or killed, every edge it
+/// added or removed, and — because an edge mutation changes what its
+/// endpoints mean to a reader — the endpoints of those edges. The
+/// footprint is derived from the undo journal the transaction already
+/// keeps for rollback (graph/undo_journal.h), so collecting it costs
+/// one pass over entries the transaction recorded anyway.
+///
+/// The server's commit pipeline uses footprints for snapshot-isolation
+/// validation: a transaction built against version B conflicts with a
+/// transaction that committed at version V > B iff their footprints
+/// overlap — the classic first-committer-wins write-write rule. Node
+/// ids are stable across instance copies (copying an Instance preserves
+/// ids), so footprints computed against a session's private snapshot
+/// copy compare directly against footprints the committer computed on
+/// the authoritative instance.
+///
+/// Nodes the transaction itself *created* are excluded (along with
+/// edges incident to them, which count only their pre-existing
+/// endpoint): a fresh node was invisible to every concurrent snapshot,
+/// so no other transaction can touch it — and fresh ids are
+/// session-local (each working copy allocates the same next id), so
+/// including them would make independent concurrent inserts conflict
+/// spuriously.
+///
+/// Scheme extensions are deliberately NOT part of the footprint: every
+/// scheme mutation the operations perform is a monotone, idempotent
+/// Ensure (add a label, add a triple), so two transactions extending
+/// the scheme serialize cleanly in either order. The `scheme_changed`
+/// flag is kept for observability only.
+
+#ifndef GOOD_OPS_FOOTPRINT_H_
+#define GOOD_OPS_FOOTPRINT_H_
+
+#include <string>
+#include <unordered_set>
+
+#include "graph/instance.h"
+#include "graph/undo_journal.h"
+
+namespace good::ops {
+
+/// \brief The nodes and edges a transaction wrote.
+struct Footprint {
+  std::unordered_set<graph::NodeId> nodes;
+  std::unordered_set<graph::Edge, graph::EdgeHash> edges;
+  /// True iff the transaction extended the scheme (informational; see
+  /// the file comment for why this does not participate in conflicts).
+  bool scheme_changed = false;
+
+  bool empty() const { return nodes.empty() && edges.empty(); }
+
+  /// Records a node mutation.
+  void AddNode(graph::NodeId node) { nodes.insert(node); }
+
+  /// Records an edge mutation; the endpoints join the node set too,
+  /// so endpoint-sharing transactions conflict even when the edges
+  /// themselves differ.
+  void AddEdge(graph::NodeId source, Symbol label, graph::NodeId target) {
+    edges.insert(graph::Edge{source, label, target});
+    nodes.insert(source);
+    nodes.insert(target);
+  }
+
+  /// Folds in everything `journal` recorded.
+  void AddFromJournal(const graph::UndoJournal& journal);
+
+  /// True iff the two footprints touch a common node or edge — the
+  /// first-committer-wins conflict condition.
+  bool Overlaps(const Footprint& other) const;
+
+  /// Compact rendering for logs: "nodes=12 edges=4 scheme+".
+  std::string ToString() const;
+};
+
+/// Convenience: the footprint of one journaled region.
+Footprint CollectFootprint(const graph::UndoJournal& journal);
+
+}  // namespace good::ops
+
+#endif  // GOOD_OPS_FOOTPRINT_H_

@@ -58,6 +58,15 @@ class Transaction {
   /// True while neither Commit() nor Rollback() has run.
   bool active() const { return !done_; }
 
+  /// The journal recording this scope's mutations (the enclosing
+  /// scope's journal when nested). Valid while the scope is active;
+  /// used to collect the region's write footprint (ops/footprint.h)
+  /// before Commit() clears an outermost journal.
+  const graph::UndoJournal& journal() const { return *journal_; }
+  /// The journal length at scope entry — entries from here on are this
+  /// scope's own mutations.
+  graph::UndoJournal::Mark mark() const { return mark_; }
+
  private:
   schema::Scheme* scheme_;
   graph::Instance* instance_;

@@ -383,4 +383,19 @@ Status OperationWriter::Append(const Scheme& scheme, const Operation& op) {
   return Status::OK();
 }
 
+std::string WritePattern(const Scheme& scheme, const Pattern& pattern) {
+  return WritePatternBlock(scheme, pattern);
+}
+
+Result<Pattern> ParsePattern(const Scheme& scheme, const std::string& input) {
+  GOOD_ASSIGN_OR_RETURN(auto tokens, text::Tokenize(input));
+  Cursor cursor(std::move(tokens));
+  GOOD_ASSIGN_OR_RETURN(NamedInstance parsed,
+                        ParsePatternBlock(scheme, &cursor));
+  if (!cursor.AtEnd()) {
+    return Status::InvalidArgument("trailing tokens after pattern block");
+  }
+  return std::move(parsed.instance);
+}
+
 }  // namespace good::program

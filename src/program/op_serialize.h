@@ -61,6 +61,16 @@ Result<std::string> WriteOperations(const schema::Scheme& scheme,
 Result<std::vector<method::Operation>> ParseOperations(
     const schema::Scheme& scheme, const std::string& text);
 
+/// Serializes a pattern as a standalone "pattern { ... }" block — the
+/// exact block the operation formats embed — for messages that ship a
+/// bare pattern (the server protocol's match/count commands).
+std::string WritePattern(const schema::Scheme& scheme,
+                         const pattern::Pattern& pattern);
+
+/// Parses a standalone "pattern { ... }" block over `scheme`.
+Result<pattern::Pattern> ParsePattern(const schema::Scheme& scheme,
+                                      const std::string& text);
+
 /// \brief An operation plus the file-local names of its pattern nodes —
 /// needed by formats that reference pattern nodes after the operation
 /// block (method head bindings in method_serialize.h).

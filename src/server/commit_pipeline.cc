@@ -1,0 +1,231 @@
+#include "server/commit_pipeline.h"
+
+#include <chrono>
+#include <string>
+#include <utility>
+
+namespace good::server {
+
+CommitPipeline::CommitPipeline(storage::Database* db, VersionChain* chain,
+                               PipelineOptions options)
+    : db_(db), chain_(chain), options_(options) {
+  next_commit_id_ = chain_->current_id();
+  committer_ = std::thread([this] { CommitterLoop(); });
+}
+
+CommitPipeline::~CommitPipeline() { Stop(); }
+
+void CommitPipeline::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  std::lock_guard<std::mutex> join_lock(join_mu_);
+  if (committer_.joinable()) committer_.join();
+}
+
+PipelineStats CommitPipeline::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+void CommitPipeline::Finish(const std::shared_ptr<Pending>& pending,
+                            CommitResult result) {
+  {
+    std::lock_guard<std::mutex> lock(pending->mu);
+    pending->result = std::move(result);
+    pending->done = true;
+  }
+  pending->cv.notify_all();
+}
+
+CommitResult CommitPipeline::Commit(std::vector<method::Operation> ops,
+                                    uint64_t base_version,
+                                    ops::Footprint footprint,
+                                    common::Deadline deadline) {
+  auto pending = std::make_shared<Pending>();
+  pending->ops = std::move(ops);
+  pending->base_version = base_version;
+  pending->footprint = std::move(footprint);
+  pending->deadline = deadline;
+
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (stopping_) {
+      CommitResult rejected;
+      rejected.status = Status::Unavailable("commit pipeline is stopped");
+      return rejected;
+    }
+    queue_.push_back(pending);
+  }
+  queue_cv_.notify_one();
+
+  std::unique_lock<std::mutex> lock(pending->mu);
+  while (!pending->done) {
+    if (!deadline.armed()) {
+      pending->cv.wait(lock);
+      continue;
+    }
+    // Poll coarsely: the deadline can fire from the wall clock or a
+    // cancel token, neither of which pulses our condition variable.
+    pending->cv.wait_for(lock, std::chrono::milliseconds(2));
+    if (pending->done) break;
+    Status cut = deadline.Check();
+    if (cut.ok()) continue;
+    // Expired while waiting. Abandon the entry if the committer has
+    // not claimed it yet — then nothing was applied and the session
+    // rolls back cleanly. If the claim already happened the outcome is
+    // imminent; await it so the result is never ambiguous.
+    Pending::State expected = Pending::State::kQueued;
+    if (pending->state.compare_exchange_strong(expected,
+                                               Pending::State::kAbandoned)) {
+      {
+        std::lock_guard<std::mutex> stats_lock(stats_mu_);
+        ++stats_.abandoned;
+      }
+      CommitResult abandoned;
+      abandoned.status = cut;
+      return abandoned;
+    }
+    while (!pending->done) pending->cv.wait(lock);
+    break;
+  }
+  return pending->result;
+}
+
+void CommitPipeline::CommitterLoop() {
+  for (;;) {
+    std::vector<std::shared_ptr<Pending>> batch;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      size_t take = options_.max_batch == 0 ? 1 : options_.max_batch;
+      while (!queue_.empty() && batch.size() < take) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+
+    // Entries applied in this batch, awaiting the fsync barrier.
+    struct Applied {
+      std::shared_ptr<Pending> pending;
+      std::shared_ptr<Version> version;
+      CommitResult result;
+    };
+    std::vector<Applied> applied;
+
+    for (auto& pending : batch) {
+      Pending::State expected = Pending::State::kQueued;
+      if (!pending->state.compare_exchange_strong(expected,
+                                                  Pending::State::kClaimed)) {
+        continue;  // abandoned by a deadline waiter; nothing to ack
+      }
+      CommitResult result;
+
+      Status cut = pending->deadline.Check();
+      if (!cut.ok()) {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.expired;
+        result.status = std::move(cut);
+        Finish(pending, std::move(result));
+        continue;
+      }
+
+      // First-committer-wins: against published versions newer than
+      // the base snapshot, then against this batch's earlier (not yet
+      // published) applies.
+      uint64_t conflict = 0;
+      Result<uint64_t> check =
+          chain_->FirstConflict(pending->base_version, pending->footprint);
+      if (!check.ok()) {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.conflicts;
+        result.status = check.status();
+        Finish(pending, std::move(result));
+        continue;
+      }
+      conflict = *check;
+      if (conflict == 0) {
+        for (const Applied& earlier : applied) {
+          if (earlier.version->id <= pending->base_version) continue;
+          if (earlier.version->footprint.Overlaps(pending->footprint)) {
+            conflict = earlier.version->id;
+            break;
+          }
+        }
+      }
+      if (conflict != 0) {
+        {
+          std::lock_guard<std::mutex> lock(stats_mu_);
+          ++stats_.conflicts;
+        }
+        result.conflict_version = conflict;
+        result.status = Status::Aborted(
+            "write-write conflict: version " + std::to_string(conflict) +
+            " committed after base " + std::to_string(pending->base_version) +
+            " touched an overlapping footprint (" +
+            pending->footprint.ToString() + ")");
+        Finish(pending, std::move(result));
+        continue;
+      }
+
+      ops::Footprint applied_footprint;
+      Status apply = db_->ApplyTransaction(pending->ops, &result.stats,
+                                           &applied_footprint);
+      if (!apply.ok()) {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.failures;
+        result.status = std::move(apply);
+        Finish(pending, std::move(result));
+        continue;
+      }
+
+      // Record the union of the declared (snapshot-side) and applied
+      // (authoritative-side) write sets: pattern rebinding against the
+      // evolved state may touch nodes the snapshot run did not, and
+      // future validations must see both.
+      for (graph::NodeId node : pending->footprint.nodes) {
+        applied_footprint.nodes.insert(node);
+      }
+      for (const graph::Edge& edge : pending->footprint.edges) {
+        applied_footprint.edges.insert(edge);
+      }
+      applied_footprint.scheme_changed |= pending->footprint.scheme_changed;
+
+      auto version = std::make_shared<Version>();
+      version->id = ++next_commit_id_;
+      version->db = db_->database();
+      version->footprint = std::move(applied_footprint);
+      result.version = version->id;
+
+      applied.push_back(
+          {std::move(pending), std::move(version), std::move(result)});
+    }
+
+    if (applied.empty()) continue;
+
+    // Group commit: one fsync makes the whole batch durable; only then
+    // are the versions published and the waiters acked. An fsync
+    // failure is surfaced to every waiter — the transactions are
+    // applied in memory (and typically the database poisons itself),
+    // so the versions are still published to keep readers and the
+    // authoritative state consistent.
+    Status sync = db_->SyncWal();
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.batches;
+      if (sync.ok()) stats_.committed += applied.size();
+      else stats_.failures += applied.size();
+    }
+    for (Applied& item : applied) {
+      chain_->Publish(item.version);
+      item.result.batch_size = applied.size();
+      if (!sync.ok()) item.result.status = sync;
+      Finish(item.pending, std::move(item.result));
+    }
+  }
+}
+
+}  // namespace good::server

@@ -1,0 +1,160 @@
+/// \file commit_pipeline.h
+/// \brief Single-writer commit queue with group commit.
+///
+/// Sessions build transactions against pinned snapshots and submit
+/// them here; a dedicated committer thread serializes all writes to
+/// the storage::Database. Each submitted commit passes through:
+///
+///  1. **Claim** — the committer atomically claims the queue entry. A
+///     waiter whose deadline expired first abandons the entry instead
+///     (compare-and-swap on the entry state), so a session blocked in
+///     commit past ExecOptions::deadline returns kDeadlineExceeded and
+///     its transaction is never applied.
+///  2. **Validate** — first-committer-wins: the transaction's write
+///     footprint (collected by the session from its undo journal) is
+///     checked against every version committed after the transaction's
+///     base snapshot (VersionChain::FirstConflict) and against the
+///     commits applied earlier in the same batch. Overlap aborts the
+///     commit with kAborted and the id of the winning version.
+///  3. **Apply** — the operations re-execute against the authoritative
+///     database via storage::Database::ApplyTransaction: one undo
+///     scope, one WAL record, appended *unsynced*.
+///  4. **Group commit** — after applying every claimed entry of the
+///     batch the committer issues a single SyncWal(). Only then are
+///     the new versions published and the waiting sessions acked, so
+///     an acknowledged commit is durable and a crash can only lose
+///     whole unacknowledged transactions.
+///
+/// Because exactly one thread applies transactions, the final
+/// (scheme, instance) is by construction the serial execution of the
+/// committed transactions in ack order — the differential gate the
+/// stress tests check by isomorphism against a serial oracle.
+
+#ifndef GOOD_SERVER_COMMIT_PIPELINE_H_
+#define GOOD_SERVER_COMMIT_PIPELINE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/deadline.h"
+#include "method/method.h"
+#include "ops/footprint.h"
+#include "server/version.h"
+#include "storage/database.h"
+
+namespace good::server {
+
+/// \brief Per-commit acknowledgement.
+struct CommitResult {
+  /// OK; kAborted (lost a first-committer-wins race, see
+  /// `conflict_version`); kDeadlineExceeded (abandoned while queued or
+  /// expired before apply); or a storage error.
+  Status status;
+  /// The version this commit produced (set on success).
+  uint64_t version = 0;
+  /// On kAborted: the committed version whose footprint overlapped.
+  uint64_t conflict_version = 0;
+  /// Commits made durable by the same fsync (>= 1 on success) — the
+  /// observable group-commit batch size.
+  size_t batch_size = 0;
+  /// Execution counters from the authoritative apply.
+  ops::ApplyStats stats;
+
+  bool ok() const { return status.ok(); }
+};
+
+/// \brief Aggregate pipeline counters (monotonic; for tests, benches
+/// and observability).
+struct PipelineStats {
+  uint64_t committed = 0;    ///< Transactions applied and acked OK.
+  uint64_t conflicts = 0;    ///< Commits rejected by validation.
+  uint64_t abandoned = 0;    ///< Entries abandoned by deadline waiters.
+  uint64_t expired = 0;      ///< Claimed entries expired before apply.
+  uint64_t failures = 0;     ///< Applies rejected by the storage layer.
+  uint64_t batches = 0;      ///< Group-commit fsync barriers issued.
+};
+
+struct PipelineOptions {
+  /// Maximum commits applied under one fsync barrier.
+  size_t max_batch = 8;
+};
+
+/// \brief The single-writer commit queue. Thread-safe; one committer
+/// thread owns all writes to the database.
+class CommitPipeline {
+ public:
+  /// `db` and `chain` are borrowed and must outlive the pipeline. The
+  /// database should be opened with Options::sync_every_append=false —
+  /// with per-append fsync enabled the pipeline still works but every
+  /// record syncs eagerly and the group-commit barrier is a no-op.
+  CommitPipeline(storage::Database* db, VersionChain* chain,
+                 PipelineOptions options = {});
+
+  /// Stops the committer (draining queued commits) and joins it.
+  ~CommitPipeline();
+
+  CommitPipeline(const CommitPipeline&) = delete;
+  CommitPipeline& operator=(const CommitPipeline&) = delete;
+
+  /// Submits one transaction and blocks until it is acked, rejected,
+  /// or abandoned. `base_version` is the id of the snapshot the
+  /// transaction was built against and `footprint` its write set on
+  /// that snapshot. `deadline` bounds the wait: expiry while still
+  /// queued abandons the commit (nothing applied, kDeadlineExceeded);
+  /// once the committer has claimed the entry the outcome is awaited
+  /// regardless (it is imminent and unambiguous).
+  CommitResult Commit(std::vector<method::Operation> ops,
+                      uint64_t base_version, ops::Footprint footprint,
+                      common::Deadline deadline);
+
+  /// Drains the queue, stops and joins the committer. Commits
+  /// submitted after Stop are rejected with kUnavailable. Idempotent.
+  void Stop();
+
+  PipelineStats stats() const;
+
+ private:
+  struct Pending {
+    enum class State : int { kQueued = 0, kClaimed = 1, kAbandoned = 2 };
+    std::atomic<State> state{State::kQueued};
+    std::vector<method::Operation> ops;
+    uint64_t base_version = 0;
+    ops::Footprint footprint;
+    common::Deadline deadline;
+    // Completion handshake.
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    CommitResult result;
+  };
+
+  void CommitterLoop();
+  static void Finish(const std::shared_ptr<Pending>& pending,
+                     CommitResult result);
+
+  storage::Database* db_;
+  VersionChain* chain_;
+  const PipelineOptions options_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<std::shared_ptr<Pending>> queue_;
+  bool stopping_ = false;
+
+  mutable std::mutex stats_mu_;
+  PipelineStats stats_;
+
+  uint64_t next_commit_id_ = 0;  // committer thread only
+  std::mutex join_mu_;
+  std::thread committer_;
+};
+
+}  // namespace good::server
+
+#endif  // GOOD_SERVER_COMMIT_PIPELINE_H_

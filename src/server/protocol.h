@@ -1,0 +1,103 @@
+/// \file protocol.h
+/// \brief The line-oriented text protocol and its server-side state
+/// machine.
+///
+/// The wire format is plain text, one request-response exchange at a
+/// time, reusing the existing textual forms for everything structured
+/// (program/op_serialize.h for operations and patterns,
+/// program/serialize.h for database dumps):
+///
+/// \code
+/// request  = command-line [ body ]
+/// command  = "hello" | "version" | "base" | "refresh" | "deadline" ...
+/// body     = dot-stuffed lines, terminated by a line containing "."
+/// response = "ok" [args] NL            ; success, no body
+///          | "ok+" [args] NL body      ; success, body follows
+///          | "err" CODE message NL     ; failure (CODE = StatusCode name)
+/// \endcode
+///
+/// Bodies use SMTP-style dot-stuffing: a body line beginning with '.'
+/// is sent with an extra leading dot, and the body ends at the first
+/// line that is exactly ".". Commands carrying a body: `exec` (an
+/// operation sequence), `count` and `match` (a pattern block).
+///
+/// Session commands:
+///  - `hello`            -> `ok good/1 base <id>`
+///  - `version`          -> `ok version <id>`         (newest published)
+///  - `base`             -> `ok base <id>`            (pinned snapshot)
+///  - `refresh`          -> `ok base <id>`            (re-pin newest)
+///  - `exec` + ops       -> `ok applied <n>`          (buffer writes)
+///  - `count` + pattern  -> `ok count <n>`
+///  - `match` + pattern  -> `ok+ matchings <n>` + one line per matching
+///  - `dump`             -> `ok+ database` + scheme/instance text
+///  - `commit`           -> `ok committed <version> batch <k>`
+///  - `rollback`         -> `ok rolledback`
+///  - `deadline <ms>`    -> `ok` (bounds later calls; `deadline none`
+///                          disarms)
+///  - `quit`             -> `ok bye` and the connection closes
+///
+/// The Connection class is deliberately socket-free: it consumes raw
+/// bytes and appends response bytes to a caller buffer, so the same
+/// state machine serves a TCP/unix socket (server/socket.h), an
+/// in-process loopback (server/client.h) and plain string-driven
+/// tests.
+
+#ifndef GOOD_SERVER_PROTOCOL_H_
+#define GOOD_SERVER_PROTOCOL_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "server/session.h"
+
+namespace good::server {
+
+/// Protocol identifier sent in the `hello` response.
+inline constexpr std::string_view kProtocolVersion = "good/1";
+
+/// Dot-stuffs `body` for the wire: every line starting with '.' gains
+/// a leading dot, a missing final newline is added, and the ".\n"
+/// terminator is appended.
+std::string DotStuff(std::string_view body);
+
+/// Serializes one request (command line plus optional dot-stuffed
+/// body) — the client-side counterpart of Connection.
+std::string EncodeRequest(std::string_view command_line,
+                          const std::string* body);
+
+/// \brief Server-side per-connection state machine.
+///
+/// Feed() raw bytes in, read response bytes out. Each connection owns
+/// one Session; single-threaded like the session it wraps.
+class Connection {
+ public:
+  explicit Connection(Server* server)
+      : server_(server), session_(server->StartSession()) {}
+
+  /// Consumes `bytes`; every completed request appends its response to
+  /// `*out`. Incomplete trailing lines are buffered for the next call.
+  void Feed(std::string_view bytes, std::string* out);
+
+  /// True after `quit`; further input is ignored.
+  bool closed() const { return closed_; }
+
+  Session& session() { return *session_; }
+
+ private:
+  void HandleLine(std::string_view line, std::string* out);
+  void Dispatch(const std::string& command_line, const std::string& body,
+                std::string* out);
+
+  Server* server_;
+  std::unique_ptr<Session> session_;
+  std::string input_;
+  bool in_body_ = false;
+  std::string pending_command_;
+  std::string body_;
+  bool closed_ = false;
+};
+
+}  // namespace good::server
+
+#endif  // GOOD_SERVER_PROTOCOL_H_

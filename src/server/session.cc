@@ -1,0 +1,142 @@
+#include "server/session.h"
+
+#include <utility>
+
+#include "ops/footprint.h"
+
+namespace good::server {
+
+// ---- Server ----------------------------------------------------------------
+
+Server::Server(storage::Database db, ServerOptions options)
+    : options_(options),
+      db_(std::move(db)),
+      chain_(options.version_history) {}
+
+Result<std::unique_ptr<Server>> Server::Open(storage::Database db,
+                                             ServerOptions options) {
+  // A degraded (read-only) handle is accepted: sessions serve snapshot
+  // reads, and the storage layer rejects every authoritative apply with
+  // kUnavailable, which the pipeline surfaces per commit.
+  std::unique_ptr<Server> server(new Server(std::move(db), options));
+  auto base = std::make_shared<Version>();
+  base->id = 0;
+  base->db = server->db_.database();
+  server->chain_.Reset(std::move(base));
+  server->pipeline_ = std::make_unique<CommitPipeline>(
+      &server->db_, &server->chain_,
+      PipelineOptions{.max_batch = options.max_batch});
+  return server;
+}
+
+Server::~Server() {
+  if (pipeline_) pipeline_->Stop();
+  if (!closed_) (void)db_.Close();
+}
+
+std::unique_ptr<Session> Server::StartSession() {
+  return std::unique_ptr<Session>(new Session(this, chain_.Current()));
+}
+
+Status Server::Close() {
+  if (pipeline_) pipeline_->Stop();
+  if (closed_) return Status::OK();
+  closed_ = true;
+  return db_.Close();
+}
+
+// ---- Session ---------------------------------------------------------------
+
+Session::Session(Server* server, VersionRef pinned)
+    : server_(server), exec_(server->options_.exec),
+      pinned_(std::move(pinned)) {}
+
+Status Session::Refresh() {
+  if (dirty()) {
+    return Status::FailedPrecondition(
+        "session has buffered writes; commit or rollback before refresh");
+  }
+  DiscardWorking();
+  pinned_ = server_->chain_.Current();
+  return Status::OK();
+}
+
+Result<std::vector<pattern::Matching>> Session::Match(
+    const pattern::Pattern& pattern) const {
+  pattern::MatchOptions options;
+  options.deadline = &exec_.deadline;
+  pattern::Matcher matcher(pattern, view().instance, options);
+  return matcher.FindAllChecked();
+}
+
+Result<size_t> Session::Count(const pattern::Pattern& pattern) const {
+  pattern::MatchOptions options;
+  options.deadline = &exec_.deadline;
+  pattern::Matcher matcher(pattern, view().instance, options);
+  return matcher.CountChecked();
+}
+
+Status Session::EnsureWorking() {
+  if (working_) return Status::OK();
+  working_ = std::make_unique<program::Database>(pinned_->db);
+  txn_ = std::make_unique<ops::Transaction>(&working_->scheme,
+                                            &working_->instance);
+  return Status::OK();
+}
+
+void Session::DiscardWorking() {
+  if (txn_) {
+    // The copy is discarded whole; committing the scope just detaches
+    // and clears the journal without replaying inverse mutations.
+    txn_->Commit();
+    txn_.reset();
+  }
+  working_.reset();
+  ops_.clear();
+}
+
+Status Session::Execute(const method::Operation& op) {
+  GOOD_RETURN_NOT_OK(EnsureWorking());
+  method::Executor executor(server_->options_.methods, exec_);
+  GOOD_RETURN_NOT_OK(
+      executor.Execute(op, &working_->scheme, &working_->instance));
+  ops_.push_back(op);
+  return Status::OK();
+}
+
+Status Session::ExecuteAll(const std::vector<method::Operation>& ops) {
+  for (const method::Operation& op : ops) {
+    GOOD_RETURN_NOT_OK(Execute(op));
+  }
+  return Status::OK();
+}
+
+CommitResult Session::Commit() {
+  CommitResult result;
+  if (ops_.empty()) {
+    DiscardWorking();
+    pinned_ = server_->chain_.Current();
+    result.status = Status::OK();
+    result.version = pinned_->id;
+    return result;
+  }
+  ops::Footprint footprint = ops::CollectFootprint(txn_->journal());
+  footprint.scheme_changed = !(working_->scheme == pinned_->db.scheme);
+
+  result = server_->pipeline_->Commit(std::move(ops_), pinned_->id,
+                                      std::move(footprint), exec_.deadline);
+  // Whatever the outcome the local preview is obsolete: on success the
+  // authoritative re-execution is the real state (isomorphic, but with
+  // its own node ids); on failure nothing was applied. Either way the
+  // session continues from the newest published version.
+  DiscardWorking();
+  pinned_ = server_->chain_.Current();
+  return result;
+}
+
+void Session::Rollback() {
+  DiscardWorking();
+  pinned_ = server_->chain_.Current();
+}
+
+}  // namespace good::server

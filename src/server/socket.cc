@@ -1,0 +1,245 @@
+#include "server/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "server/protocol.h"
+
+namespace good::server {
+namespace {
+
+Status SocketError(const std::string& context, int err) {
+  return Status::Unavailable(context + ": " + std::strerror(err));
+}
+
+Status WriteAll(int fd, std::string_view bytes) {
+  while (!bytes.empty()) {
+    ssize_t n = ::send(fd, bytes.data(), bytes.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return SocketError("send", errno);
+    }
+    bytes.remove_prefix(static_cast<size_t>(n));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+// ---- SocketTransport -------------------------------------------------------
+
+Result<std::unique_ptr<SocketTransport>> SocketTransport::ConnectTcp(
+    const std::string& host, int port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return SocketError("socket", errno);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("not a numeric IPv4 address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    int err = errno;
+    ::close(fd);
+    return SocketError("connect " + host + ":" + std::to_string(port), err);
+  }
+  return std::unique_ptr<SocketTransport>(new SocketTransport(fd));
+}
+
+Result<std::unique_ptr<SocketTransport>> SocketTransport::ConnectUnix(
+    const std::string& path) {
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return SocketError("socket", errno);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    ::close(fd);
+    return Status::InvalidArgument("unix socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    int err = errno;
+    ::close(fd);
+    return SocketError("connect " + path, err);
+  }
+  return std::unique_ptr<SocketTransport>(new SocketTransport(fd));
+}
+
+SocketTransport::~SocketTransport() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status SocketTransport::Write(std::string_view bytes) {
+  return WriteAll(fd_, bytes);
+}
+
+Result<std::string> SocketTransport::ReadLine() {
+  for (;;) {
+    size_t eol = buffer_.find('\n');
+    if (eol != std::string::npos) {
+      std::string line = buffer_.substr(0, eol);
+      buffer_.erase(0, eol + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    char chunk[4096];
+    ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return SocketError("recv", errno);
+    }
+    if (n == 0) {
+      return Status::Unavailable("connection closed by server");
+    }
+    buffer_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+// ---- SocketServer ----------------------------------------------------------
+
+Result<std::unique_ptr<SocketServer>> SocketServer::Listen(Server* server,
+                                                           Options options) {
+  int fd = -1;
+  int port = 0;
+  if (!options.unix_path.empty()) {
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return SocketError("socket", errno);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (options.unix_path.size() >= sizeof(addr.sun_path)) {
+      ::close(fd);
+      return Status::InvalidArgument("unix socket path too long: " +
+                                     options.unix_path);
+    }
+    std::memcpy(addr.sun_path, options.unix_path.c_str(),
+                options.unix_path.size() + 1);
+    ::unlink(options.unix_path.c_str());
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      int err = errno;
+      ::close(fd);
+      return SocketError("bind " + options.unix_path, err);
+    }
+  } else {
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return SocketError("socket", errno);
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(options.tcp_port));
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      int err = errno;
+      ::close(fd);
+      return SocketError("bind 127.0.0.1:" + std::to_string(options.tcp_port),
+                         err);
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+      int err = errno;
+      ::close(fd);
+      return SocketError("getsockname", err);
+    }
+    port = ntohs(bound.sin_port);
+  }
+  if (::listen(fd, 64) != 0) {
+    int err = errno;
+    ::close(fd);
+    return SocketError("listen", err);
+  }
+  std::unique_ptr<SocketServer> listener(
+      new SocketServer(server, std::move(options), fd, port));
+  listener->acceptor_ = std::thread([raw = listener.get()] {
+    raw->AcceptLoop();
+  });
+  return listener;
+}
+
+SocketServer::~SocketServer() { Stop(); }
+
+size_t SocketServer::connections_accepted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return accepted_;
+}
+
+void SocketServer::Stop() {
+  std::vector<std::thread> handlers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+    if (listen_fd_ >= 0) {
+      // shutdown() wakes the blocking accept; close() releases the fd.
+      ::shutdown(listen_fd_, SHUT_RDWR);
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    for (int fd : live_fds_) ::shutdown(fd, SHUT_RDWR);
+    handlers.swap(handlers_);
+  }
+  {
+    std::lock_guard<std::mutex> join_lock(join_mu_);
+    if (acceptor_.joinable()) acceptor_.join();
+  }
+  for (std::thread& handler : handlers) {
+    if (handler.joinable()) handler.join();
+  }
+  if (!options_.unix_path.empty()) ::unlink(options_.unix_path.c_str());
+}
+
+void SocketServer::AcceptLoop() {
+  int listen_fd;
+  {
+    // Copy under the lock once; Stop may later close the fd (waking
+    // accept) but never reuses the variable this loop reads.
+    std::lock_guard<std::mutex> lock(mu_);
+    listen_fd = listen_fd_;
+  }
+  for (;;) {
+    int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener closed by Stop (or fatal accept error)
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      ::close(fd);
+      return;
+    }
+    ++accepted_;
+    live_fds_.push_back(fd);
+    handlers_.emplace_back([this, fd] { Serve(fd); });
+  }
+}
+
+void SocketServer::Serve(int fd) {
+  Connection connection(server_);
+  std::string out;
+  char chunk[4096];
+  while (!connection.closed()) {
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n == 0) break;  // peer hung up
+    out.clear();
+    connection.Feed(std::string_view(chunk, static_cast<size_t>(n)), &out);
+    if (!out.empty() && !WriteAll(fd, out).ok()) break;
+  }
+  ::close(fd);
+  std::lock_guard<std::mutex> lock(mu_);
+  live_fds_.erase(std::remove(live_fds_.begin(), live_fds_.end(), fd),
+                  live_fds_.end());
+}
+
+}  // namespace good::server

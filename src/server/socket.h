@@ -1,0 +1,105 @@
+/// \file socket.h
+/// \brief POSIX socket front-end: a listener serving the text protocol
+/// and a matching client Transport.
+///
+/// The protocol state machine (server/protocol.h) is socket-free; this
+/// file is the thin glue that pumps bytes between it and a TCP
+/// (loopback) or unix-domain socket. Each accepted connection gets its
+/// own handler thread owning one Connection (and hence one Session) —
+/// the thread-per-connection model the session layer's single-threaded
+/// contract expects.
+
+#ifndef GOOD_SERVER_SOCKET_H_
+#define GOOD_SERVER_SOCKET_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "server/client.h"
+#include "server/session.h"
+
+namespace good::server {
+
+/// \brief Client transport over a connected socket.
+class SocketTransport final : public Transport {
+ public:
+  /// Connects to a TCP server (numeric IPv4 host, typically
+  /// "127.0.0.1").
+  static Result<std::unique_ptr<SocketTransport>> ConnectTcp(
+      const std::string& host, int port);
+
+  /// Connects to a unix-domain socket path.
+  static Result<std::unique_ptr<SocketTransport>> ConnectUnix(
+      const std::string& path);
+
+  ~SocketTransport() override;
+
+  Status Write(std::string_view bytes) override;
+  Result<std::string> ReadLine() override;
+
+ private:
+  explicit SocketTransport(int fd) : fd_(fd) {}
+
+  int fd_;
+  std::string buffer_;
+};
+
+/// \brief Accept loop serving the text protocol on one listening
+/// socket.
+class SocketServer {
+ public:
+  struct Options {
+    /// When non-empty, listen on this unix-domain socket path
+    /// (removed and rebound).
+    std::string unix_path;
+    /// Otherwise listen on 127.0.0.1:tcp_port; 0 picks an ephemeral
+    /// port (see port()).
+    int tcp_port = 0;
+  };
+
+  /// Binds, listens, and starts the accept thread. `server` is
+  /// borrowed and must outlive the SocketServer.
+  static Result<std::unique_ptr<SocketServer>> Listen(Server* server,
+                                                      Options options);
+
+  /// Stops accepting, shuts down live connections, joins all threads.
+  ~SocketServer();
+
+  /// The bound TCP port (0 for unix-domain listeners).
+  int port() const { return port_; }
+  const std::string& unix_path() const { return options_.unix_path; }
+
+  /// Connections accepted so far.
+  size_t connections_accepted() const;
+
+  void Stop();
+
+ private:
+  SocketServer(Server* server, Options options, int listen_fd, int port)
+      : server_(server), options_(std::move(options)), listen_fd_(listen_fd),
+        port_(port) {}
+
+  void AcceptLoop();
+  void Serve(int fd);
+
+  Server* server_;
+  Options options_;
+  int listen_fd_;
+  int port_;
+
+  mutable std::mutex mu_;
+  bool stopping_ = false;
+  std::vector<int> live_fds_;
+  std::vector<std::thread> handlers_;
+  size_t accepted_ = 0;
+  std::mutex join_mu_;
+  std::thread acceptor_;
+};
+
+}  // namespace good::server
+
+#endif  // GOOD_SERVER_SOCKET_H_

@@ -1,0 +1,51 @@
+#include "server/version.h"
+
+#include <string>
+
+namespace good::server {
+
+void VersionChain::Reset(VersionRef base) {
+  std::lock_guard<std::mutex> lock(mu_);
+  current_ = std::move(base);
+  history_.clear();
+}
+
+VersionRef VersionChain::Current() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_;
+}
+
+uint64_t VersionChain::current_id() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_ ? current_->id : 0;
+}
+
+Result<uint64_t> VersionChain::FirstConflict(
+    uint64_t base_id, const ops::Footprint& footprint) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t current_id = current_ ? current_->id : 0;
+  if (base_id >= current_id) return uint64_t{0};  // up to date
+  // The history window covers [front.id, back.id]; we need every id in
+  // (base_id, current_id]. Publications are contiguous, so the window
+  // suffices iff it reaches back to base_id + 1.
+  if (history_.empty() || history_.front().first > base_id + 1) {
+    return Status::Aborted(
+        "snapshot too old: base version " + std::to_string(base_id) +
+        " predates the retained footprint window; retry against a fresh "
+        "snapshot");
+  }
+  for (const auto& [id, committed] : history_) {
+    if (id <= base_id) continue;
+    if (committed.Overlaps(footprint)) return id;
+  }
+  return uint64_t{0};
+}
+
+void VersionChain::Publish(VersionRef version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  history_.emplace_back(version->id, version->footprint);
+  while (history_.size() > max_history_) history_.pop_front();
+  current_ = std::move(version);
+}
+
+}  // namespace good::server

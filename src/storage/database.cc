@@ -4,6 +4,8 @@
 #include <thread>
 #include <utility>
 
+#include "common/retry.h"
+#include "ops/transaction.h"
 #include "program/op_serialize.h"
 #include "program/serialize.h"
 
@@ -182,17 +184,38 @@ Status Database::LoadSnapshot() {
 }
 
 Status Database::ReplayRecord(std::string_view op_text, size_t index) {
-  auto op = program::ParseOperation(db_.scheme, std::string(op_text));
-  if (!op.ok()) {
+  // A record holds one operation (Apply) or a whole transaction's
+  // sequence (ApplyTransaction). Either way replay is atomic per
+  // record: the rollback scope guarantees a record that fails midway
+  // leaves the state exactly at the previous record boundary — which
+  // is what lets salvage mode keep serving the replayed prefix.
+  auto reader = program::OperationReader::Open(std::string(op_text));
+  if (!reader.ok()) {
     return Status::DataLoss("log record " + std::to_string(index) +
-                            " does not parse: " + op.status().ToString());
+                            " does not tokenize: " +
+                            reader.status().ToString());
   }
+  ops::Transaction txn(&db_.scheme, &db_.instance);
   method::Executor exec(Registry(), options_.exec);
-  Status applied = exec.Execute(*op, &db_.scheme, &db_.instance);
-  if (!applied.ok()) {
-    return Status::DataLoss("log record " + std::to_string(index) +
-                            " does not replay: " + applied.ToString());
+  size_t ops_in_record = 0;
+  while (!reader->AtEnd()) {
+    auto op = reader->Next(db_.scheme);
+    if (!op.ok()) {
+      return Status::DataLoss("log record " + std::to_string(index) +
+                              " does not parse: " + op.status().ToString());
+    }
+    Status applied = exec.Execute(*op, &db_.scheme, &db_.instance);
+    if (!applied.ok()) {
+      return Status::DataLoss("log record " + std::to_string(index) +
+                              " does not replay: " + applied.ToString());
+    }
+    ++ops_in_record;
   }
+  if (ops_in_record == 0) {
+    return Status::DataLoss("log record " + std::to_string(index) +
+                            " holds no operations");
+  }
+  txn.Commit();
   ++next_seq_;
   ++recovery_.ops_replayed;
   return Status::OK();
@@ -372,7 +395,7 @@ Status Database::OpenWalForAppend(uint64_t valid_bytes) {
   return Status::OK();
 }
 
-Status Database::Apply(const method::Operation& op, ops::ApplyStats* stats) {
+Status Database::CheckWritable() const {
   if (closed_) return Status::FailedPrecondition("database is closed");
   if (recovery_.degraded) {
     return Status::Unavailable(
@@ -384,16 +407,15 @@ Status Database::Apply(const method::Operation& op, ops::ApplyStats* stats) {
         "database is poisoned by an earlier unrecoverable log failure; "
         "reopen to recover");
   }
-  GOOD_ASSIGN_OR_RETURN(std::string text,
-                        program::WriteOperation(db_.scheme, op));
-  std::string payload;
-  payload.reserve(sizeof(uint64_t) + text.size());
-  AppendFixed64(&payload, next_seq_);
-  payload += text;
-  // Write-ahead: the operation reaches the log before the instance.
-  // Transient append faults are retried with exponential backoff; every
-  // failed attempt's torn bytes are truncated away before the next try
-  // so the record never lands twice.
+  return Status::OK();
+}
+
+Status Database::AppendWithRetry(std::string_view payload,
+                                 ops::ApplyStats* stats) {
+  // Transient (common::IsRetriable) append faults are retried with
+  // exponential backoff; every failed attempt's torn bytes are
+  // truncated away before the next try so the record never lands
+  // twice. Permanent faults surface immediately.
   size_t retries = 0;
   while (true) {
     Status logged = writer_->AppendRecord(payload);
@@ -404,6 +426,7 @@ Status Database::Apply(const method::Operation& op, ops::ApplyStats* stats) {
       poisoned_ = true;
       return logged;
     }
+    if (!common::IsRetriable(logged)) return logged;
     if (retries >= options_.wal_retry_limit) return logged;
     ++retries;
     if (options_.wal_retry_backoff.count() > 0) {
@@ -412,6 +435,19 @@ Status Database::Apply(const method::Operation& op, ops::ApplyStats* stats) {
     }
   }
   if (stats != nullptr) stats->wal_retries += retries;
+  return Status::OK();
+}
+
+Status Database::Apply(const method::Operation& op, ops::ApplyStats* stats) {
+  GOOD_RETURN_NOT_OK(CheckWritable());
+  GOOD_ASSIGN_OR_RETURN(std::string text,
+                        program::WriteOperation(db_.scheme, op));
+  std::string payload;
+  payload.reserve(sizeof(uint64_t) + text.size());
+  AppendFixed64(&payload, next_seq_);
+  payload += text;
+  // Write-ahead: the operation reaches the log before the instance.
+  GOOD_RETURN_NOT_OK(AppendWithRetry(payload, stats));
   method::Executor exec(Registry(), options_.exec);
   Status applied = exec.Execute(op, &db_.scheme, &db_.instance, stats);
   if (!applied.ok()) return Undo(std::move(applied));
@@ -423,6 +459,53 @@ Status Database::Apply(const method::Operation& op, ops::ApplyStats* stats) {
     GOOD_RETURN_NOT_OK(Checkpoint());
   }
   return Status::OK();
+}
+
+Status Database::ApplyTransaction(const std::vector<method::Operation>& ops,
+                                  ops::ApplyStats* stats,
+                                  ops::Footprint* footprint) {
+  GOOD_RETURN_NOT_OK(CheckWritable());
+  if (footprint != nullptr) *footprint = ops::Footprint{};
+  if (ops.empty()) return Status::OK();
+  // Execute first, under a rollback scope, serializing each operation
+  // against the scheme as it stands (exactly what replay will see).
+  // The record is appended only once the whole sequence succeeded, so
+  // the log never holds a fragment of a transaction — the inverse of
+  // Apply's write-ahead order, with the same invariant: log and memory
+  // agree on every return path.
+  const schema::Scheme scheme_before = db_.scheme;
+  program::OperationWriter record;
+  ops::Transaction txn(&db_.scheme, &db_.instance);
+  method::Executor exec(Registry(), options_.exec);
+  for (const method::Operation& op : ops) {
+    GOOD_RETURN_NOT_OK(record.Append(db_.scheme, op));
+    GOOD_RETURN_NOT_OK(exec.Execute(op, &db_.scheme, &db_.instance, stats));
+  }
+  if (footprint != nullptr) {
+    *footprint = ops::CollectFootprint(txn.journal());
+    footprint->scheme_changed = !(db_.scheme == scheme_before);
+  }
+  std::string payload;
+  AppendFixed64(&payload, next_seq_);
+  payload += record.Take();
+  GOOD_RETURN_NOT_OK(AppendWithRetry(payload, stats));
+  txn.Commit();
+  ++next_seq_;
+  ++log_ops_;
+  ++ops_since_checkpoint_;
+  if (options_.checkpoint_every > 0 &&
+      ops_since_checkpoint_ >= options_.checkpoint_every) {
+    GOOD_RETURN_NOT_OK(Checkpoint());
+  }
+  return Status::OK();
+}
+
+Status Database::SyncWal() {
+  GOOD_RETURN_NOT_OK(CheckWritable());
+  if (writer_ == nullptr) {
+    return Status::FailedPrecondition("database has no open log");
+  }
+  return writer_->Sync();
 }
 
 Status Database::ApplyAll(const std::vector<method::Operation>& ops,
@@ -443,15 +526,7 @@ Status Database::Undo(Status cause) {
 }
 
 Status Database::Checkpoint() {
-  if (closed_) return Status::FailedPrecondition("database is closed");
-  if (recovery_.degraded) {
-    return Status::Unavailable(
-        "database is open read-only (degraded salvage mode)");
-  }
-  if (poisoned_) {
-    return Status::FailedPrecondition(
-        "database is poisoned by an earlier unrecoverable log failure");
-  }
+  GOOD_RETURN_NOT_OK(CheckWritable());
   FileEnv* env = options_.env;
   std::string payload;
   AppendFixed64(&payload, next_seq_);

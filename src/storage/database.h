@@ -53,6 +53,7 @@
 
 #include "common/deadline.h"
 #include "method/method.h"
+#include "ops/footprint.h"
 #include "program/program.h"
 #include "storage/file_env.h"
 #include "storage/salvage.h"
@@ -183,6 +184,30 @@ class Database {
   Status ApplyAll(const std::vector<method::Operation>& ops,
                   ops::ApplyStats* stats = nullptr);
 
+  /// Applies `ops` as ONE all-or-nothing transaction held in ONE log
+  /// record: every operation succeeds and the whole sequence becomes
+  /// durable together, or nothing is applied and nothing is logged.
+  /// Unlike Apply, execution runs first (under a rollback scope) and
+  /// the record is appended only when the whole sequence succeeded —
+  /// recovery therefore replays transactions atomically (a record
+  /// either replays whole or ends the valid prefix), which is what the
+  /// group-commit pipeline needs: a crash between append and fsync can
+  /// only lose *whole* unacknowledged transactions, never expose half
+  /// of one. With Options::sync_every_append false the record is
+  /// appended unsynced; the caller batches several transactions and
+  /// makes them durable together with one SyncWal() (group commit).
+  /// When `footprint` is non-null it receives the transaction's write
+  /// footprint (ops/footprint.h), collected from the undo journal
+  /// before the commit clears it.
+  Status ApplyTransaction(const std::vector<method::Operation>& ops,
+                          ops::ApplyStats* stats = nullptr,
+                          ops::Footprint* footprint = nullptr);
+
+  /// Forces every appended log record to stable storage — the group
+  /// commit barrier. A no-op when Options::sync_every_append already
+  /// syncs per record. kUnavailable on a degraded handle.
+  Status SyncWal();
+
   /// Writes a snapshot of the current state and truncates the log.
   /// kUnavailable on a degraded handle.
   Status Checkpoint();
@@ -243,6 +268,13 @@ class Database {
   /// truncation itself fails (log and memory can no longer be
   /// reconciled).
   Status Undo(Status cause);
+  /// Appends one framed record, retrying transient (common::IsRetriable)
+  /// failures up to Options::wal_retry_limit with exponential backoff.
+  /// Every failed attempt's partial bytes are truncated first; poisons
+  /// the handle when that truncation itself fails.
+  Status AppendWithRetry(std::string_view payload, ops::ApplyStats* stats);
+  /// Guards shared by every mutating entry point.
+  Status CheckWritable() const;
 
   const method::MethodRegistry* Registry() const;
 

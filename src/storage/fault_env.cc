@@ -25,20 +25,20 @@ Status FaultInjectedFile::Append(std::string_view data) {
   size_t n = ++env_->appends_;
   if (n >= env_->plan_.fail_appends_from) {
     ++env_->fired_;
-    return Status::Internal("injected permanent append failure");
+    return Status::Unavailable("injected permanent append failure");
   }
   if (env_->plan_.fail_append_at != FaultPlan::kNever &&
       n >= env_->plan_.fail_append_at &&
       n - env_->plan_.fail_append_at < env_->plan_.fail_append_count) {
     ++env_->fired_;
-    return Status::Internal("injected append failure");
+    return Status::Unavailable("injected append failure");
   }
   if (n == env_->plan_.short_write_at) {
     ++env_->fired_;
     // Persist a prefix, then report failure — a torn write.
     Status s = base_->Append(data.substr(0, data.size() / 2));
     if (!s.ok()) return s;
-    return Status::Internal("injected short write");
+    return Status::Unavailable("injected short write");
   }
   return base_->Append(data);
 }
@@ -46,7 +46,7 @@ Status FaultInjectedFile::Append(std::string_view data) {
 Status FaultInjectedFile::Sync() {
   if (++env_->syncs_ == env_->plan_.fail_sync_at) {
     ++env_->fired_;
-    return Status::Internal("injected sync failure");
+    return Status::Unavailable("injected sync failure");
   }
   return base_->Sync();
 }
@@ -63,7 +63,7 @@ Result<std::unique_ptr<WritableFile>> FaultInjectionEnv::NewWritableFile(
     const std::string& path, bool truncate) {
   if (++opens_ == plan_.fail_open_at) {
     ++fired_;
-    return Status::Internal("injected open failure for " + path);
+    return Status::Unavailable("injected open failure for " + path);
   }
   GOOD_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
                         base_->NewWritableFile(path, truncate));
@@ -88,7 +88,7 @@ Status FaultInjectionEnv::RenameFile(const std::string& from,
                                      const std::string& to) {
   if (++renames_ == plan_.fail_rename_at) {
     ++fired_;
-    return Status::Internal("injected rename failure");
+    return Status::Unavailable("injected rename failure");
   }
   return base_->RenameFile(from, to);
 }

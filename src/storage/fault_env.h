@@ -6,9 +6,11 @@
 /// write — exactly what a power cut mid-write leaves behind), or the
 /// K-th sync / rename / file-open can fail. Counters are global across
 /// all files opened through the env, so a test script reads as "the
-/// 7th write to disk dies". In the spirit of backend_fuzz_test.cc,
-/// storage_test.cc sweeps K over a range and asserts recovery works
-/// after every possible failure point.
+/// 7th write to disk dies". Injected faults surface as kUnavailable —
+/// the transient-device class common::IsRetriable admits, so the WAL
+/// append retry loop treats them exactly like real flaky hardware. In
+/// the spirit of backend_fuzz_test.cc, storage_test.cc sweeps K over a
+/// range and asserts recovery works after every possible failure point.
 
 #ifndef GOOD_STORAGE_FAULT_ENV_H_
 #define GOOD_STORAGE_FAULT_ENV_H_

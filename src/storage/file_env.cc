@@ -14,6 +14,12 @@ namespace {
 Status ErrnoStatus(const std::string& context, int err) {
   std::string msg = context + ": " + std::strerror(err);
   if (err == ENOENT) return Status::NotFound(std::move(msg));
+  // Transient conditions a retry can cure get the retriable class
+  // (common::IsRetriable) so the WAL append retry loop rides them out;
+  // everything else is a permanent fault worth surfacing immediately.
+  if (err == EINTR || err == EAGAIN || err == EBUSY || err == ENOSPC) {
+    return Status::Unavailable(std::move(msg));
+  }
   return Status::Internal(std::move(msg));
 }
 

@@ -101,4 +101,16 @@ Status LogWriter::UndoLastAppend() {
   return Status::OK();
 }
 
+Status LogWriter::TruncateTo(uint64_t offset) {
+  if (offset > size_) {
+    return Status::InvalidArgument(
+        "TruncateTo(" + std::to_string(offset) + ") is past the log end (" +
+        std::to_string(size_) + ")");
+  }
+  GOOD_RETURN_NOT_OK(file_->Truncate(offset));
+  size_ = offset;
+  if (last_record_offset_ > offset) last_record_offset_ = offset;
+  return Status::OK();
+}
+
 }  // namespace good::storage

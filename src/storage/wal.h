@@ -93,6 +93,12 @@ class LogWriter {
   /// to apply, and to clear a torn append. Idempotent per append.
   Status UndoLastAppend();
 
+  /// Truncates the file back to `offset` (which must be a record
+  /// boundary the caller remembered) — the multi-record generalization
+  /// of UndoLastAppend, used to roll an aborted transaction's records
+  /// out of the log.
+  Status TruncateTo(uint64_t offset);
+
   Status Sync() { return file_->Sync(); }
   Status Close() { return file_->Close(); }
 

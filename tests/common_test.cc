@@ -2,6 +2,7 @@
 
 #include "common/interner.h"
 #include "common/result.h"
+#include "common/retry.h"
 #include "common/status.h"
 #include "common/value.h"
 
@@ -182,6 +183,35 @@ TEST(InternerTest, GlobalSymbolsShared) {
   Symbol b = Sym("links-to");
   EXPECT_EQ(a, b);
   EXPECT_EQ(SymName(a), "links-to");
+}
+
+TEST(RetryTest, OnlyTransientClassesAreRetriable) {
+  // Retriable: a fresh attempt can cure these without intervention.
+  EXPECT_TRUE(common::IsRetriable(Status::Unavailable("device hiccup")));
+  EXPECT_TRUE(common::IsRetriable(Status::Aborted("lost the fcw race")));
+  // Not retriable: success, permanent errors, and caller-chosen
+  // cutoffs that a retry would subvert.
+  EXPECT_FALSE(common::IsRetriable(Status::OK()));
+  EXPECT_FALSE(common::IsRetriable(Status::InvalidArgument("bad label")));
+  EXPECT_FALSE(common::IsRetriable(Status::NotFound("no such node")));
+  EXPECT_FALSE(common::IsRetriable(Status::FailedPrecondition("functional")));
+  EXPECT_FALSE(common::IsRetriable(Status::DataLoss("torn record")));
+  EXPECT_FALSE(common::IsRetriable(Status::Internal("bug")));
+  EXPECT_FALSE(
+      common::IsRetriable(Status::DeadlineExceeded("caller cutoff")));
+  EXPECT_FALSE(common::IsRetriable(Status::Cancelled("caller cutoff")));
+  EXPECT_FALSE(common::IsRetriable(Status::ResourceExhausted("budget")));
+}
+
+TEST(StatusCodeStringTest, EveryCodeRoundTrips) {
+  // The server protocol sends codes by name ("err Aborted ...") and the
+  // client decodes them back, so the mapping must be a bijection.
+  for (int raw = 0; raw <= 13; ++raw) {
+    StatusCode code = static_cast<StatusCode>(raw);
+    std::string_view name = StatusCodeToString(code);
+    EXPECT_EQ(StatusCodeFromString(name), code) << name;
+  }
+  EXPECT_EQ(StatusCodeFromString("NoSuchCode"), StatusCode::kInternal);
 }
 
 }  // namespace

@@ -1,0 +1,294 @@
+/// Concurrency stress for the multi-session server: reader sessions
+/// replay the paper's figure queries against pinned snapshots while
+/// writer sessions race commits through the pipeline. Invariants:
+///
+///  - every read runs against a *published committed* version (the
+///    pinned id never exceeds the newest published id, and repeated
+///    reads on one pin are identical — snapshots are immutable);
+///  - acked commit versions are unique and contiguous — the pipeline
+///    publishes a total serial order;
+///  - the final authoritative state is isomorphic to a serial oracle
+///    that re-executes the acked transactions in version order — any
+///    interleaving of session commits equals SOME serial execution
+///    (operations are deterministic up to new-object ids, Section 3 of
+///    the paper).
+///
+/// Runs under TSan in CI; thread counts and iteration budgets are kept
+/// small enough for instrumented builds.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/retry.h"
+#include "graph/isomorphism.h"
+#include "hypermedia/hypermedia.h"
+#include "server/session.h"
+#include "storage/database.h"
+
+namespace good::server {
+namespace {
+
+namespace hm = good::hypermedia;
+
+using graph::Instance;
+using method::Operation;
+using pattern::Pattern;
+using schema::Scheme;
+
+std::string MakeTempDir() {
+  std::string tmpl = ::testing::TempDir() + "good_server_stress_XXXXXX";
+  char* made = ::mkdtemp(tmpl.data());
+  EXPECT_NE(made, nullptr);
+  return tmpl;
+}
+
+program::Database PaperDatabase() {
+  Scheme scheme = hm::BuildScheme().ValueOrDie();
+  Instance instance =
+      std::move(hm::BuildInstance(scheme).ValueOrDie().instance);
+  return program::Database{std::move(scheme), std::move(instance)};
+}
+
+/// One acked commit: the version it produced and the operations that
+/// produced it, for the serial-oracle replay.
+struct AckedCommit {
+  uint64_t version;
+  std::vector<Operation> ops;
+};
+
+TEST(ServerStressTest, ConcurrentReadersAndWritersSerialize) {
+  constexpr size_t kReaders = 4;
+  constexpr size_t kWriters = 2;
+  constexpr size_t kIterations = 30;  // per writer
+
+  std::string dir = MakeTempDir();
+  storage::Options db_options;
+  db_options.sync_every_append = false;
+  storage::Database db =
+      storage::Database::Open(dir, PaperDatabase(), db_options).ValueOrDie();
+  ServerOptions server_options;
+  server_options.max_batch = 4;
+  server_options.version_history = 256;
+  auto server = Server::Open(std::move(db), server_options).ValueOrDie();
+
+  const Scheme base_scheme = server->database().scheme();
+
+  // The figure workload. Writer 0 churns the shared region of the
+  // instance (the Fig 16 edge plus Fig 6/10 additions touching the
+  // Doors/Pinkfloyd neighborhood) so first-committer-wins races are
+  // common; writer 1 leans on insertions and the Fig 14 deletion.
+  std::vector<std::vector<Operation>> writer_ops(kWriters);
+  writer_ops[0] = {
+      Operation(hm::Fig6NodeAddition(base_scheme).ValueOrDie()),
+      Operation(hm::Fig16EdgeDeletion(base_scheme).ValueOrDie()),
+      Operation(hm::Fig10EdgeAddition(base_scheme).ValueOrDie()),
+      Operation(hm::Fig16EdgeAddition(base_scheme).ValueOrDie()),
+  };
+  writer_ops[1] = {
+      Operation(hm::Fig12NodeAddition(base_scheme).ValueOrDie()),
+      Operation(hm::Fig14NodeDeletion(base_scheme).ValueOrDie()),
+      Operation(hm::Fig8NodeAddition(base_scheme).ValueOrDie()),
+      Operation(hm::Fig18Abstraction(base_scheme).ValueOrDie().tag_new),
+  };
+
+  // Read-only queries: the Figure 4 query plus the match patterns of
+  // the figure operations the writers replay.
+  std::vector<Pattern> queries;
+  queries.push_back(hm::Fig4Pattern(base_scheme).ValueOrDie().pattern);
+  queries.push_back(
+      hm::Fig6NodeAddition(base_scheme).ValueOrDie().source_pattern());
+  queries.push_back(
+      hm::Fig10EdgeAddition(base_scheme).ValueOrDie().source_pattern());
+  queries.push_back(
+      hm::Fig14NodeDeletion(base_scheme).ValueOrDie().source_pattern());
+  queries.push_back(
+      hm::Fig18Abstraction(base_scheme).ValueOrDie().tag_new.source_pattern());
+
+  std::mutex acked_mu;
+  std::vector<AckedCommit> acked;
+  std::atomic<bool> writers_done{false};
+  std::atomic<size_t> reads{0};
+  std::atomic<bool> failed{false};
+
+  auto writer = [&](size_t index) {
+    auto session = server->StartSession();
+    const std::vector<Operation>& ops = writer_ops[index];
+    for (size_t i = 0; i < kIterations && !failed; ++i) {
+      const Operation& op = ops[i % ops.size()];
+      Status executed = session->Execute(op);
+      if (!executed.ok()) {
+        // State-dependent rejection (e.g. a functional-edge conflict on
+        // this snapshot): drop the transaction and move on.
+        session->Rollback();
+        continue;
+      }
+      CommitResult result = session->Commit();
+      if (result.ok()) {
+        std::lock_guard<std::mutex> lock(acked_mu);
+        acked.push_back(AckedCommit{result.version, {op}});
+      } else if (!common::IsRetriable(result.status)) {
+        // Applies can fail legitimately when the authoritative state
+        // diverged from the session's preview (a functional-edge
+        // uniqueness conflict, a duplicate, a vanished target);
+        // anything outside that class is a bug.
+        if (!result.status.IsFailedPrecondition() &&
+            !result.status.IsAlreadyExists() &&
+            !result.status.IsNotFound()) {
+          ADD_FAILURE() << "writer " << index
+                        << " commit failed: " << result.status.ToString();
+          failed = true;
+        }
+      }
+      // Retriable losses (kAborted) just mean another writer won; the
+      // session has already re-pinned, so continue with the next op.
+    }
+  };
+
+  auto reader = [&](size_t index) {
+    auto session = server->StartSession();
+    uint64_t last_base = session->base_version();
+    size_t round = 0;
+    while (!writers_done || round < 3) {
+      ++round;
+      Status refreshed = session->Refresh();
+      if (!refreshed.ok()) {
+        ADD_FAILURE() << "reader refresh: " << refreshed.ToString();
+        failed = true;
+        return;
+      }
+      uint64_t base = session->base_version();
+      // Pins move monotonically through published versions only.
+      if (base < last_base || base > server->current_version()->id) {
+        ADD_FAILURE() << "reader " << index << " pinned unpublished version "
+                      << base;
+        failed = true;
+        return;
+      }
+      last_base = base;
+      const Pattern& query = queries[(index + round) % queries.size()];
+      auto first = session->Count(query);
+      auto again = session->Count(query);
+      if (!first.ok() || !again.ok()) {
+        ADD_FAILURE() << "snapshot read failed: "
+                      << first.status().ToString();
+        failed = true;
+        return;
+      }
+      // The pinned snapshot is immutable: concurrent commits never
+      // change what this session observes until it refreshes.
+      if (*first != *again) {
+        ADD_FAILURE() << "torn snapshot read: " << *first << " then "
+                      << *again << " at version " << base;
+        failed = true;
+        return;
+      }
+      reads += 2;
+      if (failed) return;
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(kReaders + kWriters);
+  for (size_t r = 0; r < kReaders; ++r) threads.emplace_back(reader, r);
+  for (size_t w = 0; w < kWriters; ++w) threads.emplace_back(writer, w);
+  for (size_t w = 0; w < kWriters; ++w) threads[kReaders + w].join();
+  writers_done = true;
+  for (size_t r = 0; r < kReaders; ++r) threads[r].join();
+  ASSERT_FALSE(failed);
+  EXPECT_GE(reads.load(), kReaders * 3 * 2);
+
+  // ---- Serial-order check -------------------------------------------------
+  std::sort(acked.begin(), acked.end(),
+            [](const AckedCommit& a, const AckedCommit& b) {
+              return a.version < b.version;
+            });
+  PipelineStats stats = server->pipeline_stats();
+  EXPECT_EQ(stats.committed, acked.size());
+  for (size_t i = 0; i < acked.size(); ++i) {
+    // Unique and contiguous: the pipeline published a total order with
+    // no gaps (only acked commits publish versions).
+    ASSERT_EQ(acked[i].version, i + 1)
+        << "acked versions must be the contiguous serial order";
+  }
+  EXPECT_EQ(server->current_version()->id, acked.size());
+
+  // ---- Differential gate: replay the acked transactions serially. --------
+  program::Database oracle = PaperDatabase();
+  method::Executor executor(nullptr);
+  for (const AckedCommit& commit : acked) {
+    Status replayed =
+        executor.ExecuteAll(commit.ops, &oracle.scheme, &oracle.instance);
+    ASSERT_TRUE(replayed.ok())
+        << "serial replay of version " << commit.version
+        << " failed: " << replayed.ToString();
+  }
+  EXPECT_TRUE(oracle.scheme == server->database().scheme());
+  EXPECT_TRUE(
+      graph::IsIsomorphic(server->database().instance(), oracle.instance));
+
+  ASSERT_TRUE(server->Close().ok());
+}
+
+/// Group commit under load: many concurrent small commits must need
+/// fewer fsync barriers than commits while every ack stays correct.
+TEST(ServerStressTest, GroupCommitBatchesUnderLoad) {
+  constexpr size_t kWriters = 8;
+  constexpr size_t kCommitsPerWriter = 10;
+
+  std::string dir = MakeTempDir();
+  storage::Options db_options;
+  db_options.sync_every_append = false;
+  storage::Database db =
+      storage::Database::Open(dir, PaperDatabase(), db_options).ValueOrDie();
+  ServerOptions server_options;
+  server_options.max_batch = 8;
+  auto server = Server::Open(std::move(db), server_options).ValueOrDie();
+  const Scheme base_scheme = server->database().scheme();
+  // Disconnected insertions (empty pattern, fresh nodes only) never
+  // conflict, so every commit must be acked OK.
+  Operation fig12(hm::Fig12NodeAddition(base_scheme).ValueOrDie());
+
+  std::atomic<bool> failed{false};
+  auto writer = [&] {
+    auto session = server->StartSession();
+    for (size_t i = 0; i < kCommitsPerWriter && !failed; ++i) {
+      Status executed = session->Execute(fig12);
+      if (!executed.ok()) {
+        ADD_FAILURE() << executed.ToString();
+        failed = true;
+        return;
+      }
+      CommitResult result = session->Commit();
+      if (!result.ok()) {
+        ADD_FAILURE() << result.status.ToString();
+        failed = true;
+        return;
+      }
+    }
+  };
+  std::vector<std::thread> threads;
+  for (size_t w = 0; w < kWriters; ++w) threads.emplace_back(writer);
+  for (std::thread& t : threads) t.join();
+  ASSERT_FALSE(failed);
+
+  PipelineStats stats = server->pipeline_stats();
+  EXPECT_EQ(stats.committed, kWriters * kCommitsPerWriter);
+  EXPECT_EQ(stats.conflicts, 0u);
+  EXPECT_LE(stats.batches, stats.committed);
+  EXPECT_EQ(server->current_version()->id, kWriters * kCommitsPerWriter);
+  ASSERT_TRUE(server->Close().ok());
+}
+
+}  // namespace
+}  // namespace good::server

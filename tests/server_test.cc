@@ -1,0 +1,632 @@
+/// Tests for the multi-session server: version chain and
+/// first-committer-wins validation, session snapshot isolation and
+/// read-your-writes, the commit pipeline (group commit, conflicts,
+/// deadline-bounded waits under a stalled device), the text protocol
+/// state machine, and the client wrapper's automatic retry.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/retry.h"
+#include "graph/isomorphism.h"
+#include "hypermedia/hypermedia.h"
+#include "pattern/builder.h"
+#include "program/op_serialize.h"
+#include "program/serialize.h"
+#include "server/client.h"
+#include "server/protocol.h"
+#include "server/session.h"
+#include "server/version.h"
+#include "storage/database.h"
+#include "storage/fault_env.h"
+
+namespace good::server {
+namespace {
+
+namespace hm = good::hypermedia;
+
+using graph::Instance;
+using graph::NodeId;
+using method::Operation;
+using pattern::GraphBuilder;
+using schema::Scheme;
+
+/// A fresh empty directory under the test tmp dir.
+std::string MakeTempDir() {
+  std::string tmpl = ::testing::TempDir() + "good_server_XXXXXX";
+  char* made = ::mkdtemp(tmpl.data());
+  EXPECT_NE(made, nullptr);
+  return tmpl;
+}
+
+/// The paper database: Figure 1 scheme + Figure 2/3 instance.
+program::Database PaperDatabase() {
+  Scheme scheme = hm::BuildScheme().ValueOrDie();
+  Instance instance =
+      std::move(hm::BuildInstance(scheme).ValueOrDie().instance);
+  return program::Database{std::move(scheme), std::move(instance)};
+}
+
+/// Storage options for a server: no per-append fsync (the pipeline's
+/// group-commit barrier provides durability).
+storage::Options GroupCommitOptions(storage::FileEnv* env = nullptr) {
+  storage::Options options;
+  options.sync_every_append = false;
+  options.env = env;
+  return options;
+}
+
+/// Opens a server over a fresh paper database in `dir`.
+std::unique_ptr<Server> OpenPaperServer(
+    const std::string& dir, ServerOptions options = {},
+    storage::Options db_options = GroupCommitOptions()) {
+  storage::Database db =
+      storage::Database::Open(dir, PaperDatabase(), db_options).ValueOrDie();
+  return Server::Open(std::move(db), options).ValueOrDie();
+}
+
+ops::Footprint FootprintOf(std::initializer_list<uint32_t> node_ids) {
+  ops::Footprint fp;
+  for (uint32_t id : node_ids) fp.AddNode(NodeId{id});
+  return fp;
+}
+
+// ---------------------------------------------------------------------------
+// VersionChain
+// ---------------------------------------------------------------------------
+
+VersionRef MakeVersion(uint64_t id, ops::Footprint footprint) {
+  auto version = std::make_shared<Version>();
+  version->id = id;
+  version->footprint = std::move(footprint);
+  return version;
+}
+
+TEST(VersionChainTest, PublishAdvancesCurrent) {
+  VersionChain chain;
+  chain.Reset(MakeVersion(0, {}));
+  EXPECT_EQ(chain.current_id(), 0u);
+  chain.Publish(MakeVersion(1, FootprintOf({7})));
+  chain.Publish(MakeVersion(2, FootprintOf({9})));
+  EXPECT_EQ(chain.current_id(), 2u);
+  EXPECT_EQ(chain.Current()->id, 2u);
+}
+
+TEST(VersionChainTest, FirstConflictFindsEarliestOverlap) {
+  VersionChain chain;
+  chain.Reset(MakeVersion(0, {}));
+  chain.Publish(MakeVersion(1, FootprintOf({1, 2})));
+  chain.Publish(MakeVersion(2, FootprintOf({3})));
+  chain.Publish(MakeVersion(3, FootprintOf({3, 4})));
+
+  // Base 0 vs a footprint overlapping versions 2 and 3: earliest wins.
+  EXPECT_EQ(chain.FirstConflict(0, FootprintOf({3})).ValueOrDie(), 2u);
+  // Based after the overlap: only versions in (base, current] count.
+  EXPECT_EQ(chain.FirstConflict(2, FootprintOf({3})).ValueOrDie(), 3u);
+  // Disjoint writes never conflict.
+  EXPECT_EQ(chain.FirstConflict(0, FootprintOf({99})).ValueOrDie(), 0u);
+  // A transaction based on the current version has nothing to check.
+  EXPECT_EQ(chain.FirstConflict(3, FootprintOf({3})).ValueOrDie(), 0u);
+}
+
+TEST(VersionChainTest, SnapshotOlderThanHistoryWindowAborts) {
+  VersionChain chain(/*max_history=*/2);
+  chain.Reset(MakeVersion(0, {}));
+  for (uint64_t v = 1; v <= 4; ++v) {
+    chain.Publish(MakeVersion(v, FootprintOf({uint32_t(v)})));
+  }
+  // Only footprints of versions 3 and 4 are retained; a base of 1
+  // would need version 2's footprint, so validation fails closed.
+  auto result = chain.FirstConflict(1, FootprintOf({42}));
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsAborted());
+  EXPECT_TRUE(common::IsRetriable(result.status()));
+  // A base inside the window still validates.
+  EXPECT_EQ(chain.FirstConflict(2, FootprintOf({42})).ValueOrDie(), 0u);
+  EXPECT_EQ(chain.FirstConflict(2, FootprintOf({4})).ValueOrDie(), 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Sessions: snapshot isolation
+// ---------------------------------------------------------------------------
+
+TEST(SessionTest, ReaderPinsItsSnapshotAcrossCommits) {
+  std::string dir = MakeTempDir();
+  auto server = OpenPaperServer(dir);
+  auto reader = server->StartSession();
+  auto writer = server->StartSession();
+  const Scheme& scheme = reader->view().scheme;
+
+  auto fig4 = hm::Fig4Pattern(scheme).ValueOrDie();
+  EXPECT_EQ(reader->Count(fig4.pattern).ValueOrDie(), 2u);
+  size_t nodes_before = reader->view().instance.num_nodes();
+
+  // Fig 6 adds one fresh Rock tag per matched Info pair — the new
+  // state has more nodes, the reader's pinned state does not.
+  ASSERT_TRUE(
+      writer->Execute(Operation(hm::Fig6NodeAddition(scheme).ValueOrDie()))
+          .ok());
+  CommitResult committed = writer->Commit();
+  ASSERT_TRUE(committed.ok()) << committed.status.ToString();
+  EXPECT_EQ(committed.version, 1u);
+  EXPECT_GE(committed.batch_size, 1u);
+
+  // The reader's pinned snapshot is immutable: identical state.
+  EXPECT_EQ(reader->base_version(), 0u);
+  EXPECT_EQ(reader->view().instance.num_nodes(), nodes_before);
+  EXPECT_EQ(reader->Count(fig4.pattern).ValueOrDie(), 2u);
+
+  // Refresh re-pins the committed version and the new state shows.
+  ASSERT_TRUE(reader->Refresh().ok());
+  EXPECT_EQ(reader->base_version(), 1u);
+  EXPECT_GT(reader->view().instance.num_nodes(), nodes_before);
+  ASSERT_TRUE(server->Close().ok());
+}
+
+TEST(SessionTest, ReadYourWritesBeforeCommit) {
+  std::string dir = MakeTempDir();
+  auto server = OpenPaperServer(dir);
+  auto session = server->StartSession();
+  const Scheme scheme = session->view().scheme;  // copy: view will evolve
+
+  size_t nodes_before = session->view().instance.num_nodes();
+  ASSERT_TRUE(
+      session->Execute(Operation(hm::Fig6NodeAddition(scheme).ValueOrDie()))
+          .ok());
+  EXPECT_TRUE(session->dirty());
+  // The session sees its own uncommitted write ...
+  EXPECT_GT(session->view().instance.num_nodes(), nodes_before);
+  // ... but nothing is published yet.
+  EXPECT_EQ(server->current_version()->id, 0u);
+
+  // Rollback restores the pinned snapshot view.
+  session->Rollback();
+  EXPECT_FALSE(session->dirty());
+  EXPECT_EQ(session->view().instance.num_nodes(), nodes_before);
+  ASSERT_TRUE(server->Close().ok());
+}
+
+TEST(SessionTest, RefreshIsRejectedWhileDirty) {
+  std::string dir = MakeTempDir();
+  auto server = OpenPaperServer(dir);
+  auto session = server->StartSession();
+  const Scheme& scheme = session->view().scheme;
+  ASSERT_TRUE(
+      session->Execute(Operation(hm::Fig6NodeAddition(scheme).ValueOrDie()))
+          .ok());
+  Status refreshed = session->Refresh();
+  EXPECT_TRUE(refreshed.IsFailedPrecondition()) << refreshed.ToString();
+  session->Rollback();
+  EXPECT_TRUE(session->Refresh().ok());
+  ASSERT_TRUE(server->Close().ok());
+}
+
+TEST(SessionTest, EmptyCommitIsANoOpRefresh) {
+  std::string dir = MakeTempDir();
+  auto server = OpenPaperServer(dir);
+  auto idle = server->StartSession();
+  auto writer = server->StartSession();
+  const Scheme& scheme = writer->view().scheme;
+  ASSERT_TRUE(
+      writer->Execute(Operation(hm::Fig6NodeAddition(scheme).ValueOrDie()))
+          .ok());
+  ASSERT_TRUE(writer->Commit().ok());
+
+  CommitResult result = idle->Commit();
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.version, 1u);  // re-pinned, nothing published
+  EXPECT_EQ(idle->base_version(), 1u);
+  EXPECT_EQ(server->current_version()->id, 1u);
+  ASSERT_TRUE(server->Close().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Commit pipeline: first-committer-wins, group commit, durability
+// ---------------------------------------------------------------------------
+
+TEST(PipelineTest, FirstCommitterWinsOnOverlappingFootprints) {
+  std::string dir = MakeTempDir();
+  auto server = OpenPaperServer(dir);
+  auto first = server->StartSession();
+  auto second = server->StartSession();
+  const Scheme& scheme = first->view().scheme;
+
+  // Both sessions delete the same Figure 16 edge from the same base.
+  Operation fig16(hm::Fig16EdgeDeletion(scheme).ValueOrDie());
+  ASSERT_TRUE(first->Execute(fig16).ok());
+  ASSERT_TRUE(second->Execute(fig16).ok());
+
+  CommitResult won = first->Commit();
+  ASSERT_TRUE(won.ok()) << won.status.ToString();
+  CommitResult lost = second->Commit();
+  ASSERT_FALSE(lost.ok());
+  EXPECT_TRUE(lost.status.IsAborted()) << lost.status.ToString();
+  EXPECT_TRUE(common::IsRetriable(lost.status));
+  EXPECT_EQ(lost.conflict_version, won.version);
+
+  // The loser's buffer is discarded and its pin moved forward: the
+  // documented reaction — re-run against the fresh snapshot — works.
+  EXPECT_FALSE(second->dirty());
+  EXPECT_EQ(second->base_version(), won.version);
+  ASSERT_TRUE(second->Execute(fig16).ok());  // now a no-op deletion
+  CommitResult retried = second->Commit();
+  EXPECT_TRUE(retried.ok()) << retried.status.ToString();
+
+  PipelineStats stats = server->pipeline_stats();
+  EXPECT_EQ(stats.committed, 2u);
+  EXPECT_EQ(stats.conflicts, 1u);
+  ASSERT_TRUE(server->Close().ok());
+}
+
+TEST(PipelineTest, IndependentInsertsFromOneBaseDoNotConflict) {
+  std::string dir = MakeTempDir();
+  auto server = OpenPaperServer(dir);
+  auto a = server->StartSession();
+  auto b = server->StartSession();
+  const Scheme& scheme = a->view().scheme;
+
+  // Fig 12 inserts a disconnected subgraph (empty pattern): both
+  // sessions create fresh nodes with *identical session-local ids*.
+  // Fresh nodes are excluded from footprints, so neither commit may
+  // conflict with the other.
+  Operation fig12(hm::Fig12NodeAddition(scheme).ValueOrDie());
+  ASSERT_TRUE(a->Execute(fig12).ok());
+  ASSERT_TRUE(b->Execute(fig12).ok());
+  CommitResult first = a->Commit();
+  ASSERT_TRUE(first.ok()) << first.status.ToString();
+  CommitResult second = b->Commit();
+  ASSERT_TRUE(second.ok()) << second.status.ToString();
+  EXPECT_EQ(server->pipeline_stats().conflicts, 0u);
+  ASSERT_TRUE(server->Close().ok());
+}
+
+TEST(PipelineTest, AckedCommitIsFsyncedAndReplaysAtomically) {
+  std::string dir = MakeTempDir();
+  storage::FaultInjectionEnv env;  // used as a passive I/O counter here
+  {
+    auto server = OpenPaperServer(dir, {}, GroupCommitOptions(&env));
+    auto session = server->StartSession();
+    const Scheme scheme = session->view().scheme;  // copy: view evolves
+    size_t syncs_before = env.syncs_seen();
+    ASSERT_TRUE(
+        session->Execute(Operation(hm::Fig6NodeAddition(scheme).ValueOrDie()))
+            .ok());
+    ASSERT_TRUE(
+        session->Execute(Operation(hm::Fig10EdgeAddition(scheme).ValueOrDie()))
+            .ok());
+    ASSERT_TRUE(session->Commit().ok());
+    // Per-append sync is off, so the only sync between open and ack is
+    // the pipeline's group-commit barrier — the ack implies durability.
+    EXPECT_EQ(env.syncs_seen(), syncs_before + 1);
+    ASSERT_TRUE(server->Close().ok());
+  }
+  storage::Database reopened = storage::Database::Open(dir).ValueOrDie();
+  EXPECT_EQ(reopened.recovery().ops_replayed, 1u)
+      << "the two operations were one transaction record, replayed "
+         "atomically";
+  Scheme scheme = hm::BuildScheme().ValueOrDie();
+  Instance oracle =
+      std::move(hm::BuildInstance(scheme).ValueOrDie().instance);
+  method::Executor exec(nullptr);
+  ASSERT_TRUE(exec.Execute(Operation(hm::Fig6NodeAddition(scheme).ValueOrDie()),
+                           &scheme, &oracle)
+                  .ok());
+  ASSERT_TRUE(
+      exec.Execute(Operation(hm::Fig10EdgeAddition(scheme).ValueOrDie()),
+                   &scheme, &oracle)
+          .ok());
+  EXPECT_TRUE(graph::IsIsomorphic(reopened.instance(), oracle));
+}
+
+TEST(PipelineTest, AdjacentCommitsShareOneFsync) {
+  std::string dir = MakeTempDir();
+  storage::FaultInjectionEnv env;
+  storage::Options db_options = GroupCommitOptions(&env);
+  // One transient append fault makes the first commit's apply dwell in
+  // the retry backoff, giving the two trailing commits time to queue
+  // up behind it and land in one batch.
+  db_options.wal_retry_backoff = std::chrono::milliseconds{100};
+  auto server = OpenPaperServer(dir, {}, db_options);
+
+  auto lead = server->StartSession();
+  auto tail1 = server->StartSession();
+  auto tail2 = server->StartSession();
+  const Scheme& scheme = lead->view().scheme;
+  Operation fig12(hm::Fig12NodeAddition(scheme).ValueOrDie());
+  ASSERT_TRUE(lead->Execute(fig12).ok());
+  ASSERT_TRUE(tail1->Execute(fig12).ok());
+  ASSERT_TRUE(tail2->Execute(fig12).ok());
+
+  storage::FaultPlan plan;
+  plan.fail_append_at = 1;  // the lead commit's record, once
+  env.SetPlan(plan);
+  CommitResult lead_result;
+  std::thread leader([&] { lead_result = lead->Commit(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds{30});
+  CommitResult r1, r2;
+  std::thread t1([&] { r1 = tail1->Commit(); });
+  std::thread t2([&] { r2 = tail2->Commit(); });
+  leader.join();
+  t1.join();
+  t2.join();
+
+  ASSERT_TRUE(lead_result.ok()) << lead_result.status.ToString();
+  ASSERT_TRUE(r1.ok()) << r1.status.ToString();
+  ASSERT_TRUE(r2.ok()) << r2.status.ToString();
+  // The trailing commits were made durable together (possibly with the
+  // lead too, if the committer gathered all three at once).
+  EXPECT_GE(r1.batch_size, 2u);
+  EXPECT_GE(r2.batch_size, 2u);
+  PipelineStats stats = server->pipeline_stats();
+  EXPECT_EQ(stats.committed, 3u);
+  EXPECT_LT(stats.batches, stats.committed)
+      << "group commit must issue fewer fsync barriers than commits";
+  ASSERT_TRUE(server->Close().ok());
+}
+
+TEST(PipelineTest, CommitAfterCloseIsUnavailable) {
+  std::string dir = MakeTempDir();
+  auto server = OpenPaperServer(dir);
+  auto session = server->StartSession();
+  const Scheme& scheme = session->view().scheme;
+  ASSERT_TRUE(
+      session->Execute(Operation(hm::Fig6NodeAddition(scheme).ValueOrDie()))
+          .ok());
+  ASSERT_TRUE(server->Close().ok());
+  CommitResult result = session->Commit();
+  EXPECT_TRUE(result.status.IsUnavailable()) << result.status.ToString();
+  // Snapshot reads keep working after close.
+  auto fig4 = hm::Fig4Pattern(scheme).ValueOrDie();
+  EXPECT_EQ(session->Count(fig4.pattern).ValueOrDie(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Commit waiters honor ExecOptions::deadline
+// ---------------------------------------------------------------------------
+
+/// A session blocked in Commit behind a stalled device must give up at
+/// its deadline: the entry is abandoned (never applied), the status is
+/// kDeadlineExceeded, and the session has rolled back cleanly.
+TEST(PipelineDeadlineTest, QueuedCommitAbandonedAtDeadline) {
+  std::string dir = MakeTempDir();
+  storage::FaultInjectionEnv env;
+  storage::Options db_options = GroupCommitOptions(&env);
+  // Every WAL append fails; with a fat retry backoff the committer
+  // stalls for ~3 * 120ms inside the first commit's apply.
+  db_options.wal_retry_backoff = std::chrono::milliseconds{120};
+  ServerOptions options;
+  auto server = OpenPaperServer(dir, options, db_options);
+
+  auto stalled = server->StartSession();
+  auto bounded = server->StartSession();
+  const Scheme& scheme = stalled->view().scheme;
+  Operation fig6(hm::Fig6NodeAddition(scheme).ValueOrDie());
+  ASSERT_TRUE(stalled->Execute(fig6).ok());
+  ASSERT_TRUE(bounded->Execute(fig6).ok());
+
+  storage::FaultPlan plan;
+  plan.fail_appends_from = 1;  // permanent device stall
+  env.SetPlan(plan);
+
+  CommitResult first;
+  std::thread blocker([&] { first = stalled->Commit(); });
+  // Give the committer time to claim and start applying commit #1.
+  std::this_thread::sleep_for(std::chrono::milliseconds{40});
+
+  bounded->exec_options().deadline =
+      common::Deadline::After(std::chrono::milliseconds{50});
+  CommitResult second = bounded->Commit();
+  EXPECT_TRUE(second.status.IsDeadlineExceeded()) << second.status.ToString();
+  EXPECT_FALSE(common::IsRetriable(second.status))
+      << "a deadline is the caller's cutoff, not a transient fault";
+  // The transaction was rolled back: buffer gone, session usable.
+  EXPECT_FALSE(bounded->dirty());
+
+  blocker.join();
+  // The stalled commit surfaced the device fault after its retries.
+  EXPECT_TRUE(first.status.IsUnavailable()) << first.status.ToString();
+
+  PipelineStats stats = server->pipeline_stats();
+  EXPECT_EQ(stats.committed, 0u);
+  EXPECT_GE(stats.abandoned + stats.expired, 1u)
+      << "the bounded commit must have been abandoned or expired, "
+         "never applied";
+
+  // Nothing was published; once the device heals the session retries.
+  EXPECT_EQ(server->current_version()->id, 0u);
+  env.SetPlan(storage::FaultPlan{});
+  bounded->exec_options().deadline = common::Deadline();
+  ASSERT_TRUE(bounded->Execute(fig6).ok());
+  CommitResult healed = bounded->Commit();
+  EXPECT_TRUE(healed.ok()) << healed.status.ToString();
+  ASSERT_TRUE(server->Close().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Protocol: the Connection state machine, string-driven
+// ---------------------------------------------------------------------------
+
+/// Feeds `request` and returns the accumulated response bytes.
+std::string RoundTrip(Connection* connection, std::string_view request) {
+  std::string out;
+  connection->Feed(request, &out);
+  return out;
+}
+
+TEST(ProtocolTest, DotStuffingRoundTrips) {
+  EXPECT_EQ(DotStuff("a\nb\n"), "a\nb\n.\n");
+  EXPECT_EQ(DotStuff(".hidden\n..x\n"), "..hidden\n...x\n.\n");
+  EXPECT_EQ(DotStuff("no trailing newline"), "no trailing newline\n.\n");
+  EXPECT_EQ(DotStuff(""), ".\n");
+}
+
+TEST(ProtocolTest, HelloAndVersionExchange) {
+  std::string dir = MakeTempDir();
+  auto server = OpenPaperServer(dir);
+  Connection connection(server.get());
+  EXPECT_EQ(RoundTrip(&connection, "hello\n"), "ok good/1 base 0\n");
+  EXPECT_EQ(RoundTrip(&connection, "version\n"), "ok version 0\n");
+  EXPECT_EQ(RoundTrip(&connection, "base\n"), "ok base 0\n");
+  // Bytes may arrive fragmented across Feed calls.
+  std::string out;
+  connection.Feed("ver", &out);
+  EXPECT_TRUE(out.empty());
+  connection.Feed("sion\n", &out);
+  EXPECT_EQ(out, "ok version 0\n");
+  EXPECT_EQ(RoundTrip(&connection, "quit\n"), "ok bye\n");
+  EXPECT_TRUE(connection.closed());
+  ASSERT_TRUE(server->Close().ok());
+}
+
+TEST(ProtocolTest, ErrorsCarryStatusCodeNames) {
+  std::string dir = MakeTempDir();
+  auto server = OpenPaperServer(dir);
+  Connection connection(server.get());
+  std::string out = RoundTrip(&connection, "frobnicate\n");
+  EXPECT_EQ(out.rfind("err InvalidArgument", 0), 0u) << out;
+  out = RoundTrip(&connection, "count\ngarbage pattern ][\n.\n");
+  EXPECT_EQ(out.rfind("err ", 0), 0u) << out;
+  // The connection survives errors.
+  EXPECT_EQ(RoundTrip(&connection, "base\n"), "ok base 0\n");
+  ASSERT_TRUE(server->Close().ok());
+}
+
+TEST(ProtocolTest, ExecCountCommitOverTheWire) {
+  std::string dir = MakeTempDir();
+  auto server = OpenPaperServer(dir);
+  Connection connection(server.get());
+  const Scheme& scheme = connection.session().view().scheme;
+
+  auto fig4 = hm::Fig4Pattern(scheme).ValueOrDie();
+  std::string pattern_text = program::WritePattern(scheme, fig4.pattern);
+  std::string out =
+      RoundTrip(&connection, "count\n" + DotStuff(pattern_text));
+  EXPECT_EQ(out, "ok count 2\n");
+
+  Operation fig6(hm::Fig6NodeAddition(scheme).ValueOrDie());
+  std::string ops_text =
+      program::WriteOperations(scheme, {fig6}).ValueOrDie();
+  out = RoundTrip(&connection, "exec\n" + DotStuff(ops_text));
+  EXPECT_EQ(out, "ok applied 1\n");
+  out = RoundTrip(&connection, "commit\n");
+  EXPECT_EQ(out.rfind("ok committed 1 batch ", 0), 0u) << out;
+
+  // match returns a body: one line per matching, dot-terminated.
+  out = RoundTrip(&connection, "match\n" + DotStuff(pattern_text));
+  ASSERT_EQ(out.rfind("ok+ matchings ", 0), 0u) << out;
+  EXPECT_EQ(out.substr(out.size() - 2), ".\n");
+  ASSERT_TRUE(server->Close().ok());
+}
+
+TEST(ProtocolTest, DeadlineCommandBoundsSessionCalls) {
+  std::string dir = MakeTempDir();
+  auto server = OpenPaperServer(dir);
+  Connection connection(server.get());
+  EXPECT_EQ(RoundTrip(&connection, "deadline 5000\n"), "ok deadline 5000\n");
+  EXPECT_TRUE(connection.session().exec_options().deadline.armed());
+  EXPECT_EQ(RoundTrip(&connection, "deadline none\n"), "ok deadline none\n");
+  EXPECT_FALSE(connection.session().exec_options().deadline.armed());
+  std::string out = RoundTrip(&connection, "deadline soon\n");
+  EXPECT_EQ(out.rfind("err InvalidArgument", 0), 0u) << out;
+  ASSERT_TRUE(server->Close().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Client over LocalTransport: the full stack without sockets
+// ---------------------------------------------------------------------------
+
+TEST(ClientTest, TypedRoundTrips) {
+  std::string dir = MakeTempDir();
+  auto server = OpenPaperServer(dir);
+  LocalTransport transport(server.get());
+  Client client(&transport);
+  ASSERT_TRUE(client.Hello().ok());
+
+  std::string dump = client.Dump().ValueOrDie();
+  program::Database parsed = program::ParseDatabase(dump).ValueOrDie();
+  EXPECT_TRUE(parsed.scheme == server->database().scheme());
+  EXPECT_TRUE(graph::IsIsomorphic(parsed.instance,
+                                  server->database().instance()));
+
+  auto fig4 = hm::Fig4Pattern(parsed.scheme).ValueOrDie();
+  std::string pattern_text =
+      program::WritePattern(parsed.scheme, fig4.pattern);
+  EXPECT_EQ(client.Count(pattern_text).ValueOrDie(), 2u);
+  EXPECT_EQ(client.Match(pattern_text).ValueOrDie().size(), 2u);
+
+  Operation fig6(hm::Fig6NodeAddition(parsed.scheme).ValueOrDie());
+  ASSERT_TRUE(client.Exec(parsed.scheme, {fig6}).ok());
+  Client::CommitAck ack = client.Commit().ValueOrDie();
+  EXPECT_EQ(ack.version, 1u);
+  EXPECT_EQ(ack.retries, 0u);
+  EXPECT_EQ(client.Version().ValueOrDie(), 1u);
+  ASSERT_TRUE(client.Quit().ok());
+  ASSERT_TRUE(server->Close().ok());
+}
+
+TEST(ClientTest, CommitAutoRetriesAfterLostRace) {
+  std::string dir = MakeTempDir();
+  auto server = OpenPaperServer(dir);
+  LocalTransport wire1(server.get());
+  LocalTransport wire2(server.get());
+  Client winner(&wire1);
+  Client loser(&wire2);
+  ASSERT_TRUE(winner.Hello().ok());
+  ASSERT_TRUE(loser.Hello().ok());
+
+  const Scheme& scheme = server->database().scheme();
+  Operation fig16(hm::Fig16EdgeDeletion(scheme).ValueOrDie());
+  std::string fig16_text =
+      program::WriteOperations(scheme, {fig16}).ValueOrDie();
+  ASSERT_TRUE(winner.Exec(fig16_text).ok());
+  ASSERT_TRUE(loser.Exec(fig16_text).ok());
+
+  ASSERT_TRUE(winner.Commit().ok());
+  // The loser's commit is aborted first-committer-wins; the wrapper
+  // replays the buffered body against the fresh snapshot (where the
+  // deletion is a no-op) and commits again.
+  Client::CommitAck ack = loser.Commit().ValueOrDie();
+  EXPECT_GE(ack.retries, 1u);
+  EXPECT_EQ(server->pipeline_stats().conflicts, 1u);
+  ASSERT_TRUE(server->Close().ok());
+}
+
+TEST(ClientTest, RetryDisabledSurfacesTheAbort) {
+  std::string dir = MakeTempDir();
+  auto server = OpenPaperServer(dir);
+  LocalTransport wire1(server.get());
+  LocalTransport wire2(server.get());
+  ClientOptions no_retry;
+  no_retry.max_commit_retries = 0;
+  Client winner(&wire1);
+  Client loser(&wire2, no_retry);
+  ASSERT_TRUE(winner.Hello().ok());
+  ASSERT_TRUE(loser.Hello().ok());
+
+  const Scheme& scheme = server->database().scheme();
+  Operation fig16(hm::Fig16EdgeDeletion(scheme).ValueOrDie());
+  std::string fig16_text =
+      program::WriteOperations(scheme, {fig16}).ValueOrDie();
+  ASSERT_TRUE(winner.Exec(fig16_text).ok());
+  ASSERT_TRUE(loser.Exec(fig16_text).ok());
+  ASSERT_TRUE(winner.Commit().ok());
+
+  auto result = loser.Commit();
+  ASSERT_FALSE(result.ok());
+  // The kAborted code survived serialization to "err Aborted ..." and
+  // parsing back — the wire preserves the error model.
+  EXPECT_TRUE(result.status().IsAborted()) << result.status().ToString();
+  EXPECT_TRUE(common::IsRetriable(result.status()));
+  ASSERT_TRUE(server->Close().ok());
+}
+
+}  // namespace
+}  // namespace good::server

@@ -1057,5 +1057,128 @@ TEST(FaultInjectionTest, SetPlanResetsAccumulatedCounters) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// ApplyTransaction: the group-commit pipeline's storage primitive
+// ---------------------------------------------------------------------------
+
+/// A method call to a name no registry holds — fails cleanly at
+/// execution, after earlier operations of the sequence succeeded.
+method::Operation UnknownMethodCall(const Scheme& scheme) {
+  GraphBuilder b(scheme);
+  NodeId x = b.Object("Info");
+  method::MethodCallOp call;
+  call.pattern = b.BuildOrDie();
+  call.method_name = "no-such-method";
+  call.receiver = x;
+  return method::Operation(std::move(call));
+}
+
+TEST(ApplyTransactionTest, SequenceIsOneLogRecord) {
+  std::string dir = MakeTempDir();
+  Database db = Database::Open(dir, PaperDatabase()).ValueOrDie();
+  std::vector<Operation> ops = SampleOps(db.scheme());
+  ops.erase(ops.begin() + 3, ops.end());
+  ASSERT_TRUE(db.ApplyTransaction(ops).ok());
+  EXPECT_EQ(db.log_ops(), 1u) << "one transaction, one record";
+  program::Database expected{db.scheme(), db.instance()};
+
+  Database reopened = Database::Open(dir).ValueOrDie();
+  EXPECT_EQ(reopened.recovery().ops_replayed, 1u)
+      << "the record replays whole";
+  EXPECT_TRUE(reopened.scheme() == expected.scheme);
+  EXPECT_TRUE(graph::IsIsomorphic(reopened.instance(), expected.instance));
+}
+
+TEST(ApplyTransactionTest, MidSequenceFailureAppliesAndLogsNothing) {
+  std::string dir = MakeTempDir();
+  Database db = Database::Open(dir, PaperDatabase()).ValueOrDie();
+  program::Database before{db.scheme(), db.instance()};
+
+  std::vector<Operation> ops = SampleOps(db.scheme());
+  ops.erase(ops.begin() + 2, ops.end());
+  ops.push_back(UnknownMethodCall(db.scheme()));
+  Status failed = db.ApplyTransaction(ops);
+  ASSERT_FALSE(failed.ok());
+
+  // All-or-nothing: the two operations that had already executed are
+  // rolled back, and the log holds no fragment of the transaction.
+  EXPECT_EQ(db.log_ops(), 0u);
+  EXPECT_TRUE(db.scheme() == before.scheme);
+  EXPECT_TRUE(graph::IsIsomorphic(db.instance(), before.instance));
+  Database reopened = Database::Open(dir).ValueOrDie();
+  EXPECT_EQ(reopened.recovery().ops_replayed, 0u);
+  EXPECT_TRUE(graph::IsIsomorphic(reopened.instance(), before.instance));
+}
+
+TEST(ApplyTransactionTest, WalAppendFailureRollsBackMemory) {
+  std::string dir = MakeTempDir();
+  FaultInjectionEnv env;
+  Options options = RetryOptions(&env);
+  Database db = Database::Open(dir, PaperDatabase(), options).ValueOrDie();
+  program::Database before{db.scheme(), db.instance()};
+
+  FaultPlan plan;
+  plan.fail_appends_from = 1;  // permanent: retries cannot save it
+  env.SetPlan(plan);
+  std::vector<Operation> ops = SampleOps(db.scheme());
+  ops.erase(ops.begin() + 2, ops.end());
+  Status failed = db.ApplyTransaction(ops);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_TRUE(failed.IsUnavailable()) << failed.ToString();
+
+  // Execution succeeded but the record never reached the log, so the
+  // in-memory state must roll back — log and memory never diverge.
+  env.Reset();
+  EXPECT_EQ(db.log_ops(), 0u);
+  EXPECT_TRUE(db.scheme() == before.scheme);
+  EXPECT_TRUE(graph::IsIsomorphic(db.instance(), before.instance));
+}
+
+TEST(ApplyTransactionTest, UnsyncedRecordsSurviveSyncWalBarrier) {
+  std::string dir = MakeTempDir();
+  Options options;
+  options.sync_every_append = false;  // group-commit mode
+  program::Database expected;
+  {
+    Database db = Database::Open(dir, PaperDatabase(), options).ValueOrDie();
+    std::vector<Operation> ops = SampleOps(db.scheme());
+    ASSERT_TRUE(db.ApplyTransaction({ops[0]}).ok());
+    ASSERT_TRUE(db.ApplyTransaction({ops[2]}).ok());
+    ASSERT_TRUE(db.SyncWal().ok());  // one barrier for both records
+    expected = program::Database{db.scheme(), db.instance()};
+    // Crash without Close(): only synced bytes are guaranteed, and the
+    // barrier covered both transactions.
+  }
+  Database reopened = Database::Open(dir).ValueOrDie();
+  EXPECT_EQ(reopened.recovery().ops_replayed, 2u);
+  EXPECT_TRUE(reopened.scheme() == expected.scheme);
+  EXPECT_TRUE(graph::IsIsomorphic(reopened.instance(), expected.instance));
+}
+
+TEST(ApplyTransactionTest, FootprintExcludesFreshNodes) {
+  std::string dir = MakeTempDir();
+  Database db = Database::Open(dir, PaperDatabase()).ValueOrDie();
+  std::vector<Operation> ops = SampleOps(db.scheme());
+
+  // ops[0] adds a fresh Tag0 node with an `of` edge to a matched
+  // pre-existing node: the footprint holds the pre-existing endpoint
+  // but not the fresh node and not the fresh edge.
+  ops::Footprint insertion;
+  ASSERT_TRUE(db.ApplyTransaction({ops[0]}, nullptr, &insertion).ok());
+  EXPECT_FALSE(insertion.empty());
+  EXPECT_TRUE(insertion.edges.empty())
+      << "every written edge was incident to the fresh node";
+
+  // A deletion's footprint names the killed edge and both endpoints.
+  ops::Footprint deletion;
+  ASSERT_TRUE(db.ApplyTransaction(
+                    {Operation(hypermedia::Fig16EdgeDeletion(db.scheme())
+                                   .ValueOrDie())},
+                    nullptr, &deletion)
+                  .ok());
+  EXPECT_EQ(deletion.edges.size(), 1u);
+  EXPECT_GE(deletion.nodes.size(), 2u);
+}
+
 }  // namespace
 }  // namespace good::storage
