@@ -208,10 +208,12 @@ void CommitPipeline::CommitterLoop() {
 
     // Group commit: one fsync makes the whole batch durable; only then
     // are the versions published and the waiters acked. An fsync
-    // failure is surfaced to every waiter — the transactions are
-    // applied in memory (and typically the database poisons itself),
-    // so the versions are still published to keep readers and the
-    // authoritative state consistent.
+    // failure poisons the database (SyncWal) and is surfaced to every
+    // waiter as non-retriable kDataLoss — the transactions are applied
+    // in memory with unknowable durability, so a client must never
+    // auto-retry them (that could apply them twice after recovery).
+    // The versions are still published to keep readers consistent with
+    // the authoritative in-memory state.
     Status sync = db_->SyncWal();
     {
       std::lock_guard<std::mutex> lock(stats_mu_);

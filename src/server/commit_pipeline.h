@@ -23,7 +23,10 @@
 ///     batch the committer issues a single SyncWal(). Only then are
 ///     the new versions published and the waiting sessions acked, so
 ///     an acknowledged commit is durable and a crash can only lose
-///     whole unacknowledged transactions.
+///     whole unacknowledged transactions. A failed barrier poisons
+///     the database and acks the batch with non-retriable kDataLoss:
+///     the transactions' durability is ambiguous, so clients must not
+///     re-run them (see storage::Database::SyncWal).
 ///
 /// Because exactly one thread applies transactions, the final
 /// (scheme, instance) is by construction the serial execution of the

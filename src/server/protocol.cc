@@ -191,22 +191,30 @@ void Connection::Dispatch(const std::string& command_line,
       Err(reader.status(), out);
       return;
     }
+    // The body is all-or-nothing: a failure at any operation rolls the
+    // session back to the pre-body state, so the client never has to
+    // guess which prefix of a rejected body stayed buffered (its
+    // commit-retry replay rebuilds exactly the accepted bodies).
+    Session::Savepoint savepoint = session_->MakeSavepoint();
     size_t applied = 0;
     while (!reader->AtEnd()) {
       // Parse against the evolving view scheme: an operation may use
       // labels an earlier operation of the same body introduced.
       auto op = reader->Next(session_->view().scheme);
       if (!op.ok()) {
+        session_->RollbackTo(&savepoint);
         Err(op.status(), out);
         return;
       }
       Status status = session_->Execute(*op);
       if (!status.ok()) {
+        session_->RollbackTo(&savepoint);
         Err(status, out);
         return;
       }
       ++applied;
     }
+    session_->ReleaseSavepoint(&savepoint);
     Ok("applied " + std::to_string(applied), out);
     return;
   }

@@ -105,10 +105,47 @@ Status Session::Execute(const method::Operation& op) {
 }
 
 Status Session::ExecuteAll(const std::vector<method::Operation>& ops) {
+  Savepoint savepoint = MakeSavepoint();
   for (const method::Operation& op : ops) {
-    GOOD_RETURN_NOT_OK(Execute(op));
+    Status status = Execute(op);
+    if (!status.ok()) {
+      RollbackTo(&savepoint);
+      return status;
+    }
   }
+  ReleaseSavepoint(&savepoint);
   return Status::OK();
+}
+
+Session::Savepoint Session::MakeSavepoint() {
+  Savepoint savepoint;
+  savepoint.buffered_ops = ops_.size();
+  if (working_) {
+    savepoint.scope = std::make_unique<ops::Transaction>(
+        &working_->scheme, &working_->instance);
+  }
+  return savepoint;
+}
+
+void Session::ReleaseSavepoint(Savepoint* sp) {
+  // A nested commit keeps its journal entries, so the outer scope —
+  // and the commit footprint collected from it — still covers the
+  // region's mutations.
+  if (sp->scope) sp->scope->Commit();
+  sp->scope.reset();
+}
+
+void Session::RollbackTo(Savepoint* sp) {
+  if (sp->scope) {
+    sp->scope->Rollback();
+    sp->scope.reset();
+    ops_.erase(ops_.begin() + static_cast<std::ptrdiff_t>(sp->buffered_ops),
+               ops_.end());
+    return;
+  }
+  // The region itself created the working copy (the session was clean
+  // at the savepoint); discard it whole.
+  DiscardWorking();
 }
 
 CommitResult Session::Commit() {

@@ -146,9 +146,39 @@ class Session {
   /// buffered.
   Status Execute(const method::Operation& op);
 
-  /// Executes a sequence, stopping at the first failure (earlier
-  /// operations stay buffered).
+  /// Executes a sequence all-or-nothing: on the first failure the
+  /// session rolls back to the state before the call (bodies buffered
+  /// by earlier calls stay) and the failure is returned.
   Status ExecuteAll(const std::vector<method::Operation>& ops);
+
+  // ---- Savepoints ----------------------------------------------------------
+
+  /// A mark in the buffered transaction: everything executed after
+  /// MakeSavepoint() can be undone together with RollbackTo(), leaving
+  /// older buffered state untouched — the all-or-nothing unit a
+  /// multi-operation request body needs. Move-only; resolve each
+  /// savepoint with exactly one of ReleaseSavepoint()/RollbackTo()
+  /// before the next Commit/Rollback/Refresh.
+  struct Savepoint {
+    /// Operations buffered when the savepoint was taken.
+    size_t buffered_ops = 0;
+    /// Nested undo scope over the working copy. Null when the session
+    /// was clean at the savepoint — rollback then discards the working
+    /// copy whole.
+    std::unique_ptr<ops::Transaction> scope;
+  };
+
+  /// Marks the current transaction state.
+  Savepoint MakeSavepoint();
+
+  /// Accepts everything executed since `sp`; it stays buffered for
+  /// commit (the enclosing transaction can still roll it all back).
+  void ReleaseSavepoint(Savepoint* sp);
+
+  /// Undoes every operation executed since `sp` — instance mutations
+  /// exactly via the undo journal, scheme via the savepoint snapshot —
+  /// and drops them from the commit buffer.
+  void RollbackTo(Savepoint* sp);
 
   /// True iff writes are buffered.
   bool dirty() const { return !ops_.empty(); }

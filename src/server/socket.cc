@@ -173,7 +173,7 @@ size_t SocketServer::connections_accepted() const {
 }
 
 void SocketServer::Stop() {
-  std::vector<std::thread> handlers;
+  std::map<uint64_t, std::thread> handlers;
   {
     std::lock_guard<std::mutex> lock(mu_);
     stopping_ = true;
@@ -185,15 +185,35 @@ void SocketServer::Stop() {
     }
     for (int fd : live_fds_) ::shutdown(fd, SHUT_RDWR);
     handlers.swap(handlers_);
+    finished_.clear();
   }
   {
     std::lock_guard<std::mutex> join_lock(join_mu_);
     if (acceptor_.joinable()) acceptor_.join();
   }
-  for (std::thread& handler : handlers) {
+  for (auto& [id, handler] : handlers) {
     if (handler.joinable()) handler.join();
   }
   if (!options_.unix_path.empty()) ::unlink(options_.unix_path.c_str());
+}
+
+void SocketServer::ReapFinishedHandlers() {
+  std::vector<std::thread> done;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (uint64_t id : finished_) {
+      auto it = handlers_.find(id);
+      if (it == handlers_.end()) continue;  // Stop() already took it
+      done.push_back(std::move(it->second));
+      handlers_.erase(it);
+    }
+    finished_.clear();
+  }
+  // Join outside the lock: the marked threads are past their last
+  // shared-state access and exit promptly.
+  for (std::thread& handler : done) {
+    if (handler.joinable()) handler.join();
+  }
 }
 
 void SocketServer::AcceptLoop() {
@@ -210,6 +230,7 @@ void SocketServer::AcceptLoop() {
       if (errno == EINTR) continue;
       return;  // listener closed by Stop (or fatal accept error)
     }
+    ReapFinishedHandlers();
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_) {
       ::close(fd);
@@ -217,11 +238,12 @@ void SocketServer::AcceptLoop() {
     }
     ++accepted_;
     live_fds_.push_back(fd);
-    handlers_.emplace_back([this, fd] { Serve(fd); });
+    uint64_t id = next_handler_id_++;
+    handlers_.emplace(id, std::thread([this, fd, id] { Serve(fd, id); }));
   }
 }
 
-void SocketServer::Serve(int fd) {
+void SocketServer::Serve(int fd, uint64_t id) {
   Connection connection(server_);
   std::string out;
   char chunk[4096];
@@ -236,10 +258,15 @@ void SocketServer::Serve(int fd) {
     connection.Feed(std::string_view(chunk, static_cast<size_t>(n)), &out);
     if (!out.empty() && !WriteAll(fd, out).ok()) break;
   }
+  {
+    // Unregister before closing: once close() recycles the descriptor
+    // number, a concurrent Stop() must not shutdown() it by mistake.
+    std::lock_guard<std::mutex> lock(mu_);
+    live_fds_.erase(std::remove(live_fds_.begin(), live_fds_.end(), fd),
+                    live_fds_.end());
+    finished_.push_back(id);
+  }
   ::close(fd);
-  std::lock_guard<std::mutex> lock(mu_);
-  live_fds_.erase(std::remove(live_fds_.begin(), live_fds_.end(), fd),
-                  live_fds_.end());
 }
 
 }  // namespace good::server

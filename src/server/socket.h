@@ -12,6 +12,8 @@
 #ifndef GOOD_SERVER_SOCKET_H_
 #define GOOD_SERVER_SOCKET_H_
 
+#include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -84,7 +86,11 @@ class SocketServer {
         port_(port) {}
 
   void AcceptLoop();
-  void Serve(int fd);
+  void Serve(int fd, uint64_t id);
+  /// Joins handlers that finished since the last reap (called by the
+  /// accept loop so a long-lived server does not accumulate one
+  /// unjoined thread per connection ever accepted).
+  void ReapFinishedHandlers();
 
   Server* server_;
   Options options_;
@@ -94,7 +100,10 @@ class SocketServer {
   mutable std::mutex mu_;
   bool stopping_ = false;
   std::vector<int> live_fds_;
-  std::vector<std::thread> handlers_;
+  std::map<uint64_t, std::thread> handlers_;
+  /// Ids of handlers that have finished serving and can be joined.
+  std::vector<uint64_t> finished_;
+  uint64_t next_handler_id_ = 0;
   size_t accepted_ = 0;
   std::mutex join_mu_;
   std::thread acceptor_;

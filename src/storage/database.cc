@@ -505,7 +505,22 @@ Status Database::SyncWal() {
   if (writer_ == nullptr) {
     return Status::FailedPrecondition("database has no open log");
   }
-  return writer_->Sync();
+  Status synced = writer_->Sync();
+  if (!synced.ok()) {
+    // A failed fsync leaves the durability of every record appended
+    // since the last barrier unknowable (the kernel may have dropped
+    // the dirty pages — or persisted them), while the in-memory state
+    // already includes those transactions. Memory and log cannot be
+    // reconciled, so refuse further writes and report the failure as
+    // non-retriable: a caller that re-ran the "failed" transactions
+    // could find them applied twice after recovery.
+    poisoned_ = true;
+    return Status::DataLoss(
+        "group-commit fsync failed; the affected transactions are "
+        "applied in memory and may or may not be durable — reopen to "
+        "recover a consistent state (" + synced.message() + ")");
+  }
+  return Status::OK();
 }
 
 Status Database::ApplyAll(const std::vector<method::Operation>& ops,

@@ -205,7 +205,11 @@ class Database {
 
   /// Forces every appended log record to stable storage — the group
   /// commit barrier. A no-op when Options::sync_every_append already
-  /// syncs per record. kUnavailable on a degraded handle.
+  /// syncs per record. kUnavailable on a degraded handle. A failed
+  /// fsync poisons the handle and surfaces as non-retriable kDataLoss:
+  /// the affected records are applied in memory and of unknowable
+  /// durability, so retrying (re-applying) them could commit them
+  /// twice — reopen to recover a consistent state instead.
   Status SyncWal();
 
   /// Writes a snapshot of the current state and truncates the log.

@@ -16,8 +16,10 @@ Status ErrnoStatus(const std::string& context, int err) {
   if (err == ENOENT) return Status::NotFound(std::move(msg));
   // Transient conditions a retry can cure get the retriable class
   // (common::IsRetriable) so the WAL append retry loop rides them out;
-  // everything else is a permanent fault worth surfacing immediately.
-  if (err == EINTR || err == EAGAIN || err == EBUSY || err == ENOSPC) {
+  // everything else — including ENOSPC, which backoff cannot cure and
+  // should surface immediately rather than burn retry budgets — is a
+  // permanent fault.
+  if (err == EINTR || err == EAGAIN || err == EBUSY) {
     return Status::Unavailable(std::move(msg));
   }
   return Status::Internal(std::move(msg));

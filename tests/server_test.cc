@@ -372,6 +372,47 @@ TEST(PipelineTest, AdjacentCommitsShareOneFsync) {
   ASSERT_TRUE(server->Close().ok());
 }
 
+TEST(PipelineTest, FailedBarrierAcksNonRetriableAndPoisons) {
+  std::string dir = MakeTempDir();
+  storage::FaultInjectionEnv env;
+  auto server = OpenPaperServer(dir, {}, GroupCommitOptions(&env));
+  auto session = server->StartSession();
+  const Scheme scheme = session->view().scheme;  // copy: view evolves
+  ASSERT_TRUE(
+      session->Execute(Operation(hm::Fig6NodeAddition(scheme).ValueOrDie()))
+          .ok());
+
+  storage::FaultPlan plan;
+  plan.fail_sync_at = 1;  // this commit's group-commit barrier
+  env.SetPlan(plan);
+  CommitResult result = session->Commit();
+  env.Reset();
+  ASSERT_FALSE(result.ok());
+  // The transaction is applied in memory with unknowable durability:
+  // the ack must be non-retriable so no client re-runs (and thereby
+  // double-applies) it.
+  EXPECT_TRUE(result.status.IsDataLoss()) << result.status.ToString();
+  EXPECT_FALSE(common::IsRetriable(result.status));
+  // The version is still published: readers stay consistent with the
+  // authoritative in-memory state.
+  EXPECT_EQ(server->current_version()->id, 1u);
+
+  // The database is poisoned — later commits fail fast, non-retriable.
+  auto next = server->StartSession();
+  const Scheme next_scheme = next->view().scheme;
+  ASSERT_TRUE(
+      next->Execute(Operation(hm::Fig12NodeAddition(next_scheme).ValueOrDie()))
+          .ok());
+  CommitResult second = next->Commit();
+  EXPECT_TRUE(second.status.IsFailedPrecondition())
+      << second.status.ToString();
+  EXPECT_FALSE(common::IsRetriable(second.status));
+  PipelineStats stats = server->pipeline_stats();
+  EXPECT_EQ(stats.committed, 0u);
+  EXPECT_EQ(stats.failures, 2u);
+  ASSERT_TRUE(server->Close().ok());
+}
+
 TEST(PipelineTest, CommitAfterCloseIsUnavailable) {
   std::string dir = MakeTempDir();
   auto server = OpenPaperServer(dir);
@@ -526,6 +567,55 @@ TEST(ProtocolTest, ExecCountCommitOverTheWire) {
   ASSERT_TRUE(server->Close().ok());
 }
 
+TEST(ProtocolTest, FailedExecBodyRollsBackWholeBody) {
+  std::string dir = MakeTempDir();
+  auto server = OpenPaperServer(dir);
+  Connection connection(server.get());
+  const Scheme scheme = connection.session().view().scheme;  // copy
+
+  Operation fig6(hm::Fig6NodeAddition(scheme).ValueOrDie());
+  std::string fig6_text =
+      program::WriteOperations(scheme, {fig6}).ValueOrDie();
+  EXPECT_EQ(RoundTrip(&connection, "exec\n" + DotStuff(fig6_text)),
+            "ok applied 1\n");
+  size_t buffered = connection.session().buffered_ops().size();
+  size_t nodes = connection.session().view().instance.num_nodes();
+
+  // A body whose leading operation executes but whose trailing line
+  // fails to parse: the whole body must roll back — buffer and working
+  // copy — or a commit-retry replay would rebuild a different
+  // operation set than the server holds.
+  Operation fig12(hm::Fig12NodeAddition(scheme).ValueOrDie());
+  std::string bad_body =
+      program::WriteOperations(scheme, {fig12}).ValueOrDie() +
+      "garbage ][\n";
+  std::string out = RoundTrip(&connection, "exec\n" + DotStuff(bad_body));
+  EXPECT_EQ(out.rfind("err ", 0), 0u) << out;
+  EXPECT_EQ(connection.session().buffered_ops().size(), buffered);
+  EXPECT_EQ(connection.session().view().instance.num_nodes(), nodes);
+
+  // The commit ships exactly the accepted body: the committed state is
+  // the serial application of fig6 alone.
+  out = RoundTrip(&connection, "commit\n");
+  EXPECT_EQ(out.rfind("ok committed 1", 0), 0u) << out;
+  Scheme oracle_scheme = hm::BuildScheme().ValueOrDie();
+  Instance oracle =
+      std::move(hm::BuildInstance(oracle_scheme).ValueOrDie().instance);
+  method::Executor exec(nullptr);
+  ASSERT_TRUE(
+      exec.Execute(Operation(hm::Fig6NodeAddition(oracle_scheme).ValueOrDie()),
+                   &oracle_scheme, &oracle)
+          .ok());
+  EXPECT_TRUE(graph::IsIsomorphic(server->database().instance(), oracle));
+
+  // On a clean session a failed body leaves no buffered writes behind.
+  Connection fresh(server.get());
+  out = RoundTrip(&fresh, "exec\n" + DotStuff(bad_body));
+  EXPECT_EQ(out.rfind("err ", 0), 0u) << out;
+  EXPECT_FALSE(fresh.session().dirty());
+  ASSERT_TRUE(server->Close().ok());
+}
+
 TEST(ProtocolTest, DeadlineCommandBoundsSessionCalls) {
   std::string dir = MakeTempDir();
   auto server = OpenPaperServer(dir);
@@ -596,6 +686,44 @@ TEST(ClientTest, CommitAutoRetriesAfterLostRace) {
   Client::CommitAck ack = loser.Commit().ValueOrDie();
   EXPECT_GE(ack.retries, 1u);
   EXPECT_EQ(server->pipeline_stats().conflicts, 1u);
+  ASSERT_TRUE(server->Close().ok());
+}
+
+TEST(ClientTest, AmbiguousFsyncFailureIsNotAutoRetried) {
+  std::string dir = MakeTempDir();
+  storage::FaultInjectionEnv env;
+  auto server = OpenPaperServer(dir, {}, GroupCommitOptions(&env));
+  LocalTransport wire(server.get());
+  Client client(&wire);
+  ASSERT_TRUE(client.Hello().ok());
+
+  const Scheme& scheme = server->database().scheme();
+  Operation fig6(hm::Fig6NodeAddition(scheme).ValueOrDie());
+  std::string body = program::WriteOperations(scheme, {fig6}).ValueOrDie();
+  ASSERT_TRUE(client.Exec(body).ok());
+
+  storage::FaultPlan plan;
+  plan.fail_sync_at = 1;  // the commit's group-commit barrier
+  env.SetPlan(plan);
+  auto ack = client.Commit();
+  env.Reset();
+  ASSERT_FALSE(ack.ok());
+  // The transaction is applied with ambiguous durability; the wrapper
+  // must surface the failure instead of replaying the buffered body —
+  // a replay would apply the transaction twice.
+  EXPECT_FALSE(common::IsRetriable(ack.status())) << ack.status().ToString();
+
+  // The authoritative state holds exactly ONE application of fig6.
+  Scheme oracle_scheme = hm::BuildScheme().ValueOrDie();
+  Instance oracle =
+      std::move(hm::BuildInstance(oracle_scheme).ValueOrDie().instance);
+  method::Executor exec(nullptr);
+  ASSERT_TRUE(
+      exec.Execute(Operation(hm::Fig6NodeAddition(oracle_scheme).ValueOrDie()),
+                   &oracle_scheme, &oracle)
+          .ok());
+  EXPECT_TRUE(graph::IsIsomorphic(server->database().instance(), oracle));
+  EXPECT_EQ(server->pipeline_stats().committed, 0u);
   ASSERT_TRUE(server->Close().ok());
 }
 

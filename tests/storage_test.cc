@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "common/retry.h"
 #include "graph/isomorphism.h"
 #include "hypermedia/hypermedia.h"
 #include "hypermedia/methods.h"
@@ -1153,6 +1154,39 @@ TEST(ApplyTransactionTest, UnsyncedRecordsSurviveSyncWalBarrier) {
   EXPECT_EQ(reopened.recovery().ops_replayed, 2u);
   EXPECT_TRUE(reopened.scheme() == expected.scheme);
   EXPECT_TRUE(graph::IsIsomorphic(reopened.instance(), expected.instance));
+}
+
+TEST(ApplyTransactionTest, FailedSyncWalBarrierIsNonRetriableAndPoisons) {
+  std::string dir = MakeTempDir();
+  FaultInjectionEnv env;
+  Options options;
+  options.sync_every_append = false;  // group-commit mode
+  options.env = &env;
+  Database db = Database::Open(dir, PaperDatabase(), options).ValueOrDie();
+  std::vector<Operation> ops = SampleOps(db.scheme());
+  ASSERT_TRUE(db.ApplyTransaction({ops[0]}).ok());  // appended unsynced
+
+  FaultPlan plan;
+  plan.fail_sync_at = 1;  // the group-commit barrier
+  env.SetPlan(plan);
+  Status sync = db.SyncWal();
+  ASSERT_FALSE(sync.ok());
+  // The applied transaction is in memory and in the log with unknowable
+  // durability: re-running it could commit it twice, so the failure
+  // must not be retriable (the client auto-retry gates on IsRetriable)
+  // and the handle must refuse further writes until reopened.
+  EXPECT_TRUE(sync.IsDataLoss()) << sync.ToString();
+  EXPECT_FALSE(common::IsRetriable(sync));
+  env.Reset();
+  Status next = db.ApplyTransaction({ops[2]});
+  EXPECT_TRUE(next.IsFailedPrecondition()) << next.ToString();
+
+  // Reopen recovers a consistent state: at most the one ambiguous
+  // transaction, never a duplicate of it.
+  Options reopen;
+  reopen.env = &env;
+  Database reopened = Database::Open(dir, reopen).ValueOrDie();
+  EXPECT_LE(reopened.recovery().ops_replayed, 1u);
 }
 
 TEST(ApplyTransactionTest, FootprintExcludesFreshNodes) {
