@@ -72,7 +72,7 @@ void BM_NegationAsFilter(benchmark::State& state) {
   for (auto _ : state) {
     size_t survivors = 0;
     for (const auto& m : pattern::FindMatchings(positive, g)) {
-      if (filter(m, g)) ++survivors;
+      if (filter(m, g).ValueOrDie()) ++survivors;
     }
     benchmark::DoNotOptimize(survivors);
   }

@@ -36,6 +36,14 @@ inline void ExportMatchStats(benchmark::State& state,
   state.counters["bt"] = static_cast<double>(stats.backtracks);
   state.counters["matchings"] = static_cast<double>(stats.matchings);
   state.counters["workers"] = static_cast<double>(stats.workers_used);
+  // Cumulative plan-cache effectiveness across the whole binary run
+  // (the cache is global): hit rate near 1 means plans are amortized.
+  pattern::PlanCacheInfo cache = pattern::GlobalPlanCacheInfo();
+  state.counters["plan_hits"] = static_cast<double>(cache.hits);
+  state.counters["plan_misses"] = static_cast<double>(cache.misses);
+  const double lookups = static_cast<double>(cache.hits + cache.misses);
+  state.counters["plan_hit_rate"] =
+      lookups > 0 ? static_cast<double>(cache.hits) / lookups : 0.0;
 }
 
 /// The Figure 1 scheme (cached — schemes are immutable here).

@@ -1,6 +1,7 @@
 #include "graph/instance.h"
 
 #include <algorithm>
+#include <atomic>
 #include <sstream>
 
 #include "graph/undo_journal.h"
@@ -11,6 +12,10 @@ Instance::Instance(const Instance& other)
     : nodes_(other.nodes_),
       num_alive_(other.num_alive_),
       num_edges_(other.num_edges_),
+      edge_label_count_(other.edge_label_count_),
+      out_degree_sum_(other.out_degree_sum_),
+      in_degree_sum_(other.in_degree_sum_),
+      stats_epoch_(other.stats_epoch_),
       label_index_(other.label_index_),
       printable_index_(other.printable_index_),
       edge_set_(other.edge_set_) {}
@@ -20,6 +25,10 @@ Instance& Instance::operator=(const Instance& other) {
   nodes_ = other.nodes_;
   num_alive_ = other.num_alive_;
   num_edges_ = other.num_edges_;
+  edge_label_count_ = other.edge_label_count_;
+  out_degree_sum_ = other.out_degree_sum_;
+  in_degree_sum_ = other.in_degree_sum_;
+  stats_epoch_ = other.stats_epoch_;
   label_index_ = other.label_index_;
   printable_index_ = other.printable_index_;
   edge_set_ = other.edge_set_;
@@ -31,6 +40,10 @@ Instance::Instance(Instance&& other) noexcept
     : nodes_(std::move(other.nodes_)),
       num_alive_(other.num_alive_),
       num_edges_(other.num_edges_),
+      edge_label_count_(std::move(other.edge_label_count_)),
+      out_degree_sum_(std::move(other.out_degree_sum_)),
+      in_degree_sum_(std::move(other.in_degree_sum_)),
+      stats_epoch_(other.stats_epoch_),
       label_index_(std::move(other.label_index_)),
       printable_index_(std::move(other.printable_index_)),
       edge_set_(std::move(other.edge_set_)),
@@ -43,6 +56,10 @@ Instance& Instance::operator=(Instance&& other) noexcept {
   nodes_ = std::move(other.nodes_);
   num_alive_ = other.num_alive_;
   num_edges_ = other.num_edges_;
+  edge_label_count_ = std::move(other.edge_label_count_);
+  out_degree_sum_ = std::move(other.out_degree_sum_);
+  in_degree_sum_ = std::move(other.in_degree_sum_);
+  stats_epoch_ = other.stats_epoch_;
   label_index_ = std::move(other.label_index_);
   printable_index_ = std::move(other.printable_index_);
   edge_set_ = std::move(other.edge_set_);
@@ -51,11 +68,40 @@ Instance& Instance::operator=(Instance&& other) noexcept {
   return *this;
 }
 
+uint64_t Instance::NextStatsEpoch() {
+  // Process-wide: epochs are unique across ALL instances, so a plan
+  // cached under (pattern, epoch) can never be confused between two
+  // independently mutated instances. Copies share the source's epoch —
+  // legitimately, since they share its exact statistics. Epoch 0 is
+  // reserved for never-mutated instances.
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Instance::NoteEdgeAddedStats(Symbol edge_label, Symbol source_label,
+                                  Symbol target_label) {
+  ++edge_label_count_[edge_label];
+  ++out_degree_sum_[StatsKey(edge_label, source_label)];
+  ++in_degree_sum_[StatsKey(edge_label, target_label)];
+}
+
+void Instance::NoteEdgeRemovedStats(Symbol edge_label, Symbol source_label,
+                                    Symbol target_label) {
+  auto decrement = [](auto* map, const auto& key) {
+    auto it = map->find(key);
+    if (--it->second == 0) map->erase(it);
+  };
+  decrement(&edge_label_count_, edge_label);
+  decrement(&out_degree_sum_, StatsKey(edge_label, source_label));
+  decrement(&in_degree_sum_, StatsKey(edge_label, target_label));
+}
+
 NodeId Instance::NewNode(Symbol label, std::optional<Value> print) {
   NodeId id{static_cast<uint32_t>(nodes_.size())};
   nodes_.push_back(NodeRep{label, std::move(print), true, {}, {}, {}, {}});
   ++num_alive_;
   label_index_[label].insert(id.id);
+  BumpStatsEpoch();
   if (journal_ != nullptr) journal_->RecordNodeAdded(id);
   return id;
 }
@@ -133,6 +179,7 @@ Status Instance::RemoveNode(NodeId node) {
     if (rep.print.has_value()) {
       printable_index_[rep.label].erase(*rep.print);
     }
+    BumpStatsEpoch();
     journal_->RecordNodeKilled(node);
     return Status::OK();
   }
@@ -147,6 +194,7 @@ Status Instance::RemoveNode(NodeId node) {
     EraseFirst(&nodes_[target.id].in_by_label[label], node);
     edge_set_.erase(Edge{node, label, target});
     --num_edges_;
+    NoteEdgeRemovedStats(label, rep.label, nodes_[target.id].label);
   }
   for (const auto& [source, label] : rep.in) {
     auto& out = nodes_[source.id].out;
@@ -156,6 +204,7 @@ Status Instance::RemoveNode(NodeId node) {
     EraseFirst(&nodes_[source.id].out_by_label[label], node);
     edge_set_.erase(Edge{source, label, node});
     --num_edges_;
+    NoteEdgeRemovedStats(label, nodes_[source.id].label, rep.label);
   }
   rep.out.clear();
   rep.in.clear();
@@ -167,6 +216,7 @@ Status Instance::RemoveNode(NodeId node) {
   if (rep.print.has_value()) {
     printable_index_[rep.label].erase(*rep.print);
   }
+  BumpStatsEpoch();
   return Status::OK();
 }
 
@@ -209,6 +259,8 @@ Status Instance::AddEdge(const schema::Scheme& scheme, NodeId source,
   nodes_[target.id].in_by_label[label].push_back(source);
   edge_set_.insert(Edge{source, label, target});
   ++num_edges_;
+  NoteEdgeAddedStats(label, source_label, target_label);
+  BumpStatsEpoch();
   if (journal_ != nullptr) {
     journal_->RecordEdgeAdded(source, label, target, fresh_out_entry,
                               fresh_in_entry);
@@ -239,6 +291,8 @@ Status Instance::RemoveEdge(NodeId source, Symbol label, NodeId target) {
   const auto in_label_pos = static_cast<uint32_t>(ilit - in_list.begin());
   in_list.erase(ilit);
   --num_edges_;
+  NoteEdgeRemovedStats(label, LabelOf(source), LabelOf(target));
+  BumpStatsEpoch();
   if (journal_ != nullptr) {
     journal_->RecordEdgeRemoved(source, label, target, out_pos, in_pos,
                                 out_label_pos, in_label_pos);
@@ -258,6 +312,35 @@ std::vector<NodeId> Instance::NodesWithLabel(Symbol label) const {
 size_t Instance::CountNodesWithLabel(Symbol label) const {
   auto it = label_index_.find(label);
   return it == label_index_.end() ? 0 : it->second.size();
+}
+
+size_t Instance::CountEdgesWithLabel(Symbol label) const {
+  auto it = edge_label_count_.find(label);
+  return it == edge_label_count_.end() ? 0 : it->second;
+}
+
+size_t Instance::OutDegreeSum(Symbol source_label, Symbol edge_label) const {
+  auto it = out_degree_sum_.find(StatsKey(edge_label, source_label));
+  return it == out_degree_sum_.end() ? 0 : it->second;
+}
+
+size_t Instance::InDegreeSum(Symbol target_label, Symbol edge_label) const {
+  auto it = in_degree_sum_.find(StatsKey(edge_label, target_label));
+  return it == in_degree_sum_.end() ? 0 : it->second;
+}
+
+double Instance::AvgOutFanout(Symbol source_label, Symbol edge_label) const {
+  const size_t count = CountNodesWithLabel(source_label);
+  if (count == 0) return 0.0;
+  return static_cast<double>(OutDegreeSum(source_label, edge_label)) /
+         static_cast<double>(count);
+}
+
+double Instance::AvgInFanout(Symbol target_label, Symbol edge_label) const {
+  const size_t count = CountNodesWithLabel(target_label);
+  if (count == 0) return 0.0;
+  return static_cast<double>(InDegreeSum(target_label, edge_label)) /
+         static_cast<double>(count);
 }
 
 std::optional<NodeId> Instance::FindPrintable(Symbol label,
@@ -427,6 +510,54 @@ Status Instance::Validate(const schema::Scheme& scheme) const {
   }
   if (counted_edges != num_edges_ || edge_set_.size() != num_edges_) {
     return Status::Internal("edge count disagrees with edge set");
+  }
+  // The label index must mirror the node census exactly.
+  size_t indexed_nodes = 0;
+  for (const auto& [label, ids] : label_index_) {
+    indexed_nodes += ids.size();
+    for (uint32_t id : ids) {
+      if (id >= nodes_.size() || !nodes_[id].alive ||
+          nodes_[id].label != label) {
+        return Status::Internal("label index entry for '" + SymName(label) +
+                                "' names a dead or relabeled node");
+      }
+    }
+  }
+  if (indexed_nodes != num_alive_) {
+    return Status::Internal("label index size disagrees with alive count");
+  }
+  // Cardinality statistics (the cost planner's inputs) must mirror a
+  // from-scratch edge census exactly — a missed maintenance hook on any
+  // mutation path fails loudly here instead of silently skewing plans.
+  std::unordered_map<Symbol, size_t> edge_label_census;
+  std::unordered_map<uint64_t, size_t> out_sum_census, in_sum_census;
+  for (uint32_t i = 0; i < nodes_.size(); ++i) {
+    const NodeRep& rep = nodes_[i];
+    if (!rep.alive) continue;
+    for (const auto& [label, target] : rep.out) {
+      ++edge_label_census[label];
+      ++out_sum_census[StatsKey(label, rep.label)];
+      ++in_sum_census[StatsKey(label, nodes_[target.id].label)];
+    }
+  }
+  auto same_counts = [](const auto& stored, const auto& census) {
+    // Zero-valued stats entries are erased, so equal supports + equal
+    // values means exact agreement.
+    if (stored.size() != census.size()) return false;
+    for (const auto& [key, count] : census) {
+      auto it = stored.find(key);
+      if (it == stored.end() || it->second != count) return false;
+    }
+    return true;
+  };
+  if (!same_counts(edge_label_count_, edge_label_census)) {
+    return Status::Internal("edge-label count stats drifted from edge census");
+  }
+  if (!same_counts(out_degree_sum_, out_sum_census)) {
+    return Status::Internal("out-degree sum stats drifted from edge census");
+  }
+  if (!same_counts(in_degree_sum_, in_sum_census)) {
+    return Status::Internal("in-degree sum stats drifted from edge census");
   }
   return Status::OK();
 }

@@ -203,6 +203,40 @@ class Instance {
   size_t num_nodes() const { return num_alive_; }
   size_t num_edges() const { return num_edges_; }
 
+  // ---- Cardinality statistics ------------------------------------------------
+  //
+  // Incrementally maintained census counters feeding the cost-based
+  // pattern planner (pattern/matcher.cc): per-label node counts (the
+  // label index), per-edge-label edge counts, and per-(edge label,
+  // endpoint label) degree sums. Every mutation — including undo-journal
+  // rollback replay — stamps the instance with a fresh, process-globally
+  // unique stats epoch, so a (pattern, epoch) pair pins down a compiled
+  // plan's statistical inputs exactly: two instances share an epoch only
+  // when one is an unmutated copy of the other (copies snapshot the
+  // stats, so sharing is sound — this is what lets server sessions'
+  // working copies reuse cached plans).
+
+  /// The epoch stamped by the most recent mutation; 0 for a never-mutated
+  /// instance.
+  uint64_t stats_epoch() const { return stats_epoch_; }
+
+  /// Number of alive edges carrying `label`.
+  size_t CountEdgesWithLabel(Symbol label) const;
+
+  /// Total `edge_label`-out-degree summed over alive nodes labeled
+  /// `source_label` — i.e. the number of `edge_label` edges leaving
+  /// `source_label` nodes.
+  size_t OutDegreeSum(Symbol source_label, Symbol edge_label) const;
+  /// Total `edge_label`-in-degree summed over alive nodes labeled
+  /// `target_label`.
+  size_t InDegreeSum(Symbol target_label, Symbol edge_label) const;
+
+  /// Expected number of `edge_label` out-edges of one `source_label`
+  /// node (degree sum / label count; 0 when no such nodes exist).
+  double AvgOutFanout(Symbol source_label, Symbol edge_label) const;
+  /// Expected number of `edge_label` in-edges of one `target_label` node.
+  double AvgInFanout(Symbol target_label, Symbol edge_label) const;
+
   // ---- Whole-instance checks -------------------------------------------------
 
   /// Re-verifies every instance condition against `scheme`. Intended for
@@ -258,9 +292,27 @@ class Instance {
 
   NodeId NewNode(Symbol label, std::optional<Value> print);
 
+  /// Draws the next process-globally unique stats epoch.
+  static uint64_t NextStatsEpoch();
+  void BumpStatsEpoch() { stats_epoch_ = NextStatsEpoch(); }
+  /// Key for the degree-sum maps: (edge label, endpoint label).
+  static uint64_t StatsKey(Symbol edge_label, Symbol endpoint_label) {
+    return (static_cast<uint64_t>(edge_label.id) << 32) | endpoint_label.id;
+  }
+  void NoteEdgeAddedStats(Symbol edge_label, Symbol source_label,
+                          Symbol target_label);
+  void NoteEdgeRemovedStats(Symbol edge_label, Symbol source_label,
+                            Symbol target_label);
+
   std::vector<NodeRep> nodes_;
   size_t num_alive_ = 0;
   size_t num_edges_ = 0;
+  // Cardinality statistics (see the accessor block above). Zero-valued
+  // entries are erased so the maps' supports stay exact.
+  std::unordered_map<Symbol, size_t> edge_label_count_;
+  std::unordered_map<uint64_t, size_t> out_degree_sum_;
+  std::unordered_map<uint64_t, size_t> in_degree_sum_;
+  uint64_t stats_epoch_ = 0;
   // label -> alive node ids (ordered for deterministic iteration).
   std::unordered_map<Symbol, std::set<uint32_t>> label_index_;
   // printable label -> value -> node id.

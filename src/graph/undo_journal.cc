@@ -22,7 +22,12 @@ namespace {
 void UndoJournal::RollbackTo(Instance* instance, Mark mark) {
   // Strict reverse replay: each undo runs against exactly the state its
   // mutation produced (induction over the suffix), so positional
-  // records and tail-pops restore the instance byte-for-byte.
+  // records and tail-pops restore the instance byte-for-byte. Undos are
+  // mutations like any other: each maintains the cardinality statistics
+  // and stamps a fresh stats epoch, so cached search plans built against
+  // the rolled-back state are invalidated (the restored *counters* equal
+  // the pre-transaction ones, but the epoch is new — plans are simply
+  // recompiled, never wrong).
   while (entries_.size() > mark) {
     const Entry e = entries_.back();
     entries_.pop_back();
@@ -43,6 +48,7 @@ void UndoJournal::RollbackTo(Instance* instance, Mark mark) {
         }
         instance->nodes_.pop_back();
         --instance->num_alive_;
+        instance->BumpStatsEpoch();
         break;
       }
       case Kind::kNodeKilled: {
@@ -58,6 +64,7 @@ void UndoJournal::RollbackTo(Instance* instance, Mark mark) {
           instance->printable_index_[rep.label].emplace(*rep.print,
                                                         e.node.id);
         }
+        instance->BumpStatsEpoch();
         break;
       }
       case Kind::kEdgeAdded: {
@@ -79,6 +86,10 @@ void UndoJournal::RollbackTo(Instance* instance, Mark mark) {
         }
         instance->edge_set_.erase(Edge{e.node, e.label, e.target});
         --instance->num_edges_;
+        instance->NoteEdgeRemovedStats(e.label,
+                                       instance->nodes_[e.node.id].label,
+                                       instance->nodes_[e.target.id].label);
+        instance->BumpStatsEpoch();
         break;
       }
       case Kind::kEdgeRemoved: {
@@ -95,6 +106,10 @@ void UndoJournal::RollbackTo(Instance* instance, Mark mark) {
         in_list.insert(in_list.begin() + e.in_label_pos, e.node);
         instance->edge_set_.insert(Edge{e.node, e.label, e.target});
         ++instance->num_edges_;
+        instance->NoteEdgeAddedStats(e.label,
+                                     instance->nodes_[e.node.id].label,
+                                     instance->nodes_[e.target.id].label);
+        instance->BumpStatsEpoch();
         break;
       }
     }

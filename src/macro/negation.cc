@@ -10,14 +10,23 @@ using graph::Instance;
 
 namespace {
 
+/// Candidate visits between deadline polls inside an extension check;
+/// small because crossed parts are tiny patterns and the caller may be
+/// filtering thousands of matchings under one deadline.
+constexpr size_t kExtensionPollStride = 64;
+
 /// Backtracking extension check: given the images of the positive nodes,
 /// does an assignment of the crossed nodes exist that realizes every
 /// edge of the full pattern?
 class ExtensionCheck {
  public:
   ExtensionCheck(const NegatedPattern& negated, const Instance& instance,
-                 const Matching& positive_matching)
-      : negated_(negated), instance_(instance) {
+                 const Matching& positive_matching,
+                 const common::Deadline* deadline = nullptr)
+      : negated_(negated),
+        instance_(instance),
+        deadline_(deadline),
+        armed_(deadline != nullptr && deadline->armed()) {
     for (NodeId n : negated.positive_nodes) {
       images_[n] = positive_matching.At(n);
     }
@@ -28,9 +37,26 @@ class ExtensionCheck {
     }
   }
 
-  bool Extensible() { return Recurse(0); }
+  /// Extensibility, or the interrupt that cut the search short. An
+  /// already-expired deadline is observed up front (tiny searches may
+  /// finish under the poll stride).
+  Result<bool> Extensible() {
+    if (armed_) GOOD_RETURN_NOT_OK(deadline_->Check());
+    const bool extensible = Recurse(0);
+    GOOD_RETURN_NOT_OK(interrupt_);
+    return extensible;
+  }
 
  private:
+  /// Stride-gated deadline poll; false means stop (interrupt_ set).
+  bool Poll() {
+    if ((++polls_ & (kExtensionPollStride - 1)) != 0) return true;
+    Status expired = deadline_->Check();
+    if (expired.ok()) return true;
+    interrupt_ = std::move(expired);
+    return false;
+  }
+
   /// All full-pattern edges whose endpoints are both assigned must be
   /// present in the instance.
   bool EdgesConsistent() const {
@@ -58,6 +84,7 @@ class ExtensionCheck {
       candidates = instance_.NodesWithLabel(negated_.full.LabelOf(m));
     }
     for (NodeId t : candidates) {
+      if (armed_ && !Poll()) return false;
       images_[m] = t;
       // Prune early: partial assignments must stay edge-consistent.
       if (EdgesConsistent() && Recurse(index + 1)) return true;
@@ -68,13 +95,20 @@ class ExtensionCheck {
 
   const NegatedPattern& negated_;
   const Instance& instance_;
+  const common::Deadline* deadline_;
+  const bool armed_;
+  size_t polls_ = 0;
+  Status interrupt_;
   std::unordered_map<NodeId, NodeId> images_;
   std::vector<NodeId> crossed_;
 };
 
-bool IsExtensible(const NegatedPattern& negated, const Instance& instance,
-                  const Matching& positive_matching) {
-  return ExtensionCheck(negated, instance, positive_matching).Extensible();
+Result<bool> IsExtensibleChecked(const NegatedPattern& negated,
+                                 const Instance& instance,
+                                 const Matching& positive_matching,
+                                 const common::Deadline* deadline) {
+  return ExtensionCheck(negated, instance, positive_matching, deadline)
+      .Extensible();
 }
 
 }  // namespace
@@ -103,23 +137,37 @@ Result<Pattern> NegatedPattern::PositivePart() const {
   return positive;
 }
 
-Result<std::vector<Matching>> EvaluateNegated(const NegatedPattern& negated,
-                                              const Instance& instance) {
+Result<std::vector<Matching>> EvaluateNegated(
+    const NegatedPattern& negated, const Instance& instance,
+    const common::Deadline* deadline) {
   GOOD_ASSIGN_OR_RETURN(Pattern positive, negated.PositivePart());
+  pattern::MatchOptions options;
+  options.deadline = deadline;
+  GOOD_ASSIGN_OR_RETURN(
+      std::vector<Matching> matchings,
+      pattern::Matcher(positive, instance, options).FindAllChecked());
   std::vector<Matching> out;
-  for (const Matching& m : pattern::FindMatchings(positive, instance)) {
-    if (!IsExtensible(negated, instance, m)) out.push_back(m);
+  for (Matching& m : matchings) {
+    GOOD_ASSIGN_OR_RETURN(
+        bool extensible, IsExtensibleChecked(negated, instance, m, deadline));
+    if (!extensible) out.push_back(std::move(m));
   }
   return out;
 }
 
-Result<ops::MatchFilter> NegationFilter(const NegatedPattern& negated) {
-  // Sanity-check the structure up front so the filter itself can't fail.
+Result<ops::MatchFilter> NegationFilter(const NegatedPattern& negated,
+                                        const common::Deadline* deadline) {
+  // Sanity-check the structure up front; the filter itself can then
+  // only fail on a deadline interrupt.
   GOOD_RETURN_NOT_OK(negated.PositivePart().status());
   auto shared = std::make_shared<NegatedPattern>(negated);
   return ops::MatchFilter(
-      [shared](const Matching& m, const Instance& instance) {
-        return !IsExtensible(*shared, instance, m);
+      [shared, deadline](const Matching& m,
+                         const Instance& instance) -> Result<bool> {
+        GOOD_ASSIGN_OR_RETURN(
+            bool extensible,
+            IsExtensibleChecked(*shared, instance, m, deadline));
+        return !extensible;
       });
 }
 

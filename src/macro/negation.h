@@ -51,15 +51,25 @@ struct NegatedPattern {
 
 /// \brief Direct semantics: matchings of the positive part (restricted
 /// to positive nodes) that cannot be extended to a matching of `full`.
-Result<std::vector<Matching>> EvaluateNegated(const NegatedPattern& negated,
-                                              const graph::Instance& instance);
+/// A non-null armed `deadline` interrupts both the positive-part
+/// matching and the extension checks with kDeadlineExceeded/kCancelled.
+Result<std::vector<Matching>> EvaluateNegated(
+    const NegatedPattern& negated, const graph::Instance& instance,
+    const common::Deadline* deadline = nullptr);
 
 /// \brief Builds a MatchFilter over the positive part that accepts
 /// exactly the non-extensible matchings — this is how crossed patterns
 /// attach to any operation (and how Figure 29 expresses recursion
 /// stopping conditions). The filter evaluates against the instance
 /// passed at match time, so it sees edges added by earlier rounds.
-Result<ops::MatchFilter> NegationFilter(const NegatedPattern& negated);
+/// `deadline` (optional, not owned, must outlive the filter) is polled
+/// by every extension check the filter runs: an interrupted check
+/// surfaces as a failed Result instead of masking the timeout as
+/// "rejected" — an interrupted negation check is NOT a definitive
+/// negative.
+Result<ops::MatchFilter> NegationFilter(
+    const NegatedPattern& negated,
+    const common::Deadline* deadline = nullptr);
 
 /// \brief The Figure 27 simulation: returns the two operations
 /// (tagging NA over the positive part, pruning ND over the full

@@ -68,23 +68,36 @@ inline ops::MatchFilter ValuesDiffer(graph::NodeId a, graph::NodeId b) {
   };
 }
 
+// The combinators short-circuit like && / || but propagate a failed
+// operand (e.g. a deadline-interrupted negation filter) instead of
+// treating it as a boolean.
+
 inline ops::MatchFilter And(ops::MatchFilter a, ops::MatchFilter b) {
-  return [a = std::move(a), b = std::move(b)](const pattern::Matching& m,
-                                              const graph::Instance& g) {
-    return a(m, g) && b(m, g);
+  return [a = std::move(a), b = std::move(b)](
+             const pattern::Matching& m,
+             const graph::Instance& g) -> Result<bool> {
+    GOOD_ASSIGN_OR_RETURN(bool left, a(m, g));
+    if (!left) return false;
+    return b(m, g);
   };
 }
 
 inline ops::MatchFilter Or(ops::MatchFilter a, ops::MatchFilter b) {
-  return [a = std::move(a), b = std::move(b)](const pattern::Matching& m,
-                                              const graph::Instance& g) {
-    return a(m, g) || b(m, g);
+  return [a = std::move(a), b = std::move(b)](
+             const pattern::Matching& m,
+             const graph::Instance& g) -> Result<bool> {
+    GOOD_ASSIGN_OR_RETURN(bool left, a(m, g));
+    if (left) return true;
+    return b(m, g);
   };
 }
 
 inline ops::MatchFilter Not(ops::MatchFilter a) {
   return [a = std::move(a)](const pattern::Matching& m,
-                            const graph::Instance& g) { return !a(m, g); };
+                            const graph::Instance& g) -> Result<bool> {
+    GOOD_ASSIGN_OR_RETURN(bool value, a(m, g));
+    return !value;
+  };
 }
 
 }  // namespace good::macros

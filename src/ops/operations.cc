@@ -111,8 +111,16 @@ Result<std::vector<Matching>> PatternOperation::Matchings(
       std::vector<Matching> matchings,
       pattern::Matcher(pattern_, instance, options).FindAllChecked());
   if (filter_) {
-    std::erase_if(matchings,
-                  [&](const Matching& m) { return !filter_(m, instance); });
+    // Explicit loop instead of erase_if: a filter can fail (deadline
+    // interrupt inside a negation check), which must abort the whole
+    // evaluation rather than silently drop the matching.
+    std::vector<Matching> accepted;
+    accepted.reserve(matchings.size());
+    for (Matching& m : matchings) {
+      GOOD_ASSIGN_OR_RETURN(bool keep, filter_(m, instance));
+      if (keep) accepted.push_back(std::move(m));
+    }
+    return accepted;
   }
   return matchings;
 }

@@ -40,8 +40,14 @@ using pattern::Pattern;
 /// receives the instance being matched so it can express dynamic
 /// conditions (e.g. crossed-edge absence checks that must see edges
 /// added by earlier fixpoint rounds, Figure 29).
-using MatchFilter = std::function<bool(const pattern::Matching&,
-                                       const graph::Instance&)>;
+///
+/// Filters return Result<bool> so a filter that itself searches the
+/// instance (negation filters run a backtracking extension check) can
+/// surface kDeadlineExceeded/kCancelled instead of masking an interrupt
+/// as "rejected". Plain predicate lambdas returning bool convert
+/// implicitly — only interrupt-aware filters need to spell Result out.
+using MatchFilter = std::function<Result<bool>(const pattern::Matching&,
+                                               const graph::Instance&)>;
 
 /// \brief Mutation counters reported by Apply.
 struct ApplyStats {

@@ -5,8 +5,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <limits>
+#include <list>
 #include <memory>
+#include <mutex>
 #include <sstream>
+#include <string>
+#include <unordered_map>
 #include <utility>
 
 #include "common/thread_pool.h"
@@ -40,6 +44,10 @@ MatchStats& MatchStats::operator+=(const MatchStats& other) {
     depth_fanout[i] += other.depth_fanout[i];
   }
   workers_used = std::max(workers_used, other.workers_used);
+  plan_cache_hits += other.plan_cache_hits;
+  plan_cache_misses += other.plan_cache_misses;
+  if (!other.plan_order.empty()) plan_order = other.plan_order;
+  if (!other.depth_est_fanout.empty()) depth_est_fanout = other.depth_est_fanout;
   return *this;
 }
 
@@ -52,6 +60,25 @@ std::string MatchStats::ToString() const {
     os << depth_fanout[i];
   }
   os << "] workers=" << workers_used;
+  if (!plan_order.empty()) {
+    os << " plan=[";
+    for (size_t i = 0; i < plan_order.size(); ++i) {
+      if (i > 0) os << ",";
+      os << plan_order[i];
+    }
+    os << "]";
+  }
+  if (!depth_est_fanout.empty()) {
+    os << " est=[";
+    for (size_t i = 0; i < depth_est_fanout.size(); ++i) {
+      if (i > 0) os << ",";
+      os << depth_est_fanout[i];
+    }
+    os << "]";
+  }
+  if (plan_cache_hits > 0 || plan_cache_misses > 0) {
+    os << " cache=" << plan_cache_hits << "h/" << plan_cache_misses << "m";
+  }
   return os.str();
 }
 
@@ -91,14 +118,22 @@ struct DepthPlan {
   /// Edge constraints towards already-placed neighbours. Candidates()
   /// enforces every one of them.
   std::vector<Anchor> anchors;
+  /// Index into `anchors` of the anchor that drives candidate
+  /// generation (the others are enforced by O(1) edge probes). The
+  /// cost-based planner picks the anchor with the smallest expected
+  /// fan-out; the naive planner keeps the first.
+  size_t base_anchor = 0;
 };
 
 /// The per-(pattern, instance) search plan, shared read-only by the
-/// serial enumerator and every parallel worker.
+/// serial enumerator and every parallel worker — and, via the global
+/// plan cache, by later enumerations against the same stats epoch.
 struct SearchPlan {
   std::vector<NodeId> order;
   std::vector<size_t> position;  // Pattern node id -> depth in order.
   std::vector<DepthPlan> plans;
+  /// Estimated candidate count per depth (cost-based plans only).
+  std::vector<double> est_fanout;
 
   size_t PositionOf(NodeId pattern_node) const {
     return pattern_node.id < position.size() ? position[pattern_node.id]
@@ -106,10 +141,85 @@ struct SearchPlan {
   }
 };
 
-/// Chooses the node elimination order: seed with the most selective
-/// node, then repeatedly pick a node adjacent to the placed set
-/// (falling back to the most selective remaining node for a new
-/// connected component).
+/// Expected size of the candidate list an anchor would generate, from
+/// the instance's degree-sum statistics: a pattern edge (m, α, p) with
+/// p placed draws candidates from InSources(image(p), α) — on average
+/// the α-in-degree of a label(p) node; the mirrored case (p, α, m)
+/// reads OutTargets, the average α-out-degree.
+double ExpectedAnchorFanout(const Instance& instance, Symbol edge_label,
+                            Symbol neighbour_label, bool out_of_m) {
+  return out_of_m ? instance.AvgInFanout(neighbour_label, edge_label)
+                  : instance.AvgOutFanout(neighbour_label, edge_label);
+}
+
+/// Estimated candidate-set size for placing pattern node `m` once the
+/// nodes flagged in `placed` are bound: a print value pins the set to
+/// at most one node; otherwise label count × the product of per-anchor
+/// selectivities (expected fan-out / label count, capped at 1 — an
+/// anchor can only narrow the set).
+double EstimateCandidates(const Pattern& pattern, const Instance& instance,
+                          NodeId m, const std::vector<bool>& placed) {
+  const double label_count =
+      static_cast<double>(instance.CountNodesWithLabel(pattern.LabelOf(m)));
+  if (label_count == 0.0) return 0.0;
+  double est = pattern.HasPrintValue(m) ? 1.0 : label_count;
+  auto constrain = [&](double fanout) {
+    est *= std::min(1.0, fanout / label_count);
+  };
+  for (const auto& [label, target] : pattern.OutEdges(m)) {
+    if (target != m && placed[target.id]) {
+      constrain(ExpectedAnchorFanout(instance, label, pattern.LabelOf(target),
+                                     /*out_of_m=*/true));
+    }
+  }
+  for (const auto& [source, label] : pattern.InEdges(m)) {
+    if (source != m && placed[source.id]) {
+      constrain(ExpectedAnchorFanout(instance, label, pattern.LabelOf(source),
+                                     /*out_of_m=*/false));
+    }
+  }
+  return est;
+}
+
+/// Cost-based elimination order: greedily place the node with the
+/// smallest estimated candidate set, re-estimating after each placement
+/// so freshly anchored nodes get credit for their anchors. Ties break
+/// to the lowest pattern node id (strict <, nodes scanned in ascending
+/// id order), keeping symmetric patterns deterministic and stable
+/// against the old syntactic order.
+std::vector<NodeId> PlanOrderCost(const Pattern& pattern,
+                                  const Instance& instance,
+                                  std::vector<double>* est_fanout) {
+  std::vector<NodeId> nodes = pattern.AllNodes();
+  uint32_t max_id = 0;
+  for (NodeId m : nodes) max_id = std::max(max_id, m.id);
+  std::vector<bool> placed(nodes.empty() ? 0 : max_id + 1, false);
+  std::vector<NodeId> order;
+  order.reserve(nodes.size());
+  est_fanout->reserve(nodes.size());
+  while (order.size() < nodes.size()) {
+    NodeId best{};
+    double best_est = 0.0;
+    for (NodeId m : nodes) {
+      if (placed[m.id]) continue;
+      const double est = EstimateCandidates(pattern, instance, m, placed);
+      if (!best.valid() || est < best_est) {
+        best = m;
+        best_est = est;
+      }
+    }
+    order.push_back(best);
+    est_fanout->push_back(best_est);
+    placed[best.id] = true;
+  }
+  return order;
+}
+
+/// The naive (pre-statistics) elimination order: seed with the most
+/// selective node by label count, then repeatedly pick a node adjacent
+/// to the placed set (falling back to the most selective remaining node
+/// for a new connected component). Kept verbatim as PlannerMode::kNaive
+/// for differential testing and benchmarking.
 std::vector<NodeId> PlanOrder(const Pattern& pattern,
                               const Instance& instance) {
   std::vector<NodeId> nodes = pattern.AllNodes();
@@ -160,9 +270,12 @@ std::vector<NodeId> PlanOrder(const Pattern& pattern,
   return order;
 }
 
-SearchPlan BuildSearchPlan(const Pattern& pattern, const Instance& instance) {
+SearchPlan BuildSearchPlan(const Pattern& pattern, const Instance& instance,
+                           PlannerMode mode) {
   SearchPlan plan;
-  plan.order = PlanOrder(pattern, instance);
+  plan.order = mode == PlannerMode::kCostBased
+                   ? PlanOrderCost(pattern, instance, &plan.est_fanout)
+                   : PlanOrder(pattern, instance);
   uint32_t max_id = 0;
   for (NodeId m : plan.order) max_id = std::max(max_id, m.id);
   plan.position.assign(plan.order.empty() ? 0 : max_id + 1,
@@ -191,6 +304,165 @@ SearchPlan BuildSearchPlan(const Pattern& pattern, const Instance& instance) {
     }
     depth_plan.check_label =
         !depth_plan.has_print && !depth_plan.anchors.empty();
+    if (mode == PlannerMode::kCostBased && depth_plan.anchors.size() > 1) {
+      // Drive candidates from the anchor with the smallest expected
+      // fan-out; strict < keeps ties on the first anchor, so the choice
+      // is deterministic for identical statistics.
+      double best_fanout = std::numeric_limits<double>::infinity();
+      for (size_t i = 0; i < depth_plan.anchors.size(); ++i) {
+        const Anchor& anchor = depth_plan.anchors[i];
+        const Symbol neighbour_label =
+            pattern.LabelOf(plan.order[anchor.position]);
+        const double fanout = ExpectedAnchorFanout(
+            instance, anchor.label, neighbour_label, anchor.out_of_m);
+        if (fanout < best_fanout) {
+          best_fanout = fanout;
+          depth_plan.base_anchor = i;
+        }
+      }
+    }
+  }
+  return plan;
+}
+
+// ---------------------------------------------------------------------------
+// Plan cache
+// ---------------------------------------------------------------------------
+
+/// Structural fingerprint of a pattern, cache-key-ready: node ids with
+/// labels and a has-print marker (the print *value* is irrelevant — the
+/// plan reads values from the live pattern at enumeration time and the
+/// cost model only cares that the set is pinned to ≤1), plus every
+/// edge. Prefixed with the instance's stats epoch: any mutation bumps
+/// the epoch, so stale plans simply stop being found and age out of the
+/// LRU.
+std::string PlanKey(const Pattern& pattern, uint64_t epoch) {
+  std::string key;
+  key += 'e';
+  key.append(std::to_string(epoch));
+  for (NodeId m : pattern.AllNodes()) {
+    key += '|';
+    key.append(std::to_string(m.id));
+    key += ':';
+    key.append(std::to_string(pattern.LabelOf(m).id));
+    if (pattern.HasPrintValue(m)) key += '*';
+    for (const auto& [label, target] : pattern.OutEdges(m)) {
+      key += ';';
+      key.append(std::to_string(label.id));
+      key += '>';
+      key.append(std::to_string(target.id));
+    }
+  }
+  return key;
+}
+
+/// Global thread-safe LRU of compiled cost-based plans, keyed by
+/// (pattern fingerprint, stats epoch). Shared process-wide: server
+/// sessions whose working copies are unmutated copies of one version
+/// (same epoch) reuse each other's plans, and rule fixpoints stop
+/// re-planning a pattern within a round. Plans are immutable once
+/// built, so concurrent lookups can hand out the same shared_ptr; two
+/// racing builders of one key insert byte-identical plans (the build is
+/// a pure function of pattern + statistics), so either winning is
+/// harmless.
+class PlanCache {
+ public:
+  static PlanCache& Get() {
+    static PlanCache* cache = new PlanCache();  // Leaked: process-lifetime.
+    return *cache;
+  }
+
+  std::shared_ptr<const SearchPlan> Lookup(const std::string& key) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(key);
+    if (it == entries_.end()) {
+      ++misses_;
+      return nullptr;
+    }
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second.pos);
+    return it->second.plan;
+  }
+
+  void Insert(const std::string& key,
+              std::shared_ptr<const SearchPlan> plan) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      // A racing builder got here first with an identical plan.
+      lru_.splice(lru_.begin(), lru_, it->second.pos);
+      return;
+    }
+    lru_.push_front(key);
+    entries_.emplace(key, Entry{std::move(plan), lru_.begin()});
+    if (entries_.size() > kCapacity) {
+      entries_.erase(lru_.back());
+      lru_.pop_back();
+    }
+  }
+
+  PlanCacheInfo Info() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return PlanCacheInfo{hits_, misses_, entries_.size(), kCapacity};
+  }
+
+  void Reset() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.clear();
+    lru_.clear();
+    hits_ = 0;
+    misses_ = 0;
+  }
+
+ private:
+  struct Entry {
+    std::shared_ptr<const SearchPlan> plan;
+    std::list<std::string>::iterator pos;
+  };
+
+  /// Patterns are compiler-generated per operation/rule; 128 entries
+  /// comfortably cover a rule set plus ad-hoc queries while bounding
+  /// memory to a few hundred KB.
+  static constexpr size_t kCapacity = 128;
+
+  mutable std::mutex mutex_;
+  std::list<std::string> lru_;  // Front = most recently used.
+  std::unordered_map<std::string, Entry> entries_;
+  size_t hits_ = 0;
+  size_t misses_ = 0;
+};
+
+/// The single plan-acquisition point for every Matcher entry path:
+/// cache lookup (cost-based plans with caching enabled), build on miss,
+/// and planner-observability recording into MatchOptions::stats.
+std::shared_ptr<const SearchPlan> AcquirePlan(const Pattern& pattern,
+                                              const Instance& instance,
+                                              const MatchOptions& options) {
+  const bool cacheable =
+      options.planner == PlannerMode::kCostBased && options.use_plan_cache;
+  std::shared_ptr<const SearchPlan> plan;
+  std::string key;
+  if (cacheable) {
+    key = PlanKey(pattern, instance.stats_epoch());
+    plan = PlanCache::Get().Lookup(key);
+    if (options.stats != nullptr) {
+      if (plan != nullptr) {
+        ++options.stats->plan_cache_hits;
+      } else {
+        ++options.stats->plan_cache_misses;
+      }
+    }
+  }
+  if (plan == nullptr) {
+    plan = std::make_shared<const SearchPlan>(
+        BuildSearchPlan(pattern, instance, options.planner));
+    if (cacheable) PlanCache::Get().Insert(key, plan);
+  }
+  if (options.stats != nullptr) {
+    options.stats->plan_order.clear();
+    options.stats->plan_order.reserve(plan->order.size());
+    for (NodeId m : plan->order) options.stats->plan_order.push_back(m.id);
+    options.stats->depth_est_fanout = plan->est_fanout;
   }
   return plan;
 }
@@ -335,10 +607,12 @@ class Enumerator {
   /// Candidate instance nodes for pattern node order[depth].
   ///
   /// Anchored nodes (≥1 already-placed neighbour) draw candidates from
-  /// the smallest placed-neighbour adjacency list, intersected against
-  /// the remaining anchors via O(1) edge-index probes; unanchored nodes
-  /// fall back to the label index (or the printable dedup index, which
-  /// pins the candidate set to at most one node).
+  /// the plan-chosen base anchor's adjacency list (the cost-based
+  /// planner picks the direction/anchor with the smallest expected
+  /// fan-out at plan time), intersected against the remaining anchors
+  /// via O(1) edge-index probes; unanchored nodes fall back to the
+  /// label index (or the printable dedup index, which pins the
+  /// candidate set to at most one node).
   const std::vector<NodeId>& Candidates(size_t depth) {
     const DepthPlan& plan = plan_.plans[depth];
     std::vector<NodeId>& scratch = scratch_[depth];
@@ -367,15 +641,7 @@ class Enumerator {
       return scratch;
     }
 
-    // Smallest adjacency list first: every candidate must appear in all
-    // of them, so scanning the smallest bounds the work.
-    size_t base = 0;
-    for (size_t i = 1; i < plan.anchors.size(); ++i) {
-      if (AnchorList(plan.anchors[i]).size() <
-          AnchorList(plan.anchors[base]).size()) {
-        base = i;
-      }
-    }
+    const size_t base = plan.base_anchor;
     const std::vector<NodeId>& base_list = AnchorList(plan.anchors[base]);
     stats_.candidates_scanned += base_list.size();
     if (plan.anchors.size() == 1) return base_list;  // Borrow, no copy.
@@ -457,13 +723,13 @@ class Enumerator {
 /// engine. When a deadline interrupt cuts the run short, returns the
 /// interrupt status with the outputs and stats untouched.
 Status TryParallelEnumerate(const Pattern& pattern, const Instance& instance,
+                            const SearchPlan& plan,
                             const MatchOptions& options,
                             std::vector<Matching>* out, size_t* count,
                             bool* engaged) {
   *engaged = false;
   if (options.num_threads == 0) return Status::OK();
   if (options.limit != kNoLimit) return Status::OK();
-  SearchPlan plan = BuildSearchPlan(pattern, instance);
   // The empty pattern has exactly one matching (the empty map); let the
   // serial engine emit it.
   if (plan.order.empty()) return Status::OK();
@@ -549,6 +815,21 @@ Status TryParallelEnumerate(const Pattern& pattern, const Instance& instance,
   return Status::OK();
 }
 
+/// The serial engine behind every non-parallel entry path: runs the
+/// (possibly cached) plan to completion, reporting the interrupt status
+/// and the number of matchings visited.
+Status RunSerialEnumeration(const Pattern& pattern, const Instance& instance,
+                            const SearchPlan& plan,
+                            const MatchOptions& options,
+                            const std::function<bool(const Matching&)>& callback,
+                            size_t* visited) {
+  Enumerator enumerator(pattern, instance, plan, options.limit, options.stats,
+                        options.deadline, nullptr);
+  size_t n = enumerator.RunSerial(callback);
+  if (visited != nullptr) *visited = n;
+  return enumerator.interrupt();
+}
+
 }  // namespace
 
 Status Matcher::ForEachChecked(
@@ -560,12 +841,10 @@ Status Matcher::ForEachChecked(
   if (options_.deadline != nullptr) {
     GOOD_RETURN_NOT_OK(options_.deadline->Check());
   }
-  SearchPlan plan = BuildSearchPlan(pattern_, instance_);
-  Enumerator enumerator(pattern_, instance_, plan, options_.limit,
-                        options_.stats, options_.deadline, nullptr);
-  size_t n = enumerator.RunSerial(callback);
-  if (visited != nullptr) *visited = n;
-  return enumerator.interrupt();
+  std::shared_ptr<const SearchPlan> plan =
+      AcquirePlan(pattern_, instance_, options_);
+  return RunSerialEnumeration(pattern_, instance_, *plan, options_, callback,
+                              visited);
 }
 
 size_t Matcher::ForEach(
@@ -579,13 +858,18 @@ Result<std::vector<Matching>> Matcher::FindAllChecked() const {
   if (options_.deadline != nullptr) {
     GOOD_RETURN_NOT_OK(options_.deadline->Check());
   }
+  // One plan acquisition per call: the parallel driver and the serial
+  // fallback share it (and its cache hit/miss accounting).
+  std::shared_ptr<const SearchPlan> plan =
+      AcquirePlan(pattern_, instance_, options_);
   std::vector<Matching> out;
   size_t count = 0;
   bool engaged = false;
-  GOOD_RETURN_NOT_OK(TryParallelEnumerate(pattern_, instance_, options_, &out,
-                                          &count, &engaged));
+  GOOD_RETURN_NOT_OK(TryParallelEnumerate(pattern_, instance_, *plan, options_,
+                                          &out, &count, &engaged));
   if (engaged) return out;
-  GOOD_RETURN_NOT_OK(ForEachChecked(
+  GOOD_RETURN_NOT_OK(RunSerialEnumeration(
+      pattern_, instance_, *plan, options_,
       [&](const Matching& m) {
         out.push_back(m);
         return true;
@@ -604,14 +888,17 @@ Result<size_t> Matcher::CountChecked() const {
   if (options_.deadline != nullptr) {
     GOOD_RETURN_NOT_OK(options_.deadline->Check());
   }
+  std::shared_ptr<const SearchPlan> plan =
+      AcquirePlan(pattern_, instance_, options_);
   size_t count = 0;
   bool engaged = false;
-  GOOD_RETURN_NOT_OK(TryParallelEnumerate(pattern_, instance_, options_,
+  GOOD_RETURN_NOT_OK(TryParallelEnumerate(pattern_, instance_, *plan, options_,
                                           nullptr, &count, &engaged));
   if (engaged) return count;
   size_t visited = 0;
-  GOOD_RETURN_NOT_OK(
-      ForEachChecked([](const Matching&) { return true; }, &visited));
+  GOOD_RETURN_NOT_OK(RunSerialEnumeration(
+      pattern_, instance_, *plan, options_,
+      [](const Matching&) { return true; }, &visited));
   return visited;
 }
 
@@ -620,12 +907,22 @@ size_t Matcher::Count() const {
   return result.ok() ? *result : 0;
 }
 
-bool Matcher::Exists() const {
+Result<bool> Matcher::ExistsChecked() const {
   MatchOptions limited = options_;
   limited.limit = std::min<size_t>(options_.limit, 1);
   Matcher bounded(pattern_, instance_, limited);
-  return bounded.Count() > 0;
+  GOOD_ASSIGN_OR_RETURN(size_t count, bounded.CountChecked());
+  return count > 0;
 }
+
+bool Matcher::Exists() const {
+  Result<bool> result = ExistsChecked();
+  return result.ok() && *result;
+}
+
+PlanCacheInfo GlobalPlanCacheInfo() { return PlanCache::Get().Info(); }
+
+void ResetGlobalPlanCache() { PlanCache::Get().Reset(); }
 
 std::vector<Matching> FindMatchings(const Pattern& pattern,
                                     const graph::Instance& instance) {

@@ -105,17 +105,45 @@ struct MatchStats {
   /// been accumulated). Unlike the other counters this is not additive,
   /// so operator+= takes the maximum across accumulated runs.
   size_t workers_used = 0;
+  /// Plan-cache outcomes over the enumerations this object observed
+  /// (additive). Both stay 0 when caching is disabled or the naive
+  /// planner runs.
+  size_t plan_cache_hits = 0;
+  size_t plan_cache_misses = 0;
+  /// Planner decisions of the most recent enumeration: the chosen node
+  /// elimination order (pattern node ids, depth 0 first; recorded for
+  /// every planner mode) and the planner's estimated candidate count
+  /// per depth (cost-based plans only — compare against depth_fanout to
+  /// judge the estimates). Non-additive: operator+= keeps the most
+  /// recent non-empty value.
+  std::vector<uint32_t> plan_order;
+  std::vector<double> depth_est_fanout;
 
   MatchStats& operator+=(const MatchStats& other);
 
   /// Compact one-line rendering, e.g.
-  /// "cand=120 rej=80 bt=14 match=26 fanout=[12,8,6] workers=1".
+  /// "cand=120 rej=80 bt=14 match=26 fanout=[12,8,6] workers=1
+  ///  plan=[2,0,1] est=[3.0,1.5,0.8] cache=1h/1m".
   std::string ToString() const;
 };
 
 /// The depth-0 candidate count below which a parallel-enabled matcher
 /// still runs serially (partitioning overhead dominates small inputs).
 inline constexpr size_t kDefaultParallelThreshold = 64;
+
+/// \brief Join-order planning mode.
+enum class PlannerMode {
+  /// Order pattern nodes greedily by estimated candidate-set size from
+  /// the instance's live cardinality statistics (graph::Instance stats
+  /// accessors), and pick each depth's driving anchor — forward
+  /// OutTargets vs. backward InSources — by expected fan-out at plan
+  /// time. The default.
+  kCostBased,
+  /// The syntactic order: selectivity = label count only, adjacency to
+  /// placed nodes dominates, the first anchor drives candidates. Kept
+  /// for differential testing and benchmarking; never cached.
+  kNaive,
+};
 
 /// \brief Tuning and statistics for matching enumeration.
 struct MatchOptions {
@@ -144,18 +172,33 @@ struct MatchOptions {
   /// bit-identical with and without a deadline — the parallel engine's
   /// determinism guarantee is preserved on success.
   const common::Deadline* deadline = nullptr;
+  /// See PlannerMode. Any plan enumerates the same matching *set*; only
+  /// the emission order within a run and the search effort differ, and
+  /// one plan is shared by the serial engine and every parallel worker
+  /// of a run, so serial-vs-parallel byte-identity holds per mode.
+  PlannerMode planner = PlannerMode::kCostBased;
+  /// Reuse compiled plans from the global LRU cache keyed by
+  /// (pattern fingerprint, stats epoch). Sound because every instance
+  /// mutation bumps the epoch; disable to force replanning (benchmarks
+  /// isolating plan cost do). Only cost-based plans are cached.
+  bool use_plan_cache = true;
 };
 
 /// \brief Enumerates matchings of `pattern` in `instance`.
 ///
-/// The matcher orders pattern nodes most-selective-first (print-valued
-/// nodes have at most one candidate, then rarest node label), preferring
-/// nodes adjacent to already-placed ones so that candidates can be
-/// derived from neighbours instead of label scans. When a node has
-/// several already-placed neighbours, their per-label adjacency lists
-/// are intersected smallest-first; feasibility then re-verifies every
-/// edge incident to the node being placed — including self-loops —
-/// against the instance's O(1) edge index.
+/// The matcher compiles a search plan per (pattern, instance) pair. The
+/// default cost-based planner greedily orders pattern nodes by
+/// estimated candidate-set size — a print value pins the set to at most
+/// one node, otherwise label count times the product of anchor
+/// selectivities (expected fan-out from the instance's degree-sum
+/// statistics, capped at 1) — and picks the anchor with the smallest
+/// expected fan-out to drive each depth's candidates, deciding forward
+/// (OutTargets) vs. backward (InSources) traversal at plan time. The
+/// remaining anchors are enforced by O(1) edge-index probes;
+/// feasibility then re-verifies labels and self-loops. Compiled plans
+/// are reused through a global LRU keyed by (pattern fingerprint,
+/// stats epoch), invalidated automatically because every instance
+/// mutation bumps the epoch.
 class Matcher {
  public:
   Matcher(const Pattern& pattern, const graph::Instance& instance,
@@ -204,9 +247,16 @@ class Matcher {
   Status ForEachChecked(const std::function<bool(const Matching&)>& callback,
                         size_t* visited = nullptr) const;
 
-  /// True iff at least one matching exists. Honors the caller's
-  /// MatchOptions (stats still accumulate; a limit of 0 means no
-  /// matching can be observed, so Exists is false).
+  /// True iff at least one matching exists, or the interrupt status —
+  /// a timed-out existence check must NOT read as "no match" (negation
+  /// filters would treat it as a definitive negative). Honors the
+  /// caller's MatchOptions (stats still accumulate; a limit of 0 means
+  /// no matching can be observed, so the result is false).
+  Result<bool> ExistsChecked() const;
+
+  /// Unchecked convenience wrapper around ExistsChecked(): interrupts
+  /// (deadline expiry, cancellation) read as false. Only use where no
+  /// deadline is configured or a false negative is acceptable.
   bool Exists() const;
 
  private:
@@ -214,6 +264,23 @@ class Matcher {
   const graph::Instance& instance_;
   MatchOptions options_;
 };
+
+/// \brief Observability snapshot of the global plan cache.
+struct PlanCacheInfo {
+  size_t hits = 0;
+  size_t misses = 0;
+  size_t entries = 0;
+  size_t capacity = 0;
+};
+
+/// Cumulative hit/miss counters and current occupancy of the global
+/// (pattern fingerprint, stats epoch)-keyed plan cache.
+PlanCacheInfo GlobalPlanCacheInfo();
+
+/// Drops every cached plan and zeroes the cache counters. Tests and
+/// benchmarks isolate their measurements with this; correctness never
+/// requires it (stale epochs simply age out of the LRU).
+void ResetGlobalPlanCache();
 
 /// Convenience wrapper: all matchings of `pattern` in `instance`.
 std::vector<Matching> FindMatchings(const Pattern& pattern,

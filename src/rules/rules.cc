@@ -74,7 +74,8 @@ Result<RunReport> RuleEngine::Step(Scheme* scheme, Instance* instance) {
                           rule.condition.PositivePart());
     ops::MatchFilter filter;
     if (HasNegation(rule.condition)) {
-      GOOD_ASSIGN_OR_RETURN(filter, macros::NegationFilter(rule.condition));
+      GOOD_ASSIGN_OR_RETURN(
+          filter, macros::NegationFilter(rule.condition, deadline_));
     }
     if (rule.node.has_value()) {
       ops::NodeAddition na(positive, rule.node->label, rule.node->edges);
@@ -106,6 +107,10 @@ Result<RunReport> RuleEngine::Step(Scheme* scheme, Instance* instance) {
 Result<RunReport> RuleEngine::Run(Scheme* scheme, Instance* instance,
                                   size_t max_rounds) {
   RunReport total;
+  // Convergence is checked before any round is charged: an empty rule
+  // set is trivially at fixpoint, even with max_rounds == 0 — only rule
+  // sets that still need a round can exhaust the budget.
+  if (rules_.empty()) return total;
   for (size_t round = 0; round < max_rounds; ++round) {
     GOOD_ASSIGN_OR_RETURN(RunReport step, Step(scheme, instance));
     total.rounds += step.rounds;

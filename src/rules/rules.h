@@ -104,8 +104,10 @@ class RuleEngine {
   Result<RunReport> Step(schema::Scheme* scheme, graph::Instance* instance);
 
   /// Rounds of Step until a round adds nothing; ResourceExhausted after
-  /// `max_rounds`. Completed rounds persist when a later round fails
-  /// (each round is its own transaction).
+  /// `max_rounds`. Convergence is checked before a round is charged, so
+  /// an empty rule set is trivially at fixpoint (zero rounds) whatever
+  /// the budget — including max_rounds == 0. Completed rounds persist
+  /// when a later round fails (each round is its own transaction).
   Result<RunReport> Run(schema::Scheme* scheme, graph::Instance* instance,
                         size_t max_rounds = 10'000);
 

@@ -252,6 +252,78 @@ TEST_P(ParallelMatcherDifferentialTest, ParallelSequenceAndStatsMatchSerial) {
 INSTANTIATE_TEST_SUITE_P(Seeds, ParallelMatcherDifferentialTest,
                          ::testing::Range(0, 30));
 
+/// Cost-based-vs-naive planner differential on random graphs and random
+/// link patterns: both planners must enumerate the same matching SET
+/// (the order legitimately differs — the whole point of planning is a
+/// different elimination order), and within the cost-based plan the
+/// serial and parallel engines must agree on the exact sequence.
+class PlannerDifferentialTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PlannerDifferentialTest, CostAndNaivePlansEnumerateTheSameSet) {
+  // CI's planner-differential loop exports GOOD_PLANNER_SEED to shift
+  // the sweep to fresh seeds each iteration (printed on failure).
+  const char* base = std::getenv("GOOD_PLANNER_SEED");
+  const int seed =
+      GetParam() +
+      (base != nullptr
+           ? static_cast<int>(std::strtoul(base, nullptr, 10) % 1000000)
+           : 0);
+  std::mt19937 rng(static_cast<unsigned>(seed));
+  Scheme scheme = hypermedia::BuildScheme().ValueOrDie();
+  const size_t n = 5 + rng() % 10;
+  const size_t edges = n + rng() % (3 * n);
+  Instance g = gen::RandomInfoGraph(scheme, n, edges, /*seed=*/rng(),
+                                    /*allow_self_loops=*/true)
+                   .ValueOrDie();
+  pattern::Pattern p =
+      gen::RandomLinkPattern(scheme, /*num_nodes=*/2 + rng() % 3,
+                             /*extra_edges=*/1 + rng() % 3, /*seed=*/rng(),
+                             /*allow_self_loops=*/true)
+          .ValueOrDie();
+
+  auto keys = [&](const std::vector<pattern::Matching>& ms) {
+    std::set<std::string> out;
+    for (const auto& m : ms) {
+      std::string k;
+      for (NodeId node : p.AllNodes()) {
+        k += std::to_string(m.At(node).id) + ",";
+      }
+      out.insert(k);
+    }
+    return out;
+  };
+
+  pattern::MatchStats naive_stats;
+  pattern::MatchOptions naive_options;
+  naive_options.planner = pattern::PlannerMode::kNaive;
+  naive_options.stats = &naive_stats;
+  auto naive = pattern::Matcher(p, g, naive_options).FindAll();
+
+  pattern::MatchStats cost_stats;
+  pattern::MatchOptions cost_options;
+  cost_options.stats = &cost_stats;
+  auto cost = pattern::Matcher(p, g, cost_options).FindAll();
+
+  ASSERT_EQ(naive.size(), cost.size()) << "seed=" << seed;
+  EXPECT_EQ(keys(naive), keys(cost)) << "seed=" << seed;
+  // Both planners ordered the full pattern.
+  EXPECT_EQ(naive_stats.plan_order.size(), cost_stats.plan_order.size())
+      << "seed=" << seed;
+
+  // The cost-based plan is deterministic across thread counts: every
+  // parallel run reproduces the serial sequence exactly.
+  for (size_t threads : {1u, 2u, 8u}) {
+    pattern::MatchOptions options;
+    options.num_threads = threads;
+    options.parallel_threshold = 0;
+    auto par = pattern::Matcher(p, g, options).FindAll();
+    ASSERT_EQ(par, cost) << "seed=" << seed << " threads=" << threads;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlannerDifferentialTest,
+                         ::testing::Range(0, 30));
+
 /// Differential fault sweep over a durable database: a method call is
 /// interrupted mid-flight by a randomized fault — budget exhaustion,
 /// an expired deadline, or an injected WAL I/O failure — and both the

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "graph/instance.h"
+#include "graph/undo_journal.h"
 #include "schema/scheme.h"
 
 namespace good::graph {
@@ -241,6 +242,129 @@ TEST(InstanceTest, ValidateDetectsNothingOnHealthyGraph) {
   NodeId d = *g.AddObjectNode(s, Sym("Doc"));
   NodeId t = *g.AddPrintableNode(s, Sym("Str"), Value("hello"));
   g.AddEdge(s, d, Sym("title"), t).OrDie();
+  EXPECT_TRUE(g.Validate(s).ok());
+}
+
+TEST(InstanceStatsTest, EdgeCountersTrackMutations) {
+  Scheme s = TestScheme();
+  Instance g;
+  NodeId a = *g.AddObjectNode(s, Sym("Doc"));
+  NodeId b = *g.AddObjectNode(s, Sym("Doc"));
+  NodeId t = *g.AddObjectNode(s, Sym("Tag"));
+  EXPECT_EQ(g.CountEdgesWithLabel(Sym("refs")), 0u);
+  g.AddEdge(s, a, Sym("refs"), b).OrDie();
+  g.AddEdge(s, b, Sym("refs"), a).OrDie();
+  g.AddEdge(s, a, Sym("tags"), t).OrDie();
+  EXPECT_EQ(g.CountEdgesWithLabel(Sym("refs")), 2u);
+  EXPECT_EQ(g.CountEdgesWithLabel(Sym("tags")), 1u);
+  EXPECT_EQ(g.OutDegreeSum(Sym("Doc"), Sym("refs")), 2u);
+  EXPECT_EQ(g.InDegreeSum(Sym("Doc"), Sym("refs")), 2u);
+  EXPECT_EQ(g.OutDegreeSum(Sym("Doc"), Sym("tags")), 1u);
+  EXPECT_EQ(g.InDegreeSum(Sym("Tag"), Sym("tags")), 1u);
+  EXPECT_DOUBLE_EQ(g.AvgOutFanout(Sym("Doc"), Sym("refs")), 1.0);
+  EXPECT_DOUBLE_EQ(g.AvgInFanout(Sym("Tag"), Sym("tags")), 1.0);
+  // Fanout over an empty label population is 0, not a division fault.
+  EXPECT_DOUBLE_EQ(g.AvgOutFanout(Sym("Str"), Sym("refs")), 0.0);
+
+  g.RemoveEdge(a, Sym("refs"), b).OrDie();
+  EXPECT_EQ(g.CountEdgesWithLabel(Sym("refs")), 1u);
+  EXPECT_EQ(g.OutDegreeSum(Sym("Doc"), Sym("refs")), 1u);
+  EXPECT_TRUE(g.Validate(s).ok());
+}
+
+TEST(InstanceStatsTest, NodeRemovalDecrementsEdgeStats) {
+  Scheme s = TestScheme();
+  Instance g;
+  NodeId a = *g.AddObjectNode(s, Sym("Doc"));
+  NodeId b = *g.AddObjectNode(s, Sym("Doc"));
+  NodeId c = *g.AddObjectNode(s, Sym("Doc"));
+  g.AddEdge(s, a, Sym("refs"), b).OrDie();
+  g.AddEdge(s, b, Sym("refs"), c).OrDie();
+  g.AddEdge(s, c, Sym("refs"), b).OrDie();
+  // Removing b detaches all three edges; the census counters must
+  // follow the inline detachment path, not just RemoveEdge.
+  g.RemoveNode(b).OrDie();
+  EXPECT_EQ(g.CountEdgesWithLabel(Sym("refs")), 0u);
+  EXPECT_EQ(g.OutDegreeSum(Sym("Doc"), Sym("refs")), 0u);
+  EXPECT_EQ(g.InDegreeSum(Sym("Doc"), Sym("refs")), 0u);
+  EXPECT_TRUE(g.Validate(s).ok());
+}
+
+TEST(InstanceStatsTest, StatsEpochAdvancesOnEveryMutation) {
+  Scheme s = TestScheme();
+  Instance g;
+  EXPECT_EQ(g.stats_epoch(), 0u);  // Never mutated.
+  NodeId a = *g.AddObjectNode(s, Sym("Doc"));
+  uint64_t e1 = g.stats_epoch();
+  EXPECT_GT(e1, 0u);
+  NodeId b = *g.AddObjectNode(s, Sym("Doc"));
+  uint64_t e2 = g.stats_epoch();
+  EXPECT_GT(e2, e1);
+  g.AddEdge(s, a, Sym("refs"), b).OrDie();
+  uint64_t e3 = g.stats_epoch();
+  EXPECT_GT(e3, e2);
+  g.RemoveEdge(a, Sym("refs"), b).OrDie();
+  uint64_t e4 = g.stats_epoch();
+  EXPECT_GT(e4, e3);
+  g.RemoveNode(b).OrDie();
+  EXPECT_GT(g.stats_epoch(), e4);
+
+  // Epochs are process-globally unique: an independently mutated
+  // instance never lands on an epoch this one already used.
+  Instance other;
+  (void)*other.AddObjectNode(s, Sym("Doc"));
+  EXPECT_NE(other.stats_epoch(), g.stats_epoch());
+}
+
+TEST(InstanceStatsTest, CopySharesEpochUntilMutated) {
+  Scheme s = TestScheme();
+  Instance g;
+  NodeId a = *g.AddObjectNode(s, Sym("Doc"));
+  NodeId b = *g.AddObjectNode(s, Sym("Doc"));
+  g.AddEdge(s, a, Sym("refs"), b).OrDie();
+
+  // An unmutated copy has identical stats, so sharing the source epoch
+  // is sound (and lets cached plans carry over).
+  Instance copy = g;
+  EXPECT_EQ(copy.stats_epoch(), g.stats_epoch());
+  EXPECT_EQ(copy.CountEdgesWithLabel(Sym("refs")), 1u);
+
+  // The first mutation of either side forks the epoch.
+  copy.RemoveEdge(a, Sym("refs"), b).OrDie();
+  EXPECT_NE(copy.stats_epoch(), g.stats_epoch());
+  EXPECT_EQ(copy.CountEdgesWithLabel(Sym("refs")), 0u);
+  EXPECT_EQ(g.CountEdgesWithLabel(Sym("refs")), 1u);
+}
+
+TEST(InstanceStatsTest, JournalRollbackRestoresCountersWithFreshEpoch) {
+  Scheme s = TestScheme();
+  Instance g;
+  NodeId a = *g.AddObjectNode(s, Sym("Doc"));
+  NodeId b = *g.AddObjectNode(s, Sym("Doc"));
+  g.AddEdge(s, a, Sym("refs"), b).OrDie();
+
+  const size_t refs_before = g.CountEdgesWithLabel(Sym("refs"));
+  const size_t out_before = g.OutDegreeSum(Sym("Doc"), Sym("refs"));
+  const size_t in_before = g.InDegreeSum(Sym("Doc"), Sym("refs"));
+
+  UndoJournal journal;
+  g.AttachJournal(&journal);
+  NodeId c = *g.AddObjectNode(s, Sym("Doc"));
+  g.AddEdge(s, a, Sym("refs"), c).OrDie();
+  g.AddEdge(s, c, Sym("refs"), b).OrDie();
+  g.RemoveEdge(a, Sym("refs"), b).OrDie();
+  g.RemoveNode(b).OrDie();
+  const uint64_t mid_epoch = g.stats_epoch();
+
+  journal.Rollback(&g);
+  g.DetachJournal();
+
+  // The counters are back where they started, but the epoch is fresh:
+  // rollback is itself a mutation, so stale cached plans can't match.
+  EXPECT_EQ(g.CountEdgesWithLabel(Sym("refs")), refs_before);
+  EXPECT_EQ(g.OutDegreeSum(Sym("Doc"), Sym("refs")), out_before);
+  EXPECT_EQ(g.InDegreeSum(Sym("Doc"), Sym("refs")), in_before);
+  EXPECT_GT(g.stats_epoch(), mid_epoch);
   EXPECT_TRUE(g.Validate(s).ok());
 }
 

@@ -4,8 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <set>
 
+#include "common/deadline.h"
 #include "graph/instance.h"
 #include "hypermedia/hypermedia.h"
 #include "macro/inheritance.h"
@@ -144,10 +146,40 @@ TEST_F(MacroTest, NegationFilterMatchesDirectEvaluation) {
   pattern::Pattern positive = negated.PositivePart().ValueOrDie();
   size_t accepted = 0;
   for (const auto& m : pattern::FindMatchings(positive, instance_)) {
-    if (filter(m, instance_)) ++accepted;
+    if (filter(m, instance_).ValueOrDie()) ++accepted;
   }
   auto direct = EvaluateNegated(negated, instance_).ValueOrDie();
   EXPECT_EQ(accepted, direct.size());
+}
+
+TEST_F(MacroTest, NegationFilterPropagatesExpiredDeadline) {
+  // An interrupted extension check must surface the interrupt, not read
+  // as "not extensible" (which would silently accept the matching).
+  NegatedPattern negated = Fig26Pattern();
+  common::Deadline expired =
+      common::Deadline::After(std::chrono::seconds(-1));
+  auto filter = NegationFilter(negated, &expired).ValueOrDie();
+  pattern::Pattern positive = negated.PositivePart().ValueOrDie();
+  auto matchings = pattern::FindMatchings(positive, instance_);
+  ASSERT_FALSE(matchings.empty());
+  Result<bool> verdict = filter(matchings.front(), instance_);
+  ASSERT_FALSE(verdict.ok());
+  EXPECT_TRUE(verdict.status().IsDeadlineExceeded());
+
+  // EvaluateNegated is cut short the same way...
+  EXPECT_TRUE(EvaluateNegated(negated, instance_, &expired)
+                  .status()
+                  .IsDeadlineExceeded());
+  // ...and cancellation travels the same path.
+  common::CancelToken token;
+  token.Cancel();
+  common::Deadline cancelled;
+  cancelled.ObserveCancellation(&token);
+  auto cancelled_filter = NegationFilter(negated, &cancelled).ValueOrDie();
+  Result<bool> cancelled_verdict =
+      cancelled_filter(matchings.front(), instance_);
+  ASSERT_FALSE(cancelled_verdict.ok());
+  EXPECT_TRUE(cancelled_verdict.status().IsCancelled());
 }
 
 TEST_F(MacroTest, NegatedPatternValidatesInputs) {
@@ -191,12 +223,12 @@ TEST_F(MacroTest, PredicateCombinators) {
   auto after13 = ValueGreater(date, Value(Date{1990, 1, 13}));
   size_t n14 = 0, nb = 0, na_ = 0, nor = 0, nand = 0, nnot = 0;
   for (const auto& m : matchings) {
-    if (only14(m, instance_)) ++n14;
-    if (before13(m, instance_)) ++nb;
-    if (after13(m, instance_)) ++na_;
-    if (Or(only14, before13)(m, instance_)) ++nor;
-    if (And(only14, after13)(m, instance_)) ++nand;
-    if (Not(only14)(m, instance_)) ++nnot;
+    if (only14(m, instance_).ValueOrDie()) ++n14;
+    if (before13(m, instance_).ValueOrDie()) ++nb;
+    if (after13(m, instance_).ValueOrDie()) ++na_;
+    if (Or(only14, before13)(m, instance_).ValueOrDie()) ++nor;
+    if (And(only14, after13)(m, instance_).ValueOrDie()) ++nand;
+    if (Not(only14)(m, instance_).ValueOrDie()) ++nnot;
   }
   EXPECT_EQ(n14, 2u);                 // rock_new, pinkfloyd.
   EXPECT_EQ(nb, 7u);                  // The Jan 12 docs.

@@ -1,7 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <random>
+#include <set>
+#include <string>
 
+#include "common/deadline.h"
 #include "graph/instance.h"
 #include "pattern/builder.h"
 #include "pattern/matcher.h"
@@ -412,6 +416,266 @@ TEST_P(MatcherDifferentialTest, AgreesWithBruteForceOnRandomGraphs) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MatcherDifferentialTest,
                          ::testing::Range(0, 25));
+
+// --- Deadline-aware existence checks. ---
+
+TEST(MatcherTest, ExistsCheckedSurfacesExpiredDeadline) {
+  Scheme s = ChainScheme();
+  Instance g = ChainInstance(s, 5);
+  GraphBuilder b(s);
+  b.Object("N");
+  Pattern p = b.BuildOrDie();
+  common::Deadline expired =
+      common::Deadline::After(std::chrono::seconds(-1));
+  MatchOptions options;
+  options.deadline = &expired;
+  Result<bool> result = Matcher(p, g, options).ExistsChecked();
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsDeadlineExceeded());
+  // The unchecked wrapper degrades to false — never to "matched".
+  EXPECT_FALSE(Matcher(p, g, options).Exists());
+}
+
+TEST(MatcherTest, ExistsCheckedSurfacesCancellation) {
+  Scheme s = ChainScheme();
+  Instance g = ChainInstance(s, 5);
+  GraphBuilder b(s);
+  b.Object("N");
+  Pattern p = b.BuildOrDie();
+  common::CancelToken token;
+  token.Cancel();
+  common::Deadline deadline;
+  deadline.ObserveCancellation(&token);
+  MatchOptions options;
+  options.deadline = &deadline;
+  Result<bool> result = Matcher(p, g, options).ExistsChecked();
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsCancelled());
+}
+
+TEST(MatcherTest, ExistsCheckedFindsMatchUnderLiveDeadline) {
+  Scheme s = ChainScheme();
+  Instance g = ChainInstance(s, 5);
+  GraphBuilder b(s);
+  b.Object("N");
+  Pattern p = b.BuildOrDie();
+  common::Deadline live = common::Deadline::After(std::chrono::hours(1));
+  MatchOptions options;
+  options.deadline = &live;
+  Result<bool> result = Matcher(p, g, options).ExistsChecked();
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(*result);
+}
+
+// --- Cost-based planner. ---
+
+/// A,B,C scheme with skewed fan-outs for exercising selectivity
+/// estimates: r: A -> B (multivalued), s: C -> B (multivalued).
+Scheme SkewScheme() {
+  Scheme s;
+  s.AddObjectLabel(Sym("A")).OrDie();
+  s.AddObjectLabel(Sym("B")).OrDie();
+  s.AddObjectLabel(Sym("C")).OrDie();
+  s.AddMultivaluedEdgeLabel(Sym("r")).OrDie();
+  s.AddMultivaluedEdgeLabel(Sym("s")).OrDie();
+  s.AddTriple(Sym("A"), Sym("r"), Sym("B")).OrDie();
+  s.AddTriple(Sym("C"), Sym("s"), Sym("B")).OrDie();
+  return s;
+}
+
+/// Sorted multiset of matchings, independent of emission order.
+std::multiset<std::string> MatchingKeys(const Pattern& p,
+                                        const std::vector<Matching>& ms) {
+  std::multiset<std::string> keys;
+  for (const Matching& m : ms) {
+    std::string k;
+    for (NodeId n : p.AllNodes()) k += std::to_string(m.At(n).id) + ",";
+    keys.insert(k);
+  }
+  return keys;
+}
+
+TEST(PlannerTest, CostPlannerOrdersNodesBySelectivity) {
+  Scheme s = SkewScheme();
+  Instance g;
+  // 4 A nodes fanning out to 40 B nodes; 5 unrelated C nodes.
+  std::vector<NodeId> as, bs;
+  for (int i = 0; i < 4; ++i) as.push_back(*g.AddObjectNode(s, Sym("A")));
+  for (int i = 0; i < 40; ++i) bs.push_back(*g.AddObjectNode(s, Sym("B")));
+  for (int i = 0; i < 5; ++i) (void)*g.AddObjectNode(s, Sym("C"));
+  for (int i = 0; i < 40; ++i) {
+    g.AddEdge(s, as[i / 10], Sym("r"), bs[i]).OrDie();
+  }
+
+  // Pattern: x(A) -r-> y(B), plus a disconnected z(C).
+  GraphBuilder b(s);
+  NodeId x = b.Object("A");
+  NodeId y = b.Object("B");
+  NodeId z = b.Object("C");
+  b.Edge(x, "r", y);
+  Pattern p = b.BuildOrDie();
+
+  // Cost order: x (4 As) before z (5 Cs) before y (est. 10 via the
+  // anchor, vs. 40 unanchored) — the naive planner would place y second
+  // because adjacency to placed nodes dominates syntactically.
+  MatchStats cost_stats;
+  MatchOptions cost;
+  cost.stats = &cost_stats;
+  cost.use_plan_cache = false;
+  auto cost_found = Matcher(p, g, cost).FindAll();
+  ASSERT_EQ(cost_stats.plan_order.size(), 3u);
+  EXPECT_EQ(cost_stats.plan_order[0], x.id);
+  EXPECT_EQ(cost_stats.plan_order[1], z.id);
+  EXPECT_EQ(cost_stats.plan_order[2], y.id);
+  // The planner's estimates are recorded alongside the true fanout.
+  ASSERT_EQ(cost_stats.depth_est_fanout.size(), 3u);
+  EXPECT_DOUBLE_EQ(cost_stats.depth_est_fanout[0], 4.0);
+
+  MatchStats naive_stats;
+  MatchOptions naive;
+  naive.stats = &naive_stats;
+  naive.planner = PlannerMode::kNaive;
+  auto naive_found = Matcher(p, g, naive).FindAll();
+  ASSERT_EQ(naive_stats.plan_order.size(), 3u);
+  EXPECT_EQ(naive_stats.plan_order[0], x.id);
+  EXPECT_EQ(naive_stats.plan_order[1], y.id);
+  EXPECT_TRUE(naive_stats.depth_est_fanout.empty());  // Cost-only.
+
+  // Both plans enumerate the same matching set: 40 (x,y) pairs x 5 zs.
+  EXPECT_EQ(cost_found.size(), 200u);
+  EXPECT_EQ(MatchingKeys(p, cost_found), MatchingKeys(p, naive_found));
+}
+
+TEST(PlannerTest, CostPlannerPicksCheapAnchorDirection) {
+  Scheme s = SkewScheme();
+  Instance g;
+  // a0 -r-> b0..b19, a1 -r-> b20..b39 (fanout 20); c0 -s-> b0 and
+  // c1 -s-> b20 (fanout 1).
+  std::vector<NodeId> as, bs, cs;
+  for (int i = 0; i < 2; ++i) as.push_back(*g.AddObjectNode(s, Sym("A")));
+  for (int i = 0; i < 40; ++i) bs.push_back(*g.AddObjectNode(s, Sym("B")));
+  for (int i = 0; i < 2; ++i) cs.push_back(*g.AddObjectNode(s, Sym("C")));
+  for (int i = 0; i < 40; ++i) {
+    g.AddEdge(s, as[i / 20], Sym("r"), bs[i]).OrDie();
+  }
+  g.AddEdge(s, cs[0], Sym("s"), bs[0]).OrDie();
+  g.AddEdge(s, cs[1], Sym("s"), bs[20]).OrDie();
+
+  // Pattern: v(A) -r-> y(B) <-s- w(C). The r anchor is declared first,
+  // so a planner that blindly drives y's candidates from the first
+  // anchor scans 20 per v; the s anchor yields 1 per w.
+  GraphBuilder b(s);
+  NodeId v = b.Object("A");
+  NodeId y = b.Object("B");
+  NodeId w = b.Object("C");
+  b.Edge(v, "r", y);
+  b.Edge(w, "s", y);
+  Pattern p = b.BuildOrDie();
+
+  MatchStats cost_stats;
+  MatchOptions cost;
+  cost.stats = &cost_stats;
+  cost.use_plan_cache = false;
+  auto cost_found = Matcher(p, g, cost).FindAll();
+
+  MatchStats naive_stats;
+  MatchOptions naive;
+  naive.stats = &naive_stats;
+  naive.planner = PlannerMode::kNaive;
+  auto naive_found = Matcher(p, g, naive).FindAll();
+
+  // Same matchings: (a0, b0, c0) and (a1, b20, c1).
+  EXPECT_EQ(cost_found.size(), 2u);
+  EXPECT_EQ(MatchingKeys(p, cost_found), MatchingKeys(p, naive_found));
+  // Driving y through the s anchor visits far fewer candidates.
+  EXPECT_LT(cost_stats.candidates_scanned, naive_stats.candidates_scanned);
+}
+
+// --- Plan cache. ---
+
+TEST(PlanCacheTest, HitsMissesAndEpochInvalidation) {
+  ResetGlobalPlanCache();
+  Scheme s = ChainScheme();
+  Instance g = ChainInstance(s, 6);
+  GraphBuilder b(s);
+  NodeId x = b.Object("N");
+  NodeId y = b.Object("N");
+  b.Edge(x, "next", y);
+  Pattern p = b.BuildOrDie();
+
+  MatchStats stats;
+  MatchOptions options;
+  options.stats = &stats;
+
+  EXPECT_EQ(Matcher(p, g, options).Count(), 5u);
+  EXPECT_EQ(stats.plan_cache_misses, 1u);
+  EXPECT_EQ(stats.plan_cache_hits, 0u);
+
+  // Same pattern, unchanged instance: the compiled plan is reused.
+  EXPECT_EQ(Matcher(p, g, options).Count(), 5u);
+  EXPECT_EQ(stats.plan_cache_misses, 1u);
+  EXPECT_EQ(stats.plan_cache_hits, 1u);
+
+  // Any mutation bumps the stats epoch and the cached plan no longer
+  // applies — a replan (miss) is observable through the stats.
+  NodeId extra = *g.AddObjectNode(s, Sym("N"));
+  (void)extra;
+  EXPECT_EQ(Matcher(p, g, options).Count(), 5u);
+  EXPECT_EQ(stats.plan_cache_misses, 2u);
+  EXPECT_EQ(stats.plan_cache_hits, 1u);
+
+  PlanCacheInfo info = GlobalPlanCacheInfo();
+  EXPECT_EQ(info.hits, 1u);
+  EXPECT_EQ(info.misses, 2u);
+  EXPECT_GE(info.entries, 2u);
+  EXPECT_GT(info.capacity, 0u);
+}
+
+TEST(PlanCacheTest, OptOutAndNaivePlansAreNotCached) {
+  ResetGlobalPlanCache();
+  Scheme s = ChainScheme();
+  Instance g = ChainInstance(s, 4);
+  GraphBuilder b(s);
+  b.Object("N");
+  Pattern p = b.BuildOrDie();
+
+  MatchStats stats;
+  MatchOptions options;
+  options.stats = &stats;
+  options.use_plan_cache = false;
+  EXPECT_EQ(Matcher(p, g, options).Count(), 4u);
+  options.use_plan_cache = true;
+  options.planner = PlannerMode::kNaive;
+  EXPECT_EQ(Matcher(p, g, options).Count(), 4u);
+  EXPECT_EQ(stats.plan_cache_hits, 0u);
+  EXPECT_EQ(stats.plan_cache_misses, 0u);
+  PlanCacheInfo info = GlobalPlanCacheInfo();
+  EXPECT_EQ(info.entries, 0u);
+  EXPECT_EQ(info.hits, 0u);
+  EXPECT_EQ(info.misses, 0u);
+}
+
+TEST(PlanCacheTest, UnmutatedCopySharesCachedPlan) {
+  ResetGlobalPlanCache();
+  Scheme s = ChainScheme();
+  Instance g = ChainInstance(s, 6);
+  GraphBuilder b(s);
+  NodeId x = b.Object("N");
+  NodeId y = b.Object("N");
+  b.Edge(x, "next", y);
+  Pattern p = b.BuildOrDie();
+
+  MatchStats stats;
+  MatchOptions options;
+  options.stats = &stats;
+  EXPECT_EQ(Matcher(p, g, options).Count(), 5u);
+  // A snapshot copy shares the epoch, so the plan carries over — this
+  // is what lets server sessions' working copies skip replanning.
+  Instance copy = g;
+  EXPECT_EQ(Matcher(p, copy, options).Count(), 5u);
+  EXPECT_EQ(stats.plan_cache_misses, 1u);
+  EXPECT_EQ(stats.plan_cache_hits, 1u);
+}
 
 }  // namespace
 }  // namespace good::pattern

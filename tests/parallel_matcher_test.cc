@@ -394,6 +394,57 @@ TEST_F(CancellationTest, ExpiredDeadlineReportsDeadlineExceeded) {
   EXPECT_TRUE(found.status().IsDeadlineExceeded());
 }
 
+TEST(CachedPlanReplayTest, ParallelRunsOverCachedPlansStayDeterministic) {
+  // A plan compiled by a serial run and replayed from the cache by
+  // parallel runs (and vice versa) must yield the exact serial
+  // sequence — the cache hands every engine the same plan, so the
+  // byte-identity guarantee survives caching.
+  ResetGlobalPlanCache();
+  Scheme scheme = hypermedia::BuildScheme().ValueOrDie();
+  Instance g =
+      gen::RandomInfoGraph(scheme, 48, 144, /*seed=*/21).ValueOrDie();
+  pattern::GraphBuilder b(scheme);
+  NodeId x = b.Object("Info");
+  NodeId y = b.Object("Info");
+  NodeId z = b.Object("Info");
+  b.Edge(x, "links-to", y).Edge(y, "links-to", z);
+  Pattern p = b.BuildOrDie();
+
+  MatchStats serial_stats;
+  MatchOptions serial_options;
+  serial_options.stats = &serial_stats;
+  auto serial = Matcher(p, g, serial_options).FindAll();
+  EXPECT_EQ(serial_stats.plan_cache_misses, 1u);
+  EXPECT_EQ(serial_stats.plan_cache_hits, 0u);
+
+  for (size_t threads : {2u, 8u}) {
+    MatchStats par_stats;
+    MatchOptions options;
+    options.stats = &par_stats;
+    options.num_threads = threads;
+    options.parallel_threshold = 0;
+    auto par = Matcher(p, g, options).FindAll();
+    ASSERT_EQ(par, serial) << "threads=" << threads;
+    // Replays hit the cached plan — one acquisition per run, shared by
+    // every worker.
+    EXPECT_EQ(par_stats.plan_cache_hits, 1u) << "threads=" << threads;
+    EXPECT_EQ(par_stats.plan_cache_misses, 0u) << "threads=" << threads;
+    EXPECT_EQ(par_stats.depth_fanout, serial_stats.depth_fanout)
+        << "threads=" << threads;
+    EXPECT_EQ(par_stats.plan_order, serial_stats.plan_order)
+        << "threads=" << threads;
+  }
+
+  // Back-to-back parallel replays agree element-wise, too.
+  MatchOptions options;
+  options.num_threads = 8;
+  options.parallel_threshold = 0;
+  auto first = Matcher(p, g, options).FindAll();
+  auto second = Matcher(p, g, options).FindAll();
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(first, serial);
+}
+
 TEST_F(CancellationTest, UnexpiredDeadlineDoesNotPerturbResults) {
   Instance g =
       gen::RandomInfoGraph(scheme_, 64, 192, /*seed=*/8).ValueOrDie();

@@ -175,6 +175,47 @@ TEST_F(RulesTest, DivergingNodeRuleHitsBudget) {
                   .IsResourceExhausted());
 }
 
+TEST_F(RulesTest, EmptyRuleSetIsTriviallyAtFixpoint) {
+  // No rules means no round can add anything: the engine is already at
+  // fixpoint and must say so without charging the round budget — even a
+  // budget of zero.
+  Scheme s;
+  s.AddObjectLabel(Sym("A")).OrDie();
+  Instance g;
+  (void)*g.AddObjectNode(s, Sym("A"));
+  RuleEngine engine;
+  auto zero_budget = engine.Run(&s, &g, /*max_rounds=*/0);
+  ASSERT_TRUE(zero_budget.ok());
+  EXPECT_EQ(zero_budget->rounds, 0u);
+  EXPECT_EQ(zero_budget->nodes_added, 0u);
+  EXPECT_EQ(zero_budget->edges_added, 0u);
+  auto defaulted = engine.Run(&s, &g);
+  ASSERT_TRUE(defaulted.ok());
+  EXPECT_EQ(defaulted->rounds, 0u);
+}
+
+TEST_F(RulesTest, ZeroRoundBudgetStillBoundsNonEmptyRuleSets) {
+  // A rule set that needs at least one round to prove convergence must
+  // exhaust a zero budget — only the empty set is free.
+  Scheme s;
+  s.AddObjectLabel(Sym("A")).OrDie();
+  Instance g;
+  (void)*g.AddObjectNode(s, Sym("A"));
+  GraphBuilder b(s);
+  NodeId x = b.Object("A");
+  Rule grow;
+  grow.name = "grow";
+  grow.condition.full = b.BuildOrDie();
+  grow.condition.positive_nodes = {x};
+  grow.node = NodeAction{Sym("A"), {{Sym("from"), x}}};
+  RuleEngine engine;
+  engine.AddRule(std::move(grow)).OrDie();
+  EXPECT_TRUE(engine.Run(&s, &g, /*max_rounds=*/0).status()
+                  .IsResourceExhausted());
+  // The zero-budget probe must not have touched the instance.
+  EXPECT_EQ(g.num_nodes(), 1u);
+}
+
 TEST_F(RulesTest, ValidationRejectsBadRules) {
   RuleEngine engine;
   GraphBuilder b(scheme_);
