@@ -15,9 +15,13 @@ namespace {
 
 using pattern::GraphBuilder;
 
+/// arg 0: chain length; arg 1: 0 = naive, 1 = semi-naive (incremental).
 void BM_ClosureFixpointOnChain(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
+  const auto mode = state.range(1) == 0 ? ops::EvalMode::kNaive
+                                        : ops::EvalMode::kIncremental;
   const auto& scheme_ref = bench::HyperMediaScheme();
+  size_t candidates = 0;
   for (auto _ : state) {
     state.PauseTiming();
     auto scheme = scheme_ref;
@@ -39,15 +43,20 @@ void BM_ClosureFixpointOnChain(benchmark::State& state) {
     macros::RecursiveEdgeAddition star(
         b2.BuildOrDie(),
         {ops::EdgeSpec{x2, Sym("rec-links-to"), z2, /*functional=*/false}});
+    star.set_eval_mode(mode);
     state.ResumeTiming();
     ops::ApplyStats stats;
     star.Apply(&scheme, &g, &stats).OrDie();
+    candidates = stats.match.candidates_scanned;
     benchmark::DoNotOptimize(stats.edges_added);
   }
+  state.counters["candidates"] = static_cast<double>(candidates);
   // A chain's closure has n(n-1)/2 edges.
   state.SetItemsProcessed(state.iterations() * n * (n - 1) / 2);
 }
-BENCHMARK(BM_ClosureFixpointOnChain)->Range(8, 128);
+BENCHMARK(BM_ClosureFixpointOnChain)
+    ->ArgNames({"n", "inc"})
+    ->ArgsProduct({benchmark::CreateRange(8, 128, /*multi=*/2), {0, 1}});
 
 void BM_ClosureMethodOnChain(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));

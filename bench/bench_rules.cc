@@ -46,23 +46,33 @@ rules::RuleEngine ReachabilityRules(const schema::Scheme& scheme) {
   return engine;
 }
 
+/// arg 0: chain length; arg 1: 0 = naive, 1 = semi-naive (incremental).
 void BM_ReachabilityFixpointOnChain(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
-  size_t rounds = 0;
+  const auto mode = state.range(1) == 0 ? rules::EvalMode::kNaive
+                                        : rules::EvalMode::kIncremental;
+  size_t rounds = 0, candidates = 0, skipped = 0;
   for (auto _ : state) {
     state.PauseTiming();
     auto scheme = bench::HyperMediaScheme();
     auto g = gen::InfoChain(scheme, n).ValueOrDie();
     auto engine = ReachabilityRules(scheme);
+    engine.set_eval_mode(mode);
     state.ResumeTiming();
     auto report = engine.Run(&scheme, &g).ValueOrDie();
     rounds = report.rounds;
+    candidates = report.match.candidates_scanned;
+    skipped = report.matchings_skipped;
     benchmark::DoNotOptimize(report.edges_added);
   }
   state.counters["rounds"] = static_cast<double>(rounds);
+  state.counters["candidates"] = static_cast<double>(candidates);
+  state.counters["skipped"] = static_cast<double>(skipped);
   state.SetItemsProcessed(state.iterations() * n * (n - 1) / 2);
 }
-BENCHMARK(BM_ReachabilityFixpointOnChain)->Range(8, 64);
+BENCHMARK(BM_ReachabilityFixpointOnChain)
+    ->ArgNames({"n", "inc"})
+    ->ArgsProduct({benchmark::CreateRange(8, 64, /*multi=*/2), {0, 1}});
 
 void BM_NegatedRuleSingleRound(benchmark::State& state) {
   const size_t docs = static_cast<size_t>(state.range(0));

@@ -1,9 +1,11 @@
 #include "gen/generators.h"
 
 #include <random>
+#include <string>
 #include <vector>
 
 #include "hypermedia/hypermedia.h"
+#include "pattern/builder.h"
 
 namespace good::gen {
 
@@ -169,6 +171,205 @@ Result<Instance> VersionChains(const Scheme& scheme, size_t chains,
     }
   }
   return g;
+}
+
+namespace {
+
+/// A relation available for rule conditions: a registered scheme triple
+/// (src, label, dst). The generator only produces Info-targeted
+/// relations, so any relation can feed a hop that continues from an
+/// Info node.
+struct Rel {
+  Symbol src;
+  Symbol label;
+  Symbol dst;
+};
+
+}  // namespace
+
+Result<std::vector<rules::Rule>> RandomStratifiedRuleSet(
+    schema::Scheme* scheme, size_t num_strata, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  const Symbol info = Sym("Info");
+  const Symbol links = Sym("links-to");
+  // Relations usable by conditions of the current stratum — stratum 0
+  // sees only the base links-to; each stratum appends what it derives.
+  std::vector<Rel> rels{{info, links, info}};
+  auto pick_rel = [&](bool info_sourced_only) -> const Rel& {
+    if (!info_sourced_only) return rels[rng() % rels.size()];
+    std::vector<size_t> eligible;
+    for (size_t i = 0; i < rels.size(); ++i) {
+      if (rels[i].src == info) eligible.push_back(i);
+    }
+    return rels[eligible[rng() % eligible.size()]];  // links-to always there
+  };
+  const bool edge_actions_functional = false;  // derived edges multivalued
+
+  std::vector<rules::Rule> out;
+  for (size_t i = 0; i < num_strata; ++i) {
+    const std::string suffix = std::to_string(i);
+    const Symbol di = Sym("d" + suffix);
+    const Symbol tagi = Sym("Tag" + suffix);
+    const Symbol ofi = Sym("of" + suffix);
+    bool has_tag_rel = false;
+    for (const Rel& r : rels) {
+      if (r.src != info) has_tag_rel = true;
+    }
+    size_t shape = rng() % 7;
+    if (shape == 5 && !has_tag_rel) shape = 0;  // tag join needs a tag
+    switch (shape) {
+      case 0: {  // Two-hop join: x -a-> y -b-> z  =>  x -d_i-> z.
+        const Rel a = pick_rel(/*info_sourced_only=*/false);
+        const Rel b = pick_rel(/*info_sourced_only=*/true);
+        pattern::GraphBuilder p(*scheme);
+        graph::NodeId x = p.Object(SymName(a.src));
+        graph::NodeId y = p.Object(SymName(a.dst));
+        graph::NodeId z = p.Object(SymName(b.dst));
+        p.Edge(x, SymName(a.label), y).Edge(y, SymName(b.label), z);
+        rules::Rule rule;
+        rule.name = "two-hop-" + suffix;
+        GOOD_ASSIGN_OR_RETURN(rule.condition.full, p.Build());
+        rule.condition.positive_nodes = {x, y, z};
+        rule.edges = {ops::EdgeSpec{x, di, z, edge_actions_functional}};
+        GOOD_RETURN_NOT_OK(scheme->EnsureMultivaluedEdgeLabel(di));
+        GOOD_RETURN_NOT_OK(scheme->EnsureTriple(a.src, di, b.dst));
+        rels.push_back(Rel{a.src, di, b.dst});
+        out.push_back(std::move(rule));
+        break;
+      }
+      case 1: {  // Inverse: x -a-> y  =>  y -d_i-> x.
+        const Rel a = pick_rel(/*info_sourced_only=*/true);
+        pattern::GraphBuilder p(*scheme);
+        graph::NodeId x = p.Object(SymName(a.src));
+        graph::NodeId y = p.Object(SymName(a.dst));
+        p.Edge(x, SymName(a.label), y);
+        rules::Rule rule;
+        rule.name = "inverse-" + suffix;
+        GOOD_ASSIGN_OR_RETURN(rule.condition.full, p.Build());
+        rule.condition.positive_nodes = {x, y};
+        rule.edges = {ops::EdgeSpec{y, di, x, edge_actions_functional}};
+        GOOD_RETURN_NOT_OK(scheme->EnsureMultivaluedEdgeLabel(di));
+        GOOD_RETURN_NOT_OK(scheme->EnsureTriple(a.dst, di, a.src));
+        rels.push_back(Rel{a.dst, di, a.src});
+        out.push_back(std::move(rule));
+        break;
+      }
+      case 2: {  // Crossed-edge guard: x -a-> y, NOT x -c-> y => x -d_i-> y.
+        const Rel a = pick_rel(/*info_sourced_only=*/true);
+        const Rel c = pick_rel(/*info_sourced_only=*/true);
+        pattern::GraphBuilder p(*scheme);
+        graph::NodeId x = p.Object(SymName(a.src));
+        graph::NodeId y = p.Object(SymName(a.dst));
+        p.Edge(x, SymName(a.label), y);
+        if (!(c.label == a.label)) p.Edge(x, SymName(c.label), y);
+        rules::Rule rule;
+        rule.name = "guard-" + suffix;
+        GOOD_ASSIGN_OR_RETURN(rule.condition.full, p.Build());
+        rule.condition.positive_nodes = {x, y};
+        if (!(c.label == a.label)) {
+          rule.condition.crossed_edges = {graph::Edge{x, c.label, y}};
+        }
+        rule.edges = {ops::EdgeSpec{x, di, y, edge_actions_functional}};
+        GOOD_RETURN_NOT_OK(scheme->EnsureMultivaluedEdgeLabel(di));
+        GOOD_RETURN_NOT_OK(scheme->EnsureTriple(a.src, di, a.dst));
+        rels.push_back(Rel{a.src, di, a.dst});
+        out.push_back(std::move(rule));
+        break;
+      }
+      case 3: {  // Crossed-node orphan: Info x with NO incoming c => tag.
+        const Rel c = pick_rel(/*info_sourced_only=*/true);
+        pattern::GraphBuilder p(*scheme);
+        graph::NodeId x = p.Object(SymName(c.dst));
+        graph::NodeId s = p.Object(SymName(c.src));
+        p.Edge(s, SymName(c.label), x);
+        rules::Rule rule;
+        rule.name = "orphan-" + suffix;
+        GOOD_ASSIGN_OR_RETURN(rule.condition.full, p.Build());
+        rule.condition.positive_nodes = {x};  // s is crossed
+        rule.node = rules::NodeAction{tagi, {{ofi, x}}};
+        GOOD_RETURN_NOT_OK(scheme->EnsureObjectLabel(tagi));
+        GOOD_RETURN_NOT_OK(scheme->EnsureFunctionalEdgeLabel(ofi));
+        GOOD_RETURN_NOT_OK(scheme->EnsureTriple(tagi, ofi, c.dst));
+        rels.push_back(Rel{tagi, ofi, c.dst});
+        out.push_back(std::move(rule));
+        break;
+      }
+      case 4: {  // Keyed node rule: x -a-> y => one Tag_i per distinct y.
+        const Rel a = pick_rel(/*info_sourced_only=*/false);
+        pattern::GraphBuilder p(*scheme);
+        graph::NodeId x = p.Object(SymName(a.src));
+        graph::NodeId y = p.Object(SymName(a.dst));
+        p.Edge(x, SymName(a.label), y);
+        rules::Rule rule;
+        rule.name = "tag-" + suffix;
+        GOOD_ASSIGN_OR_RETURN(rule.condition.full, p.Build());
+        rule.condition.positive_nodes = {x, y};
+        rule.node = rules::NodeAction{tagi, {{ofi, y}}};
+        GOOD_RETURN_NOT_OK(scheme->EnsureObjectLabel(tagi));
+        GOOD_RETURN_NOT_OK(scheme->EnsureFunctionalEdgeLabel(ofi));
+        GOOD_RETURN_NOT_OK(scheme->EnsureTriple(tagi, ofi, a.dst));
+        rels.push_back(Rel{tagi, ofi, a.dst});
+        out.push_back(std::move(rule));
+        break;
+      }
+      case 5: {  // Tag join: t -l-> y (t a lower-stratum tag), y -b-> z.
+        std::vector<size_t> tags;
+        for (size_t r = 0; r < rels.size(); ++r) {
+          if (rels[r].src != info) tags.push_back(r);
+        }
+        const Rel t_rel = rels[tags[rng() % tags.size()]];
+        const Rel b = pick_rel(/*info_sourced_only=*/true);
+        pattern::GraphBuilder p(*scheme);
+        graph::NodeId t = p.Object(SymName(t_rel.src));
+        graph::NodeId y = p.Object(SymName(t_rel.dst));
+        graph::NodeId z = p.Object(SymName(b.dst));
+        p.Edge(t, SymName(t_rel.label), y).Edge(y, SymName(b.label), z);
+        rules::Rule rule;
+        rule.name = "tag-join-" + suffix;
+        GOOD_ASSIGN_OR_RETURN(rule.condition.full, p.Build());
+        rule.condition.positive_nodes = {t, y, z};
+        rule.edges = {ops::EdgeSpec{t, di, z, edge_actions_functional}};
+        GOOD_RETURN_NOT_OK(scheme->EnsureMultivaluedEdgeLabel(di));
+        GOOD_RETURN_NOT_OK(scheme->EnsureTriple(t_rel.src, di, b.dst));
+        rels.push_back(Rel{t_rel.src, di, b.dst});
+        out.push_back(std::move(rule));
+        break;
+      }
+      default: {  // Transitive closure pair: the one recursive shape.
+        const Rel a = pick_rel(/*info_sourced_only=*/true);
+        GOOD_RETURN_NOT_OK(scheme->EnsureMultivaluedEdgeLabel(di));
+        GOOD_RETURN_NOT_OK(scheme->EnsureTriple(info, di, info));
+        {
+          pattern::GraphBuilder p(*scheme);
+          graph::NodeId x = p.Object(SymName(a.src));
+          graph::NodeId y = p.Object(SymName(a.dst));
+          p.Edge(x, SymName(a.label), y);
+          rules::Rule rule;
+          rule.name = "closure-seed-" + suffix;
+          GOOD_ASSIGN_OR_RETURN(rule.condition.full, p.Build());
+          rule.condition.positive_nodes = {x, y};
+          rule.edges = {ops::EdgeSpec{x, di, y, edge_actions_functional}};
+          out.push_back(std::move(rule));
+        }
+        {
+          pattern::GraphBuilder p(*scheme);
+          graph::NodeId x = p.Object(SymName(info));
+          graph::NodeId y = p.Object(SymName(info));
+          graph::NodeId z = p.Object(SymName(a.dst));
+          p.Edge(x, SymName(di), y).Edge(y, SymName(a.label), z);
+          rules::Rule rule;
+          rule.name = "closure-step-" + suffix;
+          GOOD_ASSIGN_OR_RETURN(rule.condition.full, p.Build());
+          rule.condition.positive_nodes = {x, y, z};
+          rule.edges = {ops::EdgeSpec{x, di, z, edge_actions_functional}};
+          out.push_back(std::move(rule));
+        }
+        rels.push_back(Rel{info, di, info});
+        break;
+      }
+    }
+  }
+  return out;
 }
 
 }  // namespace good::gen

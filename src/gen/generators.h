@@ -11,9 +11,11 @@
 #define GOOD_GEN_GENERATORS_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "common/result.h"
 #include "graph/instance.h"
+#include "rules/rules.h"
 #include "schema/scheme.h"
 
 namespace good::gen {
@@ -73,6 +75,27 @@ Result<graph::Instance> InfoChain(const schema::Scheme& scheme, size_t n);
 Result<graph::Instance> VersionChains(const schema::Scheme& scheme,
                                       size_t chains, size_t length,
                                       size_t pool, uint64_t seed);
+
+/// \brief A seeded random *stratified* rule set over the hyper-media
+/// scheme, for naive-vs-incremental fixpoint differentials.
+///
+/// Stratum i (0 <= i < num_strata) derives only its own fresh labels —
+/// a multivalued edge label "d<i>", or an object label "Tag<i>" with
+/// functional edge "of<i>" — from links-to and labels of strictly lower
+/// strata; crossed (negated) parts likewise reference only lower
+/// strata. Drawn templates: two-hop join, inverse edge, crossed-edge
+/// guard, crossed-node orphan tagging, keyed node (tag) rule, tag join,
+/// and a seed+step transitive-closure pair (the one genuinely recursive
+/// shape — its step rule reads its own derived label). Every action
+/// either adds edges between existing nodes or is a node rule keyed by
+/// a lower-stratum node, so the set always terminates.
+///
+/// Registers every derived label and triple in `scheme` (so conditions
+/// of later strata can be built over it) and returns the rules in
+/// application order. The closure template emits two rules, so the
+/// result may hold more than `num_strata` rules.
+Result<std::vector<rules::Rule>> RandomStratifiedRuleSet(
+    schema::Scheme* scheme, size_t num_strata, uint64_t seed);
 
 }  // namespace good::gen
 

@@ -76,7 +76,22 @@ class UndoJournal {
       const std::function<void(NodeId, bool added)>& node_fn,
       const std::function<void(NodeId, Symbol, NodeId, bool added)>& edge_fn)
       const {
-    for (const Entry& entry : entries_) {
+    ForEachTouchedSince(0, node_fn, edge_fn);
+  }
+
+  /// ForEachTouched restricted to the entries recorded after `mark` —
+  /// the write footprint of a journal *window*. This is how the
+  /// semi-naive rule engine reads the delta of a fixpoint round: the
+  /// mark taken before a rule's evaluation bounds exactly what later
+  /// mutations (its own and other rules') it has not yet seen. A
+  /// rollback truncates the suffix, so entries from rolled-back rounds
+  /// never leak into a window.
+  void ForEachTouchedSince(
+      Mark mark, const std::function<void(NodeId, bool added)>& node_fn,
+      const std::function<void(NodeId, Symbol, NodeId, bool added)>& edge_fn)
+      const {
+    for (size_t i = mark; i < entries_.size(); ++i) {
+      const Entry& entry = entries_[i];
       switch (entry.kind) {
         case Kind::kNodeAdded:
           node_fn(entry.node, true);

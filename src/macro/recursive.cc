@@ -1,5 +1,9 @@
 #include "macro/recursive.h"
 
+#include <memory>
+
+#include "graph/undo_journal.h"
+#include "ops/transaction.h"
 #include "pattern/builder.h"
 
 namespace good::macros {
@@ -14,12 +18,65 @@ using schema::Scheme;
 
 Status RecursiveEdgeAddition::Apply(Scheme* scheme, Instance* instance,
                                     ops::ApplyStats* stats) const {
-  for (size_t round = 0; round < max_iterations_; ++round) {
-    ops::ApplyStats round_stats;
-    GOOD_RETURN_NOT_OK(underlying_.Apply(scheme, instance, &round_stats));
-    if (stats != nullptr) *stats += round_stats;
-    if (round_stats.edges_added == 0) return Status::OK();
+  if (eval_mode_ == ops::EvalMode::kNaive) {
+    for (size_t round = 0; round < max_iterations_; ++round) {
+      ops::ApplyStats round_stats;
+      GOOD_RETURN_NOT_OK(underlying_.Apply(scheme, instance, &round_stats));
+      if (stats != nullptr) *stats += round_stats;
+      if (round_stats.edges_added == 0) return Status::OK();
+    }
+    return Status::ResourceExhausted(
+        "recursive edge addition did not reach a fixpoint within " +
+        std::to_string(max_iterations_) + " iterations");
   }
+
+  // Semi-naive: from iteration 2 on, only matchings binding into the
+  // previous iteration's additions are enumerated — exact because the
+  // edge addition is idempotent (see ops::EvalMode). A local copy of
+  // the underlying op carries the delta/pin (Apply is const); the outer
+  // transaction exists to supply the journal the windows read and is
+  // committed on every exit path — each underlying Apply already rolls
+  // itself back on failure.
+  ops::EdgeAddition ea = underlying_;
+  std::shared_ptr<pattern::PlanPin> pin = pattern::MakePlanPin();
+  ea.set_plan_pin(pin.get());
+  ops::Transaction run_txn(scheme, instance);
+  graph::UndoJournal* journal = instance->journal();
+  size_t watermark = 0;
+  bool evaluated = false;
+  for (size_t round = 0; round < max_iterations_; ++round) {
+    const size_t mark_before = journal->Position();
+    pattern::DeltaSet delta;
+    ea.set_delta(nullptr);
+    if (evaluated) {
+      delta = pattern::BuildDeltaSince(*journal, watermark);
+      if (delta.empty()) {
+        run_txn.Commit();
+        return Status::OK();
+      }
+      const size_t delta_size = delta.num_nodes() + delta.num_edges();
+      const size_t db_size = instance->num_nodes() + instance->num_edges();
+      if (static_cast<double>(delta_size) <=
+          pattern::kDefaultDeltaFallbackFraction *
+              static_cast<double>(db_size)) {
+        ea.set_delta(&delta);
+      }
+    }
+    ops::ApplyStats round_stats;
+    Status round_status = ea.Apply(scheme, instance, &round_stats);
+    if (!round_status.ok()) {
+      run_txn.Commit();
+      return round_status;
+    }
+    if (stats != nullptr) *stats += round_stats;
+    watermark = mark_before;
+    evaluated = true;
+    if (round_stats.edges_added == 0) {
+      run_txn.Commit();
+      return Status::OK();
+    }
+  }
+  run_txn.Commit();
   return Status::ResourceExhausted(
       "recursive edge addition did not reach a fixpoint within " +
       std::to_string(max_iterations_) + " iterations");

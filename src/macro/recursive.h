@@ -41,9 +41,18 @@ class RecursiveEdgeAddition {
     underlying_.set_filter(std::move(filter));
   }
 
+  /// Fixpoint strategy — see ops::EvalMode. kIncremental (the default)
+  /// seeds each iteration's matching from the edges the previous
+  /// iteration added (read off an undo journal window) and pins the
+  /// compiled search plans for the run; both modes add the same edges
+  /// in the same number of iterations.
+  void set_eval_mode(ops::EvalMode mode) { eval_mode_ = mode; }
+  ops::EvalMode eval_mode() const { return eval_mode_; }
+
  private:
   ops::EdgeAddition underlying_;
   size_t max_iterations_;
+  ops::EvalMode eval_mode_ = ops::EvalMode::kIncremental;
 };
 
 /// \brief The Figure 29 translation for the transitive-closure starred

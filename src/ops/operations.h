@@ -49,6 +49,25 @@ using pattern::Pattern;
 using MatchFilter = std::function<Result<bool>(const pattern::Matching&,
                                                const graph::Instance&)>;
 
+/// \brief Fixpoint evaluation strategy for the drivers that re-apply
+/// additive operations to convergence (rules::RuleEngine,
+/// macros::RecursiveEdgeAddition). Lives here — the lowest layer both
+/// drivers share — so the macro layer need not depend on rules.
+enum class EvalMode {
+  /// Re-enumerate every matching of every condition in full each round.
+  kNaive,
+  /// Semi-naive: from a rule's second evaluation on, only enumerate
+  /// matchings that bind at least one pattern node/edge into the delta
+  /// of instance growth since its previous evaluation (read off the
+  /// undo journal), falling back to full re-evaluation when the delta
+  /// is a large fraction of the instance. Exact for the additive
+  /// rule/macro workloads because NA/EA are idempotent and crossed
+  /// (negated) conditions — which still see the full current database —
+  /// are anti-monotone under growth: a matching rejected once stays
+  /// rejected, and an accepted one already fired.
+  kIncremental,
+};
+
 /// \brief Mutation counters reported by Apply.
 struct ApplyStats {
   size_t matchings = 0;
@@ -104,6 +123,20 @@ class PatternOperation {
   }
   size_t parallel_threshold() const { return parallel_threshold_; }
 
+  /// Semi-naive delta restriction (not owned; may be null, the
+  /// default): when set, pattern matching only enumerates matchings
+  /// that bind at least one pattern node/edge into the delta — see
+  /// pattern::MatchOptions::delta for the exact contract. The filter
+  /// (negation included) still sees the full current database.
+  void set_delta(const pattern::DeltaSet* delta) { delta_ = delta; }
+  const pattern::DeltaSet* delta() const { return delta_; }
+
+  /// Per-run plan store (not owned; may be null): pins compiled search
+  /// plans across the stats-epoch churn of a fixpoint run — see
+  /// pattern::MatchOptions::plan_pin.
+  void set_plan_pin(pattern::PlanPin* pin) { plan_pin_ = pin; }
+  pattern::PlanPin* plan_pin() const { return plan_pin_; }
+
  protected:
   explicit PatternOperation(Pattern pattern) : pattern_(std::move(pattern)) {}
 
@@ -120,6 +153,8 @@ class PatternOperation {
   MatchFilter filter_;
   size_t num_threads_ = 0;
   size_t parallel_threshold_ = pattern::kDefaultParallelThreshold;
+  const pattern::DeltaSet* delta_ = nullptr;
+  pattern::PlanPin* plan_pin_ = nullptr;
 };
 
 /// \brief Node addition NA[J, K, {(α1, m1), ..., (αn, mn)}]

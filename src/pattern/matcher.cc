@@ -14,6 +14,7 @@
 #include <utility>
 
 #include "common/thread_pool.h"
+#include "graph/undo_journal.h"
 
 namespace good::pattern {
 
@@ -46,6 +47,7 @@ MatchStats& MatchStats::operator+=(const MatchStats& other) {
   workers_used = std::max(workers_used, other.workers_used);
   plan_cache_hits += other.plan_cache_hits;
   plan_cache_misses += other.plan_cache_misses;
+  delta_rejections += other.delta_rejections;
   if (!other.plan_order.empty()) plan_order = other.plan_order;
   if (!other.depth_est_fanout.empty()) depth_est_fanout = other.depth_est_fanout;
   return *this;
@@ -79,7 +81,69 @@ std::string MatchStats::ToString() const {
   if (plan_cache_hits > 0 || plan_cache_misses > 0) {
     os << " cache=" << plan_cache_hits << "h/" << plan_cache_misses << "m";
   }
+  if (delta_rejections > 0) os << " drej=" << delta_rejections;
   return os.str();
+}
+
+void DeltaSet::Finalize() {
+  nodes_.assign(node_set_.begin(), node_set_.end());
+  std::sort(nodes_.begin(), nodes_.end());
+  for (const graph::Edge& e : edge_set_) {
+    sources_by_label_[e.label.id].push_back(e.source);
+    if (e.source == e.target) loops_by_label_[e.label.id].push_back(e.source);
+    adjacency_[AdjacencyKey(e.source, e.label)].push_back(e.target);
+  }
+  auto sort_unique = [](std::vector<graph::NodeId>* list) {
+    std::sort(list->begin(), list->end());
+    list->erase(std::unique(list->begin(), list->end()), list->end());
+  };
+  for (auto& [key, list] : sources_by_label_) sort_unique(&list);
+  for (auto& [key, list] : loops_by_label_) sort_unique(&list);
+  for (auto& [key, list] : adjacency_) sort_unique(&list);
+  finalized_ = true;
+}
+
+namespace {
+const std::vector<graph::NodeId> kEmptyNodeList;
+}  // namespace
+
+const std::vector<graph::NodeId>& DeltaSet::EdgeSources(Symbol label) const {
+  auto it = sources_by_label_.find(label.id);
+  return it == sources_by_label_.end() ? kEmptyNodeList : it->second;
+}
+
+const std::vector<graph::NodeId>& DeltaSet::SelfLoopSources(
+    Symbol label) const {
+  auto it = loops_by_label_.find(label.id);
+  return it == loops_by_label_.end() ? kEmptyNodeList : it->second;
+}
+
+const std::vector<graph::NodeId>& DeltaSet::OutTargets(graph::NodeId s,
+                                                       Symbol label) const {
+  auto it = adjacency_.find(AdjacencyKey(s, label));
+  return it == adjacency_.end() ? kEmptyNodeList : it->second;
+}
+
+DeltaSet BuildDeltaSince(const graph::UndoJournal& journal, size_t mark) {
+  DeltaSet delta;
+  journal.ForEachTouchedSince(
+      mark,
+      [&delta](graph::NodeId n, bool added) {
+        if (added) {
+          delta.AddNode(n);
+        } else {
+          delta.RemoveNode(n);
+        }
+      },
+      [&delta](graph::NodeId s, Symbol label, graph::NodeId t, bool added) {
+        if (added) {
+          delta.AddEdge(s, label, t);
+        } else {
+          delta.RemoveEdge(s, label, t);
+        }
+      });
+  delta.Finalize();
+  return delta;
 }
 
 namespace {
@@ -99,6 +163,22 @@ struct Anchor {
   Symbol label;
   size_t position;  // Depth of the placed neighbour in the plan order.
   bool out_of_m;    // True: pattern edge (m, label, neighbour).
+};
+
+/// One delta-membership constraint of a delta-seeded plan: the image of
+/// the pattern edge (order[source_position], label,
+/// order[target_position]) must (require) or must not (!require) lie in
+/// the delta. Evaluated at depth max(source_position, target_position)
+/// — the first depth where both endpoints are bound — with the
+/// candidate standing in for whichever endpoint is being placed. The
+/// !require checks are the disjoint-partition bookkeeping: seed item i
+/// only emits matchings where no earlier item is delta-mapped, so each
+/// new matching is emitted by exactly one seed item.
+struct DeltaEdgeCheck {
+  Symbol label;
+  size_t source_position;
+  size_t target_position;
+  bool require;
 };
 
 /// Everything about placing order[depth] that only depends on the
@@ -123,6 +203,19 @@ struct DepthPlan {
   /// cost-based planner picks the anchor with the smallest expected
   /// fan-out; the naive planner keeps the first.
   size_t base_anchor = 0;
+  /// Delta-membership constraints that become decidable at this depth
+  /// (delta-seeded plans only).
+  std::vector<DeltaEdgeCheck> delta_checks;
+  /// Delta-seeded edge-item plans, depth 1 only: draw candidates from
+  /// the delta adjacency OutTargets(assignment[0], delta_base_label)
+  /// instead of an instance adjacency list, then verify label, print,
+  /// and every anchor (including the base) against the live instance.
+  /// This makes the seed edge's delta membership true by construction.
+  bool delta_only_base = false;
+  Symbol delta_base_label;
+  /// Candidates at this depth must NOT be delta nodes — the exclusion
+  /// of an earlier isolated-node seed item.
+  bool exclude_delta_node = false;
 };
 
 /// The per-(pattern, instance) search plan, shared read-only by the
@@ -186,10 +279,13 @@ double EstimateCandidates(const Pattern& pattern, const Instance& instance,
 /// so freshly anchored nodes get credit for their anchors. Ties break
 /// to the lowest pattern node id (strict <, nodes scanned in ascending
 /// id order), keeping symmetric patterns deterministic and stable
-/// against the old syntactic order.
+/// against the old syntactic order. `forced_prefix` (delta-seeded
+/// plans) pins the first depths to the seed item's nodes; the greedy
+/// order fills in the rest, crediting anchors into the prefix.
 std::vector<NodeId> PlanOrderCost(const Pattern& pattern,
                                   const Instance& instance,
-                                  std::vector<double>* est_fanout) {
+                                  std::vector<double>* est_fanout,
+                                  const std::vector<NodeId>& forced_prefix) {
   std::vector<NodeId> nodes = pattern.AllNodes();
   uint32_t max_id = 0;
   for (NodeId m : nodes) max_id = std::max(max_id, m.id);
@@ -197,6 +293,11 @@ std::vector<NodeId> PlanOrderCost(const Pattern& pattern,
   std::vector<NodeId> order;
   order.reserve(nodes.size());
   est_fanout->reserve(nodes.size());
+  for (NodeId m : forced_prefix) {
+    est_fanout->push_back(EstimateCandidates(pattern, instance, m, placed));
+    order.push_back(m);
+    placed[m.id] = true;
+  }
   while (order.size() < nodes.size()) {
     NodeId best{};
     double best_est = 0.0;
@@ -220,8 +321,8 @@ std::vector<NodeId> PlanOrderCost(const Pattern& pattern,
 /// to the placed set (falling back to the most selective remaining node
 /// for a new connected component). Kept verbatim as PlannerMode::kNaive
 /// for differential testing and benchmarking.
-std::vector<NodeId> PlanOrder(const Pattern& pattern,
-                              const Instance& instance) {
+std::vector<NodeId> PlanOrder(const Pattern& pattern, const Instance& instance,
+                              const std::vector<NodeId>& forced_prefix) {
   std::vector<NodeId> nodes = pattern.AllNodes();
   std::vector<NodeId> order;
   uint32_t max_id = 0;
@@ -234,6 +335,11 @@ std::vector<NodeId> PlanOrder(const Pattern& pattern,
         pattern.HasPrintValue(m)
             ? 1
             : instance.CountNodesWithLabel(pattern.LabelOf(m));
+  }
+
+  for (NodeId m : forced_prefix) {
+    order.push_back(m);
+    placed_flag[m.id] = true;
   }
 
   auto adjacent_to_placed = [&](NodeId m) -> bool {
@@ -271,11 +377,13 @@ std::vector<NodeId> PlanOrder(const Pattern& pattern,
 }
 
 SearchPlan BuildSearchPlan(const Pattern& pattern, const Instance& instance,
-                           PlannerMode mode) {
+                           PlannerMode mode,
+                           const std::vector<NodeId>& forced_prefix = {}) {
   SearchPlan plan;
-  plan.order = mode == PlannerMode::kCostBased
-                   ? PlanOrderCost(pattern, instance, &plan.est_fanout)
-                   : PlanOrder(pattern, instance);
+  plan.order =
+      mode == PlannerMode::kCostBased
+          ? PlanOrderCost(pattern, instance, &plan.est_fanout, forced_prefix)
+          : PlanOrder(pattern, instance, forced_prefix);
   uint32_t max_id = 0;
   for (NodeId m : plan.order) max_id = std::max(max_id, m.id);
   plan.position.assign(plan.order.empty() ? 0 : max_id + 1,
@@ -326,6 +434,122 @@ SearchPlan BuildSearchPlan(const Pattern& pattern, const Instance& instance,
 }
 
 // ---------------------------------------------------------------------------
+// Delta seeding (semi-naive enumeration)
+// ---------------------------------------------------------------------------
+
+/// One way a matching can intersect the delta: through the image of a
+/// pattern edge (a delta edge) or through the image of an *isolated*
+/// pattern node (a delta node). Non-isolated pattern nodes need no item
+/// of their own: a delta node's incident edges were necessarily added
+/// after the node — inside the same window — so any matching that maps
+/// a non-isolated pattern node onto a delta node already maps some
+/// pattern edge onto a delta edge.
+struct SeedItem {
+  bool is_edge = false;
+  NodeId source;  // Edge items: the pattern source. Node items: the node.
+  NodeId target;  // Edge items only; == source for a pattern self-loop.
+  Symbol label;   // Edge items only.
+};
+
+/// The deterministic item order shared by every delta-seeded
+/// enumeration of a pattern: pattern edges first (ascending source id,
+/// each node's OutEdges in insertion order), then isolated pattern
+/// nodes (ascending id). A matching is new exactly when some item maps
+/// into the delta; seed item i enumerates the matchings whose FIRST
+/// delta-mapped item is i, so the per-item outputs concatenate into a
+/// duplicate-free, deterministic sequence.
+std::vector<SeedItem> BuildSeedItems(const Pattern& pattern) {
+  std::vector<SeedItem> items;
+  for (NodeId m : pattern.AllNodes()) {
+    for (const auto& [label, target] : pattern.OutEdges(m)) {
+      items.push_back(SeedItem{/*is_edge=*/true, m, target, label});
+    }
+  }
+  for (NodeId m : pattern.AllNodes()) {
+    if (pattern.OutEdges(m).empty() && pattern.InEdges(m).empty()) {
+      items.push_back(SeedItem{/*is_edge=*/false, m, NodeId{}, Symbol{}});
+    }
+  }
+  return items;
+}
+
+/// Builds the search plan for one seed item: the item's pattern nodes
+/// are forced to the first depths (their candidates come from the delta
+/// seed lists), the planner orders the rest, and every earlier item
+/// gets an exclusion constraint so the per-item outputs partition the
+/// new matchings.
+SearchPlan BuildSeededSearchPlan(const Pattern& pattern,
+                                 const Instance& instance, PlannerMode mode,
+                                 const std::vector<SeedItem>& items,
+                                 size_t index) {
+  const SeedItem& seed = items[index];
+  std::vector<NodeId> prefix;
+  prefix.push_back(seed.source);
+  if (seed.is_edge && seed.target != seed.source) {
+    prefix.push_back(seed.target);
+  }
+  SearchPlan plan = BuildSearchPlan(pattern, instance, mode, prefix);
+  if (seed.is_edge && seed.target != seed.source) {
+    // Depth-0 roots are delta edge sources; depth 1 walks the delta
+    // adjacency, making the seed edge delta-mapped by construction.
+    // (A self-loop seed needs nothing here: its depth-0 roots are the
+    // delta self-loop sources.)
+    plan.plans[1].delta_only_base = true;
+    plan.plans[1].delta_base_label = seed.label;
+  }
+  for (size_t j = 0; j < index; ++j) {
+    const SeedItem& prev = items[j];
+    if (prev.is_edge) {
+      const size_t source_pos = plan.PositionOf(prev.source);
+      const size_t target_pos = plan.PositionOf(prev.target);
+      plan.plans[std::max(source_pos, target_pos)].delta_checks.push_back(
+          DeltaEdgeCheck{prev.label, source_pos, target_pos,
+                         /*require=*/false});
+    } else {
+      plan.plans[plan.PositionOf(prev.source)].exclude_delta_node = true;
+    }
+  }
+  return plan;
+}
+
+/// Depth-0 candidates for one seed item: the matching delta seed list,
+/// pre-filtered against the live instance (alive, label, print value) —
+/// delta lists are raw journal footprints and carry no label
+/// information. Dropped entries are charged to the caller's stats so
+/// candidates_scanned still reflects the real scan work.
+std::vector<NodeId> DeltaRoots(const Pattern& pattern,
+                               const Instance& instance, const DeltaSet& delta,
+                               const SeedItem& seed, MatchStats* stats) {
+  const std::vector<NodeId>* raw;
+  if (seed.is_edge) {
+    raw = seed.source == seed.target ? &delta.SelfLoopSources(seed.label)
+                                     : &delta.EdgeSources(seed.label);
+  } else {
+    raw = &delta.nodes();
+  }
+  const Symbol label = pattern.LabelOf(seed.source);
+  const bool has_print = pattern.HasPrintValue(seed.source);
+  std::vector<NodeId> roots;
+  roots.reserve(raw->size());
+  for (NodeId t : *raw) {
+    if (!instance.HasNode(t) || instance.LabelOf(t) != label) continue;
+    if (has_print) {
+      const auto& print = instance.PrintValueOf(t);
+      if (!print.has_value() || *print != *pattern.PrintValueOf(seed.source)) {
+        continue;
+      }
+    }
+    roots.push_back(t);
+  }
+  if (stats != nullptr) {
+    const size_t dropped = raw->size() - roots.size();
+    stats->candidates_scanned += dropped;
+    stats->feasibility_rejections += dropped;
+  }
+  return roots;
+}
+
+// ---------------------------------------------------------------------------
 // Plan cache
 // ---------------------------------------------------------------------------
 
@@ -336,10 +560,8 @@ SearchPlan BuildSearchPlan(const Pattern& pattern, const Instance& instance,
 /// edge. Prefixed with the instance's stats epoch: any mutation bumps
 /// the epoch, so stale plans simply stop being found and age out of the
 /// LRU.
-std::string PlanKey(const Pattern& pattern, uint64_t epoch) {
+std::string PatternFingerprint(const Pattern& pattern) {
   std::string key;
-  key += 'e';
-  key.append(std::to_string(epoch));
   for (NodeId m : pattern.AllNodes()) {
     key += '|';
     key.append(std::to_string(m.id));
@@ -353,6 +575,27 @@ std::string PlanKey(const Pattern& pattern, uint64_t epoch) {
       key.append(std::to_string(target.id));
     }
   }
+  return key;
+}
+
+std::string PlanKey(const Pattern& pattern, uint64_t epoch) {
+  std::string key;
+  key += 'e';
+  key.append(std::to_string(epoch));
+  key.append(PatternFingerprint(pattern));
+  return key;
+}
+
+/// Slot key for a PlanPin: pattern structure + planner mode + which
+/// plan (the full plan or one seed item's) — deliberately NOT the stats
+/// epoch, that is the whole point of pinning.
+std::string PinKey(const Pattern& pattern, PlannerMode mode,
+                   const std::string& slot) {
+  std::string key;
+  key += mode == PlannerMode::kCostBased ? 'c' : 'n';
+  key += '#';
+  key.append(slot);
+  key.append(PatternFingerprint(pattern));
   return key;
 }
 
@@ -432,17 +675,54 @@ class PlanCache {
   size_t misses_ = 0;
 };
 
-/// The single plan-acquisition point for every Matcher entry path:
-/// cache lookup (cost-based plans with caching enabled), build on miss,
-/// and planner-observability recording into MatchOptions::stats.
+}  // namespace
+
+/// The per-run pinned-plan store declared in matcher.h. A plain map —
+/// no LRU, no locking: one pin serves one engine run, which executes
+/// matchers sequentially and holds a handful of patterns. Reusing a
+/// plan across stats epochs is sound because plans only fix the node
+/// elimination order and anchor/direction choices; every constraint is
+/// re-verified against the live instance during enumeration.
+class PlanPin {
+ public:
+  std::shared_ptr<const SearchPlan> Lookup(const std::string& key) const {
+    auto it = slots_.find(key);
+    return it == slots_.end() ? nullptr : it->second;
+  }
+
+  void Insert(const std::string& key, std::shared_ptr<const SearchPlan> plan) {
+    slots_[key] = std::move(plan);
+  }
+
+ private:
+  std::unordered_map<std::string, std::shared_ptr<const SearchPlan>> slots_;
+};
+
+std::shared_ptr<PlanPin> MakePlanPin() { return std::make_shared<PlanPin>(); }
+
+namespace {
+
+/// The single full-plan acquisition point for every Matcher entry path:
+/// pin lookup first (epoch-independent), then the global cache
+/// (cost-based plans with caching enabled), build on miss, and
+/// planner-observability recording into MatchOptions::stats. A pin hit
+/// counts as a plan_cache_hit.
 std::shared_ptr<const SearchPlan> AcquirePlan(const Pattern& pattern,
                                               const Instance& instance,
                                               const MatchOptions& options) {
+  std::shared_ptr<const SearchPlan> plan;
+  std::string pin_key;
+  if (options.plan_pin != nullptr) {
+    pin_key = PinKey(pattern, options.planner, "full");
+    plan = options.plan_pin->Lookup(pin_key);
+    if (plan != nullptr && options.stats != nullptr) {
+      ++options.stats->plan_cache_hits;
+    }
+  }
   const bool cacheable =
       options.planner == PlannerMode::kCostBased && options.use_plan_cache;
-  std::shared_ptr<const SearchPlan> plan;
   std::string key;
-  if (cacheable) {
+  if (plan == nullptr && cacheable) {
     key = PlanKey(pattern, instance.stats_epoch());
     plan = PlanCache::Get().Lookup(key);
     if (options.stats != nullptr) {
@@ -452,11 +732,15 @@ std::shared_ptr<const SearchPlan> AcquirePlan(const Pattern& pattern,
         ++options.stats->plan_cache_misses;
       }
     }
+    if (plan != nullptr && options.plan_pin != nullptr) {
+      options.plan_pin->Insert(pin_key, plan);
+    }
   }
   if (plan == nullptr) {
     plan = std::make_shared<const SearchPlan>(
         BuildSearchPlan(pattern, instance, options.planner));
     if (cacheable) PlanCache::Get().Insert(key, plan);
+    if (options.plan_pin != nullptr) options.plan_pin->Insert(pin_key, plan);
   }
   if (options.stats != nullptr) {
     options.stats->plan_order.clear();
@@ -464,6 +748,30 @@ std::shared_ptr<const SearchPlan> AcquirePlan(const Pattern& pattern,
     for (NodeId m : plan->order) options.stats->plan_order.push_back(m.id);
     options.stats->depth_est_fanout = plan->est_fanout;
   }
+  return plan;
+}
+
+/// Seed-item plan acquisition: pin slot per (pattern, planner, item),
+/// built on miss. Seeded plans never enter the global cache — its
+/// (fingerprint, epoch) key would miss every fixpoint round anyway,
+/// which is the churn the pin exists to absorb.
+std::shared_ptr<const SearchPlan> AcquireSeededPlan(
+    const Pattern& pattern, const Instance& instance,
+    const MatchOptions& options, const std::vector<SeedItem>& items,
+    size_t index) {
+  std::string pin_key;
+  if (options.plan_pin != nullptr) {
+    pin_key = PinKey(pattern, options.planner, std::to_string(index));
+    std::shared_ptr<const SearchPlan> pinned =
+        options.plan_pin->Lookup(pin_key);
+    if (pinned != nullptr) {
+      if (options.stats != nullptr) ++options.stats->plan_cache_hits;
+      return pinned;
+    }
+  }
+  auto plan = std::make_shared<const SearchPlan>(BuildSeededSearchPlan(
+      pattern, instance, options.planner, items, index));
+  if (options.plan_pin != nullptr) options.plan_pin->Insert(pin_key, plan);
   return plan;
 }
 
@@ -492,6 +800,18 @@ class Enumerator {
     stats_.depth_fanout.assign(plan_.order.size(), 0);
     // Pre-bind the plan keys so leaf emission only rebinds values.
     for (NodeId m : plan_.order) matching_scratch_.Bind(m, NodeId{});
+  }
+
+  /// Delta-seeded runs: the delta the plan's DeltaEdgeCheck /
+  /// exclude_delta_node / delta_only_base constraints evaluate against.
+  void set_delta(const DeltaSet* delta) { delta_ = delta; }
+
+  /// Delta-seeded serial runs: depth-0 candidates come from this
+  /// pre-filtered seed list instead of the label/printable index (the
+  /// parallel driver passes its roots explicitly, so it never needs
+  /// this). Not owned; must outlive the run.
+  void set_root_override(const std::vector<NodeId>* roots) {
+    root_override_ = roots;
   }
 
   /// Full enumeration from depth 0, the classic serial path: invokes
@@ -527,6 +847,7 @@ class Enumerator {
       if (armed_ && !PollDeadline()) break;
       NodeId t = roots[i];
       if (!Feasible(plan0, t)) continue;
+      if (delta_ != nullptr && !DeltaFeasible(plan0, 0, t)) continue;
       ++stats_.depth_fanout[0];
       assignment_[0] = t;
       if (!Recurse(1)) break;
@@ -604,6 +925,29 @@ class Enumerator {
                            : instance_.HasEdge(image, anchor.label, t);
   }
 
+  /// Evaluates the depth's delta-membership constraints against
+  /// candidate `t` (standing in for the node being placed at `depth`).
+  /// Only called on delta-seeded runs.
+  bool DeltaFeasible(const DepthPlan& plan, size_t depth, NodeId t) {
+    if (plan.exclude_delta_node && delta_->ContainsNode(t)) {
+      ++stats_.delta_rejections;
+      return false;
+    }
+    for (const DeltaEdgeCheck& check : plan.delta_checks) {
+      const NodeId source = check.source_position == depth
+                                ? t
+                                : assignment_[check.source_position];
+      const NodeId target = check.target_position == depth
+                                ? t
+                                : assignment_[check.target_position];
+      if (delta_->ContainsEdge(source, check.label, target) != check.require) {
+        ++stats_.delta_rejections;
+        return false;
+      }
+    }
+    return true;
+  }
+
   /// Candidate instance nodes for pattern node order[depth].
   ///
   /// Anchored nodes (≥1 already-placed neighbour) draw candidates from
@@ -616,6 +960,46 @@ class Enumerator {
   const std::vector<NodeId>& Candidates(size_t depth) {
     const DepthPlan& plan = plan_.plans[depth];
     std::vector<NodeId>& scratch = scratch_[depth];
+    if (depth == 0 && root_override_ != nullptr) {
+      // Delta-seeded run: the driver pre-filtered this seed list
+      // against the instance (and charged the dropped entries).
+      stats_.candidates_scanned += root_override_->size();
+      return *root_override_;
+    }
+    if (plan.delta_only_base) {
+      // Walk the delta adjacency of the seed edge instead of an
+      // instance adjacency list; label/print/anchors are then verified
+      // against the live instance (delta lists are raw journal
+      // footprints).
+      scratch.clear();
+      const std::vector<NodeId>& base_list =
+          delta_->OutTargets(assignment_[0], plan.delta_base_label);
+      stats_.candidates_scanned += base_list.size();
+      for (NodeId t : base_list) {
+        if (!instance_.HasNode(t) || instance_.LabelOf(t) != plan.label) {
+          ++stats_.feasibility_rejections;
+          continue;
+        }
+        if (plan.has_print) {
+          const auto& print = instance_.PrintValueOf(t);
+          if (!print.has_value() ||
+              *print != *pattern_.PrintValueOf(plan.m)) {
+            ++stats_.feasibility_rejections;
+            continue;
+          }
+        }
+        bool in_all = true;
+        for (const Anchor& anchor : plan.anchors) {
+          if (!SatisfiesAnchor(anchor, t)) {
+            in_all = false;
+            ++stats_.feasibility_rejections;
+            break;
+          }
+        }
+        if (in_all) scratch.push_back(t);
+      }
+      return scratch;
+    }
     if (plan.has_print) {
       scratch.clear();
       auto found =
@@ -682,6 +1066,7 @@ class Enumerator {
     for (NodeId t : Candidates(depth)) {
       if (armed_ && !PollDeadline()) return false;
       if (!Feasible(plan, t)) continue;
+      if (delta_ != nullptr && !DeltaFeasible(plan, depth, t)) continue;
       ++stats_.depth_fanout[depth];
       assignment_[depth] = t;
       if (!Recurse(depth + 1)) return false;
@@ -697,6 +1082,8 @@ class Enumerator {
   MatchStats* sink_;
   const common::Deadline* deadline_;
   std::atomic<bool>* trip_;
+  const DeltaSet* delta_ = nullptr;
+  const std::vector<NodeId>* root_override_ = nullptr;
   const bool armed_;
   size_t polls_ = 0;
   Status interrupt_;
@@ -726,7 +1113,9 @@ Status TryParallelEnumerate(const Pattern& pattern, const Instance& instance,
                             const SearchPlan& plan,
                             const MatchOptions& options,
                             std::vector<Matching>* out, size_t* count,
-                            bool* engaged) {
+                            bool* engaged,
+                            const std::vector<NodeId>* roots_override = nullptr,
+                            const DeltaSet* delta = nullptr) {
   *engaged = false;
   if (options.num_threads == 0) return Status::OK();
   if (options.limit != kNoLimit) return Status::OK();
@@ -737,18 +1126,26 @@ Status TryParallelEnumerate(const Pattern& pattern, const Instance& instance,
   MatchStats merged;
   merged.depth_fanout.assign(plan.order.size(), 0);
   const DepthPlan& plan0 = plan.plans[0];
-  std::vector<NodeId> roots;
-  if (plan0.has_print) {
-    auto found =
-        instance.FindPrintable(plan0.label, *pattern.PrintValueOf(plan0.m));
-    if (found.has_value()) {
-      ++merged.candidates_scanned;
-      roots.push_back(*found);
+  std::vector<NodeId> roots_storage;
+  if (roots_override == nullptr) {
+    if (plan0.has_print) {
+      auto found =
+          instance.FindPrintable(plan0.label, *pattern.PrintValueOf(plan0.m));
+      if (found.has_value()) {
+        ++merged.candidates_scanned;
+        roots_storage.push_back(*found);
+      }
+    } else {
+      roots_storage = instance.NodesWithLabel(plan0.label);
+      merged.candidates_scanned += roots_storage.size();
     }
   } else {
-    roots = instance.NodesWithLabel(plan0.label);
-    merged.candidates_scanned += roots.size();
+    // Delta-seeded roots, already filtered by the driver. Charged here
+    // to mirror the serial engine's root-override accounting.
+    merged.candidates_scanned += roots_override->size();
   }
+  const std::vector<NodeId>& roots =
+      roots_override != nullptr ? *roots_override : roots_storage;
   if (roots.size() < options.parallel_threshold) return Status::OK();
   *engaged = true;
 
@@ -772,6 +1169,7 @@ Status TryParallelEnumerate(const Pattern& pattern, const Instance& instance,
     per_worker.push_back(std::make_unique<Enumerator>(
         pattern, instance, plan, kNoLimit, nullptr,
         armed ? options.deadline : nullptr, armed ? &trip : nullptr));
+    per_worker.back()->set_delta(delta);
   }
   {
     common::ThreadPool pool(workers);
@@ -830,6 +1228,71 @@ Status RunSerialEnumeration(const Pattern& pattern, const Instance& instance,
   return enumerator.interrupt();
 }
 
+/// The semi-naive driver behind every delta-seeded entry path
+/// (MatchOptions::delta != nullptr): enumerates the seed items in their
+/// fixed order, each over its pre-filtered delta seed list, and
+/// concatenates the per-item outputs. Per item the parallel engine
+/// engages under the usual conditions (no callback, no limit, enough
+/// roots) with the serial engine as fallback — both walk the same
+/// roots under the same plan, so the emitted sequence is byte-identical
+/// either way. `callback` (ForEach semantics, always serial) and `out`
+/// (FindAll) are each optional; `total_out` is kept current so an
+/// interrupt still reports the visited count.
+Status RunDeltaEnumeration(const Pattern& pattern, const Instance& instance,
+                           const MatchOptions& options,
+                           const std::function<bool(const Matching&)>* callback,
+                           std::vector<Matching>* out, size_t* total_out) {
+  const DeltaSet& delta = *options.delta;
+  const std::vector<SeedItem> items = BuildSeedItems(pattern);
+  size_t total = 0;
+  bool user_abort = false;
+  for (size_t i = 0; i < items.size() && !user_abort; ++i) {
+    if (total >= options.limit) break;
+    std::vector<NodeId> roots =
+        DeltaRoots(pattern, instance, delta, items[i], options.stats);
+    if (roots.empty()) continue;
+    std::shared_ptr<const SearchPlan> plan =
+        AcquireSeededPlan(pattern, instance, options, items, i);
+    MatchOptions item_options = options;
+    item_options.limit =
+        options.limit == kNoLimit ? kNoLimit : options.limit - total;
+    if (callback == nullptr) {
+      size_t item_count = 0;
+      bool engaged = false;
+      std::vector<Matching> item_out;
+      GOOD_RETURN_NOT_OK(TryParallelEnumerate(
+          pattern, instance, *plan, item_options,
+          out != nullptr ? &item_out : nullptr, &item_count, &engaged, &roots,
+          &delta));
+      if (engaged) {
+        total += item_count;
+        if (out != nullptr) {
+          std::move(item_out.begin(), item_out.end(),
+                    std::back_inserter(*out));
+        }
+        if (total_out != nullptr) *total_out = total;
+        continue;
+      }
+    }
+    Enumerator enumerator(pattern, instance, *plan, item_options.limit,
+                          options.stats, options.deadline, nullptr);
+    enumerator.set_delta(&delta);
+    enumerator.set_root_override(&roots);
+    total += enumerator.RunSerial([&](const Matching& m) {
+      if (out != nullptr) out->push_back(m);
+      if (callback != nullptr && !(*callback)(m)) {
+        user_abort = true;
+        return false;
+      }
+      return true;
+    });
+    if (total_out != nullptr) *total_out = total;
+    GOOD_RETURN_NOT_OK(enumerator.interrupt());
+  }
+  if (total_out != nullptr) *total_out = total;
+  return Status::OK();
+}
+
 }  // namespace
 
 Status Matcher::ForEachChecked(
@@ -840,6 +1303,10 @@ Status Matcher::ForEachChecked(
   // so an already-expired deadline must still be observed.
   if (options_.deadline != nullptr) {
     GOOD_RETURN_NOT_OK(options_.deadline->Check());
+  }
+  if (options_.delta != nullptr) {
+    return RunDeltaEnumeration(pattern_, instance_, options_, &callback,
+                               nullptr, visited);
   }
   std::shared_ptr<const SearchPlan> plan =
       AcquirePlan(pattern_, instance_, options_);
@@ -857,6 +1324,12 @@ size_t Matcher::ForEach(
 Result<std::vector<Matching>> Matcher::FindAllChecked() const {
   if (options_.deadline != nullptr) {
     GOOD_RETURN_NOT_OK(options_.deadline->Check());
+  }
+  if (options_.delta != nullptr) {
+    std::vector<Matching> out;
+    GOOD_RETURN_NOT_OK(RunDeltaEnumeration(pattern_, instance_, options_,
+                                           nullptr, &out, nullptr));
+    return out;
   }
   // One plan acquisition per call: the parallel driver and the serial
   // fallback share it (and its cache hit/miss accounting).
@@ -887,6 +1360,12 @@ std::vector<Matching> Matcher::FindAll() const {
 Result<size_t> Matcher::CountChecked() const {
   if (options_.deadline != nullptr) {
     GOOD_RETURN_NOT_OK(options_.deadline->Check());
+  }
+  if (options_.delta != nullptr) {
+    size_t total = 0;
+    GOOD_RETURN_NOT_OK(RunDeltaEnumeration(pattern_, instance_, options_,
+                                           nullptr, nullptr, &total));
+    return total;
   }
   std::shared_ptr<const SearchPlan> plan =
       AcquirePlan(pattern_, instance_, options_);

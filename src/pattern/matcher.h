@@ -17,9 +17,11 @@
 #define GOOD_PATTERN_MATCHER_H_
 
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/deadline.h"
@@ -107,9 +109,15 @@ struct MatchStats {
   size_t workers_used = 0;
   /// Plan-cache outcomes over the enumerations this object observed
   /// (additive). Both stay 0 when caching is disabled or the naive
-  /// planner runs.
+  /// planner runs. Pinned-plan reuse (MatchOptions::plan_pin) counts as
+  /// a hit.
   size_t plan_cache_hits = 0;
   size_t plan_cache_misses = 0;
+  /// Candidates rejected by delta-membership constraints during a
+  /// delta-seeded enumeration (MatchOptions::delta): either a seed item
+  /// whose image fell outside the delta, or an earlier item's exclusion
+  /// (the disjoint-partition bookkeeping). 0 for full enumerations.
+  size_t delta_rejections = 0;
   /// Planner decisions of the most recent enumeration: the chosen node
   /// elimination order (pattern node ids, depth 0 first; recorded for
   /// every planner mode) and the planner's estimated candidate count
@@ -130,6 +138,105 @@ struct MatchStats {
 /// The depth-0 candidate count below which a parallel-enabled matcher
 /// still runs serially (partitioning overhead dominates small inputs).
 inline constexpr size_t kDefaultParallelThreshold = 64;
+
+/// Default delta-size fraction above which semi-naive evaluation falls
+/// back to full re-evaluation: when (delta nodes + delta edges) exceeds
+/// this fraction of (instance nodes + instance edges), seeding every
+/// item separately costs more than one full enumeration. Consumed by
+/// rules::RuleEngine::set_delta_fallback_fraction.
+inline constexpr double kDefaultDeltaFallbackFraction = 0.75;
+
+/// \brief The set of nodes and edges a journal window touched — the
+/// "delta" of semi-naive evaluation (ISSUE 8 / ROADMAP item 1).
+///
+/// Built in journal order from graph::UndoJournal::ForEachTouchedSince
+/// (an add followed by a remove of the same item nets out, so a window
+/// that created and rolled back an edge exposes nothing), then
+/// Finalize()d once to materialize the sorted seed lists the matcher
+/// enumerates: delta nodes, per-label delta-edge sources, and the delta
+/// adjacency (source, label) -> targets. All lists are ascending-id
+/// sorted so delta-seeded enumeration is deterministic regardless of
+/// journal order.
+///
+/// A DeltaSet describes *additions*. Removal entries subtract matching
+/// additions within the window (exact for the rule engine, whose
+/// fixpoint rounds are purely additive); a net-negative window (more
+/// removals than additions) is not representable and must be evaluated
+/// naively.
+class DeltaSet {
+ public:
+  // ---- Build phase (call in journal order, then Finalize once) -----
+  void AddNode(graph::NodeId n) { node_set_.insert(n); }
+  void RemoveNode(graph::NodeId n) { node_set_.erase(n); }
+  void AddEdge(graph::NodeId s, Symbol label, graph::NodeId t) {
+    edge_set_.insert(graph::Edge{s, label, t});
+  }
+  void RemoveEdge(graph::NodeId s, Symbol label, graph::NodeId t) {
+    edge_set_.erase(graph::Edge{s, label, t});
+  }
+
+  /// Materializes the sorted seed lists. Call exactly once, after the
+  /// last mutation; the query accessors below require it.
+  void Finalize();
+
+  bool finalized() const { return finalized_; }
+  bool empty() const { return node_set_.empty() && edge_set_.empty(); }
+  size_t num_nodes() const { return node_set_.size(); }
+  size_t num_edges() const { return edge_set_.size(); }
+
+  bool ContainsNode(graph::NodeId n) const { return node_set_.contains(n); }
+  bool ContainsEdge(graph::NodeId s, Symbol label, graph::NodeId t) const {
+    return edge_set_.contains(graph::Edge{s, label, t});
+  }
+
+  // ---- Seed lists (Finalize() required; ascending-id sorted) -------
+
+  /// Every delta node.
+  const std::vector<graph::NodeId>& nodes() const { return nodes_; }
+  /// Distinct sources of delta edges labeled `label`.
+  const std::vector<graph::NodeId>& EdgeSources(Symbol label) const;
+  /// Distinct sources s of delta self-loops (s, label, s).
+  const std::vector<graph::NodeId>& SelfLoopSources(Symbol label) const;
+  /// Targets t of delta edges (s, label, t) — the delta adjacency.
+  const std::vector<graph::NodeId>& OutTargets(graph::NodeId s,
+                                               Symbol label) const;
+
+ private:
+  static uint64_t AdjacencyKey(graph::NodeId s, Symbol label) {
+    return (static_cast<uint64_t>(s.id) << 32) | label.id;
+  }
+
+  std::unordered_set<graph::NodeId> node_set_;
+  std::unordered_set<graph::Edge, graph::EdgeHash> edge_set_;
+  bool finalized_ = false;
+  std::vector<graph::NodeId> nodes_;
+  std::unordered_map<uint32_t, std::vector<graph::NodeId>> sources_by_label_;
+  std::unordered_map<uint32_t, std::vector<graph::NodeId>> loops_by_label_;
+  std::unordered_map<uint64_t, std::vector<graph::NodeId>> adjacency_;
+};
+
+/// Builds the Finalize()d DeltaSet of the journal window [mark, end):
+/// one ForEachTouchedSince pass with removals netting out matching
+/// additions, then Finalize. `mark` is a graph::UndoJournal::Mark.
+DeltaSet BuildDeltaSince(const graph::UndoJournal& journal, size_t mark);
+
+/// \brief A private per-run plan store that survives stats-epoch churn.
+///
+/// The global plan cache keys by (pattern fingerprint, stats epoch), so
+/// a rule fixpoint — which mutates the instance every round — misses it
+/// every round by design. A PlanPin gives one engine run a handful of
+/// slots keyed by pattern + seed item only: a pinned plan is reused
+/// across epochs. That is sound because a plan only fixes the node
+/// elimination order and anchor choices; every constraint is re-checked
+/// against the live instance during enumeration, so a statistically
+/// stale plan can cost time but never correctness. Opaque; create with
+/// MakePlanPin() and pass via MatchOptions::plan_pin. Not thread-safe
+/// across concurrent Matcher calls (the rule engine runs matchers
+/// sequentially; parallelism lives inside one call).
+class PlanPin;
+
+/// A fresh, empty plan pin.
+std::shared_ptr<PlanPin> MakePlanPin();
 
 /// \brief Join-order planning mode.
 enum class PlannerMode {
@@ -182,6 +289,22 @@ struct MatchOptions {
   /// mutation bumps the epoch; disable to force replanning (benchmarks
   /// isolating plan cost do). Only cost-based plans are cached.
   bool use_plan_cache = true;
+  /// Semi-naive enumeration (not owned; must outlive the call): when
+  /// non-null, only matchings with at least one pattern item (edge or
+  /// isolated node) mapped into the delta are enumerated — exactly the
+  /// matchings that did not exist before the delta's journal window,
+  /// provided the window is purely additive. The enumeration partitions
+  /// matchings by their first delta-mapped item, so each new matching
+  /// is emitted exactly once, in a deterministic order shared by the
+  /// serial and parallel engines (byte-identical, as for full runs —
+  /// though the order differs from a full enumeration's). The empty
+  /// pattern's sole matching predates any delta, so it yields zero
+  /// matchings here. The DeltaSet must be Finalize()d.
+  const DeltaSet* delta = nullptr;
+  /// Per-run pinned-plan store (not owned); see PlanPin. Consulted
+  /// before the global cache for full plans and is the only reuse path
+  /// for delta-seeded plans.
+  PlanPin* plan_pin = nullptr;
 };
 
 /// \brief Enumerates matchings of `pattern` in `instance`.

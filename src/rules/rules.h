@@ -32,6 +32,12 @@
 
 namespace good::rules {
 
+/// Fixpoint evaluation strategy — see ops::EvalMode. kIncremental (the
+/// default) is semi-naive: from a rule's second evaluation on, only
+/// matchings binding into the delta of growth since its previous
+/// evaluation are enumerated.
+using EvalMode = ops::EvalMode;
+
 /// \brief The node-creating half of an action: a fresh `label` object
 /// with functional `edges` to condition pattern nodes (exactly a node
 /// addition's bold part).
@@ -65,8 +71,28 @@ struct RunReport {
   size_t workers_used = 0;
   /// Accumulated matcher search-effort counters over every rule
   /// evaluation of the run (candidates scanned, feasibility rejections,
-  /// backtracks, per-depth fanout).
+  /// backtracks, per-depth fanout, delta rejections, plan-cache/pin
+  /// hits).
   pattern::MatchStats match;
+  /// Rounds in which at least one rule was evaluated delta-seeded or
+  /// skipped outright on an empty delta. Under kNaive always zero;
+  /// under kIncremental the first round is always full (no rule has a
+  /// watermark yet), so incremental_rounds + full_rounds == rounds with
+  /// full_rounds >= 1 on any non-empty run.
+  size_t incremental_rounds = 0;
+  /// Rounds evaluated entirely from scratch (including every kNaive
+  /// round and an incremental run's first round).
+  size_t full_rounds = 0;
+  /// Lower bound on matchings NOT re-enumerated thanks to delta
+  /// seeding: each time a rule is delta-evaluated or skipped, the
+  /// matching count of its last evaluation is charged here (the
+  /// matchings known to pre-date its watermark). Zero under kNaive.
+  size_t matchings_skipped = 0;
+  /// Per-round delta sizes: the nodes/edges each round added, i.e. the
+  /// growth frontier feeding the NEXT round's delta windows. Index 0 is
+  /// the first round; a converged run's last entries are 0/0.
+  std::vector<size_t> round_delta_nodes;
+  std::vector<size_t> round_delta_edges;
 };
 
 /// \brief Applies a rule set to fixpoint.
@@ -91,6 +117,33 @@ class RuleEngine {
   }
   size_t parallel_threshold() const { return parallel_threshold_; }
 
+  /// Fixpoint strategy for Run (Step is always a full naive round).
+  /// Both modes reach the same fixpoint (up to node-id choice — results
+  /// are isomorphic) in the same number of rounds; kIncremental skips
+  /// re-enumerating matchings that pre-date each rule's last
+  /// evaluation. Defaults to kIncremental.
+  void set_eval_mode(EvalMode mode) { eval_mode_ = mode; }
+  EvalMode eval_mode() const { return eval_mode_; }
+
+  /// Delta-vs-full crossover for kIncremental: a rule falls back to
+  /// full re-evaluation when its delta (nodes + edges) exceeds this
+  /// fraction of the instance (nodes + edges). 0 forces every round
+  /// full (still exercising the watermark bookkeeping); >= 1 always
+  /// trusts the delta.
+  void set_delta_fallback_fraction(double fraction) {
+    delta_fallback_fraction_ = fraction;
+  }
+  double delta_fallback_fraction() const { return delta_fallback_fraction_; }
+
+  /// Whether Run pins compiled search plans for its duration (on by
+  /// default). Every round bumps the instance stats epoch, so the
+  /// global (fingerprint, epoch)-keyed plan cache misses on every
+  /// round of a fixpoint; the per-run pin reuses each condition's plan
+  /// across rounds instead. Off = always consult the global cache
+  /// (useful for measuring the churn).
+  void set_plan_pinning(bool pin) { plan_pinning_ = pin; }
+  bool plan_pinning() const { return plan_pinning_; }
+
   /// Execution cutoff (not owned; may be null). Checked before every
   /// round and threaded into every rule's pattern matching, so a
   /// runaway fixpoint computation surfaces kDeadlineExceeded /
@@ -103,19 +156,44 @@ class RuleEngine {
   /// interrupt) rolls back every addition the round already made.
   Result<RunReport> Step(schema::Scheme* scheme, graph::Instance* instance);
 
-  /// Rounds of Step until a round adds nothing; ResourceExhausted after
+  /// Rounds until a round adds nothing; ResourceExhausted after
   /// `max_rounds`. Convergence is checked before a round is charged, so
   /// an empty rule set is trivially at fixpoint (zero rounds) whatever
   /// the budget — including max_rounds == 0. Completed rounds persist
-  /// when a later round fails (each round is its own transaction).
+  /// when a later round fails (each round is its own transaction), and
+  /// under kIncremental the failing round's delta bookkeeping rewinds
+  /// with it — a re-run converges to the same fixpoint as an
+  /// uninterrupted run.
   Result<RunReport> Run(schema::Scheme* scheme, graph::Instance* instance,
                         size_t max_rounds = 10'000);
 
  private:
+  /// Applies one rule's actions. With `delta` null both actions match
+  /// in full; otherwise the node addition matches delta-seeded and the
+  /// edge addition's window is re-read from the journal starting at
+  /// `window_start` when the node addition grew the instance this
+  /// round (the edge addition matches the post-node-addition state, so
+  /// its delta must include those same-round additions). Accumulates
+  /// additions/match stats into `report`; `enumerated` (may be null)
+  /// accrues the matchings both actions enumerated.
+  Status ApplyRule(const Rule& rule, schema::Scheme* scheme,
+                   graph::Instance* instance, const pattern::DeltaSet* delta,
+                   pattern::PlanPin* pin, size_t window_start,
+                   RunReport* report, size_t* enumerated) const;
+
+  /// One full (naive) round under its own transaction, with an
+  /// optional per-run plan pin. Step() is this with no pin.
+  Result<RunReport> StepWithPin(schema::Scheme* scheme,
+                                graph::Instance* instance,
+                                pattern::PlanPin* pin);
+
   std::vector<Rule> rules_;
   size_t num_threads_ = 0;
   size_t parallel_threshold_ = pattern::kDefaultParallelThreshold;
   const common::Deadline* deadline_ = nullptr;
+  EvalMode eval_mode_ = EvalMode::kIncremental;
+  double delta_fallback_fraction_ = pattern::kDefaultDeltaFallbackFraction;
+  bool plan_pinning_ = true;
 };
 
 }  // namespace good::rules

@@ -3,9 +3,16 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <numeric>
+#include <thread>
+
+#include "common/deadline.h"
 #include "gen/generators.h"
+#include "graph/isomorphism.h"
 #include "hypermedia/hypermedia.h"
 #include "pattern/builder.h"
+#include "pattern/matcher.h"
 #include "rules/rules.h"
 
 namespace good::rules {
@@ -250,6 +257,282 @@ TEST_F(RulesTest, ValidationRejectsBadRules) {
   dup_labels.node = NodeAction{Sym("T"), {{Sym("of"), x}, {Sym("of"), x}}};
   EXPECT_TRUE(engine.AddRule(dup_labels).IsInvalidArgument());
   EXPECT_EQ(engine.size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Semi-naive (incremental) evaluation
+// ---------------------------------------------------------------------------
+
+/// The seed+step transitive-closure pair over links-to, deriving reach.
+void AddClosureRules(const Scheme& scheme, RuleEngine* engine) {
+  {
+    GraphBuilder b(scheme);
+    NodeId x = b.Object("Info");
+    NodeId y = b.Object("Info");
+    b.Edge(x, "links-to", y);
+    Rule seed;
+    seed.name = "seed";
+    seed.condition.full = b.BuildOrDie();
+    seed.condition.positive_nodes = {x, y};
+    seed.edges = {ops::EdgeSpec{x, Sym("reach"), y, /*functional=*/false}};
+    engine->AddRule(std::move(seed)).OrDie();
+  }
+  {
+    Scheme ext = scheme;
+    ext.EnsureMultivaluedEdgeLabel(Sym("reach")).OrDie();
+    ext.EnsureTriple(Sym("Info"), Sym("reach"), Sym("Info")).OrDie();
+    GraphBuilder b(ext);
+    NodeId x = b.Object("Info");
+    NodeId y = b.Object("Info");
+    NodeId z = b.Object("Info");
+    b.Edge(x, "reach", y).Edge(y, "links-to", z);
+    Rule step;
+    step.name = "step";
+    step.condition.full = b.BuildOrDie();
+    step.condition.positive_nodes = {x, y, z};
+    step.edges = {ops::EdgeSpec{x, Sym("reach"), z, /*functional=*/false}};
+    engine->AddRule(std::move(step)).OrDie();
+  }
+}
+
+std::set<std::pair<NodeId, NodeId>> DerivedReach(const Instance& g) {
+  std::set<std::pair<NodeId, NodeId>> derived;
+  for (const graph::Edge& e : g.AllEdges()) {
+    if (e.label == Sym("reach")) derived.emplace(e.source, e.target);
+  }
+  return derived;
+}
+
+TEST_F(RulesTest, IncrementalMatchesNaiveOnClosure) {
+  auto start = gen::RandomInfoGraph(scheme_, 20, 40, /*seed=*/11).ValueOrDie();
+  auto expected = ReferenceClosure(start);
+
+  Scheme naive_scheme = scheme_;
+  Instance naive_g = start;
+  RuleEngine naive;
+  AddClosureRules(scheme_, &naive);
+  naive.set_eval_mode(EvalMode::kNaive);
+  auto naive_report = naive.Run(&naive_scheme, &naive_g).ValueOrDie();
+  EXPECT_EQ(DerivedReach(naive_g), expected);
+  EXPECT_EQ(naive_report.incremental_rounds, 0u);
+  EXPECT_EQ(naive_report.full_rounds, naive_report.rounds);
+  EXPECT_EQ(naive_report.matchings_skipped, 0u);
+
+  Scheme inc_scheme = scheme_;
+  Instance inc_g = start;
+  RuleEngine inc;
+  AddClosureRules(scheme_, &inc);
+  ASSERT_EQ(inc.eval_mode(), EvalMode::kIncremental);  // the default
+  // Fraction 1.0: a delta is a subset of the instance, so the fallback
+  // never triggers and every post-first round is delta-seeded.
+  inc.set_delta_fallback_fraction(1.0);
+  auto inc_report = inc.Run(&inc_scheme, &inc_g).ValueOrDie();
+
+  // Same fixpoint (edge rules touch no node ids, so literally equal),
+  // in the same number of rounds.
+  EXPECT_EQ(DerivedReach(inc_g), expected);
+  EXPECT_EQ(inc_report.rounds, naive_report.rounds);
+  EXPECT_EQ(inc_report.nodes_added, naive_report.nodes_added);
+  EXPECT_EQ(inc_report.edges_added, naive_report.edges_added);
+
+  // Round-shape observability: first round full, the rest incremental.
+  EXPECT_EQ(inc_report.full_rounds, 1u);
+  EXPECT_EQ(inc_report.incremental_rounds, inc_report.rounds - 1);
+  EXPECT_GT(inc_report.matchings_skipped, 0u);
+  ASSERT_EQ(inc_report.round_delta_nodes.size(), inc_report.rounds);
+  ASSERT_EQ(inc_report.round_delta_edges.size(), inc_report.rounds);
+  EXPECT_EQ(std::accumulate(inc_report.round_delta_edges.begin(),
+                            inc_report.round_delta_edges.end(), size_t{0}),
+            inc_report.edges_added);
+  EXPECT_EQ(inc_report.round_delta_edges.back(), 0u);  // converged round
+
+  // The point of semi-naive: strictly less search effort.
+  EXPECT_LT(inc_report.match.candidates_scanned,
+            naive_report.match.candidates_scanned);
+}
+
+TEST_F(RulesTest, MaxRoundsExhaustionThenRerunConverges) {
+  // A chain of 10 needs ~9 step rounds; a budget of 3 exhausts with the
+  // completed rounds persisted. The interrupted run's delta bookkeeping
+  // is local to the run, so a fresh Run picks up the partial closure and
+  // converges to exactly the reference fixpoint.
+  auto g = gen::InfoChain(scheme_, 10).ValueOrDie();
+  auto expected = ReferenceClosure(g);
+  const size_t edges_before = g.num_edges();
+
+  RuleEngine engine;
+  AddClosureRules(scheme_, &engine);
+  EXPECT_TRUE(engine.Run(&scheme_, &g, /*max_rounds=*/3).status()
+                  .IsResourceExhausted());
+  EXPECT_GT(g.num_edges(), edges_before);       // completed rounds persist
+  EXPECT_LT(DerivedReach(g).size(), expected.size());  // but not all of it
+
+  auto report = engine.Run(&scheme_, &g).ValueOrDie();
+  EXPECT_EQ(DerivedReach(g), expected);
+  EXPECT_TRUE(g.Validate(scheme_).ok());
+  // The re-run has no memory of the first: its first round is full.
+  EXPECT_EQ(report.full_rounds, 1u);
+}
+
+TEST_F(RulesTest, CancelMidRunRewindsDeltaAndRerunConverges) {
+  // Cancellation lands mid-fixpoint; the interrupted round rolls back
+  // (including its delta bookkeeping) and a re-run converges to the
+  // same fixpoint as a never-interrupted run.
+  auto reference = gen::InfoChain(scheme_, 150).ValueOrDie();
+  auto g = reference;
+  Scheme ref_scheme = scheme_;
+  RuleEngine ref_engine;
+  AddClosureRules(scheme_, &ref_engine);
+  ref_engine.Run(&ref_scheme, &reference).ValueOrDie();
+
+  RuleEngine engine;
+  AddClosureRules(scheme_, &engine);
+  common::CancelToken token;
+  common::Deadline deadline;
+  deadline.ObserveCancellation(&token);
+  engine.set_deadline(&deadline);
+  std::thread canceller([&token] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(3));
+    token.Cancel();
+  });
+  auto interrupted = engine.Run(&scheme_, &g);
+  canceller.join();
+  if (!interrupted.ok()) {
+    EXPECT_TRUE(interrupted.status().IsCancelled()) << interrupted.status();
+    // Completed rounds persist; the interrupted round is fully rolled
+    // back, leaving a valid instance.
+    EXPECT_TRUE(g.Validate(scheme_).ok());
+  }
+  // Whether or not the cancel landed in time, a fresh run must reach
+  // the reference fixpoint. Edge rules create no nodes, so both copies
+  // kept the start instance's node ids and must be literally equal
+  // (IsIsomorphic would be overkill on a graph this dense).
+  engine.set_deadline(nullptr);
+  engine.Run(&scheme_, &g).ValueOrDie();
+  ASSERT_EQ(g.num_nodes(), reference.num_nodes());
+  ASSERT_EQ(g.num_edges(), reference.num_edges());
+  std::set<graph::Edge> got, want;
+  for (const graph::Edge& e : g.AllEdges()) got.insert(e);
+  for (const graph::Edge& e : reference.AllEdges()) want.insert(e);
+  EXPECT_EQ(got == want, true);
+}
+
+TEST_F(RulesTest, NegationSeesCurrentDatabaseNotDelta) {
+  // mark:  x -links-to-> y  =>  x -m-> y
+  // guard: x -links-to-> y, NOT x -m-> y  =>  new Tag{src: x, of: y}
+  //
+  // The crossed condition must be evaluated against the CURRENT
+  // database every round — never against the delta. With mark ordered
+  // first, guard sees the m edges added earlier in the same round and
+  // tags nothing; ordered last, guard tags every pair in round 1 and
+  // must not re-fire in round 2 (its delta holds only m edges and Tag
+  // nodes, and the now-present m edges reject any re-enumeration).
+  Scheme ext = scheme_;
+  ext.EnsureMultivaluedEdgeLabel(Sym("m")).OrDie();
+  ext.EnsureTriple(Sym("Info"), Sym("m"), Sym("Info")).OrDie();
+
+  auto make_mark = [&] {
+    GraphBuilder b(scheme_);
+    NodeId x = b.Object("Info");
+    NodeId y = b.Object("Info");
+    b.Edge(x, "links-to", y);
+    Rule mark;
+    mark.name = "mark";
+    mark.condition.full = b.BuildOrDie();
+    mark.condition.positive_nodes = {x, y};
+    mark.edges = {ops::EdgeSpec{x, Sym("m"), y, /*functional=*/false}};
+    return mark;
+  };
+  auto make_guard = [&] {
+    GraphBuilder b(ext);
+    NodeId x = b.Object("Info");
+    NodeId y = b.Object("Info");
+    b.Edge(x, "links-to", y).Edge(x, "m", y);
+    Rule guard;
+    guard.name = "guard";
+    guard.condition.full = b.BuildOrDie();
+    guard.condition.positive_nodes = {x, y};
+    guard.condition.crossed_edges = {graph::Edge{x, Sym("m"), y}};
+    guard.node = NodeAction{Sym("Tag"), {{Sym("src"), x}, {Sym("of"), y}}};
+    return guard;
+  };
+
+  auto start = gen::RandomInfoGraph(scheme_, 6, 9, /*seed=*/5).ValueOrDie();
+  std::set<std::pair<NodeId, NodeId>> pairs;
+  const auto& l = hypermedia::Labels::Get();
+  for (const graph::Edge& e : start.AllEdges()) {
+    if (e.label == l.links_to) pairs.emplace(e.source, e.target);
+  }
+  ASSERT_GT(pairs.size(), 0u);
+
+  for (EvalMode mode : {EvalMode::kNaive, EvalMode::kIncremental}) {
+    {
+      // mark before guard: zero tags, in every mode.
+      Scheme s = scheme_;
+      Instance g = start;
+      RuleEngine engine;
+      engine.set_eval_mode(mode);
+      engine.AddRule(make_mark()).OrDie();
+      engine.AddRule(make_guard()).OrDie();
+      auto report = engine.Run(&s, &g).ValueOrDie();
+      EXPECT_EQ(g.CountNodesWithLabel(Sym("Tag")), 0u)
+          << "mode=" << static_cast<int>(mode);
+      EXPECT_EQ(report.nodes_added, 0u);
+    }
+    {
+      // guard before mark: one tag per links-to pair, settled after the
+      // first round — no spurious round-2 tags from delta re-matching.
+      Scheme s = scheme_;
+      Instance g = start;
+      RuleEngine engine;
+      engine.set_eval_mode(mode);
+      engine.AddRule(make_guard()).OrDie();
+      engine.AddRule(make_mark()).OrDie();
+      auto report = engine.Run(&s, &g).ValueOrDie();
+      EXPECT_EQ(g.CountNodesWithLabel(Sym("Tag")), pairs.size())
+          << "mode=" << static_cast<int>(mode);
+      EXPECT_EQ(report.nodes_added, pairs.size());
+      EXPECT_TRUE(g.Validate(s).ok());
+    }
+  }
+}
+
+TEST_F(RulesTest, PlanPinningStopsFixpointPlanCacheChurn) {
+  // Every round of a fixpoint bumps the instance stats epoch, so the
+  // global (fingerprint, epoch)-keyed plan cache misses on every round.
+  // The per-run plan pin (on by default) compiles each condition once
+  // and reuses it for the whole run.
+  auto start = gen::InfoChain(scheme_, 24).ValueOrDie();
+
+  pattern::ResetGlobalPlanCache();
+  Scheme churn_scheme = scheme_;
+  Instance churn_g = start;
+  RuleEngine churn;
+  AddClosureRules(scheme_, &churn);
+  churn.set_eval_mode(EvalMode::kNaive);
+  churn.set_plan_pinning(false);
+  auto churn_report = churn.Run(&churn_scheme, &churn_g).ValueOrDie();
+  ASSERT_GT(churn_report.rounds, 2u);
+  // The churn: at least one fresh compile per round.
+  EXPECT_GE(churn_report.match.plan_cache_misses, churn_report.rounds);
+  EXPECT_LT(churn_report.match.plan_cache_hits,
+            churn_report.match.plan_cache_misses);
+
+  pattern::ResetGlobalPlanCache();
+  Scheme pin_scheme = scheme_;
+  Instance pin_g = start;
+  RuleEngine pinned;
+  AddClosureRules(scheme_, &pinned);
+  pinned.set_eval_mode(EvalMode::kNaive);
+  ASSERT_TRUE(pinned.plan_pinning());  // the default
+  auto pin_report = pinned.Run(&pin_scheme, &pin_g).ValueOrDie();
+  EXPECT_EQ(pin_report.rounds, churn_report.rounds);
+  // The fix: one compile per rule for the entire run, every later
+  // evaluation a pin hit.
+  EXPECT_EQ(pin_report.match.plan_cache_misses, 2u);
+  EXPECT_EQ(pin_report.match.plan_cache_hits,
+            2 * (pin_report.rounds - 1));
+  EXPECT_EQ(DerivedReach(pin_g), DerivedReach(churn_g));
 }
 
 }  // namespace
