@@ -8,17 +8,24 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench_util.h"
+#include "common/deadline.h"
 #include "hypermedia/hypermedia.h"
 #include "method/method.h"
+#include "program/op_serialize.h"
 #include "program/program.h"
+#include "server/client.h"
 #include "server/session.h"
+#include "server/socket.h"
 #include "storage/database.h"
 #include "storage/file_env.h"
 
@@ -199,6 +206,106 @@ void BM_CommitRoundTrip(benchmark::State& state) {
   RemoveDir(dir);
 }
 BENCHMARK(BM_CommitRoundTrip)->UseRealTime();
+
+/// Overload sweep over real sockets: offered load of range(0) × the
+/// connection cap (8), with the front-door limits enforced (range(1)=1)
+/// or effectively disabled (range(1)=0). Each client loops
+/// connect/hello/exec/commit/quit; a shed or busy connection counts in
+/// `shed` and the client reconnects. items/sec is acked commits/sec
+/// across all clients; `p99_ack_ms` is the 99th-percentile commit ack
+/// latency among acked commits — the number that shows what admission
+/// control buys: without limits every connection is admitted and ack
+/// latency grows with the queue, with limits the excess is shed fast
+/// and the admitted tail stays flat.
+void BM_OverloadedSocketCommit(benchmark::State& state) {
+  const size_t multiplier = static_cast<size_t>(state.range(0));
+  const bool limited = state.range(1) != 0;
+  constexpr size_t kCap = 8;
+  constexpr size_t kCyclesPerClient = 4;
+  std::string dir = MakeTempDir();
+  ServerOptions options;
+  options.limits.max_connections = limited ? kCap : 4096;
+  options.limits.max_sessions = limited ? kCap : 4096;
+  auto srv = OpenServer(dir, options);
+  auto listener =
+      server::SocketServer::Listen(srv.get(), {}).ValueOrDie();
+  const schema::Scheme& scheme = srv->database().scheme();
+  Operation op(hypermedia::Fig12NodeAddition(scheme).ValueOrDie());
+  const std::string ops_text =
+      program::WriteOperations(scheme, {op}).ValueOrDie();
+
+  std::vector<double> latencies_ms;
+  size_t acked_total = 0;
+  size_t shed_total = 0;
+
+  for (auto _ : state) {
+    const size_t clients = kCap * multiplier;
+    std::atomic<size_t> acked{0};
+    std::atomic<size_t> shed{0};
+    std::vector<std::vector<double>> local(clients);
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    for (size_t c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        for (size_t i = 0; i < kCyclesPerClient; ++i) {
+          auto transport = server::SocketTransport::ConnectTcp(
+              "127.0.0.1", listener->port());
+          if (!transport.ok()) {
+            ++shed;
+            continue;
+          }
+          (*transport)
+              ->set_io_deadline(
+                  common::Deadline::After(std::chrono::seconds(30)));
+          server::Client client(transport->get());
+          if (!client.Hello().ok()) {  // shed/busy front door
+            ++shed;
+            continue;
+          }
+          if (!client.Exec(ops_text).ok()) continue;
+          auto start = std::chrono::steady_clock::now();
+          auto ack = client.Commit();
+          if (ack.ok()) {
+            ++acked;
+            local[c].push_back(
+                std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - start)
+                    .count());
+          }
+          (void)client.Quit();
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    for (std::vector<double>& l : local) {
+      latencies_ms.insert(latencies_ms.end(), l.begin(), l.end());
+    }
+    acked_total += acked;
+    shed_total += shed;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(acked_total));
+  state.counters["shed"] = static_cast<double>(shed_total);
+  if (!latencies_ms.empty()) {
+    std::sort(latencies_ms.begin(), latencies_ms.end());
+    state.counters["p99_ack_ms"] =
+        latencies_ms[latencies_ms.size() * 99 / 100 >= latencies_ms.size()
+                         ? latencies_ms.size() - 1
+                         : latencies_ms.size() * 99 / 100];
+  }
+  listener->Stop();
+  srv->Close().OrDie();
+  RemoveDir(dir);
+}
+BENCHMARK(BM_OverloadedSocketCommit)
+    ->Args({1, 1})
+    ->Args({2, 1})
+    ->Args({4, 1})
+    ->Args({1, 0})
+    ->Args({2, 0})
+    ->Args({4, 0})
+    ->ArgNames({"load_x", "limits"})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace good::bench

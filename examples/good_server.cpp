@@ -6,6 +6,14 @@
 //   good_server --selftest             end-to-end smoke test (temp dir,
 //                                      ephemeral port, scripted clients)
 //
+// Overload limits (see src/server/limits.h for semantics/defaults):
+//   --max-conns N      concurrent connections before shedding
+//   --max-sessions N   concurrent sessions before busy errors
+//   --idle-ms N        idle eviction timeout (slow-loris cutoff)
+//   --max-line N       longest protocol line in bytes
+//   --max-body N       largest request body in bytes
+//   --max-working N    max working-copy growth (nodes+edges) per session
+//
 // The directory is created (with the paper's hyper-media object base as
 // the initial state) when it holds no database yet. The database is
 // opened with per-append fsync OFF: durability comes from the commit
@@ -17,6 +25,7 @@
 //   ./build/examples/good_server /tmp/gooddb --port 7070
 //   ./build/examples/good_client --port 7070
 
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -53,7 +62,8 @@ storage::Options GroupCommitOptions() {
   return options;
 }
 
-int Serve(const std::string& dir, server::SocketServer::Options bind) {
+int Serve(const std::string& dir, server::SocketServer::Options bind,
+          const server::ServerLimits& limits) {
   auto db = storage::Database::Open(dir, PaperDatabase(),
                                     GroupCommitOptions());
   if (!db.ok()) {
@@ -61,7 +71,9 @@ int Serve(const std::string& dir, server::SocketServer::Options bind) {
                  db.status().ToString().c_str());
     return 1;
   }
-  auto srv = server::Server::Open(std::move(*db), {});
+  server::ServerOptions server_options;
+  server_options.limits = limits;
+  auto srv = server::Server::Open(std::move(*db), server_options);
   if (!srv.ok()) {
     std::fprintf(stderr, "server: %s\n", srv.status().ToString().c_str());
     return 1;
@@ -92,6 +104,11 @@ int Serve(const std::string& dir, server::SocketServer::Options bind) {
   sigwait(&set, &sig);
   std::printf("\nsignal %d: shutting down\n", sig);
   (*listener)->Stop();
+  server::OverloadStats overload = (*srv)->overload_stats();
+  std::printf("overload: %llu shed, %llu evicted, %llu quota rejections\n",
+              static_cast<unsigned long long>(overload.shed_connections),
+              static_cast<unsigned long long>(overload.evicted_sessions),
+              static_cast<unsigned long long>(overload.quota_rejections));
   return (*srv)->Close().ok() ? 0 : 1;
 }
 
@@ -200,6 +217,12 @@ int SelfTest() {
               "committed version %llu\n",
               ack3->retries, static_cast<unsigned long long>(ack3->version));
 
+  // The stats command reports overload + pipeline counters.
+  auto wire_stats = c1.Stats();
+  CHECK_OK(wire_stats.status());
+  std::printf("stats: %s\n", wire_stats->c_str());
+  CHECK_TRUE(wire_stats->rfind("stats shed 0 evicted 0 quota 0", 0) == 0);
+
   CHECK_OK(c1.Quit());
   CHECK_OK(c2.Quit());
 
@@ -220,8 +243,14 @@ int SelfTest() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const char* usage =
+      "usage: %s <dir> [--port N | --unix PATH]\n"
+      "          [--max-conns N] [--max-sessions N] [--idle-ms N]\n"
+      "          [--max-line N] [--max-body N] [--max-working N]\n"
+      "       %s --selftest\n";
   std::string dir;
   server::SocketServer::Options bind;
+  server::ServerLimits limits;
   bool selftest = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -231,21 +260,30 @@ int main(int argc, char** argv) {
       bind.tcp_port = std::atoi(argv[++i]);
     } else if (arg == "--unix" && i + 1 < argc) {
       bind.unix_path = argv[++i];
+    } else if (arg == "--max-conns" && i + 1 < argc) {
+      limits.max_connections = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--max-sessions" && i + 1 < argc) {
+      limits.max_sessions = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--idle-ms" && i + 1 < argc) {
+      limits.idle_timeout =
+          std::chrono::milliseconds(std::strtoll(argv[++i], nullptr, 10));
+    } else if (arg == "--max-line" && i + 1 < argc) {
+      limits.max_line_bytes = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--max-body" && i + 1 < argc) {
+      limits.max_body_bytes = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--max-working" && i + 1 < argc) {
+      limits.max_working_delta = std::strtoull(argv[++i], nullptr, 10);
     } else if (!arg.empty() && arg[0] != '-') {
       dir = arg;
     } else {
-      std::fprintf(stderr,
-                   "usage: %s <dir> [--port N | --unix PATH] | --selftest\n",
-                   argv[0]);
+      std::fprintf(stderr, usage, argv[0], argv[0]);
       return 2;
     }
   }
   if (selftest) return SelfTest();
   if (dir.empty()) {
-    std::fprintf(stderr,
-                 "usage: %s <dir> [--port N | --unix PATH] | --selftest\n",
-                 argv[0]);
+    std::fprintf(stderr, usage, argv[0], argv[0]);
     return 2;
   }
-  return Serve(dir, bind);
+  return Serve(dir, bind, limits);
 }

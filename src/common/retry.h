@@ -17,10 +17,17 @@
 /// Retry loops — the storage engine's WAL append retry, the server
 /// client's transaction auto-retry — gate on IsRetriable so that a
 /// permanent error surfaces immediately instead of burning the retry
-/// budget against a failure that cannot change.
+/// budget against a failure that cannot change. They share the Backoff
+/// schedule below: capped exponential delays with seeded ±jitter, so
+/// many clients that fail together do not retry in lockstep (and a
+/// test can still replay the exact delay sequence from the seed).
 
 #ifndef GOOD_COMMON_RETRY_H_
 #define GOOD_COMMON_RETRY_H_
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
 
 #include "common/status.h"
 
@@ -31,6 +38,70 @@ namespace good::common {
 inline bool IsRetriable(const Status& status) {
   return status.IsUnavailable() || status.IsAborted();
 }
+
+/// \brief Shape of a retry schedule: how many attempts, how long to
+/// wait between them, and how much seeded jitter to spread them out.
+struct BackoffPolicy {
+  /// Retries after the first attempt; 0 disables retrying.
+  size_t max_retries = 3;
+  /// Delay before the first retry; doubles per retry until `max_delay`.
+  std::chrono::microseconds initial_delay{500};
+  /// Hard ceiling on any single delay (the fix for "doubles forever").
+  std::chrono::microseconds max_delay{100'000};
+  /// Fractional jitter: each delay is scaled by a seeded factor drawn
+  /// uniformly from [1-jitter, 1+jitter]. 0 disables jitter.
+  double jitter = 0.25;
+  /// Seed of the jitter stream; the delay sequence is a pure function
+  /// of (policy, seed), so failures reproduce exactly.
+  uint64_t seed = 0;
+};
+
+/// \brief One retry loop's schedule state. Not thread-safe; make one
+/// per loop.
+class Backoff {
+ public:
+  explicit Backoff(BackoffPolicy policy)
+      : policy_(policy), rng_(policy.seed + 0x9e3779b97f4a7c15ull) {}
+
+  /// Retries consumed so far.
+  size_t retries() const { return retries_; }
+
+  /// True while the policy allows another retry.
+  bool CanRetry() const { return retries_ < policy_.max_retries; }
+
+  /// Consumes one retry and returns the jittered, capped delay to
+  /// sleep before it (zero when delays are disabled). Call only when
+  /// CanRetry().
+  std::chrono::microseconds NextDelay() {
+    ++retries_;
+    if (policy_.initial_delay.count() <= 0) {
+      return std::chrono::microseconds{0};
+    }
+    // initial * 2^(retries-1), saturating at max_delay.
+    int64_t delay = policy_.initial_delay.count();
+    for (size_t i = 1; i < retries_ && delay < policy_.max_delay.count();
+         ++i) {
+      delay *= 2;
+    }
+    delay = std::min<int64_t>(delay, policy_.max_delay.count());
+    if (policy_.jitter > 0.0) {
+      // splitmix64 step -> uniform factor in [1-jitter, 1+jitter].
+      uint64_t z = (rng_ += 0x9e3779b97f4a7c15ull);
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      z ^= z >> 31;
+      double unit = static_cast<double>(z >> 11) * 0x1.0p-53;  // [0,1)
+      double factor = 1.0 + policy_.jitter * (2.0 * unit - 1.0);
+      delay = static_cast<int64_t>(static_cast<double>(delay) * factor);
+    }
+    return std::chrono::microseconds{std::max<int64_t>(delay, 0)};
+  }
+
+ private:
+  BackoffPolicy policy_;
+  size_t retries_ = 0;
+  uint64_t rng_;
+};
 
 }  // namespace good::common
 

@@ -1,0 +1,131 @@
+#include "server/chaos.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace good::server {
+
+const char* ChaosModeName(ChaosMode mode) {
+  switch (mode) {
+    case ChaosMode::kShortWrite:
+      return "short-write";
+    case ChaosMode::kShortRead:
+      return "short-read";
+    case ChaosMode::kDisconnect:
+      return "disconnect";
+    case ChaosMode::kDelay:
+      return "delay";
+  }
+  return "unknown";
+}
+
+ChaosTransport::ChaosTransport(Transport* inner, ChaosOptions options)
+    : inner_(inner), options_(options),
+      rng_(options.seed + 0x9e3779b97f4a7c15ull) {
+  boundaries_until_fault_ = 0;
+  FaultsThisBoundary();  // burn the zeroth boundary to arm the schedule
+  faults_ = 0;
+}
+
+uint64_t ChaosTransport::NextRandom() {
+  uint64_t z = (rng_ += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+bool ChaosTransport::FaultsThisBoundary() {
+  if (boundaries_until_fault_ > 0) {
+    --boundaries_until_fault_;
+    return false;
+  }
+  // Re-arm: next fault after a uniform gap in [1, 2*period] boundaries
+  // (0 when period is 0 — every boundary faults).
+  boundaries_until_fault_ =
+      options_.period == 0 ? 0 : 1 + NextRandom() % (2 * options_.period);
+  ++faults_;
+  return true;
+}
+
+Status ChaosTransport::Disconnect(const char* during) {
+  disconnected_ = true;
+  (void)inner_->Close();
+  return Status::Unavailable(std::string("chaos: connection torn during ") +
+                             during);
+}
+
+Status ChaosTransport::Write(std::string_view bytes) {
+  if (disconnected_) {
+    return Status::Unavailable("chaos: connection already torn");
+  }
+  if (!FaultsThisBoundary()) return inner_->Write(bytes);
+  switch (options_.mode) {
+    case ChaosMode::kShortWrite: {
+      // Deliver everything, but torn into small seeded fragments with
+      // pauses so the peer's recv() sees the tears.
+      while (!bytes.empty()) {
+        size_t piece = 1 + NextRandom() % 5;
+        piece = std::min(piece, bytes.size());
+        GOOD_RETURN_NOT_OK(inner_->Write(bytes.substr(0, piece)));
+        bytes.remove_prefix(piece);
+        if (!bytes.empty()) {
+          std::this_thread::sleep_for(std::chrono::microseconds(
+              50 + NextRandom() % 150));
+        }
+      }
+      return Status::OK();
+    }
+    case ChaosMode::kDisconnect: {
+      // A seeded prefix escapes before the cut — possibly a whole
+      // request, so the server may apply what the caller saw fail.
+      size_t sent = NextRandom() % (bytes.size() + 1);
+      if (sent > 0) (void)inner_->Write(bytes.substr(0, sent));
+      return Disconnect("write");
+    }
+    case ChaosMode::kDelay:
+      if (options_.max_delay.count() > 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(
+            NextRandom() %
+            static_cast<uint64_t>(options_.max_delay.count() + 1)));
+      }
+      return inner_->Write(bytes);
+    case ChaosMode::kShortRead:
+      return inner_->Write(bytes);  // this family faults reads only
+  }
+  return inner_->Write(bytes);
+}
+
+Result<std::string> ChaosTransport::ReadLine() {
+  if (disconnected_) {
+    return Status::Unavailable("chaos: connection already torn");
+  }
+  if (!FaultsThisBoundary()) return inner_->ReadLine();
+  switch (options_.mode) {
+    case ChaosMode::kShortRead: {
+      // Tear the response across tiny receive chunks for this call.
+      inner_->set_recv_chunk_limit(1 + NextRandom() % 4);
+      Result<std::string> line = inner_->ReadLine();
+      inner_->set_recv_chunk_limit(0);
+      return line;
+    }
+    case ChaosMode::kDisconnect:
+      return Disconnect("read");
+    case ChaosMode::kDelay:
+      if (options_.max_delay.count() > 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(
+            NextRandom() %
+            static_cast<uint64_t>(options_.max_delay.count() + 1)));
+      }
+      return inner_->ReadLine();
+    case ChaosMode::kShortWrite:
+      return inner_->ReadLine();  // this family faults writes only
+  }
+  return inner_->ReadLine();
+}
+
+Status ChaosTransport::Close() {
+  disconnected_ = true;
+  return inner_->Close();
+}
+
+}  // namespace good::server

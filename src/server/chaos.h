@@ -1,0 +1,100 @@
+/// \file chaos.h
+/// \brief Deterministic network-fault injection for the client
+/// transport.
+///
+/// ChaosTransport decorates any Transport and injects one family of
+/// faults at seeded *operation boundaries* — the same design as the
+/// storage layer's CrashPointEnv (storage/fault_env.h), moved up to
+/// the wire: every Write/ReadLine call counts one boundary, a seeded
+/// schedule picks which boundaries fault, and the whole fault sequence
+/// is a pure function of (options, seed). A failing chaos episode
+/// therefore replays exactly from its seed.
+///
+/// Fault families (ChaosMode):
+///  - kShortWrite: a faulting Write is delivered in several small
+///    seeded fragments (with brief pauses), so the server sees request
+///    lines torn across arbitrary recv() boundaries. All bytes still
+///    arrive — this probes reassembly, not loss.
+///  - kShortRead: a faulting ReadLine caps the underlying transport's
+///    receive chunk size to a few bytes (Transport::
+///    set_recv_chunk_limit), tearing responses on the client side.
+///  - kDisconnect: a faulting Write delivers only a seeded prefix and
+///    then closes the connection; a faulting ReadLine closes it before
+///    reading. The caller observes kUnavailable and — crucially for
+///    commits — cannot know whether the server applied the request.
+///  - kDelay: a faulting call first sleeps a seeded duration (bounded
+///    by ChaosOptions::max_delay), probing idle-timeout interaction.
+///
+/// After an injected disconnect every further call returns
+/// kUnavailable, like a real torn socket. The decorator is
+/// single-threaded, matching the Transport contract.
+
+#ifndef GOOD_SERVER_CHAOS_H_
+#define GOOD_SERVER_CHAOS_H_
+
+#include <chrono>
+#include <cstdint>
+
+#include "server/client.h"
+
+namespace good::server {
+
+/// \brief Which fault family a ChaosTransport injects.
+enum class ChaosMode {
+  kShortWrite,
+  kShortRead,
+  kDisconnect,
+  kDelay,
+};
+
+const char* ChaosModeName(ChaosMode mode);
+
+struct ChaosOptions {
+  ChaosMode mode = ChaosMode::kShortWrite;
+  /// Seed of the fault schedule; same (options, seed) -> same faults.
+  uint64_t seed = 0;
+  /// Mean spacing between faulting boundaries: each gap is drawn
+  /// uniformly from [1, 2*period]. 0 faults every boundary.
+  size_t period = 3;
+  /// Upper bound on one injected kDelay sleep.
+  std::chrono::microseconds max_delay{2000};
+};
+
+/// \brief Transport decorator injecting seeded faults (see file
+/// comment). Borrows `inner`, which must outlive it.
+class ChaosTransport final : public Transport {
+ public:
+  ChaosTransport(Transport* inner, ChaosOptions options);
+
+  Status Write(std::string_view bytes) override;
+  Result<std::string> ReadLine() override;
+  Status Close() override;
+  void set_recv_chunk_limit(size_t bytes) override {
+    inner_->set_recv_chunk_limit(bytes);
+  }
+
+  /// Faults injected so far.
+  size_t faults_injected() const { return faults_; }
+  /// True once a kDisconnect fault tore the connection.
+  bool disconnected() const { return disconnected_; }
+
+ private:
+  /// Next value of the seeded stream (splitmix64).
+  uint64_t NextRandom();
+  /// Counts one boundary; true iff the schedule faults it (then
+  /// re-arms the schedule and counts the fault).
+  bool FaultsThisBoundary();
+  /// Tears the connection down chaos-side.
+  Status Disconnect(const char* during);
+
+  Transport* inner_;
+  ChaosOptions options_;
+  uint64_t rng_;
+  uint64_t boundaries_until_fault_;
+  size_t faults_ = 0;
+  bool disconnected_ = false;
+};
+
+}  // namespace good::server
+
+#endif  // GOOD_SERVER_CHAOS_H_

@@ -155,17 +155,18 @@ Result<Client::CommitAck> Client::Commit() {
   };
 
   GOOD_ASSIGN_OR_RETURN(ServerReply reply, commit_once());
-  size_t retries = 0;
-  std::chrono::microseconds backoff = options_.retry_backoff;
+  common::BackoffPolicy policy;
+  policy.max_retries = options_.max_commit_retries;
+  policy.initial_delay = options_.retry_backoff;
+  policy.max_delay = options_.max_retry_backoff;
+  policy.seed = options_.retry_jitter_seed;
+  common::Backoff backoff(policy);
   while (!reply.status.ok() && common::IsRetriable(reply.status) &&
-         retries < options_.max_commit_retries) {
+         backoff.CanRetry()) {
     // The server discarded the transaction and re-pinned a fresh
     // snapshot; replay the buffered bodies against it and try again.
-    if (backoff.count() > 0) {
-      std::this_thread::sleep_for(backoff);
-      backoff *= 2;
-    }
-    ++retries;
+    std::chrono::microseconds delay = backoff.NextDelay();
+    if (delay.count() > 0) std::this_thread::sleep_for(delay);
     for (const std::string& ops_text : txn_bodies_) {
       GOOD_ASSIGN_OR_RETURN(ServerReply exec_reply,
                             RoundTrip("exec", &ops_text));
@@ -184,7 +185,7 @@ Result<Client::CommitAck> Client::Commit() {
   GOOD_RETURN_NOT_OK(reply.status);
 
   CommitAck ack;
-  ack.retries = retries;
+  ack.retries = backoff.retries();
   GOOD_ASSIGN_OR_RETURN(ack.version, HeadValue(reply.head, "committed"));
   GOOD_ASSIGN_OR_RETURN(uint64_t batch, HeadValue(reply.head, "batch"));
   ack.batch_size = static_cast<size_t>(batch);
@@ -210,6 +211,12 @@ Status Client::ClearDeadline() {
   GOOD_ASSIGN_OR_RETURN(ServerReply reply,
                         RoundTrip("deadline none", nullptr));
   return reply.status;
+}
+
+Result<std::string> Client::Stats() {
+  GOOD_ASSIGN_OR_RETURN(ServerReply reply, RoundTrip("stats", nullptr));
+  GOOD_RETURN_NOT_OK(reply.status);
+  return std::move(reply.head);
 }
 
 Status Client::Quit() {

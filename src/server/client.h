@@ -41,6 +41,14 @@ class Transport {
   virtual Status Write(std::string_view bytes) = 0;
   /// Receives the next line, without its trailing newline.
   virtual Result<std::string> ReadLine() = 0;
+  /// Tears the connection down early (later calls fail). Default no-op
+  /// for transports with nothing to tear down.
+  virtual Status Close() { return Status::OK(); }
+  /// Caps how many bytes one underlying read may pull (0 restores the
+  /// transport default). A fault-injection hook — ChaosTransport uses
+  /// it to force short reads; transports without a byte stream ignore
+  /// it.
+  virtual void set_recv_chunk_limit(size_t bytes) { (void)bytes; }
 };
 
 /// \brief In-process transport: drives a Connection directly. The
@@ -81,8 +89,15 @@ struct ClientOptions {
   /// Replays-and-retries after a retriable commit failure. 0 disables
   /// auto-retry.
   size_t max_commit_retries = 3;
-  /// Sleep before each retry (doubling per attempt); zero disables.
+  /// Sleep before the first retry (doubling per attempt up to
+  /// `max_retry_backoff`); zero disables sleeping.
   std::chrono::microseconds retry_backoff{500};
+  /// Ceiling on any single retry sleep — backoff never doubles past
+  /// this.
+  std::chrono::microseconds max_retry_backoff{100'000};
+  /// Seed for the ±25% jitter spreading concurrent retriers apart
+  /// (common::Backoff); the delay sequence replays exactly per seed.
+  uint64_t retry_jitter_seed = 0;
 };
 
 /// \brief One parsed server reply.
@@ -141,6 +156,10 @@ class Client {
   /// Bounds subsequent session calls (and commit waits) server-side.
   Status SetDeadline(std::chrono::milliseconds budget);
   Status ClearDeadline();
+
+  /// Raw head of the `stats` reply ("stats shed <n> evicted <n> ...").
+  /// Works even on a connection refused by admission control.
+  Result<std::string> Stats();
 
   /// Closes the exchange politely.
   Status Quit();

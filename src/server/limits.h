@@ -1,0 +1,95 @@
+/// \file limits.h
+/// \brief Admission control and resource quotas for the server front
+/// door.
+///
+/// The session/commit layers assume cooperative callers; the network
+/// does not cooperate. ServerLimits is the single knob set bounding
+/// what one client — slow, greedy, or hostile — can cost the process:
+///
+///  - **Admission**: at most `max_connections` sockets are served at
+///    once (excess connections are shed with a retriable
+///    `err Unavailable busy` and closed) and at most `max_sessions`
+///    protocol sessions exist server-wide (covers in-process
+///    LocalTransport connections too).
+///  - **I/O deadlines**: a connection that sends no byte for
+///    `idle_timeout`, or stalls the server's response write for
+///    `write_timeout`, is evicted — the slow-loris defence. All socket
+///    I/O goes through poll-with-deadline (server/socket.cc).
+///  - **Quotas**: a protocol line longer than `max_line_bytes`, a
+///    dot-stuffed body larger than `max_body_bytes`, or a session
+///    working copy grown by more than `max_working_delta` nodes+edges
+///    is rejected with a typed kResourceExhausted instead of being
+///    buffered without bound. Line/body violations also close the
+///    connection: past a quota the stream cannot be resynchronized.
+///
+/// Every shed/eviction/rejection bumps an OverloadCounters slot, and
+/// the protocol `stats` command reports them — degradation under load
+/// is observable, not silent.
+
+#ifndef GOOD_SERVER_LIMITS_H_
+#define GOOD_SERVER_LIMITS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+
+namespace good::server {
+
+/// \brief Hard bounds on what the server accepts from the network.
+/// Zero never means "unlimited" — every limit is enforced as given;
+/// callers wanting laxer behavior raise the value explicitly.
+struct ServerLimits {
+  /// Concurrent socket connections served; excess accepts are shed
+  /// with `err Unavailable busy` + close.
+  size_t max_connections = 64;
+  /// Concurrent sessions server-wide (socket and in-process); excess
+  /// session starts are rejected with kUnavailable.
+  size_t max_sessions = 256;
+  /// Longest accepted protocol line (command or body line), excluding
+  /// the newline. Also bounds the unterminated-line backlog a
+  /// connection may buffer.
+  size_t max_line_bytes = 64 * 1024;
+  /// Largest accepted dot-stuffed request body (exec/count/match).
+  size_t max_body_bytes = 4 * 1024 * 1024;
+  /// Maximum growth (nodes + edges added beyond the pinned snapshot)
+  /// of one session's uncommitted working copy.
+  size_t max_working_delta = 1'000'000;
+  /// A connection sending no byte for this long is evicted.
+  std::chrono::milliseconds idle_timeout{30'000};
+  /// A connection not draining its response for this long is evicted.
+  std::chrono::milliseconds write_timeout{10'000};
+};
+
+/// \brief Point-in-time copy of the overload counters.
+struct OverloadStats {
+  uint64_t shed_connections = 0;   ///< Accepts refused at the cap.
+  uint64_t evicted_sessions = 0;   ///< Connections cut for stalling.
+  uint64_t quota_rejections = 0;   ///< Requests over a resource quota.
+};
+
+/// \brief Monotonic overload counters, bumped from accept loops,
+/// connection handlers and sessions concurrently.
+class OverloadCounters {
+ public:
+  void BumpShed() { shed_.fetch_add(1, std::memory_order_relaxed); }
+  void BumpEvicted() { evicted_.fetch_add(1, std::memory_order_relaxed); }
+  void BumpQuota() { quota_.fetch_add(1, std::memory_order_relaxed); }
+
+  OverloadStats Snapshot() const {
+    OverloadStats stats;
+    stats.shed_connections = shed_.load(std::memory_order_relaxed);
+    stats.evicted_sessions = evicted_.load(std::memory_order_relaxed);
+    stats.quota_rejections = quota_.load(std::memory_order_relaxed);
+    return stats;
+  }
+
+ private:
+  std::atomic<uint64_t> shed_{0};
+  std::atomic<uint64_t> evicted_{0};
+  std::atomic<uint64_t> quota_{0};
+};
+
+}  // namespace good::server
+
+#endif  // GOOD_SERVER_LIMITS_H_

@@ -116,7 +116,30 @@ std::string EncodeRequest(std::string_view command_line,
   return out;
 }
 
+Connection::Connection(Server* server) : server_(server) {
+  auto session = server->TryStartSession();
+  if (session.ok()) {
+    session_ = std::move(*session);
+  } else {
+    admission_ = session.status();
+  }
+}
+
+void Connection::QuotaViolation(const std::string& what, std::string* out) {
+  server_->overload_counters().BumpQuota();
+  Err(Status::ResourceExhausted(what), out);
+  // The stream cannot be resynchronized past an over-quota line/body;
+  // drop the buffered bytes and tell the transport to hang up.
+  input_.clear();
+  body_.clear();
+  pending_command_.clear();
+  in_body_ = false;
+  closed_ = true;
+}
+
 void Connection::Feed(std::string_view bytes, std::string* out) {
+  if (closed_) return;
+  const ServerLimits& limits = server_->limits();
   input_.append(bytes);
   size_t start = 0;
   for (;;) {
@@ -124,10 +147,30 @@ void Connection::Feed(std::string_view bytes, std::string* out) {
     if (eol == std::string::npos) break;
     std::string_view line(input_.data() + start, eol - start);
     if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (line.size() > limits.max_line_bytes) {
+      QuotaViolation("protocol line of " + std::to_string(line.size()) +
+                         " bytes exceeds the " +
+                         std::to_string(limits.max_line_bytes) +
+                         "-byte limit",
+                     out);
+      return;
+    }
     HandleLine(line, out);
+    if (closed_) {
+      input_.clear();
+      return;
+    }
     start = eol + 1;
   }
   input_.erase(0, start);
+  // An unterminated line may never terminate; cap the backlog too so a
+  // newline-free stream cannot buffer unboundedly.
+  if (input_.size() > limits.max_line_bytes) {
+    QuotaViolation("unterminated protocol line exceeds the " +
+                       std::to_string(limits.max_line_bytes) +
+                       "-byte limit",
+                   out);
+  }
 }
 
 void Connection::HandleLine(std::string_view line, std::string* out) {
@@ -145,6 +188,13 @@ void Connection::HandleLine(std::string_view line, std::string* out) {
     // Undo dot-stuffing: a body line starting with '.' arrives with
     // one extra leading dot.
     if (!line.empty() && line.front() == '.') line.remove_prefix(1);
+    if (body_.size() + line.size() + 1 > server_->limits().max_body_bytes) {
+      QuotaViolation("request body exceeds the " +
+                         std::to_string(server_->limits().max_body_bytes) +
+                         "-byte limit",
+                     out);
+      return;
+    }
     body_.append(line);
     body_.push_back('\n');
     return;
@@ -161,6 +211,33 @@ void Connection::HandleLine(std::string_view line, std::string* out) {
 void Connection::Dispatch(const std::string& command_line,
                           const std::string& body, std::string* out) {
   std::string_view command = FirstToken(command_line);
+
+  if (command == "quit") {
+    closed_ = true;
+    Ok("bye", out);
+    return;
+  }
+  if (command == "stats") {
+    OverloadStats overload = server_->overload_stats();
+    PipelineStats pipeline = server_->pipeline_stats();
+    Ok("stats shed " + std::to_string(overload.shed_connections) +
+           " evicted " + std::to_string(overload.evicted_sessions) +
+           " quota " + std::to_string(overload.quota_rejections) +
+           " sessions " + std::to_string(server_->active_sessions()) +
+           " committed " + std::to_string(pipeline.committed) +
+           " conflicts " + std::to_string(pipeline.conflicts) +
+           " batches " + std::to_string(pipeline.batches),
+       out);
+    return;
+  }
+  if (session_ == nullptr) {
+    // Admission control refused this connection a session; every
+    // stateful request sheds with the (retriable) reason. `stats` and
+    // `quit` above still work so a load-shedding server stays
+    // observable and connections close politely.
+    Err(admission_, out);
+    return;
+  }
 
   if (command == "hello") {
     Ok(std::string(kProtocolVersion) + " base " +
@@ -281,11 +358,6 @@ void Connection::Dispatch(const std::string& command_line,
     session_->exec_options().deadline =
         common::Deadline::After(std::chrono::milliseconds(ms));
     Ok("deadline " + std::to_string(ms), out);
-    return;
-  }
-  if (command == "quit") {
-    closed_ = true;
-    Ok("bye", out);
     return;
   }
   Err(Status::InvalidArgument("unknown command '" + std::string(command) +

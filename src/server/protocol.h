@@ -34,6 +34,9 @@
 ///  - `rollback`         -> `ok rolledback`
 ///  - `deadline <ms>`    -> `ok` (bounds later calls; `deadline none`
 ///                          disarms)
+///  - `stats`            -> `ok stats shed <n> evicted <n> quota <n>
+///                          sessions <n> committed <n> conflicts <n>
+///                          batches <n>` (overload + pipeline counters)
 ///  - `quit`             -> `ok bye` and the connection closes
 ///
 /// The Connection class is deliberately socket-free: it consumes raw
@@ -41,6 +44,17 @@
 /// state machine serves a TCP/unix socket (server/socket.h), an
 /// in-process loopback (server/client.h) and plain string-driven
 /// tests.
+///
+/// Overload behavior (see server/limits.h): a connection admitted past
+/// the session cap answers every request with a retriable
+/// `err Unavailable busy ...` until the client quits; a line longer
+/// than max_line_bytes or a body larger than max_body_bytes draws
+/// `err ResourceExhausted ...` and closes the connection — past a
+/// quota the line stream cannot be resynchronized, and closing is the
+/// predictable-degradation answer. The protocol is strict
+/// request-then-response, so at most one request is in flight per
+/// connection by construction; pipelined bytes are bounded by the
+/// line/body quotas.
 
 #ifndef GOOD_SERVER_PROTOCOL_H_
 #define GOOD_SERVER_PROTOCOL_H_
@@ -72,15 +86,22 @@ std::string EncodeRequest(std::string_view command_line,
 /// one Session; single-threaded like the session it wraps.
 class Connection {
  public:
-  explicit Connection(Server* server)
-      : server_(server), session_(server->StartSession()) {}
+  /// Starts the connection's session through admission control
+  /// (Server::TryStartSession). Past the session cap the connection
+  /// still constructs but is session-less: every request draws the
+  /// retriable busy error (has_session() false).
+  explicit Connection(Server* server);
 
   /// Consumes `bytes`; every completed request appends its response to
   /// `*out`. Incomplete trailing lines are buffered for the next call.
   void Feed(std::string_view bytes, std::string* out);
 
-  /// True after `quit`; further input is ignored.
+  /// True after `quit` or a fatal quota violation; further input is
+  /// ignored and the transport should close the connection.
   bool closed() const { return closed_; }
+
+  /// False when admission control rejected the session.
+  bool has_session() const { return session_ != nullptr; }
 
   Session& session() { return *session_; }
 
@@ -88,9 +109,13 @@ class Connection {
   void HandleLine(std::string_view line, std::string* out);
   void Dispatch(const std::string& command_line, const std::string& body,
                 std::string* out);
+  /// Emits the error, bumps the quota counter, and closes.
+  void QuotaViolation(const std::string& what, std::string* out);
 
   Server* server_;
   std::unique_ptr<Session> session_;
+  /// Why TryStartSession rejected (session_ null).
+  Status admission_;
   std::string input_;
   bool in_body_ = false;
   std::string pending_command_;

@@ -35,6 +35,23 @@ Server::~Server() {
 }
 
 std::unique_ptr<Session> Server::StartSession() {
+  active_sessions_.fetch_add(1, std::memory_order_relaxed);
+  return std::unique_ptr<Session>(new Session(this, chain_.Current()));
+}
+
+Result<std::unique_ptr<Session>> Server::TryStartSession() {
+  // Optimistically claim a slot; back out if that overshot the cap.
+  // Two racing starts can then both be rejected at exactly the cap —
+  // shedding one admissible session under a burst is the safe side.
+  size_t live = active_sessions_.fetch_add(1, std::memory_order_relaxed);
+  if (live >= options_.limits.max_sessions) {
+    active_sessions_.fetch_sub(1, std::memory_order_relaxed);
+    overload_.BumpShed();
+    return Status::Unavailable(
+        "busy: session limit (" +
+        std::to_string(options_.limits.max_sessions) +
+        ") reached; retry later");
+  }
   return std::unique_ptr<Session>(new Session(this, chain_.Current()));
 }
 
@@ -50,6 +67,10 @@ Status Server::Close() {
 Session::Session(Server* server, VersionRef pinned)
     : server_(server), exec_(server->options_.exec),
       pinned_(std::move(pinned)) {}
+
+Session::~Session() {
+  server_->active_sessions_.fetch_sub(1, std::memory_order_relaxed);
+}
 
 Status Session::Refresh() {
   if (dirty()) {
@@ -97,9 +118,31 @@ void Session::DiscardWorking() {
 
 Status Session::Execute(const method::Operation& op) {
   GOOD_RETURN_NOT_OK(EnsureWorking());
+  // The quota savepoint brackets just this operation: the executor
+  // rolls back its own failures, but a *successful* operation that
+  // blew the working-copy growth quota must be undone too.
+  Savepoint quota_scope = MakeSavepoint();
   method::Executor executor(server_->options_.methods, exec_);
-  GOOD_RETURN_NOT_OK(
-      executor.Execute(op, &working_->scheme, &working_->instance));
+  Status executed =
+      executor.Execute(op, &working_->scheme, &working_->instance);
+  if (!executed.ok()) {
+    ReleaseSavepoint(&quota_scope);  // executor already rolled back
+    return executed;
+  }
+  size_t pinned_size =
+      pinned_->db.instance.num_nodes() + pinned_->db.instance.num_edges();
+  size_t working_size =
+      working_->instance.num_nodes() + working_->instance.num_edges();
+  size_t quota = server_->options_.limits.max_working_delta;
+  if (working_size > pinned_size && working_size - pinned_size > quota) {
+    RollbackTo(&quota_scope);
+    server_->overload_.BumpQuota();
+    return Status::ResourceExhausted(
+        "session working copy would grow by more than " +
+        std::to_string(quota) +
+        " nodes+edges beyond its snapshot; commit smaller transactions");
+  }
+  ReleaseSavepoint(&quota_scope);
   ops_.push_back(op);
   return Status::OK();
 }

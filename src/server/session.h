@@ -32,6 +32,7 @@
 #ifndef GOOD_SERVER_SESSION_H_
 #define GOOD_SERVER_SESSION_H_
 
+#include <atomic>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -40,6 +41,7 @@
 #include "ops/transaction.h"
 #include "pattern/matcher.h"
 #include "server/commit_pipeline.h"
+#include "server/limits.h"
 #include "server/version.h"
 #include "storage/database.h"
 
@@ -62,6 +64,9 @@ struct ServerOptions {
   /// via Session::exec_options()). The deadline member also bounds
   /// commit waits.
   method::ExecOptions exec;
+  /// Admission-control and resource quotas enforced at the front door
+  /// (sessions, protocol, sockets) — see server/limits.h.
+  ServerLimits limits;
 };
 
 /// \brief Shared front-end over one durable database.
@@ -76,12 +81,31 @@ class Server {
   ~Server();
 
   /// Starts a session pinned to the current published version.
+  /// Unconditional — the embedded (in-process, trusted) entry point.
   std::unique_ptr<Session> StartSession();
+
+  /// Admission-controlled session start: rejects with a retriable
+  /// kUnavailable once ServerLimits::max_sessions sessions are live.
+  /// The network front-end (protocol/socket) goes through here.
+  Result<std::unique_ptr<Session>> TryStartSession();
 
   /// The newest published version (never null).
   VersionRef current_version() const { return chain_.Current(); }
 
   PipelineStats pipeline_stats() const { return pipeline_->stats(); }
+
+  /// Front-door limits every layer above enforces.
+  const ServerLimits& limits() const { return options_.limits; }
+
+  /// Shed/eviction/quota counters (see server/limits.h); shared with
+  /// the socket listener and every connection.
+  OverloadCounters& overload_counters() { return overload_; }
+  OverloadStats overload_stats() const { return overload_.Snapshot(); }
+
+  /// Sessions currently alive (socket-backed and embedded).
+  size_t active_sessions() const {
+    return active_sessions_.load(std::memory_order_relaxed);
+  }
 
   /// Stops the commit pipeline (draining queued commits), then syncs
   /// and closes the database. Sessions keep serving snapshot reads;
@@ -100,6 +124,8 @@ class Server {
   storage::Database db_;
   VersionChain chain_;
   std::unique_ptr<CommitPipeline> pipeline_;
+  OverloadCounters overload_;
+  std::atomic<size_t> active_sessions_{0};
   bool closed_ = false;
 };
 
@@ -108,6 +134,8 @@ class Session {
  public:
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;
+
+  ~Session();
 
   // ---- Snapshot ------------------------------------------------------------
 
@@ -143,7 +171,11 @@ class Session {
   /// Executes `op` against the private working copy (creating it on
   /// first write) and buffers it for commit. On error the working copy
   /// is rolled back to the previous operation boundary and nothing is
-  /// buffered.
+  /// buffered. An operation that grows the working copy past
+  /// ServerLimits::max_working_delta nodes+edges beyond the pinned
+  /// snapshot is rolled back the same way and rejected with
+  /// kResourceExhausted (non-retriable: the same operations would blow
+  /// the same quota again).
   Status Execute(const method::Operation& op);
 
   /// Executes a sequence all-or-nothing: on the first failure the

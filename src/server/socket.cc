@@ -2,12 +2,14 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <utility>
 
@@ -16,20 +18,68 @@
 namespace good::server {
 namespace {
 
+using std::chrono::milliseconds;
+
+/// Poll slice: the longest any blocking socket wait goes without
+/// re-checking deadlines, idle budgets, and cancellation.
+constexpr int kPollSliceMs = 100;
+
 Status SocketError(const std::string& context, int err) {
   return Status::Unavailable(context + ": " + std::strerror(err));
 }
 
-Status WriteAll(int fd, std::string_view bytes) {
+/// Waits until `fd` is ready for `events`. Returns true when ready,
+/// false when `idle_budget` (>= 0) elapsed with no readiness; `deadline`
+/// expiry/cancellation and poll failures surface as typed errors.
+Result<bool> WaitReady(int fd, short events, const common::Deadline& deadline,
+                       milliseconds idle_budget) {
+  const auto start = std::chrono::steady_clock::now();
+  for (;;) {
+    GOOD_RETURN_NOT_OK(deadline.Check());
+    int wait_ms = kPollSliceMs;
+    if (idle_budget.count() >= 0) {
+      auto elapsed = std::chrono::duration_cast<milliseconds>(
+          std::chrono::steady_clock::now() - start);
+      auto remaining = idle_budget - elapsed;
+      if (remaining.count() <= 0) return false;
+      wait_ms = static_cast<int>(
+          std::min<long long>(remaining.count(), kPollSliceMs));
+    }
+    pollfd pfd{fd, events, 0};
+    int ready = ::poll(&pfd, 1, wait_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return SocketError("poll", errno);
+    }
+    // POLLHUP/POLLERR count as ready: the following recv/send reports
+    // the condition precisely.
+    if (ready > 0) return true;
+  }
+}
+
+/// Sends all of `bytes`, polling writability under `deadline` — a peer
+/// that stops draining its receive window stalls here and is cut off
+/// with the deadline's typed status.
+Status SendAll(int fd, std::string_view bytes,
+               const common::Deadline& deadline) {
   while (!bytes.empty()) {
+    GOOD_ASSIGN_OR_RETURN(bool ready,
+                          WaitReady(fd, POLLOUT, deadline, milliseconds{-1}));
+    (void)ready;  // no idle budget: only the deadline cuts the wait
     ssize_t n = ::send(fd, bytes.data(), bytes.size(), MSG_NOSIGNAL);
     if (n < 0) {
-      if (errno == EINTR) continue;
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
       return SocketError("send", errno);
     }
     bytes.remove_prefix(static_cast<size_t>(n));
   }
   return Status::OK();
+}
+
+/// Best-effort single-shot send for shed/eviction notices: never
+/// blocks the accept loop or an exiting handler.
+void SendNotice(int fd, std::string_view line) {
+  (void)::send(fd, line.data(), line.size(), MSG_NOSIGNAL | MSG_DONTWAIT);
 }
 
 }  // namespace
@@ -78,8 +128,15 @@ SocketTransport::~SocketTransport() {
   if (fd_ >= 0) ::close(fd_);
 }
 
+Status SocketTransport::Close() {
+  // Half-close only: the fd stays allocated (so no concurrent reuse
+  // race) and every blocked or future read/write fails promptly.
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+  return Status::OK();
+}
+
 Status SocketTransport::Write(std::string_view bytes) {
-  return WriteAll(fd_, bytes);
+  return SendAll(fd_, bytes, deadline_);
 }
 
 Result<std::string> SocketTransport::ReadLine() {
@@ -91,10 +148,20 @@ Result<std::string> SocketTransport::ReadLine() {
       if (!line.empty() && line.back() == '\r') line.pop_back();
       return line;
     }
+    if (buffer_.size() > max_line_bytes_) {
+      return Status::ResourceExhausted(
+          "peer sent a line longer than " + std::to_string(max_line_bytes_) +
+          " bytes; closing rather than buffering without bound");
+    }
+    GOOD_ASSIGN_OR_RETURN(
+        bool ready, WaitReady(fd_, POLLIN, deadline_, milliseconds{-1}));
+    (void)ready;
     char chunk[4096];
-    ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    size_t want = sizeof(chunk);
+    if (recv_chunk_limit_ > 0) want = std::min(want, recv_chunk_limit_);
+    ssize_t n = ::recv(fd_, chunk, want, 0);
     if (n < 0) {
-      if (errno == EINTR) continue;
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
       return SocketError("recv", errno);
     }
     if (n == 0) {
@@ -172,6 +239,11 @@ size_t SocketServer::connections_accepted() const {
   return accepted_;
 }
 
+size_t SocketServer::active_connections() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return live_fds_.size();
+}
+
 void SocketServer::Stop() {
   std::map<uint64_t, std::thread> handlers;
   {
@@ -236,6 +308,16 @@ void SocketServer::AcceptLoop() {
       ::close(fd);
       return;
     }
+    if (live_fds_.size() >= server_->limits().max_connections) {
+      // Load shedding: refuse with a retriable, observable error
+      // instead of queuing unboundedly behind a full handler pool.
+      server_->overload_counters().BumpShed();
+      SendNotice(fd,
+                 "err Unavailable busy: connection limit reached; retry "
+                 "later\n");
+      ::close(fd);
+      continue;
+    }
     ++accepted_;
     live_fds_.push_back(fd);
     uint64_t id = next_handler_id_++;
@@ -245,9 +327,24 @@ void SocketServer::AcceptLoop() {
 
 void SocketServer::Serve(int fd, uint64_t id) {
   Connection connection(server_);
+  const ServerLimits& limits = server_->limits();
+  const common::Deadline no_deadline;  // handlers bound waits by budgets
   std::string out;
   char chunk[4096];
   while (!connection.closed()) {
+    auto readable =
+        WaitReady(fd, POLLIN, no_deadline,
+                  std::chrono::duration_cast<milliseconds>(
+                      limits.idle_timeout));
+    if (!readable.ok()) break;  // poll failure: treat as disconnect
+    if (!*readable) {
+      // Idle timeout: the slow-loris eviction. One best-effort notice,
+      // then the connection is gone and its handler thread with it.
+      server_->overload_counters().BumpEvicted();
+      SendNotice(fd,
+                 "err Unavailable idle timeout: connection evicted\n");
+      break;
+    }
     ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
     if (n < 0) {
       if (errno == EINTR) continue;
@@ -256,7 +353,18 @@ void SocketServer::Serve(int fd, uint64_t id) {
     if (n == 0) break;  // peer hung up
     out.clear();
     connection.Feed(std::string_view(chunk, static_cast<size_t>(n)), &out);
-    if (!out.empty() && !WriteAll(fd, out).ok()) break;
+    if (!out.empty()) {
+      Status written = SendAll(
+          fd, out, common::Deadline::After(limits.write_timeout));
+      if (!written.ok()) {
+        if (written.IsDeadlineExceeded()) {
+          // The peer stopped draining its responses: evict rather than
+          // pin this handler on a full send buffer.
+          server_->overload_counters().BumpEvicted();
+        }
+        break;
+      }
+    }
   }
   {
     // Unregister before closing: once close() recycles the descriptor

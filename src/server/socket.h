@@ -8,6 +8,20 @@
 /// own handler thread owning one Connection (and hence one Session) —
 /// the thread-per-connection model the session layer's single-threaded
 /// contract expects.
+///
+/// The listener enforces the server's front-door limits
+/// (Server::limits(), see server/limits.h):
+///
+///  - accepts past ServerLimits::max_connections are *shed*: the
+///    socket gets one retriable `err Unavailable busy ...` line and is
+///    closed, the accept loop keeps running, and
+///    OverloadCounters::shed_connections is bumped;
+///  - every read and write in a handler goes through poll-with-
+///    deadline. A connection that sends nothing for
+///    ServerLimits::idle_timeout — including one stalled mid-line, the
+///    slow-loris case — or does not drain its response within
+///    ServerLimits::write_timeout is *evicted* (best-effort
+///    `err Unavailable ...` line, close, evicted_sessions bumped).
 
 #ifndef GOOD_SERVER_SOCKET_H_
 #define GOOD_SERVER_SOCKET_H_
@@ -20,6 +34,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/result.h"
 #include "server/client.h"
 #include "server/session.h"
@@ -43,11 +58,33 @@ class SocketTransport final : public Transport {
   Status Write(std::string_view bytes) override;
   Result<std::string> ReadLine() override;
 
+  /// Half-closes the socket: in-flight reads/writes (also from other
+  /// threads) fail promptly with kUnavailable. Idempotent.
+  Status Close() override;
+
+  void set_recv_chunk_limit(size_t bytes) override {
+    recv_chunk_limit_ = bytes;
+  }
+
+  /// Bounds every subsequent Write/ReadLine: expiry mid-call returns
+  /// kDeadlineExceeded / kCancelled without blocking further. An
+  /// unarmed deadline (the default) blocks indefinitely.
+  void set_io_deadline(common::Deadline deadline) { deadline_ = deadline; }
+
+  /// Longest line ReadLine buffers before giving up with
+  /// kResourceExhausted — without it a peer that never sends a newline
+  /// would grow the buffer without bound.
+  void set_max_line_bytes(size_t bytes) { max_line_bytes_ = bytes; }
+  size_t max_line_bytes() const { return max_line_bytes_; }
+
  private:
   explicit SocketTransport(int fd) : fd_(fd) {}
 
   int fd_;
   std::string buffer_;
+  size_t recv_chunk_limit_ = 0;  // 0 = default chunk size
+  size_t max_line_bytes_ = 16 * 1024 * 1024;
+  common::Deadline deadline_;
 };
 
 /// \brief Accept loop serving the text protocol on one listening
@@ -64,7 +101,8 @@ class SocketServer {
   };
 
   /// Binds, listens, and starts the accept thread. `server` is
-  /// borrowed and must outlive the SocketServer.
+  /// borrowed and must outlive the SocketServer; its
+  /// ServerLimits/OverloadCounters govern admission and eviction.
   static Result<std::unique_ptr<SocketServer>> Listen(Server* server,
                                                       Options options);
 
@@ -75,8 +113,11 @@ class SocketServer {
   int port() const { return port_; }
   const std::string& unix_path() const { return options_.unix_path; }
 
-  /// Connections accepted so far.
+  /// Connections accepted so far (admitted, not shed).
   size_t connections_accepted() const;
+
+  /// Connections currently being served.
+  size_t active_connections() const;
 
   void Stop();
 

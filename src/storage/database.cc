@@ -412,11 +412,17 @@ Status Database::CheckWritable() const {
 
 Status Database::AppendWithRetry(std::string_view payload,
                                  ops::ApplyStats* stats) {
-  // Transient (common::IsRetriable) append faults are retried with
-  // exponential backoff; every failed attempt's torn bytes are
-  // truncated away before the next try so the record never lands
-  // twice. Permanent faults surface immediately.
-  size_t retries = 0;
+  // Transient (common::IsRetriable) append faults are retried on a
+  // shared capped-and-jittered backoff schedule (common::Backoff);
+  // every failed attempt's torn bytes are truncated away before the
+  // next try so the record never lands twice. Permanent faults surface
+  // immediately.
+  common::BackoffPolicy policy;
+  policy.max_retries = options_.wal_retry_limit;
+  policy.initial_delay = options_.wal_retry_backoff;
+  policy.max_delay = options_.wal_retry_max_backoff;
+  policy.seed = next_seq_;
+  common::Backoff backoff(policy);
   while (true) {
     Status logged = writer_->AppendRecord(payload);
     if (logged.ok()) break;
@@ -427,14 +433,11 @@ Status Database::AppendWithRetry(std::string_view payload,
       return logged;
     }
     if (!common::IsRetriable(logged)) return logged;
-    if (retries >= options_.wal_retry_limit) return logged;
-    ++retries;
-    if (options_.wal_retry_backoff.count() > 0) {
-      std::this_thread::sleep_for(options_.wal_retry_backoff *
-                                  (1 << (retries - 1)));
-    }
+    if (!backoff.CanRetry()) return logged;
+    std::chrono::microseconds delay = backoff.NextDelay();
+    if (delay.count() > 0) std::this_thread::sleep_for(delay);
   }
-  if (stats != nullptr) stats->wal_retries += retries;
+  if (stats != nullptr) stats->wal_retries += backoff.retries();
   return Status::OK();
 }
 

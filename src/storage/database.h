@@ -105,9 +105,12 @@ struct Options {
   /// 0 disables retrying (historical fail-fast behavior).
   size_t wal_retry_limit = 3;
   /// Sleep before the first retry; doubles per subsequent retry
-  /// (exponential backoff). Zero disables sleeping — tests use that to
-  /// keep fault-injection sweeps fast.
+  /// (exponential backoff, capped at wal_retry_max_backoff with seeded
+  /// ±25% jitter — see common::Backoff). Zero disables sleeping —
+  /// tests use that to keep fault-injection sweeps fast.
   std::chrono::microseconds wal_retry_backoff{100};
+  /// Ceiling on any single retry sleep.
+  std::chrono::microseconds wal_retry_max_backoff{1'000'000};
 };
 
 /// \brief Structured account of what Open() found, dropped, and did.

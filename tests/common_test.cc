@@ -203,6 +203,65 @@ TEST(RetryTest, OnlyTransientClassesAreRetriable) {
   EXPECT_FALSE(common::IsRetriable(Status::ResourceExhausted("budget")));
 }
 
+TEST(BackoffTest, DelaysDoubleUpToTheCapWithBoundedJitter) {
+  common::BackoffPolicy policy;
+  policy.max_retries = 8;
+  policy.initial_delay = std::chrono::microseconds{100};
+  policy.max_delay = std::chrono::microseconds{1000};
+  policy.jitter = 0.25;
+  policy.seed = 42;
+  common::Backoff backoff(policy);
+
+  int64_t expected_base = 100;
+  for (size_t i = 0; i < policy.max_retries; ++i) {
+    ASSERT_TRUE(backoff.CanRetry());
+    int64_t delay = backoff.NextDelay().count();
+    // Each delay is the doubled-and-capped base scaled by at most
+    // ±jitter — it never runs away past the cap.
+    EXPECT_GE(delay, expected_base * 3 / 4) << "retry " << i;
+    EXPECT_LE(delay, expected_base * 5 / 4) << "retry " << i;
+    expected_base = std::min<int64_t>(expected_base * 2, 1000);
+  }
+  // The budget is exhausted: the loop must stop here, not double on.
+  EXPECT_FALSE(backoff.CanRetry());
+  EXPECT_EQ(backoff.retries(), policy.max_retries);
+}
+
+TEST(BackoffTest, DelaySequenceIsAPureFunctionOfTheSeed) {
+  common::BackoffPolicy policy;
+  policy.max_retries = 5;
+  policy.seed = 7;
+  common::Backoff a(policy);
+  common::Backoff b(policy);
+  for (size_t i = 0; i < policy.max_retries; ++i) {
+    EXPECT_EQ(a.NextDelay().count(), b.NextDelay().count()) << i;
+  }
+  // A different seed jitters differently somewhere in the sequence.
+  policy.seed = 8;
+  common::Backoff c(policy);
+  common::Backoff replay(common::BackoffPolicy{
+      5, std::chrono::microseconds{500}, std::chrono::microseconds{100'000},
+      0.25, 7});
+  bool diverged = false;
+  for (size_t i = 0; i < policy.max_retries; ++i) {
+    diverged |= c.NextDelay().count() != replay.NextDelay().count();
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(BackoffTest, ZeroConfigurations) {
+  // max_retries 0: no retry is ever allowed.
+  common::BackoffPolicy none;
+  none.max_retries = 0;
+  EXPECT_FALSE(common::Backoff(none).CanRetry());
+  // initial_delay 0: retries allowed but never sleep (tests use this).
+  common::BackoffPolicy eager;
+  eager.initial_delay = std::chrono::microseconds{0};
+  common::Backoff backoff(eager);
+  ASSERT_TRUE(backoff.CanRetry());
+  EXPECT_EQ(backoff.NextDelay().count(), 0);
+}
+
 TEST(StatusCodeStringTest, EveryCodeRoundTrips) {
   // The server protocol sends codes by name ("err Aborted ...") and the
   // client decodes them back, so the mapping must be a bijection.

@@ -1,0 +1,434 @@
+/// Deterministic network-chaos sweep for the socket server: concurrent
+/// clients run conflict-free commit workloads through a seeded
+/// ChaosTransport (short reads, short writes, mid-frame disconnects,
+/// delays) against a real TCP listener, and every episode is checked
+/// against the committed-prefix oracle:
+///
+///  - every acked commit is applied exactly once (acked <= applied);
+///  - no commit is applied twice (applied <= attempts — each commit
+///    command sent applies at most once, even when the client saw the
+///    connection tear mid-exchange and cannot know the outcome);
+///  - the pipeline's committed counter agrees with the authoritative
+///    state;
+///  - after the episode the server still accepts and serves fresh
+///    connections, and every handler thread drains (active connection
+///    count returns to zero — a stuck handler hangs the drain wait and
+///    fails the test).
+///
+/// The workload is Figure 12's disconnected single-node insertion:
+/// empty source pattern, fresh node only, so transactions never
+/// conflict and the oracle needs no conflict accounting — applied
+/// commits are exactly the node-count delta.
+///
+/// Env knobs (mirrored by the CI server-chaos job):
+///  - GOOD_CHAOS_SEED: run only this seed (default: sweep kSeeds).
+///  - GOOD_CHAOS_THREADS: concurrent chaos clients (default 2).
+///
+/// Also here: the slow-loris eviction regression (a client stalling
+/// mid-line is evicted at idle_timeout while a concurrent client stays
+/// unaffected) and the connection-cap shed regression, both
+/// cross-checked against the `stats` counters.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "hypermedia/hypermedia.h"
+#include "program/op_serialize.h"
+#include "server/chaos.h"
+#include "server/client.h"
+#include "server/session.h"
+#include "server/socket.h"
+#include "storage/database.h"
+
+namespace good::server {
+namespace {
+
+namespace hm = good::hypermedia;
+
+using graph::Instance;
+using method::Operation;
+using schema::Scheme;
+
+constexpr uint64_t kSeeds = 24;  // per fault family, unless pinned
+
+std::string MakeTempDir() {
+  std::string tmpl = ::testing::TempDir() + "good_server_chaos_XXXXXX";
+  char* made = ::mkdtemp(tmpl.data());
+  EXPECT_NE(made, nullptr);
+  return tmpl;
+}
+
+program::Database PaperDatabase() {
+  Scheme scheme = hm::BuildScheme().ValueOrDie();
+  Instance instance =
+      std::move(hm::BuildInstance(scheme).ValueOrDie().instance);
+  return program::Database{std::move(scheme), std::move(instance)};
+}
+
+size_t EnvSizeT(const char* name, size_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return static_cast<size_t>(std::strtoull(value, nullptr, 10));
+}
+
+/// Seeds to sweep: the GOOD_CHAOS_SEED pin, or 0..kSeeds-1.
+std::vector<uint64_t> SweepSeeds() {
+  const char* pinned = std::getenv("GOOD_CHAOS_SEED");
+  if (pinned != nullptr && *pinned != '\0') {
+    return {std::strtoull(pinned, nullptr, 10)};
+  }
+  std::vector<uint64_t> seeds;
+  for (uint64_t s = 0; s < kSeeds; ++s) seeds.push_back(s);
+  return seeds;
+}
+
+struct EpisodeOutcome {
+  size_t attempts = 0;  ///< commit commands sent (upper bound on applies)
+  size_t acked = 0;     ///< commits the client saw succeed
+  size_t faults = 0;    ///< chaos faults injected
+  size_t applied = 0;   ///< versions published == commits actually applied
+};
+
+/// One chaos episode: `threads` clients each drive `kConnections`
+/// connections of hello/exec/commit through a seeded ChaosTransport.
+/// Returns the oracle-checked outcome (test failures are reported via
+/// ADD_FAILURE with the seed and mode for replay).
+EpisodeOutcome RunEpisode(ChaosMode mode, uint64_t seed, size_t threads) {
+  constexpr size_t kConnections = 3;  // per thread
+  const std::string trace = std::string("mode=") + ChaosModeName(mode) +
+                            " seed=" + std::to_string(seed);
+
+  std::string dir = MakeTempDir();
+  storage::Options db_options;
+  db_options.sync_every_append = false;
+  storage::Database db =
+      storage::Database::Open(dir, PaperDatabase(), db_options).ValueOrDie();
+  ServerOptions server_options;
+  server_options.max_batch = 4;
+  // Generous idle budget: injected delays (<=2ms) must never evict;
+  // eviction has its own regression test below.
+  server_options.limits.idle_timeout = std::chrono::milliseconds(5000);
+  auto server = Server::Open(std::move(db), server_options).ValueOrDie();
+  const size_t initial_nodes = server->database().instance().num_nodes();
+  const Scheme base_scheme = server->database().scheme();
+  Operation fig12(hm::Fig12NodeAddition(base_scheme).ValueOrDie());
+  const std::string fig12_text =
+      program::WriteOperations(base_scheme, {fig12}).ValueOrDie();
+
+  auto listener =
+      SocketServer::Listen(server.get(), SocketServer::Options{})
+          .ValueOrDie();
+  const int port = listener->port();
+
+  std::atomic<size_t> attempts{0};
+  std::atomic<size_t> acked{0};
+  std::atomic<size_t> faults{0};
+
+  auto worker = [&](size_t index) {
+    for (size_t c = 0; c < kConnections; ++c) {
+      auto transport = SocketTransport::ConnectTcp("127.0.0.1", port);
+      if (!transport.ok()) continue;  // accept backlog raced Stop; skip
+      (*transport)->set_io_deadline(
+          common::Deadline::After(std::chrono::seconds(10)));
+      ChaosOptions chaos_options;
+      chaos_options.mode = mode;
+      // Distinct per-connection fault stream, derived from the episode
+      // seed so the whole episode replays from GOOD_CHAOS_SEED.
+      chaos_options.seed =
+          seed * 1000003ull + index * 1009ull + c * 101ull;
+      ChaosTransport chaos(transport->get(), chaos_options);
+      ClientOptions client_options;
+      // One commit command per Commit() call: with auto-retry off,
+      // `attempts` counts exactly the commit commands sent, giving the
+      // oracle its upper bound. Fig 12 never conflicts, so retries
+      // would only mask chaos outcomes here.
+      client_options.max_commit_retries = 0;
+      Client client(&chaos, client_options);
+      if (!client.Hello().ok()) {
+        faults += chaos.faults_injected();
+        continue;
+      }
+      if (!client.Exec(fig12_text).ok()) {
+        faults += chaos.faults_injected();
+        continue;
+      }
+      ++attempts;
+      auto ack = client.Commit();
+      if (ack.ok()) ++acked;
+      (void)client.Quit();  // best-effort; torn connections just drop
+      faults += chaos.faults_injected();
+    }
+  };
+
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (size_t t = 0; t < threads; ++t) workers.emplace_back(worker, t);
+  for (std::thread& w : workers) w.join();
+
+  // Every handler must drain once its client is gone — a handler stuck
+  // past this wait is a leaked thread.
+  auto drain_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (listener->active_connections() > 0 &&
+         std::chrono::steady_clock::now() < drain_deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(listener->active_connections(), 0u)
+      << trace << ": handler threads did not drain";
+
+  EpisodeOutcome outcome;
+  outcome.attempts = attempts;
+  outcome.acked = acked;
+  outcome.faults = faults;
+  // Versions are published contiguously, exactly one per applied
+  // commit, so the newest version id counts the commits that actually
+  // landed — including ones whose ack the chaos tore away. (The state
+  // delta is no apply counter here: re-adding an identical disconnected
+  // node is absorbed by set semantics.)
+  outcome.applied = static_cast<size_t>(server->current_version()->id);
+
+  // Committed-prefix oracle.
+  EXPECT_LE(outcome.acked, outcome.applied)
+      << trace << ": an acked commit was not applied";
+  EXPECT_LE(outcome.applied, outcome.attempts)
+      << trace << ": more applies than commit commands (double apply)";
+  EXPECT_EQ(server->pipeline_stats().committed, outcome.applied)
+      << trace << ": pipeline counter disagrees with published versions";
+  EXPECT_GE(server->database().instance().num_nodes(), initial_nodes)
+      << trace;
+
+  // The server must still accept and serve after the episode.
+  auto fresh = SocketTransport::ConnectTcp("127.0.0.1", port);
+  EXPECT_TRUE(fresh.ok()) << trace << ": " << fresh.status().ToString();
+  if (fresh.ok()) {
+    (*fresh)->set_io_deadline(
+        common::Deadline::After(std::chrono::seconds(10)));
+    Client probe(fresh->get());
+    EXPECT_TRUE(probe.Hello().ok()) << trace;
+    auto version = probe.Version();
+    EXPECT_TRUE(version.ok()) << trace << ": " << version.status().ToString();
+    if (version.ok()) {
+      EXPECT_EQ(*version, outcome.applied) << trace;
+    }
+    auto stats = probe.Stats();
+    EXPECT_TRUE(stats.ok()) << trace << ": " << stats.status().ToString();
+    EXPECT_TRUE(probe.Quit().ok()) << trace;
+  }
+
+  listener->Stop();
+  EXPECT_TRUE(server->Close().ok()) << trace;
+  return outcome;
+}
+
+/// Sweeps all seeds of one fault family and requires the sweep as a
+/// whole to have injected faults and acked commits (individual seeds
+/// may legitimately ack nothing under heavy disconnects).
+void SweepMode(ChaosMode mode) {
+  const size_t threads = EnvSizeT("GOOD_CHAOS_THREADS", 2);
+  size_t total_faults = 0;
+  size_t total_acked = 0;
+  size_t total_attempts = 0;
+  for (uint64_t seed : SweepSeeds()) {
+    EpisodeOutcome outcome = RunEpisode(mode, seed, threads);
+    total_faults += outcome.faults;
+    total_acked += outcome.acked;
+    total_attempts += outcome.attempts;
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+  EXPECT_GT(total_faults, 0u) << "chaos injected nothing; sweep is vacuous";
+  EXPECT_GT(total_attempts, 0u);
+  if (mode != ChaosMode::kDisconnect) {
+    // Non-destructive fault families must not stop commits from
+    // landing; disconnects legitimately may under unlucky seeds.
+    EXPECT_GT(total_acked, 0u);
+  }
+}
+
+TEST(ServerChaosTest, ShortWriteSweep) { SweepMode(ChaosMode::kShortWrite); }
+
+TEST(ServerChaosTest, ShortReadSweep) { SweepMode(ChaosMode::kShortRead); }
+
+TEST(ServerChaosTest, DisconnectSweep) { SweepMode(ChaosMode::kDisconnect); }
+
+TEST(ServerChaosTest, DelaySweep) { SweepMode(ChaosMode::kDelay); }
+
+// ---------------------------------------------------------------------------
+// Eviction and shedding regressions (no chaos decorator needed)
+// ---------------------------------------------------------------------------
+
+/// A slow-loris client — one byte of a request, then silence — must be
+/// evicted within the idle timeout while a concurrent client keeps
+/// working, and the eviction must show up in `stats`.
+TEST(ServerOverloadTest, SlowLorisClientIsEvicted) {
+  std::string dir = MakeTempDir();
+  storage::Options db_options;
+  db_options.sync_every_append = false;
+  storage::Database db =
+      storage::Database::Open(dir, PaperDatabase(), db_options).ValueOrDie();
+  ServerOptions server_options;
+  server_options.limits.idle_timeout = std::chrono::milliseconds(150);
+  auto server = Server::Open(std::move(db), server_options).ValueOrDie();
+  auto listener =
+      SocketServer::Listen(server.get(), SocketServer::Options{})
+          .ValueOrDie();
+
+  // The attacker: a request torn off mid-line, then nothing.
+  auto attacker =
+      SocketTransport::ConnectTcp("127.0.0.1", listener->port())
+          .ValueOrDie();
+  attacker->set_io_deadline(common::Deadline::After(std::chrono::seconds(5)));
+  ASSERT_TRUE(attacker->Write("vers").ok());
+
+  // A well-behaved client serves fine while the attacker stalls.
+  auto good = SocketTransport::ConnectTcp("127.0.0.1", listener->port())
+                  .ValueOrDie();
+  good->set_io_deadline(common::Deadline::After(std::chrono::seconds(5)));
+  Client client(good.get());
+  ASSERT_TRUE(client.Hello().ok());
+  ASSERT_TRUE(client.Version().ok());
+
+  // Poll stats until the attacker is evicted — the polling traffic also
+  // keeps this client ahead of its own idle clock (idleness is
+  // per-connection, not per-victim).
+  bool evicted = false;
+  for (int i = 0; i < 200 && !evicted; ++i) {
+    auto stats = client.Stats();
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    evicted = stats->find("evicted 1") != std::string::npos;
+    if (!evicted) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+  EXPECT_TRUE(evicted) << "attacker not evicted within the idle timeout";
+
+  // The attacker observes the cut: the best-effort eviction notice, or
+  // just the close.
+  auto evicted_line = attacker->ReadLine();
+  if (evicted_line.ok()) {
+    EXPECT_EQ(evicted_line->rfind("err Unavailable idle timeout", 0), 0u)
+        << *evicted_line;
+  } else {
+    EXPECT_TRUE(evicted_line.status().IsUnavailable())
+        << evicted_line.status().ToString();
+  }
+
+  // The survivor is unaffected.
+  ASSERT_TRUE(client.Version().ok());
+  EXPECT_TRUE(client.Quit().ok());
+
+  listener->Stop();
+  EXPECT_EQ(server->overload_stats().evicted_sessions, 1u);
+  ASSERT_TRUE(server->Close().ok());
+}
+
+/// Accepts past the connection cap are shed with a retriable busy
+/// error; admitted connections keep working and the shed is counted.
+TEST(ServerOverloadTest, ConnectionsPastCapAreShed) {
+  std::string dir = MakeTempDir();
+  storage::Options db_options;
+  db_options.sync_every_append = false;
+  storage::Database db =
+      storage::Database::Open(dir, PaperDatabase(), db_options).ValueOrDie();
+  ServerOptions server_options;
+  server_options.limits.max_connections = 2;
+  auto server = Server::Open(std::move(db), server_options).ValueOrDie();
+  auto listener =
+      SocketServer::Listen(server.get(), SocketServer::Options{})
+          .ValueOrDie();
+
+  // Two admitted connections, verified live (the hello round-trip
+  // guarantees their handlers are registered before the third accept).
+  auto first = SocketTransport::ConnectTcp("127.0.0.1", listener->port())
+                   .ValueOrDie();
+  first->set_io_deadline(common::Deadline::After(std::chrono::seconds(5)));
+  Client admitted_one(first.get());
+  ASSERT_TRUE(admitted_one.Hello().ok());
+  auto second = SocketTransport::ConnectTcp("127.0.0.1", listener->port())
+                    .ValueOrDie();
+  second->set_io_deadline(common::Deadline::After(std::chrono::seconds(5)));
+  Client admitted_two(second.get());
+  ASSERT_TRUE(admitted_two.Hello().ok());
+
+  // The third is shed with the retriable busy line.
+  auto third = SocketTransport::ConnectTcp("127.0.0.1", listener->port())
+                   .ValueOrDie();
+  third->set_io_deadline(common::Deadline::After(std::chrono::seconds(5)));
+  auto busy = third->ReadLine();
+  ASSERT_TRUE(busy.ok()) << busy.status().ToString();
+  EXPECT_EQ(busy->rfind("err Unavailable busy", 0), 0u) << *busy;
+
+  // Admitted clients are unaffected; the shed shows up in stats.
+  ASSERT_TRUE(admitted_one.Version().ok());
+  auto stats = admitted_two.Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_NE(stats->find("shed 1"), std::string::npos) << *stats;
+  EXPECT_TRUE(admitted_one.Quit().ok());
+  EXPECT_TRUE(admitted_two.Quit().ok());
+
+  listener->Stop();
+  EXPECT_EQ(server->overload_stats().shed_connections, 1u);
+  ASSERT_TRUE(server->Close().ok());
+}
+
+/// The client-side unbounded-buffer regression: a peer streaming bytes
+/// with no newline must be cut off at max_line_bytes with
+/// kResourceExhausted instead of buffering the stream without bound.
+/// (The server never emits newline-free streams, so the hostile peer is
+/// a raw socket here.)
+TEST(ServerOverloadTest, ClientReadLineCapsNewlineFreeStreams) {
+  int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listen_fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = 0;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                          &len),
+            0);
+  ASSERT_EQ(::listen(listen_fd, 1), 0);
+
+  // The hostile peer: a newline-free stream, far past the client cap.
+  std::thread evil([listen_fd] {
+    int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) return;
+    std::string junk(4096, 'x');
+    for (int i = 0; i < 64; ++i) {  // 256 KiB, not one newline
+      if (::send(fd, junk.data(), junk.size(), MSG_NOSIGNAL) < 0) break;
+    }
+    ::close(fd);
+  });
+
+  auto transport =
+      SocketTransport::ConnectTcp("127.0.0.1", ntohs(addr.sin_port))
+          .ValueOrDie();
+  transport->set_io_deadline(
+      common::Deadline::After(std::chrono::seconds(10)));
+  transport->set_max_line_bytes(64 * 1024);
+  auto line = transport->ReadLine();
+  ASSERT_FALSE(line.ok());
+  EXPECT_TRUE(line.status().IsResourceExhausted())
+      << line.status().ToString();
+
+  transport.reset();  // RST unblocks the sender if it is still pushing
+  evil.join();
+  ::close(listen_fd);
+}
+
+}  // namespace
+}  // namespace good::server

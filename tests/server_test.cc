@@ -8,6 +8,7 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <memory>
@@ -753,6 +754,227 @@ TEST(ClientTest, RetryDisabledSurfacesTheAbort) {
   // parsing back — the wire preserves the error model.
   EXPECT_TRUE(result.status().IsAborted()) << result.status().ToString();
   EXPECT_TRUE(common::IsRetriable(result.status()));
+  ASSERT_TRUE(server->Close().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Overload: admission control, quotas, and malformed-wire fuzzing
+// ---------------------------------------------------------------------------
+
+TEST(OverloadTest, SessionCapShedsWithRetriableBusy) {
+  std::string dir = MakeTempDir();
+  ServerOptions options;
+  options.limits.max_sessions = 1;
+  auto server = OpenPaperServer(dir, options);
+
+  auto admitted = std::make_unique<Connection>(server.get());
+  ASSERT_TRUE(admitted->has_session());
+  EXPECT_EQ(server->active_sessions(), 1u);
+
+  // Past the cap: the connection constructs session-less and answers
+  // every stateful request with the retriable busy error...
+  Connection refused(server.get());
+  EXPECT_FALSE(refused.has_session());
+  std::string out = RoundTrip(&refused, "version\n");
+  EXPECT_EQ(out.rfind("err Unavailable busy", 0), 0u) << out;
+  EXPECT_EQ(server->overload_stats().shed_connections, 1u);
+
+  // ...but stays observable (`stats`) and closes politely (`quit`).
+  out = RoundTrip(&refused, "stats\n");
+  EXPECT_EQ(out.rfind("ok stats shed 1 ", 0), 0u) << out;
+  EXPECT_EQ(RoundTrip(&refused, "quit\n"), "ok bye\n");
+
+  // Releasing the admitted session frees the slot.
+  admitted.reset();
+  EXPECT_EQ(server->active_sessions(), 0u);
+  Connection next(server.get());
+  EXPECT_TRUE(next.has_session());
+  EXPECT_EQ(RoundTrip(&next, "base\n"), "ok base 0\n");
+  ASSERT_TRUE(server->Close().ok());
+}
+
+TEST(OverloadTest, OversizedLineDrawsResourceExhaustedAndCloses) {
+  std::string dir = MakeTempDir();
+  ServerOptions options;
+  options.limits.max_line_bytes = 64;
+  auto server = OpenPaperServer(dir, options);
+  Connection connection(server.get());
+
+  std::string out =
+      RoundTrip(&connection, std::string(100, 'x') + "\n");
+  EXPECT_EQ(out.rfind("err ResourceExhausted", 0), 0u) << out;
+  EXPECT_TRUE(connection.closed());
+  EXPECT_EQ(server->overload_stats().quota_rejections, 1u);
+
+  // An unterminated line past the cap is cut off too — a newline-free
+  // stream must not buffer unboundedly (the server-side twin of the
+  // transport ReadLine cap).
+  Connection drip(server.get());
+  out.clear();
+  for (int i = 0; i < 10 && !drip.closed(); ++i) {
+    drip.Feed(std::string(16, 'y'), &out);  // never a newline
+  }
+  EXPECT_TRUE(drip.closed());
+  EXPECT_EQ(out.rfind("err ResourceExhausted", 0), 0u) << out;
+  EXPECT_EQ(server->overload_stats().quota_rejections, 2u);
+  ASSERT_TRUE(server->Close().ok());
+}
+
+TEST(OverloadTest, OversizedExecBodyDrawsResourceExhaustedAndCloses) {
+  std::string dir = MakeTempDir();
+  ServerOptions options;
+  options.limits.max_body_bytes = 128;
+  auto server = OpenPaperServer(dir, options);
+  Connection connection(server.get());
+
+  // Body lines within the line quota whose total exceeds the body
+  // quota: rejected at the accumulation step, before any parse.
+  std::string request = "exec\n";
+  for (int i = 0; i < 8; ++i) request += std::string(32, 'b') + "\n";
+  request += ".\n";
+  std::string out = RoundTrip(&connection, request);
+  EXPECT_EQ(out.rfind("err ResourceExhausted", 0), 0u) << out;
+  EXPECT_TRUE(connection.closed());
+  EXPECT_EQ(server->overload_stats().quota_rejections, 1u);
+  ASSERT_TRUE(server->Close().ok());
+}
+
+TEST(OverloadTest, WorkingCopyGrowthQuotaRejectsAndRollsBack) {
+  std::string dir = MakeTempDir();
+  ServerOptions options;
+  options.limits.max_working_delta = 0;  // any growth is over quota
+  auto server = OpenPaperServer(dir, options);
+  auto session = server->StartSession();
+  const Scheme& scheme = server->database().scheme();
+  Operation fig12(hm::Fig12NodeAddition(scheme).ValueOrDie());
+
+  Status executed = session->Execute(fig12);
+  EXPECT_TRUE(executed.IsResourceExhausted()) << executed.ToString();
+  EXPECT_FALSE(common::IsRetriable(executed))
+      << "re-running the same op would blow the same quota";
+  // The rejected operation left nothing behind: no buffered op, no
+  // working-copy growth, and the session keeps serving.
+  EXPECT_FALSE(session->dirty());
+  EXPECT_EQ(session->view().instance.num_nodes(),
+            server->database().instance().num_nodes());
+  EXPECT_EQ(server->overload_stats().quota_rejections, 1u);
+  CommitResult empty = session->Commit();
+  EXPECT_TRUE(empty.ok()) << empty.status.ToString();
+  EXPECT_EQ(server->current_version()->id, 0u);
+  ASSERT_TRUE(server->Close().ok());
+}
+
+/// Deterministic malformed-wire fuzz: random byte soup, truncated
+/// dot-stuffed bodies, oversized payloads and abrupt mid-request
+/// disconnects must draw typed `err` replies or a clean close — never
+/// a crash, a non-protocol response, or a leaked session.
+TEST(OverloadTest, MalformedWireFuzz) {
+  std::string dir = MakeTempDir();
+  ServerOptions options;
+  options.limits.max_line_bytes = 512;
+  options.limits.max_body_bytes = 2048;
+  auto server = OpenPaperServer(dir, options);
+
+  uint64_t rng = 0xfeedface;
+  auto next_random = [&rng] {
+    uint64_t z = (rng += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  };
+
+  const std::vector<std::string> pieces = {
+      "hello\n",
+      "version\n",
+      "exec\n",                       // opens a body, maybe never closed
+      ".\n",                          // stray terminator
+      "exec\ngarbage ][\n.\n",        // unparsable body
+      "commit\n",
+      "count\n",                      // body left truncated
+      std::string(600, 'A') + "\n",   // over the line quota
+      std::string("\x00\x01\xff\xfe garbage\n", 13),  // binary soup
+      "deadline -3\n",
+      "unknowncmd with args\n",
+      std::string(3000, '.'),         // newline-free drip
+      "rollback\n",
+      "quit\n",
+  };
+
+  for (int round = 0; round < 200; ++round) {
+    Connection connection(server.get());
+    ASSERT_TRUE(connection.has_session());
+    std::string out;
+    size_t commands = 1 + next_random() % 6;
+    for (size_t i = 0; i < commands && !connection.closed(); ++i) {
+      const std::string& piece = pieces[next_random() % pieces.size()];
+      // Feed in random fragments: tears must never confuse the state
+      // machine.
+      size_t pos = 0;
+      while (pos < piece.size() && !connection.closed()) {
+        size_t chunk = 1 + next_random() % 64;
+        chunk = std::min(chunk, piece.size() - pos);
+        out.clear();
+        connection.Feed(std::string_view(piece).substr(pos, chunk), &out);
+        pos += chunk;
+        // Every response burst is a sequence of protocol replies.
+        if (!out.empty()) {
+          EXPECT_TRUE(out.rfind("ok", 0) == 0 || out.rfind("err ", 0) == 0)
+              << "round " << round << ": non-protocol response " << out;
+        }
+      }
+      // Abrupt disconnect mid-exchange, ~1 in 8 commands: the
+      // connection (and its session) is simply destroyed below.
+      if (next_random() % 8 == 0) break;
+    }
+  }
+  // Every fuzz connection released its session on destruction.
+  EXPECT_EQ(server->active_sessions(), 0u);
+  // The server is intact: a fresh connection serves normally.
+  Connection fresh(server.get());
+  EXPECT_EQ(RoundTrip(&fresh, "version\n"),
+            "ok version " + std::to_string(server->current_version()->id) +
+                "\n");
+  ASSERT_TRUE(server->Close().ok());
+}
+
+/// An abrupt disconnect right after an acked commit must leave exactly
+/// the committed state — the commit is durable, the dead session's
+/// follow-up buffered writes evaporate.
+TEST(OverloadTest, DisconnectAfterCommitKeepsCommittedPrefix) {
+  std::string dir = MakeTempDir();
+  auto server = OpenPaperServer(dir);
+  const Scheme scheme = server->database().scheme();
+  Operation fig6(hm::Fig6NodeAddition(scheme).ValueOrDie());
+  std::string fig6_text =
+      program::WriteOperations(scheme, {fig6}).ValueOrDie();
+  Operation fig12(hm::Fig12NodeAddition(scheme).ValueOrDie());
+  std::string fig12_text =
+      program::WriteOperations(scheme, {fig12}).ValueOrDie();
+
+  {
+    Connection connection(server.get());
+    EXPECT_EQ(RoundTrip(&connection, "exec\n" + DotStuff(fig6_text)),
+              "ok applied 1\n");
+    std::string out = RoundTrip(&connection, "commit\n");
+    EXPECT_EQ(out.rfind("ok committed 1", 0), 0u) << out;
+    // More work is buffered but never committed; the client vanishes.
+    EXPECT_EQ(RoundTrip(&connection, "exec\n" + DotStuff(fig12_text)),
+              "ok applied 1\n");
+  }
+  EXPECT_EQ(server->active_sessions(), 0u);
+  EXPECT_EQ(server->current_version()->id, 1u);
+  EXPECT_EQ(server->pipeline_stats().committed, 1u);
+
+  // The authoritative state is exactly the acked prefix: fig6 alone.
+  Scheme oracle_scheme = hm::BuildScheme().ValueOrDie();
+  Instance oracle =
+      std::move(hm::BuildInstance(oracle_scheme).ValueOrDie().instance);
+  method::Executor exec(nullptr);
+  ASSERT_TRUE(
+      exec.Execute(Operation(hm::Fig6NodeAddition(oracle_scheme).ValueOrDie()),
+                   &oracle_scheme, &oracle)
+          .ok());
+  EXPECT_TRUE(graph::IsIsomorphic(server->database().instance(), oracle));
   ASSERT_TRUE(server->Close().ok());
 }
 
