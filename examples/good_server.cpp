@@ -105,10 +105,13 @@ int Serve(const std::string& dir, server::SocketServer::Options bind,
   std::printf("\nsignal %d: shutting down\n", sig);
   (*listener)->Stop();
   server::OverloadStats overload = (*srv)->overload_stats();
-  std::printf("overload: %llu shed, %llu evicted, %llu quota rejections\n",
-              static_cast<unsigned long long>(overload.shed_connections),
-              static_cast<unsigned long long>(overload.evicted_sessions),
-              static_cast<unsigned long long>(overload.quota_rejections));
+  std::printf(
+      "overload: %llu shed, %llu session sheds, %llu evicted, "
+      "%llu quota rejections\n",
+      static_cast<unsigned long long>(overload.shed_connections),
+      static_cast<unsigned long long>(overload.shed_sessions),
+      static_cast<unsigned long long>(overload.evicted_sessions),
+      static_cast<unsigned long long>(overload.quota_rejections));
   return (*srv)->Close().ok() ? 0 : 1;
 }
 
@@ -221,7 +224,8 @@ int SelfTest() {
   auto wire_stats = c1.Stats();
   CHECK_OK(wire_stats.status());
   std::printf("stats: %s\n", wire_stats->c_str());
-  CHECK_TRUE(wire_stats->rfind("stats shed 0 evicted 0 quota 0", 0) == 0);
+  CHECK_TRUE(wire_stats->rfind(
+                 "stats shed 0 shed_sessions 0 evicted 0 quota 0", 0) == 0);
 
   CHECK_OK(c1.Quit());
   CHECK_OK(c2.Quit());

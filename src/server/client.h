@@ -96,7 +96,10 @@ struct ClientOptions {
   /// this.
   std::chrono::microseconds max_retry_backoff{100'000};
   /// Seed for the ±25% jitter spreading concurrent retriers apart
-  /// (common::Backoff); the delay sequence replays exactly per seed.
+  /// (common::Backoff). 0 (the default) draws per-client entropy at
+  /// construction, so clients built with default options do not retry
+  /// in lockstep; set a nonzero seed to replay an exact delay
+  /// sequence (tests).
   uint64_t retry_jitter_seed = 0;
 };
 
@@ -113,7 +116,18 @@ class Client {
  public:
   /// `transport` is borrowed and must outlive the client.
   explicit Client(Transport* transport, ClientOptions options = {})
-      : transport_(transport), options_(options) {}
+      : transport_(transport), options_(options) {
+    if (options_.retry_jitter_seed == 0) {
+      // Distinct jitter stream per client by default: mix the object
+      // address with the construction time so concurrent clients that
+      // fail together do not back off in lockstep.
+      options_.retry_jitter_seed =
+          static_cast<uint64_t>(
+              std::chrono::steady_clock::now().time_since_epoch().count()) ^
+          (static_cast<uint64_t>(reinterpret_cast<uintptr_t>(this)) *
+           0x9e3779b97f4a7c15ull);
+    }
+  }
 
   /// Handshake; verifies the protocol version.
   Status Hello();

@@ -61,9 +61,12 @@ struct ServerLimits {
   std::chrono::milliseconds write_timeout{10'000};
 };
 
-/// \brief Point-in-time copy of the overload counters.
+/// \brief Point-in-time copy of the overload counters. Connection-cap
+/// and session-cap sheds are counted separately so an operator can
+/// tell which limit is firing.
 struct OverloadStats {
   uint64_t shed_connections = 0;   ///< Accepts refused at the cap.
+  uint64_t shed_sessions = 0;      ///< Session starts refused at the cap.
   uint64_t evicted_sessions = 0;   ///< Connections cut for stalling.
   uint64_t quota_rejections = 0;   ///< Requests over a resource quota.
 };
@@ -73,12 +76,16 @@ struct OverloadStats {
 class OverloadCounters {
  public:
   void BumpShed() { shed_.fetch_add(1, std::memory_order_relaxed); }
+  void BumpShedSession() {
+    shed_sessions_.fetch_add(1, std::memory_order_relaxed);
+  }
   void BumpEvicted() { evicted_.fetch_add(1, std::memory_order_relaxed); }
   void BumpQuota() { quota_.fetch_add(1, std::memory_order_relaxed); }
 
   OverloadStats Snapshot() const {
     OverloadStats stats;
     stats.shed_connections = shed_.load(std::memory_order_relaxed);
+    stats.shed_sessions = shed_sessions_.load(std::memory_order_relaxed);
     stats.evicted_sessions = evicted_.load(std::memory_order_relaxed);
     stats.quota_rejections = quota_.load(std::memory_order_relaxed);
     return stats;
@@ -86,6 +93,7 @@ class OverloadCounters {
 
  private:
   std::atomic<uint64_t> shed_{0};
+  std::atomic<uint64_t> shed_sessions_{0};
   std::atomic<uint64_t> evicted_{0};
   std::atomic<uint64_t> quota_{0};
 };

@@ -221,6 +221,7 @@ void Connection::Dispatch(const std::string& command_line,
     OverloadStats overload = server_->overload_stats();
     PipelineStats pipeline = server_->pipeline_stats();
     Ok("stats shed " + std::to_string(overload.shed_connections) +
+           " shed_sessions " + std::to_string(overload.shed_sessions) +
            " evicted " + std::to_string(overload.evicted_sessions) +
            " quota " + std::to_string(overload.quota_rejections) +
            " sessions " + std::to_string(server_->active_sessions()) +

@@ -34,9 +34,12 @@
 ///  - `rollback`         -> `ok rolledback`
 ///  - `deadline <ms>`    -> `ok` (bounds later calls; `deadline none`
 ///                          disarms)
-///  - `stats`            -> `ok stats shed <n> evicted <n> quota <n>
-///                          sessions <n> committed <n> conflicts <n>
-///                          batches <n>` (overload + pipeline counters)
+///  - `stats`            -> `ok stats shed <n> shed_sessions <n>
+///                          evicted <n> quota <n> sessions <n>
+///                          committed <n> conflicts <n> batches <n>`
+///                          (overload + pipeline counters; `shed` is
+///                          connection-cap sheds, `shed_sessions`
+///                          session-cap rejections)
 ///  - `quit`             -> `ok bye` and the connection closes
 ///
 /// The Connection class is deliberately socket-free: it consumes raw

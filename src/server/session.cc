@@ -46,7 +46,7 @@ Result<std::unique_ptr<Session>> Server::TryStartSession() {
   size_t live = active_sessions_.fetch_add(1, std::memory_order_relaxed);
   if (live >= options_.limits.max_sessions) {
     active_sessions_.fetch_sub(1, std::memory_order_relaxed);
-    overload_.BumpShed();
+    overload_.BumpShedSession();
     return Status::Unavailable(
         "busy: session limit (" +
         std::to_string(options_.limits.max_sessions) +

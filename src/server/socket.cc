@@ -1,6 +1,7 @@
 #include "server/socket.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
@@ -11,6 +12,7 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <thread>
 #include <utility>
 
 #include "server/protocol.h"
@@ -26,6 +28,19 @@ constexpr int kPollSliceMs = 100;
 
 Status SocketError(const std::string& context, int err) {
   return Status::Unavailable(context + ": " + std::strerror(err));
+}
+
+/// Every served or connected fd is non-blocking: readiness is decided
+/// by WaitReady alone, so a full send buffer (or a spuriously-woken
+/// recv) returns EAGAIN and loops back into the deadline/idle-budget
+/// poll instead of blocking the thread past its timeout.
+Status SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return SocketError("fcntl(F_GETFL)", errno);
+  if (::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return SocketError("fcntl(F_SETFL, O_NONBLOCK)", errno);
+  }
+  return Status::OK();
 }
 
 /// Waits until `fd` is ready for `events`. Returns true when ready,
@@ -102,6 +117,14 @@ Result<std::unique_ptr<SocketTransport>> SocketTransport::ConnectTcp(
     ::close(fd);
     return SocketError("connect " + host + ":" + std::to_string(port), err);
   }
+  // Non-blocking after the (blocking) connect: Write/ReadLine readiness
+  // is governed by WaitReady and set_io_deadline, never by the kernel
+  // blocking an fd.
+  Status nonblocking = SetNonBlocking(fd);
+  if (!nonblocking.ok()) {
+    ::close(fd);
+    return nonblocking;
+  }
   return std::unique_ptr<SocketTransport>(new SocketTransport(fd));
 }
 
@@ -120,6 +143,11 @@ Result<std::unique_ptr<SocketTransport>> SocketTransport::ConnectUnix(
     int err = errno;
     ::close(fd);
     return SocketError("connect " + path, err);
+  }
+  Status nonblocking = SetNonBlocking(fd);
+  if (!nonblocking.ok()) {
+    ::close(fd);
+    return nonblocking;
   }
   return std::unique_ptr<SocketTransport>(new SocketTransport(fd));
 }
@@ -299,8 +327,34 @@ void SocketServer::AcceptLoop() {
   for (;;) {
     int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd < 0) {
-      if (errno == EINTR) continue;
-      return;  // listener closed by Stop (or fatal accept error)
+      int err = errno;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (stopping_) return;  // listener closed by Stop
+      }
+      // A transient accept failure must not kill the listener: that
+      // would turn an overload burst into a permanent outage while the
+      // process stays up. ECONNABORTED is a peer resetting before we
+      // accepted (routine under connection floods); EMFILE/ENFILE/
+      // ENOBUFS/ENOMEM are descriptor/memory pressure that draining
+      // connections will relieve — back off briefly and retry.
+      if (err == EINTR || err == ECONNABORTED) continue;
+      if (err == EMFILE || err == ENFILE || err == ENOBUFS ||
+          err == ENOMEM) {
+        std::this_thread::sleep_for(milliseconds(10));
+        continue;
+      }
+      return;  // the listening socket itself is broken (e.g. EBADF)
+    }
+    if (!SetNonBlocking(fd).ok()) {
+      // Without O_NONBLOCK the write-timeout eviction cannot work;
+      // refuse the connection rather than serve it un-evictable.
+      ::close(fd);
+      continue;
+    }
+    if (options_.sndbuf_bytes > 0) {
+      int sndbuf = options_.sndbuf_bytes;
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &sndbuf, sizeof(sndbuf));
     }
     ReapFinishedHandlers();
     std::lock_guard<std::mutex> lock(mu_);
@@ -347,7 +401,11 @@ void SocketServer::Serve(int fd, uint64_t id) {
     }
     ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
     if (n < 0) {
-      if (errno == EINTR) continue;
+      // EAGAIN: the non-blocking fd woke spuriously; re-enter the
+      // idle-budget poll rather than treating it as a disconnect.
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+        continue;
+      }
       break;
     }
     if (n == 0) break;  // peer hung up

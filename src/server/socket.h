@@ -16,6 +16,10 @@
 ///    socket gets one retriable `err Unavailable busy ...` line and is
 ///    closed, the accept loop keeps running, and
 ///    OverloadCounters::shed_connections is bumped;
+///  - every served and connected fd is put in non-blocking mode, so
+///    readiness is decided solely by the poll-with-deadline helper —
+///    a peer that stops draining makes send() return EAGAIN instead
+///    of blocking the handler past its write timeout;
 ///  - every read and write in a handler goes through poll-with-
 ///    deadline. A connection that sends nothing for
 ///    ServerLimits::idle_timeout — including one stalled mid-line, the
@@ -98,6 +102,10 @@ class SocketServer {
     /// Otherwise listen on 127.0.0.1:tcp_port; 0 picks an ephemeral
     /// port (see port()).
     int tcp_port = 0;
+    /// When > 0, shrink each accepted socket's SO_SNDBUF to this many
+    /// bytes. A test knob: a small send buffer makes the write-timeout
+    /// eviction reachable with small responses.
+    int sndbuf_bytes = 0;
   };
 
   /// Binds, listens, and starts the accept thread. `server` is

@@ -26,8 +26,11 @@
 ///
 /// Also here: the slow-loris eviction regression (a client stalling
 /// mid-line is evicted at idle_timeout while a concurrent client stays
-/// unaffected) and the connection-cap shed regression, both
-/// cross-checked against the `stats` counters.
+/// unaffected), the connection-cap shed regression, and the
+/// write-stall eviction regression (a client that never drains its
+/// responses is cut at write_timeout instead of wedging its handler
+/// on a blocking send), all cross-checked against the `stats`
+/// counters.
 
 #include <gtest/gtest.h>
 
@@ -379,6 +382,63 @@ TEST(ServerOverloadTest, ConnectionsPastCapAreShed) {
 
   listener->Stop();
   EXPECT_EQ(server->overload_stats().shed_connections, 1u);
+  ASSERT_TRUE(server->Close().ok());
+}
+
+/// The write-timeout eviction regression: a client that requests far
+/// more response bytes than the (shrunken) kernel send buffer holds
+/// and then never reads must be evicted within write_timeout. With
+/// blocking fds the handler's send() would block forever once the
+/// buffer filled — the non-blocking fd turns the stall into EAGAIN,
+/// which the deadline poll converts into an eviction.
+TEST(ServerOverloadTest, WriteStalledClientIsEvicted) {
+  std::string dir = MakeTempDir();
+  storage::Options db_options;
+  db_options.sync_every_append = false;
+  storage::Database db =
+      storage::Database::Open(dir, PaperDatabase(), db_options).ValueOrDie();
+  ServerOptions server_options;
+  // A generous idle budget: the only way the handler gets unwedged
+  // within the test budget is the write-timeout path.
+  server_options.limits.idle_timeout = std::chrono::seconds(60);
+  server_options.limits.write_timeout = std::chrono::milliseconds(300);
+  auto server = Server::Open(std::move(db), server_options).ValueOrDie();
+  SocketServer::Options listen_options;
+  listen_options.sndbuf_bytes = 4096;  // wedge within KBs, not MBs
+  auto listener =
+      SocketServer::Listen(server.get(), listen_options).ValueOrDie();
+
+  // Pipeline thousands of `stats` requests — whose responses dwarf the
+  // shrunken send buffer plus this socket's receive buffer — and never
+  // read a byte back.
+  auto attacker = SocketTransport::ConnectTcp("127.0.0.1", listener->port())
+                      .ValueOrDie();
+  attacker->set_io_deadline(
+      common::Deadline::After(std::chrono::seconds(10)));
+  std::string flood;
+  for (int i = 0; i < 8192; ++i) flood += "stats\n";
+  ASSERT_TRUE(attacker->Write(flood).ok());
+
+  // The handler must cut the connection at write_timeout, not hang.
+  bool evicted = false;
+  for (int i = 0; i < 250 && !evicted; ++i) {
+    evicted = server->overload_stats().evicted_sessions >= 1;
+    if (!evicted) std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_TRUE(evicted)
+      << "write-stalled client not evicted within write_timeout";
+
+  // The server is still serving: a fresh client round-trips fine.
+  auto good = SocketTransport::ConnectTcp("127.0.0.1", listener->port())
+                  .ValueOrDie();
+  good->set_io_deadline(common::Deadline::After(std::chrono::seconds(5)));
+  Client client(good.get());
+  ASSERT_TRUE(client.Hello().ok());
+  ASSERT_TRUE(client.Version().ok());
+  EXPECT_TRUE(client.Quit().ok());
+
+  listener->Stop();
+  EXPECT_EQ(server->overload_stats().evicted_sessions, 1u);
   ASSERT_TRUE(server->Close().ok());
 }
 

@@ -777,11 +777,15 @@ TEST(OverloadTest, SessionCapShedsWithRetriableBusy) {
   EXPECT_FALSE(refused.has_session());
   std::string out = RoundTrip(&refused, "version\n");
   EXPECT_EQ(out.rfind("err Unavailable busy", 0), 0u) << out;
-  EXPECT_EQ(server->overload_stats().shed_connections, 1u);
+  // The session-cap rejection has its own counter — it must not be
+  // conflated with connection-cap sheds, so an operator can tell
+  // which limit fired.
+  EXPECT_EQ(server->overload_stats().shed_sessions, 1u);
+  EXPECT_EQ(server->overload_stats().shed_connections, 0u);
 
   // ...but stays observable (`stats`) and closes politely (`quit`).
   out = RoundTrip(&refused, "stats\n");
-  EXPECT_EQ(out.rfind("ok stats shed 1 ", 0), 0u) << out;
+  EXPECT_EQ(out.rfind("ok stats shed 0 shed_sessions 1 ", 0), 0u) << out;
   EXPECT_EQ(RoundTrip(&refused, "quit\n"), "ok bye\n");
 
   // Releasing the admitted session frees the slot.
