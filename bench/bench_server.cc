@@ -47,10 +47,12 @@ std::string MakeTempDir() {
 
 void RemoveDir(const std::string& dir) {
   auto* env = storage::FileEnv::Default();
-  (void)env->RemoveFile(Database::WalPath(dir));
-  (void)env->RemoveFile(Database::SnapshotPath(dir));
-  (void)env->RemoveFile(Database::PreviousSnapshotPath(dir));
-  (void)env->RemoveFile(Database::QuarantinePath(dir));
+  // The partitioned layout holds a variable file set; sweep it.
+  if (auto files = env->ListDir(dir); files.ok()) {
+    for (const std::string& name : *files) {
+      (void)env->RemoveFile(dir + "/" + name);
+    }
+  }
   ::rmdir(dir.c_str());
 }
 

@@ -166,8 +166,11 @@ void BM_WalRetry(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
   db.Close().OrDie();
   auto* fs = storage::FileEnv::Default();
-  (void)fs->RemoveFile(storage::Database::WalPath(dir));
-  (void)fs->RemoveFile(storage::Database::SnapshotPath(dir));
+  if (auto files = fs->ListDir(dir); files.ok()) {
+    for (const std::string& name : *files) {
+      (void)fs->RemoveFile(dir + "/" + name);
+    }
+  }
   ::rmdir(dir.c_str());
 }
 BENCHMARK(BM_WalRetry)->Arg(0)->Arg(1)->ArgName("fault");

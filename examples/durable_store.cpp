@@ -124,8 +124,14 @@ int main() {
   }
 
   auto* env = storage::FileEnv::Default();
-  (void)env->RemoveFile(storage::Database::WalPath(dir));
-  (void)env->RemoveFile(storage::Database::SnapshotPath(dir));
+  // The partitioned layout holds a variable set of files (manifest,
+  // per-class partitions, log), so sweep the directory instead of
+  // naming them.
+  if (auto files = env->ListDir(dir); files.ok()) {
+    for (const std::string& name : *files) {
+      (void)env->RemoveFile(dir + "/" + name);
+    }
+  }
   ::rmdir(dir.c_str());
   std::printf("\nOK\n");
   return 0;

@@ -16,6 +16,7 @@ Instance::Instance(const Instance& other)
       out_degree_sum_(other.out_degree_sum_),
       in_degree_sum_(other.in_degree_sum_),
       stats_epoch_(other.stats_epoch_),
+      dirty_classes_(other.dirty_classes_),
       label_index_(other.label_index_),
       printable_index_(other.printable_index_),
       edge_set_(other.edge_set_) {}
@@ -29,6 +30,7 @@ Instance& Instance::operator=(const Instance& other) {
   out_degree_sum_ = other.out_degree_sum_;
   in_degree_sum_ = other.in_degree_sum_;
   stats_epoch_ = other.stats_epoch_;
+  dirty_classes_ = other.dirty_classes_;
   label_index_ = other.label_index_;
   printable_index_ = other.printable_index_;
   edge_set_ = other.edge_set_;
@@ -44,6 +46,7 @@ Instance::Instance(Instance&& other) noexcept
       out_degree_sum_(std::move(other.out_degree_sum_)),
       in_degree_sum_(std::move(other.in_degree_sum_)),
       stats_epoch_(other.stats_epoch_),
+      dirty_classes_(std::move(other.dirty_classes_)),
       label_index_(std::move(other.label_index_)),
       printable_index_(std::move(other.printable_index_)),
       edge_set_(std::move(other.edge_set_)),
@@ -60,6 +63,7 @@ Instance& Instance::operator=(Instance&& other) noexcept {
   out_degree_sum_ = std::move(other.out_degree_sum_);
   in_degree_sum_ = std::move(other.in_degree_sum_);
   stats_epoch_ = other.stats_epoch_;
+  dirty_classes_ = std::move(other.dirty_classes_);
   label_index_ = std::move(other.label_index_);
   printable_index_ = std::move(other.printable_index_);
   edge_set_ = std::move(other.edge_set_);
@@ -102,6 +106,7 @@ NodeId Instance::NewNode(Symbol label, std::optional<Value> print) {
   ++num_alive_;
   label_index_[label].insert(id.id);
   BumpStatsEpoch();
+  MarkClassDirty(label);
   if (journal_ != nullptr) journal_->RecordNodeAdded(id);
   return id;
 }
@@ -139,6 +144,53 @@ Result<NodeId> Instance::AddValuelessPrintableNode(
         "'" + SymName(label) + "' is not a printable label of the scheme");
   }
   return NewNode(label, std::nullopt);
+}
+
+Result<NodeId> Instance::RestoreNodeAt(const schema::Scheme& scheme,
+                                       NodeId id, Symbol label,
+                                       std::optional<Value> print) {
+  if (id.id < nodes_.size()) {
+    return Status::InvalidArgument(
+        "node #" + std::to_string(id.id) +
+        " is below the allocation frontier (" +
+        std::to_string(nodes_.size()) +
+        ") — restore ids must be new and ascending");
+  }
+  if (print.has_value()) {
+    GOOD_ASSIGN_OR_RETURN(ValueKind domain, scheme.DomainOf(label));
+    if (print->kind() != domain) {
+      return Status::InvalidArgument(
+          "value " + print->ToString() + " has kind " +
+          std::string(ValueKindToString(print->kind())) + " but domain of '" +
+          SymName(label) + "' is " + std::string(ValueKindToString(domain)));
+    }
+    if (printable_index_[label].contains(*print)) {
+      return Status::InvalidArgument("printable (" + SymName(label) + ", " +
+                                     print->ToString() +
+                                     ") restored twice");
+    }
+  } else if (!scheme.IsObjectLabel(label) &&
+             !scheme.IsPrintableLabel(label)) {
+    return Status::InvalidArgument("'" + SymName(label) +
+                                   "' is not a label of the scheme");
+  }
+  // Dead filler: invisible to every query (HasNode checks alive), never
+  // revived (the undo journal only records nodes that were once alive).
+  while (nodes_.size() < id.id) {
+    nodes_.push_back(NodeRep{Symbol{}, std::nullopt, false, {}, {}, {}, {}});
+  }
+  std::optional<Value> dedup_key = print;
+  NodeId got = NewNode(label, std::move(print));
+  if (dedup_key.has_value()) {
+    printable_index_[label].emplace(std::move(*dedup_key), got.id);
+  }
+  return got;
+}
+
+void Instance::ReserveNodeFrontier(size_t frontier) {
+  while (nodes_.size() < frontier) {
+    nodes_.push_back(NodeRep{Symbol{}, std::nullopt, false, {}, {}, {}, {}});
+  }
 }
 
 namespace {
@@ -180,6 +232,7 @@ Status Instance::RemoveNode(NodeId node) {
       printable_index_[rep.label].erase(*rep.print);
     }
     BumpStatsEpoch();
+    MarkClassDirty(rep.label);
     journal_->RecordNodeKilled(node);
     return Status::OK();
   }
@@ -205,6 +258,8 @@ Status Instance::RemoveNode(NodeId node) {
     edge_set_.erase(Edge{source, label, node});
     --num_edges_;
     NoteEdgeRemovedStats(label, nodes_[source.id].label, rep.label);
+    // The detached in-edge lived in the *source's* partition.
+    MarkClassDirty(nodes_[source.id].label);
   }
   rep.out.clear();
   rep.in.clear();
@@ -217,6 +272,7 @@ Status Instance::RemoveNode(NodeId node) {
     printable_index_[rep.label].erase(*rep.print);
   }
   BumpStatsEpoch();
+  MarkClassDirty(rep.label);
   return Status::OK();
 }
 
@@ -261,6 +317,7 @@ Status Instance::AddEdge(const schema::Scheme& scheme, NodeId source,
   ++num_edges_;
   NoteEdgeAddedStats(label, source_label, target_label);
   BumpStatsEpoch();
+  MarkClassDirty(source_label);
   if (journal_ != nullptr) {
     journal_->RecordEdgeAdded(source, label, target, fresh_out_entry,
                               fresh_in_entry);
@@ -293,6 +350,7 @@ Status Instance::RemoveEdge(NodeId source, Symbol label, NodeId target) {
   --num_edges_;
   NoteEdgeRemovedStats(label, LabelOf(source), LabelOf(target));
   BumpStatsEpoch();
+  MarkClassDirty(LabelOf(source));
   if (journal_ != nullptr) {
     journal_->RecordEdgeRemoved(source, label, target, out_pos, in_pos,
                                 out_label_pos, in_label_pos);

@@ -119,6 +119,26 @@ class Instance {
   Result<NodeId> AddValuelessPrintableNode(const schema::Scheme& scheme,
                                            Symbol label);
 
+  /// Re-creates a node under its original id (checkpoint load). Ids are
+  /// never reused, so a snapshot's id set is sparse ascending; callers
+  /// restore in ascending order and `id` must lie at or beyond the
+  /// allocation frontier — the gap up to it is filled with tombstones
+  /// so every later id keeps its meaning. `print` (when set) must match
+  /// the label's domain and be new to its dedup index; restoring is
+  /// otherwise validated exactly like the Add* paths.
+  Result<NodeId> RestoreNodeAt(const schema::Scheme& scheme, NodeId id,
+                               Symbol label, std::optional<Value> print);
+
+  /// The id the next node will be allocated (ids are never reused, so
+  /// this only grows). Checkpoints persist it so a degraded load can
+  /// reserve past ids it could not read.
+  size_t NodeFrontier() const { return nodes_.size(); }
+
+  /// Pads the node table with tombstones until NodeFrontier() >=
+  /// `frontier`. Used by the checkpoint loader; no-op when already
+  /// there.
+  void ReserveNodeFrontier(size_t frontier);
+
   /// Removes `node` and all incident edges (node-deletion semantics).
   Status RemoveNode(NodeId node);
 
@@ -220,6 +240,26 @@ class Instance {
   /// instance.
   uint64_t stats_epoch() const { return stats_epoch_; }
 
+  // ---- Dirty-class tracking ----------------------------------------------
+  //
+  // Partitioned checkpoints (storage/partition.h) persist the instance
+  // per class: the partition of class C holds the C-labeled nodes plus
+  // every edge whose *source* is C-labeled. Each mutation therefore
+  // marks the classes whose partition content it changed — maintained
+  // alongside the stats epoch on every mutation path, including
+  // undo-journal rollback (an undone mutation still dirties the bytes
+  // on disk relative to the last checkpoint).
+
+  /// Classes whose partition content changed since the last
+  /// ClearDirtyClasses() (unordered; empty after a clear or for a
+  /// fresh instance). Copies inherit the source's dirty set.
+  const std::unordered_set<Symbol>& dirty_classes() const {
+    return dirty_classes_;
+  }
+  /// Resets the dirty set — called by the checkpointer once the marked
+  /// partitions are durably rewritten.
+  void ClearDirtyClasses() { dirty_classes_.clear(); }
+
   /// Number of alive edges carrying `label`.
   size_t CountEdgesWithLabel(Symbol label) const;
 
@@ -295,6 +335,8 @@ class Instance {
   /// Draws the next process-globally unique stats epoch.
   static uint64_t NextStatsEpoch();
   void BumpStatsEpoch() { stats_epoch_ = NextStatsEpoch(); }
+  /// Marks class `label`'s partition as needing a rewrite.
+  void MarkClassDirty(Symbol label) { dirty_classes_.insert(label); }
   /// Key for the degree-sum maps: (edge label, endpoint label).
   static uint64_t StatsKey(Symbol edge_label, Symbol endpoint_label) {
     return (static_cast<uint64_t>(edge_label.id) << 32) | endpoint_label.id;
@@ -313,6 +355,9 @@ class Instance {
   std::unordered_map<uint64_t, size_t> out_degree_sum_;
   std::unordered_map<uint64_t, size_t> in_degree_sum_;
   uint64_t stats_epoch_ = 0;
+  // Classes whose partition content changed since the last checkpoint
+  // (see the dirty-class accessor block above).
+  std::unordered_set<Symbol> dirty_classes_;
   // label -> alive node ids (ordered for deterministic iteration).
   std::unordered_map<Symbol, std::set<uint32_t>> label_index_;
   // printable label -> value -> node id.

@@ -27,7 +27,10 @@ void UndoJournal::RollbackTo(Instance* instance, Mark mark) {
   // and stamps a fresh stats epoch, so cached search plans built against
   // the rolled-back state are invalidated (the restored *counters* equal
   // the pre-transaction ones, but the epoch is new — plans are simply
-  // recompiled, never wrong).
+  // recompiled, never wrong). Undos also dirty the touched classes for
+  // the partitioned checkpointer: relative to the last checkpoint the
+  // on-disk partition may still differ even after a rollback, and a
+  // spurious dirty mark only costs one extra partition rewrite.
   while (entries_.size() > mark) {
     const Entry e = entries_.back();
     entries_.pop_back();
@@ -46,9 +49,11 @@ void UndoJournal::RollbackTo(Instance* instance, Mark mark) {
         if (rep.print.has_value()) {
           instance->printable_index_[rep.label].erase(*rep.print);
         }
+        const Symbol undone_label = rep.label;
         instance->nodes_.pop_back();
         --instance->num_alive_;
         instance->BumpStatsEpoch();
+        instance->MarkClassDirty(undone_label);
         break;
       }
       case Kind::kNodeKilled: {
@@ -65,6 +70,7 @@ void UndoJournal::RollbackTo(Instance* instance, Mark mark) {
                                                         e.node.id);
         }
         instance->BumpStatsEpoch();
+        instance->MarkClassDirty(rep.label);
         break;
       }
       case Kind::kEdgeAdded: {
@@ -90,6 +96,7 @@ void UndoJournal::RollbackTo(Instance* instance, Mark mark) {
                                        instance->nodes_[e.node.id].label,
                                        instance->nodes_[e.target.id].label);
         instance->BumpStatsEpoch();
+        instance->MarkClassDirty(instance->nodes_[e.node.id].label);
         break;
       }
       case Kind::kEdgeRemoved: {
@@ -110,6 +117,7 @@ void UndoJournal::RollbackTo(Instance* instance, Mark mark) {
                                      instance->nodes_[e.node.id].label,
                                      instance->nodes_[e.target.id].label);
         instance->BumpStatsEpoch();
+        instance->MarkClassDirty(instance->nodes_[e.node.id].label);
         break;
       }
     }

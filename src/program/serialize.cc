@@ -200,6 +200,12 @@ Result<Instance> ParseInstanceBody(const Scheme& scheme, Cursor* cursor,
 
 }  // namespace
 
+std::string WriteValueLiteral(const Value& value) { return WriteValue(value); }
+
+Result<Value> ParseValueLiteral(const std::string& raw, ValueKind domain) {
+  return ParseValue(raw, domain);
+}
+
 std::string WriteScheme(const Scheme& scheme) {
   std::ostringstream os;
   os << "scheme {\n";

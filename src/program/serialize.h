@@ -64,6 +64,14 @@ struct NamedInstance {
 Result<NamedInstance> ParseInstanceNamed(const schema::Scheme& scheme,
                                          const std::string& text);
 
+/// Writes one printable value as its quoted literal form (the text
+/// after `=` in a node statement). Round-trips via ParseValueLiteral.
+std::string WriteValueLiteral(const Value& value);
+
+/// Parses the unquoted text of a value literal according to `domain` —
+/// the inverse of WriteValueLiteral (which adds the quotes).
+Result<Value> ParseValueLiteral(const std::string& raw, ValueKind domain);
+
 /// Serializes a full database (scheme followed by instance).
 std::string WriteDatabase(const Database& database);
 

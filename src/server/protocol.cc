@@ -220,6 +220,15 @@ void Connection::Dispatch(const std::string& command_line,
   if (command == "stats") {
     OverloadStats overload = server_->overload_stats();
     PipelineStats pipeline = server_->pipeline_stats();
+    // Partition health rides along so an operator's first `stats` call
+    // shows whether recovery quarantined any snapshot partitions (those
+    // classes answer kUnavailable until repaired; see good_dbtool).
+    std::string quarantined;
+    for (const std::string& cls :
+         server_->database().quarantined_classes()) {
+      quarantined += quarantined.empty() ? " quarantined " : ",";
+      quarantined += cls;
+    }
     Ok("stats shed " + std::to_string(overload.shed_connections) +
            " shed_sessions " + std::to_string(overload.shed_sessions) +
            " evicted " + std::to_string(overload.evicted_sessions) +
@@ -227,7 +236,7 @@ void Connection::Dispatch(const std::string& command_line,
            " sessions " + std::to_string(server_->active_sessions()) +
            " committed " + std::to_string(pipeline.committed) +
            " conflicts " + std::to_string(pipeline.conflicts) +
-           " batches " + std::to_string(pipeline.batches),
+           " batches " + std::to_string(pipeline.batches) + quarantined,
        out);
     return;
   }

@@ -36,10 +36,14 @@
 ///                          disarms)
 ///  - `stats`            -> `ok stats shed <n> shed_sessions <n>
 ///                          evicted <n> quota <n> sessions <n>
-///                          committed <n> conflicts <n> batches <n>`
+///                          committed <n> conflicts <n> batches <n>
+///                          [quarantined <cls>,<cls>,...]`
 ///                          (overload + pipeline counters; `shed` is
 ///                          connection-cap sheds, `shed_sessions`
-///                          session-cap rejections)
+///                          session-cap rejections; the trailing
+///                          `quarantined` token appears only when
+///                          recovery quarantined snapshot partitions —
+///                          those classes answer kUnavailable)
 ///  - `quit`             -> `ok bye` and the connection closes
 ///
 /// The Connection class is deliberately socket-free: it consumes raw

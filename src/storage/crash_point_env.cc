@@ -182,6 +182,13 @@ Status CrashPointEnv::RemoveFile(const std::string& path) {
   return base_->RemoveFile(path);
 }
 
+Result<std::vector<std::string>> CrashPointEnv::ListDir(
+    const std::string& path) {
+  // Read-only: not a crash boundary, but a dead process cannot list.
+  GOOD_RETURN_NOT_OK(DeadIfCrashed());
+  return base_->ListDir(path);
+}
+
 Status CrashPointEnv::CreateDirs(const std::string& path) {
   GOOD_RETURN_NOT_OK(DeadIfCrashed());
   return base_->CreateDirs(path);

@@ -89,6 +89,7 @@ class CrashPointEnv final : public FileEnv {
   Result<uint64_t> FileSize(const std::string& path) override;
   Status RenameFile(const std::string& from, const std::string& to) override;
   Status RemoveFile(const std::string& path) override;
+  Result<std::vector<std::string>> ListDir(const std::string& path) override;
   Status CreateDirs(const std::string& path) override;
   Status SyncDir(const std::string& path) override;
 

@@ -1,13 +1,21 @@
 #include "storage/database.h"
 
 #include <algorithm>
+#include <sstream>
 #include <thread>
+#include <type_traits>
+#include <unordered_map>
+#include <unordered_set>
 #include <utility>
+#include <variant>
 
+#include "common/interner.h"
 #include "common/retry.h"
 #include "ops/transaction.h"
 #include "program/op_serialize.h"
 #include "program/serialize.h"
+#include "program/text.h"
+#include "storage/crc32.h"
 
 namespace good::storage {
 namespace {
@@ -15,6 +23,41 @@ namespace {
 const method::MethodRegistry& EmptyRegistry() {
   static const method::MethodRegistry* empty = new method::MethodRegistry();
   return *empty;
+}
+
+/// Collects every class an operation's execution can read or write:
+/// the labels of its pattern nodes plus any label the operation
+/// introduces nodes under. Returns false when the footprint cannot be
+/// determined statically — a method call executes whatever its body
+/// holds, so with quarantined partitions present it cannot be proven
+/// safe from its top-level form alone.
+bool CollectOpClasses(const method::Operation& op,
+                      std::unordered_set<Symbol>* classes) {
+  bool analyzable = true;
+  std::visit(
+      [&](const auto& concrete) {
+        using T = std::decay_t<decltype(concrete)>;
+        if constexpr (std::is_same_v<T, method::MethodCallOp>) {
+          analyzable = false;
+          for (graph::NodeId n : concrete.pattern.AllNodes()) {
+            classes->insert(concrete.pattern.LabelOf(n));
+          }
+        } else {
+          const auto& pattern = concrete.source_pattern();
+          for (graph::NodeId n : pattern.AllNodes()) {
+            classes->insert(pattern.LabelOf(n));
+          }
+          if constexpr (std::is_same_v<T, ops::NodeAddition>) {
+            classes->insert(concrete.new_label());
+          } else if constexpr (std::is_same_v<T, ops::Abstraction>) {
+            classes->insert(concrete.set_label());
+          } else if constexpr (std::is_same_v<T, ops::ComputedEdgeAddition>) {
+            classes->insert(concrete.output_label());
+          }
+        }
+      },
+      op);
+  return analyzable;
 }
 
 }  // namespace
@@ -43,9 +86,27 @@ std::string RecoveryReport::ToString() const {
     out += ", truncated " + std::to_string(bytes_truncated) + " B";
   }
   if (used_previous_snapshot) out += ", from previous snapshot";
+  if (migrated_legacy_snapshot) out += ", migrated legacy snapshot";
+  if (partitions_quarantined > 0) {
+    out += ", " + std::to_string(partitions_quarantined) +
+           " partition(s) quarantined";
+    if (dangling_edges_dropped > 0) {
+      out += " (" + std::to_string(dangling_edges_dropped) +
+             " dangling edges dropped)";
+    }
+  }
   if (salvaged) out += " [salvaged: " + salvage.ToString() + "]";
+  if (partial_degraded) out += " (partially degraded)";
   if (degraded) out += " (read-only degraded)";
   return out;
+}
+
+std::string Database::ManifestPath(const std::string& dir) {
+  return dir + "/manifest.good";
+}
+
+std::string Database::PreviousManifestPath(const std::string& dir) {
+  return dir + "/manifest.prev";
 }
 
 std::string Database::SnapshotPath(const std::string& dir) {
@@ -62,6 +123,10 @@ std::string Database::WalPath(const std::string& dir) {
 
 std::string Database::QuarantinePath(const std::string& dir) {
   return dir + "/wal.quarantine";
+}
+
+std::string Database::PartitionQuarantinePath(const std::string& dir) {
+  return dir + "/partition.quarantine";
 }
 
 Database::Database(std::string dir, Options options)
@@ -87,14 +152,28 @@ Result<Database> Database::Open(const std::string& dir,
     // A degraded open must not mutate anything — not even mkdir.
     GOOD_RETURN_NOT_OK(env->CreateDirs(dir));
   }
-  if (env->FileExists(SnapshotPath(dir)) ||
-      env->FileExists(PreviousSnapshotPath(dir))) {
+  const bool has_manifest = env->FileExists(ManifestPath(dir)) ||
+                            env->FileExists(PreviousManifestPath(dir));
+  const bool has_legacy = env->FileExists(SnapshotPath(dir)) ||
+                          env->FileExists(PreviousSnapshotPath(dir));
+  if (has_manifest || has_legacy) {
     db.recovery_.degraded = degraded;
     GOOD_RETURN_NOT_OK(db.LoadSnapshot());
     uint64_t valid_bytes = 0;
     GOOD_RETURN_NOT_OK(db.ReplayWal(&valid_bytes));
     if (!degraded) {
+      GOOD_RETURN_NOT_OK(db.SyncPartitionQuarantineSidecar());
       GOOD_RETURN_NOT_OK(db.OpenWalForAppend(valid_bytes));
+      if (!db.have_manifest_) {
+        // Legacy monolithic layout: the recovered state is checkpointed
+        // into the partitioned layout right away; the now-stale legacy
+        // snapshot files are swept by the checkpoint's GC. A crash
+        // anywhere in between re-runs the migration on the next open
+        // (before the manifest commits) or is covered by the ordinary
+        // sequence-number skip (after it).
+        GOOD_RETURN_NOT_OK(db.Checkpoint());
+        db.recovery_.migrated_legacy_snapshot = true;
+      }
     }
   } else {
     if (degraded) {
@@ -120,6 +199,35 @@ Result<Database> Database::Open(const std::string& dir,
     GOOD_RETURN_NOT_OK(db.Checkpoint());
   }
   return db;
+}
+
+Status Database::LoadManifestFile(const std::string& path) {
+  auto bytes = options_.env->ReadFileToString(path);
+  if (!bytes.ok()) {
+    return Status::DataLoss("manifest " + path +
+                            " unreadable: " + bytes.status().message());
+  }
+  auto decoded = DecodeManifest(*bytes);
+  if (!decoded.ok()) {
+    return Status::DataLoss("manifest " + path +
+                            " is damaged: " + decoded.status().message());
+  }
+  const bool allow_quarantine =
+      options_.salvage_mode != SalvageMode::kStrict;
+  auto loaded = LoadCheckpoint(options_.env, dir_, *decoded, allow_quarantine);
+  if (!loaded.ok()) return loaded.status();
+  db_ = std::move(loaded->db);
+  next_seq_ = loaded->next_seq;
+  last_scheme_text_ = std::move(loaded->scheme_text);
+  recovery_.partitions = std::move(loaded->partitions);
+  recovery_.partitions_quarantined = loaded->quarantined.size();
+  recovery_.dangling_edges_dropped = loaded->dangling_edges_dropped;
+  quarantined_.clear();
+  quarantined_.insert(loaded->quarantined.begin(), loaded->quarantined.end());
+  recovery_.partial_degraded = !quarantined_.empty();
+  manifest_ = std::move(*decoded);
+  have_manifest_ = true;
+  return Status::OK();
 }
 
 Status Database::LoadSnapshotFile(const std::string& path) {
@@ -153,6 +261,49 @@ Status Database::LoadSnapshotFile(const std::string& path) {
 
 Status Database::LoadSnapshot() {
   FileEnv* env = options_.env;
+  const std::string man = ManifestPath(dir_);
+  const std::string man_prev = PreviousManifestPath(dir_);
+  if (env->FileExists(man)) {
+    Status loaded = LoadManifestFile(man);
+    if (loaded.ok()) return loaded;
+    if (options_.salvage_mode == SalvageMode::kStrict) return loaded;
+    // Salvage modes: the current manifest chain is unusable — fall back
+    // to the one the last checkpoint displaced. Note the asymmetry with
+    // partition damage: a *readable* manifest with damaged partitions
+    // already returned OK above with those partitions quarantined,
+    // because the WAL was truncated at that manifest's commit — falling
+    // back to manifest.prev would lose every operation since the
+    // previous checkpoint for ALL classes, strictly worse than serving
+    // the healthy ones and quarantining the rest.
+    if (env->FileExists(man_prev)) {
+      // Reset whatever the failed attempt half-filled.
+      db_ = program::Database{};
+      recovery_.partitions.clear();
+      recovery_.partitions_quarantined = 0;
+      recovery_.dangling_edges_dropped = 0;
+      recovery_.partial_degraded = false;
+      quarantined_.clear();
+      Status fallback = LoadManifestFile(man_prev);
+      if (fallback.ok()) {
+        recovery_.used_previous_snapshot = true;
+        recovery_.salvaged = true;
+        return fallback;
+      }
+    }
+    return loaded;  // both damaged: surface the primary failure
+  }
+  if (env->FileExists(man_prev)) {
+    // No current manifest but a previous one: our own checkpoint crash
+    // window (between the two manifest renames). The untruncated log
+    // still holds everything since the previous checkpoint, so this
+    // recovers fully — in every mode, strict included.
+    GOOD_RETURN_NOT_OK(LoadManifestFile(man_prev));
+    recovery_.used_previous_snapshot = true;
+    return Status::OK();
+  }
+
+  // No manifest at all: the legacy monolithic layout. Loaded once here;
+  // Open's first checkpoint migrates it to the partitioned layout.
   const std::string snap = SnapshotPath(dir_);
   const std::string prev = PreviousSnapshotPath(dir_);
   if (env->FileExists(snap)) {
@@ -174,10 +325,8 @@ Status Database::LoadSnapshot() {
     }
     return loaded;  // both damaged: surface the primary failure
   }
-  // No current snapshot but a previous one: our own checkpoint crash
-  // window (between the two renames). The untruncated log still holds
-  // everything since the previous checkpoint, so this recovers fully —
-  // in every mode, strict included.
+  // No current snapshot but a previous one: the legacy layout's own
+  // checkpoint crash window; recovers fully in every mode.
   GOOD_RETURN_NOT_OK(LoadSnapshotFile(prev));
   recovery_.used_previous_snapshot = true;
   return Status::OK();
@@ -203,6 +352,17 @@ Status Database::ReplayRecord(std::string_view op_text, size_t index) {
     if (!op.ok()) {
       return Status::DataLoss("log record " + std::to_string(index) +
                               " does not parse: " + op.status().ToString());
+    }
+    // A record touching a quarantined class must NOT replay: its
+    // pattern would silently match nothing (the class's nodes are
+    // absent, not empty) and execution would fabricate a state the
+    // pre-crash database never held. Failing here ends the salvaged
+    // prefix; the record is quarantined with the rest of the tail.
+    Status available = CheckOpAvailable(*op);
+    if (!available.ok()) {
+      return Status::DataLoss("log record " + std::to_string(index) +
+                              " touches a quarantined partition: " +
+                              available.message());
     }
     Status applied = exec.Execute(*op, &db_.scheme, &db_.instance);
     if (!applied.ok()) {
@@ -410,6 +570,52 @@ Status Database::CheckWritable() const {
   return Status::OK();
 }
 
+std::vector<std::string> Database::quarantined_classes() const {
+  std::vector<std::string> names;
+  names.reserve(quarantined_.size());
+  for (Symbol cls : quarantined_) names.push_back(SymName(cls));
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+Status Database::CheckClassAvailable(Symbol cls) const {
+  if (quarantined_.find(cls) == quarantined_.end()) return Status::OK();
+  return Status::Unavailable(
+      "class '" + SymName(cls) +
+      "' is unavailable: its snapshot partition was quarantined at "
+      "recovery (see " + PartitionQuarantinePath(dir_) + ")");
+}
+
+Status Database::CheckOpAvailable(const method::Operation& op) const {
+  if (quarantined_.empty()) return Status::OK();
+  std::unordered_set<Symbol> classes;
+  const bool analyzable = CollectOpClasses(op, &classes);
+  for (Symbol cls : classes) {
+    GOOD_RETURN_NOT_OK(CheckClassAvailable(cls));
+  }
+  if (!analyzable) {
+    std::string joined;
+    for (const std::string& name : quarantined_classes()) {
+      if (!joined.empty()) joined += ", ";
+      joined += name;
+    }
+    return Status::Unavailable(
+        "method calls are rejected while partitions are quarantined — "
+        "their bodies' class footprint cannot be checked statically "
+        "(quarantined: " + joined + ")");
+  }
+  return Status::OK();
+}
+
+Status Database::CheckOpsAvailable(
+    const std::vector<method::Operation>& ops) const {
+  if (quarantined_.empty()) return Status::OK();
+  for (const method::Operation& op : ops) {
+    GOOD_RETURN_NOT_OK(CheckOpAvailable(op));
+  }
+  return Status::OK();
+}
+
 Status Database::AppendWithRetry(std::string_view payload,
                                  ops::ApplyStats* stats) {
   // Transient (common::IsRetriable) append faults are retried on a
@@ -443,6 +649,7 @@ Status Database::AppendWithRetry(std::string_view payload,
 
 Status Database::Apply(const method::Operation& op, ops::ApplyStats* stats) {
   GOOD_RETURN_NOT_OK(CheckWritable());
+  GOOD_RETURN_NOT_OK(CheckOpAvailable(op));
   GOOD_ASSIGN_OR_RETURN(std::string text,
                         program::WriteOperation(db_.scheme, op));
   std::string payload;
@@ -468,6 +675,7 @@ Status Database::ApplyTransaction(const std::vector<method::Operation>& ops,
                                   ops::ApplyStats* stats,
                                   ops::Footprint* footprint) {
   GOOD_RETURN_NOT_OK(CheckWritable());
+  GOOD_RETURN_NOT_OK(CheckOpsAvailable(ops));
   if (footprint != nullptr) *footprint = ops::Footprint{};
   if (ops.empty()) return Status::OK();
   // Execute first, under a rollback scope, serializing each operation
@@ -543,35 +751,136 @@ Status Database::Undo(Status cause) {
   return cause;
 }
 
-Status Database::Checkpoint() {
+Status Database::WriteFileWithRetry(const std::string& name,
+                                    std::string_view bytes, size_t* retries) {
+  // Checkpoint files are unreferenced until the manifest commits, so a
+  // failed attempt needs no cleanup: the retry reopens with truncate
+  // and starts over. Same backoff schedule and transient/permanent
+  // split as WAL appends.
+  common::BackoffPolicy policy;
+  policy.max_retries = options_.wal_retry_limit;
+  policy.initial_delay = options_.wal_retry_backoff;
+  policy.max_delay = options_.wal_retry_max_backoff;
+  policy.seed = next_seq_;
+  common::Backoff backoff(policy);
+  const std::string path = dir_ + "/" + name;
+  while (true) {
+    Status wrote = [&]() -> Status {
+      GOOD_ASSIGN_OR_RETURN(
+          std::unique_ptr<WritableFile> file,
+          options_.env->NewWritableFile(path, /*truncate=*/true));
+      GOOD_RETURN_NOT_OK(file->Append(bytes));
+      GOOD_RETURN_NOT_OK(file->Sync());
+      return file->Close();
+    }();
+    if (wrote.ok()) break;
+    if (!common::IsRetriable(wrote)) return wrote;
+    if (!backoff.CanRetry()) return wrote;
+    std::chrono::microseconds delay = backoff.NextDelay();
+    if (delay.count() > 0) std::this_thread::sleep_for(delay);
+  }
+  if (retries != nullptr) *retries += backoff.retries();
+  return Status::OK();
+}
+
+Status Database::Checkpoint(CheckpointStats* stats) {
   GOOD_RETURN_NOT_OK(CheckWritable());
   FileEnv* env = options_.env;
-  std::string payload;
-  AppendFixed64(&payload, next_seq_);
-  payload += program::WriteDatabase(db_);
-  std::string framed;
-  framed.reserve(kRecordHeaderSize + payload.size());
-  AppendRecordTo(&framed, payload);
+  CheckpointStats local;
 
-  const std::string tmp = dir_ + "/snapshot.tmp";
-  GOOD_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
-                        env->NewWritableFile(tmp, /*truncate=*/true));
-  GOOD_RETURN_NOT_OK(file->Append(framed));
-  GOOD_RETURN_NOT_OK(file->Sync());
-  GOOD_RETURN_NOT_OK(file->Close());
-  // Atomic publish, keeping the displaced snapshot as the salvage
-  // fallback. A crash on either side of either rename leaves a
-  // recoverable chain: before the first, the old snapshot is current;
-  // between them, recovery finds snapshot.prev plus the untruncated
-  // log; after the second, the new snapshot is current.
-  const std::string snap = SnapshotPath(dir_);
-  if (env->FileExists(snap)) {
-    GOOD_RETURN_NOT_OK(env->RenameFile(snap, PreviousSnapshotPath(dir_)));
+  Manifest next;
+  next.next_seq = next_seq_;
+  next.file_number = have_manifest_ ? manifest_.file_number : 1;
+  next.node_frontier = db_.instance.NodeFrontier();
+
+  // Scheme file: rewritten only when its serialized text changed.
+  std::string scheme_text = program::WriteScheme(db_.scheme);
+  if (have_manifest_ && scheme_text == last_scheme_text_) {
+    next.scheme = manifest_.scheme;
+  } else {
+    std::string framed;
+    AppendRecordTo(&framed, scheme_text);
+    next.scheme.file = SchemeFileName(next.file_number++);
+    next.scheme.crc = Crc32(framed);
+    next.scheme.bytes = framed.size();
+    GOOD_RETURN_NOT_OK(
+        WriteFileWithRetry(next.scheme.file, framed, &local.io_retries));
+    local.scheme_written = true;
+    local.bytes_written += framed.size();
   }
-  GOOD_RETURN_NOT_OK(env->RenameFile(tmp, snap));
+
+  // Quarantined partitions are carried forward untouched — entry and
+  // file bytes alike — so offline repair stays possible. (Their classes
+  // cannot have been dirtied: every write path rejects them.)
+  for (const auto& [cls_name, entry] : manifest_.partitions) {
+    if (quarantined_.count(Sym(cls_name)) > 0) {
+      next.partitions.emplace(cls_name, entry);
+      ++local.partitions_quarantined;
+    }
+  }
+
+  // Healthy classes: clean entries are carried forward by reference,
+  // dirty or new ones get a fresh immutable file, and entries whose
+  // class no longer holds nodes are dropped. File numbers only become
+  // durable when the manifest commits, so the files of a *crashed*
+  // checkpoint are simply overwritten by the next attempt.
+  const std::unordered_set<Symbol>& dirty = db_.instance.dirty_classes();
+  std::vector<Symbol> labels = db_.scheme.object_labels();
+  {
+    std::vector<Symbol> printable = db_.scheme.printable_labels();
+    labels.insert(labels.end(), printable.begin(), printable.end());
+  }
+  for (Symbol cls : labels) {
+    if (quarantined_.count(cls) > 0) continue;
+    const std::string name = SymName(cls);
+    auto it = manifest_.partitions.find(name);
+    if (have_manifest_ && it != manifest_.partitions.end() &&
+        dirty.count(cls) == 0) {
+      next.partitions.emplace(name, it->second);
+      ++local.partitions_carried;
+      continue;
+    }
+    if (db_.instance.CountNodesWithLabel(cls) == 0) continue;
+    PartitionEntry entry;
+    std::string framed = EncodePartition(db_.scheme, db_.instance, cls,
+                                         &entry.nodes, &entry.edges);
+    entry.file = PartitionFileName(next.file_number++);
+    entry.crc = Crc32(framed);
+    entry.bytes = framed.size();
+    GOOD_RETURN_NOT_OK(
+        WriteFileWithRetry(entry.file, framed, &local.io_retries));
+    local.bytes_written += framed.size();
+    next.partitions.emplace(name, std::move(entry));
+    ++local.partitions_written;
+  }
+
+  std::string manifest_bytes = EncodeManifest(next);
+  GOOD_RETURN_NOT_OK(
+      WriteFileWithRetry("manifest.tmp", manifest_bytes, &local.io_retries));
+  local.bytes_written += manifest_bytes.size();
+
+  // Atomic publish, keeping the displaced manifest as the salvage
+  // fallback. A crash on either side of either rename leaves a
+  // recoverable chain: before the first, the old manifest is current;
+  // between them, recovery finds manifest.prev plus the untruncated
+  // log; after the second, the new manifest is current. When no
+  // current manifest exists (recovery in that very window), the
+  // displacement is skipped so manifest.prev is never consumed — a
+  // crashed checkpoint on top of a crashed checkpoint still leaves a
+  // complete chain.
+  const std::string man = ManifestPath(dir_);
+  if (env->FileExists(man)) {
+    GOOD_RETURN_NOT_OK(env->RenameFile(man, PreviousManifestPath(dir_)));
+  }
+  GOOD_RETURN_NOT_OK(env->RenameFile(dir_ + "/manifest.tmp", man));
   GOOD_RETURN_NOT_OK(env->SyncDir(dir_));
 
-  // Snapshot durable — the log is now redundant. A crash before the
+  manifest_ = std::move(next);
+  have_manifest_ = true;
+  last_scheme_text_ = std::move(scheme_text);
+  db_.instance.ClearDirtyClasses();
+
+  // Manifest durable — the log is now redundant. A crash before the
   // truncation below is handled at recovery by sequence-number skip.
   if (writer_ != nullptr) {
     (void)writer_->Close();
@@ -584,7 +893,77 @@ Status Database::Checkpoint() {
   }
   log_ops_ = 0;
   ops_since_checkpoint_ = 0;
+
+  // Best-effort sweep of files neither manifest references (including
+  // a migrated legacy snapshot). Failures are ignored: the sweep is
+  // idempotent and the next checkpoint retries it.
+  RemoveUnreferencedFiles();
+  if (stats != nullptr) *stats = local;
   return Status::OK();
+}
+
+void Database::RemoveUnreferencedFiles() {
+  FileEnv* env = options_.env;
+  std::unordered_set<std::string> referenced;
+  // Conservative: when either manifest exists but cannot be decoded,
+  // skip the sweep entirely — better to leak files than to delete ones
+  // a manifest might still name.
+  const auto collect = [&](const std::string& path) -> bool {
+    if (!env->FileExists(path)) return true;
+    auto bytes = env->ReadFileToString(path);
+    if (!bytes.ok()) return false;
+    auto decoded = DecodeManifest(*bytes);
+    if (!decoded.ok()) return false;
+    referenced.insert(decoded->scheme.file);
+    for (const auto& [cls, entry] : decoded->partitions) {
+      referenced.insert(entry.file);
+    }
+    return true;
+  };
+  if (!collect(ManifestPath(dir_)) || !collect(PreviousManifestPath(dir_))) {
+    return;
+  }
+  auto names = env->ListDir(dir_);
+  if (!names.ok()) return;
+  for (const std::string& name : *names) {
+    const bool checkpoint_file =
+        (name.starts_with("part-") || name.starts_with("scheme-")) &&
+        name.ends_with(".good");
+    if (!checkpoint_file || referenced.count(name) > 0) continue;
+    (void)env->RemoveFile(dir_ + "/" + name);
+  }
+  // A committed manifest supersedes the legacy monolithic snapshot.
+  for (const std::string& legacy :
+       {SnapshotPath(dir_), PreviousSnapshotPath(dir_),
+        dir_ + "/snapshot.tmp"}) {
+    if (env->FileExists(legacy)) (void)env->RemoveFile(legacy);
+  }
+}
+
+Status Database::SyncPartitionQuarantineSidecar() {
+  FileEnv* env = options_.env;
+  const std::string path = PartitionQuarantinePath(dir_);
+  if (quarantined_.empty()) {
+    if (env->FileExists(path)) {
+      GOOD_RETURN_NOT_OK(env->RemoveFile(path));
+    }
+    return Status::OK();
+  }
+  std::ostringstream os;
+  os << "# Partitions quarantined at recovery. Their files are left on\n"
+     << "# disk byte-for-byte for inspection and repair (good_dbtool);\n"
+     << "# reads and writes touching these classes return kUnavailable.\n";
+  for (const PartitionLoadResult& p : recovery_.partitions) {
+    if (p.state != PartitionState::kQuarantined) continue;
+    os << "partition " << program::text::WriteName(p.class_name) << " "
+       << program::text::Quote(p.file) << " "
+       << program::text::Quote(p.detail) << ";\n";
+  }
+  GOOD_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                        env->NewWritableFile(path, /*truncate=*/true));
+  GOOD_RETURN_NOT_OK(file->Append(os.str()));
+  GOOD_RETURN_NOT_OK(file->Sync());
+  return file->Close();
 }
 
 ScrubReport Database::Scrub(const ScrubOptions& options) const {

@@ -13,15 +13,18 @@
 ///    instance, then executes it. If execution fails, the just-written
 ///    record is rolled back by truncation, so the log always holds
 ///    exactly the operations that succeeded.
-///  - **Checkpoint** writes the full scheme+instance (program/
-///    serialize.h) to a temporary file, fsyncs, atomically renames it
-///    over the previous snapshot — keeping the displaced snapshot as
-///    `snapshot.prev`, the salvage fallback — and truncates the log.
-///    Each log record carries a sequence number and the snapshot stores
-///    the next expected one, so a crash anywhere in that dance is
-///    harmless: recovery skips records the snapshot already contains,
-///    and falls back to `snapshot.prev` when the crash hit between the
-///    two renames.
+///  - **Checkpoint** persists the instance per class (storage/
+///    partition.h): each dirty class's partition is written to a fresh
+///    immutable file, clean entries are carried forward, and the new
+///    CRC-framed manifest is committed by atomic rename — keeping the
+///    displaced manifest as `manifest.prev`, the salvage fallback —
+///    before the log is truncated. Each log record carries a sequence
+///    number and the manifest stores the next expected one, so a crash
+///    anywhere in that dance is harmless: recovery skips records the
+///    checkpoint already contains, and falls back to `manifest.prev`
+///    when the crash hit between the two renames. Damage confined to
+///    one partition quarantines just that class (kPartialDegraded)
+///    instead of degrading the whole database.
 ///  - **Open** recovers by loading the snapshot and replaying the log
 ///    tail, under one of three damage policies (Options::salvage_mode):
 ///    kStrict drops a torn *final* record (the residue of an
@@ -49,6 +52,7 @@
 #include <chrono>
 #include <memory>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "common/deadline.h"
@@ -56,6 +60,7 @@
 #include "ops/footprint.h"
 #include "program/program.h"
 #include "storage/file_env.h"
+#include "storage/partition.h"
 #include "storage/salvage.h"
 #include "storage/scrub.h"
 #include "storage/wal.h"
@@ -141,9 +146,41 @@ struct RecoveryReport {
   bool degraded = false;
   /// Details of the salvage scan when `salvaged` is true.
   SalvageReport salvage;
+  /// Per-partition load outcomes (empty for fresh/legacy databases).
+  std::vector<PartitionLoadResult> partitions;
+  /// Partitions quarantined by this open.
+  size_t partitions_quarantined = 0;
+  /// Edges from healthy partitions dropped because their target lived
+  /// in a quarantined one.
+  uint64_t dangling_edges_dropped = 0;
+  /// The kPartialDegraded outcome: at least one partition is
+  /// quarantined while the rest serve. Under kSalvage the handle stays
+  /// writable for healthy classes; reads/writes touching a quarantined
+  /// class draw typed kUnavailable (see Database::CheckClassAvailable).
+  bool partial_degraded = false;
+  /// True iff this open found a legacy monolithic snapshot and
+  /// migrated it to the partitioned layout.
+  bool migrated_legacy_snapshot = false;
 
   /// One-line human summary for logs.
   std::string ToString() const;
+};
+
+/// \brief What one incremental checkpoint actually wrote.
+struct CheckpointStats {
+  /// Partition files rewritten (their class was dirty or new).
+  size_t partitions_written = 0;
+  /// Clean entries carried forward from the previous manifest without
+  /// touching their bytes.
+  size_t partitions_carried = 0;
+  /// Quarantined entries carried forward untouched (repairability).
+  size_t partitions_quarantined = 0;
+  /// True iff the scheme changed and its file was rewritten.
+  bool scheme_written = false;
+  /// Bytes written to partition/scheme/manifest files.
+  uint64_t bytes_written = 0;
+  /// Transient I/O retries the checkpoint rode out (common::Backoff).
+  size_t io_retries = 0;
 };
 
 /// \brief A durable scheme + instance rooted in a directory.
@@ -215,9 +252,14 @@ class Database {
   /// twice — reopen to recover a consistent state instead.
   Status SyncWal();
 
-  /// Writes a snapshot of the current state and truncates the log.
-  /// kUnavailable on a degraded handle.
-  Status Checkpoint();
+  /// Writes a checkpoint of the current state and truncates the log.
+  /// Incremental: only partitions whose class was mutated since the
+  /// last checkpoint (graph::Instance dirty tracking) are rewritten;
+  /// clean and quarantined entries are carried forward by reference in
+  /// the new manifest. Transient I/O faults on partition writes are
+  /// retried on the common::Backoff schedule (Options::wal_retry_*);
+  /// permanent faults propagate. kUnavailable on a degraded handle.
+  Status Checkpoint(CheckpointStats* stats = nullptr);
 
   /// Audits the in-memory pair against the scheme and its own indexes
   /// (storage/scrub.h) — one full pass, sliced under
@@ -236,6 +278,15 @@ class Database {
   const RecoveryReport& recovery() const { return recovery_; }
   /// True iff this handle serves reads only (kReadOnlyDegraded open).
   bool degraded() const { return recovery_.degraded; }
+  /// True iff some partitions are quarantined while the rest serve
+  /// (the kPartialDegraded outcome).
+  bool partial_degraded() const { return recovery_.partial_degraded; }
+  /// Names of the quarantined classes, sorted (empty when healthy).
+  std::vector<std::string> quarantined_classes() const;
+  /// OK iff class `cls` is served; typed kUnavailable when its
+  /// partition is quarantined. Callers gate reads with this; Apply and
+  /// ApplyTransaction enforce it on every write.
+  Status CheckClassAvailable(Symbol cls) const;
   /// Operations currently in the log (since the last checkpoint).
   size_t log_ops() const { return log_ops_; }
   /// Log file size in bytes.
@@ -244,21 +295,34 @@ class Database {
   uint64_t next_sequence() const { return next_seq_; }
 
   /// Path helpers (for tests and tools).
+  /// The committed checkpoint manifest.
+  static std::string ManifestPath(const std::string& dir);
+  /// The displaced previous manifest, kept as the salvage fallback.
+  static std::string PreviousManifestPath(const std::string& dir);
+  /// Legacy monolithic snapshot (pre-partitioning layout); read once
+  /// for transparent migration, never written again.
   static std::string SnapshotPath(const std::string& dir);
-  /// The pre-checkpoint snapshot, kept as the salvage fallback.
+  /// The legacy pre-checkpoint snapshot fallback.
   static std::string PreviousSnapshotPath(const std::string& dir);
   static std::string WalPath(const std::string& dir);
   /// Sidecar holding the byte ranges a salvaging Open dropped.
   static std::string QuarantinePath(const std::string& dir);
+  /// Sidecar describing quarantined partitions (operator-readable).
+  static std::string PartitionQuarantinePath(const std::string& dir);
 
  private:
   Database(std::string dir, Options options);
 
-  /// Loads snapshot.good, falling back to snapshot.prev when the
-  /// current one is missing (all modes — that is our own checkpoint
-  /// crash window) or damaged (salvage modes only).
+  /// Loads the committed checkpoint: manifest.good, falling back to
+  /// manifest.prev when the current one is missing (all modes — that
+  /// is our own checkpoint crash window) or damaged (salvage modes
+  /// only). Directories without a manifest fall back to the legacy
+  /// monolithic snapshot chain and are flagged for migration.
   Status LoadSnapshot();
-  /// Parses one snapshot file into db_/next_seq_.
+  /// Decodes and loads one manifest file into db_/next_seq_/manifest_.
+  /// Partition damage quarantines (salvage modes) or fails (strict).
+  Status LoadManifestFile(const std::string& path);
+  /// Parses one legacy monolithic snapshot file into db_/next_seq_.
   Status LoadSnapshotFile(const std::string& path);
   /// Replays the log tail over the snapshot state; reports the byte
   /// offset appends must resume from (torn tails are cut off there).
@@ -282,6 +346,21 @@ class Database {
   Status AppendWithRetry(std::string_view payload, ops::ApplyStats* stats);
   /// Guards shared by every mutating entry point.
   Status CheckWritable() const;
+  /// Rejects operations that touch a quarantined class (and, when any
+  /// quarantine exists, operations whose class footprint cannot be
+  /// determined statically — method calls) with typed kUnavailable.
+  Status CheckOpsAvailable(const std::vector<method::Operation>& ops) const;
+  Status CheckOpAvailable(const method::Operation& op) const;
+  /// Writes `bytes` to dir_/name (truncate + sync + close), retrying
+  /// transient faults on the shared Backoff schedule.
+  Status WriteFileWithRetry(const std::string& name, std::string_view bytes,
+                            size_t* retries);
+  /// Deletes part-*/scheme-* files referenced by neither manifest.good
+  /// nor manifest.prev, plus stale legacy snapshots. Best-effort.
+  void RemoveUnreferencedFiles();
+  /// Writes or clears the partition-quarantine sidecar to match the
+  /// current quarantine set.
+  Status SyncPartitionQuarantineSidecar();
 
   const method::MethodRegistry* Registry() const;
 
@@ -293,6 +372,16 @@ class Database {
   size_t log_ops_ = 0;
   size_t ops_since_checkpoint_ = 0;
   RecoveryReport recovery_;
+  /// The committed manifest this handle's checkpoints build on.
+  Manifest manifest_;
+  /// Classes whose partitions this open quarantined.
+  std::unordered_set<Symbol> quarantined_;
+  /// Serialized scheme as last persisted, to skip rewriting the scheme
+  /// file when it has not changed.
+  std::string last_scheme_text_;
+  /// True until the first partitioned checkpoint commits (fresh
+  /// databases and legacy-migration opens).
+  bool have_manifest_ = false;
   bool poisoned_ = false;
   bool closed_ = false;
 };

@@ -65,6 +65,11 @@ Result<std::unique_ptr<WritableFile>> FaultInjectionEnv::NewWritableFile(
     ++fired_;
     return Status::Unavailable("injected open failure for " + path);
   }
+  if (!plan_.fail_open_path_contains.empty() &&
+      path.find(plan_.fail_open_path_contains) != std::string::npos) {
+    ++fired_;
+    return Status::Unavailable("injected open failure for " + path);
+  }
   GOOD_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
                         base_->NewWritableFile(path, truncate));
   return std::unique_ptr<WritableFile>(
@@ -95,6 +100,11 @@ Status FaultInjectionEnv::RenameFile(const std::string& from,
 
 Status FaultInjectionEnv::RemoveFile(const std::string& path) {
   return base_->RemoveFile(path);
+}
+
+Result<std::vector<std::string>> FaultInjectionEnv::ListDir(
+    const std::string& path) {
+  return base_->ListDir(path);
 }
 
 Status FaultInjectionEnv::CreateDirs(const std::string& path) {

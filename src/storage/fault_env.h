@@ -47,6 +47,12 @@ struct FaultPlan {
   size_t fail_rename_at = kNever;
   /// The N-th NewWritableFile fails to open.
   size_t fail_open_at = kNever;
+  /// Every NewWritableFile whose path contains this substring fails.
+  /// Unlike the ordinal knobs this selects by *target*, for boundaries
+  /// whose position in the call sequence depends on database layout
+  /// (e.g. "the log reset inside a checkpoint", which follows a
+  /// layout-dependent number of partition-file opens). Empty = never.
+  std::string fail_open_path_contains;
 };
 
 /// \brief A FileEnv that injects the faults described by a FaultPlan.
@@ -75,6 +81,7 @@ class FaultInjectionEnv final : public FileEnv {
   Result<uint64_t> FileSize(const std::string& path) override;
   Status RenameFile(const std::string& from, const std::string& to) override;
   Status RemoveFile(const std::string& path) override;
+  Result<std::vector<std::string>> ListDir(const std::string& path) override;
   Status CreateDirs(const std::string& path) override;
   Status SyncDir(const std::string& path) override;
 

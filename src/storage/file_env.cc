@@ -1,10 +1,12 @@
 #include "storage/file_env.h"
 
+#include <dirent.h>
 #include <fcntl.h>
 #include <sys/stat.h>
 #include <sys/types.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
@@ -131,6 +133,28 @@ class PosixFileEnv final : public FileEnv {
       return ErrnoStatus("unlink " + path, errno);
     }
     return Status::OK();
+  }
+
+  Result<std::vector<std::string>> ListDir(const std::string& path) override {
+    DIR* dir = ::opendir(path.c_str());
+    if (dir == nullptr) return ErrnoStatus("opendir " + path, errno);
+    std::vector<std::string> names;
+    errno = 0;
+    while (struct dirent* entry = ::readdir(dir)) {
+      std::string name = entry->d_name;
+      if (name == "." || name == "..") continue;
+      struct stat st;
+      if (::fstatat(::dirfd(dir), name.c_str(), &st, 0) == 0 &&
+          S_ISREG(st.st_mode)) {
+        names.push_back(std::move(name));
+      }
+      errno = 0;
+    }
+    int err = errno;
+    ::closedir(dir);
+    if (err != 0) return ErrnoStatus("readdir " + path, err);
+    std::sort(names.begin(), names.end());
+    return names;
   }
 
   Status CreateDirs(const std::string& path) override {

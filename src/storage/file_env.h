@@ -16,6 +16,7 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
@@ -70,6 +71,11 @@ class FileEnv {
                             const std::string& to) = 0;
 
   virtual Status RemoveFile(const std::string& path) = 0;
+
+  /// Names of the regular files directly inside `path` (no "."/"..",
+  /// no subdirectories), sorted ascending. NotFound if the directory
+  /// does not exist. Read-only: not a crash-relevant mutation.
+  virtual Result<std::vector<std::string>> ListDir(const std::string& path) = 0;
 
   /// Creates `path` and missing parents; OK if it already exists.
   virtual Status CreateDirs(const std::string& path) = 0;

@@ -1,0 +1,164 @@
+/// \file partition.h
+/// \brief Per-class snapshot partitions and the checkpoint manifest.
+///
+/// The monolithic snapshot (one framed record holding the whole
+/// database) made both checkpoint cost and the blast radius of a single
+/// corrupt byte O(database). This module splits the snapshot along the
+/// paper's own relational mapping — class = relation — into one
+/// immutable *partition file per class*, tied together by a small
+/// CRC-framed *manifest*:
+///
+///   manifest.good          the committed checkpoint (one framed record)
+///   manifest.prev          the displaced previous manifest (fallback)
+///   part-<N>.good          partition files, named by manifest-allocated
+///   scheme-<N>.good        file numbers; immutable once referenced
+///
+/// Ownership rule: the partition of class C holds every C-labeled node
+/// and every edge whose *source* is C-labeled (each edge lives in
+/// exactly one partition; its target may be foreign). Node names are
+/// the live instance's global ids, so they are unique across all
+/// partition files of one checkpoint and a loader can run two passes —
+/// all nodes first, then all edges — without inter-file ordering
+/// constraints.
+///
+/// Partition files are never rewritten in place: a checkpoint writes
+/// *new* files for dirty classes under fresh file numbers, carries
+/// clean entries forward, and commits by atomically replacing the
+/// manifest (tmp → rename). The files of the displaced manifest remain
+/// on disk until neither manifest.good nor manifest.prev references
+/// them, so either manifest always names a complete, consistent
+/// checkpoint.
+///
+/// The manifest records each file's byte count and whole-file CRC-32 in
+/// addition to the file's own internal record framing. The inner CRC
+/// catches torn or flipped bytes; the outer (manifest-held) checksum
+/// also catches a *wrong but internally intact* file — e.g. one
+/// resurrected from a different checkpoint — which framing alone cannot.
+
+#ifndef GOOD_STORAGE_PARTITION_H_
+#define GOOD_STORAGE_PARTITION_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "program/program.h"
+#include "storage/file_env.h"
+
+namespace good::storage {
+
+/// \brief One class partition as the manifest describes it.
+struct PartitionEntry {
+  /// File name inside the database directory (e.g. "part-7.good").
+  std::string file;
+  /// CRC-32 of the file's entire bytes (framing included).
+  uint32_t crc = 0;
+  /// Exact file size in bytes.
+  uint64_t bytes = 0;
+  /// Census at write time, for tools and degraded-mode reporting.
+  uint64_t nodes = 0;
+  uint64_t edges = 0;
+};
+
+/// \brief A decoded checkpoint manifest.
+struct Manifest {
+  /// Sequence number the WAL restarts at after this checkpoint.
+  uint64_t next_seq = 1;
+  /// Next unallocated file number; every file either manifest may
+  /// reference has a number strictly below this.
+  uint64_t file_number = 1;
+  /// Node-id allocation frontier at checkpoint time (ids are never
+  /// reused). The loader reserves up to here even when a damaged
+  /// partition's contents are unreadable, so ids minted by a degraded
+  /// run can never collide with ids inside a quarantined file.
+  uint64_t node_frontier = 0;
+  /// The serialized scheme, stored as its own immutable file.
+  PartitionEntry scheme;
+  /// Class name -> partition entry, ordered for deterministic output.
+  std::map<std::string, PartitionEntry> partitions;
+};
+
+/// File name for partition file number `n` ("part-<n>.good").
+std::string PartitionFileName(uint64_t n);
+/// File name for scheme file number `n` ("scheme-<n>.good").
+std::string SchemeFileName(uint64_t n);
+
+/// Encodes `manifest` as one framed record ready to be written.
+std::string EncodeManifest(const Manifest& manifest);
+
+/// Decodes a manifest file (the full file bytes, framing included).
+/// kDataLoss on framing/CRC damage, kInvalidArgument on parse errors.
+Result<Manifest> DecodeManifest(std::string_view file_bytes);
+
+/// Serializes class `cls`'s partition of `instance` as one framed
+/// record: its nodes (ascending id) plus the edges leaving them
+/// (ascending by source/label/target). When non-null, `node_count` and
+/// `edge_count` receive the partition's census for its manifest entry.
+std::string EncodePartition(const schema::Scheme& scheme,
+                            const graph::Instance& instance, Symbol cls,
+                            uint64_t* node_count = nullptr,
+                            uint64_t* edge_count = nullptr);
+
+/// \brief Load outcome of one partition.
+enum class PartitionState {
+  kLoaded,
+  /// Damaged (missing, truncated, CRC-bad, or unparseable): its nodes
+  /// are absent from the loaded instance and the class is unavailable.
+  kQuarantined,
+};
+
+std::string_view PartitionStateToString(PartitionState state);
+
+/// \brief Per-partition recovery record, surfaced via RecoveryReport.
+struct PartitionLoadResult {
+  std::string class_name;
+  std::string file;
+  PartitionState state = PartitionState::kLoaded;
+  /// Why the partition was quarantined (empty when loaded).
+  std::string detail;
+  uint64_t nodes = 0;
+  uint64_t edges = 0;
+
+  std::string ToString() const;
+};
+
+/// \brief A fully or partially loaded checkpoint.
+struct LoadedCheckpoint {
+  program::Database db;
+  uint64_t next_seq = 1;
+  /// The scheme exactly as its file serialized it, so an incremental
+  /// checkpoint can skip rewriting an unchanged scheme.
+  std::string scheme_text;
+  std::vector<PartitionLoadResult> partitions;
+  /// Classes whose partitions were quarantined (empty on a clean load).
+  std::vector<Symbol> quarantined;
+  /// Edges from healthy partitions dropped because their target node
+  /// lived in a quarantined partition.
+  uint64_t dangling_edges_dropped = 0;
+
+  bool clean() const { return quarantined.empty(); }
+};
+
+/// Loads the checkpoint `manifest` describes from `dir` via `env`.
+///
+/// `allow_quarantine` selects the failure policy: when false (strict
+/// recovery) any damaged partition fails the whole load with kDataLoss;
+/// when true, damaged partitions are quarantined — their classes are
+/// listed in `quarantined`, edges into them from healthy partitions are
+/// dropped (counted) — and the load succeeds partially. Damage to the
+/// *scheme* always fails the load: nothing can be interpreted without
+/// it. Cross-partition inconsistencies that checksums cannot explain
+/// (duplicate node names, edges into no known class while nothing is
+/// quarantined) fail the load in either mode — they mean the manifest
+/// itself lies, and the caller should fall back to the previous one.
+Result<LoadedCheckpoint> LoadCheckpoint(FileEnv* env, const std::string& dir,
+                                        const Manifest& manifest,
+                                        bool allow_quarantine);
+
+}  // namespace good::storage
+
+#endif  // GOOD_STORAGE_PARTITION_H_

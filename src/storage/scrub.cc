@@ -34,6 +34,8 @@ void Scrubber::ScrubNode(graph::NodeId node) {
   const Symbol label = g.LabelOf(node);
   ++alive_seen_;
   ++label_census_[label];
+  const size_t problems_before = report_.problems.size();
+  const size_t edges_before = report_.edges_scrubbed;
 
   // Scheme conformance of the node itself.
   if (!s.IsNodeLabel(label)) {
@@ -133,6 +135,13 @@ void Scrubber::ScrubNode(graph::NodeId node) {
   if (!Contains(g.NodesWithLabel(label), node)) {
     problem("missing from the label index for '" + SymName(label) + "'");
   }
+
+  // Attribute this node's totals to its class — the snapshot-partition
+  // unit — so a red pass names which partition to suspect.
+  ClassScrubOutcome& outcome = report_.per_class[SymName(label)];
+  ++outcome.nodes_scrubbed;
+  outcome.edges_scrubbed += report_.edges_scrubbed - edges_before;
+  outcome.problems += report_.problems.size() - problems_before;
 }
 
 Status Scrubber::Step(const ScrubOptions& options) {

@@ -37,6 +37,7 @@
 #define GOOD_STORAGE_SCRUB_H_
 
 #include <cstddef>
+#include <map>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -57,6 +58,17 @@ struct ScrubOptions {
   size_t max_nodes = 0;
 };
 
+/// \brief Scrub totals for the nodes of one class (one snapshot
+/// partition's worth of the instance — the unit recovery quarantines).
+struct ClassScrubOutcome {
+  size_t nodes_scrubbed = 0;
+  size_t edges_scrubbed = 0;
+  /// Problems found while scrubbing this class's nodes. A nonzero count
+  /// here names which partition a red scrub implicates, matching the
+  /// per-partition granularity of RecoveryReport.
+  size_t problems = 0;
+};
+
 /// \brief Cumulative findings of a scrub pass.
 struct ScrubReport {
   size_t nodes_scrubbed = 0;
@@ -65,6 +77,9 @@ struct ScrubReport {
   bool complete = false;
   /// Human-readable descriptions of every inconsistency found.
   std::vector<std::string> problems;
+  /// Per-class (= per-partition) outcomes, keyed by class name and
+  /// ordered for deterministic reporting.
+  std::map<std::string, ClassScrubOutcome> per_class;
 
   bool clean() const { return problems.empty(); }
 };
@@ -84,6 +99,11 @@ class Scrubber {
   Status Step(const ScrubOptions& options = {});
 
   const ScrubReport& report() const { return report_; }
+
+  /// The next node id a resumed Step will examine. Lets a chore
+  /// scheduler persist its position across slices (or report how far a
+  /// cut-off pass got); UINT32_MAX once the walk itself is done.
+  uint32_t cursor() const { return cursor_; }
 
   /// Starts a fresh pass (clears cursor, totals, and findings).
   void Reset();

@@ -19,6 +19,7 @@
 #include "hypermedia/hypermedia.h"
 #include "hypermedia/methods.h"
 #include "pattern/builder.h"
+#include "program/serialize.h"
 #include "storage/crc32.h"
 #include "storage/database.h"
 #include "storage/fault_env.h"
@@ -190,7 +191,7 @@ TEST(DatabaseTest, FreshOpenBootstrapsSnapshot) {
   Database db = Database::Open(dir, std::move(initial)).ValueOrDie();
   EXPECT_TRUE(db.recovery().created);
   EXPECT_EQ(db.log_ops(), 0u);
-  EXPECT_TRUE(FileEnv::Default()->FileExists(Database::SnapshotPath(dir)));
+  EXPECT_TRUE(FileEnv::Default()->FileExists(Database::ManifestPath(dir)));
   EXPECT_TRUE(FileEnv::Default()->FileExists(Database::WalPath(dir)));
   EXPECT_TRUE(db.scheme() == scheme_copy);
   EXPECT_TRUE(graph::IsIsomorphic(db.instance(), instance_copy));
@@ -300,11 +301,11 @@ TEST(DatabaseTest, CorruptInteriorRecordIsDataLoss) {
   EXPECT_TRUE(reopened.status().IsDataLoss()) << reopened.status();
 }
 
-TEST(DatabaseTest, CorruptSnapshotIsDataLoss) {
+TEST(DatabaseTest, CorruptManifestIsDataLoss) {
   std::string dir = MakeTempDir();
   (void)ApplyAndCrash(dir, 1);
   FileEnv* env = FileEnv::Default();
-  const std::string snap = Database::SnapshotPath(dir);
+  const std::string snap = Database::ManifestPath(dir);
   std::string bytes = env->ReadFileToString(snap).ValueOrDie();
   bytes[bytes.size() / 2] ^= 0x10;
   auto file = env->NewWritableFile(snap, /*truncate=*/true).ValueOrDie();
@@ -625,11 +626,13 @@ TEST(FaultInjectionTest, CrashBetweenRenameAndTruncationSkipsResidue) {
     db.Apply(ops[1]).OrDie();
     expected = program::Database{db.scheme(), db.instance()};
 
-    // This checkpoint opens tmp(#1), renames, then fails opening the
-    // fresh wal(#2) — i.e. a crash after the snapshot became visible
-    // but before the log truncation.
+    // This checkpoint writes its partition files and manifest, renames,
+    // then fails opening the fresh wal — i.e. a crash after the
+    // checkpoint became visible but before the log truncation. (The
+    // number of file opens before the log reset depends on how many
+    // partitions are dirty, so the fault targets the log by path.)
     FaultPlan plan;
-    plan.fail_open_at = 2;
+    plan.fail_open_path_contains = "wal.log";
     env.SetPlan(plan);
     Status s = db.Checkpoint();
     ASSERT_FALSE(s.ok());
@@ -890,7 +893,7 @@ TEST(MethodFailureTest, BudgetExhaustedCallLeavesMemoryAndLogConsistent) {
 // ---------------------------------------------------------------------------
 
 /// Bootstraps, checkpoints a 3-op state (displacing the bootstrap
-/// snapshot into snapshot.prev), then logs `tail_ops` more operations.
+/// manifest into manifest.prev), then logs `tail_ops` more operations.
 /// Returns the bootstrap-time (initial) database for comparison.
 program::Database BuildCheckpointedDatabase(const std::string& dir,
                                             size_t tail_ops) {
@@ -903,7 +906,7 @@ program::Database BuildCheckpointedDatabase(const std::string& dir,
     db.Apply(ops[i]).OrDie();
   }
   EXPECT_TRUE(FileEnv::Default()->FileExists(
-      Database::PreviousSnapshotPath(dir)));
+      Database::PreviousManifestPath(dir)));
   return initial;
 }
 
@@ -921,8 +924,8 @@ class SnapshotCorruptionTest
 TEST_P(SnapshotCorruptionTest, StrictRejectsSalvageFallsBackToPrev) {
   std::string dir = MakeTempDir();
   program::Database initial = BuildCheckpointedDatabase(dir, 2);
-  const std::string snap = Database::SnapshotPath(dir);
-  std::string bytes = FileEnv::Default()->ReadFileToString(snap).ValueOrDie();
+  const std::string man = Database::ManifestPath(dir);
+  std::string bytes = FileEnv::Default()->ReadFileToString(man).ValueOrDie();
   switch (GetParam()) {
     case SnapshotDamage::kFlippedByte:
       bytes[bytes.size() / 2] ^= 0x01;
@@ -934,18 +937,18 @@ TEST_P(SnapshotCorruptionTest, StrictRejectsSalvageFallsBackToPrev) {
       bytes.clear();
       break;
   }
-  Overwrite(snap, bytes);
+  Overwrite(man, bytes);
 
-  // Strict mode: a damaged snapshot is kDataLoss, full stop.
+  // Strict mode: a damaged manifest is kDataLoss, full stop.
   auto strict = Database::Open(dir, PaperDatabase());
   ASSERT_FALSE(strict.ok());
   EXPECT_TRUE(strict.status().IsDataLoss()) << strict.status().ToString();
 
-  // Salvage mode: recovery falls back to the snapshot the last
+  // Salvage mode: recovery falls back to the manifest the last
   // checkpoint displaced. The log's records belong to the damaged
-  // snapshot's era (their sequence numbers jump past snapshot.prev's),
+  // manifest's era (their sequence numbers jump past manifest.prev's),
   // so none replay — they are quarantined, and the recovered state is
-  // the previous snapshot itself.
+  // the previous checkpoint itself.
   Options options;
   options.salvage_mode = SalvageMode::kSalvage;
   Database db = Database::Open(dir, PaperDatabase(), options).ValueOrDie();
@@ -953,6 +956,7 @@ TEST_P(SnapshotCorruptionTest, StrictRejectsSalvageFallsBackToPrev) {
   EXPECT_TRUE(db.recovery().salvaged);
   EXPECT_EQ(db.recovery().ops_replayed, 0u);
   EXPECT_EQ(db.recovery().ops_quarantined, 2u);
+  EXPECT_EQ(db.recovery().partitions_quarantined, 0u);
   EXPECT_TRUE(db.scheme() == initial.scheme);
   EXPECT_TRUE(graph::IsIsomorphic(db.instance(), initial.instance));
   EXPECT_TRUE(db.Scrub().clean());
@@ -963,11 +967,11 @@ INSTANTIATE_TEST_SUITE_P(EveryDamage, SnapshotCorruptionTest,
                                            SnapshotDamage::kTruncated,
                                            SnapshotDamage::kZeroLength));
 
-TEST(SnapshotCorruptionTest, BothSnapshotsDamagedIsDataLossEvenInSalvage) {
+TEST(SnapshotCorruptionTest, BothManifestsDamagedIsDataLossEvenInSalvage) {
   std::string dir = MakeTempDir();
   BuildCheckpointedDatabase(dir, 2);
-  Overwrite(Database::SnapshotPath(dir), "junk");
-  Overwrite(Database::PreviousSnapshotPath(dir), "more junk");
+  Overwrite(Database::ManifestPath(dir), "junk");
+  Overwrite(Database::PreviousManifestPath(dir), "more junk");
   Options options;
   options.salvage_mode = SalvageMode::kSalvage;
   auto db = Database::Open(dir, PaperDatabase(), options);
@@ -975,11 +979,11 @@ TEST(SnapshotCorruptionTest, BothSnapshotsDamagedIsDataLossEvenInSalvage) {
   EXPECT_TRUE(db.status().IsDataLoss()) << db.status().ToString();
 }
 
-TEST(SnapshotCorruptionTest, MissingCurrentSnapshotRecoversInStrictMode) {
-  // A crash between Checkpoint's two renames leaves snapshot.prev plus
-  // the untruncated log and no snapshot.good. That is the engine's own
+TEST(SnapshotCorruptionTest, MissingCurrentManifestRecoversInStrictMode) {
+  // A crash between Checkpoint's two renames leaves manifest.prev plus
+  // the untruncated log and no manifest.good. That is the engine's own
   // crash window, not damage — even strict mode must recover through
-  // it, replaying the full log over the previous snapshot.
+  // it, replaying the full log over the previous checkpoint.
   std::string dir = MakeTempDir();
   FaultInjectionEnv env;
   Options options;
@@ -989,11 +993,11 @@ TEST(SnapshotCorruptionTest, MissingCurrentSnapshotRecoversInStrictMode) {
   for (size_t i = 0; i < 4; ++i) db.Apply(ops[i]).OrDie();
   program::Database expected{db.scheme(), db.instance()};
   FaultPlan plan;
-  plan.fail_rename_at = 2;  // rename #1: snap -> prev; #2: tmp -> snap
+  plan.fail_rename_at = 2;  // rename #1: manifest -> prev; #2: tmp -> manifest
   env.SetPlan(plan);
   EXPECT_FALSE(db.Checkpoint().ok());
-  // Crash: drop the handle with snapshot.good missing.
-  EXPECT_FALSE(FileEnv::Default()->FileExists(Database::SnapshotPath(dir)));
+  // Crash: drop the handle with manifest.good missing.
+  EXPECT_FALSE(FileEnv::Default()->FileExists(Database::ManifestPath(dir)));
 
   Database reopened = Database::Open(dir, PaperDatabase()).ValueOrDie();
   EXPECT_TRUE(reopened.recovery().used_previous_snapshot);
@@ -1001,6 +1005,343 @@ TEST(SnapshotCorruptionTest, MissingCurrentSnapshotRecoversInStrictMode) {
   EXPECT_EQ(reopened.recovery().ops_replayed, 4u);
   EXPECT_TRUE(reopened.scheme() == expected.scheme);
   EXPECT_TRUE(graph::IsIsomorphic(reopened.instance(), expected.instance));
+}
+
+// ---------------------------------------------------------------------------
+// Incremental checkpoints: dirty-partition tracking & checkpoint stats
+// ---------------------------------------------------------------------------
+
+TEST(IncrementalCheckpointTest, CleanCheckpointCarriesEverything) {
+  std::string dir = MakeTempDir();
+  Database db = Database::Open(dir, PaperDatabase()).ValueOrDie();
+  // The bootstrap checkpoint wrote every partition; nothing has been
+  // mutated since, so a second checkpoint is all carry, no rewrite.
+  CheckpointStats idle;
+  db.Checkpoint(&idle).OrDie();
+  EXPECT_EQ(idle.partitions_written, 0u);
+  EXPECT_GT(idle.partitions_carried, 0u);
+  EXPECT_FALSE(idle.scheme_written);
+
+  // A mutation that extends nothing (an edge deletion between existing
+  // classes) dirties only the source class's partition.
+  const size_t total = idle.partitions_carried;
+  db.Apply(Operation(hypermedia::Fig16EdgeDeletion(db.scheme())
+                         .ValueOrDie()))
+      .OrDie();
+  CheckpointStats incremental;
+  db.Checkpoint(&incremental).OrDie();
+  EXPECT_GE(incremental.partitions_written, 1u);
+  EXPECT_LT(incremental.partitions_written, total);
+  EXPECT_EQ(incremental.partitions_written + incremental.partitions_carried,
+            total);
+  EXPECT_FALSE(incremental.scheme_written);
+  EXPECT_GT(incremental.bytes_written, 0u);
+
+  // A scheme-extending operation forces the scheme file to rewrite.
+  std::vector<Operation> ops = SampleOps(db.scheme());
+  db.Apply(ops[0]).OrDie();  // introduces the Tag0 class
+  CheckpointStats extended;
+  db.Checkpoint(&extended).OrDie();
+  EXPECT_TRUE(extended.scheme_written);
+
+  // Recovery sees the incremental chain as one consistent state.
+  program::Database expected{db.scheme(), db.instance()};
+  Database reopened = Database::Open(dir).ValueOrDie();
+  EXPECT_EQ(reopened.recovery().ops_replayed, 0u);
+  EXPECT_TRUE(reopened.scheme() == expected.scheme);
+  EXPECT_TRUE(graph::IsIsomorphic(reopened.instance(), expected.instance));
+}
+
+TEST(IncrementalCheckpointTest, UndoRollbackStillDirtiesTheClass) {
+  // Regression guard for the dirty-tracking blind spot: an operation
+  // that executes, mutates a partition, then rolls back (undo journal)
+  // touched bytes the next checkpoint must still rewrite — the rollback
+  // path itself mutates node/edge structures.
+  std::string dir = MakeTempDir();
+  Database db = Database::Open(dir, PaperDatabase()).ValueOrDie();
+  CheckpointStats idle;
+  db.Checkpoint(&idle).OrDie();
+  ASSERT_EQ(idle.partitions_written, 0u);
+
+  // 'links-to' as a node label fails scheme extension AFTER the
+  // rollback scope has executed and undone real mutations.
+  GraphBuilder b(db.scheme());
+  ops::NodeAddition bad(b.BuildOrDie(), Sym("links-to"), {});
+  ASSERT_FALSE(db.Apply(Operation(bad)).ok());
+
+  // The state is unchanged, so whatever the rollback dirtied encodes
+  // back to identical partition bytes — but the checkpoint may not
+  // silently assume that: dirty classes must rewrite.
+  CheckpointStats after;
+  db.Checkpoint(&after).OrDie();
+  program::Database expected{db.scheme(), db.instance()};
+  Database reopened = Database::Open(dir).ValueOrDie();
+  EXPECT_TRUE(graph::IsIsomorphic(reopened.instance(), expected.instance));
+}
+
+TEST(IncrementalCheckpointTest, TransientPartitionWriteFaultIsRiddenOut) {
+  std::string dir = MakeTempDir();
+  FaultInjectionEnv env;
+  Database db =
+      Database::Open(dir, PaperDatabase(), RetryOptions(&env)).ValueOrDie();
+  db.Apply(Operation(hypermedia::Fig16EdgeDeletion(db.scheme())
+                         .ValueOrDie()))
+      .OrDie();
+
+  // The first write of the checkpoint (a partition file) fails once;
+  // the common::Backoff retry loop must ride it out invisibly.
+  FaultPlan plan;
+  plan.fail_append_at = 1;
+  env.SetPlan(plan);
+  CheckpointStats stats;
+  db.Checkpoint(&stats).OrDie();
+  EXPECT_GE(stats.io_retries, 1u);
+  EXPECT_EQ(env.faults_fired(), 1u);
+  EXPECT_EQ(db.log_ops(), 0u) << "checkpoint completed";
+
+  program::Database expected{db.scheme(), db.instance()};
+  env.Reset();
+  Database reopened = Database::Open(dir).ValueOrDie();
+  EXPECT_EQ(reopened.recovery().ops_replayed, 0u);
+  EXPECT_TRUE(graph::IsIsomorphic(reopened.instance(), expected.instance));
+}
+
+TEST(IncrementalCheckpointTest, PermanentWriteFaultPropagatesAndKeepsDirty) {
+  std::string dir = MakeTempDir();
+  FaultInjectionEnv env;
+  Database db =
+      Database::Open(dir, PaperDatabase(), RetryOptions(&env)).ValueOrDie();
+  db.Apply(Operation(hypermedia::Fig16EdgeDeletion(db.scheme())
+                         .ValueOrDie()))
+      .OrDie();
+
+  FaultPlan plan;
+  plan.fail_appends_from = 1;  // a dead device: retries cannot save it
+  env.SetPlan(plan);
+  Status failed = db.Checkpoint();
+  ASSERT_FALSE(failed.ok());
+  EXPECT_TRUE(failed.IsUnavailable()) << failed.ToString();
+  EXPECT_EQ(db.log_ops(), 1u) << "failed checkpoint must not touch the log";
+
+  // The dirty set survived the failure: once the medium heals, the
+  // next checkpoint still rewrites the mutated partition.
+  env.Reset();
+  CheckpointStats stats;
+  db.Checkpoint(&stats).OrDie();
+  EXPECT_GE(stats.partitions_written, 1u);
+  EXPECT_EQ(db.log_ops(), 0u);
+}
+
+TEST(IncrementalCheckpointTest, CarriedPartitionsSurviveReload) {
+  // Regression: an incremental checkpoint taken by a *reloaded*
+  // process mixes carried files (written under the original ids) with
+  // rewritten ones (written under the live ids). The loader must
+  // restore nodes under their exact original ids — a load that
+  // renumbered would make the two generations collide or, worse,
+  // silently swap node identities across classes.
+  std::string dir = MakeTempDir();
+  std::vector<Operation> ops = SampleOps(PaperDatabase().scheme);
+  program::Database expected;
+  {
+    Database db = Database::Open(dir, PaperDatabase()).ValueOrDie();
+    db.Apply(ops[1]).OrDie();
+    db.Checkpoint().OrDie();
+    db.Close().OrDie();
+  }
+  {
+    // Second generation: a fresh process loads the partitioned
+    // checkpoint, mutates a couple of classes, and checkpoints
+    // incrementally (some partitions carried, some rewritten).
+    Database db = Database::Open(dir).ValueOrDie();
+    db.Apply(ops[3]).OrDie();
+    db.Apply(ops[4]).OrDie();
+    CheckpointStats stats;
+    db.Checkpoint(&stats).OrDie();
+    EXPECT_GT(stats.partitions_carried, 0u) << "test needs carried files";
+    EXPECT_GT(stats.partitions_written, 0u);
+    expected = program::Database{db.scheme(), db.instance()};
+    db.Close().OrDie();
+  }
+  Database db = Database::Open(dir).ValueOrDie();
+  EXPECT_EQ(db.recovery().ops_replayed, 0u);
+  EXPECT_TRUE(db.scheme() == expected.scheme);
+  EXPECT_TRUE(graph::IsIsomorphic(db.instance(), expected.instance));
+  EXPECT_TRUE(db.Scrub().clean());
+}
+
+// ---------------------------------------------------------------------------
+// Legacy monolithic snapshots: transparent migration
+// ---------------------------------------------------------------------------
+
+/// Writes the pre-partitioning on-disk snapshot format: one framed
+/// record holding fixed64 next_seq + the database text.
+void WriteLegacySnapshot(const std::string& path,
+                         const program::Database& db, uint64_t seq) {
+  std::string payload;
+  AppendFixed64(&payload, seq);
+  payload += program::WriteDatabase(db);
+  std::string file;
+  AppendRecordTo(&file, payload);
+  Overwrite(path, file);
+}
+
+TEST(LegacyMigrationTest, MonolithicSnapshotMigratesOnFirstOpen) {
+  std::string dir = MakeTempDir();
+  program::Database initial = PaperDatabase();
+  WriteLegacySnapshot(Database::SnapshotPath(dir), initial, 0);
+
+  program::Database expected;
+  {
+    Database db = Database::Open(dir).ValueOrDie();
+    EXPECT_TRUE(db.recovery().migrated_legacy_snapshot);
+    EXPECT_NE(db.recovery().ToString().find("migrated legacy snapshot"),
+              std::string::npos);
+    EXPECT_TRUE(graph::IsIsomorphic(db.instance(), initial.instance));
+    // The directory now speaks the partitioned layout, and the stale
+    // monolithic file was swept by the migration checkpoint's GC.
+    EXPECT_TRUE(
+        FileEnv::Default()->FileExists(Database::ManifestPath(dir)));
+    EXPECT_FALSE(
+        FileEnv::Default()->FileExists(Database::SnapshotPath(dir)));
+    db.Apply(SampleOps(db.scheme())[0]).OrDie();
+    expected = program::Database{db.scheme(), db.instance()};
+  }
+  // The second open is an ordinary partitioned open.
+  Database again = Database::Open(dir).ValueOrDie();
+  EXPECT_FALSE(again.recovery().migrated_legacy_snapshot);
+  EXPECT_EQ(again.recovery().ops_replayed, 1u);
+  EXPECT_TRUE(graph::IsIsomorphic(again.instance(), expected.instance));
+}
+
+TEST(LegacyMigrationTest, LegacyWalReplaysBeforeMigration) {
+  // A legacy directory caught mid-flight: monolithic snapshot plus a
+  // log tail. The log format is unchanged across the layout switch, so
+  // a log written against today's engine stands in for a legacy one.
+  std::string donor = MakeTempDir();
+  program::Database expected;
+  {
+    Database db = Database::Open(donor, PaperDatabase()).ValueOrDie();
+    std::vector<Operation> ops = SampleOps(db.scheme());
+    db.Apply(ops[0]).OrDie();
+    db.Apply(ops[1]).OrDie();
+    expected = program::Database{db.scheme(), db.instance()};
+  }
+  std::string dir = MakeTempDir();
+  WriteLegacySnapshot(Database::SnapshotPath(dir), PaperDatabase(), 0);
+  Overwrite(Database::WalPath(dir),
+            FileEnv::Default()
+                ->ReadFileToString(Database::WalPath(donor))
+                .ValueOrDie());
+
+  Database db = Database::Open(dir).ValueOrDie();
+  EXPECT_TRUE(db.recovery().migrated_legacy_snapshot);
+  EXPECT_EQ(db.recovery().ops_replayed, 2u);
+  EXPECT_TRUE(db.scheme() == expected.scheme);
+  EXPECT_TRUE(graph::IsIsomorphic(db.instance(), expected.instance));
+  EXPECT_EQ(db.log_ops(), 0u) << "migration checkpointed the replay";
+}
+
+TEST(LegacyMigrationTest, DamagedLegacyCurrentFallsBackToPrevAndMigrates) {
+  std::string dir = MakeTempDir();
+  program::Database initial = PaperDatabase();
+  WriteLegacySnapshot(Database::SnapshotPath(dir), initial, 3);
+  WriteLegacySnapshot(Database::PreviousSnapshotPath(dir), initial, 0);
+  // Damage the current monolithic snapshot; the displaced one survives.
+  Overwrite(Database::SnapshotPath(dir), "junk");
+
+  auto strict = Database::Open(dir);
+  ASSERT_FALSE(strict.ok());
+  EXPECT_TRUE(strict.status().IsDataLoss());
+
+  Options options;
+  options.salvage_mode = SalvageMode::kSalvage;
+  Database db = Database::Open(dir, options).ValueOrDie();
+  EXPECT_TRUE(db.recovery().used_previous_snapshot);
+  EXPECT_TRUE(db.recovery().salvaged);
+  EXPECT_TRUE(db.recovery().migrated_legacy_snapshot);
+  EXPECT_TRUE(graph::IsIsomorphic(db.instance(), initial.instance));
+}
+
+// ---------------------------------------------------------------------------
+// Double displacement: a crashed checkpoint on top of a crashed
+// checkpoint. The displacement rename is skipped when manifest.good is
+// already gone, so manifest.prev is never consumed and the chain stays
+// complete through back-to-back failures.
+// ---------------------------------------------------------------------------
+
+TEST(DoubleDisplacementTest, PartitionedLayoutSurvivesBackToBackCrashes) {
+  std::string dir = MakeTempDir();
+  FaultInjectionEnv env;
+  Options options;
+  options.env = &env;
+  Database db = Database::Open(dir, PaperDatabase(), options).ValueOrDie();
+  std::vector<Operation> ops = SampleOps(db.scheme());
+  db.Apply(ops[0]).OrDie();
+  db.Apply(ops[1]).OrDie();
+
+  // Checkpoint #1 crashes between its two renames: manifest.good was
+  // displaced into manifest.prev, the new manifest never published.
+  FaultPlan plan;
+  plan.fail_rename_at = 2;
+  env.SetPlan(plan);
+  ASSERT_FALSE(db.Checkpoint().ok());
+  ASSERT_FALSE(FileEnv::Default()->FileExists(Database::ManifestPath(dir)));
+
+  // The handle keeps logging, and checkpoint #2 — whose displacement
+  // is skipped because manifest.good is missing — crashes at its own
+  // publish rename (#1 of that checkpoint).
+  db.Apply(ops[2]).OrDie();
+  plan.fail_rename_at = 1;
+  env.SetPlan(plan);
+  ASSERT_FALSE(db.Checkpoint().ok());
+  program::Database expected{db.scheme(), db.instance()};
+
+  // manifest.prev still holds the bootstrap checkpoint, and the log was
+  // never truncated: even strict recovery replays everything.
+  {
+    Database reopened = Database::Open(dir, PaperDatabase()).ValueOrDie();
+    EXPECT_TRUE(reopened.recovery().used_previous_snapshot);
+    EXPECT_FALSE(reopened.recovery().salvaged);
+    EXPECT_EQ(reopened.recovery().ops_replayed, 3u);
+    EXPECT_TRUE(graph::IsIsomorphic(reopened.instance(),
+                                    expected.instance));
+  }
+
+  // And the original handle can still complete a checkpoint once the
+  // renames work again.
+  env.Reset();
+  db.Checkpoint().OrDie();
+  Database reopened = Database::Open(dir, PaperDatabase()).ValueOrDie();
+  EXPECT_EQ(reopened.recovery().ops_replayed, 0u);
+  EXPECT_TRUE(graph::IsIsomorphic(reopened.instance(), expected.instance));
+}
+
+TEST(DoubleDisplacementTest, CrashedMigrationAfterCrashedLegacyCheckpoint) {
+  // The monolithic-upgrade variant: the legacy database's last
+  // checkpoint crashed (snapshot.prev only — its own displacement
+  // window), and now the migration checkpoint crashes too.
+  std::string dir = MakeTempDir();
+  program::Database initial = PaperDatabase();
+  WriteLegacySnapshot(Database::PreviousSnapshotPath(dir), initial, 0);
+
+  FaultInjectionEnv env;
+  Options options;
+  options.env = &env;
+  FaultPlan plan;
+  plan.fail_rename_at = 1;  // no manifest.good yet, so #1 is the publish
+  env.SetPlan(plan);
+  auto crashed = Database::Open(dir, options);
+  ASSERT_FALSE(crashed.ok());
+
+  // The legacy chain is untouched; a clean open migrates successfully.
+  Database db = Database::Open(dir).ValueOrDie();
+  EXPECT_TRUE(db.recovery().migrated_legacy_snapshot);
+  EXPECT_TRUE(db.recovery().used_previous_snapshot);
+  EXPECT_TRUE(graph::IsIsomorphic(db.instance(), initial.instance));
+  EXPECT_TRUE(
+      FileEnv::Default()->FileExists(Database::ManifestPath(dir)));
+  EXPECT_FALSE(
+      FileEnv::Default()->FileExists(Database::PreviousSnapshotPath(dir)));
 }
 
 // ---------------------------------------------------------------------------
